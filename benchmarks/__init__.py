@@ -1,0 +1,6 @@
+"""Paper-reproduction benchmarks (one module per table/figure).
+
+The package marker lets the modules import their shared helpers
+(`benchmarks._harness`, `benchmarks.conftest`) under a bare ``pytest``
+invocation, which does not add the working directory to ``sys.path``.
+"""

@@ -1,0 +1,88 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Every benchmark regenerates one table or figure from the paper's
+evaluation (Section IV) and asserts its *qualitative shape* — orderings,
+crossovers, scaling slopes — rather than absolute numbers (our substrate
+is synthetic data and a from-scratch Python stack, not the authors' 2008
+testbed).
+
+Scale is controlled by the ``REPRO_BENCH_SCALE`` environment variable:
+
+- ``small`` (default) — reduced sample counts so the whole suite runs in
+  minutes; class counts, feature counts and train-size labels follow the
+  paper wherever feasible.
+- ``paper`` — the full Table II dataset shapes and 20 splits per cell
+  (slow; intended for one-off full reproductions).
+
+Rendered tables are collected and echoed in the terminal summary, and
+written under ``benchmarks/reports/``.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.datasets import make_digits, make_faces, make_spoken_letters, make_text
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
+if SCALE not in ("small", "paper"):
+    raise ValueError(f"REPRO_BENCH_SCALE must be 'small' or 'paper', got {SCALE}")
+
+#: Splits per cell (paper: 20).
+N_SPLITS = 20 if SCALE == "paper" else 3
+N_SPLITS_SPARSE = 20 if SCALE == "paper" else 2
+
+REPORTS = []
+_REPORT_DIR = Path(__file__).parent / "reports"
+
+
+def record_report(name: str, text: str) -> None:
+    """Queue a rendered table/figure for the terminal summary and disk."""
+    REPORTS.append((name, text))
+    _REPORT_DIR.mkdir(exist_ok=True)
+    path = _REPORT_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not REPORTS:
+        return
+    terminalreporter.write_sep("=", "paper reproduction reports")
+    for name, text in REPORTS:
+        terminalreporter.write_sep("-", name)
+        terminalreporter.write_line(text)
+
+
+@pytest.fixture(scope="session")
+def pie_dataset():
+    """PIE-like faces (Tables III/IV, Figure 1)."""
+    if SCALE == "paper":
+        return make_faces(seed=101)  # 68 × 170 × 1024
+    return make_faces(n_subjects=68, images_per_subject=80, side=32, seed=101)
+
+
+@pytest.fixture(scope="session")
+def isolet_dataset():
+    """Isolet-like spoken letters (Tables V/VI, Figure 2)."""
+    if SCALE == "paper":
+        return make_spoken_letters(seed=102)
+    return make_spoken_letters(
+        n_train_speakers=60, n_test_speakers=25, seed=102
+    )
+
+
+@pytest.fixture(scope="session")
+def mnist_dataset():
+    """MNIST-like digits (Tables VII/VIII, Figure 3)."""
+    if SCALE == "paper":
+        return make_digits(seed=103)
+    return make_digits(n_train=2000, n_test=1000, seed=103)
+
+
+@pytest.fixture(scope="session")
+def news_dataset():
+    """20NG-like sparse text (Tables IX/X, Figure 4)."""
+    if SCALE == "paper":
+        return make_text(seed=104)
+    return make_text(n_docs=18941, vocab_size=26214, seed=104)

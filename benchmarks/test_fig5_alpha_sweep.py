@@ -1,0 +1,159 @@
+"""Figure 5 — model selection: SRDA error as a function of α/(1+α).
+
+The paper sweeps α/(1+α) over (0, 1) on eight dataset/size panels and
+shows two things: (a) SRDA beats LDA and IDR/QR over a *wide* range of
+α, so (b) parameter selection "is not a very crucial problem".  We
+reproduce four representative panels (one per dataset) with the same
+x-axis parameterization and assert both claims.
+"""
+
+import numpy as np
+
+from benchmarks._harness import once
+from benchmarks.conftest import N_SPLITS, record_report
+from repro import IDRQR, LDA, SRDA
+from repro.datasets.splits import (
+    per_class_split,
+    per_class_split_from_pool,
+    ratio_split,
+    split_seeds,
+)
+from repro.eval.metrics import error_rate
+from repro.eval.tables import render_ascii_chart
+
+#: the paper's x-axis grid: α/(1+α) ∈ {0.1, …, 0.9}
+RATIOS = np.arange(0.1, 0.95, 0.1)
+
+
+def _split(dataset, size, rng):
+    protocol = dataset.metadata["split_protocol"]
+    if protocol == "per_class_within":
+        return per_class_split(dataset.y, size, rng)
+    if protocol == "per_class_from_pool":
+        return per_class_split_from_pool(
+            dataset.y,
+            dataset.metadata["train_pool"],
+            dataset.metadata["test_pool"],
+            size,
+            rng,
+        )
+    return ratio_split(dataset.y, size, rng)
+
+
+def sweep_panel(dataset, size, sparse=False, seed=55):
+    """Mean test error per α for SRDA, plus LDA and IDR/QR references."""
+    srda_errors = np.zeros(len(RATIOS))
+    lda_error = 0.0
+    idrqr_error = 0.0
+    runs = 0
+    for split_seed in split_seeds(seed, N_SPLITS):
+        rng = np.random.default_rng(int(split_seed))
+        train_idx, test_idx = _split(dataset, size, rng)
+        X_train, y_train = dataset.subset(train_idx)
+        X_test, y_test = dataset.subset(test_idx)
+        for i, ratio in enumerate(RATIOS):
+            alpha = ratio / (1.0 - ratio)
+            if sparse:
+                model = SRDA(alpha=alpha, solver="lsqr", max_iter=15, tol=0.0)
+            else:
+                model = SRDA(alpha=alpha, solver="normal")
+            model.fit(X_train, y_train)
+            srda_errors[i] += error_rate(y_test, model.predict(X_test))
+        if not sparse:
+            lda_error += error_rate(
+                y_test, LDA().fit(X_train, y_train).predict(X_test)
+            )
+        idrqr_error += error_rate(
+            y_test, IDRQR(ridge=1.0).fit(X_train, y_train).predict(X_test)
+        )
+        runs += 1
+    srda_errors /= runs
+    lda_error = lda_error / runs if not sparse else float("nan")
+    idrqr_error /= runs
+    return srda_errors, lda_error, idrqr_error
+
+
+def render_panel(name, srda_errors, lda_error, idrqr_error):
+    series = {
+        "SRDA": (
+            [f"{r:.1f}" for r in RATIOS],
+            list(100 * srda_errors),
+        ),
+        "IDR/QR": (
+            [f"{r:.1f}" for r in RATIOS],
+            [100 * idrqr_error] * len(RATIOS),
+        ),
+    }
+    if np.isfinite(lda_error):
+        series["LDA"] = (
+            [f"{r:.1f}" for r in RATIOS],
+            [100 * lda_error] * len(RATIOS),
+        )
+    return render_ascii_chart(
+        series, f"Figure 5 ({name}) — error (%) vs alpha/(1+alpha)"
+    )
+
+
+def test_fig5_pie_panel(benchmark, pie_dataset):
+    srda, lda, idrqr = once(benchmark, lambda: sweep_panel(pie_dataset, 10))
+    record_report("fig5_pie", render_panel("PIE, 10 train", srda, lda, idrqr))
+    _assert_panel_claims(srda, lda, idrqr)
+
+
+def test_fig5_isolet_panel(benchmark, isolet_dataset):
+    srda, lda, idrqr = once(
+        benchmark, lambda: sweep_panel(isolet_dataset, 50)
+    )
+    record_report(
+        "fig5_isolet", render_panel("Isolet, 50 train", srda, lda, idrqr)
+    )
+    _assert_panel_claims(srda, lda, idrqr)
+
+
+def test_fig5_mnist_panel(benchmark, mnist_dataset):
+    srda, lda, idrqr = once(benchmark, lambda: sweep_panel(mnist_dataset, 30))
+    record_report(
+        "fig5_mnist", render_panel("MNIST, 30 train", srda, lda, idrqr)
+    )
+    _assert_panel_claims(srda, lda, idrqr)
+
+
+def test_fig5_news_panel(benchmark, news_dataset):
+    srda, _, idrqr = once(
+        benchmark, lambda: sweep_panel(news_dataset, 0.05, sparse=True)
+    )
+    record_report(
+        "fig5_news",
+        render_panel("20Newsgroups, 5% train", srda, float("nan"), idrqr),
+    )
+    # LDA reference omitted (on this machine LDA densifies 200 MB per
+    # split here; the qualitative claim is against IDR/QR)
+    _assert_panel_claims(srda, float("inf"), idrqr)
+
+
+def _widest_flat_band(errors: np.ndarray, window: int = 4) -> float:
+    """Smallest max−min over any `window` consecutive grid points."""
+    return min(
+        float(errors[i : i + window].max() - errors[i : i + window].min())
+        for i in range(len(errors) - window + 1)
+    )
+
+
+def _assert_panel_claims(srda_errors, lda_error, idrqr_error):
+    """Fig 5's two claims, in the form that holds on every panel:
+
+    (a) SRDA's best α beats LDA outright and is at least competitive
+        with IDR/QR (paper: strictly better; we allow a 3-point margin
+        since the synthetic panels vary);
+    (b) there is a *wide flat region* — some 4 consecutive grid points
+        where SRDA's error moves by < 5 points — so α selection is not
+        critical, which is the section's conclusion.
+    """
+    assert srda_errors.min() < lda_error
+    assert srda_errors.min() <= idrqr_error + 0.03, (
+        srda_errors.min(), idrqr_error,
+    )
+    if np.isfinite(lda_error):
+        wins_vs_lda = np.sum(srda_errors < lda_error)
+        assert wins_vs_lda >= 6, (srda_errors, lda_error)
+    assert _widest_flat_band(srda_errors) < 0.05, srda_errors

@@ -1,0 +1,51 @@
+"""Table II — dataset statistics.
+
+Regenerates the statistics table for the four (synthetic stand-in)
+datasets at the current benchmark scale and checks the structural
+contract each generator must satisfy.
+"""
+
+from benchmarks._harness import once
+from benchmarks.conftest import SCALE, record_report
+
+
+def test_table2_statistics(
+    benchmark, pie_dataset, isolet_dataset, mnist_dataset, news_dataset
+):
+    datasets = [pie_dataset, isolet_dataset, mnist_dataset, news_dataset]
+
+    def render():
+        lines = [
+            f"Table II — dataset statistics (scale={SCALE})",
+            f"{'dataset':10} {'size (m)':>10} {'dim (n)':>10} "
+            f"{'# classes (c)':>14} {'avg nnz (s)':>12}",
+            "-" * 60,
+        ]
+        for dataset in datasets:
+            stats = dataset.statistics()
+            nnz = stats.get("avg_nnz_per_sample_s", "dense")
+            lines.append(
+                f"{stats['name']:10} {stats['size_m']:>10} "
+                f"{stats['dim_n']:>10} {stats['classes_c']:>14} {nnz!s:>12}"
+            )
+        return "\n".join(lines)
+
+    text = once(benchmark, render)
+    record_report("table2_datasets", text)
+
+    pie, isolet, mnist, news = datasets
+    # feature and class counts always match Table II
+    assert pie.n_features == 1024 and pie.n_classes in (20, 68)
+    assert isolet.n_features == 617 and isolet.n_classes == 26
+    assert mnist.n_features == 784 and mnist.n_classes == 10
+    assert news.n_features == 26214 and news.n_classes == 20
+    # the text corpus is the one sparse dataset, with text-like density
+    assert news.is_sparse
+    assert 20 < news.X.mean_nnz_per_row() < 300
+    for dataset in (pie, isolet, mnist):
+        assert not dataset.is_sparse
+
+    if SCALE == "paper":
+        assert pie.n_samples == 11560
+        assert mnist.n_samples == 4000
+        assert news.n_samples == 18941

@@ -1,0 +1,20 @@
+"""Comparison algorithms from the paper's evaluation (Section IV-B).
+
+- :mod:`repro.baselines.lda` — classic LDA, singularity handled by SVD
+  exactly as Section II-A describes (including the ``H``-matrix
+  cross-product trick).
+- :mod:`repro.baselines.rlda` — regularized LDA (Friedman, ref [21]).
+- :mod:`repro.baselines.idrqr` — IDR/QR (Ye et al., ref [22]).
+- :mod:`repro.baselines.pca` — PCA, the substrate behind the two-stage
+  PCA+LDA connection the paper points out.
+- :mod:`repro.baselines.ridge` — one-vs-rest ridge classification, a
+  plain-regression control that shares SRDA's solver substrate.
+"""
+
+from repro.baselines.idrqr import IDRQR
+from repro.baselines.lda import LDA
+from repro.baselines.pca import PCA
+from repro.baselines.rlda import RLDA
+from repro.baselines.ridge import RidgeClassifier
+
+__all__ = ["IDRQR", "LDA", "PCA", "RLDA", "RidgeClassifier"]

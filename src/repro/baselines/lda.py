@@ -1,0 +1,140 @@
+"""Classic LDA, solved by SVD exactly as Section II-A prescribes.
+
+With samples as rows and ``X̄`` the centered data, LDA solves
+
+    X̄ᵀ W X̄ a = λ X̄ᵀ X̄ a                                   (Eqn 8)
+
+``X̄ᵀX̄`` is singular whenever ``n > m``; the paper's fix is the economy
+SVD ``X̄ = U Σ Vᵀ``.  Substituting ``a = V Σ⁻¹ b`` reduces Eqn 8 to the
+*ordinary* symmetric eigenproblem
+
+    (Uᵀ W U) b = λ b
+
+and with ``W = E Eᵀ`` (``E`` the √-scaled class indicators) the reduced
+matrix factors as ``H Hᵀ`` with ``H = Uᵀ E`` of size ``(r, c)`` — so its
+leading eigenvectors come from the SVD of the skinny ``H``, computed via
+the small ``c × c`` cross-product (§II-B's trick, implemented in
+:func:`repro.linalg.svd.cross_product_svd`).
+
+The cost is dominated by the SVD of ``X̄``: ``O(m n t + t³)`` time and
+``O(mn + mt + nt)`` memory with ``t = min(m, n)`` — the quantities SRDA
+is measured against.  A naive scatter-matrix route is included for
+cross-validation on small problems.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.base import LinearEmbedder, as_dense, validate_data
+from repro.core.graph import scaled_indicator
+from repro.linalg.svd import cross_product_svd
+
+
+class LDA(LinearEmbedder):
+    """Linear Discriminant Analysis (SVD route of Section II-A).
+
+    Parameters
+    ----------
+    n_components:
+        Dimensions to keep; defaults to ``c - 1`` (the rank bound of the
+        between-class scatter).
+    svd_tol:
+        Rank tolerance passed to the cross-product SVD.
+
+    Attributes
+    ----------
+    eigenvalues_:
+        The LDA eigenvalues λ (trace ratios) of the kept directions;
+        each lies in [0, 1] since ``S_b ⪯ S_t``.
+    """
+
+    def __init__(
+        self, n_components: Optional[int] = None, svd_tol: float = 1e-10
+    ) -> None:
+        self.n_components = n_components
+        self.svd_tol = float(svd_tol)
+        self.components_ = None
+        self.intercept_ = None
+        self.classes_ = None
+        self.centroids_ = None
+        self.eigenvalues_: Optional[np.ndarray] = None
+        self.mean_: Optional[np.ndarray] = None
+
+    def fit(self, X, y) -> "LDA":
+        """Fit by SVD of the centered data plus the small H-problem."""
+        X, classes, y_indices = validate_data(X, y)
+        X = as_dense(X)  # LDA cannot exploit sparsity — the paper's point
+        self.classes_ = classes
+        n_classes = classes.shape[0]
+
+        self.mean_ = X.mean(axis=0)
+        centered = X - self.mean_
+
+        # Step 1 (paper): SVD of the centered data.
+        U, s, V = cross_product_svd(centered, tol=self.svd_tol)
+        if s.shape[0] == 0:
+            raise ValueError("data has zero variance; LDA is undefined")
+
+        # Step 2: eigenvectors of UᵀWU = H Hᵀ with H = Uᵀ E, via the SVD
+        # of the (r, c) matrix H — computed from its c × c cross-product.
+        E = scaled_indicator(y_indices, n_classes)
+        H = U.T @ E
+        B, sigma, _ = cross_product_svd(H, tol=self.svd_tol)
+        eigenvalues = sigma**2
+
+        d = n_classes - 1 if self.n_components is None else self.n_components
+        d = min(d, B.shape[1])
+        B = B[:, :d]
+        self.eigenvalues_ = eigenvalues[:d]
+
+        # Step 3: recover a = V Σ⁻¹ b.
+        self.components_ = V @ (B / s[:, None])
+        self.intercept_ = -(self.mean_ @ self.components_)
+        self._store_centroids(self.transform(X), y_indices)
+        return self
+
+
+class ScatterLDA(LinearEmbedder):
+    """Naive LDA from explicit scatter matrices (small-``n`` oracle).
+
+    Solves ``S_b a = λ S_t a`` by reduction through the Cholesky factor
+    of ``S_t + εI``.  Only usable when ``n`` is modest and ``S_t`` is
+    nonsingular (or ε > 0); exists so tests can check the SVD route
+    against an independent construction.
+    """
+
+    def __init__(
+        self, n_components: Optional[int] = None, ridge: float = 0.0
+    ) -> None:
+        self.n_components = n_components
+        self.ridge = float(ridge)
+        self.components_ = None
+        self.intercept_ = None
+        self.classes_ = None
+        self.centroids_ = None
+        self.eigenvalues_: Optional[np.ndarray] = None
+
+    def fit(self, X, y) -> "ScatterLDA":
+        from repro.core.graph import between_class_scatter, total_scatter
+        from repro.linalg.dense import generalized_eigh
+
+        X, classes, y_indices = validate_data(X, y)
+        X = as_dense(X)
+        self.classes_ = classes
+        n_classes = classes.shape[0]
+
+        Sb = between_class_scatter(X, y_indices, n_classes)
+        St = total_scatter(X)
+        eigvals, eigvecs = generalized_eigh(Sb, St, regularization=self.ridge)
+
+        d = n_classes - 1 if self.n_components is None else self.n_components
+        d = min(d, eigvecs.shape[1])
+        self.eigenvalues_ = eigvals[:d]
+        self.components_ = eigvecs[:, :d]
+        mean = X.mean(axis=0)
+        self.intercept_ = -(mean @ self.components_)
+        self._store_centroids(self.transform(X), y_indices)
+        return self

@@ -1,0 +1,128 @@
+"""PCA — the substrate behind the classical two-stage PCA+LDA pipeline.
+
+Section II-A observes that the SVD of the centered data *is* the PCA of
+the data, which "justifies the rationale behind the two-stage PCA+LDA
+approach" (Belhumeur et al.'s Fisherfaces, ref [5]).  We implement PCA on
+the same cross-product SVD kernel so that identity is testable, and
+provide :class:`PCALDA`, the two-stage pipeline itself, as an extra
+point of comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.base import NotFittedError, as_dense
+from repro.linalg.svd import cross_product_svd
+
+
+class PCA:
+    """Principal component analysis via the cross-product SVD.
+
+    Parameters
+    ----------
+    n_components:
+        Components to keep; ``None`` keeps the full numerical rank.
+
+    Attributes
+    ----------
+    components_:
+        ``(n, d)`` orthonormal principal directions.
+    singular_values_:
+        Singular values of the centered data for the kept directions.
+    explained_variance_:
+        Per-direction variance ``σ²/(m-1)``.
+    """
+
+    def __init__(self, n_components: Optional[int] = None) -> None:
+        self.n_components = n_components
+        self.components_: Optional[np.ndarray] = None
+        self.singular_values_: Optional[np.ndarray] = None
+        self.explained_variance_: Optional[np.ndarray] = None
+        self.mean_: Optional[np.ndarray] = None
+
+    def fit(self, X, y=None) -> "PCA":
+        """Fit the principal directions (``y`` ignored, for API parity)."""
+        X = as_dense(X)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-D")
+        m = X.shape[0]
+        if m < 2:
+            raise ValueError("PCA needs at least 2 samples")
+        self.mean_ = X.mean(axis=0)
+        centered = X - self.mean_
+        _, s, V = cross_product_svd(centered)
+        if self.n_components is not None:
+            V = V[:, : self.n_components]
+            s = s[: self.n_components]
+        self.components_ = V
+        self.singular_values_ = s
+        self.explained_variance_ = s**2 / (m - 1)
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        """Project onto the principal directions."""
+        if self.components_ is None:
+            raise NotFittedError("PCA must be fitted before use")
+        X = as_dense(X)
+        return (X - self.mean_) @ self.components_
+
+    def fit_transform(self, X, y=None) -> np.ndarray:
+        """Fit and project in one pass."""
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, Z: np.ndarray) -> np.ndarray:
+        """Map embedded points back to the original space."""
+        if self.components_ is None:
+            raise NotFittedError("PCA must be fitted before use")
+        return Z @ self.components_.T + self.mean_
+
+
+class PCALDA:
+    """The classical two-stage PCA+LDA pipeline (Fisherfaces).
+
+    Reduces to ``pca_components`` dimensions first (restoring the
+    non-singularity of the scatter matrices), then runs LDA there.  The
+    paper's analysis shows the SVD-based LDA subsumes this; the class
+    exists so that equivalence can be demonstrated empirically.
+    """
+
+    def __init__(self, pca_components: Optional[int] = None) -> None:
+        self.pca_components = pca_components
+        self.pca_: Optional[PCA] = None
+        self.lda_ = None
+        self.classes_: Optional[np.ndarray] = None
+
+    def fit(self, X, y) -> "PCALDA":
+        """Fit PCA then LDA in the reduced space."""
+        from repro.baselines.lda import LDA
+
+        X = as_dense(X)
+        y = np.asarray(y)
+        n_components = self.pca_components
+        if n_components is None:
+            # Standard Fisherfaces choice: keep rank of the centered data.
+            n_components = min(X.shape[0] - 1, X.shape[1])
+        self.pca_ = PCA(n_components=n_components).fit(X)
+        Z = self.pca_.transform(X)
+        self.lda_ = LDA().fit(Z, y)
+        self.classes_ = self.lda_.classes_
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        """Apply both stages."""
+        if self.pca_ is None:
+            raise NotFittedError("PCALDA must be fitted before use")
+        return self.lda_.transform(self.pca_.transform(X))
+
+    def predict(self, X) -> np.ndarray:
+        """Nearest-centroid prediction through both stages."""
+        if self.pca_ is None:
+            raise NotFittedError("PCALDA must be fitted before use")
+        return self.lda_.predict(self.pca_.transform(X))
+
+    def score(self, X, y) -> float:
+        """Accuracy of :meth:`predict`."""
+        return float(np.mean(self.predict(X) == np.asarray(y)))

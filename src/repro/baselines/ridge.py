@@ -1,0 +1,131 @@
+"""One-vs-rest ridge classification on SRDA's solver substrate.
+
+SRDA's central move is replacing an eigenproblem with ridge regressions.
+This module provides the *plain* regression classifier — one-hot targets,
+same solvers — as a control: it shares every line of numerical machinery
+with SRDA but regresses on raw indicators instead of the spectral
+responses, so ablations can isolate what the response construction buys.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.base import NotFittedError, validate_data
+from repro.linalg.cholesky import cholesky, solve_factored
+from repro.linalg.lsqr import lsqr
+from repro.linalg.operators import AppendOnesOperator, as_operator
+from repro.linalg.sparse import CSRMatrix, is_sparse
+
+
+class RidgeClassifier:
+    """Multi-class ridge regression on ±1 one-vs-rest targets.
+
+    Parameters
+    ----------
+    alpha:
+        Tikhonov regularization (> 0 for the normal path).
+    solver:
+        ``"normal"``, ``"lsqr"``, or ``"auto"`` (LSQR for sparse input).
+    max_iter, tol:
+        LSQR controls, as in :class:`repro.core.srda.SRDA`.
+    """
+
+    def __init__(
+        self,
+        alpha: float = 1.0,
+        solver: str = "auto",
+        max_iter: int = 20,
+        tol: float = 1e-10,
+    ) -> None:
+        if alpha < 0:
+            raise ValueError("alpha must be non-negative")
+        if solver not in ("auto", "normal", "lsqr"):
+            raise ValueError(f"unknown solver {solver!r}")
+        self.alpha = float(alpha)
+        self.solver = solver
+        self.max_iter = int(max_iter)
+        self.tol = float(tol)
+        self.coef_: Optional[np.ndarray] = None
+        self.intercept_: Optional[np.ndarray] = None
+        self.classes_: Optional[np.ndarray] = None
+        self.lsqr_iterations_: Optional[List[int]] = None
+
+    def fit(self, X, y) -> "RidgeClassifier":
+        """Fit one ridge regression per class against ±1 targets."""
+        X, classes, y_indices = validate_data(X, y)
+        self.classes_ = classes
+        m = y_indices.shape[0]
+        n_classes = classes.shape[0]
+        targets = -np.ones((m, n_classes))
+        targets[np.arange(m), y_indices] = 1.0
+
+        sparse_input = isinstance(X, CSRMatrix) or is_sparse(X)
+        solver = self.solver
+        if solver == "auto":
+            solver = "lsqr" if sparse_input else "normal"
+
+        if solver == "normal":
+            if sparse_input:
+                X = (
+                    X.to_dense()
+                    if isinstance(X, CSRMatrix)
+                    else np.asarray(X.todense(), dtype=np.float64)
+                )
+            X_aug = np.hstack([X, np.ones((m, 1))])
+            n_aug = X_aug.shape[1]
+            if self.alpha == 0.0:
+                weights, _, _, _ = np.linalg.lstsq(X_aug, targets, rcond=None)
+            elif n_aug <= m:
+                gram = X_aug.T @ X_aug
+                gram[np.diag_indices_from(gram)] += self.alpha
+                L = cholesky(gram)
+                weights = solve_factored(L, X_aug.T @ targets)
+            else:
+                outer = X_aug @ X_aug.T
+                outer[np.diag_indices_from(outer)] += self.alpha
+                L = cholesky(outer)
+                weights = X_aug.T @ solve_factored(L, targets)
+            self.lsqr_iterations_ = None
+        else:
+            op = AppendOnesOperator(as_operator(X))
+            weights = np.empty((op.shape[1], n_classes))
+            iterations = []
+            for k in range(n_classes):
+                result = lsqr(
+                    op,
+                    targets[:, k],
+                    damp=float(np.sqrt(self.alpha)),
+                    atol=self.tol,
+                    btol=self.tol,
+                    iter_lim=self.max_iter,
+                )
+                weights[:, k] = result.x
+                iterations.append(result.itn)
+            self.lsqr_iterations_ = iterations
+
+        self.coef_ = weights[:-1]
+        self.intercept_ = weights[-1]
+        return self
+
+    def decision_function(self, X) -> np.ndarray:
+        """Per-class regression scores."""
+        if self.coef_ is None:
+            raise NotFittedError("RidgeClassifier must be fitted before use")
+        if isinstance(X, CSRMatrix):
+            scores = X.matmat(self.coef_)
+        elif is_sparse(X):
+            scores = np.asarray(X @ self.coef_)
+        else:
+            scores = np.asarray(X, dtype=np.float64) @ self.coef_
+        return scores + self.intercept_
+
+    def predict(self, X) -> np.ndarray:
+        """Class with the highest regression score."""
+        return self.classes_[np.argmax(self.decision_function(X), axis=1)]
+
+    def score(self, X, y) -> float:
+        """Accuracy of :meth:`predict`."""
+        return float(np.mean(self.predict(X) == np.asarray(y)))

@@ -1,0 +1,195 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three commands mirror the repository's main entry points:
+
+- ``bench`` — run one dataset's (algorithm × training size × split)
+  sweep and print the paper-style error and time tables;
+- ``table1`` — print the Table-I complexity model for a problem size;
+- ``info`` — package version and component inventory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+DATASET_BUILDERS = {
+    "pie": lambda scale, seed: _faces(scale, seed),
+    "isolet": lambda scale, seed: _isolet(scale, seed),
+    "mnist": lambda scale, seed: _mnist(scale, seed),
+    "news": lambda scale, seed: _news(scale, seed),
+}
+
+
+def _faces(scale, seed):
+    from repro.datasets import make_faces
+
+    if scale == "paper":
+        return make_faces(seed=seed)
+    # 80 images/subject keeps the declared default train sizes (up to
+    # 60/class) feasible at the small scale
+    return make_faces(n_subjects=20, images_per_subject=80, seed=seed)
+
+
+def _isolet(scale, seed):
+    from repro.datasets import make_spoken_letters
+
+    if scale == "paper":
+        return make_spoken_letters(seed=seed)
+    # 60 train speakers = 120 samples/class, enough for the largest
+    # declared size (110/class)
+    return make_spoken_letters(
+        n_train_speakers=60, n_test_speakers=10, seed=seed
+    )
+
+
+def _mnist(scale, seed):
+    from repro.datasets import make_digits
+
+    if scale == "paper":
+        return make_digits(seed=seed)
+    # 2000 train = 200/class, covering the declared sizes up to 170
+    return make_digits(n_train=2000, n_test=400, seed=seed)
+
+
+def _news(scale, seed):
+    from repro.datasets import make_text
+
+    if scale == "paper":
+        return make_text(seed=seed)
+    return make_text(n_docs=3000, vocab_size=26214, seed=seed)
+
+
+def _algorithms(names: List[str], sparse: bool):
+    from repro import IDRQR, LDA, RLDA, SRDA
+
+    registry = {
+        "lda": ("LDA", lambda: LDA()),
+        "rlda": ("RLDA", lambda: RLDA(alpha=1.0)),
+        "srda": (
+            "SRDA",
+            (lambda: SRDA(alpha=1.0, solver="lsqr", max_iter=15, tol=0.0))
+            if sparse
+            else (lambda: SRDA(alpha=1.0)),
+        ),
+        "idrqr": ("IDR/QR", lambda: IDRQR(ridge=1.0)),
+    }
+    selected = {}
+    for name in names:
+        key = name.lower()
+        if key not in registry:
+            raise SystemExit(
+                f"unknown algorithm {name!r}; choose from "
+                f"{sorted(registry)}"
+            )
+        label, factory = registry[key]
+        selected[label] = factory
+    return selected
+
+
+def cmd_bench(args) -> int:
+    from repro.eval import (
+        format_error_table,
+        format_time_table,
+        run_experiment,
+    )
+
+    dataset = DATASET_BUILDERS[args.dataset](args.scale, args.seed)
+    algorithms = _algorithms(args.algorithms, dataset.is_sparse)
+    sizes = None
+    if args.sizes:
+        raw = [float(s) for s in args.sizes.split(",")]
+        sizes = [s if s < 1 else int(s) for s in raw]
+    budget = args.memory_budget_gb * 1e9 if args.memory_budget_gb else None
+    result = run_experiment(
+        dataset,
+        algorithms,
+        train_sizes=sizes,
+        n_splits=args.splits,
+        seed=args.seed,
+        memory_budget_bytes=budget,
+    )
+    print(format_error_table(result))
+    print()
+    print(format_time_table(result))
+    return 0
+
+
+def cmd_table1(args) -> int:
+    from repro.complexity import table1
+
+    rows = table1(args.m, args.n, args.c, k=args.k, s=args.s)
+    print(
+        f"Table I model at m={args.m}, n={args.n}, c={args.c}, "
+        f"k={args.k}" + (f", s={args.s}" if args.s else "")
+    )
+    print(f"{'algorithm':28} {'flam':>14} {'memory (floats)':>16}")
+    print("-" * 60)
+    for name, row in rows.items():
+        print(f"{name:28} {row['flam']:14.3e} {row['memory']:16.3e}")
+    return 0
+
+
+def cmd_info(_args) -> int:
+    import repro
+
+    print(f"repro {repro.__version__} — SRDA (ICDE 2008) reproduction")
+    print("estimators: " + ", ".join(
+        name for name in repro.__all__
+        if name[0].isupper() and name not in ("CSRMatrix", "Dataset")
+    ))
+    print("datasets:   pie, isolet, mnist, news (synthetic, Table II shapes)")
+    print("run 'python -m repro bench --help' to reproduce a table")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SRDA paper reproduction toolkit",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    bench = commands.add_parser("bench", help="run a table sweep")
+    bench.add_argument("dataset", choices=sorted(DATASET_BUILDERS))
+    bench.add_argument(
+        "--algorithms", nargs="+", default=["lda", "rlda", "srda", "idrqr"]
+    )
+    bench.add_argument(
+        "--sizes",
+        help="comma-separated per-class counts or ratios (<1), "
+        "e.g. '10,20,30' or '0.05,0.1'",
+    )
+    bench.add_argument("--splits", type=int, default=3)
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument(
+        "--scale", choices=("small", "paper"), default="small"
+    )
+    bench.add_argument(
+        "--memory-budget-gb", type=float, default=None,
+        help="fail algorithms whose predicted working set exceeds this",
+    )
+    bench.set_defaults(func=cmd_bench)
+
+    model = commands.add_parser("table1", help="print the complexity model")
+    model.add_argument("--m", type=int, required=True)
+    model.add_argument("--n", type=int, required=True)
+    model.add_argument("--c", type=int, default=10)
+    model.add_argument("--k", type=int, default=20)
+    model.add_argument("--s", type=float, default=None)
+    model.set_defaults(func=cmd_table1)
+
+    info = commands.add_parser("info", help="package summary")
+    info.set_defaults(func=cmd_info)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

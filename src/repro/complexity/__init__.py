@@ -1,0 +1,33 @@
+"""The paper's cost model (Table I) and its empirical validation.
+
+- :mod:`repro.complexity.flam` — closed-form flam and memory counts for
+  LDA and both SRDA solvers, plus the speedup analysis (maximum 9× for
+  the normal-equations path at ``m = n``).
+- :mod:`repro.complexity.counter` — instrumented operators that count
+  actual work, and log–log slope estimation for the linear-time claim.
+"""
+
+from repro.complexity.counter import FlamCountingOperator, loglog_slope
+from repro.complexity.flam import (
+    lda_flam,
+    lda_memory,
+    max_normal_speedup,
+    srda_lsqr_flam,
+    srda_lsqr_memory,
+    srda_normal_flam,
+    srda_normal_memory,
+    table1,
+)
+
+__all__ = [
+    "FlamCountingOperator",
+    "lda_flam",
+    "lda_memory",
+    "loglog_slope",
+    "max_normal_speedup",
+    "srda_lsqr_flam",
+    "srda_lsqr_memory",
+    "srda_normal_flam",
+    "srda_normal_memory",
+    "table1",
+]

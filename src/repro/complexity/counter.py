@@ -1,0 +1,84 @@
+"""Empirical validation of the cost model.
+
+:class:`FlamCountingOperator` wraps any linear operator and charges the
+Table-I unit price for each product (``nnz`` flam per mat-vec — one
+multiply-add per stored entry), so a real LSQR run can be compared
+against the model's ``k·(2·m·s + 3m + 5n)`` prediction.
+
+:func:`loglog_slope` fits the scaling exponent of measured times — the
+benchmark that demonstrates the linear-time claim reports slopes ≈ 1 for
+SRDA-LSQR against both ``m`` and ``n``, and ≥ 2 for LDA against
+``t = min(m, n)``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.linalg.operators import LinearOperator
+from repro.linalg.sparse import CSRMatrix
+
+
+class FlamCountingOperator(LinearOperator):
+    """Wraps an operator, accumulating flam charged at nnz per product.
+
+    Attributes
+    ----------
+    flam:
+        Total multiply-add pairs charged so far.
+    """
+
+    def __init__(self, base: LinearOperator, nnz: int = None) -> None:
+        super().__init__()
+        self.base = base
+        self.shape = base.shape
+        if nnz is None:
+            matrix = getattr(base, "matrix", None)
+            if isinstance(matrix, CSRMatrix):
+                nnz = matrix.nnz
+            else:
+                nnz = self.shape[0] * self.shape[1]
+        self.nnz = int(nnz)
+        self.flam = 0
+
+    def _matvec(self, v: np.ndarray) -> np.ndarray:
+        self.flam += self.nnz
+        return self.base.matvec(v)
+
+    def _rmatvec(self, u: np.ndarray) -> np.ndarray:
+        self.flam += self.nnz
+        return self.base.rmatvec(u)
+
+    def reset(self) -> None:
+        """Zero the accumulated flam (and the product counters)."""
+        self.flam = 0
+        self.reset_counts()
+
+
+def loglog_slope(sizes: Sequence[float], times: Sequence[float]) -> float:
+    """Least-squares slope of log(time) against log(size).
+
+    A slope of p means time ~ size^p over the measured range.  Requires
+    strictly positive inputs and at least two points.
+    """
+    sizes = np.asarray(sizes, dtype=np.float64)
+    times = np.asarray(times, dtype=np.float64)
+    if sizes.shape != times.shape or sizes.size < 2:
+        raise ValueError("need at least two matching (size, time) pairs")
+    if np.any(sizes <= 0) or np.any(times <= 0):
+        raise ValueError("sizes and times must be strictly positive")
+    log_s = np.log(sizes)
+    log_t = np.log(times)
+    slope, _ = np.polyfit(log_s, log_t, 1)
+    return float(slope)
+
+
+def predicted_lsqr_flam(
+    m: int, n: int, iterations: int, nnz: int = None
+) -> float:
+    """Model prediction for one LSQR solve, for counter cross-checks."""
+    if nnz is None:
+        nnz = m * n
+    return iterations * (2.0 * nnz + 3.0 * m + 5.0 * n)

@@ -1,0 +1,29 @@
+"""The paper's primary contribution: Spectral Regression Discriminant Analysis.
+
+- :mod:`repro.core.base` — the shared estimator protocol (label encoding,
+  validation, nearest-centroid prediction in the embedding).
+- :mod:`repro.core.responses` — the spectral half: closed-form eigenvectors
+  of the graph matrix ``W``, orthogonalized by Gram–Schmidt (Eqn 15/16).
+- :mod:`repro.core.graph` — the graph-embedding view of LDA (Eqn 6/7) and
+  the generalized graph builders the paper points to.
+- :mod:`repro.core.srda` — the SRDA estimator with both solvers (normal
+  equations with the dual trick, and LSQR).
+- :mod:`repro.core.kernel_srda` — the kernelized extension (spectral
+  regression KDA, reference [14] of the paper).
+"""
+
+from repro.core.kernel_srda import KernelSRDA
+from repro.core.responses import generate_responses
+from repro.core.semi_supervised import SemiSupervisedSRDA
+from repro.core.sparse_srda import SparseSRDA
+from repro.core.spectral_embedding import SpectralRegressionEmbedding
+from repro.core.srda import SRDA
+
+__all__ = [
+    "KernelSRDA",
+    "SRDA",
+    "SemiSupervisedSRDA",
+    "SparseSRDA",
+    "SpectralRegressionEmbedding",
+    "generate_responses",
+]

@@ -1,0 +1,169 @@
+"""Shared estimator machinery for SRDA and the LDA baselines.
+
+Every discriminant method in this package follows the same protocol:
+
+- ``fit(X, y)`` learns a linear (or kernel) embedding into at most
+  ``c - 1`` dimensions;
+- ``transform(X)`` maps new samples into that embedding;
+- ``predict(X)`` classifies by nearest class centroid *in the embedding*,
+  which is the standard read-out for discriminant projections and the one
+  the paper's error-rate tables imply.
+
+Conventions: samples are **rows** (``X`` is ``(m, n)``), the opposite of
+the paper's column-sample notation; the mapping is noted where formulas
+are transcribed.  ``X`` may be a dense ndarray, a scipy.sparse matrix, or
+our :class:`repro.linalg.CSRMatrix`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.linalg.sparse import CSRMatrix, is_sparse
+
+
+class NotFittedError(RuntimeError):
+    """Raised when ``transform``/``predict`` is called before ``fit``."""
+
+
+def encode_labels(y) -> Tuple[np.ndarray, np.ndarray]:
+    """Map arbitrary labels to contiguous indices.
+
+    Returns ``(classes, y_indices)`` where ``classes`` is the sorted array
+    of distinct labels and ``y_indices[i]`` is the position of ``y[i]`` in
+    it.
+    """
+    y = np.asarray(y)
+    if y.ndim != 1:
+        raise ValueError(f"y must be 1-D, got shape {y.shape}")
+    classes, y_indices = np.unique(y, return_inverse=True)
+    return classes, y_indices
+
+
+def class_counts(y_indices: np.ndarray, n_classes: int) -> np.ndarray:
+    """Number of samples per class (the paper's ``m_k``)."""
+    return np.bincount(y_indices, minlength=n_classes)
+
+
+def validate_data(X, y) -> Tuple[object, np.ndarray, np.ndarray]:
+    """Validate a training pair and encode the labels.
+
+    Returns ``(X, classes, y_indices)``.  ``X`` passes through unchanged
+    when sparse; dense inputs are coerced to float64 2-D arrays.
+    """
+    if isinstance(X, CSRMatrix):
+        m = X.shape[0]
+        if not np.all(np.isfinite(X.data)):
+            raise ValueError("X contains NaN or infinity")
+    elif is_sparse(X):
+        m = X.shape[0]
+        if not np.all(np.isfinite(X.data)):
+            raise ValueError("X contains NaN or infinity")
+    else:
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {X.shape}")
+        if not np.all(np.isfinite(X)):
+            raise ValueError("X contains NaN or infinity")
+        m = X.shape[0]
+    classes, y_indices = encode_labels(y)
+    if y_indices.shape[0] != m:
+        raise ValueError(
+            f"X has {m} samples but y has {y_indices.shape[0]} labels"
+        )
+    if classes.shape[0] < 2:
+        raise ValueError(
+            "discriminant analysis needs at least 2 classes, "
+            f"got {classes.shape[0]}"
+        )
+    if np.min(np.bincount(y_indices)) < 1:
+        raise ValueError("every class must have at least one sample")
+    return X, classes, y_indices
+
+
+def as_dense(X) -> np.ndarray:
+    """Densify sparse inputs (for baselines that cannot avoid it)."""
+    if isinstance(X, CSRMatrix):
+        return X.to_dense()
+    if is_sparse(X):
+        return np.asarray(X.todense(), dtype=np.float64)
+    return np.asarray(X, dtype=np.float64)
+
+
+class LinearEmbedder:
+    """Base class for linear discriminant embeddings.
+
+    Subclasses implement ``fit`` and set:
+
+    - ``components_`` — ``(n, d)`` projection matrix;
+    - ``intercept_`` — length-``d`` offset added after projection
+      (absorbs centering);
+    - ``classes_`` and ``centroids_`` — labels and their class centroids
+      in the embedded space, used by :meth:`predict`.
+    """
+
+    components_: Optional[np.ndarray] = None
+    intercept_: Optional[np.ndarray] = None
+    classes_: Optional[np.ndarray] = None
+    centroids_: Optional[np.ndarray] = None
+
+    def _check_fitted(self) -> None:
+        if self.components_ is None:
+            raise NotFittedError(
+                f"{type(self).__name__} must be fitted before use"
+            )
+
+    def fit(self, X, y) -> "LinearEmbedder":
+        raise NotImplementedError
+
+    def transform(self, X) -> np.ndarray:
+        """Project samples into the discriminant subspace."""
+        self._check_fitted()
+        if isinstance(X, CSRMatrix):
+            Z = X.matmat(self.components_)
+        elif is_sparse(X):
+            Z = np.asarray(X @ self.components_)
+        else:
+            X = np.asarray(X, dtype=np.float64)
+            if X.ndim != 2:
+                raise ValueError(f"X must be 2-D, got shape {X.shape}")
+            if X.shape[1] != self.components_.shape[0]:
+                raise ValueError(
+                    f"X has {X.shape[1]} features, model expects "
+                    f"{self.components_.shape[0]}"
+                )
+            Z = X @ self.components_
+        if self.intercept_ is not None:
+            Z = Z + self.intercept_
+        return Z
+
+    def fit_transform(self, X, y) -> np.ndarray:
+        """Fit the model and return the training embedding."""
+        return self.fit(X, y).transform(X)
+
+    def _store_centroids(self, Z_train: np.ndarray, y_indices: np.ndarray) -> None:
+        """Record per-class centroids of the training embedding."""
+        n_classes = self.classes_.shape[0]
+        d = Z_train.shape[1]
+        centroids = np.zeros((n_classes, d))
+        for k in range(n_classes):
+            centroids[k] = Z_train[y_indices == k].mean(axis=0)
+        self.centroids_ = centroids
+
+    def predict(self, X) -> np.ndarray:
+        """Nearest-centroid classification in the embedded space."""
+        self._check_fitted()
+        if self.centroids_ is None:
+            raise NotFittedError("fit() did not record class centroids")
+        Z = self.transform(X)
+        # ‖z - c_k‖² = ‖z‖² - 2 z·c_k + ‖c_k‖²; ‖z‖² is constant per row.
+        cross = Z @ self.centroids_.T
+        dist = np.sum(self.centroids_**2, axis=1) - 2.0 * cross
+        return self.classes_[np.argmin(dist, axis=1)]
+
+    def score(self, X, y) -> float:
+        """Accuracy of :meth:`predict` against true labels."""
+        y = np.asarray(y)
+        return float(np.mean(self.predict(X) == y))

@@ -1,0 +1,232 @@
+"""The graph-embedding view of LDA (Section II-A).
+
+The between-class scatter factors through a graph matrix: with centered
+data ``X̄`` (samples as rows here, transposing the paper's convention)
+
+    S_b = X̄ᵀ W X̄                                         (Eqn 7)
+
+where ``W`` is block "diagonal" over classes with entries ``1/m_k``
+between same-class samples and 0 otherwise (Eqn 6).  The LDA eigenproblem
+``S_b a = λ S_t a`` then becomes ``X̄ᵀWX̄ a = λ X̄ᵀX̄ a`` (Eqn 8), which is
+the form Theorem 1 exploits.
+
+This module provides ``W`` and the scatter matrices both ways (direct
+definitions Eqn 2/3 and the graph factorization) so tests can verify the
+identity, plus the generalized graph builders the paper points to for
+unsupervised / semi-supervised extensions (references [12]–[16]).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.base import class_counts
+
+
+def lda_weight_matrix(y_indices: np.ndarray, n_classes: int) -> np.ndarray:
+    """Dense ``(m, m)`` LDA graph matrix ``W`` of Eqn 6.
+
+    ``W[i, j] = 1/m_k`` when samples ``i`` and ``j`` both belong to class
+    ``k``, else 0.  Materialized densely — this is an analysis/testing
+    tool; SRDA itself never forms it (that is the whole point).
+    """
+    y_indices = np.asarray(y_indices, dtype=np.int64)
+    counts = class_counts(y_indices, n_classes)
+    same_class = y_indices[:, None] == y_indices[None, :]
+    weights = 1.0 / counts[y_indices]
+    return same_class * weights[None, :]
+
+
+def center_rows(X: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Return ``(X - μ, μ)`` with ``μ`` the global sample mean."""
+    X = np.asarray(X, dtype=np.float64)
+    mean = X.mean(axis=0)
+    return X - mean, mean
+
+
+def within_class_scatter(X: np.ndarray, y_indices: np.ndarray, n_classes: int) -> np.ndarray:
+    """``S_w = Σ_k Σ_{i∈k} (xᵢ - μ_k)(xᵢ - μ_k)ᵀ``  (Eqn 2)."""
+    X = np.asarray(X, dtype=np.float64)
+    n = X.shape[1]
+    Sw = np.zeros((n, n))
+    for k in range(n_classes):
+        rows = X[y_indices == k]
+        if rows.shape[0] == 0:
+            continue
+        centered = rows - rows.mean(axis=0)
+        Sw += centered.T @ centered
+    return Sw
+
+
+def between_class_scatter(
+    X: np.ndarray, y_indices: np.ndarray, n_classes: int
+) -> np.ndarray:
+    """``S_b = Σ_k m_k (μ_k - μ)(μ_k - μ)ᵀ``  (Eqn 3)."""
+    X = np.asarray(X, dtype=np.float64)
+    mean = X.mean(axis=0)
+    n = X.shape[1]
+    Sb = np.zeros((n, n))
+    counts = class_counts(y_indices, n_classes)
+    for k in range(n_classes):
+        if counts[k] == 0:
+            continue
+        diff = X[y_indices == k].mean(axis=0) - mean
+        Sb += counts[k] * np.outer(diff, diff)
+    return Sb
+
+
+def total_scatter(X: np.ndarray) -> np.ndarray:
+    """``S_t = Σᵢ (xᵢ - μ)(xᵢ - μ)ᵀ = S_b + S_w``."""
+    centered, _ = center_rows(X)
+    return centered.T @ centered
+
+
+def between_scatter_via_graph(
+    X: np.ndarray, y_indices: np.ndarray, n_classes: int
+) -> np.ndarray:
+    """``S_b = X̄ᵀ W X̄`` (Eqn 7) — the graph-embedding factorization."""
+    centered, _ = center_rows(X)
+    W = lda_weight_matrix(y_indices, n_classes)
+    return centered.T @ W @ centered
+
+
+def scaled_indicator(y_indices: np.ndarray, n_classes: int) -> np.ndarray:
+    """``E`` with ``E[i, k] = 1/√m_k`` for ``i`` in class ``k``, else 0.
+
+    Satisfies ``W = E Eᵀ`` — the rank-``c`` factorization behind the
+    ``H = Uᵀ E`` cross-product trick in the LDA baseline (§II-B).
+    """
+    y_indices = np.asarray(y_indices, dtype=np.int64)
+    counts = class_counts(y_indices, n_classes)
+    m = y_indices.shape[0]
+    E = np.zeros((m, n_classes))
+    E[np.arange(m), y_indices] = 1.0 / np.sqrt(counts[y_indices])
+    return E
+
+
+def weight_matrix_eigenstructure(
+    y_indices: np.ndarray, n_classes: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Closed-form eigenpairs of ``W``: eigenvalue 1 × ``c``, 0 elsewhere.
+
+    Returns ``(eigenvalues, eigenvectors)`` for the ``c`` unit-eigenvalue
+    eigenvectors (normalized class indicators).  Used to verify Theorem 1
+    numerically without a dense eigensolver.
+    """
+    from repro.core.responses import indicator_matrix
+
+    counts = class_counts(y_indices, n_classes)
+    indicators = indicator_matrix(y_indices, n_classes)
+    eigvecs = indicators / np.sqrt(counts)[None, :]
+    return np.ones(n_classes), eigvecs
+
+
+# ----------------------------------------------------------------------
+# Generalized graph builders (the paper's noted extension hooks)
+# ----------------------------------------------------------------------
+
+def knn_affinity(
+    X: np.ndarray, n_neighbors: int = 5, mode: str = "binary"
+) -> np.ndarray:
+    """Symmetric k-nearest-neighbor affinity graph (unsupervised).
+
+    ``mode="binary"`` gives 0/1 weights; ``mode="heat"`` uses the heat
+    kernel ``exp(-‖xᵢ-xⱼ‖²/2σ²)`` with ``σ`` the median neighbor
+    distance.  This is the graph used when SRDA is generalized to
+    unsupervised subspace learning (refs [12], [13]).
+    """
+    X = np.asarray(X, dtype=np.float64)
+    m = X.shape[0]
+    if n_neighbors < 1 or n_neighbors >= m:
+        raise ValueError("n_neighbors must be in [1, m)")
+    sq = np.sum(X**2, axis=1)
+    d2 = sq[:, None] + sq[None, :] - 2.0 * (X @ X.T)
+    np.clip(d2, 0.0, None, out=d2)
+    np.fill_diagonal(d2, np.inf)
+    neighbor_idx = np.argsort(d2, axis=1)[:, :n_neighbors]
+
+    W = np.zeros((m, m))
+    rows = np.repeat(np.arange(m), n_neighbors)
+    cols = neighbor_idx.ravel()
+    if mode == "binary":
+        W[rows, cols] = 1.0
+    elif mode == "heat":
+        neighbor_d2 = d2[rows, cols]
+        sigma2 = np.median(neighbor_d2)
+        if sigma2 <= 0:
+            sigma2 = 1.0
+        W[rows, cols] = np.exp(-neighbor_d2 / (2.0 * sigma2))
+    else:
+        raise ValueError(f"unknown mode {mode!r}")
+    return np.maximum(W, W.T)  # symmetrize
+
+
+def semi_supervised_affinity(
+    X: np.ndarray,
+    y_indices: np.ndarray,
+    n_classes: int,
+    n_neighbors: int = 5,
+    supervised_weight: float = 1.0,
+) -> np.ndarray:
+    """Blend the LDA graph on labeled samples with a kNN graph on all.
+
+    ``y_indices`` uses ``-1`` for unlabeled samples.  Labeled pairs of
+    the same class receive the LDA weight scaled by
+    ``supervised_weight``; all samples additionally connect through the
+    kNN affinity.  This mirrors the semi-supervised construction of the
+    spectral-regression family (ref [16]).
+    """
+    y_indices = np.asarray(y_indices, dtype=np.int64)
+    W = knn_affinity(X, n_neighbors=n_neighbors)
+    labeled = y_indices >= 0
+    if labeled.any():
+        labels = y_indices[labeled]
+        counts = np.bincount(labels, minlength=n_classes)
+        idx = np.flatnonzero(labeled)
+        same = labels[:, None] == labels[None, :]
+        weights = supervised_weight / counts[labels]
+        block = same * weights[None, :]
+        W[np.ix_(idx, idx)] += block
+    return W
+
+
+def graph_laplacian(
+    W: np.ndarray, normalized: bool = False
+) -> np.ndarray:
+    """Graph Laplacian ``D - W`` (or its symmetric normalization)."""
+    W = np.asarray(W, dtype=np.float64)
+    degrees = W.sum(axis=1)
+    if not normalized:
+        return np.diag(degrees) - W
+    with np.errstate(divide="ignore"):
+        inv_sqrt = np.where(degrees > 0, 1.0 / np.sqrt(degrees), 0.0)
+    return np.eye(W.shape[0]) - (inv_sqrt[:, None] * W) * inv_sqrt[None, :]
+
+
+def graph_responses(
+    W: np.ndarray,
+    n_components: int,
+    drop_constant: bool = True,
+) -> np.ndarray:
+    """Leading eigenvectors of an arbitrary affinity ``W`` as responses.
+
+    Generalizes SRDA's closed-form responses to graphs without block
+    structure: solve the (dense, small-``m``) eigenproblem ``W y = λ D y``
+    and return the top ``n_components`` non-trivial eigenvectors.  With
+    the LDA graph this reproduces the indicator span.
+    """
+    W = np.asarray(W, dtype=np.float64)
+    degrees = W.sum(axis=1)
+    degrees = np.where(degrees > 0, degrees, 1.0)
+    inv_sqrt = 1.0 / np.sqrt(degrees)
+    S = (inv_sqrt[:, None] * W) * inv_sqrt[None, :]
+    eigvals, eigvecs = np.linalg.eigh(0.5 * (S + S.T))
+    order = np.argsort(eigvals)[::-1]
+    eigvecs = inv_sqrt[:, None] * eigvecs[:, order]
+    start = 1 if drop_constant else 0
+    selected = eigvecs[:, start : start + n_components]
+    norms = np.linalg.norm(selected, axis=0)
+    norms = np.where(norms > 0, norms, 1.0)
+    return selected / norms

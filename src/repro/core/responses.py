@@ -1,0 +1,149 @@
+"""Response generation — the spectral half of SRDA (Section III, step 1).
+
+The graph matrix ``W`` of LDA (Eqn 6) is block diagonal with one rank-one
+block ``(1/m_k) 1 1ᵀ`` per class, so its eigenstructure is known in closed
+form: eigenvalue 1 with multiplicity ``c`` (eigenvectors = the class
+indicator vectors, Eqn 15) and eigenvalue 0 elsewhere.  Because 1 is
+repeated, *any* orthogonal basis of the indicator span works.  The paper
+picks the basis adapted to the regression step:
+
+1. take the all-ones vector ``e`` (which is inside the indicator span but
+   orthogonal to the row space of the centered data) as the first vector;
+2. Gram–Schmidt the class indicators against it;
+3. discard ``e``.
+
+The ``c - 1`` survivors ``ȳ¹ … ȳ^{c-1}`` satisfy (Eqn 16)::
+
+    ȳᵢᵀ e = 0,     ȳᵢᵀ ȳⱼ = 0  (i ≠ j)
+
+and each is *piecewise constant on classes* — two samples with the same
+label always receive the same response value.  That is the property that
+later makes same-class points collapse to one embedding point in the
+exact-fit regime (Corollary 3).
+
+Cost: ``O(m c²)`` flam and ``O(m c)`` memory, as quoted in Table I's
+derivation — negligible next to the regression step.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.linalg.gram_schmidt import orthonormalize
+
+
+def indicator_matrix(y_indices: np.ndarray, n_classes: int) -> np.ndarray:
+    """The ``c`` eigenvectors of ``W`` with eigenvalue 1 (Eqn 15).
+
+    Column ``k`` is the 0/1 indicator of class ``k``.  (The paper orders
+    samples by class so these look like padded blocks of ones; with
+    arbitrary sample order they are the same vectors, permuted.)
+    """
+    y_indices = np.asarray(y_indices, dtype=np.int64)
+    if y_indices.ndim != 1:
+        raise ValueError("y_indices must be 1-D")
+    if y_indices.size and (y_indices.min() < 0 or y_indices.max() >= n_classes):
+        raise ValueError("class index out of range")
+    m = y_indices.shape[0]
+    Y = np.zeros((m, n_classes))
+    Y[np.arange(m), y_indices] = 1.0
+    return Y
+
+
+def generate_responses(
+    y_indices: np.ndarray,
+    n_classes: int,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Produce the ``(m, c-1)`` response matrix ``Ȳ = [ȳ¹ … ȳ^{c-1}]``.
+
+    Parameters
+    ----------
+    y_indices:
+        Encoded class index of each sample (values in ``[0, n_classes)``).
+    n_classes:
+        Number of classes ``c``; must be ≥ 2.
+    rng:
+        Optional generator.  When given, the class indicators are
+        orthogonalized in a random order (equivalent up to rotation —
+        useful for tests that check rotation invariance of SRDA);
+        otherwise the natural class order is used, deterministically.
+
+    Returns
+    -------
+    Responses with orthonormal columns, each orthogonal to the all-ones
+    vector and piecewise constant on classes.
+    """
+    if n_classes < 2:
+        raise ValueError("need at least 2 classes to build responses")
+    y_indices = np.asarray(y_indices, dtype=np.int64)
+    m = y_indices.shape[0]
+    indicators = indicator_matrix(y_indices, n_classes)
+    counts = np.bincount(y_indices, minlength=n_classes)
+    if np.any(counts == 0):
+        missing = np.flatnonzero(counts == 0)
+        raise ValueError(f"classes with no samples: {missing.tolist()}")
+
+    if rng is not None:
+        order = rng.permutation(n_classes)
+        indicators = indicators[:, order]
+
+    ones = np.ones((m, 1))
+    stacked = np.hstack([ones, indicators])
+    Q, kept = orthonormalize(stacked)
+    if kept[0] != 0:  # pragma: no cover - ones always survives first
+        raise RuntimeError("all-ones vector unexpectedly dropped")
+    responses = Q[:, 1:]
+    if responses.shape[1] != n_classes - 1:
+        raise RuntimeError(
+            f"expected {n_classes - 1} responses, got {responses.shape[1]}; "
+            "the indicator span degenerated (should be impossible when "
+            "every class is non-empty)"
+        )
+    return responses
+
+
+def response_table(
+    responses: np.ndarray, y_indices: np.ndarray, n_classes: int
+) -> np.ndarray:
+    """Collapse responses to one row per class.
+
+    Because each response column is piecewise constant on classes, the
+    whole ``(m, c-1)`` matrix is determined by a ``(c, c-1)`` table of
+    per-class values.  This is what lets ``transform`` on unseen data be
+    meaningful and is asserted by the property tests.
+    """
+    table = np.zeros((n_classes, responses.shape[1]))
+    for k in range(n_classes):
+        rows = responses[y_indices == k]
+        if rows.shape[0] == 0:
+            continue
+        table[k] = rows[0]
+        if not np.allclose(rows, rows[0], atol=1e-8):
+            raise ValueError(
+                f"responses are not piecewise constant on class {k}"
+            )
+    return table
+
+
+def validate_responses(
+    responses: np.ndarray, y_indices: np.ndarray, atol: float = 1e-8
+) -> Tuple[float, float]:
+    """Check the Eqn-16 invariants; returns (max ones-dot, max cross-dot).
+
+    Intended for tests and debugging: both values should be ~0 and the
+    diagonal of ``ȲᵀȲ`` should be ~1.
+    """
+    ones_dots = np.abs(responses.sum(axis=0))
+    gram = responses.T @ responses
+    off = gram - np.diag(np.diag(gram))
+    max_ones = float(ones_dots.max()) if ones_dots.size else 0.0
+    max_cross = float(np.abs(off).max()) if off.size else 0.0
+    if max_ones > atol or max_cross > atol:
+        raise ValueError(
+            f"responses violate Eqn 16: ones-dot={max_ones:.2e}, "
+            f"cross-dot={max_cross:.2e}"
+        )
+    return max_ones, max_cross

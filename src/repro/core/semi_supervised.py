@@ -1,0 +1,162 @@
+"""Semi-supervised SRDA — the generalization the paper points to.
+
+Section III notes the approach "can be generalized by constructing the
+graph matrix W in the unsupervised or semi-supervised way" (refs
+[12]–[16]).  This module provides that estimator: the spectral step runs
+on a *blended* graph (LDA blocks on labeled pairs + k-NN affinity over
+everything), producing responses for all samples — labeled and
+unlabeled — and the regression step is unchanged.
+
+Because the blended graph has no closed-form eigenvectors, the responses
+come from a dense eigensolve of the (m, m) normalized affinity — this
+estimator therefore targets moderate sample counts; the fully labeled
+:class:`repro.core.srda.SRDA` keeps the closed-form fast path.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.base import LinearEmbedder, as_dense, encode_labels
+from repro.core.graph import graph_responses, semi_supervised_affinity
+from repro.linalg.cholesky import cholesky, solve_factored
+from repro.linalg.lsqr import lsqr
+from repro.linalg.operators import CenteringOperator, as_operator
+
+
+class SemiSupervisedSRDA(LinearEmbedder):
+    """Spectral-regression discriminant analysis with partial labels.
+
+    Parameters
+    ----------
+    alpha:
+        Regression regularization, as in :class:`SRDA`.
+    n_neighbors:
+        k for the unsupervised affinity component.
+    supervised_weight:
+        Weight of the LDA-block component on labeled pairs; 0 makes the
+        method fully unsupervised (spectral embedding + regression).
+    n_components:
+        Embedding dimensions; defaults to ``c - 1`` when labels exist,
+        else must be given explicitly.
+    solver:
+        ``"normal"`` or ``"lsqr"`` for the regression step.
+    max_iter, tol:
+        LSQR controls.
+
+    Notes
+    -----
+    ``fit(X, y)`` expects ``y`` with ``-1`` marking unlabeled samples.
+    ``predict`` assigns the nearest centroid of the *labeled* training
+    samples in the learned embedding.
+    """
+
+    def __init__(
+        self,
+        alpha: float = 1.0,
+        n_neighbors: int = 5,
+        supervised_weight: float = 1.0,
+        n_components: Optional[int] = None,
+        solver: str = "normal",
+        max_iter: int = 20,
+        tol: float = 1e-10,
+    ) -> None:
+        if alpha < 0:
+            raise ValueError("alpha must be non-negative")
+        if solver not in ("normal", "lsqr"):
+            raise ValueError(f"unknown solver {solver!r}")
+        self.alpha = float(alpha)
+        self.n_neighbors = int(n_neighbors)
+        self.supervised_weight = float(supervised_weight)
+        self.n_components = n_components
+        self.solver = solver
+        self.max_iter = int(max_iter)
+        self.tol = float(tol)
+        self.components_ = None
+        self.intercept_ = None
+        self.classes_ = None
+        self.centroids_ = None
+        self.responses_ = None
+        self.lsqr_iterations_: Optional[List[int]] = None
+
+    def fit(self, X, y) -> "SemiSupervisedSRDA":
+        """Fit from a partially labeled sample (``y == -1`` = unlabeled)."""
+        X = as_dense(X)
+        y = np.asarray(y)
+        if y.shape != (X.shape[0],):
+            raise ValueError("y must have one entry per sample")
+        labeled_mask = y != -1
+        if not labeled_mask.any():
+            raise ValueError(
+                "need at least one labeled sample; for the fully "
+                "unsupervised variant pass supervised_weight=0 and "
+                "label at least the centroid-defining samples"
+            )
+        classes, encoded = encode_labels(y[labeled_mask])
+        if classes.shape[0] < 2:
+            raise ValueError("need labeled samples from at least 2 classes")
+        self.classes_ = classes
+        y_indices = np.full(y.shape[0], -1, dtype=np.int64)
+        y_indices[labeled_mask] = encoded
+
+        n_components = self.n_components
+        if n_components is None:
+            n_components = classes.shape[0] - 1
+
+        # spectral step on the blended graph
+        W = semi_supervised_affinity(
+            X,
+            y_indices,
+            classes.shape[0],
+            n_neighbors=self.n_neighbors,
+            supervised_weight=self.supervised_weight,
+        )
+        responses = graph_responses(W, n_components=n_components)
+        self.responses_ = responses
+
+        # regression step — identical machinery to supervised SRDA
+        mean = X.mean(axis=0)
+        centered = X - mean
+        if self.solver == "normal":
+            components = self._ridge_normal(centered, responses)
+        else:
+            op = CenteringOperator(as_operator(X), column_means=mean)
+            components = self._ridge_lsqr(op, responses)
+        self.components_ = components
+        self.intercept_ = -(mean @ components)
+
+        Z_labeled = self.transform(X[labeled_mask])
+        self._store_centroids(Z_labeled, encoded)
+        return self
+
+    def _ridge_normal(self, X: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        m, n = X.shape
+        if self.alpha == 0.0:
+            solution, _, _, _ = np.linalg.lstsq(X, targets, rcond=None)
+            return solution
+        if n <= m:
+            gram = X.T @ X
+            gram[np.diag_indices_from(gram)] += self.alpha
+            return solve_factored(cholesky(gram), X.T @ targets)
+        outer = X @ X.T
+        outer[np.diag_indices_from(outer)] += self.alpha
+        return X.T @ solve_factored(cholesky(outer), targets)
+
+    def _ridge_lsqr(self, op, targets: np.ndarray) -> np.ndarray:
+        weights = np.empty((op.shape[1], targets.shape[1]))
+        iterations = []
+        for j in range(targets.shape[1]):
+            result = lsqr(
+                op,
+                targets[:, j],
+                damp=float(np.sqrt(self.alpha)),
+                atol=self.tol,
+                btol=self.tol,
+                iter_lim=self.max_iter,
+            )
+            weights[:, j] = result.x
+            iterations.append(result.itn)
+        self.lsqr_iterations_ = iterations
+        return weights

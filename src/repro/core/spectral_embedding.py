@@ -1,0 +1,152 @@
+"""Unsupervised spectral-regression embedding (refs [12], [13], [16]).
+
+The fully unsupervised member of the family: responses come from the
+leading non-trivial eigenvectors of a k-NN affinity graph (a Laplacian
+eigenmap), and the regression step turns them into *linear* projective
+functions that extend the embedding to unseen samples — the regularized
+locality-preserving-indexing construction.
+
+The graph eigenproblem is solved with our Lanczos iteration through the
+normalized affinity operator, so only mat-vecs over the (sparse-able)
+graph are needed; for the small graphs in the test-suite a dense solve
+is equivalent and Lanczos is cross-checked against it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.base import NotFittedError, as_dense
+from repro.core.graph import knn_affinity
+from repro.linalg.cholesky import cholesky, solve_factored
+from repro.linalg.eigen import lanczos_eigsh
+from repro.linalg.lsqr import lsqr
+from repro.linalg.operators import CenteringOperator, as_operator
+
+
+class SpectralRegressionEmbedding:
+    """Linear out-of-sample extension of a graph spectral embedding.
+
+    Parameters
+    ----------
+    n_components:
+        Embedding dimensionality.
+    alpha:
+        Regression regularization.
+    n_neighbors:
+        k for the affinity graph.
+    affinity:
+        ``"binary"`` or ``"heat"`` (see :func:`knn_affinity`).
+    solver:
+        ``"normal"`` or ``"lsqr"`` for the regression step.
+    max_iter, tol:
+        LSQR controls.
+    """
+
+    def __init__(
+        self,
+        n_components: int = 2,
+        alpha: float = 1.0,
+        n_neighbors: int = 5,
+        affinity: str = "heat",
+        solver: str = "normal",
+        max_iter: int = 30,
+        tol: float = 1e-10,
+    ) -> None:
+        if n_components < 1:
+            raise ValueError("n_components must be positive")
+        if alpha < 0:
+            raise ValueError("alpha must be non-negative")
+        if solver not in ("normal", "lsqr"):
+            raise ValueError(f"unknown solver {solver!r}")
+        self.n_components = int(n_components)
+        self.alpha = float(alpha)
+        self.n_neighbors = int(n_neighbors)
+        self.affinity = affinity
+        self.solver = solver
+        self.max_iter = int(max_iter)
+        self.tol = float(tol)
+        self.components_: Optional[np.ndarray] = None
+        self.intercept_: Optional[np.ndarray] = None
+        self.responses_: Optional[np.ndarray] = None
+        self.lsqr_iterations_: Optional[List[int]] = None
+
+    def _graph_responses_lanczos(self, W: np.ndarray) -> np.ndarray:
+        """Top non-trivial eigenvectors of D^{-1/2} W D^{-1/2} via Lanczos."""
+        degrees = W.sum(axis=1)
+        degrees = np.where(degrees > 0, degrees, 1.0)
+        inv_sqrt = 1.0 / np.sqrt(degrees)
+        S = (inv_sqrt[:, None] * W) * inv_sqrt[None, :]
+        S = 0.5 * (S + S.T)
+        k = self.n_components + 1  # +1 for the trivial top eigenvector
+        _, vectors = lanczos_eigsh(S, k=min(k, S.shape[0]), seed=0)
+        responses = inv_sqrt[:, None] * vectors[:, 1:k]
+        norms = np.linalg.norm(responses, axis=0)
+        norms = np.where(norms > 0, norms, 1.0)
+        return responses / norms
+
+    def fit(self, X, y=None) -> "SpectralRegressionEmbedding":
+        """Learn the linear embedding from unlabeled data."""
+        X = as_dense(X)
+        m = X.shape[0]
+        if self.n_components >= m:
+            raise ValueError("n_components must be smaller than n_samples")
+        W = knn_affinity(X, n_neighbors=self.n_neighbors, mode=self.affinity)
+        responses = self._graph_responses_lanczos(W)
+        self.responses_ = responses
+
+        mean = X.mean(axis=0)
+        centered = X - mean
+        if self.solver == "normal":
+            components = self._ridge_normal(centered, responses)
+        else:
+            op = CenteringOperator(as_operator(X), column_means=mean)
+            components = self._ridge_lsqr(op, responses)
+        self.components_ = components
+        self.intercept_ = -(mean @ components)
+        return self
+
+    def _ridge_normal(self, X: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        m, n = X.shape
+        if self.alpha == 0.0:
+            solution, _, _, _ = np.linalg.lstsq(X, targets, rcond=None)
+            return solution
+        if n <= m:
+            gram = X.T @ X
+            gram[np.diag_indices_from(gram)] += self.alpha
+            return solve_factored(cholesky(gram), X.T @ targets)
+        outer = X @ X.T
+        outer[np.diag_indices_from(outer)] += self.alpha
+        return X.T @ solve_factored(cholesky(outer), targets)
+
+    def _ridge_lsqr(self, op, targets: np.ndarray) -> np.ndarray:
+        weights = np.empty((op.shape[1], targets.shape[1]))
+        iterations = []
+        for j in range(targets.shape[1]):
+            result = lsqr(
+                op,
+                targets[:, j],
+                damp=float(np.sqrt(self.alpha)),
+                atol=self.tol,
+                btol=self.tol,
+                iter_lim=self.max_iter,
+            )
+            weights[:, j] = result.x
+            iterations.append(result.itn)
+        self.lsqr_iterations_ = iterations
+        return weights
+
+    def transform(self, X) -> np.ndarray:
+        """Embed (possibly unseen) samples linearly."""
+        if self.components_ is None:
+            raise NotFittedError(
+                "SpectralRegressionEmbedding must be fitted before use"
+            )
+        X = as_dense(X)
+        return X @ self.components_ + self.intercept_
+
+    def fit_transform(self, X, y=None) -> np.ndarray:
+        """Fit and embed the training data."""
+        return self.fit(X).transform(X)

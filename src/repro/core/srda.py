@@ -1,0 +1,291 @@
+"""SRDA — Spectral Regression Discriminant Analysis (Section III).
+
+The two-step algorithm:
+
+1. **Responses** (spectral step): the ``c - 1`` closed-form eigenvectors
+   of the LDA graph matrix, from :mod:`repro.core.responses`.
+2. **Regularized regression** (Eqn 14/19): for each response ``ȳ``,
+
+       a = argmin_a  Σᵢ (aᵀxᵢ + b - ȳᵢ)² + α ‖a‖².
+
+Centering vs bias absorption (Section III-B).  Eqn 14 penalizes only the
+projection vector ``a``, with the offset ``b`` free.  There are two ways
+to realize that:
+
+- **center the data** — regress ``ȳ`` on ``X - μ`` (the responses are
+  already orthogonal to the all-ones vector, so they need no centering)
+  and set ``b = -μᵀa``.  Exactly Eqn 14; used for *dense* input, as the
+  reference implementation does.
+- **append a constant 1 feature** — the trick the paper introduces for
+  sparse data, where the centered matrix would be dense and blow the
+  memory budget.  The absorbed bias then falls inside the penalty — a
+  deliberate approximation the paper accepts for the sparse case.
+  Realized matrix-free by :class:`AppendOnesOperator`.
+
+``centering="auto"`` (default) picks centering for dense input and
+bias absorption for sparse input.  For dense data the centering is
+explicit; for sparse data with ``centering=True`` the implicit
+:class:`CenteringOperator` keeps the matrix untouched (only LSQR can run
+this path).
+
+Two solvers, matching Section III-C:
+
+- ``"normal"`` — normal equations ``(X̄ᵀX̄ + αI) a = X̄ᵀȳ`` (Eqn 20)
+  factored once by our Cholesky and reused for all ``c - 1`` right-hand
+  sides.  When ``n > m`` the dual identity
+  ``(X̄ᵀX̄ + αI)⁻¹X̄ᵀ = X̄ᵀ(X̄X̄ᵀ + αI)⁻¹`` (the finite-α form of Eqn 21)
+  switches to an ``m × m`` system.
+- ``"lsqr"`` — the Paige–Saunders iteration with ``damp = √α``, touching
+  the data only through mat-vecs: the linear-time path.  The paper runs
+  15–20 iterations; ``max_iter`` defaults to 20.
+
+``solver="auto"`` picks LSQR for sparse input and for problems where
+``min(m, n)`` is large, normal equations otherwise — mirroring how the
+paper ran its experiments (closed form on PIE/Isolet/MNIST, LSQR on
+20Newsgroups).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+import numpy as np
+
+from repro.core.base import LinearEmbedder, validate_data
+from repro.core.responses import generate_responses
+from repro.linalg.cholesky import cholesky, solve_factored
+from repro.linalg.lsqr import lsqr
+from repro.linalg.operators import (
+    AppendOnesOperator,
+    CenteringOperator,
+    as_operator,
+)
+from repro.linalg.sparse import CSRMatrix, is_sparse
+
+#: Above this min(m, n) the Gram matrix of the normal-equations path gets
+#: expensive (cubic factor); "auto" switches to LSQR.
+_AUTO_NORMAL_LIMIT = 2000
+
+
+class SRDA(LinearEmbedder):
+    """Spectral Regression Discriminant Analysis.
+
+    Parameters
+    ----------
+    alpha:
+        Tikhonov regularization ``α ≥ 0``.  The paper uses 1.0 for all
+        reported tables and shows (Fig 5) that performance is flat over
+        a wide range.  ``alpha = 0`` reproduces plain LDA directions in
+        the linearly independent case (Corollary 3); the normal-equation
+        path then falls back to a minimum-norm least-squares solve since
+        the Gram matrix may be singular.
+    solver:
+        ``"normal"``, ``"lsqr"``, or ``"auto"`` (see module docstring).
+    centering:
+        ``"auto"`` (center dense input, append-ones for sparse), or an
+        explicit ``True``/``False``.  ``True`` is exactly Eqn 14
+        (intercept outside the penalty); ``False`` is the Section III-B
+        bias-absorption trick (intercept inside the penalty).
+    max_iter:
+        LSQR iteration cap (paper: 15–20 suffice).
+    tol:
+        LSQR relative tolerance (applied as both atol and btol).  Set to
+        0 to force exactly ``max_iter`` iterations, as the paper's fixed
+        iteration count does.
+    warm_start:
+        When True and the model was fitted before with compatible
+        shapes, the LSQR path starts each solve from the previous
+        projection vectors.  This is the incremental-update story the
+        paper's IDR/QR comparison is named for: when data arrives in
+        batches, refitting converges in a handful of iterations instead
+        of starting cold.  Ignored by the normal-equations solver.
+
+    Attributes
+    ----------
+    components_:
+        ``(n, c-1)`` projection matrix.
+    intercept_:
+        Length ``c-1`` offset (``-μᵀA`` when centering, the absorbed
+        bias weight otherwise).
+    responses_:
+        The ``(m, c-1)`` spectral responses used during fit.
+    solver_used_:
+        Which solver actually ran ("normal" or "lsqr").
+    centered_:
+        Whether the fit used centering (True) or bias absorption.
+    lsqr_iterations_:
+        Iterations used per response column (LSQR path only).
+    """
+
+    def __init__(
+        self,
+        alpha: float = 1.0,
+        solver: str = "auto",
+        centering: Union[str, bool] = "auto",
+        max_iter: int = 20,
+        tol: float = 1e-10,
+        warm_start: bool = False,
+    ) -> None:
+        if alpha < 0:
+            raise ValueError("alpha must be non-negative")
+        if solver not in ("auto", "normal", "lsqr"):
+            raise ValueError(f"unknown solver {solver!r}")
+        if centering not in ("auto", True, False):
+            raise ValueError("centering must be 'auto', True, or False")
+        if max_iter < 1:
+            raise ValueError("max_iter must be positive")
+        self.alpha = float(alpha)
+        self.solver = solver
+        self.centering = centering
+        self.max_iter = int(max_iter)
+        self.tol = float(tol)
+        self.warm_start = bool(warm_start)
+        self.components_ = None
+        self.intercept_ = None
+        self.classes_ = None
+        self.centroids_ = None
+        self.responses_ = None
+        self.solver_used_: Optional[str] = None
+        self.centered_: Optional[bool] = None
+        self.lsqr_iterations_: Optional[List[int]] = None
+
+    # ------------------------------------------------------------------
+    def fit(self, X, y) -> "SRDA":
+        """Learn the ``c - 1`` projective functions from labeled data."""
+        X, classes, y_indices = validate_data(X, y)
+        self.classes_ = classes
+        n_classes = classes.shape[0]
+        responses = generate_responses(y_indices, n_classes)
+        self.responses_ = responses
+
+        sparse_input = isinstance(X, CSRMatrix) or is_sparse(X)
+        solver = self._resolve_solver(X, sparse_input)
+        center = (
+            not sparse_input if self.centering == "auto" else bool(self.centering)
+        )
+        if center and sparse_input and solver == "normal":
+            raise ValueError(
+                "centering sparse input densifies it; use solver='lsqr' "
+                "(implicit centering) or centering=False"
+            )
+
+        self.lsqr_iterations_ = None
+        if center:
+            components, intercept = self._fit_centered(
+                X, responses, solver, sparse_input
+            )
+        else:
+            components, intercept = self._fit_augmented(
+                X, responses, solver, sparse_input
+            )
+        self.solver_used_ = solver
+        self.centered_ = center
+        self.components_ = components
+        self.intercept_ = intercept
+        self._store_centroids(self.transform(X), y_indices)
+        return self
+
+    def _resolve_solver(self, X, sparse_input: bool) -> str:
+        if self.solver != "auto":
+            return self.solver
+        if sparse_input:
+            return "lsqr"
+        m, n = X.shape
+        return "normal" if min(m, n) <= _AUTO_NORMAL_LIMIT else "lsqr"
+
+    # ------------------------------------------------------------------
+    # Centered path — exactly Eqn 14 (dense data, or sparse via LSQR)
+    # ------------------------------------------------------------------
+    def _fit_centered(self, X, responses, solver, sparse_input):
+        if solver == "normal":
+            X = np.asarray(X, dtype=np.float64)
+            mean = X.mean(axis=0)
+            centered = X - mean
+            components = self._ridge_normal(centered, responses)
+        else:
+            base = as_operator(X)
+            op = CenteringOperator(base)
+            mean = op.column_means
+            components = self._ridge_lsqr(op, responses)
+        intercept = -(mean @ components)
+        return components, intercept
+
+    # ------------------------------------------------------------------
+    # Augmented path — Section III-B bias absorption
+    # ------------------------------------------------------------------
+    def _fit_augmented(self, X, responses, solver, sparse_input):
+        if solver == "normal":
+            if sparse_input:
+                X = (
+                    X.to_dense()
+                    if isinstance(X, CSRMatrix)
+                    else np.asarray(X.todense(), dtype=np.float64)
+                )
+            X_aug = np.hstack([X, np.ones((X.shape[0], 1))])
+            weights = self._ridge_normal(X_aug, responses)
+        else:
+            op = AppendOnesOperator(as_operator(X))
+            weights = self._ridge_lsqr(op, responses)
+        return weights[:-1], weights[-1]
+
+    # ------------------------------------------------------------------
+    # Ridge solvers shared by both paths
+    # ------------------------------------------------------------------
+    def _ridge_normal(self, X: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        """Normal equations (Eqn 20), dual (Eqn 21) when wide, on dense X."""
+        m, n = X.shape
+        if self.alpha == 0.0:
+            # Gram matrix may be singular; fall back to the minimum-norm
+            # least-squares solution (the α→0 limit of Theorem 2).
+            solution, _, _, _ = np.linalg.lstsq(X, targets, rcond=None)
+            return solution
+        if n <= m:
+            gram = X.T @ X
+            gram[np.diag_indices_from(gram)] += self.alpha
+            L = cholesky(gram)
+            return solve_factored(L, X.T @ targets)
+        # Dual: (XXᵀ + αI) B = Ȳ in m dims, then A = Xᵀ B — exact because
+        # Xᵀ(XXᵀ + αI)⁻¹ = (XᵀX + αI)⁻¹Xᵀ.
+        outer = X @ X.T
+        outer[np.diag_indices_from(outer)] += self.alpha
+        L = cholesky(outer)
+        return X.T @ solve_factored(L, targets)
+
+    def _ridge_lsqr(self, op, targets: np.ndarray) -> np.ndarray:
+        """LSQR with damping √α, one run per target column."""
+        starts = self._warm_start_matrix(op.shape[1], targets.shape[1])
+        weights = np.empty((op.shape[1], targets.shape[1]))
+        iterations = []
+        damp = float(np.sqrt(self.alpha))
+        for j in range(targets.shape[1]):
+            result = lsqr(
+                op,
+                targets[:, j],
+                damp=damp,
+                atol=self.tol,
+                btol=self.tol,
+                iter_lim=self.max_iter,
+                x0=None if starts is None else starts[:, j],
+            )
+            weights[:, j] = result.x
+            iterations.append(result.itn)
+        self.lsqr_iterations_ = iterations
+        return weights
+
+    def _warm_start_matrix(self, n_weights: int, n_targets: int):
+        """Previous solution as LSQR starting points, when compatible."""
+        if not self.warm_start or self.components_ is None:
+            return None
+        previous = self.components_
+        if self.centered_ is False:
+            # augmented path solved for [components; intercept]
+            previous = np.vstack([previous, self.intercept_[None, :]])
+        if previous.shape != (n_weights, n_targets):
+            return None
+        return previous
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SRDA(alpha={self.alpha}, solver={self.solver!r}, "
+            f"centering={self.centering!r}, max_iter={self.max_iter})"
+        )

@@ -1,0 +1,40 @@
+"""Synthetic stand-ins for the paper's four evaluation datasets.
+
+The originals (CMU PIE, Isolet, MNIST, 20Newsgroups) are not available
+offline, so each generator produces data *matched in shape and statistics*
+to Table II — same sample counts, dimensionality, class counts, and
+dense/sparse structure — with genuine class structure plus nuisance
+variation, so that (a) discriminant methods separate classes imperfectly,
+(b) regularization matters in the small-sample regime, and (c) solver
+cost scales exactly as it would on the real data.  See DESIGN.md for why
+this substitution preserves what the evaluation measures.
+"""
+
+from repro.datasets.base import Dataset
+from repro.datasets.cache import cached, load_dataset, save_dataset
+from repro.datasets.digits import make_digits
+from repro.datasets.faces import make_faces
+from repro.datasets.spoken_letters import make_spoken_letters
+from repro.datasets.splits import (
+    per_class_split,
+    per_class_split_from_pool,
+    ratio_split,
+)
+from repro.datasets.text import make_text
+from repro.datasets.vectorizer import TfVectorizer, make_raw_documents
+
+__all__ = [
+    "Dataset",
+    "TfVectorizer",
+    "cached",
+    "load_dataset",
+    "make_digits",
+    "make_faces",
+    "make_raw_documents",
+    "make_spoken_letters",
+    "make_text",
+    "per_class_split",
+    "per_class_split_from_pool",
+    "ratio_split",
+    "save_dataset",
+]

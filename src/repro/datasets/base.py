@@ -1,0 +1,80 @@
+"""Dataset container shared by the generators and the experiment runner."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple, Union
+
+import numpy as np
+
+from repro.linalg.sparse import CSRMatrix
+
+
+@dataclass
+class Dataset:
+    """A labeled dataset, dense or sparse.
+
+    Attributes
+    ----------
+    name:
+        Identifier used in tables ("pie", "isolet", "mnist", "news").
+    X:
+        ``(m, n)`` feature matrix — ndarray or :class:`CSRMatrix`.
+    y:
+        Length-``m`` integer class labels.
+    metadata:
+        Generator parameters and provenance notes.
+    """
+
+    name: str
+    X: Union[np.ndarray, CSRMatrix]
+    y: np.ndarray
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.y = np.asarray(self.y)
+        if self.y.ndim != 1:
+            raise ValueError("labels must be 1-D")
+        if self.X.shape[0] != self.y.shape[0]:
+            raise ValueError(
+                f"X has {self.X.shape[0]} rows but y has {self.y.shape[0]}"
+            )
+
+    @property
+    def n_samples(self) -> int:
+        """Number of samples ``m``."""
+        return int(self.X.shape[0])
+
+    @property
+    def n_features(self) -> int:
+        """Number of features ``n``."""
+        return int(self.X.shape[1])
+
+    @property
+    def n_classes(self) -> int:
+        """Number of distinct classes ``c``."""
+        return int(np.unique(self.y).shape[0])
+
+    @property
+    def is_sparse(self) -> bool:
+        """True when the features are stored as CSR."""
+        return isinstance(self.X, CSRMatrix)
+
+    def subset(self, indices: np.ndarray) -> Tuple[object, np.ndarray]:
+        """Select rows of ``(X, y)`` by index — the split primitive."""
+        indices = np.asarray(indices, dtype=np.int64)
+        if self.is_sparse:
+            return self.X.take_rows(indices), self.y[indices]
+        return self.X[indices], self.y[indices]
+
+    def statistics(self) -> Dict[str, object]:
+        """The Table-II row for this dataset: size, dim, #classes (+nnz)."""
+        stats: Dict[str, object] = {
+            "name": self.name,
+            "size_m": self.n_samples,
+            "dim_n": self.n_features,
+            "classes_c": self.n_classes,
+        }
+        if self.is_sparse:
+            stats["avg_nnz_per_sample_s"] = round(self.X.mean_nnz_per_row(), 1)
+        return stats

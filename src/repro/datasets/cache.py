@@ -1,0 +1,92 @@
+"""Dataset persistence — save/load generated datasets as ``.npz``.
+
+The generators are fast, but benchmark sweeps and notebook sessions
+re-use the same corpus many times; caching avoids regenerating (and
+guarantees bit-identical data across processes).  Sparse matrices are
+stored in CSR parts; metadata goes through JSON, with numpy arrays in
+the metadata (index pools, speaker ids) stored as separate entries.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.datasets.base import Dataset
+from repro.linalg.sparse import CSRMatrix
+
+_METADATA_ARRAY_PREFIX = "metadata_array_"
+
+
+def save_dataset(dataset: Dataset, path: Union[str, Path]) -> Path:
+    """Serialize a :class:`Dataset` (dense or sparse) to ``path``."""
+    payload = {"name": np.array(dataset.name), "y": dataset.y}
+    if dataset.is_sparse:
+        payload["format"] = np.array("csr")
+        payload["data"] = dataset.X.data
+        payload["indices"] = dataset.X.indices
+        payload["indptr"] = dataset.X.indptr
+        payload["shape"] = np.array(dataset.X.shape)
+    else:
+        payload["format"] = np.array("dense")
+        payload["X"] = np.asarray(dataset.X)
+
+    plain_metadata = {}
+    for key, value in dataset.metadata.items():
+        if isinstance(value, np.ndarray):
+            payload[_METADATA_ARRAY_PREFIX + key] = value
+        else:
+            plain_metadata[key] = value
+    payload["metadata_json"] = np.array(json.dumps(plain_metadata))
+
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    np.savez_compressed(path, **payload)
+    return path
+
+
+def load_dataset(path: Union[str, Path]) -> Dataset:
+    """Load a dataset saved by :func:`save_dataset`."""
+    with np.load(Path(path), allow_pickle=False) as archive:
+        fmt = str(archive["format"])
+        if fmt == "csr":
+            X = CSRMatrix(
+                archive["data"],
+                archive["indices"],
+                archive["indptr"],
+                tuple(archive["shape"]),
+            )
+        elif fmt == "dense":
+            X = archive["X"]
+        else:
+            raise ValueError(f"unknown dataset format {fmt!r}")
+        metadata = json.loads(str(archive["metadata_json"]))
+        for key in archive.files:
+            if key.startswith(_METADATA_ARRAY_PREFIX):
+                metadata[key[len(_METADATA_ARRAY_PREFIX):]] = archive[key]
+        return Dataset(
+            name=str(archive["name"]),
+            X=X,
+            y=archive["y"],
+            metadata=metadata,
+        )
+
+
+def cached(builder, path: Union[str, Path], **kwargs) -> Dataset:
+    """Return the dataset at ``path``, generating and saving it if absent.
+
+    ``builder`` is any ``make_*`` generator; ``kwargs`` are passed
+    through on a cache miss.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    if path.exists():
+        return load_dataset(path)
+    dataset = builder(**kwargs)
+    save_dataset(dataset, path)
+    return dataset

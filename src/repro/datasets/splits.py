@@ -1,0 +1,109 @@
+"""The paper's split protocol.
+
+Every accuracy number in Tables III–IX is "mean ± std over 20 random
+splits", where a split selects either a fixed number of training samples
+per class (PIE, Isolet, MNIST) or a fixed fraction per class
+(20Newsgroups), with everything else used for testing.  These helpers
+implement exactly that, seeded.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def per_class_split(
+    y: np.ndarray,
+    n_per_class: int,
+    rng: np.random.Generator,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Sample ``n_per_class`` training indices from every class.
+
+    Returns ``(train_idx, test_idx)``; the test set is the complement.
+    Raises if any class has fewer than ``n_per_class + 1`` samples (the
+    protocol needs at least one test sample per class).
+    """
+    y = np.asarray(y)
+    if n_per_class < 1:
+        raise ValueError("n_per_class must be positive")
+    train_parts = []
+    test_parts = []
+    for label in np.unique(y):
+        members = np.flatnonzero(y == label)
+        if members.shape[0] <= n_per_class:
+            raise ValueError(
+                f"class {label!r} has {members.shape[0]} samples; "
+                f"cannot take {n_per_class} for training and leave a test set"
+            )
+        permuted = rng.permutation(members)
+        train_parts.append(permuted[:n_per_class])
+        test_parts.append(permuted[n_per_class:])
+    train_idx = np.sort(np.concatenate(train_parts))
+    test_idx = np.sort(np.concatenate(test_parts))
+    return train_idx, test_idx
+
+
+def ratio_split(
+    y: np.ndarray,
+    train_ratio: float,
+    rng: np.random.Generator,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Stratified split taking ``train_ratio`` of each class for training.
+
+    Used for the 20Newsgroups experiments (5%–50% per category).  At
+    least one sample per class goes to each side.
+    """
+    y = np.asarray(y)
+    if not 0.0 < train_ratio < 1.0:
+        raise ValueError("train_ratio must be in (0, 1)")
+    train_parts = []
+    test_parts = []
+    for label in np.unique(y):
+        members = np.flatnonzero(y == label)
+        count = members.shape[0]
+        n_train = int(round(train_ratio * count))
+        n_train = min(max(n_train, 1), count - 1)
+        permuted = rng.permutation(members)
+        train_parts.append(permuted[:n_train])
+        test_parts.append(permuted[n_train:])
+    train_idx = np.sort(np.concatenate(train_parts))
+    test_idx = np.sort(np.concatenate(test_parts))
+    return train_idx, test_idx
+
+
+def per_class_split_from_pool(
+    y: np.ndarray,
+    train_pool: np.ndarray,
+    test_pool: np.ndarray,
+    n_per_class: int,
+    rng: np.random.Generator,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Sample ``n_per_class`` per class from a fixed train pool.
+
+    Matches the Isolet/MNIST protocol: training samples come from the
+    designated pool (isolet1&2 / MNIST set A) and the *entire* test pool
+    is always the evaluation set.
+    """
+    y = np.asarray(y)
+    train_pool = np.asarray(train_pool, dtype=np.int64)
+    test_pool = np.asarray(test_pool, dtype=np.int64)
+    pool_labels = y[train_pool]
+    train_parts = []
+    for label in np.unique(y):
+        members = train_pool[pool_labels == label]
+        if members.shape[0] < n_per_class:
+            raise ValueError(
+                f"class {label!r} has only {members.shape[0]} pool samples; "
+                f"cannot take {n_per_class}"
+            )
+        train_parts.append(rng.permutation(members)[:n_per_class])
+    train_idx = np.sort(np.concatenate(train_parts))
+    return train_idx, test_pool
+
+
+def split_seeds(base_seed: int, n_splits: int) -> np.ndarray:
+    """Deterministic per-split seeds derived from one base seed."""
+    root = np.random.SeedSequence(base_seed)
+    return np.array([s.generate_state(1)[0] for s in root.spawn(n_splits)])

@@ -1,0 +1,66 @@
+"""Evaluation harness reproducing the paper's experimental protocol.
+
+- :mod:`repro.eval.classifiers` — nearest-centroid and k-NN read-outs
+  for embedded data.
+- :mod:`repro.eval.metrics` — error rates and mean±std aggregation.
+- :mod:`repro.eval.experiment` — the (dataset × algorithm × train size ×
+  split) sweep with timing and the memory-budget guard that reproduces
+  Table X's missing cells.
+- :mod:`repro.eval.tables` — renders results in the paper's table and
+  figure layouts.
+"""
+
+from repro.eval.classifiers import KNNClassifier, NearestCentroid
+from repro.eval.experiment import CellResult, ExperimentResult, run_experiment
+from repro.eval.figures import render_svg_chart
+from repro.eval.significance import (
+    TestResult,
+    compare_algorithms,
+    paired_t_test,
+    wilcoxon_signed_rank,
+)
+from repro.eval.metrics import (
+    classification_report,
+    confusion_matrix,
+    error_rate,
+    macro_f1,
+    mean_std,
+    precision_recall_f1,
+)
+from repro.eval.model_selection import (
+    AlphaSearchResult,
+    alpha_grid,
+    grid_search_alpha,
+)
+from repro.eval.tables import (
+    figure_series,
+    format_error_table,
+    format_time_table,
+    render_ascii_chart,
+)
+
+__all__ = [
+    "AlphaSearchResult",
+    "CellResult",
+    "ExperimentResult",
+    "KNNClassifier",
+    "NearestCentroid",
+    "TestResult",
+    "alpha_grid",
+    "classification_report",
+    "compare_algorithms",
+    "confusion_matrix",
+    "error_rate",
+    "figure_series",
+    "format_error_table",
+    "format_time_table",
+    "grid_search_alpha",
+    "macro_f1",
+    "mean_std",
+    "paired_t_test",
+    "precision_recall_f1",
+    "render_ascii_chart",
+    "render_svg_chart",
+    "run_experiment",
+    "wilcoxon_signed_rank",
+]

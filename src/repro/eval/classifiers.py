@@ -1,0 +1,103 @@
+"""Classifiers applied in the embedded space.
+
+The discriminant methods under test produce an embedding; the error
+rates in Tables III–IX come from classifying in that embedding.  Every
+estimator in this package carries a built-in nearest-centroid ``predict``;
+these standalone classifiers exist for read-out ablations (e.g. does the
+method ordering change under 1-NN?) and for use on raw features.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class NearestCentroid:
+    """Classify by the closest class-mean in Euclidean distance."""
+
+    def __init__(self) -> None:
+        self.classes_: Optional[np.ndarray] = None
+        self.centroids_: Optional[np.ndarray] = None
+
+    def fit(self, Z: np.ndarray, y) -> "NearestCentroid":
+        """Record per-class centroids of the (embedded) training data."""
+        Z = np.asarray(Z, dtype=np.float64)
+        y = np.asarray(y)
+        self.classes_ = np.unique(y)
+        self.centroids_ = np.vstack(
+            [Z[y == label].mean(axis=0) for label in self.classes_]
+        )
+        return self
+
+    def predict(self, Z: np.ndarray) -> np.ndarray:
+        """Nearest centroid per row."""
+        if self.centroids_ is None:
+            raise RuntimeError("NearestCentroid must be fitted before use")
+        Z = np.asarray(Z, dtype=np.float64)
+        cross = Z @ self.centroids_.T
+        dist = np.sum(self.centroids_**2, axis=1) - 2.0 * cross
+        return self.classes_[np.argmin(dist, axis=1)]
+
+    def score(self, Z: np.ndarray, y) -> float:
+        """Accuracy against true labels."""
+        return float(np.mean(self.predict(Z) == np.asarray(y)))
+
+
+class KNNClassifier:
+    """Brute-force k-nearest-neighbor vote (chunked distance computation).
+
+    ``k = 1`` is the read-out most face-recognition papers of the era
+    used; the chunking bounds peak memory to ``chunk × m_train`` floats.
+    """
+
+    def __init__(self, n_neighbors: int = 1, chunk_size: int = 512) -> None:
+        if n_neighbors < 1:
+            raise ValueError("n_neighbors must be positive")
+        self.n_neighbors = int(n_neighbors)
+        self.chunk_size = int(chunk_size)
+        self.Z_: Optional[np.ndarray] = None
+        self.y_: Optional[np.ndarray] = None
+        self.classes_: Optional[np.ndarray] = None
+
+    def fit(self, Z: np.ndarray, y) -> "KNNClassifier":
+        """Store the reference set."""
+        self.Z_ = np.asarray(Z, dtype=np.float64)
+        y = np.asarray(y)
+        self.classes_, self.y_ = np.unique(y, return_inverse=True)
+        if self.n_neighbors > self.Z_.shape[0]:
+            raise ValueError("n_neighbors exceeds the training set size")
+        return self
+
+    def predict(self, Z: np.ndarray) -> np.ndarray:
+        """Majority vote among the k nearest training points."""
+        if self.Z_ is None:
+            raise RuntimeError("KNNClassifier must be fitted before use")
+        Z = np.asarray(Z, dtype=np.float64)
+        train_sq = np.sum(self.Z_**2, axis=1)
+        n_classes = self.classes_.shape[0]
+        predictions = np.empty(Z.shape[0], dtype=np.int64)
+        for start in range(0, Z.shape[0], self.chunk_size):
+            chunk = Z[start : start + self.chunk_size]
+            dist = train_sq[None, :] - 2.0 * (chunk @ self.Z_.T)
+            if self.n_neighbors == 1:
+                predictions[start : start + chunk.shape[0]] = self.y_[
+                    np.argmin(dist, axis=1)
+                ]
+                continue
+            nearest = np.argpartition(dist, self.n_neighbors - 1, axis=1)[
+                :, : self.n_neighbors
+            ]
+            votes = self.y_[nearest]
+            counts = np.apply_along_axis(
+                np.bincount, 1, votes, None, n_classes
+            )
+            predictions[start : start + chunk.shape[0]] = np.argmax(
+                counts, axis=1
+            )
+        return self.classes_[predictions]
+
+    def score(self, Z: np.ndarray, y) -> float:
+        """Accuracy against true labels."""
+        return float(np.mean(self.predict(Z) == np.asarray(y)))

@@ -1,0 +1,243 @@
+"""The experiment runner behind every table and figure.
+
+Protocol (Section IV): for each training size, repeat over random splits
+(the paper uses 20); per split, fit each algorithm on the training
+partition, time the fit ("computational time of computing the projection
+functions"), classify the test partition, and report mean ± std error
+plus mean time.
+
+Three split protocols, selected by ``dataset.metadata["split_protocol"]``:
+
+- ``"per_class_within"`` — sample ``l`` per class, test on the rest (PIE);
+- ``"per_class_from_pool"`` — sample ``l`` per class from a fixed train
+  pool, always test on the fixed test pool (Isolet, MNIST);
+- ``"ratio"`` — stratified fraction per class (20Newsgroups).
+
+The **memory-budget guard** reproduces the dashes in Tables IX/X: before
+fitting, each algorithm's predicted peak working set (the Table-I model
+in :func:`repro.complexity.flam.estimate_fit_bytes`) is compared to the
+budget — the paper's machine had 2 GB — and over-budget runs are recorded
+as failures instead of executed.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.complexity.flam import estimate_fit_bytes
+from repro.datasets.base import Dataset
+from repro.datasets.splits import (
+    per_class_split,
+    per_class_split_from_pool,
+    ratio_split,
+    split_seeds,
+)
+from repro.eval.metrics import error_rate, mean_std
+
+#: The experiment machine in the paper had 2 GB of RAM.
+PAPER_MEMORY_BUDGET_BYTES = 2 * 1024**3
+
+
+@dataclass
+class CellResult:
+    """All splits of one (algorithm, training size) cell."""
+
+    errors: List[float] = field(default_factory=list)
+    fit_seconds: List[float] = field(default_factory=list)
+    failure: Optional[str] = None
+
+    @property
+    def failed(self) -> bool:
+        """True when the cell could not run (e.g. over memory budget)."""
+        return self.failure is not None
+
+    @property
+    def mean_error(self) -> float:
+        return mean_std(np.asarray(self.errors))[0] if self.errors else float("nan")
+
+    @property
+    def std_error(self) -> float:
+        return mean_std(np.asarray(self.errors))[1] if self.errors else float("nan")
+
+    @property
+    def mean_time(self) -> float:
+        if not self.fit_seconds:
+            return float("nan")
+        return float(np.mean(self.fit_seconds))
+
+
+@dataclass
+class ExperimentResult:
+    """Everything needed to print one dataset's tables and figure."""
+
+    dataset_name: str
+    algorithm_names: List[str]
+    size_labels: List[str]
+    cells: Dict[tuple, CellResult]
+    n_splits: int
+
+    def cell(self, algorithm: str, size_label: str) -> CellResult:
+        """Fetch one cell by algorithm and size label."""
+        return self.cells[(algorithm, size_label)]
+
+    def error_matrix(self) -> np.ndarray:
+        """Mean errors, shape (n_sizes, n_algorithms); NaN where failed."""
+        out = np.full(
+            (len(self.size_labels), len(self.algorithm_names)), np.nan
+        )
+        for i, size in enumerate(self.size_labels):
+            for j, algo in enumerate(self.algorithm_names):
+                cell = self.cells[(algo, size)]
+                if not cell.failed:
+                    out[i, j] = cell.mean_error
+        return out
+
+    def time_matrix(self) -> np.ndarray:
+        """Mean fit times, same layout as :meth:`error_matrix`."""
+        out = np.full(
+            (len(self.size_labels), len(self.algorithm_names)), np.nan
+        )
+        for i, size in enumerate(self.size_labels):
+            for j, algo in enumerate(self.algorithm_names):
+                cell = self.cells[(algo, size)]
+                if not cell.failed:
+                    out[i, j] = cell.mean_time
+        return out
+
+
+def _make_split(
+    dataset: Dataset,
+    size: Union[int, float],
+    rng: np.random.Generator,
+):
+    protocol = dataset.metadata.get("split_protocol", "per_class_within")
+    if protocol == "per_class_within":
+        return per_class_split(dataset.y, int(size), rng)
+    if protocol == "per_class_from_pool":
+        return per_class_split_from_pool(
+            dataset.y,
+            dataset.metadata["train_pool"],
+            dataset.metadata["test_pool"],
+            int(size),
+            rng,
+        )
+    if protocol == "ratio":
+        return ratio_split(dataset.y, float(size), rng)
+    raise ValueError(f"unknown split protocol {protocol!r}")
+
+
+def size_label(size: Union[int, float]) -> str:
+    """Human-readable training-size label ("30" or "20%")."""
+    if isinstance(size, float) and size < 1:
+        return f"{int(round(size * 100))}%"
+    return str(int(size))
+
+
+def run_experiment(
+    dataset: Dataset,
+    algorithms: Dict[str, Callable[[], object]],
+    train_sizes: Optional[Sequence[Union[int, float]]] = None,
+    n_splits: int = 20,
+    seed: int = 0,
+    memory_budget_bytes: Optional[float] = None,
+    continue_on_error: bool = False,
+) -> ExperimentResult:
+    """Run the full (algorithm × training size × split) sweep.
+
+    Parameters
+    ----------
+    dataset:
+        A :class:`Dataset` whose metadata declares the split protocol.
+    algorithms:
+        Mapping of display name → zero-argument factory returning a
+        fresh, unfitted estimator with ``fit``/``predict``.
+    train_sizes:
+        Per-class counts or ratios; defaults to the dataset's declared
+        paper sizes.
+    n_splits:
+        Random repetitions (paper: 20).
+    seed:
+        Base seed; split ``j`` of size ``i`` derives a unique stream, so
+        every algorithm sees the *same* splits.
+    memory_budget_bytes:
+        When set, algorithms whose predicted working set exceeds it are
+        skipped and marked failed (use
+        :data:`PAPER_MEMORY_BUDGET_BYTES` to emulate the paper's 2 GB
+        machine).
+    continue_on_error:
+        When True, an exception raised by one algorithm's fit/predict is
+        recorded as that cell's failure (like the paper's "—" entries)
+        instead of aborting the whole sweep.  Default False: long sweeps
+        should not silently hide implementation bugs unless asked to.
+    """
+    if train_sizes is None:
+        train_sizes = dataset.metadata.get("train_sizes") or dataset.metadata.get(
+            "train_ratios"
+        )
+        if train_sizes is None:
+            raise ValueError(
+                "dataset declares no default train sizes; pass train_sizes"
+            )
+    labels = [size_label(size) for size in train_sizes]
+    names = list(algorithms)
+    cells: Dict[tuple, CellResult] = {
+        (name, label): CellResult() for name in names for label in labels
+    }
+
+    n_classes = dataset.n_classes
+    avg_nnz = (
+        dataset.X.mean_nnz_per_row() if dataset.is_sparse else None
+    )
+
+    for size, label in zip(train_sizes, labels):
+        seeds = split_seeds(seed + hash(label) % 100003, n_splits)
+        for split_seed in seeds:
+            rng = np.random.default_rng(int(split_seed))
+            train_idx, test_idx = _make_split(dataset, size, rng)
+            X_train, y_train = dataset.subset(train_idx)
+            X_test, y_test = dataset.subset(test_idx)
+            m, n = X_train.shape
+
+            for name in names:
+                cell = cells[(name, label)]
+                if cell.failed:
+                    continue
+                if memory_budget_bytes is not None:
+                    predicted = estimate_fit_bytes(
+                        name, m, n, n_classes, s=avg_nnz
+                    )
+                    if predicted > memory_budget_bytes:
+                        cell.failure = (
+                            f"predicted working set {predicted / 1e9:.1f} GB "
+                            f"exceeds budget {memory_budget_bytes / 1e9:.1f} GB"
+                        )
+                        cell.errors.clear()
+                        cell.fit_seconds.clear()
+                        continue
+                model = algorithms[name]()
+                try:
+                    start = time.perf_counter()
+                    model.fit(X_train, y_train)
+                    elapsed = time.perf_counter() - start
+                    error = error_rate(y_test, model.predict(X_test))
+                except Exception as exc:
+                    if not continue_on_error:
+                        raise
+                    cell.failure = f"{type(exc).__name__}: {exc}"
+                    cell.errors.clear()
+                    cell.fit_seconds.clear()
+                    continue
+                cell.fit_seconds.append(elapsed)
+                cell.errors.append(error)
+
+    return ExperimentResult(
+        dataset_name=dataset.name,
+        algorithm_names=names,
+        size_labels=labels,
+        cells=cells,
+        n_splits=n_splits,
+    )

@@ -1,0 +1,216 @@
+"""Dependency-free SVG line charts for the paper's figures.
+
+The benchmark harness renders Figures 1–5 both as terminal ASCII (quick
+eyeballing) and as standalone ``.svg`` files (for reports).  No plotting
+library is assumed offline, so this is a small from-scratch SVG writer:
+axes with tick labels, one polyline + marker set per series, and a
+legend.  Output is valid XML (checked in tests with ``xml.etree``).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+from xml.sax.saxutils import escape
+
+#: color cycle (Okabe–Ito palette: colorblind-safe)
+COLORS = (
+    "#0072B2", "#D55E00", "#009E73", "#CC79A7",
+    "#56B4E9", "#E69F00", "#000000", "#F0E442",
+)
+MARKERS = ("circle", "square", "diamond", "triangle")
+
+_WIDTH, _HEIGHT = 640, 420
+_MARGIN_LEFT, _MARGIN_RIGHT = 70, 160
+_MARGIN_TOP, _MARGIN_BOTTOM = 50, 60
+
+
+def _nice_ticks(lo: float, hi: float, target: int = 5) -> List[float]:
+    """Round tick positions covering [lo, hi]."""
+    if hi <= lo:
+        hi = lo + 1.0
+    raw_step = (hi - lo) / max(1, target)
+    magnitude = 10.0 ** _floor_log10(raw_step)
+    for multiplier in (1.0, 2.0, 5.0, 10.0):
+        step = multiplier * magnitude
+        if step >= raw_step:
+            break
+    first = step * _ceil_div(lo, step)
+    ticks = []
+    tick = first
+    while tick <= hi + 1e-9 * step:
+        ticks.append(round(tick, 10))
+        tick += step
+    return ticks or [lo, hi]
+
+
+def _floor_log10(value: float) -> int:
+    import math
+
+    return int(math.floor(math.log10(abs(value)))) if value else 0
+
+
+def _ceil_div(value: float, step: float) -> float:
+    import math
+
+    return math.ceil(value / step)
+
+
+def _marker(shape: str, x: float, y: float, color: str) -> str:
+    if shape == "circle":
+        return f'<circle cx="{x:.1f}" cy="{y:.1f}" r="4" fill="{color}"/>'
+    if shape == "square":
+        return (
+            f'<rect x="{x - 3.5:.1f}" y="{y - 3.5:.1f}" width="7" '
+            f'height="7" fill="{color}"/>'
+        )
+    if shape == "diamond":
+        return (
+            f'<polygon points="{x:.1f},{y - 5:.1f} {x + 5:.1f},{y:.1f} '
+            f'{x:.1f},{y + 5:.1f} {x - 5:.1f},{y:.1f}" fill="{color}"/>'
+        )
+    return (
+        f'<polygon points="{x:.1f},{y - 5:.1f} {x + 4.5:.1f},{y + 4:.1f} '
+        f'{x - 4.5:.1f},{y + 4:.1f}" fill="{color}"/>'
+    )
+
+
+def render_svg_chart(
+    series: Dict[str, Tuple[Sequence, Sequence[float]]],
+    title: str,
+    xlabel: str = "",
+    ylabel: str = "",
+    path: Optional[Union[str, Path]] = None,
+) -> str:
+    """Render series as an SVG line chart; optionally write to ``path``.
+
+    ``series`` maps a label to ``(x_labels, y_values)`` — the same
+    structure :func:`repro.eval.tables.figure_series` produces.  Series
+    may have different lengths (shorter ones simply stop, as the
+    paper's memory-limited curves do); x positions are matched by label
+    against the union of all x labels, in first-seen order.
+    """
+    # union of x labels, order-preserving
+    x_labels: List[str] = []
+    for xs, _ in series.values():
+        for x in xs:
+            if str(x) not in x_labels:
+                x_labels.append(str(x))
+    all_y = [y for _, ys in series.values() for y in ys]
+    if not x_labels or not all_y:
+        raise ValueError("cannot render an empty chart")
+
+    y_lo = min(all_y)
+    y_hi = max(all_y)
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    padding = 0.05 * (y_hi - y_lo)
+    y_lo -= padding
+    y_hi += padding
+    ticks = _nice_ticks(y_lo, y_hi)
+
+    plot_w = _WIDTH - _MARGIN_LEFT - _MARGIN_RIGHT
+    plot_h = _HEIGHT - _MARGIN_TOP - _MARGIN_BOTTOM
+
+    def x_pos(index: int) -> float:
+        if len(x_labels) == 1:
+            return _MARGIN_LEFT + plot_w / 2
+        return _MARGIN_LEFT + plot_w * index / (len(x_labels) - 1)
+
+    def y_pos(value: float) -> float:
+        return _MARGIN_TOP + plot_h * (1.0 - (value - y_lo) / (y_hi - y_lo))
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{_WIDTH}" '
+        f'height="{_HEIGHT}" font-family="Helvetica, Arial, sans-serif">',
+        f'<rect width="{_WIDTH}" height="{_HEIGHT}" fill="white"/>',
+        f'<text x="{_WIDTH / 2:.0f}" y="28" text-anchor="middle" '
+        f'font-size="15">{escape(title)}</text>',
+    ]
+
+    # gridlines + y ticks
+    for tick in ticks:
+        if not y_lo <= tick <= y_hi:
+            continue
+        y = y_pos(tick)
+        parts.append(
+            f'<line x1="{_MARGIN_LEFT}" y1="{y:.1f}" '
+            f'x2="{_MARGIN_LEFT + plot_w}" y2="{y:.1f}" '
+            f'stroke="#dddddd" stroke-width="1"/>'
+        )
+        parts.append(
+            f'<text x="{_MARGIN_LEFT - 8}" y="{y + 4:.1f}" '
+            f'text-anchor="end" font-size="11">{tick:g}</text>'
+        )
+
+    # axes
+    parts.append(
+        f'<line x1="{_MARGIN_LEFT}" y1="{_MARGIN_TOP}" '
+        f'x2="{_MARGIN_LEFT}" y2="{_MARGIN_TOP + plot_h}" '
+        f'stroke="black" stroke-width="1.5"/>'
+    )
+    parts.append(
+        f'<line x1="{_MARGIN_LEFT}" y1="{_MARGIN_TOP + plot_h}" '
+        f'x2="{_MARGIN_LEFT + plot_w}" y2="{_MARGIN_TOP + plot_h}" '
+        f'stroke="black" stroke-width="1.5"/>'
+    )
+
+    # x tick labels
+    for i, label in enumerate(x_labels):
+        parts.append(
+            f'<text x="{x_pos(i):.1f}" y="{_MARGIN_TOP + plot_h + 18}" '
+            f'text-anchor="middle" font-size="11">{escape(label)}</text>'
+        )
+    if xlabel:
+        parts.append(
+            f'<text x="{_MARGIN_LEFT + plot_w / 2:.0f}" '
+            f'y="{_HEIGHT - 14}" text-anchor="middle" '
+            f'font-size="12">{escape(xlabel)}</text>'
+        )
+    if ylabel:
+        parts.append(
+            f'<text x="18" y="{_MARGIN_TOP + plot_h / 2:.0f}" '
+            f'text-anchor="middle" font-size="12" '
+            f'transform="rotate(-90 18 {_MARGIN_TOP + plot_h / 2:.0f})">'
+            f"{escape(ylabel)}</text>"
+        )
+
+    # series
+    for idx, (label, (xs, ys)) in enumerate(series.items()):
+        color = COLORS[idx % len(COLORS)]
+        marker = MARKERS[idx % len(MARKERS)]
+        points = [
+            (x_pos(x_labels.index(str(x))), y_pos(y))
+            for x, y in zip(xs, ys)
+        ]
+        if len(points) > 1:
+            coordinates = " ".join(f"{x:.1f},{y:.1f}" for x, y in points)
+            parts.append(
+                f'<polyline points="{coordinates}" fill="none" '
+                f'stroke="{color}" stroke-width="2"/>'
+            )
+        for x, y in points:
+            parts.append(_marker(marker, x, y, color))
+
+        # legend entry
+        legend_x = _MARGIN_LEFT + plot_w + 16
+        legend_y = _MARGIN_TOP + 14 + 22 * idx
+        parts.append(
+            f'<line x1="{legend_x}" y1="{legend_y}" '
+            f'x2="{legend_x + 24}" y2="{legend_y}" stroke="{color}" '
+            f'stroke-width="2"/>'
+        )
+        parts.append(_marker(marker, legend_x + 12, legend_y, color))
+        parts.append(
+            f'<text x="{legend_x + 30}" y="{legend_y + 4}" '
+            f'font-size="12">{escape(label)}</text>'
+        )
+
+    parts.append("</svg>")
+    svg = "\n".join(parts)
+    if path is not None:
+        path = Path(path)
+        if path.suffix != ".svg":
+            path = path.with_suffix(path.suffix + ".svg")
+        path.write_text(svg)
+    return svg

@@ -1,0 +1,92 @@
+"""Error metrics and the paper's mean ± std aggregation."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def error_rate(y_true, y_pred) -> float:
+    """Fraction misclassified — the metric of Tables III/V/VII/IX."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(
+            f"shape mismatch: {y_true.shape} vs {y_pred.shape}"
+        )
+    if y_true.size == 0:
+        raise ValueError("cannot compute an error rate on zero samples")
+    return float(np.mean(y_true != y_pred))
+
+
+def mean_std(values: np.ndarray) -> Tuple[float, float]:
+    """Mean and (population) standard deviation over random splits."""
+    values = np.asarray(values, dtype=np.float64)
+    finite = values[np.isfinite(values)]
+    if finite.size == 0:
+        return float("nan"), float("nan")
+    return float(finite.mean()), float(finite.std())
+
+
+def confusion_matrix(y_true, y_pred, n_classes: int) -> np.ndarray:
+    """Row = true class, column = predicted class (encoded labels)."""
+    y_true = np.asarray(y_true, dtype=np.int64)
+    y_pred = np.asarray(y_pred, dtype=np.int64)
+    matrix = np.zeros((n_classes, n_classes), dtype=np.int64)
+    np.add.at(matrix, (y_true, y_pred), 1)
+    return matrix
+
+
+def precision_recall_f1(
+    y_true, y_pred, n_classes: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-class precision, recall and F1 from encoded labels.
+
+    Classes never predicted get precision 0; classes absent from
+    ``y_true`` get recall 0 (the conventional zero-division handling).
+    """
+    matrix = confusion_matrix(y_true, y_pred, n_classes)
+    true_positive = np.diag(matrix).astype(np.float64)
+    predicted = matrix.sum(axis=0).astype(np.float64)
+    actual = matrix.sum(axis=1).astype(np.float64)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        precision = np.where(predicted > 0, true_positive / predicted, 0.0)
+        recall = np.where(actual > 0, true_positive / actual, 0.0)
+        denominator = precision + recall
+        f1 = np.where(
+            denominator > 0, 2.0 * precision * recall / denominator, 0.0
+        )
+    return precision, recall, f1
+
+
+def macro_f1(y_true, y_pred, n_classes: int) -> float:
+    """Unweighted mean of per-class F1 scores."""
+    _, _, f1 = precision_recall_f1(y_true, y_pred, n_classes)
+    return float(f1.mean())
+
+
+def classification_report(
+    y_true, y_pred, n_classes: int, class_names=None
+) -> str:
+    """A per-class precision/recall/F1 table, plus macro averages."""
+    precision, recall, f1 = precision_recall_f1(y_true, y_pred, n_classes)
+    support = confusion_matrix(y_true, y_pred, n_classes).sum(axis=1)
+    if class_names is None:
+        class_names = [str(k) for k in range(n_classes)]
+    lines = [
+        f"{'class':>10} {'precision':>10} {'recall':>8} {'f1':>8} "
+        f"{'support':>8}",
+        "-" * 48,
+    ]
+    for k in range(n_classes):
+        lines.append(
+            f"{class_names[k]:>10} {precision[k]:>10.3f} {recall[k]:>8.3f} "
+            f"{f1[k]:>8.3f} {support[k]:>8d}"
+        )
+    lines.append("-" * 48)
+    lines.append(
+        f"{'macro':>10} {precision.mean():>10.3f} {recall.mean():>8.3f} "
+        f"{f1.mean():>8.3f} {support.sum():>8d}"
+    )
+    return "\n".join(lines)

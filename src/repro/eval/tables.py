@@ -1,0 +1,151 @@
+"""Render experiment results in the paper's table and figure layouts.
+
+Tables III/V/VII/IX report "error % (mean ± std)"; Tables IV/VI/VIII/X
+report training seconds; Figures 1–4 plot both against the training
+size.  We print the same rows and series, using em-dashes for cells the
+memory-budget guard disallowed — the paper's own notation for "can not
+be applied ... due to the memory limit".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.eval.experiment import ExperimentResult
+
+FAILED_CELL = "—"
+
+
+def format_error_table(result: ExperimentResult, title: str = "") -> str:
+    """Error-rate table: rows = training sizes, columns = algorithms."""
+    header = title or (
+        f"Classification error rates (%) on {result.dataset_name} "
+        f"(mean ± std over {result.n_splits} splits)"
+    )
+    rows = []
+    for size in result.size_labels:
+        cells = []
+        for algo in result.algorithm_names:
+            cell = result.cell(algo, size)
+            if cell.failed or not cell.errors:
+                cells.append(FAILED_CELL)
+            else:
+                cells.append(
+                    f"{100 * cell.mean_error:.1f} ± {100 * cell.std_error:.1f}"
+                )
+        rows.append(cells)
+    return _render(header, "Train Size", result.size_labels,
+                   result.algorithm_names, rows)
+
+
+def format_time_table(result: ExperimentResult, title: str = "") -> str:
+    """Training-time table: rows = training sizes, columns = algorithms."""
+    header = title or (
+        f"Computational time (s) on {result.dataset_name} "
+        f"(mean over {result.n_splits} splits)"
+    )
+    rows = []
+    for size in result.size_labels:
+        cells = []
+        for algo in result.algorithm_names:
+            cell = result.cell(algo, size)
+            if cell.failed or not cell.fit_seconds:
+                cells.append(FAILED_CELL)
+            else:
+                cells.append(f"{cell.mean_time:.3f}")
+        rows.append(cells)
+    return _render(header, "Train Size", result.size_labels,
+                   result.algorithm_names, rows)
+
+
+def _render(
+    header: str,
+    index_name: str,
+    index: Sequence[str],
+    columns: Sequence[str],
+    rows: List[List[str]],
+) -> str:
+    widths = [max(len(index_name), max(len(i) for i in index))]
+    for j, col in enumerate(columns):
+        widths.append(max(len(col), max(len(row[j]) for row in rows)))
+    lines = [header]
+    head_cells = [index_name.ljust(widths[0])] + [
+        col.rjust(widths[j + 1]) for j, col in enumerate(columns)
+    ]
+    lines.append("  ".join(head_cells))
+    lines.append("-" * (sum(widths) + 2 * len(widths) - 2))
+    for label, row in zip(index, rows):
+        cells = [label.ljust(widths[0])] + [
+            value.rjust(widths[j + 1]) for j, value in enumerate(row)
+        ]
+        lines.append("  ".join(cells))
+    return "\n".join(lines)
+
+
+def figure_series(
+    result: ExperimentResult, metric: str = "error"
+) -> Dict[str, Tuple[List[str], List[float]]]:
+    """Per-algorithm (x-labels, y-values) series for Figures 1–4.
+
+    ``metric`` is ``"error"`` (percent) or ``"time"`` (seconds).  Failed
+    cells are omitted from the series, exactly as the paper's curves
+    simply stop where methods become infeasible.
+    """
+    if metric not in ("error", "time"):
+        raise ValueError("metric must be 'error' or 'time'")
+    series: Dict[str, Tuple[List[str], List[float]]] = {}
+    for algo in result.algorithm_names:
+        xs: List[str] = []
+        ys: List[float] = []
+        for size in result.size_labels:
+            cell = result.cell(algo, size)
+            if cell.failed:
+                continue
+            value = (
+                100 * cell.mean_error if metric == "error" else cell.mean_time
+            )
+            if np.isfinite(value):
+                xs.append(size)
+                ys.append(float(value))
+        series[algo] = (xs, ys)
+    return series
+
+
+def render_ascii_chart(
+    series: Dict[str, Tuple[List[str], List[float]]],
+    title: str,
+    height: int = 12,
+    width: int = 60,
+) -> str:
+    """A terminal line chart of figure series (one mark per algorithm).
+
+    Purely for eyeballing benchmark output; the quantitative assertions
+    live in the benchmark tests themselves.
+    """
+    marks = "ox+*#@%&"
+    all_y = [y for _, ys in series.values() for y in ys]
+    if not all_y:
+        return f"{title}\n(no data)"
+    lo, hi = min(all_y), max(all_y)
+    if hi == lo:
+        hi = lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    max_len = max(len(xs) for xs, _ in series.values())
+    for idx, (name, (xs, ys)) in enumerate(series.items()):
+        mark = marks[idx % len(marks)]
+        for i, y in enumerate(ys):
+            col = int(round(i * (width - 1) / max(1, max_len - 1)))
+            row = int(round((hi - y) * (height - 1) / (hi - lo)))
+            grid[row][col] = mark
+    lines = [title]
+    for r, row in enumerate(grid):
+        y_value = hi - r * (hi - lo) / (height - 1)
+        lines.append(f"{y_value:10.2f} |" + "".join(row))
+    lines.append(" " * 11 + "+" + "-" * width)
+    legend = "   ".join(
+        f"{marks[i % len(marks)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)

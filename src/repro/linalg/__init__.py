@@ -1,0 +1,66 @@
+"""Linear-algebra substrates used by SRDA and the LDA baselines.
+
+Everything numerically interesting in the paper is built from a small set
+of kernels, each implemented here from scratch on top of numpy primitives:
+
+- :mod:`repro.linalg.sparse` — a minimal CSR matrix (the sparse substrate
+  that lets SRDA exploit text-like data).
+- :mod:`repro.linalg.operators` — matrix-free linear operators, including
+  the implicit-centering and append-ones tricks from the paper.
+- :mod:`repro.linalg.gram_schmidt` — modified Gram–Schmidt, used for the
+  response-generation step (Eqn 15/16).
+- :mod:`repro.linalg.cholesky` — Cholesky factorization and triangular
+  solves, used by the normal-equations solver (Eqn 20/21).
+- :mod:`repro.linalg.lsqr` — the Paige–Saunders LSQR iteration, the
+  linear-time solver of the paper's title.
+- :mod:`repro.linalg.svd` — the cross-product SVD trick from Section II-B.
+- :mod:`repro.linalg.dense` — small dense helpers shared by the baselines.
+"""
+
+from repro.linalg.cholesky import cholesky, solve_cholesky, solve_triangular
+from repro.linalg.coordinate_descent import (
+    ElasticNetResult,
+    elastic_net,
+    elastic_net_path,
+)
+from repro.linalg.dense import solve_lstsq, symmetric_eigh
+from repro.linalg.eigen import jacobi_eigh, lanczos_eigsh
+from repro.linalg.gram_schmidt import orthogonalize_against, orthonormalize
+from repro.linalg.lsqr import LSQRResult, lsqr
+from repro.linalg.operators import (
+    AppendOnesOperator,
+    CenteringOperator,
+    CSROperator,
+    DenseOperator,
+    LinearOperator,
+    TransposedOperator,
+    as_operator,
+)
+from repro.linalg.sparse import CSRMatrix
+from repro.linalg.svd import cross_product_svd
+
+__all__ = [
+    "AppendOnesOperator",
+    "CSRMatrix",
+    "CSROperator",
+    "CenteringOperator",
+    "DenseOperator",
+    "ElasticNetResult",
+    "LSQRResult",
+    "LinearOperator",
+    "TransposedOperator",
+    "as_operator",
+    "cholesky",
+    "cross_product_svd",
+    "elastic_net",
+    "elastic_net_path",
+    "jacobi_eigh",
+    "lanczos_eigsh",
+    "lsqr",
+    "orthogonalize_against",
+    "orthonormalize",
+    "solve_cholesky",
+    "solve_lstsq",
+    "solve_triangular",
+    "symmetric_eigh",
+]

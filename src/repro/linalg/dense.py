@@ -1,0 +1,76 @@
+"""Small dense helpers shared across the baselines and tests."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def symmetric_eigh(A: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Eigendecomposition of a symmetric matrix, sorted descending.
+
+    Thin wrapper over ``numpy.linalg.eigh`` that symmetrizes the input
+    (guarding against rounding asymmetry in computed Gram matrices) and
+    returns eigenvalues in decreasing order — the convention every
+    caller in this package wants, since discriminant directions are the
+    *leading* eigenvectors.
+    """
+    A = np.asarray(A, dtype=np.float64)
+    if A.ndim != 2 or A.shape[0] != A.shape[1]:
+        raise ValueError("symmetric_eigh requires a square matrix")
+    eigvals, eigvecs = np.linalg.eigh(0.5 * (A + A.T))
+    order = np.argsort(eigvals)[::-1]
+    return eigvals[order], eigvecs[:, order]
+
+
+def solve_lstsq(A: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Minimum-norm least-squares solution of ``A x ≈ b``."""
+    A = np.asarray(A, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    x, _, _, _ = np.linalg.lstsq(A, b, rcond=None)
+    return x
+
+
+def ridge_solution(A: np.ndarray, b: np.ndarray, alpha: float) -> np.ndarray:
+    """Reference ridge solution ``(AᵀA + αI)⁻¹ Aᵀ b`` for tests.
+
+    Formed directly from the normal equations with ``numpy.linalg.solve``;
+    intentionally naive so the production solvers have an independent
+    oracle to be compared against.
+    """
+    A = np.asarray(A, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    n = A.shape[1]
+    return np.linalg.solve(A.T @ A + alpha * np.eye(n), A.T @ b)
+
+
+def generalized_eigh(
+    B: np.ndarray, A: np.ndarray, regularization: float = 0.0
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Solve ``B v = λ A v`` for symmetric ``B`` and SPD (after shift) ``A``.
+
+    Reduces to a standard symmetric problem through the Cholesky factor
+    of ``A + regularization·I``.  Eigenvalues come back descending.
+    """
+    from repro.linalg.cholesky import cholesky, solve_triangular
+
+    B = np.asarray(B, dtype=np.float64)
+    A = np.asarray(A, dtype=np.float64)
+    n = A.shape[0]
+    L = cholesky(A + regularization * np.eye(n))
+    # C = L⁻¹ B L⁻ᵀ
+    C = solve_triangular(L, B, lower=True)
+    C = solve_triangular(L, C.T, lower=True).T
+    eigvals, W = symmetric_eigh(C)
+    V = solve_triangular(L.T, W, lower=False)
+    return eigvals, V
+
+
+def is_orthonormal(Q: np.ndarray, tol: float = 1e-8) -> bool:
+    """True if the columns of ``Q`` are orthonormal within ``tol``."""
+    Q = np.asarray(Q, dtype=np.float64)
+    if Q.shape[1] == 0:
+        return True
+    gram = Q.T @ Q
+    return bool(np.abs(gram - np.eye(Q.shape[1])).max() <= tol)

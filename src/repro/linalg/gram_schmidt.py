@@ -1,0 +1,144 @@
+"""Modified Gram–Schmidt orthogonalization.
+
+SRDA's response-generation step (Section III, Eqn 15/16) takes the ``c``
+class-indicator eigenvectors of the graph matrix ``W`` together with the
+all-ones vector, orthogonalizes them, and discards the all-ones direction.
+The paper quotes this step at ``O(m c²)`` flam and ``O(m c)`` memory — it
+is the cheap half of the algorithm, and this module provides it.
+
+We use *modified* Gram–Schmidt with one optional re-orthogonalization pass
+(the classical variant loses orthogonality catastrophically for nearly
+dependent inputs), and detect rank deficiency via a relative tolerance so
+the caller can drop dependent vectors instead of dividing by ~0.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+def orthogonalize_against(
+    v: np.ndarray, basis: np.ndarray, reorthogonalize: bool = True
+) -> np.ndarray:
+    """Remove from ``v`` its components along orthonormal ``basis`` columns.
+
+    Parameters
+    ----------
+    v:
+        Vector of length ``m``.
+    basis:
+        ``(m, k)`` matrix whose columns are orthonormal.
+    reorthogonalize:
+        Apply the projection twice ("twice is enough" — Kahan/Parlett);
+        keeps the result orthogonal to working precision even when ``v``
+        is nearly inside the span of ``basis``.
+    """
+    v = np.asarray(v, dtype=np.float64).copy()
+    basis = np.asarray(basis, dtype=np.float64)
+    if basis.ndim != 2 or basis.shape[0] != v.shape[0]:
+        raise ValueError("basis must be (m, k) with m matching v")
+    passes = 2 if reorthogonalize else 1
+    for _ in range(passes):
+        for j in range(basis.shape[1]):
+            column = basis[:, j]
+            v -= (column @ v) * column
+    return v
+
+
+def orthonormalize(
+    vectors: np.ndarray,
+    tol: float = 1e-10,
+    reorthogonalize: bool = True,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Orthonormalize the columns of ``vectors`` by modified Gram–Schmidt.
+
+    Returns ``(Q, kept)`` where ``Q`` is ``(m, r)`` with orthonormal
+    columns spanning the input, and ``kept`` holds the indices of the
+    input columns that survived (columns that were linearly dependent on
+    earlier ones, relative to ``tol`` times their original norm, are
+    dropped).
+    """
+    V = np.asarray(vectors, dtype=np.float64)
+    if V.ndim != 2:
+        raise ValueError("expected a 2-D array of column vectors")
+    m, k = V.shape
+    columns = []
+    kept = []
+    for j in range(k):
+        v = V[:, j].copy()
+        original_norm = np.linalg.norm(v)
+        if original_norm == 0.0:
+            continue
+        if columns:
+            basis = np.column_stack(columns)
+            v = orthogonalize_against(v, basis, reorthogonalize)
+        norm = np.linalg.norm(v)
+        if norm <= tol * original_norm:
+            continue
+        columns.append(v / norm)
+        kept.append(j)
+    if not columns:
+        return np.empty((m, 0)), np.empty(0, dtype=np.int64)
+    return np.column_stack(columns), np.asarray(kept, dtype=np.int64)
+
+
+def orthonormality_error(Q: np.ndarray) -> float:
+    """Max-abs deviation of ``QᵀQ`` from the identity (a test helper)."""
+    Q = np.asarray(Q, dtype=np.float64)
+    if Q.shape[1] == 0:
+        return 0.0
+    gram = Q.T @ Q
+    return float(np.abs(gram - np.eye(Q.shape[1])).max())
+
+
+def project_onto_span(v: np.ndarray, basis: np.ndarray) -> np.ndarray:
+    """Orthogonal projection of ``v`` onto the span of orthonormal columns."""
+    basis = np.asarray(basis, dtype=np.float64)
+    v = np.asarray(v, dtype=np.float64)
+    return basis @ (basis.T @ v)
+
+
+def gram_schmidt_qr(
+    A: np.ndarray, tol: float = 1e-10
+) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]:
+    """Thin QR factorization ``A = Q R`` via modified Gram–Schmidt.
+
+    Used by the IDR/QR baseline, which is defined by a QR factorization
+    of the class-centroid matrix.  Returns ``(Q, R, kept)``; when ``A``
+    is rank-deficient the dependent columns are dropped from ``Q`` and
+    ``kept`` records the survivors, with ``R`` of shape ``(r, k)`` still
+    satisfying ``A ≈ Q R``.
+    """
+    A = np.asarray(A, dtype=np.float64)
+    if A.ndim != 2:
+        raise ValueError("expected a 2-D array")
+    m, k = A.shape
+    Q_cols = []
+    kept = []
+    R = np.zeros((k, k))
+    for j in range(k):
+        v = A[:, j].copy()
+        original_norm = np.linalg.norm(v)
+        for i, q in enumerate(Q_cols):
+            # two projection passes for stability
+            coeff = q @ v
+            v -= coeff * q
+            extra = q @ v
+            v -= extra * q
+            R[i, j] += coeff + extra
+        norm = np.linalg.norm(v)
+        if original_norm == 0.0 or norm <= tol * max(original_norm, 1.0):
+            continue
+        R[len(Q_cols), j] = norm
+        Q_cols.append(v / norm)
+        kept.append(j)
+    if not Q_cols:
+        return np.empty((m, 0)), np.empty((0, k)), np.empty(0, dtype=np.int64)
+    r = len(Q_cols)
+    return (
+        np.column_stack(Q_cols),
+        R[:r, :],
+        np.asarray(kept, dtype=np.int64),
+    )

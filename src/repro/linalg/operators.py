@@ -1,0 +1,282 @@
+"""Matrix-free linear operators.
+
+LSQR (and therefore SRDA's linear-time path) only ever needs two products:
+``A @ v`` and ``A.T @ u``.  Expressing the data matrix as an *operator*
+instead of an explicit array is what makes the paper's two memory tricks
+implementable without densifying anything:
+
+- :class:`AppendOnesOperator` realizes the bias-absorption trick of
+  Section III-B — appending a constant 1 feature to every sample so the
+  fitted intercept replaces explicit centering.
+- :class:`CenteringOperator` realizes ``X - 1 μᵀ`` implicitly, for code
+  paths (the LDA baseline analysis, tests) that need the centered matrix
+  as an operator without allocating a dense copy.
+
+Operators compose, transpose, and count their products (for the empirical
+complexity validation in :mod:`repro.complexity.counter`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.linalg.sparse import CSRMatrix, is_sparse
+
+
+class LinearOperator:
+    """Base class: a shape plus ``matvec``/``rmatvec`` products.
+
+    Subclasses must set ``self.shape`` and implement ``_matvec`` and
+    ``_rmatvec``.  The public entry points validate dimensions and keep a
+    product count so experiments can report how many passes over the data
+    a solver made.
+    """
+
+    shape: Tuple[int, int]
+
+    def __init__(self) -> None:
+        self.n_matvec = 0
+        self.n_rmatvec = 0
+
+    def _matvec(self, v: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def _rmatvec(self, u: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def matvec(self, v: np.ndarray) -> np.ndarray:
+        """Compute ``A @ v``."""
+        v = np.asarray(v, dtype=np.float64)
+        if v.shape != (self.shape[1],):
+            raise ValueError(
+                f"matvec expects length {self.shape[1]}, got {v.shape}"
+            )
+        self.n_matvec += 1
+        return self._matvec(v)
+
+    def rmatvec(self, u: np.ndarray) -> np.ndarray:
+        """Compute ``A.T @ u``."""
+        u = np.asarray(u, dtype=np.float64)
+        if u.shape != (self.shape[0],):
+            raise ValueError(
+                f"rmatvec expects length {self.shape[0]}, got {u.shape}"
+            )
+        self.n_rmatvec += 1
+        return self._rmatvec(u)
+
+    def matmat(self, B: np.ndarray) -> np.ndarray:
+        """Compute ``A @ B`` column by column for a dense ``B``."""
+        B = np.asarray(B, dtype=np.float64)
+        if B.ndim == 1:
+            return self.matvec(B)
+        out = np.empty((self.shape[0], B.shape[1]), dtype=np.float64)
+        for j in range(B.shape[1]):
+            out[:, j] = self.matvec(B[:, j])
+        return out
+
+    def rmatmat(self, B: np.ndarray) -> np.ndarray:
+        """Compute ``A.T @ B`` column by column for a dense ``B``."""
+        B = np.asarray(B, dtype=np.float64)
+        if B.ndim == 1:
+            return self.rmatvec(B)
+        out = np.empty((self.shape[1], B.shape[1]), dtype=np.float64)
+        for j in range(B.shape[1]):
+            out[:, j] = self.rmatvec(B[:, j])
+        return out
+
+    @property
+    def T(self) -> "LinearOperator":
+        """The transposed operator (matvec and rmatvec swapped)."""
+        return TransposedOperator(self)
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize the operator (tests and small problems only)."""
+        eye = np.eye(self.shape[1])
+        return self.matmat(eye)
+
+    def reset_counts(self) -> None:
+        """Zero the product counters."""
+        self.n_matvec = 0
+        self.n_rmatvec = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(shape={self.shape})"
+
+
+class DenseOperator(LinearOperator):
+    """Operator view over a dense ndarray."""
+
+    def __init__(self, array: np.ndarray) -> None:
+        super().__init__()
+        array = np.asarray(array, dtype=np.float64)
+        if array.ndim != 2:
+            raise ValueError("DenseOperator requires a 2-D array")
+        self.array = array
+        self.shape = array.shape
+
+    def _matvec(self, v: np.ndarray) -> np.ndarray:
+        return self.array @ v
+
+    def _rmatvec(self, u: np.ndarray) -> np.ndarray:
+        return self.array.T @ u
+
+
+class CSROperator(LinearOperator):
+    """Operator view over our :class:`CSRMatrix` or a scipy CSR matrix."""
+
+    def __init__(self, matrix) -> None:
+        super().__init__()
+        if isinstance(matrix, CSRMatrix):
+            self.matrix = matrix
+        elif is_sparse(matrix):
+            self.matrix = CSRMatrix.from_scipy(matrix)
+        else:
+            raise TypeError(f"expected a sparse matrix, got {type(matrix)}")
+        self.shape = self.matrix.shape
+
+    def _matvec(self, v: np.ndarray) -> np.ndarray:
+        return self.matrix.matvec(v)
+
+    def _rmatvec(self, u: np.ndarray) -> np.ndarray:
+        return self.matrix.rmatvec(u)
+
+
+class TransposedOperator(LinearOperator):
+    """Lazy transpose of another operator."""
+
+    def __init__(self, base: LinearOperator) -> None:
+        super().__init__()
+        self.base = base
+        self.shape = (base.shape[1], base.shape[0])
+
+    def _matvec(self, v: np.ndarray) -> np.ndarray:
+        return self.base.rmatvec(v)
+
+    def _rmatvec(self, u: np.ndarray) -> np.ndarray:
+        return self.base.matvec(u)
+
+
+class CenteringOperator(LinearOperator):
+    """Implicit ``X - 1 μᵀ`` where ``μ`` is the column-mean vector.
+
+    The centered data matrix of a sparse ``X`` is dense; the paper notes
+    this is exactly what makes classic LDA infeasible on text data.  This
+    operator applies the centered matrix without ever forming it:
+
+    - ``(X - 1 μᵀ) v   = X v - (μ·v) 1``
+    - ``(X - 1 μᵀ)ᵀ u  = Xᵀ u - (Σᵢ uᵢ) μ``
+    """
+
+    def __init__(
+        self, base: LinearOperator, column_means: Optional[np.ndarray] = None
+    ) -> None:
+        super().__init__()
+        self.base = base
+        self.shape = base.shape
+        if column_means is None:
+            ones = np.ones(base.shape[0])
+            column_means = base.rmatvec(ones) / base.shape[0]
+            base.reset_counts()
+        column_means = np.asarray(column_means, dtype=np.float64)
+        if column_means.shape != (base.shape[1],):
+            raise ValueError("column_means must have length n_features")
+        self.column_means = column_means
+
+    def _matvec(self, v: np.ndarray) -> np.ndarray:
+        shift = float(self.column_means @ v)
+        return self.base.matvec(v) - shift
+
+    def _rmatvec(self, u: np.ndarray) -> np.ndarray:
+        return self.base.rmatvec(u) - float(u.sum()) * self.column_means
+
+
+class AppendOnesOperator(LinearOperator):
+    """Implicit ``[X | 1]`` — the bias-absorption trick of Section III-B.
+
+    Appending a constant 1 feature lets the regression intercept absorb
+    the class-mean offsets, so SRDA can regress on the raw (sparse,
+    uncentered) data.  The augmented matrix is never formed:
+
+    - ``[X | 1] v = X v[:-1] + v[-1] 1``
+    - ``[X | 1]ᵀ u = (Xᵀ u, Σᵢ uᵢ)``
+    """
+
+    def __init__(self, base: LinearOperator) -> None:
+        super().__init__()
+        self.base = base
+        self.shape = (base.shape[0], base.shape[1] + 1)
+
+    def _matvec(self, v: np.ndarray) -> np.ndarray:
+        return self.base.matvec(v[:-1]) + v[-1]
+
+    def _rmatvec(self, u: np.ndarray) -> np.ndarray:
+        head = self.base.rmatvec(u)
+        return np.concatenate([head, [u.sum()]])
+
+
+class ScaledOperator(LinearOperator):
+    """``c * A`` for a scalar ``c``."""
+
+    def __init__(self, base: LinearOperator, scale: float) -> None:
+        super().__init__()
+        self.base = base
+        self.scale = float(scale)
+        self.shape = base.shape
+
+    def _matvec(self, v: np.ndarray) -> np.ndarray:
+        return self.scale * self.base.matvec(v)
+
+    def _rmatvec(self, u: np.ndarray) -> np.ndarray:
+        return self.scale * self.base.rmatvec(u)
+
+
+class StackedOperator(LinearOperator):
+    """Vertical stack ``[A; B]`` of two operators with equal column counts.
+
+    Used to express the damped least-squares system ``[X; √α I]`` that
+    LSQR solves when regularization is folded into the operator rather
+    than handled by LSQR's own ``damp`` parameter (the two paths are
+    equivalent; having both lets tests cross-check them).
+    """
+
+    def __init__(self, top: LinearOperator, bottom: LinearOperator) -> None:
+        super().__init__()
+        if top.shape[1] != bottom.shape[1]:
+            raise ValueError("stacked operators must share column count")
+        self.top = top
+        self.bottom = bottom
+        self.shape = (top.shape[0] + bottom.shape[0], top.shape[1])
+
+    def _matvec(self, v: np.ndarray) -> np.ndarray:
+        return np.concatenate([self.top.matvec(v), self.bottom.matvec(v)])
+
+    def _rmatvec(self, u: np.ndarray) -> np.ndarray:
+        head = u[: self.top.shape[0]]
+        tail = u[self.top.shape[0] :]
+        return self.top.rmatvec(head) + self.bottom.rmatvec(tail)
+
+
+class IdentityOperator(LinearOperator):
+    """``c * I`` on n-dimensional vectors."""
+
+    def __init__(self, n: int, scale: float = 1.0) -> None:
+        super().__init__()
+        self.shape = (n, n)
+        self.scale = float(scale)
+
+    def _matvec(self, v: np.ndarray) -> np.ndarray:
+        return self.scale * v
+
+    def _rmatvec(self, u: np.ndarray) -> np.ndarray:
+        return self.scale * u
+
+
+def as_operator(X) -> LinearOperator:
+    """Wrap a dense array, CSRMatrix, scipy sparse matrix, or operator."""
+    if isinstance(X, LinearOperator):
+        return X
+    if isinstance(X, CSRMatrix) or is_sparse(X):
+        return CSROperator(X)
+    return DenseOperator(np.asarray(X, dtype=np.float64))

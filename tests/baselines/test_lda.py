@@ -1,0 +1,108 @@
+"""Unit tests for the SVD-route LDA baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.lda import LDA, ScatterLDA
+from repro.core.base import NotFittedError
+from repro.linalg.sparse import CSRMatrix
+
+
+class TestLDA:
+    def test_embedding_dimension(self, small_classification):
+        X, y = small_classification
+        model = LDA().fit(X, y)
+        assert model.components_.shape == (X.shape[1], 2)
+
+    def test_n_components_cap(self, small_classification):
+        X, y = small_classification
+        model = LDA(n_components=1).fit(X, y)
+        assert model.components_.shape[1] == 1
+
+    def test_separable_data(self, small_classification):
+        X, y = small_classification
+        assert LDA().fit(X, y).score(X, y) == 1.0
+
+    def test_eigenvalues_in_unit_interval(self, small_classification):
+        # λ = trace ratio of S_b against S_t, bounded by S_b ⪯ S_t
+        X, y = small_classification
+        model = LDA().fit(X, y)
+        assert np.all(model.eigenvalues_ >= -1e-10)
+        assert np.all(model.eigenvalues_ <= 1.0 + 1e-10)
+
+    def test_eigenvalues_descending(self, small_classification):
+        X, y = small_classification
+        model = LDA().fit(X, y)
+        assert np.all(np.diff(model.eigenvalues_) <= 1e-12)
+
+    def test_directions_solve_generalized_eigenproblem(self, small_classification):
+        from repro.core.graph import between_class_scatter, total_scatter
+        from repro.core.base import encode_labels
+
+        X, y = small_classification
+        _, y_idx = encode_labels(y)
+        model = LDA().fit(X, y)
+        Sb = between_class_scatter(X, y_idx, 3)
+        St = total_scatter(X)
+        for j in range(model.components_.shape[1]):
+            a = model.components_[:, j]
+            lam = model.eigenvalues_[j]
+            residual = np.linalg.norm(Sb @ a - lam * (St @ a))
+            assert residual < 1e-6 * np.linalg.norm(St @ a)
+
+    def test_undersampled_case(self, highdim_classification):
+        # n > m: the singularity case the SVD route exists for
+        X, y = highdim_classification
+        model = LDA().fit(X, y)
+        assert model.score(X, y) == 1.0
+
+    def test_sparse_input_densified(self, small_classification):
+        X, y = small_classification
+        sparse_model = LDA().fit(CSRMatrix.from_dense(X), y)
+        dense_model = LDA().fit(X, y)
+        assert np.allclose(
+            np.abs(sparse_model.components_), np.abs(dense_model.components_),
+            atol=1e-8,
+        )
+
+    def test_constant_data_rejected(self):
+        X = np.ones((6, 4))
+        y = np.array([0, 1] * 3)
+        with pytest.raises(ValueError, match="zero variance"):
+            LDA().fit(X, y)
+
+    def test_unfitted(self, rng):
+        with pytest.raises(NotFittedError):
+            LDA().transform(rng.standard_normal((2, 3)))
+
+    def test_transform_centers_with_training_mean(self, small_classification):
+        X, y = small_classification
+        model = LDA().fit(X, y)
+        Z = model.transform(X)
+        expected = (X - X.mean(axis=0)) @ model.components_
+        assert np.allclose(Z, expected, atol=1e-10)
+
+
+class TestScatterLDAAgreement:
+    def test_matches_svd_route_subspace(self, small_classification):
+        X, y = small_classification
+        svd_route = LDA().fit(X, y)
+        scatter_route = ScatterLDA(ridge=1e-10).fit(X, y)
+        # same projection subspace: orthonormalized spans agree
+        Q1, _ = np.linalg.qr(svd_route.components_)
+        Q2, _ = np.linalg.qr(scatter_route.components_)
+        assert np.abs(Q1 @ Q1.T - Q2 @ Q2.T).max() < 1e-5
+
+    def test_matching_eigenvalues(self, small_classification):
+        X, y = small_classification
+        svd_route = LDA().fit(X, y)
+        scatter_route = ScatterLDA(ridge=1e-10).fit(X, y)
+        assert np.allclose(
+            svd_route.eigenvalues_, scatter_route.eigenvalues_, atol=1e-5
+        )
+
+    def test_same_predictions(self, small_classification):
+        X, y = small_classification
+        a = LDA().fit(X, y)
+        b = ScatterLDA(ridge=1e-10).fit(X, y)
+        assert np.array_equal(a.predict(X), b.predict(X))

@@ -1,0 +1,102 @@
+"""Unit tests for PCA and the two-stage PCA+LDA pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.lda import LDA
+from repro.baselines.pca import PCA, PCALDA
+from repro.core.base import NotFittedError
+
+
+class TestPCA:
+    def test_components_orthonormal(self, rng):
+        X = rng.standard_normal((30, 8))
+        model = PCA().fit(X)
+        Q = model.components_
+        assert np.allclose(Q.T @ Q, np.eye(Q.shape[1]), atol=1e-8)
+
+    def test_explained_variance_matches_numpy(self, rng):
+        X = rng.standard_normal((25, 6))
+        model = PCA().fit(X)
+        centered = X - X.mean(axis=0)
+        expected = np.linalg.svd(centered, compute_uv=False) ** 2 / 24
+        assert np.allclose(model.explained_variance_, expected[:6], atol=1e-8)
+
+    def test_transform_decorrelates(self, rng):
+        X = rng.standard_normal((50, 5)) @ rng.standard_normal((5, 5))
+        Z = PCA().fit_transform(X)
+        cov = np.cov(Z.T)
+        off_diagonal = cov - np.diag(np.diag(cov))
+        assert np.abs(off_diagonal).max() < 1e-8
+
+    def test_inverse_transform_full_rank(self, rng):
+        X = rng.standard_normal((20, 6))
+        model = PCA().fit(X)
+        assert np.allclose(
+            model.inverse_transform(model.transform(X)), X, atol=1e-8
+        )
+
+    def test_truncated_reconstruction_error_ordered(self, rng):
+        X = rng.standard_normal((30, 10))
+        errors = []
+        for k in (2, 5, 9):
+            model = PCA(n_components=k).fit(X)
+            reconstruction = model.inverse_transform(model.transform(X))
+            errors.append(np.linalg.norm(X - reconstruction))
+        assert errors[0] > errors[1] > errors[2]
+
+    def test_first_component_is_max_variance_direction(self, rng):
+        direction = np.array([3.0, 0.0, 0.0, 0.0])
+        X = rng.standard_normal((100, 1)) * direction + 0.1 * rng.standard_normal(
+            (100, 4)
+        )
+        model = PCA(n_components=1).fit(X)
+        leading = np.abs(model.components_[:, 0])
+        assert leading[0] > 0.99
+
+    def test_pca_equals_svd_of_centered_data(self, rng):
+        """The §II-A identity: SVD of centered X *is* PCA."""
+        from repro.linalg.svd import cross_product_svd
+
+        X = rng.standard_normal((20, 7))
+        model = PCA().fit(X)
+        _, s, V = cross_product_svd(X - X.mean(axis=0))
+        assert np.allclose(np.abs(model.components_), np.abs(V), atol=1e-8)
+        assert np.allclose(model.singular_values_, s, atol=1e-8)
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            PCA().fit(np.ones((1, 4)))
+
+    def test_unfitted(self, rng):
+        with pytest.raises(NotFittedError):
+            PCA().transform(rng.standard_normal((2, 3)))
+        with pytest.raises(NotFittedError):
+            PCA().inverse_transform(rng.standard_normal((2, 3)))
+
+
+class TestPCALDA:
+    def test_matches_direct_lda_predictions(self, small_classification):
+        """Fisherfaces with full-rank PCA ≡ SVD-route LDA — the
+        equivalence Section II-A establishes."""
+        X, y = small_classification
+        direct = LDA().fit(X, y)
+        two_stage = PCALDA().fit(X, y)
+        assert np.array_equal(direct.predict(X), two_stage.predict(X))
+
+    def test_matches_direct_lda_in_undersampled_case(
+        self, highdim_classification
+    ):
+        X, y = highdim_classification
+        direct = LDA().fit(X, y)
+        two_stage = PCALDA().fit(X, y)
+        assert np.array_equal(direct.predict(X), two_stage.predict(X))
+
+    def test_truncated_pca_stage(self, small_classification):
+        X, y = small_classification
+        model = PCALDA(pca_components=5).fit(X, y)
+        assert model.score(X, y) > 0.9
+
+    def test_unfitted(self, rng):
+        with pytest.raises(NotFittedError):
+            PCALDA().transform(rng.standard_normal((2, 3)))

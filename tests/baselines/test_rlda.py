@@ -1,0 +1,98 @@
+"""Unit tests for regularized LDA."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.lda import LDA
+from repro.baselines.rlda import RLDA
+from repro.linalg.dense import generalized_eigh
+
+
+class TestRLDA:
+    def test_embedding_dimension(self, small_classification):
+        X, y = small_classification
+        model = RLDA(alpha=1.0).fit(X, y)
+        assert model.components_.shape == (X.shape[1], 2)
+
+    def test_separable_data(self, small_classification):
+        X, y = small_classification
+        assert RLDA(alpha=1.0).fit(X, y).score(X, y) == 1.0
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            RLDA(alpha=-0.5)
+
+    def test_reduction_is_exact(self, small_classification):
+        """The SVD reduction must agree with solving the full-space
+        generalized problem directly (small n oracle)."""
+        from repro.core.base import encode_labels
+        from repro.core.graph import between_class_scatter, within_class_scatter
+
+        X, y = small_classification
+        _, y_idx = encode_labels(y)
+        alpha = 0.7
+        model = RLDA(alpha=alpha).fit(X, y)
+
+        Sb = between_class_scatter(X, y_idx, 3)
+        Sw = within_class_scatter(X, y_idx, 3)
+        eigvals, eigvecs = generalized_eigh(Sb, Sw, regularization=alpha)
+        assert np.allclose(model.eigenvalues_, eigvals[:2], atol=1e-6)
+        # same subspace
+        Q1, _ = np.linalg.qr(model.components_)
+        Q2, _ = np.linalg.qr(eigvecs[:, :2])
+        assert np.abs(Q1 @ Q1.T - Q2 @ Q2.T).max() < 1e-5
+
+    def test_directions_solve_regularized_eigenproblem(
+        self, highdim_classification
+    ):
+        from repro.core.base import encode_labels
+        from repro.core.graph import between_class_scatter, within_class_scatter
+
+        X, y = highdim_classification
+        _, y_idx = encode_labels(y)
+        alpha = 1.0
+        model = RLDA(alpha=alpha).fit(X, y)
+        Sb = between_class_scatter(X, y_idx, 4)
+        Sw = within_class_scatter(X, y_idx, 4)
+        n = X.shape[1]
+        for j in range(model.components_.shape[1]):
+            a = model.components_[:, j]
+            lam = model.eigenvalues_[j]
+            residual = np.linalg.norm(
+                Sb @ a - lam * ((Sw + alpha * np.eye(n)) @ a)
+            )
+            assert residual < 1e-6 * max(1.0, np.linalg.norm(a))
+
+    def test_undersampled_case_stable(self, highdim_classification):
+        X, y = highdim_classification
+        model = RLDA(alpha=1.0).fit(X, y)
+        assert np.all(np.isfinite(model.components_))
+        assert model.score(X, y) == 1.0
+
+    def test_generalizes_better_than_lda_when_undersampled(self, rng):
+        # the paper's core empirical finding, in miniature
+        n, c, per_class = 100, 5, 4
+        centers = 1.2 * rng.standard_normal((c, n))
+
+        def sample(count):
+            X = np.vstack(
+                [centers[k] + 2.0 * rng.standard_normal((count, n)) for k in range(c)]
+            )
+            return X, np.repeat(np.arange(c), count)
+
+        wins = 0
+        for _ in range(5):
+            X_tr, y_tr = sample(per_class)
+            X_te, y_te = sample(40)
+            lda_score = LDA().fit(X_tr, y_tr).score(X_te, y_te)
+            rlda_score = RLDA(alpha=1.0).fit(X_tr, y_tr).score(X_te, y_te)
+            wins += rlda_score >= lda_score
+        assert wins >= 4
+
+    def test_alpha_zero_close_to_lda_subspace(self, small_classification):
+        X, y = small_classification
+        lda_model = LDA().fit(X, y)
+        rlda_model = RLDA(alpha=1e-10).fit(X, y)
+        Q1, _ = np.linalg.qr(lda_model.components_)
+        Q2, _ = np.linalg.qr(rlda_model.components_)
+        assert np.abs(Q1 @ Q1.T - Q2 @ Q2.T).max() < 1e-4

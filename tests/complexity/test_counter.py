@@ -1,0 +1,75 @@
+"""Unit tests for empirical cost counting and scaling estimation."""
+
+import numpy as np
+import pytest
+
+from repro.complexity.counter import (
+    FlamCountingOperator,
+    loglog_slope,
+    predicted_lsqr_flam,
+)
+from repro.linalg.lsqr import lsqr
+from repro.linalg.operators import as_operator
+from repro.linalg.sparse import CSRMatrix
+
+
+class TestFlamCounting:
+    def test_dense_charge_per_product(self, rng):
+        A = rng.standard_normal((8, 5))
+        op = FlamCountingOperator(as_operator(A))
+        op.matvec(np.ones(5))
+        assert op.flam == 40
+        op.rmatvec(np.ones(8))
+        assert op.flam == 80
+
+    def test_sparse_charge_is_nnz(self, rng):
+        dense = rng.standard_normal((10, 6))
+        dense[dense < 0.8] = 0
+        csr = CSRMatrix.from_dense(dense)
+        op = FlamCountingOperator(as_operator(csr))
+        op.matvec(np.ones(6))
+        assert op.flam == csr.nnz
+
+    def test_reset(self, rng):
+        op = FlamCountingOperator(as_operator(rng.standard_normal((4, 3))))
+        op.matvec(np.ones(3))
+        op.reset()
+        assert op.flam == 0 and op.n_matvec == 0
+
+    def test_lsqr_cost_matches_model(self, rng):
+        """The data-touching cost of a real LSQR run must match the 2·nnz
+        per-iteration term of the model exactly."""
+        A = rng.standard_normal((60, 25))
+        op = FlamCountingOperator(as_operator(A))
+        result = lsqr(op, rng.standard_normal(60), iter_lim=12, atol=0, btol=0)
+        nnz = 60 * 25
+        # setup does one rmatvec; each iteration one matvec + one rmatvec
+        expected = (2 * result.itn + 1) * nnz
+        assert op.flam == expected
+        # and the model's dominant term agrees to within the setup product
+        model = predicted_lsqr_flam(60, 25, result.itn)
+        data_term = 2 * result.itn * nnz
+        assert abs(model - data_term) == result.itn * (3 * 60 + 5 * 25)
+
+
+class TestLogLogSlope:
+    def test_linear_data(self):
+        sizes = np.array([100, 200, 400, 800])
+        assert loglog_slope(sizes, 3.0 * sizes) == pytest.approx(1.0)
+
+    def test_cubic_data(self):
+        sizes = np.array([10.0, 20, 40, 80])
+        assert loglog_slope(sizes, sizes**3) == pytest.approx(3.0)
+
+    def test_noisy_quadratic(self, rng):
+        sizes = np.array([50.0, 100, 200, 400, 800])
+        times = sizes**2 * np.exp(0.02 * rng.standard_normal(5))
+        assert loglog_slope(sizes, times) == pytest.approx(2.0, abs=0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            loglog_slope([1.0], [1.0])
+        with pytest.raises(ValueError):
+            loglog_slope([1.0, 2.0], [0.0, 1.0])
+        with pytest.raises(ValueError):
+            loglog_slope([1.0, 2.0], [1.0])

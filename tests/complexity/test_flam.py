@@ -1,0 +1,138 @@
+"""Unit tests for the Table-I cost model."""
+
+import numpy as np
+import pytest
+
+from repro.complexity.flam import (
+    estimate_fit_bytes,
+    lda_flam,
+    lda_memory,
+    max_normal_speedup,
+    normal_speedup,
+    srda_lsqr_flam,
+    srda_lsqr_memory,
+    srda_normal_flam,
+    srda_normal_memory,
+    table1,
+)
+
+
+class TestPaperClaims:
+    def test_max_speedup_is_nine(self):
+        assert max_normal_speedup() == pytest.approx(9.0)
+
+    def test_speedup_approaches_nine_at_m_equals_n(self):
+        # c ≪ t: dominant terms give 6 t³ vs (2/3) t³
+        assert normal_speedup(20000, 20000, 10) == pytest.approx(9.0, rel=0.01)
+
+    def test_srda_normal_always_faster_than_lda(self):
+        for m, n, c in [(100, 50, 5), (1000, 3000, 20), (5000, 5000, 68),
+                        (50, 10000, 2)]:
+            assert srda_normal_flam(m, n, c) < lda_flam(m, n, c)
+
+    def test_lda_cubic_in_t(self):
+        # doubling t = min(m, n) on a square problem multiplies the cost
+        # by ~8 once the cubic term dominates
+        small = lda_flam(4000, 4000, 2)
+        large = lda_flam(8000, 8000, 2)
+        assert large / small == pytest.approx(8.0, rel=0.05)
+
+    def test_srda_lsqr_linear_in_m_and_n(self):
+        base = srda_lsqr_flam(1000, 500, 10, k=20)
+        assert srda_lsqr_flam(2000, 500, 10, k=20) / base == pytest.approx(
+            2.0, rel=0.05
+        )
+        base_n = srda_lsqr_flam(1000, 500, 10, k=20)
+        double_n = srda_lsqr_flam(1000, 1000, 10, k=20)
+        assert double_n / base_n == pytest.approx(2.0, rel=0.05)
+
+    def test_sparse_lsqr_depends_on_s_not_n(self):
+        dense = srda_lsqr_flam(10000, 26214, 20, k=15)
+        sparse = srda_lsqr_flam(10000, 26214, 20, k=15, s=100)
+        assert sparse < dense / 50
+
+    def test_lsqr_scales_linearly_in_iterations(self):
+        # responses term is additive, so compare increments
+        k10 = srda_lsqr_flam(1000, 500, 5, k=10)
+        k20 = srda_lsqr_flam(1000, 500, 5, k=20)
+        k30 = srda_lsqr_flam(1000, 500, 5, k=30)
+        assert (k30 - k20) == pytest.approx(k20 - k10)
+
+
+class TestMemoryModel:
+    def test_lda_memory_dominated_by_factors(self):
+        # for the 20NG shape the factors push LDA past 2 GB while sparse
+        # SRDA stays tiny — Table X's story
+        m, n, c, s = 9000, 26214, 20, 100
+        assert lda_memory(m, n, c) * 8 > 2 * 1024**3
+        assert srda_lsqr_memory(m, n, c, s=s) * 8 < 100 * 1024**2
+
+    def test_memory_ordering(self):
+        m, n, c = 2000, 1024, 68
+        assert srda_lsqr_memory(m, n, c) <= srda_normal_memory(m, n, c)
+        assert srda_normal_memory(m, n, c) <= lda_memory(m, n, c)
+
+    def test_estimate_fit_bytes_name_dispatch(self):
+        from repro.complexity.flam import idrqr_memory, rlda_memory
+
+        m, n, c = 500, 300, 10
+        assert estimate_fit_bytes("LDA", m, n, c) == lda_memory(m, n, c) * 8
+        assert estimate_fit_bytes("RLDA", m, n, c) == rlda_memory(m, n, c) * 8
+        assert estimate_fit_bytes("SRDA", m, n, c) == (
+            srda_normal_memory(m, n, c) * 8
+        )
+        assert estimate_fit_bytes("IDR/QR", m, n, c) == (
+            idrqr_memory(m, n, c) * 8
+        )
+        # sparse data (s given) implies SRDA runs its LSQR path
+        assert estimate_fit_bytes("SRDA", m, n, c, s=7.0) == (
+            srda_lsqr_memory(m, n, c, s=7.0) * 8
+        )
+
+    def test_news_dash_pattern(self):
+        """The model must reproduce Table IX/X's memory-wall pattern on
+        the real 20NG shape against the paper's ~1.2 GB workspace."""
+        from repro.complexity.flam import idrqr_memory, rlda_memory
+
+        n, c, budget = 26214, 20, 1.21e9
+        sizes = {0.05: 947, 0.10: 1894, 0.20: 3788, 0.30: 5682, 0.40: 7576}
+        # RLDA: dead at every ratio (the n×n scatter alone exceeds 2 GB)
+        assert rlda_memory(sizes[0.05], n, c) * 8 > 2 * 1024**3
+        # LDA: alive at 5/10%, dead at 20%
+        assert lda_memory(sizes[0.10], n, c) * 8 < budget
+        assert lda_memory(sizes[0.20], n, c) * 8 > budget
+        # IDR/QR: alive at 30%, dead at 40%
+        assert idrqr_memory(sizes[0.30], n, c) * 8 < budget
+        assert idrqr_memory(sizes[0.40], n, c) * 8 > budget
+        # SRDA (sparse LSQR): two orders of magnitude below budget at 50%
+        assert srda_lsqr_memory(9470, n, c, s=90) * 8 < budget / 50
+
+    def test_unknown_algorithm_gets_sparse_estimate(self):
+        assert estimate_fit_bytes("Mystery", 100, 50, 4, s=5) == (
+            srda_lsqr_memory(100, 50, 4, s=5) * 8
+        )
+
+
+class TestValidation:
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            lda_flam(0, 10, 3)
+        with pytest.raises(ValueError):
+            srda_normal_flam(10, 10, 1)
+        with pytest.raises(ValueError):
+            srda_lsqr_flam(10, 10, 3, k=0)
+
+    def test_table1_rows(self):
+        rows = table1(1000, 500, 10, k=15, s=40)
+        assert set(rows) == {
+            "LDA",
+            "SRDA (normal equations)",
+            "SRDA (LSQR, dense)",
+            "SRDA (LSQR, sparse)",
+        }
+        for row in rows.values():
+            assert row["flam"] > 0 and row["memory"] > 0
+
+    def test_table1_without_sparsity(self):
+        rows = table1(100, 50, 5)
+        assert "SRDA (LSQR, sparse)" not in rows

@@ -1,0 +1,64 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.linalg.sparse import CSRMatrix
+
+
+@pytest.fixture
+def rng():
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_classification(rng):
+    """A small, well-separated classification problem (m > n).
+
+    Returns ``(X, y)`` with 3 classes of 20 samples in 10 dimensions.
+    """
+    n_per_class, n_features, n_classes = 20, 10, 3
+    centers = 4.0 * rng.standard_normal((n_classes, n_features))
+    X = np.vstack(
+        [
+            centers[k] + rng.standard_normal((n_per_class, n_features))
+            for k in range(n_classes)
+        ]
+    )
+    y = np.repeat(np.arange(n_classes), n_per_class)
+    shuffle = rng.permutation(X.shape[0])
+    return X[shuffle], y[shuffle]
+
+
+@pytest.fixture
+def highdim_classification(rng):
+    """An undersampled problem (n > m) with linearly independent samples.
+
+    Returns ``(X, y)`` with 4 classes of 5 samples in 60 dimensions —
+    the regime of Corollary 3.
+    """
+    n_per_class, n_features, n_classes = 5, 60, 4
+    centers = 3.0 * rng.standard_normal((n_classes, n_features))
+    X = np.vstack(
+        [
+            centers[k] + rng.standard_normal((n_per_class, n_features))
+            for k in range(n_classes)
+        ]
+    )
+    y = np.repeat(np.arange(n_classes), n_per_class)
+    return X, y
+
+
+@pytest.fixture
+def sparse_classification(rng):
+    """A sparse 5-class problem as (CSRMatrix, dense_copy, y)."""
+    m, n, n_classes = 60, 40, 5
+    y = np.arange(m) % n_classes
+    dense = rng.standard_normal((m, n))
+    dense[rng.random((m, n)) < 0.7] = 0.0
+    # inject class signal on disjoint coordinate blocks
+    for k in range(n_classes):
+        cols = slice(8 * k, 8 * k + 4)
+        dense[y == k, cols] += 2.0
+    return CSRMatrix.from_dense(dense), dense, y

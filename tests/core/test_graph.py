@@ -1,0 +1,159 @@
+"""Unit tests for the graph-embedding view of LDA (Eqn 6/7)."""
+
+import numpy as np
+import pytest
+
+from repro.core.graph import (
+    between_class_scatter,
+    between_scatter_via_graph,
+    graph_laplacian,
+    graph_responses,
+    knn_affinity,
+    lda_weight_matrix,
+    scaled_indicator,
+    semi_supervised_affinity,
+    total_scatter,
+    weight_matrix_eigenstructure,
+    within_class_scatter,
+)
+
+
+@pytest.fixture
+def labeled(rng):
+    y = rng.integers(0, 3, 24)
+    y[:3] = np.arange(3)
+    X = rng.standard_normal((24, 6)) + 2.0 * y[:, None]
+    return X, y
+
+
+class TestWeightMatrix:
+    def test_entries(self):
+        y = np.array([0, 1, 0, 1, 1])
+        W = lda_weight_matrix(y, 2)
+        assert W[0, 2] == pytest.approx(1.0 / 2)   # class 0 has 2 members
+        assert W[1, 3] == pytest.approx(1.0 / 3)   # class 1 has 3 members
+        assert W[0, 1] == 0.0
+        assert np.allclose(W, W.T)
+
+    def test_row_sums_are_one(self, labeled):
+        X, y = labeled
+        W = lda_weight_matrix(y, 3)
+        assert np.allclose(W.sum(axis=1), 1.0)
+
+    def test_rank_equals_classes(self, labeled):
+        _, y = labeled
+        W = lda_weight_matrix(y, 3)
+        assert np.linalg.matrix_rank(W) == 3
+
+    def test_factorization_w_equals_eet(self, labeled):
+        _, y = labeled
+        W = lda_weight_matrix(y, 3)
+        E = scaled_indicator(y, 3)
+        assert np.allclose(E @ E.T, W, atol=1e-12)
+
+    def test_eigenstructure(self, labeled):
+        _, y = labeled
+        W = lda_weight_matrix(y, 3)
+        eigvals, eigvecs = weight_matrix_eigenstructure(y, 3)
+        assert np.array_equal(eigvals, np.ones(3))
+        assert np.allclose(W @ eigvecs, eigvecs, atol=1e-12)
+        # those eigenvectors are orthonormal
+        assert np.allclose(eigvecs.T @ eigvecs, np.eye(3), atol=1e-12)
+
+    def test_trace_equals_c(self, labeled):
+        _, y = labeled
+        assert np.trace(lda_weight_matrix(y, 3)) == pytest.approx(3.0)
+
+
+class TestScatterIdentities:
+    def test_eqn7_graph_factorization(self, labeled):
+        X, y = labeled
+        direct = between_class_scatter(X, y, 3)
+        via_graph = between_scatter_via_graph(X, y, 3)
+        assert np.allclose(direct, via_graph, atol=1e-8)
+
+    def test_st_equals_sb_plus_sw(self, labeled):
+        X, y = labeled
+        St = total_scatter(X)
+        Sb = between_class_scatter(X, y, 3)
+        Sw = within_class_scatter(X, y, 3)
+        assert np.allclose(St, Sb + Sw, atol=1e-8)
+
+    def test_sb_rank_bounded_by_c_minus_1(self, labeled):
+        X, y = labeled
+        Sb = between_class_scatter(X, y, 3)
+        assert np.linalg.matrix_rank(Sb, tol=1e-8) <= 2
+
+    def test_scatters_are_psd(self, labeled):
+        X, y = labeled
+        for S in (
+            between_class_scatter(X, y, 3),
+            within_class_scatter(X, y, 3),
+            total_scatter(X),
+        ):
+            eigvals = np.linalg.eigvalsh(S)
+            assert eigvals.min() > -1e-8
+
+    def test_single_point_classes(self):
+        X = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+        y = np.array([0, 1, 2])
+        Sw = within_class_scatter(X, y, 3)
+        assert np.allclose(Sw, 0.0)
+
+
+class TestGeneralizedGraphs:
+    def test_knn_symmetric_binary(self, rng):
+        X = rng.standard_normal((20, 4))
+        W = knn_affinity(X, n_neighbors=3)
+        assert np.allclose(W, W.T)
+        assert set(np.unique(W)) <= {0.0, 1.0}
+        assert np.all(np.diag(W) == 0.0)
+
+    def test_knn_heat_weights_in_unit_interval(self, rng):
+        X = rng.standard_normal((15, 3))
+        W = knn_affinity(X, n_neighbors=4, mode="heat")
+        assert W.max() <= 1.0 and W.min() >= 0.0
+        assert (W > 0).sum() >= 15 * 4  # at least k entries per row
+
+    def test_knn_invalid_neighbors(self, rng):
+        X = rng.standard_normal((5, 2))
+        with pytest.raises(ValueError):
+            knn_affinity(X, n_neighbors=5)
+        with pytest.raises(ValueError):
+            knn_affinity(X, n_neighbors=0)
+
+    def test_knn_unknown_mode(self, rng):
+        with pytest.raises(ValueError):
+            knn_affinity(rng.standard_normal((6, 2)), 2, mode="cubic")
+
+    def test_semi_supervised_blends(self, rng):
+        X = rng.standard_normal((12, 3))
+        y = np.array([0, 1, -1, -1, 0, 1, -1, -1, 0, 1, -1, -1])
+        W = semi_supervised_affinity(X, y, 2, n_neighbors=2)
+        knn_only = knn_affinity(X, n_neighbors=2)
+        # supervised pairs gained weight on top of the kNN graph
+        assert W[0, 4] > knn_only[0, 4]
+        assert np.allclose(W, W.T)
+
+    def test_laplacian_null_vector(self, rng):
+        X = rng.standard_normal((10, 3))
+        W = knn_affinity(X, n_neighbors=3)
+        L = graph_laplacian(W)
+        assert np.allclose(L @ np.ones(10), 0.0, atol=1e-10)
+
+    def test_normalized_laplacian_psd(self, rng):
+        X = rng.standard_normal((10, 3))
+        W = knn_affinity(X, n_neighbors=3)
+        L = graph_laplacian(W, normalized=True)
+        eigvals = np.linalg.eigvalsh(0.5 * (L + L.T))
+        assert eigvals.min() > -1e-8
+
+    def test_graph_responses_on_lda_graph_match_indicator_span(self, labeled):
+        X, y = labeled
+        W = lda_weight_matrix(y, 3)
+        R = graph_responses(W, n_components=2)
+        # responses must lie in the class-indicator span: piecewise
+        # constant per class
+        for k in range(3):
+            rows = R[y == k]
+            assert np.allclose(rows, rows[0], atol=1e-6)

@@ -1,0 +1,114 @@
+"""Unit tests for the kernel SRDA extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.base import NotFittedError
+from repro.core.kernel_srda import (
+    KernelSRDA,
+    linear_kernel,
+    polynomial_kernel,
+    rbf_kernel,
+)
+
+
+@pytest.fixture
+def rings(rng):
+    """Two concentric rings — linearly inseparable, RBF-separable."""
+    n = 60
+    angles = rng.uniform(0, 2 * np.pi, n)
+    radii = np.where(np.arange(n) % 2 == 0, 1.0, 3.0)
+    radii = radii + 0.1 * rng.standard_normal(n)
+    X = np.column_stack([radii * np.cos(angles), radii * np.sin(angles)])
+    y = (np.arange(n) % 2).astype(int)
+    return X, y
+
+
+class TestKernels:
+    def test_linear_kernel(self, rng):
+        X = rng.standard_normal((5, 3))
+        Y = rng.standard_normal((4, 3))
+        assert np.allclose(linear_kernel(X, Y), X @ Y.T)
+
+    def test_rbf_diagonal_is_one(self, rng):
+        X = rng.standard_normal((6, 4))
+        K = rbf_kernel(X, X, gamma=0.5)
+        assert np.allclose(np.diag(K), 1.0)
+        assert K.max() <= 1.0 + 1e-12
+        assert np.allclose(K, K.T)
+
+    def test_rbf_decays_with_distance(self):
+        X = np.array([[0.0], [1.0], [5.0]])
+        K = rbf_kernel(X, X, gamma=1.0)
+        assert K[0, 1] > K[0, 2]
+
+    def test_polynomial_kernel(self, rng):
+        X = rng.standard_normal((4, 3))
+        K = polynomial_kernel(X, X, degree=2, coef0=1.0, gamma=1.0)
+        assert np.allclose(K, (X @ X.T + 1.0) ** 2)
+
+
+class TestKernelSRDA:
+    def test_rbf_separates_rings(self, rings):
+        X, y = rings
+        linear_score = KernelSRDA(alpha=0.01, kernel="linear").fit(X, y).score(X, y)
+        rbf_score = KernelSRDA(alpha=0.01, kernel="rbf", gamma=1.0).fit(
+            X, y
+        ).score(X, y)
+        assert rbf_score > 0.95
+        assert rbf_score > linear_score
+
+    def test_embedding_shape(self, small_classification):
+        X, y = small_classification
+        Z = KernelSRDA(alpha=0.1).fit_transform(X, y)
+        assert Z.shape == (X.shape[0], 2)
+
+    def test_fit_transform_equals_fit_then_transform(self, small_classification):
+        X, y = small_classification
+        a = KernelSRDA(alpha=0.1, kernel="rbf")
+        Z1 = a.fit_transform(X, y)
+        Z2 = a.transform(X)
+        assert np.allclose(Z1, Z2, atol=1e-8)
+
+    def test_precomputed_matches_builtin(self, small_classification):
+        X, y = small_classification
+        gamma = 1.0 / X.shape[1]
+        K = rbf_kernel(X, X, gamma)
+        builtin = KernelSRDA(alpha=0.1, kernel="rbf").fit(X, y)
+        precomputed = KernelSRDA(alpha=0.1, kernel="precomputed").fit(K, y)
+        assert np.allclose(
+            builtin.transform(X), precomputed.transform(K), atol=1e-8
+        )
+
+    def test_precomputed_requires_square(self, rng):
+        with pytest.raises(ValueError):
+            KernelSRDA(kernel="precomputed").fit(
+                rng.standard_normal((4, 5)), np.array([0, 1, 0, 1])
+            )
+
+    def test_poly_kernel_runs(self, small_classification):
+        X, y = small_classification
+        model = KernelSRDA(alpha=0.5, kernel="poly", degree=2).fit(X, y)
+        assert model.score(X, y) > 0.8
+
+    def test_unfitted_raises(self, rng):
+        with pytest.raises(NotFittedError):
+            KernelSRDA().transform(rng.standard_normal((3, 4)))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            KernelSRDA(alpha=0.0)
+        with pytest.raises(ValueError):
+            KernelSRDA(kernel="sigmoid")
+
+    def test_linear_kernel_close_to_linear_srda_predictions(
+        self, small_classification
+    ):
+        # with a linear kernel and matching regularization geometry, the
+        # decision structure should mirror linear SRDA on easy data
+        from repro.core.srda import SRDA
+
+        X, y = small_classification
+        kernel_pred = KernelSRDA(alpha=1.0, kernel="linear").fit(X, y).predict(X)
+        linear_pred = SRDA(alpha=1.0).fit(X, y).predict(X)
+        assert np.mean(kernel_pred == linear_pred) >= 0.95

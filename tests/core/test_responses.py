@@ -1,0 +1,121 @@
+"""Unit tests for response generation (Eqn 15/16)."""
+
+import numpy as np
+import pytest
+
+from repro.core.graph import lda_weight_matrix
+from repro.core.responses import (
+    generate_responses,
+    indicator_matrix,
+    response_table,
+    validate_responses,
+)
+
+
+def balanced_labels(n_classes, per_class):
+    return np.repeat(np.arange(n_classes), per_class)
+
+
+class TestIndicatorMatrix:
+    def test_one_hot_structure(self):
+        y = np.array([0, 2, 1, 0])
+        Y = indicator_matrix(y, 3)
+        expected = np.array(
+            [[1, 0, 0], [0, 0, 1], [0, 1, 0], [1, 0, 0]], dtype=float
+        )
+        assert np.array_equal(Y, expected)
+
+    def test_rows_sum_to_one(self, rng):
+        y = rng.integers(0, 4, 30)
+        assert np.array_equal(indicator_matrix(y, 4).sum(axis=1), np.ones(30))
+
+    def test_out_of_range_label(self):
+        with pytest.raises(ValueError):
+            indicator_matrix(np.array([0, 5]), 3)
+
+
+class TestGenerateResponses:
+    def test_shape(self):
+        y = balanced_labels(4, 6)
+        assert generate_responses(y, 4).shape == (24, 3)
+
+    def test_orthogonal_to_ones(self):
+        y = balanced_labels(5, 4)
+        R = generate_responses(y, 5)
+        assert np.abs(R.sum(axis=0)).max() < 1e-10
+
+    def test_orthonormal_columns(self):
+        y = balanced_labels(5, 4)
+        R = generate_responses(y, 5)
+        assert np.allclose(R.T @ R, np.eye(4), atol=1e-10)
+
+    def test_eigenvectors_of_w_with_eigenvalue_one(self, rng):
+        y = rng.integers(0, 4, 40)
+        y[:4] = np.arange(4)
+        R = generate_responses(y, 4)
+        W = lda_weight_matrix(y, 4)
+        assert np.allclose(W @ R, R, atol=1e-10)
+
+    def test_piecewise_constant_on_classes(self, rng):
+        y = rng.integers(0, 3, 25)
+        y[:3] = np.arange(3)
+        R = generate_responses(y, 3)
+        table = response_table(R, y, 3)  # raises if not piecewise constant
+        assert table.shape == (3, 2)
+
+    def test_unbalanced_classes(self):
+        y = np.array([0] * 10 + [1] * 2 + [2] * 5)
+        R = generate_responses(y, 3)
+        validate_responses(R, y)
+
+    def test_two_classes_single_response(self):
+        y = np.array([0, 0, 1, 1, 1])
+        R = generate_responses(y, 2)
+        assert R.shape == (5, 1)
+        # the single response separates the classes by sign
+        signs = np.sign(R[:, 0])
+        assert len(set(signs[y == 0])) == 1
+        assert len(set(signs[y == 1])) == 1
+        assert signs[0] != signs[2]
+
+    def test_missing_class_rejected(self):
+        y = np.array([0, 0, 2, 2])  # class 1 absent
+        with pytest.raises(ValueError, match="no samples"):
+            generate_responses(y, 3)
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError):
+            generate_responses(np.zeros(5, dtype=int), 1)
+
+    def test_deterministic(self):
+        y = balanced_labels(3, 7)
+        assert np.array_equal(generate_responses(y, 3), generate_responses(y, 3))
+
+    def test_random_order_spans_same_space(self, rng):
+        y = balanced_labels(4, 5)
+        R1 = generate_responses(y, 4)
+        R2 = generate_responses(y, 4, rng=np.random.default_rng(7))
+        # different bases of the same subspace: projections agree
+        P1 = R1 @ R1.T
+        P2 = R2 @ R2.T
+        assert np.allclose(P1, P2, atol=1e-10)
+
+    def test_permutation_equivariance(self, rng):
+        y = balanced_labels(3, 6)
+        perm = rng.permutation(len(y))
+        R = generate_responses(y, 3)
+        R_perm = generate_responses(y[perm], 3)
+        assert np.allclose(R_perm, R[perm], atol=1e-10)
+
+
+class TestValidationHelpers:
+    def test_validate_rejects_bad_responses(self, rng):
+        R = rng.standard_normal((10, 2))  # not orthogonal to ones
+        with pytest.raises(ValueError, match="Eqn 16"):
+            validate_responses(R, np.zeros(10, dtype=int))
+
+    def test_response_table_rejects_non_constant(self, rng):
+        y = np.array([0, 0, 1, 1])
+        R = rng.standard_normal((4, 1))
+        with pytest.raises(ValueError, match="piecewise"):
+            response_table(R, y, 2)

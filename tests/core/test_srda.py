@@ -1,0 +1,274 @@
+"""Unit tests for the SRDA estimator."""
+
+import numpy as np
+import pytest
+from scipy import sparse as sp
+
+from repro.core.base import NotFittedError
+from repro.core.srda import SRDA
+from repro.linalg.sparse import CSRMatrix
+
+
+class TestBasicBehavior:
+    def test_fit_transform_shapes(self, small_classification):
+        X, y = small_classification
+        model = SRDA(alpha=1.0)
+        Z = model.fit_transform(X, y)
+        assert Z.shape == (X.shape[0], 2)  # c - 1 dimensions
+        assert model.components_.shape == (X.shape[1], 2)
+        assert model.intercept_.shape == (2,)
+
+    def test_separable_data_classified_perfectly(self, small_classification):
+        X, y = small_classification
+        model = SRDA(alpha=1.0).fit(X, y)
+        assert model.score(X, y) == 1.0
+
+    def test_predict_returns_original_labels(self, rng):
+        X = rng.standard_normal((20, 5))
+        X[10:] += 5.0
+        y = np.array(["cat"] * 10 + ["dog"] * 10)
+        model = SRDA(alpha=1.0).fit(X, y)
+        assert set(model.predict(X)) <= {"cat", "dog"}
+        assert model.score(X, y) == 1.0
+
+    def test_unfitted_raises(self, rng):
+        with pytest.raises(NotFittedError):
+            SRDA().transform(rng.standard_normal((3, 4)))
+        with pytest.raises(NotFittedError):
+            SRDA().predict(rng.standard_normal((3, 4)))
+
+    def test_transform_feature_mismatch(self, small_classification):
+        X, y = small_classification
+        model = SRDA().fit(X, y)
+        with pytest.raises(ValueError):
+            model.transform(np.ones((2, X.shape[1] + 1)))
+
+    def test_two_class_problem(self, rng):
+        X = np.vstack([rng.standard_normal((15, 6)),
+                       rng.standard_normal((15, 6)) + 3.0])
+        y = np.repeat([0, 1], 15)
+        model = SRDA(alpha=0.5).fit(X, y)
+        assert model.components_.shape == (6, 1)
+        assert model.score(X, y) == 1.0
+
+    def test_single_class_rejected(self, rng):
+        with pytest.raises(ValueError):
+            SRDA().fit(rng.standard_normal((5, 3)), np.zeros(5))
+
+    def test_label_length_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            SRDA().fit(rng.standard_normal((5, 3)), np.zeros(4))
+
+
+class TestParameters:
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            SRDA(alpha=-1.0)
+
+    def test_invalid_solver(self):
+        with pytest.raises(ValueError):
+            SRDA(solver="cg")
+
+    def test_invalid_max_iter(self):
+        with pytest.raises(ValueError):
+            SRDA(max_iter=0)
+
+    def test_alpha_controls_shrinkage(self, small_classification):
+        # centered path penalizes exactly the projection vectors, so
+        # their norm is monotone in alpha
+        X, y = small_classification
+        norms = [
+            np.linalg.norm(
+                SRDA(alpha=alpha, solver="normal").fit(X, y).components_
+            )
+            for alpha in (0.01, 1.0, 100.0)
+        ]
+        assert norms[0] > norms[1] > norms[2]
+
+    def test_invalid_centering(self):
+        with pytest.raises(ValueError):
+            SRDA(centering="yes")
+
+    def test_centering_resolution(self, small_classification, sparse_classification):
+        X, y = small_classification
+        assert SRDA().fit(X, y).centered_ is True
+        S, _, ys = sparse_classification
+        assert SRDA().fit(S, ys).centered_ is False
+
+    def test_centered_normal_on_sparse_rejected(self, sparse_classification):
+        S, _, y = sparse_classification
+        with pytest.raises(ValueError, match="densifies"):
+            SRDA(centering=True, solver="normal").fit(S, y)
+
+    def test_sparse_implicit_centering_matches_dense_centering(
+        self, sparse_classification
+    ):
+        # centering=True on sparse input runs through CenteringOperator
+        # and must match explicit dense centering exactly
+        S, dense, y = sparse_classification
+        implicit = SRDA(
+            alpha=1.0, centering=True, solver="lsqr", max_iter=500, tol=1e-14
+        ).fit(S, y)
+        explicit = SRDA(alpha=1.0, centering=True, solver="normal").fit(dense, y)
+        assert np.allclose(
+            implicit.components_, explicit.components_, atol=1e-6
+        )
+        assert np.allclose(implicit.intercept_, explicit.intercept_, atol=1e-6)
+
+    def test_solver_used_reported(self, small_classification):
+        X, y = small_classification
+        assert SRDA(solver="normal").fit(X, y).solver_used_ == "normal"
+        assert SRDA(solver="lsqr").fit(X, y).solver_used_ == "lsqr"
+        # dense small input resolves to normal under auto
+        assert SRDA(solver="auto").fit(X, y).solver_used_ == "normal"
+
+    def test_auto_prefers_lsqr_for_sparse(self, sparse_classification):
+        S, _, y = sparse_classification
+        model = SRDA(solver="auto").fit(S, y)
+        assert model.solver_used_ == "lsqr"
+
+    def test_auto_switches_to_lsqr_above_size_limit(
+        self, small_classification, monkeypatch
+    ):
+        import repro.core.srda as srda_module
+
+        X, y = small_classification
+        monkeypatch.setattr(srda_module, "_AUTO_NORMAL_LIMIT", 5)
+        model = SRDA(solver="auto", max_iter=200, tol=1e-12).fit(X, y)
+        assert model.solver_used_ == "lsqr"
+
+    def test_lsqr_iteration_telemetry(self, small_classification):
+        X, y = small_classification
+        model = SRDA(solver="lsqr", max_iter=7, tol=0.0).fit(X, y)
+        assert model.lsqr_iterations_ == [7, 7]
+        normal = SRDA(solver="normal").fit(X, y)
+        assert normal.lsqr_iterations_ is None
+
+
+class TestSolverAgreement:
+    def test_normal_vs_lsqr(self, small_classification):
+        X, y = small_classification
+        a = SRDA(alpha=1.0, solver="normal").fit(X, y)
+        b = SRDA(alpha=1.0, solver="lsqr", max_iter=500, tol=1e-14).fit(X, y)
+        assert np.allclose(a.components_, b.components_, atol=1e-6)
+        assert np.allclose(a.intercept_, b.intercept_, atol=1e-6)
+
+    def test_primal_vs_dual_normal_path(self, rng):
+        # n > m exercises the dual (Eqn 21) branch; compare against the
+        # naive primal system on centered data formed explicitly.
+        m, n = 12, 30
+        X = rng.standard_normal((m, n))
+        y = np.arange(m) % 3
+        model = SRDA(alpha=0.7, solver="normal").fit(X, y)
+        from repro.core.responses import generate_responses
+
+        mean = X.mean(axis=0)
+        centered = X - mean
+        R = generate_responses(y, 3)
+        ref = np.linalg.solve(
+            centered.T @ centered + 0.7 * np.eye(n), centered.T @ R
+        )
+        assert np.allclose(model.components_, ref, atol=1e-8)
+        assert np.allclose(model.intercept_, -(mean @ ref), atol=1e-8)
+
+    def test_augmented_path_matches_paper_formulation(self, rng):
+        # centering=False reproduces the Section III-B augmented system
+        m, n = 20, 8
+        X = rng.standard_normal((m, n))
+        y = np.arange(m) % 3
+        model = SRDA(alpha=0.7, solver="normal", centering=False).fit(X, y)
+        from repro.core.responses import generate_responses
+
+        X_aug = np.hstack([X, np.ones((m, 1))])
+        R = generate_responses(y, 3)
+        ref = np.linalg.solve(
+            X_aug.T @ X_aug + 0.7 * np.eye(n + 1), X_aug.T @ R
+        )
+        assert np.allclose(model.components_, ref[:-1], atol=1e-8)
+        assert np.allclose(model.intercept_, ref[-1], atol=1e-8)
+
+    def test_sparse_equals_dense(self, sparse_classification):
+        # same formulation (bias absorption) on both storage layouts
+        S, dense, y = sparse_classification
+        sparse_model = SRDA(alpha=1.0, solver="lsqr", max_iter=500,
+                            tol=1e-14).fit(S, y)
+        dense_model = SRDA(alpha=1.0, solver="normal",
+                           centering=False).fit(dense, y)
+        assert np.allclose(
+            sparse_model.components_, dense_model.components_, atol=1e-6
+        )
+
+    def test_scipy_sparse_input(self, sparse_classification):
+        _, dense, y = sparse_classification
+        scipy_model = SRDA(alpha=1.0, solver="lsqr", max_iter=500,
+                           tol=1e-14).fit(sp.csr_matrix(dense), y)
+        dense_model = SRDA(alpha=1.0, solver="normal",
+                           centering=False).fit(dense, y)
+        assert np.allclose(
+            scipy_model.components_, dense_model.components_, atol=1e-6
+        )
+
+    def test_centered_and_augmented_agree_as_alpha_vanishes(
+        self, sparse_classification
+    ):
+        # the two III-B realizations differ only through the penalized
+        # bias, an O(α) effect: they coincide in the α → 0 limit
+        _, dense, y = sparse_classification
+        centered = SRDA(alpha=1e-10, solver="normal").fit(dense, y)
+        augmented = SRDA(alpha=1e-10, solver="normal",
+                         centering=False).fit(dense, y)
+        Z1 = centered.transform(dense)
+        Z2 = augmented.transform(dense)
+        assert np.allclose(Z1, Z2, atol=1e-4)
+
+    def test_sparse_transform_and_predict(self, sparse_classification):
+        S, dense, y = sparse_classification
+        model = SRDA(alpha=1.0, solver="lsqr", max_iter=300, tol=1e-13).fit(S, y)
+        assert np.allclose(model.transform(S), model.transform(dense), atol=1e-9)
+        assert np.array_equal(model.predict(S), model.predict(dense))
+
+
+class TestInvariances:
+    def test_label_permutation_invariance(self, small_classification, rng):
+        # relabeling classes must not change the embedding subspace
+        X, y = small_classification
+        mapping = np.array([2, 0, 1])
+        a = SRDA(alpha=1.0, solver="normal").fit(X, y)
+        b = SRDA(alpha=1.0, solver="normal").fit(X, mapping[y])
+        Za, Zb = a.transform(X), b.transform(X)
+        # compare class-centroid pairwise distances (rotation invariant)
+        def centroid_distances(Z, labels):
+            cents = np.vstack([Z[labels == k].mean(axis=0) for k in range(3)])
+            return np.sort(
+                np.linalg.norm(cents[:, None] - cents[None, :], axis=-1),
+                axis=None,
+            )
+        da = centroid_distances(Za, y)
+        db = centroid_distances(Zb, mapping[y])
+        assert np.allclose(da, db, atol=1e-6)
+
+    def test_sample_order_invariance(self, small_classification, rng):
+        X, y = small_classification
+        perm = rng.permutation(X.shape[0])
+        a = SRDA(alpha=1.0, solver="normal").fit(X, y)
+        b = SRDA(alpha=1.0, solver="normal").fit(X[perm], y[perm])
+        assert np.allclose(a.components_, b.components_, atol=1e-8)
+        assert np.allclose(a.intercept_, b.intercept_, atol=1e-8)
+
+    def test_translation_invariance_of_predictions(self, small_classification):
+        # the absorbed intercept makes predictions shift-invariant
+        X, y = small_classification
+        shift = 100.0 * np.ones(X.shape[1])
+        a = SRDA(alpha=1.0, solver="normal").fit(X, y)
+        b = SRDA(alpha=1.0, solver="normal").fit(X + shift, y)
+        assert np.array_equal(a.predict(X), b.predict(X + shift))
+
+    def test_duplicated_dataset_same_direction(self, small_classification):
+        # duplicating every sample scales the Gram matrix but should not
+        # change predictions
+        X, y = small_classification
+        X2 = np.vstack([X, X])
+        y2 = np.concatenate([y, y])
+        a = SRDA(alpha=1e-8, solver="normal").fit(X, y)
+        b = SRDA(alpha=1e-8, solver="normal").fit(X2, y2)
+        assert np.array_equal(a.predict(X), b.predict(X))

@@ -1,0 +1,61 @@
+"""Unit tests for the Dataset container."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.base import Dataset
+from repro.linalg.sparse import CSRMatrix
+
+
+class TestDataset:
+    def test_dense_properties(self, rng):
+        X = rng.standard_normal((10, 4))
+        y = np.array([0, 1] * 5)
+        d = Dataset("toy", X, y)
+        assert d.n_samples == 10
+        assert d.n_features == 4
+        assert d.n_classes == 2
+        assert not d.is_sparse
+
+    def test_sparse_properties(self, rng):
+        dense = rng.standard_normal((6, 5))
+        dense[dense < 0.5] = 0
+        d = Dataset("toy", CSRMatrix.from_dense(dense), np.arange(6) % 3)
+        assert d.is_sparse
+        assert d.n_classes == 3
+
+    def test_length_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            Dataset("bad", rng.standard_normal((4, 2)), np.zeros(5))
+
+    def test_2d_labels_rejected(self, rng):
+        with pytest.raises(ValueError):
+            Dataset("bad", rng.standard_normal((4, 2)), np.zeros((4, 1)))
+
+    def test_subset_dense(self, rng):
+        X = rng.standard_normal((8, 3))
+        y = np.arange(8) % 2
+        d = Dataset("toy", X, y)
+        Xs, ys = d.subset(np.array([1, 5, 7]))
+        assert np.array_equal(Xs, X[[1, 5, 7]])
+        assert np.array_equal(ys, y[[1, 5, 7]])
+
+    def test_subset_sparse(self, rng):
+        dense = rng.standard_normal((8, 3))
+        dense[dense < 0] = 0
+        d = Dataset("toy", CSRMatrix.from_dense(dense), np.arange(8) % 2)
+        Xs, ys = d.subset(np.array([0, 4]))
+        assert np.array_equal(Xs.to_dense(), dense[[0, 4]])
+
+    def test_statistics_dense(self, rng):
+        d = Dataset("toy", rng.standard_normal((10, 4)), np.arange(10) % 5)
+        stats = d.statistics()
+        assert stats == {
+            "name": "toy", "size_m": 10, "dim_n": 4, "classes_c": 5
+        }
+
+    def test_statistics_sparse_includes_nnz(self, rng):
+        dense = np.zeros((4, 10))
+        dense[:, :3] = 1.0
+        d = Dataset("toy", CSRMatrix.from_dense(dense), np.arange(4) % 2)
+        assert d.statistics()["avg_nnz_per_sample_s"] == 3.0

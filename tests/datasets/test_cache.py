@@ -1,0 +1,63 @@
+"""Unit tests for dataset persistence."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_digits, make_text
+from repro.datasets.cache import cached, load_dataset, save_dataset
+
+
+class TestRoundTrip:
+    def test_dense_dataset(self, tmp_path):
+        dataset = make_digits(n_train=40, n_test=20, side=14, seed=3)
+        path = save_dataset(dataset, tmp_path / "digits")
+        loaded = load_dataset(path)
+        assert loaded.name == dataset.name
+        assert np.array_equal(loaded.X, dataset.X)
+        assert np.array_equal(loaded.y, dataset.y)
+        assert loaded.metadata["split_protocol"] == "per_class_from_pool"
+        assert np.array_equal(
+            loaded.metadata["train_pool"], dataset.metadata["train_pool"]
+        )
+
+    def test_sparse_dataset(self, tmp_path):
+        dataset = make_text(n_docs=60, vocab_size=500, seed=4)
+        path = save_dataset(dataset, tmp_path / "text")
+        loaded = load_dataset(path)
+        assert loaded.is_sparse
+        assert np.array_equal(loaded.X.to_dense(), dataset.X.to_dense())
+        assert loaded.metadata["train_ratios"] == [
+            0.05, 0.10, 0.20, 0.30, 0.40, 0.50,
+        ]
+
+    def test_npz_suffix_appended(self, tmp_path):
+        dataset = make_digits(n_train=20, n_test=10, side=14, seed=1)
+        path = save_dataset(dataset, tmp_path / "d")
+        assert path.suffix == ".npz"
+
+
+class TestCached:
+    def test_miss_then_hit(self, tmp_path):
+        path = tmp_path / "cache"
+        first = cached(
+            make_digits, path, n_train=30, n_test=10, side=14, seed=7
+        )
+        assert (tmp_path / "cache.npz").exists()
+        # hit: different kwargs are IGNORED because the file exists —
+        # the path is the cache key
+        second = cached(
+            make_digits, path, n_train=99, n_test=99, side=14, seed=8
+        )
+        assert np.array_equal(first.X, second.X)
+
+    def test_corrupt_format_rejected(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(
+            path,
+            format=np.array("matrix-market"),
+            name=np.array("x"),
+            y=np.zeros(1),
+            metadata_json=np.array("{}"),
+        )
+        with pytest.raises(ValueError, match="format"):
+            load_dataset(path)

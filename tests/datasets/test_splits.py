@@ -1,0 +1,104 @@
+"""Unit tests for the paper's split protocols."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.splits import (
+    per_class_split,
+    per_class_split_from_pool,
+    ratio_split,
+    split_seeds,
+)
+
+
+@pytest.fixture
+def labels(rng):
+    return rng.permutation(np.repeat(np.arange(4), 25))
+
+
+class TestPerClassSplit:
+    def test_counts(self, labels, rng):
+        train, test = per_class_split(labels, 10, rng)
+        assert train.shape[0] == 40
+        assert test.shape[0] == 60
+        for k in range(4):
+            assert (labels[train] == k).sum() == 10
+
+    def test_disjoint_and_complete(self, labels, rng):
+        train, test = per_class_split(labels, 5, rng)
+        assert len(np.intersect1d(train, test)) == 0
+        assert len(np.union1d(train, test)) == labels.shape[0]
+
+    def test_too_many_requested(self, labels, rng):
+        with pytest.raises(ValueError):
+            per_class_split(labels, 25, rng)
+
+    def test_non_positive_rejected(self, labels, rng):
+        with pytest.raises(ValueError):
+            per_class_split(labels, 0, rng)
+
+    def test_deterministic_given_seed(self, labels):
+        a = per_class_split(labels, 7, np.random.default_rng(5))
+        b = per_class_split(labels, 7, np.random.default_rng(5))
+        assert np.array_equal(a[0], b[0])
+
+    def test_different_seeds_differ(self, labels):
+        a = per_class_split(labels, 7, np.random.default_rng(5))
+        b = per_class_split(labels, 7, np.random.default_rng(6))
+        assert not np.array_equal(a[0], b[0])
+
+
+class TestPoolSplit:
+    def test_test_pool_fixed(self, labels, rng):
+        pool_train = np.arange(0, 60)
+        pool_test = np.arange(60, 100)
+        train, test = per_class_split_from_pool(
+            labels, pool_train, pool_test, 3, rng
+        )
+        assert np.array_equal(test, pool_test)
+        assert np.all(np.isin(train, pool_train))
+        for k in np.unique(labels):
+            assert (labels[train] == k).sum() == 3
+
+    def test_insufficient_pool(self, labels, rng):
+        pool_train = np.arange(0, 8)
+        pool_test = np.arange(8, 100)
+        with pytest.raises(ValueError, match="pool"):
+            per_class_split_from_pool(labels, pool_train, pool_test, 5, rng)
+
+
+class TestRatioSplit:
+    def test_stratified_counts(self, labels, rng):
+        train, test = ratio_split(labels, 0.2, rng)
+        for k in range(4):
+            assert (labels[train] == k).sum() == 5
+            assert (labels[test] == k).sum() == 20
+
+    def test_extreme_ratios_keep_one_each_side(self, rng):
+        y = np.repeat([0, 1], 3)
+        train, test = ratio_split(y, 0.01, rng)
+        assert (y[train] == 0).sum() >= 1
+        train, test = ratio_split(y, 0.99, rng)
+        assert (y[test] == 0).sum() >= 1
+
+    def test_invalid_ratio(self, labels, rng):
+        for ratio in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(ValueError):
+                ratio_split(labels, ratio, rng)
+
+    def test_disjoint_and_complete(self, labels, rng):
+        train, test = ratio_split(labels, 0.35, rng)
+        assert len(np.intersect1d(train, test)) == 0
+        assert len(np.union1d(train, test)) == labels.shape[0]
+
+
+class TestSplitSeeds:
+    def test_deterministic(self):
+        assert np.array_equal(split_seeds(3, 5), split_seeds(3, 5))
+
+    def test_distinct(self):
+        seeds = split_seeds(3, 20)
+        assert len(set(seeds.tolist())) == 20
+
+    def test_different_base_seeds(self):
+        assert not np.array_equal(split_seeds(1, 5), split_seeds(2, 5))

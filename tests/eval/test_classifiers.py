@@ -1,0 +1,96 @@
+"""Unit tests for the embedded-space classifiers."""
+
+import numpy as np
+import pytest
+
+from repro.eval.classifiers import KNNClassifier, NearestCentroid
+
+
+@pytest.fixture
+def blobs(rng):
+    X = np.vstack(
+        [
+            rng.standard_normal((20, 3)) + offset
+            for offset in ([0, 0, 0], [6, 0, 0], [0, 6, 0])
+        ]
+    )
+    y = np.repeat([0, 1, 2], 20)
+    return X, y
+
+
+class TestNearestCentroid:
+    def test_separable(self, blobs):
+        X, y = blobs
+        assert NearestCentroid().fit(X, y).score(X, y) == 1.0
+
+    def test_centroids_are_class_means(self, blobs):
+        X, y = blobs
+        model = NearestCentroid().fit(X, y)
+        for k in range(3):
+            assert np.allclose(model.centroids_[k], X[y == k].mean(axis=0))
+
+    def test_string_labels(self, rng):
+        X = np.vstack([rng.standard_normal((5, 2)),
+                       rng.standard_normal((5, 2)) + 10])
+        y = np.array(["a"] * 5 + ["b"] * 5)
+        model = NearestCentroid().fit(X, y)
+        assert set(model.predict(X)) <= {"a", "b"}
+
+    def test_unfitted(self, rng):
+        with pytest.raises(RuntimeError):
+            NearestCentroid().predict(rng.standard_normal((2, 3)))
+
+    def test_prediction_is_truly_nearest(self, rng):
+        X = rng.standard_normal((30, 4))
+        y = rng.integers(0, 3, 30)
+        y[:3] = [0, 1, 2]
+        model = NearestCentroid().fit(X, y)
+        query = rng.standard_normal((10, 4))
+        predictions = model.predict(query)
+        for i in range(10):
+            distances = np.linalg.norm(model.centroids_ - query[i], axis=1)
+            assert predictions[i] == model.classes_[np.argmin(distances)]
+
+
+class TestKNN:
+    def test_1nn_training_accuracy_is_perfect(self, blobs):
+        X, y = blobs
+        assert KNNClassifier(n_neighbors=1).fit(X, y).score(X, y) == 1.0
+
+    def test_k3_majority_vote(self):
+        Z = np.array([[0.0], [0.1], [0.2], [10.0]])
+        y = np.array([0, 0, 1, 1])
+        model = KNNClassifier(n_neighbors=3).fit(Z, y)
+        # query at 0.05: neighbors {0, 0.1, 0.2} vote 0,0,1 → class 0
+        assert model.predict(np.array([[0.05]]))[0] == 0
+
+    def test_chunking_does_not_change_results(self, blobs, rng):
+        X, y = blobs
+        query = rng.standard_normal((25, 3))
+        a = KNNClassifier(n_neighbors=3, chunk_size=4).fit(X, y).predict(query)
+        b = KNNClassifier(n_neighbors=3, chunk_size=1000).fit(X, y).predict(query)
+        assert np.array_equal(a, b)
+
+    def test_k_larger_than_train_rejected(self, rng):
+        with pytest.raises(ValueError):
+            KNNClassifier(n_neighbors=5).fit(
+                rng.standard_normal((3, 2)), np.array([0, 1, 0])
+            )
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            KNNClassifier(n_neighbors=0)
+
+    def test_unfitted(self, rng):
+        with pytest.raises(RuntimeError):
+            KNNClassifier().predict(rng.standard_normal((2, 3)))
+
+    def test_matches_brute_force(self, rng):
+        X = rng.standard_normal((40, 5))
+        y = rng.integers(0, 4, 40)
+        query = rng.standard_normal((15, 5))
+        model = KNNClassifier(n_neighbors=1).fit(X, y)
+        predictions = model.predict(query)
+        for i in range(15):
+            nearest = np.argmin(np.linalg.norm(X - query[i], axis=1))
+            assert predictions[i] == y[nearest]

@@ -1,0 +1,75 @@
+"""Unit tests for the SVG chart writer."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.eval.figures import render_svg_chart
+
+
+@pytest.fixture
+def series():
+    return {
+        "SRDA": (["10", "20", "30"], [19.5, 10.8, 8.4]),
+        "LDA": (["10", "20", "30"], [31.8, 20.5, 10.9]),
+    }
+
+
+class TestRenderSvg:
+    def test_valid_xml(self, series):
+        svg = render_svg_chart(series, "Figure 1")
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+
+    def test_contains_series_elements(self, series):
+        svg = render_svg_chart(series, "Figure 1")
+        assert svg.count("<polyline") == 2
+        assert "SRDA" in svg and "LDA" in svg
+        assert "Figure 1" in svg
+
+    def test_axis_labels(self, series):
+        svg = render_svg_chart(
+            series, "t", xlabel="train size", ylabel="error (%)"
+        )
+        assert "train size" in svg
+        assert "error (%)" in svg
+
+    def test_unequal_series_lengths(self):
+        # the memory-limited curves just stop, like the paper's Fig 4
+        svg = render_svg_chart(
+            {
+                "SRDA": (["5%", "10%", "20%"], [27.3, 21.3, 16.0]),
+                "LDA": (["5%", "10%"], [28.0, 22.7]),
+            },
+            "Figure 4",
+        )
+        ET.fromstring(svg)
+        assert svg.count("<polyline") == 2
+
+    def test_single_point_series_renders_marker_only(self):
+        svg = render_svg_chart({"only": (["1"], [5.0])}, "dot")
+        ET.fromstring(svg)
+        assert "<polyline" not in svg
+        assert "<circle" in svg
+
+    def test_writes_file(self, series, tmp_path):
+        path = tmp_path / "figure1"
+        render_svg_chart(series, "Figure 1", path=path)
+        written = (tmp_path / "figure1.svg").read_text()
+        ET.fromstring(written)
+
+    def test_escapes_labels(self):
+        svg = render_svg_chart(
+            {"a<b": (["x"], [1.0])}, 'title & "quotes"'
+        )
+        ET.fromstring(svg)  # would raise on unescaped < or &
+
+    def test_empty_chart_rejected(self):
+        with pytest.raises(ValueError):
+            render_svg_chart({}, "empty")
+        with pytest.raises(ValueError):
+            render_svg_chart({"a": ([], [])}, "empty")
+
+    def test_constant_series(self):
+        svg = render_svg_chart({"flat": (["1", "2"], [3.0, 3.0])}, "flat")
+        ET.fromstring(svg)

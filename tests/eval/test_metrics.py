@@ -1,0 +1,117 @@
+"""Unit tests for metrics and aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.eval.metrics import (
+    classification_report,
+    confusion_matrix,
+    error_rate,
+    macro_f1,
+    mean_std,
+    precision_recall_f1,
+)
+
+
+class TestErrorRate:
+    def test_basic(self):
+        assert error_rate([0, 1, 1, 0], [0, 1, 0, 0]) == pytest.approx(0.25)
+
+    def test_perfect(self):
+        assert error_rate([1, 2], [1, 2]) == 0.0
+
+    def test_all_wrong(self):
+        assert error_rate([0, 0], [1, 1]) == 1.0
+
+    def test_string_labels(self):
+        assert error_rate(["a", "b"], ["a", "a"]) == pytest.approx(0.5)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            error_rate([0, 1], [0, 1, 2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            error_rate([], [])
+
+
+class TestMeanStd:
+    def test_basic(self):
+        mean, std = mean_std(np.array([1.0, 2.0, 3.0]))
+        assert mean == pytest.approx(2.0)
+        assert std == pytest.approx(np.sqrt(2.0 / 3.0))
+
+    def test_ignores_nan(self):
+        mean, _ = mean_std(np.array([1.0, np.nan, 3.0]))
+        assert mean == pytest.approx(2.0)
+
+    def test_all_nan(self):
+        mean, std = mean_std(np.array([np.nan, np.nan]))
+        assert np.isnan(mean) and np.isnan(std)
+
+    def test_single_value(self):
+        mean, std = mean_std(np.array([5.0]))
+        assert mean == 5.0 and std == 0.0
+
+
+class TestConfusionMatrix:
+    def test_diagonal_for_perfect(self):
+        y = np.array([0, 1, 2, 1])
+        cm = confusion_matrix(y, y, 3)
+        assert np.array_equal(cm, np.diag([1, 2, 1]))
+
+    def test_off_diagonal(self):
+        cm = confusion_matrix([0, 0, 1], [1, 0, 1], 2)
+        assert cm[0, 1] == 1 and cm[0, 0] == 1 and cm[1, 1] == 1
+
+    def test_total_preserved(self, rng):
+        y_true = rng.integers(0, 4, 50)
+        y_pred = rng.integers(0, 4, 50)
+        assert confusion_matrix(y_true, y_pred, 4).sum() == 50
+
+
+class TestPrecisionRecallF1:
+    def test_perfect_prediction(self):
+        y = np.array([0, 1, 2, 1, 0])
+        p, r, f = precision_recall_f1(y, y, 3)
+        assert np.allclose(p, 1.0)
+        assert np.allclose(r, 1.0)
+        assert np.allclose(f, 1.0)
+
+    def test_known_values(self):
+        y_true = np.array([0, 0, 1, 1])
+        y_pred = np.array([0, 1, 1, 1])
+        p, r, f = precision_recall_f1(y_true, y_pred, 2)
+        assert p[0] == pytest.approx(1.0)      # 1 of 1 predicted-0 correct
+        assert r[0] == pytest.approx(0.5)      # 1 of 2 actual-0 found
+        assert p[1] == pytest.approx(2.0 / 3)
+        assert r[1] == pytest.approx(1.0)
+        assert f[0] == pytest.approx(2 * 1.0 * 0.5 / 1.5)
+
+    def test_never_predicted_class_zero_precision(self):
+        y_true = np.array([0, 1, 2])
+        y_pred = np.array([0, 1, 1])
+        p, _, f = precision_recall_f1(y_true, y_pred, 3)
+        assert p[2] == 0.0
+        assert f[2] == 0.0
+
+    def test_macro_f1_is_mean(self):
+        y_true = np.array([0, 0, 1, 1])
+        y_pred = np.array([0, 1, 1, 1])
+        _, _, f = precision_recall_f1(y_true, y_pred, 2)
+        assert macro_f1(y_true, y_pred, 2) == pytest.approx(f.mean())
+
+    def test_report_renders(self):
+        y_true = np.array([0, 0, 1, 1, 2])
+        y_pred = np.array([0, 1, 1, 1, 2])
+        report = classification_report(
+            y_true, y_pred, 3, class_names=["ham", "spam", "meta"]
+        )
+        assert "ham" in report
+        assert "macro" in report
+        assert "support" in report
+
+    def test_report_default_names(self):
+        y = np.array([0, 1])
+        report = classification_report(y, y, 2)
+        assert report.count("1.000") >= 4

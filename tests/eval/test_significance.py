@@ -1,0 +1,133 @@
+"""Unit tests for the paired significance tests."""
+
+import numpy as np
+import pytest
+
+from repro.eval.experiment import CellResult, ExperimentResult
+from repro.eval.significance import (
+    compare_algorithms,
+    paired_t_test,
+    wilcoxon_signed_rank,
+)
+
+
+class TestPairedT:
+    def test_obvious_difference_significant(self, rng):
+        a = rng.normal(0.30, 0.01, 20)
+        b = rng.normal(0.10, 0.01, 20)
+        result = paired_t_test(a, b)
+        assert result.significant(0.01)
+        assert result.mean_difference > 0.15
+
+    def test_identical_samples_not_significant(self, rng):
+        a = rng.normal(0.2, 0.05, 20)
+        result = paired_t_test(a, a.copy())
+        assert result.p_value == 1.0
+        assert not result.significant()
+
+    def test_same_distribution_usually_not_significant(self):
+        rejections = 0
+        for seed in range(40):
+            r = np.random.default_rng(seed)
+            a = r.normal(0.2, 0.05, 12)
+            b = r.normal(0.2, 0.05, 12)
+            rejections += paired_t_test(a, b).significant(0.05)
+        # ~5% false positive rate expected; allow generous slack
+        assert rejections <= 8
+
+    def test_matches_scipy(self, rng):
+        from scipy import stats
+
+        a = rng.normal(0.3, 0.04, 15)
+        b = a - rng.normal(0.02, 0.03, 15)
+        ours = paired_t_test(a, b)
+        theirs = stats.ttest_rel(a, b)
+        assert ours.statistic == pytest.approx(theirs.statistic, rel=1e-10)
+        assert ours.p_value == pytest.approx(theirs.pvalue, rel=1e-8)
+
+    def test_constant_nonzero_difference(self):
+        # the difference is constant up to float rounding, so the std is
+        # ~1e-17 and the t statistic astronomically large
+        a = np.array([0.3, 0.4, 0.5])
+        b = a - 0.1
+        result = paired_t_test(a, b)
+        assert result.p_value < 1e-20
+        # an exactly-representable constant difference hits the std == 0 path
+        exact = paired_t_test(np.array([1.0, 2.0, 3.0]),
+                              np.array([0.5, 1.5, 2.5]))
+        assert exact.p_value == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            paired_t_test([1.0], [2.0])
+        with pytest.raises(ValueError):
+            paired_t_test([1.0, 2.0], [1.0])
+
+
+class TestWilcoxon:
+    def test_obvious_difference_significant(self, rng):
+        a = rng.normal(0.30, 0.01, 25)
+        b = rng.normal(0.10, 0.01, 25)
+        assert wilcoxon_signed_rank(a, b).significant(0.01)
+
+    def test_identical_samples(self, rng):
+        a = rng.normal(0.2, 0.05, 10)
+        result = wilcoxon_signed_rank(a, a.copy())
+        assert result.p_value == 1.0
+        assert result.n == 0
+
+    def test_roughly_matches_scipy(self, rng):
+        from scipy import stats
+
+        a = rng.normal(0.3, 0.05, 30)
+        b = a - rng.normal(0.03, 0.05, 30)
+        ours = wilcoxon_signed_rank(a, b)
+        theirs = stats.wilcoxon(a, b, correction=False,
+                                mode="approx")
+        assert ours.p_value == pytest.approx(theirs.pvalue, abs=0.02)
+
+    def test_handles_ties(self):
+        a = np.array([1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+        b = a - np.array([0.5, 0.5, 0.5, -0.5, 0.5, 0.5])
+        result = wilcoxon_signed_rank(a, b)
+        assert 0.0 <= result.p_value <= 1.0
+
+
+class TestCompareAlgorithms:
+    @pytest.fixture
+    def result(self):
+        cells = {
+            ("SRDA", "10"): CellResult(
+                errors=[0.10, 0.11, 0.09, 0.10, 0.12], fit_seconds=[0.1] * 5
+            ),
+            ("LDA", "10"): CellResult(
+                errors=[0.30, 0.29, 0.31, 0.28, 0.33], fit_seconds=[1.0] * 5
+            ),
+            ("RLDA", "10"): CellResult(failure="out of memory"),
+        }
+        return ExperimentResult(
+            dataset_name="toy",
+            algorithm_names=["SRDA", "LDA", "RLDA"],
+            size_labels=["10"],
+            cells=cells,
+            n_splits=5,
+        )
+
+    def test_srda_significantly_better(self, result):
+        comparison = compare_algorithms(result, "SRDA", "LDA", "10")
+        assert comparison.mean_difference < 0  # SRDA has lower error
+        assert comparison.significant(0.01)
+
+    def test_wilcoxon_variant(self, result):
+        comparison = compare_algorithms(
+            result, "SRDA", "LDA", "10", test="wilcoxon"
+        )
+        assert comparison.mean_difference < 0
+
+    def test_failed_cell_rejected(self, result):
+        with pytest.raises(ValueError, match="failed"):
+            compare_algorithms(result, "SRDA", "RLDA", "10")
+
+    def test_unknown_test_rejected(self, result):
+        with pytest.raises(ValueError, match="unknown test"):
+            compare_algorithms(result, "SRDA", "LDA", "10", test="sign")

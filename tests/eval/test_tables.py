@@ -1,0 +1,98 @@
+"""Unit tests for table and figure rendering."""
+
+import numpy as np
+import pytest
+
+from repro.eval.experiment import CellResult, ExperimentResult
+from repro.eval.tables import (
+    FAILED_CELL,
+    figure_series,
+    format_error_table,
+    format_time_table,
+    render_ascii_chart,
+)
+
+
+@pytest.fixture
+def result():
+    cells = {
+        ("SRDA", "10"): CellResult(errors=[0.195, 0.205], fit_seconds=[0.2, 0.3]),
+        ("SRDA", "20"): CellResult(errors=[0.10, 0.12], fit_seconds=[0.5, 0.5]),
+        ("LDA", "10"): CellResult(errors=[0.31, 0.33], fit_seconds=[4.0, 4.5]),
+        ("LDA", "20"): CellResult(failure="out of memory"),
+    }
+    return ExperimentResult(
+        dataset_name="toy",
+        algorithm_names=["SRDA", "LDA"],
+        size_labels=["10", "20"],
+        cells=cells,
+        n_splits=2,
+    )
+
+
+class TestErrorTable:
+    def test_contains_mean_and_std(self, result):
+        table = format_error_table(result)
+        assert "20.0 ± 0.5" in table  # SRDA at size 10, in percent
+        assert "toy" in table
+
+    def test_failed_cell_dash(self, result):
+        table = format_error_table(result)
+        assert FAILED_CELL in table
+
+    def test_row_per_size(self, result):
+        lines = format_error_table(result).splitlines()
+        assert any(line.startswith("10") for line in lines)
+        assert any(line.startswith("20") for line in lines)
+
+    def test_custom_title(self, result):
+        assert format_error_table(result, title="Table III").startswith(
+            "Table III"
+        )
+
+
+class TestTimeTable:
+    def test_contains_seconds(self, result):
+        table = format_time_table(result)
+        assert "0.250" in table
+        assert "4.250" in table
+
+    def test_failed_cell_dash(self, result):
+        assert FAILED_CELL in format_time_table(result)
+
+
+class TestFigureSeries:
+    def test_error_series_in_percent(self, result):
+        series = figure_series(result, "error")
+        xs, ys = series["SRDA"]
+        assert xs == ["10", "20"]
+        assert ys[0] == pytest.approx(20.0)
+
+    def test_failed_points_omitted(self, result):
+        xs, ys = figure_series(result, "error")["LDA"]
+        assert xs == ["10"]
+        assert len(ys) == 1
+
+    def test_time_series(self, result):
+        xs, ys = figure_series(result, "time")["SRDA"]
+        assert ys == pytest.approx([0.25, 0.5])
+
+    def test_invalid_metric(self, result):
+        with pytest.raises(ValueError):
+            figure_series(result, "f1")
+
+
+class TestAsciiChart:
+    def test_renders_all_series(self, result):
+        chart = render_ascii_chart(figure_series(result, "error"), "title")
+        assert "title" in chart
+        assert "o=SRDA" in chart
+        assert "x=LDA" in chart
+
+    def test_empty_series(self):
+        chart = render_ascii_chart({}, "empty")
+        assert "no data" in chart
+
+    def test_constant_series_no_crash(self):
+        chart = render_ascii_chart({"A": (["1", "2"], [5.0, 5.0])}, "flat")
+        assert "5.00" in chart

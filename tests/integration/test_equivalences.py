@@ -1,0 +1,136 @@
+"""Integration tests of the paper's equivalence claims across modules."""
+
+import numpy as np
+import pytest
+
+from repro import LDA, RLDA, SRDA
+from repro.core.graph import lda_weight_matrix
+from repro.core.responses import generate_responses
+from repro.linalg.lsqr import lsqr
+from repro.linalg.operators import (
+    AppendOnesOperator,
+    CenteringOperator,
+    as_operator,
+)
+from repro.linalg.sparse import CSRMatrix
+
+
+class TestAppendOnesEqualsCentering:
+    """Section III-B: appending a constant feature and fitting a bias is
+    equivalent (for predictions) to regressing on centered data."""
+
+    def test_fitted_values_agree_in_alpha_zero_limit(self, rng):
+        m, n = 25, 8
+        X = rng.standard_normal((m, n))
+        y = np.arange(m) % 3
+        responses = generate_responses(y, 3)
+        ybar = responses[:, 0]
+
+        # path 1: augmented, un-centered
+        aug = np.hstack([X, np.ones((m, 1))])
+        a_aug = np.linalg.lstsq(aug, ybar, rcond=None)[0]
+        fitted_aug = aug @ a_aug
+
+        # path 2: centered, no bias (ȳ ⊥ 1 so no target centering needed)
+        centered = X - X.mean(axis=0)
+        a_cen = np.linalg.lstsq(centered, ybar, rcond=None)[0]
+        fitted_cen = centered @ a_cen
+
+        assert np.allclose(fitted_aug, fitted_cen, atol=1e-8)
+
+    def test_operator_paths_agree_via_lsqr(self, rng):
+        m, n = 30, 10
+        dense = rng.standard_normal((m, n))
+        dense[np.abs(dense) < 0.7] = 0.0
+        csr = CSRMatrix.from_dense(dense)
+        y = np.arange(m) % 4
+        ybar = generate_responses(y, 4)[:, 0]
+
+        aug_result = lsqr(
+            AppendOnesOperator(as_operator(csr)), ybar,
+            atol=1e-13, btol=1e-13, iter_lim=3000,
+        )
+        cen_result = lsqr(
+            CenteringOperator(as_operator(csr)), ybar,
+            atol=1e-13, btol=1e-13, iter_lim=3000,
+        )
+        fitted_aug = np.hstack([dense, np.ones((m, 1))]) @ aug_result.x
+        fitted_cen = (dense - dense.mean(axis=0)) @ cen_result.x
+        assert np.allclose(fitted_aug, fitted_cen, atol=1e-6)
+
+
+class TestSRDAvsRLDAvsLDA:
+    def test_all_three_match_in_the_oversampled_zero_alpha_limit(self, rng):
+        """m ≫ n with nonsingular scatter: LDA is well posed and both
+        regularized methods converge to it as α → 0 — compare embedding
+        subspaces via projection operators on the data."""
+        m, n, c = 120, 8, 3
+        centers = 4.0 * rng.standard_normal((c, n))
+        y = np.repeat(np.arange(c), m // c)
+        X = centers[y] + rng.standard_normal((m, n))
+
+        Z_lda = LDA().fit(X, y).transform(X)
+        Z_rlda = RLDA(alpha=1e-9).fit(X, y).transform(X)
+        Z_srda = SRDA(alpha=1e-9, solver="normal").fit_transform(X, y)
+
+        def projector(Z):
+            Q, _ = np.linalg.qr(Z - Z.mean(axis=0))
+            return Q @ Q.T
+
+        # all three embeddings span the same 2-D subspace of sample space
+        P_lda = projector(Z_lda)
+        assert np.abs(P_lda - projector(Z_rlda)).max() < 1e-4
+        assert np.abs(P_lda - projector(Z_srda)).max() < 1e-4
+
+    def test_srda_predictions_match_lda_on_separable_data(self, rng):
+        m, n, c = 90, 12, 3
+        centers = 6.0 * rng.standard_normal((c, n))
+        y = np.repeat(np.arange(c), m // c)
+        X = centers[y] + rng.standard_normal((m, n))
+        X_new = centers[y] + rng.standard_normal((m, n))
+        lda_pred = LDA().fit(X, y).predict(X_new)
+        srda_pred = SRDA(alpha=1e-8, solver="normal").fit(X, y).predict(X_new)
+        assert np.mean(lda_pred == srda_pred) > 0.97
+
+
+class TestGraphViewMatchesScatterView:
+    def test_lda_from_graph_matrix_matches_baseline(self, rng):
+        """Solve the LDA eigenproblem directly from the W-matrix
+        formulation (Eqn 8) with dense tools and compare to the SVD-route
+        baseline."""
+        from repro.linalg.dense import generalized_eigh
+
+        m, n, c = 40, 6, 3
+        y = np.arange(m) % c
+        X = rng.standard_normal((m, n)) + 2.0 * rng.standard_normal((c, n))[y]
+        centered = X - X.mean(axis=0)
+        W = lda_weight_matrix(y, c)
+        Sb = centered.T @ W @ centered
+        St = centered.T @ centered
+        eigvals, eigvecs = generalized_eigh(Sb, St, regularization=1e-10)
+
+        baseline = LDA().fit(X, y)
+        assert np.allclose(
+            eigvals[: c - 1], baseline.eigenvalues_, atol=1e-5
+        )
+        Q1, _ = np.linalg.qr(eigvecs[:, : c - 1])
+        Q2, _ = np.linalg.qr(baseline.components_)
+        assert np.abs(Q1 @ Q1.T - Q2 @ Q2.T).max() < 1e-4
+
+
+class TestLSQRIterationSufficiency:
+    def test_twenty_iterations_near_converged(self, rng):
+        """'LSQR converges very fast ... 20 iterations are enough': after
+        20 iterations the SRDA components must be close to the exact
+        ridge solution on a realistic-shaped problem."""
+        m, n, c = 200, 300, 5
+        y = np.arange(m) % c
+        X = rng.standard_normal((m, n)) + rng.standard_normal((c, n))[y]
+        exact = SRDA(alpha=1.0, solver="normal").fit(X, y)
+        iterative = SRDA(alpha=1.0, solver="lsqr", max_iter=20, tol=0.0).fit(X, y)
+        # compare embeddings (what matters downstream)
+        Z_exact = exact.transform(X)
+        Z_iter = iterative.transform(X)
+        rel = np.linalg.norm(Z_exact - Z_iter) / np.linalg.norm(Z_exact)
+        assert rel < 0.05
+        assert np.mean(exact.predict(X) == iterative.predict(X)) > 0.98

@@ -1,0 +1,100 @@
+"""Unit tests for dense helpers (symmetric eig, ridge oracle, gen-eig)."""
+
+import numpy as np
+import pytest
+
+from repro.linalg.dense import (
+    generalized_eigh,
+    is_orthonormal,
+    ridge_solution,
+    solve_lstsq,
+    symmetric_eigh,
+)
+
+
+class TestSymmetricEigh:
+    def test_descending_order(self, rng):
+        A = rng.standard_normal((8, 8))
+        A = A + A.T
+        eigvals, _ = symmetric_eigh(A)
+        assert np.all(np.diff(eigvals) <= 1e-12)
+
+    def test_eigen_equation(self, rng):
+        A = rng.standard_normal((10, 10))
+        A = A + A.T
+        eigvals, eigvecs = symmetric_eigh(A)
+        assert np.allclose(A @ eigvecs, eigvecs * eigvals, atol=1e-8)
+
+    def test_symmetrizes_input(self, rng):
+        A = rng.standard_normal((6, 6))
+        sym = 0.5 * (A + A.T)
+        vals_raw, _ = symmetric_eigh(A)
+        vals_sym, _ = symmetric_eigh(sym)
+        assert np.allclose(vals_raw, vals_sym)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            symmetric_eigh(np.ones((3, 4)))
+
+
+class TestLeastSquares:
+    def test_solve_lstsq(self, rng):
+        A = rng.standard_normal((20, 6))
+        b = rng.standard_normal(20)
+        x = solve_lstsq(A, b)
+        # optimality: residual orthogonal to the column space
+        assert np.abs(A.T @ (A @ x - b)).max() < 1e-10
+
+    def test_ridge_solution_limits(self, rng):
+        A = rng.standard_normal((25, 8))
+        b = rng.standard_normal(25)
+        tiny = ridge_solution(A, b, 1e-12)
+        assert np.allclose(tiny, solve_lstsq(A, b), atol=1e-6)
+        huge = ridge_solution(A, b, 1e12)
+        assert np.linalg.norm(huge) < 1e-9
+
+    def test_ridge_shrinks_norm(self, rng):
+        A = rng.standard_normal((25, 8))
+        b = rng.standard_normal(25)
+        norms = [
+            np.linalg.norm(ridge_solution(A, b, alpha))
+            for alpha in (0.01, 1.0, 100.0)
+        ]
+        assert norms[0] > norms[1] > norms[2]
+
+
+class TestGeneralizedEigh:
+    def test_reduces_to_standard_with_identity(self, rng):
+        B = rng.standard_normal((7, 7))
+        B = B + B.T
+        vals_gen, vecs_gen = generalized_eigh(B, np.eye(7))
+        vals_std, _ = symmetric_eigh(B)
+        assert np.allclose(vals_gen, vals_std, atol=1e-9)
+        assert np.allclose(B @ vecs_gen, vecs_gen * vals_gen, atol=1e-8)
+
+    def test_generalized_equation(self, rng):
+        B = rng.standard_normal((6, 6))
+        B = B + B.T
+        A = rng.standard_normal((6, 6))
+        A = A @ A.T + 6.0 * np.eye(6)
+        eigvals, eigvecs = generalized_eigh(B, A)
+        assert np.allclose(B @ eigvecs, (A @ eigvecs) * eigvals, atol=1e-7)
+
+    def test_regularization_allows_singular_a(self, rng):
+        B = np.eye(5)
+        A = np.zeros((5, 5))  # singular; needs the shift
+        eigvals, _ = generalized_eigh(B, A, regularization=2.0)
+        assert np.allclose(eigvals, 0.5)  # B v = λ (2 I) v → λ = 1/2
+
+
+class TestIsOrthonormal:
+    def test_accepts_identity_columns(self, rng):
+        Q, _ = np.linalg.qr(rng.standard_normal((10, 4)))
+        assert is_orthonormal(Q)
+
+    def test_rejects_scaled(self, rng):
+        Q, _ = np.linalg.qr(rng.standard_normal((10, 4)))
+        assert not is_orthonormal(2.0 * Q)
+
+    def test_empty_is_orthonormal(self):
+        assert is_orthonormal(np.empty((5, 0)))

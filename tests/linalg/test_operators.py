@@ -1,0 +1,187 @@
+"""Unit tests for matrix-free operators (the paper's memory tricks)."""
+
+import numpy as np
+import pytest
+from scipy import sparse as sp
+
+from repro.linalg.operators import (
+    AppendOnesOperator,
+    CSROperator,
+    CenteringOperator,
+    DenseOperator,
+    IdentityOperator,
+    ScaledOperator,
+    StackedOperator,
+    TransposedOperator,
+    as_operator,
+)
+from repro.linalg.sparse import CSRMatrix
+
+
+@pytest.fixture
+def dense(rng):
+    return rng.standard_normal((8, 5))
+
+
+class TestDenseOperator:
+    def test_products_match(self, rng, dense):
+        op = DenseOperator(dense)
+        v = rng.standard_normal(5)
+        u = rng.standard_normal(8)
+        assert np.allclose(op.matvec(v), dense @ v)
+        assert np.allclose(op.rmatvec(u), dense.T @ u)
+
+    def test_matmat_and_rmatmat(self, rng, dense):
+        op = DenseOperator(dense)
+        B = rng.standard_normal((5, 3))
+        C = rng.standard_normal((8, 2))
+        assert np.allclose(op.matmat(B), dense @ B)
+        assert np.allclose(op.rmatmat(C), dense.T @ C)
+
+    def test_to_dense(self, dense):
+        assert np.allclose(DenseOperator(dense).to_dense(), dense)
+
+    def test_shape_validation(self, dense):
+        op = DenseOperator(dense)
+        with pytest.raises(ValueError):
+            op.matvec(np.ones(6))
+        with pytest.raises(ValueError):
+            op.rmatvec(np.ones(9))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            DenseOperator(np.ones(4))
+
+    def test_product_counting(self, rng, dense):
+        op = DenseOperator(dense)
+        op.matvec(np.ones(5))
+        op.matvec(np.ones(5))
+        op.rmatvec(np.ones(8))
+        assert (op.n_matvec, op.n_rmatvec) == (2, 1)
+        op.reset_counts()
+        assert (op.n_matvec, op.n_rmatvec) == (0, 0)
+
+
+class TestCSROperator:
+    def test_wraps_our_csr(self, rng, dense):
+        op = CSROperator(CSRMatrix.from_dense(dense))
+        assert np.allclose(op.to_dense(), dense)
+
+    def test_wraps_scipy(self, dense):
+        op = CSROperator(sp.csr_matrix(dense))
+        assert np.allclose(op.to_dense(), dense)
+
+    def test_rejects_dense(self, dense):
+        with pytest.raises(TypeError):
+            CSROperator(dense)
+
+
+class TestTranspose:
+    def test_transpose_products(self, rng, dense):
+        op = DenseOperator(dense).T
+        assert isinstance(op, TransposedOperator)
+        assert op.shape == (5, 8)
+        u = rng.standard_normal(8)
+        v = rng.standard_normal(5)
+        assert np.allclose(op.matvec(u), dense.T @ u)
+        assert np.allclose(op.rmatvec(v), dense @ v)
+
+    def test_double_transpose(self, dense):
+        op = DenseOperator(dense).T.T
+        assert np.allclose(op.to_dense(), dense)
+
+
+class TestCenteringOperator:
+    def test_equals_explicit_centering(self, dense):
+        op = CenteringOperator(DenseOperator(dense))
+        assert np.allclose(op.to_dense(), dense - dense.mean(axis=0))
+
+    def test_rmatvec(self, rng, dense):
+        op = CenteringOperator(DenseOperator(dense))
+        u = rng.standard_normal(8)
+        centered = dense - dense.mean(axis=0)
+        assert np.allclose(op.rmatvec(u), centered.T @ u)
+
+    def test_explicit_means(self, rng, dense):
+        means = dense.mean(axis=0)
+        op = CenteringOperator(DenseOperator(dense), column_means=means)
+        v = rng.standard_normal(5)
+        assert np.allclose(op.matvec(v), (dense - means) @ v)
+
+    def test_wrong_means_length(self, dense):
+        with pytest.raises(ValueError):
+            CenteringOperator(DenseOperator(dense), column_means=np.ones(3))
+
+    def test_sparse_base_never_densified(self, rng, dense):
+        csr = CSRMatrix.from_dense(dense)
+        op = CenteringOperator(CSROperator(csr))
+        v = rng.standard_normal(5)
+        expected = (dense - dense.mean(axis=0)) @ v
+        assert np.allclose(op.matvec(v), expected)
+
+    def test_centered_output_sums_to_zero(self, rng, dense):
+        op = CenteringOperator(DenseOperator(dense))
+        v = rng.standard_normal(5)
+        assert abs(op.matvec(v).sum()) < 1e-10
+
+
+class TestAppendOnes:
+    def test_equals_explicit_augmentation(self, dense):
+        op = AppendOnesOperator(DenseOperator(dense))
+        expected = np.hstack([dense, np.ones((8, 1))])
+        assert np.allclose(op.to_dense(), expected)
+
+    def test_rmatvec_last_coordinate_is_sum(self, rng, dense):
+        op = AppendOnesOperator(DenseOperator(dense))
+        u = rng.standard_normal(8)
+        out = op.rmatvec(u)
+        assert out.shape == (6,)
+        assert out[-1] == pytest.approx(u.sum())
+        assert np.allclose(out[:-1], dense.T @ u)
+
+    def test_shape(self, dense):
+        assert AppendOnesOperator(DenseOperator(dense)).shape == (8, 6)
+
+
+class TestComposites:
+    def test_scaled(self, rng, dense):
+        op = ScaledOperator(DenseOperator(dense), 2.5)
+        v = rng.standard_normal(5)
+        assert np.allclose(op.matvec(v), 2.5 * dense @ v)
+        u = rng.standard_normal(8)
+        assert np.allclose(op.rmatvec(u), 2.5 * dense.T @ u)
+
+    def test_identity(self, rng):
+        op = IdentityOperator(4, scale=3.0)
+        v = rng.standard_normal(4)
+        assert np.allclose(op.matvec(v), 3.0 * v)
+        assert np.allclose(op.rmatvec(v), 3.0 * v)
+
+    def test_stacked_is_damped_system(self, rng, dense):
+        alpha = 0.3
+        damped = StackedOperator(
+            DenseOperator(dense), IdentityOperator(5, scale=np.sqrt(alpha))
+        )
+        expected = np.vstack([dense, np.sqrt(alpha) * np.eye(5)])
+        assert np.allclose(damped.to_dense(), expected)
+        u = rng.standard_normal(13)
+        assert np.allclose(damped.rmatvec(u), expected.T @ u)
+
+    def test_stacked_column_mismatch(self, dense):
+        with pytest.raises(ValueError):
+            StackedOperator(DenseOperator(dense), IdentityOperator(4))
+
+
+class TestAsOperator:
+    def test_dense_dispatch(self, dense):
+        assert isinstance(as_operator(dense), DenseOperator)
+
+    def test_csr_dispatch(self, dense):
+        assert isinstance(as_operator(CSRMatrix.from_dense(dense)), CSROperator)
+
+    def test_scipy_dispatch(self, dense):
+        assert isinstance(as_operator(sp.csr_matrix(dense)), CSROperator)
+
+    def test_operator_passthrough(self, dense):
+        op = DenseOperator(dense)
+        assert as_operator(op) is op

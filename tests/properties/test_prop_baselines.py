@@ -1,0 +1,103 @@
+"""Property-based tests for the baseline estimators."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.idrqr import IDRQR
+from repro.baselines.lda import LDA
+from repro.baselines.pca import PCA
+from repro.baselines.rlda import RLDA
+
+
+def classification_case(seed, max_m=30, max_n=12, max_c=4):
+    rng = np.random.default_rng(seed)
+    c = int(rng.integers(2, max_c + 1))
+    m = int(rng.integers(2 * c + 2, max_m))
+    n = int(rng.integers(2, max_n))
+    y = np.concatenate([np.arange(c), rng.integers(0, c, m - c)])
+    rng.shuffle(y)
+    centers = 3.0 * rng.standard_normal((c, n))
+    X = centers[y] + rng.standard_normal((m, n))
+    return X, y, c
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 2**31 - 1))
+def test_lda_eigenvalues_bounded(seed):
+    """LDA trace ratios always lie in [0, 1]: S_b ⪯ S_t."""
+    X, y, _ = classification_case(seed)
+    model = LDA().fit(X, y)
+    assert np.all(model.eigenvalues_ >= -1e-8)
+    assert np.all(model.eigenvalues_ <= 1.0 + 1e-8)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 2**31 - 1))
+def test_embedding_dim_never_exceeds_c_minus_1(seed):
+    X, y, c = classification_case(seed)
+    for model in (LDA(), RLDA(alpha=1.0), IDRQR(ridge=1.0)):
+        model.fit(X, y)
+        assert model.components_.shape[1] <= c - 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 2**31 - 1))
+def test_predictions_within_training_label_set(seed):
+    X, y, _ = classification_case(seed)
+    query = np.random.default_rng(seed + 1).standard_normal(X.shape)
+    for model in (LDA(), RLDA(alpha=1.0), IDRQR(ridge=1.0)):
+        model.fit(X, y)
+        assert set(model.predict(query)) <= set(np.unique(y))
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 2**31 - 1))
+def test_rlda_finite_for_any_alpha(seed):
+    X, y, _ = classification_case(seed)
+    for alpha in (1e-6, 1.0, 1e6):
+        model = RLDA(alpha=alpha).fit(X, y)
+        assert np.all(np.isfinite(model.components_))
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 2**31 - 1))
+def test_pca_variance_ordering_and_total(seed):
+    rng = np.random.default_rng(seed)
+    m = int(rng.integers(4, 25))
+    n = int(rng.integers(2, 10))
+    X = rng.standard_normal((m, n))
+    model = PCA().fit(X)
+    # non-increasing explained variance
+    assert np.all(np.diff(model.explained_variance_) <= 1e-10)
+    # total variance preserved
+    centered = X - X.mean(axis=0)
+    total = np.sum(centered**2) / (m - 1)
+    assert abs(model.explained_variance_.sum() - total) < 1e-8 * max(1, total)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 2**31 - 1))
+def test_pca_transform_inverse_round_trip(seed):
+    rng = np.random.default_rng(seed)
+    m = int(rng.integers(4, 20))
+    n = int(rng.integers(2, 8))
+    X = rng.standard_normal((m, n))
+    model = PCA().fit(X)
+    assert np.allclose(
+        model.inverse_transform(model.transform(X)), X, atol=1e-8
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 2**31 - 1))
+def test_idrqr_components_in_centroid_span(seed):
+    X, y, c = classification_case(seed)
+    model = IDRQR(ridge=1.0).fit(X, y)
+    mean = X.mean(axis=0)
+    centroids = np.vstack(
+        [X[y == k].mean(axis=0) - mean for k in range(c)]
+    )
+    Q, _ = np.linalg.qr(centroids.T)
+    projected = Q @ (Q.T @ model.components_)
+    assert np.allclose(projected, model.components_, atol=1e-6)

@@ -1,0 +1,96 @@
+"""Property-based tests for the graph-embedding view of LDA."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.graph import (
+    between_class_scatter,
+    between_scatter_via_graph,
+    graph_laplacian,
+    knn_affinity,
+    lda_weight_matrix,
+    scaled_indicator,
+    total_scatter,
+    within_class_scatter,
+)
+
+
+def labeled_case(seed, max_m=25, max_n=8, max_c=5):
+    rng = np.random.default_rng(seed)
+    c = int(rng.integers(2, max_c + 1))
+    m = int(rng.integers(c + 1, max_m))
+    n = int(rng.integers(1, max_n))
+    y = np.concatenate([np.arange(c), rng.integers(0, c, m - c)])
+    rng.shuffle(y)
+    X = rng.standard_normal((m, n))
+    return X, y, c
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(0, 2**31 - 1))
+def test_eqn7_identity(seed):
+    """S_b = X̄ᵀWX̄ for every labeling and every data matrix."""
+    X, y, c = labeled_case(seed)
+    direct = between_class_scatter(X, y, c)
+    via_graph = between_scatter_via_graph(X, y, c)
+    scale = max(1.0, np.abs(direct).max())
+    assert np.abs(direct - via_graph).max() < 1e-8 * scale
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(0, 2**31 - 1))
+def test_scatter_decomposition(seed):
+    """S_t = S_b + S_w always."""
+    X, y, c = labeled_case(seed)
+    St = total_scatter(X)
+    Sb = between_class_scatter(X, y, c)
+    Sw = within_class_scatter(X, y, c)
+    scale = max(1.0, np.abs(St).max())
+    assert np.abs(St - (Sb + Sw)).max() < 1e-8 * scale
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(0, 2**31 - 1))
+def test_w_factorization_and_projection(seed):
+    """W = EEᵀ, W is a projection (W² = W), trace(W) = c."""
+    X, y, c = labeled_case(seed)
+    W = lda_weight_matrix(y, c)
+    E = scaled_indicator(y, c)
+    assert np.abs(E @ E.T - W).max() < 1e-10
+    assert np.abs(W @ W - W).max() < 1e-8
+    assert abs(np.trace(W) - c) < 1e-8
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(0, 2**31 - 1))
+def test_w_row_sums_one(seed):
+    _, y, c = labeled_case(seed)
+    W = lda_weight_matrix(y, c)
+    assert np.abs(W.sum(axis=1) - 1.0).max() < 1e-10
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 2**31 - 1), st.integers(1, 4))
+def test_knn_graph_invariants(seed, k):
+    rng = np.random.default_rng(seed)
+    m = int(rng.integers(k + 2, 20))
+    X = rng.standard_normal((m, 3))
+    W = knn_affinity(X, n_neighbors=k)
+    # symmetric, hollow diagonal, at least k neighbors per row
+    assert np.array_equal(W, W.T)
+    assert np.all(np.diag(W) == 0.0)
+    assert np.all((W > 0).sum(axis=1) >= k)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 2**31 - 1))
+def test_laplacian_psd_and_nullspace(seed):
+    rng = np.random.default_rng(seed)
+    m = int(rng.integers(5, 20))
+    X = rng.standard_normal((m, 3))
+    W = knn_affinity(X, n_neighbors=3)
+    L = graph_laplacian(W)
+    eigvals = np.linalg.eigvalsh(0.5 * (L + L.T))
+    assert eigvals.min() > -1e-8
+    assert np.abs(L @ np.ones(m)).max() < 1e-10

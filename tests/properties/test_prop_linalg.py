@@ -1,0 +1,70 @@
+"""Property-based tests for Cholesky, Gram–Schmidt, and cross-product SVD."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg.cholesky import cholesky, solve_cholesky
+from repro.linalg.gram_schmidt import orthonormality_error, orthonormalize
+from repro.linalg.svd import cross_product_svd
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 2**31 - 1), st.integers(1, 40))
+def test_cholesky_reconstruction(seed, n):
+    rng = np.random.default_rng(seed)
+    A = rng.standard_normal((n, n))
+    A = A @ A.T + n * np.eye(n)
+    L = cholesky(A)
+    assert np.allclose(L @ L.T, A, atol=1e-7 * n)
+    assert np.allclose(L, np.tril(L))
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 2**31 - 1), st.integers(1, 30))
+def test_cholesky_solve_matches_numpy(seed, n):
+    rng = np.random.default_rng(seed)
+    A = rng.standard_normal((n, n))
+    A = A @ A.T + n * np.eye(n)
+    b = rng.standard_normal(n)
+    assert np.allclose(solve_cholesky(A, b), np.linalg.solve(A, b), atol=1e-7)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 2**31 - 1), st.integers(1, 15), st.integers(1, 10))
+def test_orthonormalize_output_invariants(seed, m_extra, k):
+    rng = np.random.default_rng(seed)
+    m = k + m_extra  # ensure m > k is possible but not required
+    V = rng.standard_normal((m, k))
+    Q, kept = orthonormalize(V)
+    assert orthonormality_error(Q) < 1e-9
+    assert Q.shape[1] == len(kept) <= k
+    # span preservation: every kept column reconstructs exactly
+    for j in kept:
+        reconstructed = Q @ (Q.T @ V[:, j])
+        assert np.allclose(reconstructed, V[:, j], atol=1e-7)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 2**31 - 1), st.integers(1, 20), st.integers(1, 20))
+def test_svd_reconstruction_and_orthogonality(seed, m, n):
+    rng = np.random.default_rng(seed)
+    X = rng.standard_normal((m, n))
+    U, s, V = cross_product_svd(X)
+    assert np.allclose((U * s) @ V.T, X, atol=1e-7)
+    r = len(s)
+    assert np.allclose(U.T @ U, np.eye(r), atol=1e-7)
+    assert np.allclose(V.T @ V, np.eye(r), atol=1e-7)
+    assert np.all(np.diff(s) <= 1e-10)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 2**31 - 1), st.integers(2, 12), st.integers(1, 6))
+def test_svd_detects_planted_rank(seed, size, rank):
+    rng = np.random.default_rng(seed)
+    r = min(rank, size)
+    X = rng.standard_normal((size + 3, r)) @ rng.standard_normal((r, size))
+    _, s, _ = cross_product_svd(X)
+    assert len(s) <= r
+    # generic random factors have full rank r almost surely
+    assert len(s) == r

@@ -1,0 +1,118 @@
+"""Property-based tests for the vectorizer, kernels, and metrics."""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.kernel_srda import linear_kernel, polynomial_kernel, rbf_kernel
+from repro.datasets.vectorizer import TfVectorizer, strip_suffix, tokenize
+from repro.eval.metrics import (
+    confusion_matrix,
+    error_rate,
+    macro_f1,
+    precision_recall_f1,
+)
+
+words = st.text(alphabet="abcdefghij", min_size=2, max_size=8)
+documents = st.lists(words, min_size=1, max_size=30).map(" ".join)
+
+
+@settings(max_examples=50, deadline=None)
+@given(documents)
+def test_tokenize_output_invariants(document):
+    tokens = tokenize(document)
+    for token in tokens:
+        assert token.islower()
+        assert token.isalpha()
+        assert len(token) >= 2
+
+
+@settings(max_examples=50, deadline=None)
+@given(words)
+def test_strip_suffix_never_lengthens(word):
+    stem = strip_suffix(word)
+    assert len(stem) <= len(word)
+    assert word.startswith(stem)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(documents, min_size=3, max_size=10))
+def test_vectorizer_rows_unit_or_empty(corpus):
+    vec = TfVectorizer(min_df=1, max_df_ratio=1.0, stem=False)
+    try:
+        X = vec.fit_transform(corpus)
+    except ValueError:
+        assume(False)  # corpora with no valid tokens are out of scope
+    norms = X.row_norms()
+    assert np.all((np.abs(norms - 1.0) < 1e-9) | (norms == 0.0))
+    assert X.shape == (len(corpus), vec.n_features)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 2**31 - 1), st.floats(0.01, 10.0))
+def test_rbf_gram_is_psd(seed, gamma):
+    rng = np.random.default_rng(seed)
+    X = rng.standard_normal((int(rng.integers(2, 15)), 3))
+    K = rbf_kernel(X, X, gamma)
+    eigvals = np.linalg.eigvalsh(0.5 * (K + K.T))
+    assert eigvals.min() > -1e-8
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 2**31 - 1))
+def test_linear_gram_is_psd(seed):
+    rng = np.random.default_rng(seed)
+    X = rng.standard_normal((int(rng.integers(2, 15)), 4))
+    K = linear_kernel(X, X)
+    eigvals = np.linalg.eigvalsh(0.5 * (K + K.T))
+    assert eigvals.min() > -1e-6
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 2**31 - 1), st.integers(1, 3))
+def test_even_degree_poly_gram_psd(seed, half_degree):
+    rng = np.random.default_rng(seed)
+    X = rng.standard_normal((int(rng.integers(2, 10)), 3))
+    K = polynomial_kernel(X, X, degree=2 * half_degree, coef0=1.0, gamma=1.0)
+    eigvals = np.linalg.eigvalsh(0.5 * (K + K.T))
+    assert eigvals.min() > -1e-6 * max(1.0, np.abs(K).max())
+
+
+def labeled_pairs(seed, max_c=5, max_m=40):
+    rng = np.random.default_rng(seed)
+    c = int(rng.integers(2, max_c + 1))
+    m = int(rng.integers(c, max_m))
+    y_true = rng.integers(0, c, m)
+    y_pred = rng.integers(0, c, m)
+    return y_true, y_pred, c
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(0, 2**31 - 1))
+def test_accuracy_identity(seed):
+    """error = 1 − trace(confusion)/m, always."""
+    y_true, y_pred, c = labeled_pairs(seed)
+    matrix = confusion_matrix(y_true, y_pred, c)
+    expected = 1.0 - np.trace(matrix) / len(y_true)
+    assert abs(error_rate(y_true, y_pred) - expected) < 1e-12
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(0, 2**31 - 1))
+def test_prf_bounded(seed):
+    y_true, y_pred, c = labeled_pairs(seed)
+    p, r, f = precision_recall_f1(y_true, y_pred, c)
+    for values in (p, r, f):
+        assert np.all(values >= 0.0) and np.all(values <= 1.0)
+    assert 0.0 <= macro_f1(y_true, y_pred, c) <= 1.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(0, 2**31 - 1))
+def test_f1_between_min_and_max_of_p_r(seed):
+    """Harmonic mean lies between its arguments (where defined)."""
+    y_true, y_pred, c = labeled_pairs(seed)
+    p, r, f = precision_recall_f1(y_true, y_pred, c)
+    defined = (p + r) > 0
+    assert np.all(f[defined] <= np.maximum(p, r)[defined] + 1e-12)
+    assert np.all(f[defined] >= np.minimum(p, r)[defined] - 1e-12)

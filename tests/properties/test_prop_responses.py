@@ -1,0 +1,87 @@
+"""Property-based tests for response generation (Eqn 15/16 invariants)."""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.graph import lda_weight_matrix
+from repro.core.responses import generate_responses, response_table
+
+
+def label_vectors(max_classes=6, max_samples=40):
+    """Random label vectors guaranteed to cover every class."""
+
+    @st.composite
+    def build(draw):
+        c = draw(st.integers(2, max_classes))
+        extra = draw(st.integers(0, max_samples - c))
+        rng = np.random.default_rng(draw(st.integers(0, 2**31 - 1)))
+        y = np.concatenate([np.arange(c), rng.integers(0, c, extra)])
+        rng.shuffle(y)
+        return y, c
+
+    return build()
+
+
+@settings(max_examples=60, deadline=None)
+@given(label_vectors())
+def test_shape_is_c_minus_one(case):
+    y, c = case
+    assert generate_responses(y, c).shape == (len(y), c - 1)
+
+
+@settings(max_examples=60, deadline=None)
+@given(label_vectors())
+def test_orthogonal_to_ones(case):
+    y, c = case
+    R = generate_responses(y, c)
+    assert np.abs(R.sum(axis=0)).max() < 1e-8
+
+
+@settings(max_examples=60, deadline=None)
+@given(label_vectors())
+def test_orthonormal_columns(case):
+    y, c = case
+    R = generate_responses(y, c)
+    assert np.allclose(R.T @ R, np.eye(c - 1), atol=1e-8)
+
+
+@settings(max_examples=60, deadline=None)
+@given(label_vectors())
+def test_eigenvectors_of_w(case):
+    y, c = case
+    R = generate_responses(y, c)
+    W = lda_weight_matrix(y, c)
+    assert np.allclose(W @ R, R, atol=1e-8)
+
+
+@settings(max_examples=60, deadline=None)
+@given(label_vectors())
+def test_piecewise_constant(case):
+    y, c = case
+    R = generate_responses(y, c)
+    response_table(R, y, c)  # raises when not piecewise constant
+
+
+@settings(max_examples=60, deadline=None)
+@given(label_vectors())
+def test_distinct_classes_get_distinct_response_rows(case):
+    """Classes must be separable in response space: the (c, c-1) table
+    rows form a non-degenerate simplex."""
+    y, c = case
+    R = generate_responses(y, c)
+    table = response_table(R, y, c)
+    # pairwise distinct rows
+    for i in range(c):
+        for j in range(i + 1, c):
+            assert np.linalg.norm(table[i] - table[j]) > 1e-8
+
+
+@settings(max_examples=60, deadline=None)
+@given(label_vectors(), st.integers(0, 2**31 - 1))
+def test_permutation_equivariance(case, seed):
+    y, c = case
+    perm = np.random.default_rng(seed).permutation(len(y))
+    R = generate_responses(y, c)
+    R_perm = generate_responses(y[perm], c)
+    assert np.allclose(R_perm, R[perm], atol=1e-8)

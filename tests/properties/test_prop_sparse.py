@@ -1,0 +1,103 @@
+"""Property-based tests for the CSR matrix (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.linalg.sparse import CSRMatrix
+
+
+def sparse_arrays(max_rows=12, max_cols=10):
+    """Dense arrays with many exact zeros, as CSR inputs."""
+    shapes = st.tuples(
+        st.integers(1, max_rows), st.integers(1, max_cols)
+    )
+    return shapes.flatmap(
+        lambda shape: hnp.arrays(
+            np.float64,
+            shape,
+            elements=st.one_of(
+                st.just(0.0),
+                st.floats(-10, 10, allow_nan=False, width=64),
+            ),
+        )
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(sparse_arrays())
+def test_round_trip(dense):
+    assert np.array_equal(CSRMatrix.from_dense(dense).to_dense(), dense)
+
+
+@settings(max_examples=60, deadline=None)
+@given(sparse_arrays(), st.integers(0, 2**31 - 1))
+def test_matvec_agrees_with_dense(dense, seed):
+    rng = np.random.default_rng(seed)
+    v = rng.standard_normal(dense.shape[1])
+    matrix = CSRMatrix.from_dense(dense)
+    assert np.allclose(matrix.matvec(v), dense @ v, atol=1e-9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(sparse_arrays(), st.integers(0, 2**31 - 1))
+def test_rmatvec_is_transpose_matvec(dense, seed):
+    rng = np.random.default_rng(seed)
+    u = rng.standard_normal(dense.shape[0])
+    matrix = CSRMatrix.from_dense(dense)
+    assert np.allclose(matrix.rmatvec(u), matrix.T.matvec(u), atol=1e-9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(sparse_arrays(), st.integers(0, 2**31 - 1))
+def test_adjoint_identity(dense, seed):
+    """⟨Av, u⟩ = ⟨v, Aᵀu⟩ — the defining property rmatvec must satisfy."""
+    rng = np.random.default_rng(seed)
+    matrix = CSRMatrix.from_dense(dense)
+    v = rng.standard_normal(dense.shape[1])
+    u = rng.standard_normal(dense.shape[0])
+    lhs = matrix.matvec(v) @ u
+    rhs = v @ matrix.rmatvec(u)
+    assert abs(lhs - rhs) < 1e-8 * max(1.0, abs(lhs))
+
+
+@settings(max_examples=60, deadline=None)
+@given(sparse_arrays())
+def test_double_transpose_identity(dense):
+    matrix = CSRMatrix.from_dense(dense)
+    assert np.array_equal(matrix.T.T.to_dense(), dense)
+
+
+@settings(max_examples=60, deadline=None)
+@given(sparse_arrays())
+def test_nnz_preserved_by_transpose(dense):
+    matrix = CSRMatrix.from_dense(dense)
+    assert matrix.T.nnz == matrix.nnz
+
+
+@settings(max_examples=60, deadline=None)
+@given(sparse_arrays(), st.integers(0, 2**31 - 1))
+def test_take_rows_matches_fancy_indexing(dense, seed):
+    rng = np.random.default_rng(seed)
+    n_take = rng.integers(0, dense.shape[0] + 1)
+    idx = rng.integers(0, dense.shape[0], size=n_take)
+    matrix = CSRMatrix.from_dense(dense)
+    assert np.array_equal(matrix.take_rows(idx).to_dense(), dense[idx])
+
+
+@settings(max_examples=60, deadline=None)
+@given(sparse_arrays())
+def test_column_means_match_dense(dense):
+    matrix = CSRMatrix.from_dense(dense)
+    assert np.allclose(matrix.column_means(), dense.mean(axis=0), atol=1e-9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(sparse_arrays())
+def test_normalized_rows_are_unit_or_zero(dense):
+    normalized = CSRMatrix.from_dense(dense).normalize_rows()
+    norms = normalized.row_norms()
+    assert np.all(
+        (np.abs(norms - 1.0) < 1e-9) | (norms == 0.0)
+    )
