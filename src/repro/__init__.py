@@ -34,23 +34,28 @@ from repro.core import (
     SpectralRegressionEmbedding,
     SRDA,
 )
-from repro.datasets import Dataset
+from repro.datasets import CorruptCacheError, Dataset
 from repro.linalg import CSRMatrix
+from repro.robustness import FitReport, RobustnessWarning, guarded_solve
 
 __version__ = "1.0.0"
 
 __all__ = [
     "CSRMatrix",
+    "CorruptCacheError",
     "Dataset",
+    "FitReport",
     "IDRQR",
     "KernelSRDA",
     "LDA",
     "PCA",
     "RLDA",
     "RidgeClassifier",
+    "RobustnessWarning",
     "SRDA",
     "SemiSupervisedSRDA",
     "SparseSRDA",
     "SpectralRegressionEmbedding",
     "__version__",
+    "guarded_solve",
 ]

@@ -14,10 +14,10 @@ from typing import List, Optional
 import numpy as np
 
 from repro.core.base import NotFittedError, validate_data
-from repro.linalg.cholesky import cholesky, solve_factored
-from repro.linalg.lsqr import lsqr
+from repro.linalg.lsqr import FAILURE_ISTOPS, ISTOP_REASONS, lsqr
 from repro.linalg.operators import AppendOnesOperator, as_operator
 from repro.linalg.sparse import CSRMatrix, is_sparse
+from repro.robustness import FitReport, guarded_solve
 
 
 class RidgeClassifier:
@@ -52,9 +52,12 @@ class RidgeClassifier:
         self.intercept_: Optional[np.ndarray] = None
         self.classes_: Optional[np.ndarray] = None
         self.lsqr_iterations_: Optional[List[int]] = None
+        self.fit_report_: Optional[FitReport] = None
 
     def fit(self, X, y) -> "RidgeClassifier":
         """Fit one ridge regression per class against ±1 targets."""
+        report = FitReport(requested_solver=self.solver)
+        self.fit_report_ = report
         X, classes, y_indices = validate_data(X, y)
         self.classes_ = classes
         m = y_indices.shape[0]
@@ -77,22 +80,30 @@ class RidgeClassifier:
             X_aug = np.hstack([X, np.ones((m, 1))])
             n_aug = X_aug.shape[1]
             if self.alpha == 0.0:
+                # Minimum-norm least squares is the α→0 limit and never
+                # fails; record it as the solver used.
                 weights, _, _, _ = np.linalg.lstsq(X_aug, targets, rcond=None)
+                report.solver = "lstsq"
+                report.effective_alpha = 0.0
             elif n_aug <= m:
                 gram = X_aug.T @ X_aug
-                gram[np.diag_indices_from(gram)] += self.alpha
-                L = cholesky(gram)
-                weights = solve_factored(L, X_aug.T @ targets)
+                solve = guarded_solve(
+                    gram, X_aug.T @ targets, alpha=self.alpha, report=report
+                )
+                weights = solve.x
             else:
                 outer = X_aug @ X_aug.T
-                outer[np.diag_indices_from(outer)] += self.alpha
-                L = cholesky(outer)
-                weights = X_aug.T @ solve_factored(L, targets)
+                solve = guarded_solve(
+                    outer, targets, alpha=self.alpha, report=report
+                )
+                weights = X_aug.T @ solve.x
             self.lsqr_iterations_ = None
         else:
             op = AppendOnesOperator(as_operator(X))
             weights = np.empty((op.shape[1], n_classes))
             iterations = []
+            istops = []
+            residuals = []
             for k in range(n_classes):
                 result = lsqr(
                     op,
@@ -104,7 +115,20 @@ class RidgeClassifier:
                 )
                 weights[:, k] = result.x
                 iterations.append(result.itn)
+                istops.append(result.istop)
+                residuals.append(float(result.r2norm))
+                if result.istop in FAILURE_ISTOPS:
+                    report.converged = False
+                    report.add_warning(
+                        f"LSQR failed on class {k}: istop={result.istop} "
+                        f"({ISTOP_REASONS[result.istop]})"
+                    )
             self.lsqr_iterations_ = iterations
+            report.solver = "lsqr"
+            report.effective_alpha = self.alpha
+            report.lsqr_istop = istops
+            report.lsqr_iterations = iterations
+            report.lsqr_residuals = residuals
 
         self.coef_ = weights[:-1]
         self.intercept_ = weights[-1]

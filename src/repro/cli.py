@@ -95,7 +95,15 @@ def cmd_bench(args) -> int:
         run_experiment,
     )
 
-    dataset = DATASET_BUILDERS[args.dataset](args.scale, args.seed)
+    if args.cache:
+        from repro.datasets.cache import cached
+
+        dataset = cached(
+            lambda: DATASET_BUILDERS[args.dataset](args.scale, args.seed),
+            args.cache,
+        )
+    else:
+        dataset = DATASET_BUILDERS[args.dataset](args.scale, args.seed)
     algorithms = _algorithms(args.algorithms, dataset.is_sparse)
     sizes = None
     if args.sizes:
@@ -109,6 +117,9 @@ def cmd_bench(args) -> int:
         n_splits=args.splits,
         seed=args.seed,
         memory_budget_bytes=budget,
+        continue_on_error=not args.fail_fast,
+        retries=args.retries,
+        checkpoint_path=args.checkpoint,
     )
     print(format_error_table(result))
     print()
@@ -135,9 +146,16 @@ def cmd_info(_args) -> int:
     import repro
 
     print(f"repro {repro.__version__} — SRDA (ICDE 2008) reproduction")
+    non_estimators = (
+        "CSRMatrix",
+        "CorruptCacheError",
+        "Dataset",
+        "FitReport",
+        "RobustnessWarning",
+    )
     print("estimators: " + ", ".join(
         name for name in repro.__all__
-        if name[0].isupper() and name not in ("CSRMatrix", "Dataset")
+        if name[0].isupper() and name not in non_estimators
     ))
     print("datasets:   pie, isolet, mnist, news (synthetic, Table II shapes)")
     print("run 'python -m repro bench --help' to reproduce a table")
@@ -170,6 +188,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--memory-budget-gb", type=float, default=None,
         help="fail algorithms whose predicted working set exceeds this",
     )
+    bench.add_argument(
+        "--fail-fast", action="store_true",
+        help="abort the sweep on the first algorithm error instead of "
+        "recording it as a failed cell and continuing",
+    )
+    bench.add_argument(
+        "--retries", type=int, default=0,
+        help="re-attempt a failed fit this many times before recording "
+        "the failure",
+    )
+    bench.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="persist sweep progress to PATH after each split and "
+        "resume from it on restart",
+    )
+    bench.add_argument(
+        "--cache", default=None, metavar="PATH",
+        help="load the dataset from this .npz cache (generating and "
+        "saving it on first use; corrupt caches are regenerated)",
+    )
     bench.set_defaults(func=cmd_bench)
 
     model = commands.add_parser("table1", help="print the complexity model")
@@ -188,7 +226,19 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        print("interrupted", file=sys.stderr)
+        return 130
+    except (ValueError, RuntimeError, OSError) as exc:
+        # Dataset errors (CorruptCacheError), solver errors
+        # (NotPositiveDefiniteError, SolverFailure), and I/O failures all
+        # derive from these; surface one actionable line, not a
+        # traceback.  Genuine bugs (TypeError, AssertionError, ...)
+        # still propagate.
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -17,11 +17,13 @@ our :class:`repro.linalg.CSRMatrix`.
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional, Tuple
 
 import numpy as np
 
 from repro.linalg.sparse import CSRMatrix, is_sparse
+from repro.robustness import RobustnessWarning
 
 
 class NotFittedError(RuntimeError):
@@ -47,33 +49,97 @@ def class_counts(y_indices: np.ndarray, n_classes: int) -> np.ndarray:
     return np.bincount(y_indices, minlength=n_classes)
 
 
-def validate_data(X, y) -> Tuple[object, np.ndarray, np.ndarray]:
+def _format_indices(indices: np.ndarray, limit: int = 5) -> str:
+    shown = ", ".join(str(int(i)) for i in indices[:limit])
+    if indices.shape[0] > limit:
+        shown += f", ... ({indices.shape[0]} total)"
+    return "[" + shown + "]"
+
+
+def _nonfinite_message(rows: np.ndarray, cols: np.ndarray, count: int) -> str:
+    return (
+        f"X contains {count} NaN/infinity entries in rows "
+        f"{_format_indices(rows)} and columns {_format_indices(cols)}"
+    )
+
+
+def _sparse_nonfinite_location(X) -> Tuple[np.ndarray, np.ndarray, int]:
+    """(bad rows, bad cols, count) for a CSR-like matrix's data array."""
+    csr = X if isinstance(X, CSRMatrix) else X.tocsr()
+    bad = np.flatnonzero(~np.isfinite(csr.data))
+    rows = np.unique(np.searchsorted(csr.indptr, bad, side="right") - 1)
+    cols = np.unique(np.asarray(csr.indices)[bad])
+    return rows, cols, int(bad.shape[0])
+
+
+def _handle_nonfinite(X, on_invalid: str):
+    """Raise with located indices, or warn and return a sanitized copy."""
+    if isinstance(X, CSRMatrix) or is_sparse(X):
+        rows, cols, count = _sparse_nonfinite_location(X)
+    else:
+        bad = ~np.isfinite(X)
+        rows = np.flatnonzero(bad.any(axis=1))
+        cols = np.flatnonzero(bad.any(axis=0))
+        count = int(bad.sum())
+    message = _nonfinite_message(rows, cols, count)
+    if on_invalid == "raise":
+        raise ValueError(message)
+    warnings.warn(
+        message + "; replacing them with 0", RobustnessWarning, stacklevel=3
+    )
+    if isinstance(X, CSRMatrix):
+        return CSRMatrix(
+            np.nan_to_num(X.data, nan=0.0, posinf=0.0, neginf=0.0),
+            np.array(X.indices, copy=True),
+            np.array(X.indptr, copy=True),
+            X.shape,
+        )
+    if is_sparse(X):
+        X = X.copy().tocsr()
+        X.data = np.nan_to_num(X.data, nan=0.0, posinf=0.0, neginf=0.0)
+        return X
+    return np.nan_to_num(X, nan=0.0, posinf=0.0, neginf=0.0)
+
+
+def validate_data(
+    X, y, *, on_invalid: str = "raise", min_classes: int = 2
+) -> Tuple[object, np.ndarray, np.ndarray]:
     """Validate a training pair and encode the labels.
 
     Returns ``(X, classes, y_indices)``.  ``X`` passes through unchanged
     when sparse; dense inputs are coerced to float64 2-D arrays.
+
+    Parameters
+    ----------
+    on_invalid:
+        ``"raise"`` (default) rejects non-finite features with an error
+        naming the offending rows and columns; ``"warn"`` emits a
+        :class:`~repro.robustness.RobustnessWarning` and returns a copy
+        with NaN/Inf entries replaced by 0 — the documented degradation
+        for pipelines that must keep running on dirty data.
+    min_classes:
+        Minimum distinct labels required.  Estimators with a degenerate
+        single-class path pass ``min_classes=1``.
     """
-    if isinstance(X, CSRMatrix):
+    if on_invalid not in ("raise", "warn"):
+        raise ValueError("on_invalid must be 'raise' or 'warn'")
+    if isinstance(X, CSRMatrix) or is_sparse(X):
         m = X.shape[0]
         if not np.all(np.isfinite(X.data)):
-            raise ValueError("X contains NaN or infinity")
-    elif is_sparse(X):
-        m = X.shape[0]
-        if not np.all(np.isfinite(X.data)):
-            raise ValueError("X contains NaN or infinity")
+            X = _handle_nonfinite(X, on_invalid)
     else:
         X = np.asarray(X, dtype=np.float64)
         if X.ndim != 2:
             raise ValueError(f"X must be 2-D, got shape {X.shape}")
         if not np.all(np.isfinite(X)):
-            raise ValueError("X contains NaN or infinity")
+            X = _handle_nonfinite(X, on_invalid)
         m = X.shape[0]
     classes, y_indices = encode_labels(y)
     if y_indices.shape[0] != m:
         raise ValueError(
             f"X has {m} samples but y has {y_indices.shape[0]} labels"
         )
-    if classes.shape[0] < 2:
+    if classes.shape[0] < max(min_classes, 1):
         raise ValueError(
             "discriminant analysis needs at least 2 classes, "
             f"got {classes.shape[0]}"

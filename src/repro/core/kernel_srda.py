@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.core.base import NotFittedError, as_dense, validate_data
 from repro.core.responses import generate_responses
-from repro.linalg.cholesky import cholesky, solve_factored
+from repro.robustness import FitReport, guarded_solve
 
 
 def linear_kernel(X: np.ndarray, Y: np.ndarray) -> np.ndarray:
@@ -83,6 +83,7 @@ class KernelSRDA:
         self.X_fit_: Optional[np.ndarray] = None
         self.classes_: Optional[np.ndarray] = None
         self.centroids_: Optional[np.ndarray] = None
+        self.fit_report_: Optional[FitReport] = None
         self._train_embedding: Optional[np.ndarray] = None
 
     def _gram(self, X: np.ndarray, Y: np.ndarray) -> np.ndarray:
@@ -111,9 +112,18 @@ class KernelSRDA:
             self.X_fit_ = X
             K = self._gram(X, X)
 
-        system = K + self.alpha * np.eye(K.shape[0])
-        L = cholesky(system)
-        self.dual_coef_ = solve_factored(L, responses)
+        # K + αI is SPD in exact arithmetic, but a near-singular kernel
+        # with a tiny alpha can still break the factorization — route
+        # through the guarded chain and keep the diagnostics.
+        report = FitReport(requested_solver="cholesky")
+        self.fit_report_ = report
+        result = guarded_solve(K, responses, alpha=self.alpha, report=report)
+        if result.fallbacks:
+            report.add_warning(
+                f"kernel system solve degraded to {result.solver} "
+                f"(effective_alpha={result.effective_alpha:.3g})"
+            )
+        self.dual_coef_ = result.x
         self._train_embedding = K @ self.dual_coef_
         self._store_centroids(self._train_embedding, y_indices)
         return self

@@ -53,14 +53,14 @@ import numpy as np
 
 from repro.core.base import LinearEmbedder, validate_data
 from repro.core.responses import generate_responses
-from repro.linalg.cholesky import cholesky, solve_factored
-from repro.linalg.lsqr import lsqr
+from repro.linalg.lsqr import FAILURE_ISTOPS, ISTOP_REASONS, lsqr
 from repro.linalg.operators import (
     AppendOnesOperator,
     CenteringOperator,
     as_operator,
 )
 from repro.linalg.sparse import CSRMatrix, is_sparse
+from repro.robustness import FitReport, guarded_solve
 
 #: Above this min(m, n) the Gram matrix of the normal-equations path gets
 #: expensive (cubic factor); "auto" switches to LSQR.
@@ -99,6 +99,13 @@ class SRDA(LinearEmbedder):
         paper's IDR/QR comparison is named for: when data arrives in
         batches, refitting converges in a handful of iterations instead
         of starting cold.  Ignored by the normal-equations solver.
+    on_invalid:
+        Degradation policy for degenerate input: ``"raise"`` (default)
+        rejects non-finite features and single-class problems;
+        ``"warn"`` sanitizes non-finite entries, accepts a single class
+        (producing a zero-dimensional embedding), and emits
+        :class:`~repro.robustness.RobustnessWarning` for each
+        degradation.
 
     Attributes
     ----------
@@ -115,6 +122,10 @@ class SRDA(LinearEmbedder):
         Whether the fit used centering (True) or bias absorption.
     lsqr_iterations_:
         Iterations used per response column (LSQR path only).
+    fit_report_:
+        :class:`~repro.robustness.FitReport` with the solver actually
+        used, any fallback-chain steps, the condition estimate, the
+        effective α, and per-response LSQR termination codes.
     """
 
     def __init__(
@@ -125,6 +136,7 @@ class SRDA(LinearEmbedder):
         max_iter: int = 20,
         tol: float = 1e-10,
         warm_start: bool = False,
+        on_invalid: str = "raise",
     ) -> None:
         if alpha < 0:
             raise ValueError("alpha must be non-negative")
@@ -134,12 +146,15 @@ class SRDA(LinearEmbedder):
             raise ValueError("centering must be 'auto', True, or False")
         if max_iter < 1:
             raise ValueError("max_iter must be positive")
+        if on_invalid not in ("raise", "warn"):
+            raise ValueError("on_invalid must be 'raise' or 'warn'")
         self.alpha = float(alpha)
         self.solver = solver
         self.centering = centering
         self.max_iter = int(max_iter)
         self.tol = float(tol)
         self.warm_start = bool(warm_start)
+        self.on_invalid = on_invalid
         self.components_ = None
         self.intercept_ = None
         self.classes_ = None
@@ -148,18 +163,38 @@ class SRDA(LinearEmbedder):
         self.solver_used_: Optional[str] = None
         self.centered_: Optional[bool] = None
         self.lsqr_iterations_: Optional[List[int]] = None
+        self.fit_report_: Optional[FitReport] = None
 
     # ------------------------------------------------------------------
     def fit(self, X, y) -> "SRDA":
         """Learn the ``c - 1`` projective functions from labeled data."""
-        X, classes, y_indices = validate_data(X, y)
+        report = FitReport()
+        self.fit_report_ = report
+        X, classes, y_indices = validate_data(
+            X,
+            y,
+            on_invalid=self.on_invalid,
+            min_classes=1 if self.on_invalid == "warn" else 2,
+        )
         self.classes_ = classes
         n_classes = classes.shape[0]
+        if n_classes < 2:
+            return self._fit_single_class(X, y_indices, report)
+        counts = np.bincount(y_indices, minlength=n_classes)
+        singletons = int(np.sum(counts == 1))
+        if singletons:
+            report.add_warning(
+                f"{singletons} of {n_classes} classes have a single "
+                "sample; their within-class scatter is zero and the fit "
+                "may overfit those classes",
+                emit=self.on_invalid == "warn",
+            )
         responses = generate_responses(y_indices, n_classes)
         self.responses_ = responses
 
         sparse_input = isinstance(X, CSRMatrix) or is_sparse(X)
         solver = self._resolve_solver(X, sparse_input)
+        report.requested_solver = solver
         center = (
             not sparse_input if self.centering == "auto" else bool(self.centering)
         )
@@ -172,17 +207,41 @@ class SRDA(LinearEmbedder):
         self.lsqr_iterations_ = None
         if center:
             components, intercept = self._fit_centered(
-                X, responses, solver, sparse_input
+                X, responses, solver, sparse_input, report
             )
         else:
             components, intercept = self._fit_augmented(
-                X, responses, solver, sparse_input
+                X, responses, solver, sparse_input, report
             )
         self.solver_used_ = solver
         self.centered_ = center
         self.components_ = components
         self.intercept_ = intercept
         self._store_centroids(self.transform(X), y_indices)
+        return self
+
+    def _fit_single_class(self, X, y_indices, report: FitReport) -> "SRDA":
+        """Degenerate one-class fit: a zero-dimensional embedding.
+
+        With ``c = 1`` there are ``c - 1 = 0`` discriminant directions;
+        the model still supports ``transform`` (an ``(m, 0)`` embedding)
+        and ``predict`` (always the single class) so pipelines survive
+        pathological splits.
+        """
+        n = X.shape[1]
+        report.add_warning(
+            "only one class present; fitting a zero-dimensional "
+            "embedding (predict will always return that class)"
+        )
+        report.solver = "degenerate"
+        report.requested_solver = self.solver
+        self.responses_ = np.zeros((X.shape[0], 0))
+        self.solver_used_ = None
+        self.centered_ = False
+        self.components_ = np.zeros((n, 0))
+        self.intercept_ = np.zeros(0)
+        self.lsqr_iterations_ = None
+        self._store_centroids(np.zeros((X.shape[0], 0)), y_indices)
         return self
 
     def _resolve_solver(self, X, sparse_input: bool) -> str:
@@ -196,24 +255,32 @@ class SRDA(LinearEmbedder):
     # ------------------------------------------------------------------
     # Centered path — exactly Eqn 14 (dense data, or sparse via LSQR)
     # ------------------------------------------------------------------
-    def _fit_centered(self, X, responses, solver, sparse_input):
+    def _fit_centered(self, X, responses, solver, sparse_input, report):
         if solver == "normal":
             X = np.asarray(X, dtype=np.float64)
             mean = X.mean(axis=0)
             centered = X - mean
-            components = self._ridge_normal(centered, responses)
+            zero_var = int(np.sum(~centered.any(axis=0)))
+            if zero_var:
+                report.add_warning(
+                    f"{zero_var} features have zero variance; they carry "
+                    "no discriminant information and make the Gram "
+                    "matrix singular at alpha=0",
+                    emit=self.on_invalid == "warn",
+                )
+            components = self._ridge_normal(centered, responses, report)
         else:
             base = as_operator(X)
             op = CenteringOperator(base)
             mean = op.column_means
-            components = self._ridge_lsqr(op, responses)
+            components = self._ridge_lsqr(op, responses, report)
         intercept = -(mean @ components)
         return components, intercept
 
     # ------------------------------------------------------------------
     # Augmented path — Section III-B bias absorption
     # ------------------------------------------------------------------
-    def _fit_augmented(self, X, responses, solver, sparse_input):
+    def _fit_augmented(self, X, responses, solver, sparse_input, report):
         if solver == "normal":
             if sparse_input:
                 X = (
@@ -222,40 +289,58 @@ class SRDA(LinearEmbedder):
                     else np.asarray(X.todense(), dtype=np.float64)
                 )
             X_aug = np.hstack([X, np.ones((X.shape[0], 1))])
-            weights = self._ridge_normal(X_aug, responses)
+            weights = self._ridge_normal(X_aug, responses, report)
         else:
             op = AppendOnesOperator(as_operator(X))
-            weights = self._ridge_lsqr(op, responses)
+            weights = self._ridge_lsqr(op, responses, report)
         return weights[:-1], weights[-1]
 
     # ------------------------------------------------------------------
     # Ridge solvers shared by both paths
     # ------------------------------------------------------------------
-    def _ridge_normal(self, X: np.ndarray, targets: np.ndarray) -> np.ndarray:
-        """Normal equations (Eqn 20), dual (Eqn 21) when wide, on dense X."""
+    def _ridge_normal(
+        self, X: np.ndarray, targets: np.ndarray, report: FitReport
+    ) -> np.ndarray:
+        """Normal equations (Eqn 20), dual (Eqn 21) when wide, on dense X.
+
+        Both systems go through :func:`repro.robustness.guarded_solve`,
+        so a rank-deficient Gram matrix (including the ``alpha = 0``
+        limit of Theorem 2) degrades through the fallback chain —
+        jittered ridge, then a minimum-norm LSQR rescue — instead of
+        raising ``NotPositiveDefiniteError``.
+        """
         m, n = X.shape
-        if self.alpha == 0.0:
-            # Gram matrix may be singular; fall back to the minimum-norm
-            # least-squares solution (the α→0 limit of Theorem 2).
-            solution, _, _, _ = np.linalg.lstsq(X, targets, rcond=None)
-            return solution
         if n <= m:
             gram = X.T @ X
-            gram[np.diag_indices_from(gram)] += self.alpha
-            L = cholesky(gram)
-            return solve_factored(L, X.T @ targets)
-        # Dual: (XXᵀ + αI) B = Ȳ in m dims, then A = Xᵀ B — exact because
-        # Xᵀ(XXᵀ + αI)⁻¹ = (XᵀX + αI)⁻¹Xᵀ.
-        outer = X @ X.T
-        outer[np.diag_indices_from(outer)] += self.alpha
-        L = cholesky(outer)
-        return X.T @ solve_factored(L, targets)
+            result = guarded_solve(
+                gram, X.T @ targets, alpha=self.alpha, report=report
+            )
+            solution = result.x
+        else:
+            # Dual: (XXᵀ + αI) B = Ȳ in m dims, then A = Xᵀ B — exact
+            # because Xᵀ(XXᵀ + αI)⁻¹ = (XᵀX + αI)⁻¹Xᵀ.
+            outer = X @ X.T
+            result = guarded_solve(
+                outer, targets, alpha=self.alpha, report=report
+            )
+            solution = X.T @ result.x
+        if result.fallbacks:
+            report.add_warning(
+                f"normal-equations solve degraded to {result.solver} "
+                f"(effective_alpha={result.effective_alpha:.3g}, "
+                f"condition~{result.condition_estimate:.3g})"
+            )
+        return solution
 
-    def _ridge_lsqr(self, op, targets: np.ndarray) -> np.ndarray:
+    def _ridge_lsqr(
+        self, op, targets: np.ndarray, report: FitReport
+    ) -> np.ndarray:
         """LSQR with damping √α, one run per target column."""
         starts = self._warm_start_matrix(op.shape[1], targets.shape[1])
         weights = np.empty((op.shape[1], targets.shape[1]))
-        iterations = []
+        iterations: List[int] = []
+        istops: List[int] = []
+        residuals: List[float] = []
         damp = float(np.sqrt(self.alpha))
         for j in range(targets.shape[1]):
             result = lsqr(
@@ -269,6 +354,29 @@ class SRDA(LinearEmbedder):
             )
             weights[:, j] = result.x
             iterations.append(result.itn)
+            istops.append(result.istop)
+            residuals.append(float(result.r2norm))
+            if result.istop in FAILURE_ISTOPS:
+                report.converged = False
+                report.add_warning(
+                    f"LSQR failed on response {j}: "
+                    f"istop={result.istop} ({ISTOP_REASONS[result.istop]}) "
+                    f"after {result.itn} iterations, r2norm={result.r2norm:.3g}"
+                )
+            elif result.istop == 7 and self.tol > 0:
+                # Hitting the cap is only noteworthy when the caller
+                # asked for tolerance-based convergence (tol=0 runs a
+                # fixed iteration count by design, per the paper).
+                report.add_warning(
+                    f"LSQR hit the iteration limit on response {j} "
+                    f"before reaching tol={self.tol:g}",
+                    emit=False,
+                )
+        report.solver = "lsqr"
+        report.lsqr_istop = istops
+        report.lsqr_iterations = iterations
+        report.lsqr_residuals = residuals
+        report.effective_alpha = self.alpha
         self.lsqr_iterations_ = iterations
         return weights
 

@@ -11,7 +11,12 @@ this substitution preserves what the evaluation measures.
 """
 
 from repro.datasets.base import Dataset
-from repro.datasets.cache import cached, load_dataset, save_dataset
+from repro.datasets.cache import (
+    CorruptCacheError,
+    cached,
+    load_dataset,
+    save_dataset,
+)
 from repro.datasets.digits import make_digits
 from repro.datasets.faces import make_faces
 from repro.datasets.spoken_letters import make_spoken_letters
@@ -24,6 +29,7 @@ from repro.datasets.text import make_text
 from repro.datasets.vectorizer import TfVectorizer, make_raw_documents
 
 __all__ = [
+    "CorruptCacheError",
     "Dataset",
     "TfVectorizer",
     "cached",

@@ -5,13 +5,29 @@ re-use the same corpus many times; caching avoids regenerating (and
 guarantees bit-identical data across processes).  Sparse matrices are
 stored in CSR parts; metadata goes through JSON, with numpy arrays in
 the metadata (index pools, speaker ids) stored as separate entries.
+
+Integrity guarantees (one bad cache file must not kill a sweep):
+
+- **Atomic writes** — :func:`save_dataset` writes to a temporary file in
+  the same directory and renames it into place, so a crashed or killed
+  process never leaves a half-written archive at the cache path.
+- **Checksums** — every archive embeds a CRC32 over its payload;
+  :func:`load_dataset` verifies it and raises :class:`CorruptCacheError`
+  (naming the file) on mismatch, missing keys, or an unreadable archive,
+  instead of a bare ``KeyError`` deep inside numpy.
+- **Self-healing reads** — :func:`cached` regenerates and re-saves the
+  dataset when the cache file is corrupt (``regenerate_on_corruption``,
+  on by default).
 """
 
 from __future__ import annotations
 
 import json
+import os
+import zipfile
+import zlib
 from pathlib import Path
-from typing import Union
+from typing import Dict, Union
 
 import numpy as np
 
@@ -19,10 +35,51 @@ from repro.datasets.base import Dataset
 from repro.linalg.sparse import CSRMatrix
 
 _METADATA_ARRAY_PREFIX = "metadata_array_"
+_CHECKSUM_KEY = "checksum"
+_REQUIRED_KEYS = ("format", "name", "y", "metadata_json")
+_FORMAT_KEYS = {
+    "csr": ("data", "indices", "indptr", "shape"),
+    "dense": ("X",),
+}
+
+
+class CorruptCacheError(ValueError):
+    """A cache file is unreadable, incomplete, or fails its checksum.
+
+    Subclasses ``ValueError`` so callers that treated load failures as
+    value errors keep working; the message always names the file.
+    """
+
+    def __init__(self, path: Union[str, Path], reason: str) -> None:
+        super().__init__(f"corrupt dataset cache {Path(path)}: {reason}")
+        self.path = Path(path)
+        self.reason = reason
+
+
+def _payload_checksum(payload: Dict[str, np.ndarray]) -> str:
+    """CRC32 over all entries in sorted key order (hex string)."""
+    crc = 0
+    for key in sorted(payload):
+        if key == _CHECKSUM_KEY:
+            continue
+        crc = zlib.crc32(key.encode("utf-8"), crc)
+        crc = zlib.crc32(np.ascontiguousarray(payload[key]).tobytes(), crc)
+    return f"{crc & 0xFFFFFFFF:08x}"
+
+
+def _resolve_path(path: Union[str, Path]) -> Path:
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    return path
 
 
 def save_dataset(dataset: Dataset, path: Union[str, Path]) -> Path:
-    """Serialize a :class:`Dataset` (dense or sparse) to ``path``."""
+    """Serialize a :class:`Dataset` (dense or sparse) to ``path``.
+
+    The archive is written to a temporary sibling file and renamed into
+    place, so readers never observe a partially written cache.
+    """
     payload = {"name": np.array(dataset.name), "y": dataset.y}
     if dataset.is_sparse:
         payload["format"] = np.array("csr")
@@ -41,52 +98,120 @@ def save_dataset(dataset: Dataset, path: Union[str, Path]) -> Path:
         else:
             plain_metadata[key] = value
     payload["metadata_json"] = np.array(json.dumps(plain_metadata))
+    payload[_CHECKSUM_KEY] = np.array(_payload_checksum(payload))
 
-    path = Path(path)
-    if path.suffix != ".npz":
-        path = path.with_suffix(path.suffix + ".npz")
-    np.savez_compressed(path, **payload)
+    path = _resolve_path(path)
+    tmp = path.with_name(path.name + f".tmp{os.getpid()}")
+    try:
+        # np.savez_compressed appends ".npz" to *names* but writes file
+        # objects verbatim — open the temp file ourselves.
+        with open(tmp, "wb") as handle:
+            np.savez_compressed(handle, **payload)
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():  # pragma: no cover - only on a failed write
+            tmp.unlink()
     return path
 
 
 def load_dataset(path: Union[str, Path]) -> Dataset:
-    """Load a dataset saved by :func:`save_dataset`."""
-    with np.load(Path(path), allow_pickle=False) as archive:
-        fmt = str(archive["format"])
-        if fmt == "csr":
-            X = CSRMatrix(
-                archive["data"],
-                archive["indices"],
-                archive["indptr"],
-                tuple(archive["shape"]),
-            )
-        elif fmt == "dense":
-            X = archive["X"]
-        else:
-            raise ValueError(f"unknown dataset format {fmt!r}")
-        metadata = json.loads(str(archive["metadata_json"]))
-        for key in archive.files:
-            if key.startswith(_METADATA_ARRAY_PREFIX):
-                metadata[key[len(_METADATA_ARRAY_PREFIX):]] = archive[key]
-        return Dataset(
-            name=str(archive["name"]),
-            X=X,
-            y=archive["y"],
-            metadata=metadata,
+    """Load a dataset saved by :func:`save_dataset`.
+
+    Raises
+    ------
+    CorruptCacheError
+        When the archive is unreadable, misses required keys, declares
+        an unknown format, or fails its embedded checksum.
+    """
+    path = Path(path)
+    # Own the file handle (np.load can leak its descriptor when the
+    # archive turns out to be corrupt); FileNotFoundError passes through
+    # untouched — a missing cache is absence, not corruption.
+    with open(path, "rb") as handle:
+        try:
+            with np.load(handle, allow_pickle=False) as archive:
+                present = set(archive.files)
+                missing = [k for k in _REQUIRED_KEYS if k not in present]
+                if missing:
+                    raise CorruptCacheError(
+                        path, f"missing required keys {missing}"
+                    )
+                fmt = str(archive["format"])
+                if fmt not in _FORMAT_KEYS:
+                    raise CorruptCacheError(
+                        path, f"unknown dataset format {fmt!r}"
+                    )
+                missing = [k for k in _FORMAT_KEYS[fmt] if k not in present]
+                if missing:
+                    raise CorruptCacheError(
+                        path, f"missing {fmt} payload keys {missing}"
+                    )
+                entries = {key: archive[key] for key in archive.files}
+        except CorruptCacheError:
+            raise
+        except (zipfile.BadZipFile, OSError, ValueError, KeyError) as exc:
+            raise CorruptCacheError(
+                path, f"unreadable archive ({exc})"
+            ) from exc
+
+    if _CHECKSUM_KEY in entries:
+        stored = str(entries[_CHECKSUM_KEY])
+        actual = _payload_checksum(
+            {k: v for k, v in entries.items() if k != _CHECKSUM_KEY}
         )
+        if stored != actual:
+            raise CorruptCacheError(
+                path,
+                f"checksum mismatch (stored {stored}, computed {actual})",
+            )
+    # Archives from before checksums were introduced load without
+    # verification rather than being rejected wholesale.
+
+    if fmt == "csr":
+        X = CSRMatrix(
+            entries["data"],
+            entries["indices"],
+            entries["indptr"],
+            tuple(entries["shape"]),
+        )
+    else:
+        X = entries["X"]
+    try:
+        metadata = json.loads(str(entries["metadata_json"]))
+    except json.JSONDecodeError as exc:
+        raise CorruptCacheError(path, f"invalid metadata JSON ({exc})") from exc
+    for key, value in entries.items():
+        if key.startswith(_METADATA_ARRAY_PREFIX):
+            metadata[key[len(_METADATA_ARRAY_PREFIX):]] = value
+    return Dataset(
+        name=str(entries["name"]),
+        X=X,
+        y=entries["y"],
+        metadata=metadata,
+    )
 
 
-def cached(builder, path: Union[str, Path], **kwargs) -> Dataset:
+def cached(
+    builder,
+    path: Union[str, Path],
+    regenerate_on_corruption: bool = True,
+    **kwargs,
+) -> Dataset:
     """Return the dataset at ``path``, generating and saving it if absent.
 
     ``builder`` is any ``make_*`` generator; ``kwargs`` are passed
-    through on a cache miss.
+    through on a cache miss.  When the existing file is corrupt and
+    ``regenerate_on_corruption`` is true (the default), it is deleted
+    and rebuilt instead of failing the whole run.
     """
-    path = Path(path)
-    if path.suffix != ".npz":
-        path = path.with_suffix(path.suffix + ".npz")
+    path = _resolve_path(path)
     if path.exists():
-        return load_dataset(path)
+        try:
+            return load_dataset(path)
+        except CorruptCacheError:
+            if not regenerate_on_corruption:
+                raise
+            path.unlink(missing_ok=True)
     dataset = builder(**kwargs)
     save_dataset(dataset, path)
     return dataset

@@ -22,8 +22,12 @@ as failures instead of executed.
 
 from __future__ import annotations
 
+import json
+import os
 import time
+import warnings
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
@@ -37,6 +41,7 @@ from repro.datasets.splits import (
     split_seeds,
 )
 from repro.eval.metrics import error_rate, mean_std
+from repro.robustness import RobustnessWarning
 
 #: The experiment machine in the paper had 2 GB of RAM.
 PAPER_MEMORY_BUDGET_BYTES = 2 * 1024**3
@@ -49,6 +54,7 @@ class CellResult:
     errors: List[float] = field(default_factory=list)
     fit_seconds: List[float] = field(default_factory=list)
     failure: Optional[str] = None
+    retries: int = 0
 
     @property
     def failed(self) -> bool:
@@ -137,6 +143,104 @@ def size_label(size: Union[int, float]) -> str:
     return str(int(size))
 
 
+# ----------------------------------------------------------------------
+# Checkpoint/resume for multi-split sweeps
+# ----------------------------------------------------------------------
+
+_CHECKPOINT_VERSION = 1
+
+
+def _checkpoint_signature(
+    dataset_name: str,
+    names: List[str],
+    labels: List[str],
+    n_splits: int,
+    seed: int,
+) -> Dict[str, object]:
+    return {
+        "dataset": dataset_name,
+        "algorithms": list(names),
+        "size_labels": list(labels),
+        "n_splits": int(n_splits),
+        "seed": int(seed),
+    }
+
+
+def _write_checkpoint(
+    path: Path,
+    signature: Dict[str, object],
+    completed: Dict[str, int],
+    cells: Dict[tuple, CellResult],
+) -> None:
+    """Atomically persist sweep progress (temp file + rename)."""
+    state = {
+        "version": _CHECKPOINT_VERSION,
+        "signature": signature,
+        "completed_splits": completed,
+        "cells": {
+            label: {
+                name: {
+                    "errors": cell.errors,
+                    "fit_seconds": cell.fit_seconds,
+                    "failure": cell.failure,
+                    "retries": cell.retries,
+                }
+                for (name, lab), cell in cells.items()
+                if lab == label
+            }
+            for label in signature["size_labels"]
+        },
+    }
+    tmp = path.with_name(path.name + f".tmp{os.getpid()}")
+    tmp.write_text(json.dumps(state))
+    os.replace(tmp, path)
+
+
+def _load_checkpoint(
+    path: Path,
+    signature: Dict[str, object],
+    cells: Dict[tuple, CellResult],
+) -> Dict[str, int]:
+    """Restore progress from ``path`` into ``cells``.
+
+    Returns completed-split counts per size label.  A missing file means
+    a fresh start; an unreadable or mismatched checkpoint is ignored
+    with a :class:`RobustnessWarning` (never fails the sweep).
+    """
+    if not path.exists():
+        return {}
+    try:
+        state = json.loads(path.read_text())
+        if state.get("version") != _CHECKPOINT_VERSION:
+            raise ValueError(f"unsupported version {state.get('version')!r}")
+        stored_signature = state["signature"]
+        completed = state["completed_splits"]
+        stored_cells = state["cells"]
+    except (json.JSONDecodeError, KeyError, OSError, ValueError) as exc:
+        warnings.warn(
+            f"ignoring unreadable experiment checkpoint {path}: {exc}",
+            RobustnessWarning,
+            stacklevel=3,
+        )
+        return {}
+    if stored_signature != signature:
+        warnings.warn(
+            f"ignoring experiment checkpoint {path}: it belongs to a "
+            "different sweep configuration",
+            RobustnessWarning,
+            stacklevel=3,
+        )
+        return {}
+    for label, per_algo in stored_cells.items():
+        for name, stored in per_algo.items():
+            cell = cells[(name, label)]
+            cell.errors = [float(e) for e in stored["errors"]]
+            cell.fit_seconds = [float(t) for t in stored["fit_seconds"]]
+            cell.failure = stored["failure"]
+            cell.retries = int(stored.get("retries", 0))
+    return {label: int(done) for label, done in completed.items()}
+
+
 def run_experiment(
     dataset: Dataset,
     algorithms: Dict[str, Callable[[], object]],
@@ -145,6 +249,9 @@ def run_experiment(
     seed: int = 0,
     memory_budget_bytes: Optional[float] = None,
     continue_on_error: bool = False,
+    retries: int = 0,
+    fit_timeout_seconds: Optional[float] = None,
+    checkpoint_path: Optional[Union[str, Path]] = None,
 ) -> ExperimentResult:
     """Run the full (algorithm × training size × split) sweep.
 
@@ -173,7 +280,25 @@ def run_experiment(
         recorded as that cell's failure (like the paper's "—" entries)
         instead of aborting the whole sweep.  Default False: long sweeps
         should not silently hide implementation bugs unless asked to.
+    retries:
+        Re-attempt a failed fit/predict (fresh estimator, same split) up
+        to this many extra times before declaring the cell failed; the
+        attempt count is recorded on :attr:`CellResult.retries`.
+    fit_timeout_seconds:
+        When set, a fit that takes longer than this marks the cell
+        failed and the algorithm is skipped for the rest of the sweep.
+        The check is cooperative (measured after the fit returns) — it
+        cannot interrupt a hung BLAS call, but it stops a slow algorithm
+        from consuming every remaining split.
+    checkpoint_path:
+        When set, sweep progress is persisted (atomically) to this JSON
+        file after every completed split, and a matching checkpoint is
+        resumed from instead of recomputing.  Checkpoints from a
+        different configuration are ignored with a warning.  The file is
+        removed on successful completion.
     """
+    if retries < 0:
+        raise ValueError("retries must be non-negative")
     if train_sizes is None:
         train_sizes = dataset.metadata.get("train_sizes") or dataset.metadata.get(
             "train_ratios"
@@ -188,6 +313,14 @@ def run_experiment(
         (name, label): CellResult() for name in names for label in labels
     }
 
+    signature = _checkpoint_signature(
+        dataset.name, names, labels, n_splits, seed
+    )
+    completed: Dict[str, int] = {}
+    if checkpoint_path is not None:
+        checkpoint_path = Path(checkpoint_path)
+        completed = _load_checkpoint(checkpoint_path, signature, cells)
+
     n_classes = dataset.n_classes
     avg_nnz = (
         dataset.X.mean_nnz_per_row() if dataset.is_sparse else None
@@ -195,7 +328,9 @@ def run_experiment(
 
     for size, label in zip(train_sizes, labels):
         seeds = split_seeds(seed + hash(label) % 100003, n_splits)
-        for split_seed in seeds:
+        for split_index, split_seed in enumerate(seeds):
+            if split_index < completed.get(label, 0):
+                continue  # restored from checkpoint
             rng = np.random.default_rng(int(split_seed))
             train_idx, test_idx = _make_split(dataset, size, rng)
             X_train, y_train = dataset.subset(train_idx)
@@ -218,21 +353,48 @@ def run_experiment(
                         cell.errors.clear()
                         cell.fit_seconds.clear()
                         continue
-                model = algorithms[name]()
-                try:
-                    start = time.perf_counter()
-                    model.fit(X_train, y_train)
-                    elapsed = time.perf_counter() - start
-                    error = error_rate(y_test, model.predict(X_test))
-                except Exception as exc:
-                    if not continue_on_error:
-                        raise
-                    cell.failure = f"{type(exc).__name__}: {exc}"
+                outcome = None
+                for attempt in range(retries + 1):
+                    model = algorithms[name]()
+                    try:
+                        start = time.perf_counter()
+                        model.fit(X_train, y_train)
+                        elapsed = time.perf_counter() - start
+                        error = error_rate(y_test, model.predict(X_test))
+                        outcome = (elapsed, error)
+                        break
+                    except Exception as exc:
+                        if attempt < retries:
+                            cell.retries += 1
+                            continue
+                        if not continue_on_error:
+                            raise
+                        cell.failure = f"{type(exc).__name__}: {exc}"
+                        cell.errors.clear()
+                        cell.fit_seconds.clear()
+                if outcome is None:
+                    continue
+                elapsed, error = outcome
+                if (
+                    fit_timeout_seconds is not None
+                    and elapsed > fit_timeout_seconds
+                ):
+                    cell.failure = (
+                        f"fit took {elapsed:.2f}s, exceeding the "
+                        f"{fit_timeout_seconds:.2f}s timeout"
+                    )
                     cell.errors.clear()
                     cell.fit_seconds.clear()
                     continue
                 cell.fit_seconds.append(elapsed)
                 cell.errors.append(error)
+
+            completed[label] = split_index + 1
+            if checkpoint_path is not None:
+                _write_checkpoint(checkpoint_path, signature, completed, cells)
+
+    if checkpoint_path is not None:
+        checkpoint_path.unlink(missing_ok=True)
 
     return ExperimentResult(
         dataset_name=dataset.name,

@@ -26,12 +26,14 @@ from repro.linalg.coordinate_descent import (
 from repro.linalg.dense import solve_lstsq, symmetric_eigh
 from repro.linalg.eigen import jacobi_eigh, lanczos_eigsh
 from repro.linalg.gram_schmidt import orthogonalize_against, orthonormalize
-from repro.linalg.lsqr import LSQRResult, lsqr
+from repro.linalg.lsqr import FAILURE_ISTOPS, ISTOP_REASONS, LSQRResult, lsqr
 from repro.linalg.operators import (
     AppendOnesOperator,
     CenteringOperator,
     CSROperator,
     DenseOperator,
+    FaultyOperator,
+    InjectedFaultError,
     LinearOperator,
     TransposedOperator,
     as_operator,
@@ -46,6 +48,10 @@ __all__ = [
     "CenteringOperator",
     "DenseOperator",
     "ElasticNetResult",
+    "FAILURE_ISTOPS",
+    "FaultyOperator",
+    "ISTOP_REASONS",
+    "InjectedFaultError",
     "LSQRResult",
     "LinearOperator",
     "TransposedOperator",

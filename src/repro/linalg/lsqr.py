@@ -33,6 +33,36 @@ from repro.linalg.operators import (
     as_operator,
 )
 
+#: Human-readable meanings of the termination codes.  0–7 follow Paige &
+#: Saunders / Algorithm 583; 8 and 9 are this implementation's explicit
+#: failure codes — previously those runs silently returned garbage.
+ISTOP_REASONS = {
+    0: "x = 0 is the exact solution",
+    1: "residual small enough (btol test)",
+    2: "least-squares optimality reached (atol test)",
+    3: "condition estimate exceeded conlim",
+    4: "residual as small as machine precision allows",
+    5: "optimality as small as machine precision allows",
+    6: "condition estimate at machine-precision limit",
+    7: "iteration limit reached before convergence tests fired",
+    8: "non-finite values encountered (diverged or faulty operator)",
+    9: "residual stagnated far from optimality",
+}
+
+#: Codes that indicate the run failed to make progress (8 = divergence /
+#: NaN contamination, 9 = stagnation).  Code 7 is *not* listed: hitting
+#: the iteration cap is normal operation for the paper's fixed 15–20
+#: iteration protocol (``tol = 0``); callers decide whether it matters.
+FAILURE_ISTOPS = frozenset({8, 9})
+
+#: Consecutive no-progress iterations before stagnation is declared.
+_STAGNATION_WINDOW = 5
+#: Relative residual decrease below which an iteration counts as stalled.
+_STAGNATION_RTOL = 1e-12
+#: Optimality levels that must *both* still be poor for a plateau to be
+#: stagnation rather than ordinary convergence with tol = 0.
+_STAGNATION_FLOOR = 1e-6
+
 
 @dataclass
 class LSQRResult:
@@ -45,7 +75,9 @@ class LSQRResult:
     istop:
         Why the iteration stopped: 0 = x=0 is the exact solution,
         1 = residual small (btol test), 2 = least-squares optimality
-        (atol test), 3 = condition-number limit, 7 = iteration limit.
+        (atol test), 3 = condition-number limit, 7 = iteration limit,
+        8 = non-finite values (divergence/faulty operator),
+        9 = stagnation far from optimality.  See :data:`ISTOP_REASONS`.
     itn:
         Iterations performed.
     r1norm:
@@ -72,6 +104,21 @@ class LSQRResult:
     arnorm: float
     xnorm: float
     residual_history: List[float] = field(default_factory=list)
+
+    @property
+    def failed(self) -> bool:
+        """True when the run diverged (8) or stagnated (9)."""
+        return self.istop in FAILURE_ISTOPS
+
+    @property
+    def converged(self) -> bool:
+        """True when a convergence test fired (not a cap or a failure)."""
+        return self.istop in (0, 1, 2, 4, 5)
+
+    @property
+    def stop_reason(self) -> str:
+        """Human-readable meaning of :attr:`istop`."""
+        return ISTOP_REASONS.get(self.istop, f"unknown code {self.istop}")
 
 
 def lsqr(
@@ -222,16 +269,27 @@ def lsqr(
             residual_history=history,
         )
 
+    prev_r2norm = r2norm
+    stalled_iterations = 0
+
     while itn < iter_lim:
         itn += 1
         # Continue the bidiagonalization: beta*u = A v - alfa*u
         u = op.matvec(v) - alfa * u
         beta = np.linalg.norm(u)
+        if not np.isfinite(beta):
+            # A NaN/Inf entered through the operator (or the iteration
+            # diverged); x still holds the last finite iterate.
+            istop = 8
+            break
         if beta > 0:
             u /= beta
             anorm = np.sqrt(anorm**2 + alfa**2 + beta**2 + dampsq)
             v = op.rmatvec(u) - beta * v
             alfa = np.linalg.norm(v)
+            if not np.isfinite(alfa):
+                istop = 8
+                break
             if alfa > 0:
                 v /= alfa
         else:
@@ -297,6 +355,27 @@ def lsqr(
         test1 = rnorm / bnorm if bnorm > 0 else 0.0
         test2 = arnorm / (anorm * rnorm) if anorm * rnorm > 0 else 0.0
         test3 = 1.0 / acond if acond > 0 else 0.0
+
+        if not np.isfinite(r2norm) or not np.isfinite(xnorm):
+            istop = 8
+            break
+        # Stagnation: several consecutive iterations with no residual
+        # progress while *both* residual and optimality tests are still
+        # far from firing.  A plateau at the least-squares optimum is
+        # normal (arnorm → 0 makes test2 tiny) and is NOT flagged — this
+        # only catches runs that stopped improving short of any answer.
+        if prev_r2norm - r2norm <= _STAGNATION_RTOL * max(prev_r2norm, 1.0):
+            stalled_iterations += 1
+        else:
+            stalled_iterations = 0
+        prev_r2norm = r2norm
+        if (
+            stalled_iterations >= _STAGNATION_WINDOW
+            and test1 > _STAGNATION_FLOOR
+            and test2 > _STAGNATION_FLOOR
+        ):
+            istop = 9
+            break
         t1_stop = test1 / (1 + anorm * xnorm / bnorm) if bnorm > 0 else 0.0
         rtol = btol + atol * anorm * xnorm / bnorm if bnorm > 0 else 0.0
 

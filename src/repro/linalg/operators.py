@@ -216,6 +216,90 @@ class AppendOnesOperator(LinearOperator):
         return np.concatenate([head, [u.sum()]])
 
 
+class InjectedFaultError(RuntimeError):
+    """Raised by :class:`FaultyOperator` when a scheduled fault fires."""
+
+
+class FaultyOperator(LinearOperator):
+    """Fault-injection wrapper: corrupt or abort mat-vecs on schedule.
+
+    Testing scaffolding for the robustness layer — wraps any operator
+    and, on selected products, either corrupts the output (NaN/Inf) or
+    raises :class:`InjectedFaultError`.  Products are counted across
+    ``matvec`` *and* ``rmatvec`` in call order, so ``fail_at={3}``
+    poisons the fourth product LSQR requests regardless of direction.
+
+    Parameters
+    ----------
+    base:
+        The healthy operator to wrap.
+    fail_at:
+        Iterable of 0-based product indices at which to inject.
+    fail_every:
+        Alternatively (or additionally), inject on every ``k``-th
+        product (indices ``k-1, 2k-1, ...``).
+    mode:
+        ``"nan"`` / ``"inf"`` corrupt the first output entry;
+        ``"raise"`` raises :class:`InjectedFaultError`.
+
+    Attributes
+    ----------
+    n_faults_injected:
+        How many faults actually fired.
+    """
+
+    def __init__(
+        self,
+        base: LinearOperator,
+        fail_at=(),
+        fail_every: Optional[int] = None,
+        mode: str = "nan",
+    ) -> None:
+        super().__init__()
+        if mode not in ("nan", "inf", "raise"):
+            raise ValueError(f"unknown fault mode {mode!r}")
+        if fail_every is not None and fail_every < 1:
+            raise ValueError("fail_every must be a positive integer")
+        self.base = base
+        self.shape = base.shape
+        self.fail_at = frozenset(int(i) for i in fail_at)
+        self.fail_every = fail_every
+        self.mode = mode
+        self.n_products = 0
+        self.n_faults_injected = 0
+
+    def _due(self) -> bool:
+        index = self.n_products
+        self.n_products += 1
+        if index in self.fail_at:
+            return True
+        if self.fail_every is not None and (index + 1) % self.fail_every == 0:
+            return True
+        return False
+
+    def _inject(self, out: np.ndarray, direction: str) -> np.ndarray:
+        self.n_faults_injected += 1
+        if self.mode == "raise":
+            raise InjectedFaultError(
+                f"injected fault on {direction} product "
+                f"#{self.n_products - 1}"
+            )
+        out = np.array(out, dtype=np.float64, copy=True)
+        if out.size:
+            out[0] = np.nan if self.mode == "nan" else np.inf
+        return out
+
+    def _matvec(self, v: np.ndarray) -> np.ndarray:
+        due = self._due()
+        out = self.base.matvec(v)
+        return self._inject(out, "matvec") if due else out
+
+    def _rmatvec(self, u: np.ndarray) -> np.ndarray:
+        due = self._due()
+        out = self.base.rmatvec(u)
+        return self._inject(out, "rmatvec") if due else out
+
+
 class ScaledOperator(LinearOperator):
     """``c * A`` for a scalar ``c``."""
 

@@ -1,0 +1,29 @@
+"""Guarded solves and fit diagnostics.
+
+Every estimator in this package routes its SPD solves through
+:func:`guarded_solve` — a Cholesky → jittered-Cholesky → LSQR-rescue
+fallback chain — and records what happened on a :class:`FitReport`
+exposed as ``fit_report_`` after ``fit``.  Degradations emit
+:class:`RobustnessWarning` so long experiment sweeps surface them.
+
+See ``docs/ROBUSTNESS.md`` for the full degradation policies.
+"""
+
+from repro.robustness.guarded import (
+    DEFAULT_JITTER_RETRIES,
+    GuardedSolveResult,
+    SolverFailure,
+    estimate_condition,
+    guarded_solve,
+)
+from repro.robustness.report import FitReport, RobustnessWarning
+
+__all__ = [
+    "DEFAULT_JITTER_RETRIES",
+    "FitReport",
+    "GuardedSolveResult",
+    "RobustnessWarning",
+    "SolverFailure",
+    "estimate_condition",
+    "guarded_solve",
+]

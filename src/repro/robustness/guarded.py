@@ -1,0 +1,295 @@
+"""The guarded SPD solve: Cholesky → jittered retries → LSQR rescue.
+
+The normal-equations path of SRDA (and of every baseline sharing its
+substrate) ultimately solves ``(G + αI) x = b`` for a Gram-type matrix
+``G``.  With a well-chosen ``α`` that system is SPD and one Cholesky
+factorization serves all right-hand sides — but rank-deficient data,
+``α = 0``, or heavy feature correlation make ``G + αI`` numerically
+singular, and the raw factorization raises
+:class:`~repro.linalg.cholesky.NotPositiveDefiniteError` mid-sweep.
+
+:func:`guarded_solve` replaces that hard failure with a bounded
+fallback chain, each step recorded so the caller's
+:class:`~repro.robustness.report.FitReport` can name exactly what
+happened:
+
+1. **Cholesky** on ``G + αI`` — the fast path, taken verbatim when the
+   matrix is comfortably SPD.
+2. **Jittered retries** — escalating ridge boosts ``α·10^k``
+   (``k = 1..max_jitter_retries``; an ``eps``-scaled base when
+   ``α = 0``) until a factorization succeeds.  The added jitter is the
+   documented degradation: the solution is the ridge solution at the
+   recorded ``effective_alpha``, which converges to the minimum-norm
+   least-squares solution as the jitter shrinks.
+3. **LSQR rescue** — matrix-free iteration on the (possibly singular)
+   system, which converges to the minimum-norm solution without ever
+   factoring anything.  Termination codes are surfaced, never swallowed.
+
+If even the rescue produces non-finite values, :class:`SolverFailure`
+carries the full attempt log — a structured diagnosis instead of a bare
+linear-algebra traceback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.linalg.cholesky import (
+    NotPositiveDefiniteError,
+    cholesky,
+    solve_factored,
+)
+from repro.linalg.lsqr import lsqr
+from repro.robustness.report import FitReport
+
+#: Default number of escalating-jitter Cholesky retries.
+DEFAULT_JITTER_RETRIES = 6
+
+
+class SolverFailure(RuntimeError):
+    """Every step of the guarded fallback chain failed.
+
+    Attributes
+    ----------
+    attempts:
+        The ordered log of what was tried and how each step failed.
+    """
+
+    def __init__(self, message: str, attempts: List[str]) -> None:
+        super().__init__(
+            message + "; attempts: " + " -> ".join(attempts)
+        )
+        self.attempts = list(attempts)
+
+
+@dataclass
+class GuardedSolveResult:
+    """Outcome of one :func:`guarded_solve` call.
+
+    Attributes
+    ----------
+    x:
+        Solution, same trailing shape as the right-hand side.
+    solver:
+        ``"cholesky"``, ``"cholesky+jitter"``, or ``"lsqr-rescue"``.
+    effective_alpha:
+        The diagonal shift actually applied (base ``alpha`` + jitter).
+    condition_estimate:
+        Estimated 2-norm condition number of the factored system
+        (``inf`` when no factorization succeeded).
+    fallbacks:
+        Ordered log of failed attempts preceding the successful one.
+    lsqr_istop, lsqr_iterations, lsqr_residuals:
+        Per-column LSQR diagnostics when the rescue ran, else ``None``.
+    """
+
+    x: np.ndarray
+    solver: str
+    effective_alpha: float
+    condition_estimate: float
+    fallbacks: List[str] = field(default_factory=list)
+    lsqr_istop: Optional[List[int]] = None
+    lsqr_iterations: Optional[List[int]] = None
+    lsqr_residuals: Optional[List[float]] = None
+
+    def merge_into(self, report: FitReport) -> None:
+        """Copy this solve's diagnostics onto a fit-level report."""
+        report.solver = self.solver
+        report.effective_alpha = self.effective_alpha
+        report.condition_estimate = self.condition_estimate
+        for step in self.fallbacks:
+            report.record_fallback(step)
+        if self.lsqr_istop is not None:
+            report.lsqr_istop = self.lsqr_istop
+            report.lsqr_iterations = self.lsqr_iterations
+            report.lsqr_residuals = self.lsqr_residuals
+
+
+def estimate_condition(
+    system: np.ndarray, L: Optional[np.ndarray] = None, iterations: int = 8
+) -> float:
+    """Cheap 2-norm condition estimate of an SPD system.
+
+    Power iteration (deterministic start) estimates the largest
+    eigenvalue; when a Cholesky factor ``L`` is available, inverse
+    iteration through the factor estimates the smallest.  Without a
+    factor the estimate is ``inf`` — the honest answer for a matrix
+    that refused to factor.
+    """
+    n = system.shape[0]
+    if n == 0:
+        return 1.0
+    v = np.ones(n) / np.sqrt(n)
+    lam_max = 0.0
+    for _ in range(iterations):
+        w = system @ v
+        lam_max = float(np.linalg.norm(w))
+        if lam_max == 0.0 or not np.isfinite(lam_max):
+            break
+        v = w / lam_max
+    if L is None:
+        return float("inf")
+    u = np.ones(n) / np.sqrt(n)
+    inv_norm = 0.0
+    for _ in range(iterations):
+        w = solve_factored(L, u)
+        inv_norm = float(np.linalg.norm(w))
+        if inv_norm == 0.0 or not np.isfinite(inv_norm):
+            return float("inf")
+        u = w / inv_norm
+    return lam_max * inv_norm
+
+
+def _jitter_schedule(
+    alpha: float, diag_scale: float, max_retries: int
+) -> List[float]:
+    """Escalating diagonal boosts ``base·10^k`` for ``k = 1..retries``."""
+    eps = np.finfo(np.float64).eps
+    base = alpha if alpha > 0 else eps * max(diag_scale, 1.0)
+    return [base * 10.0**k for k in range(1, max_retries + 1)]
+
+
+def guarded_solve(
+    gram: np.ndarray,
+    rhs: np.ndarray,
+    alpha: float = 0.0,
+    max_jitter_retries: int = DEFAULT_JITTER_RETRIES,
+    rescue_iter_lim: Optional[int] = None,
+    report: Optional[FitReport] = None,
+) -> GuardedSolveResult:
+    """Solve ``(gram + alpha·I) x = rhs`` with the guarded fallback chain.
+
+    Parameters
+    ----------
+    gram:
+        Symmetric positive *semi*-definite matrix (Gram or kernel);
+        ``alpha`` is added to its diagonal here, so pass the raw matrix.
+    rhs:
+        Right-hand side, ``(n,)`` or ``(n, k)``.
+    alpha:
+        Base Tikhonov shift.  ``alpha = 0`` is allowed — singularity is
+        exactly what the chain is for.
+    max_jitter_retries:
+        Bound on escalating-jitter Cholesky retries before the LSQR
+        rescue.
+    rescue_iter_lim:
+        Iteration cap for the LSQR rescue (default ``min(2n, 500)``,
+        at least 50).
+    report:
+        When given, the solve's diagnostics are merged into this
+        :class:`FitReport` before returning.
+
+    Raises
+    ------
+    SolverFailure
+        When every step — including the rescue — fails to produce a
+        finite solution.
+    """
+    gram = np.asarray(gram, dtype=np.float64)
+    rhs = np.asarray(rhs, dtype=np.float64)
+    n = gram.shape[0]
+    attempts: List[str] = []
+    diag = np.diagonal(gram)
+    diag_scale = float(np.mean(np.abs(diag))) if n else 1.0
+
+    def _try_cholesky(shift: float, label: str):
+        system = gram.copy()
+        if shift:
+            system[np.diag_indices_from(system)] += shift
+        try:
+            L = cholesky(system)
+        except NotPositiveDefiniteError as exc:
+            attempts.append(f"{label} failed ({exc})")
+            return None
+        x = solve_factored(L, rhs)
+        if not np.all(np.isfinite(x)):
+            attempts.append(f"{label} produced non-finite solution")
+            return None
+        return system, L, x
+
+    # Step 1: plain Cholesky at the base alpha.
+    outcome = _try_cholesky(alpha, "cholesky")
+    if outcome is not None:
+        system, L, x = outcome
+        result = GuardedSolveResult(
+            x=x,
+            solver="cholesky",
+            effective_alpha=alpha,
+            condition_estimate=estimate_condition(system, L),
+            fallbacks=attempts,
+        )
+        if report is not None:
+            result.merge_into(report)
+        return result
+
+    # Step 2: escalating-jitter retries.
+    for k, jitter in enumerate(
+        _jitter_schedule(alpha, diag_scale, max_jitter_retries), start=1
+    ):
+        effective = alpha + jitter
+        outcome = _try_cholesky(
+            effective, f"jitter retry k={k} (effective_alpha={effective:.3g})"
+        )
+        if outcome is not None:
+            system, L, x = outcome
+            result = GuardedSolveResult(
+                x=x,
+                solver="cholesky+jitter",
+                effective_alpha=effective,
+                condition_estimate=estimate_condition(system, L),
+                fallbacks=attempts,
+            )
+            if report is not None:
+                result.merge_into(report)
+            return result
+
+    # Step 3: LSQR rescue — minimum-norm solve of the (singular) system.
+    if rescue_iter_lim is None:
+        rescue_iter_lim = max(50, min(2 * n, 500))
+    system = gram.copy()
+    if alpha:
+        system[np.diag_indices_from(system)] += alpha
+    columns = rhs.reshape(n, -1)
+    x = np.empty_like(columns)
+    istops: List[int] = []
+    iterations: List[int] = []
+    residuals: List[float] = []
+    for j in range(columns.shape[1]):
+        run = lsqr(
+            system,
+            columns[:, j],
+            atol=1e-12,
+            btol=1e-12,
+            iter_lim=rescue_iter_lim,
+        )
+        x[:, j] = run.x
+        istops.append(run.istop)
+        iterations.append(run.itn)
+        residuals.append(run.r2norm)
+    if not np.all(np.isfinite(x)) or 8 in istops:
+        # istop=8 means LSQR aborted on non-finite quantities; its x is
+        # only the last finite iterate, not a rescue.
+        attempts.append(
+            "lsqr rescue produced non-finite solution"
+            if not np.all(np.isfinite(x))
+            else "lsqr rescue hit non-finite products (istop=8)"
+        )
+        raise SolverFailure(
+            "guarded_solve exhausted its fallback chain", attempts
+        )
+    result = GuardedSolveResult(
+        x=x[:, 0] if rhs.ndim == 1 else x,
+        solver="lsqr-rescue",
+        effective_alpha=alpha,
+        condition_estimate=estimate_condition(system),
+        fallbacks=attempts,
+        lsqr_istop=istops,
+        lsqr_iterations=iterations,
+        lsqr_residuals=residuals,
+    )
+    if report is not None:
+        result.merge_into(report)
+    return result

@@ -1,0 +1,170 @@
+"""Corrupted-cache round-trips: detect, name the file, self-heal."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.base import Dataset
+from repro.datasets.cache import (
+    CorruptCacheError,
+    cached,
+    load_dataset,
+    save_dataset,
+)
+from repro.linalg.sparse import CSRMatrix
+
+pytestmark = pytest.mark.robustness
+
+
+def _dense_dataset(rng, name="toy"):
+    return Dataset(
+        name=name,
+        X=rng.standard_normal((12, 5)),
+        y=np.arange(12) % 3,
+        metadata={"split_protocol": "per_class_within", "note": "t"},
+    )
+
+
+def _sparse_dataset(rng):
+    dense = rng.standard_normal((10, 6))
+    dense[dense < 0.5] = 0.0
+    return Dataset(
+        name="toy-sparse",
+        X=CSRMatrix.from_dense(dense),
+        y=np.arange(10) % 2,
+        metadata={"pools": np.arange(4)},
+    )
+
+
+def _rewrite_without_key(src, dst, drop):
+    """Re-save an archive minus one key (simulated partial write)."""
+    with np.load(src, allow_pickle=False) as archive:
+        payload = {k: archive[k] for k in archive.files if k != drop}
+    with open(dst, "wb") as handle:
+        np.savez_compressed(handle, **payload)
+
+
+def _tamper_entry(src, dst, key):
+    """Flip a payload entry without refreshing the stored checksum."""
+    with np.load(src, allow_pickle=False) as archive:
+        payload = {k: archive[k] for k in archive.files}
+    payload[key] = payload[key].copy()
+    payload[key].flat[0] = payload[key].flat[0] + 1
+    with open(dst, "wb") as handle:
+        np.savez_compressed(handle, **payload)
+
+
+class TestRoundTrip:
+    def test_dense_round_trip(self, rng, tmp_path):
+        dataset = _dense_dataset(rng)
+        path = save_dataset(dataset, tmp_path / "toy")
+        loaded = load_dataset(path)
+        assert loaded.name == "toy"
+        np.testing.assert_array_equal(loaded.X, dataset.X)
+        np.testing.assert_array_equal(loaded.y, dataset.y)
+        assert loaded.metadata["note"] == "t"
+
+    def test_sparse_round_trip(self, rng, tmp_path):
+        dataset = _sparse_dataset(rng)
+        path = save_dataset(dataset, tmp_path / "toy")
+        loaded = load_dataset(path)
+        assert loaded.is_sparse
+        np.testing.assert_array_equal(
+            loaded.X.to_dense(), dataset.X.to_dense()
+        )
+        np.testing.assert_array_equal(loaded.metadata["pools"], np.arange(4))
+
+    def test_save_leaves_no_temp_files(self, rng, tmp_path):
+        save_dataset(_dense_dataset(rng), tmp_path / "toy")
+        leftovers = [p for p in tmp_path.iterdir() if ".tmp" in p.name]
+        assert leftovers == []
+
+    def test_missing_file_is_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_dataset(tmp_path / "absent.npz")
+
+
+class TestCorruptionDetection:
+    def test_garbage_bytes_named_in_error(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        path.write_bytes(b"this is not a zip archive at all")
+        with pytest.raises(CorruptCacheError) as excinfo:
+            load_dataset(path)
+        assert str(path) in str(excinfo.value)
+        assert excinfo.value.path == path
+        assert "unreadable" in excinfo.value.reason
+
+    def test_truncated_archive(self, rng, tmp_path):
+        path = save_dataset(_dense_dataset(rng), tmp_path / "toy")
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(CorruptCacheError):
+            load_dataset(path)
+
+    def test_missing_required_key(self, rng, tmp_path):
+        path = save_dataset(_dense_dataset(rng), tmp_path / "toy")
+        broken = tmp_path / "broken.npz"
+        _rewrite_without_key(path, broken, drop="y")
+        with pytest.raises(CorruptCacheError, match="missing required keys"):
+            load_dataset(broken)
+
+    def test_missing_payload_key(self, rng, tmp_path):
+        path = save_dataset(_dense_dataset(rng), tmp_path / "toy")
+        broken = tmp_path / "broken.npz"
+        _rewrite_without_key(path, broken, drop="X")
+        with pytest.raises(CorruptCacheError, match="payload keys"):
+            load_dataset(broken)
+
+    def test_checksum_mismatch(self, rng, tmp_path):
+        path = save_dataset(_dense_dataset(rng), tmp_path / "toy")
+        tampered = tmp_path / "tampered.npz"
+        _tamper_entry(path, tampered, key="y")
+        with pytest.raises(CorruptCacheError, match="checksum mismatch"):
+            load_dataset(tampered)
+
+    def test_legacy_archive_without_checksum_loads(self, rng, tmp_path):
+        path = save_dataset(_dense_dataset(rng), tmp_path / "toy")
+        legacy = tmp_path / "legacy.npz"
+        _rewrite_without_key(path, legacy, drop="checksum")
+        loaded = load_dataset(legacy)
+        assert loaded.name == "toy"
+
+
+class TestSelfHealing:
+    def test_cached_generates_and_reuses(self, rng, tmp_path):
+        calls = []
+
+        def builder():
+            calls.append(1)
+            return _dense_dataset(rng)
+
+        path = tmp_path / "cache"
+        first = cached(builder, path)
+        second = cached(builder, path)
+        assert len(calls) == 1
+        np.testing.assert_array_equal(first.X, second.X)
+
+    def test_cached_regenerates_corrupt_file(self, rng, tmp_path):
+        calls = []
+
+        def builder():
+            calls.append(1)
+            return _dense_dataset(rng)
+
+        path = tmp_path / "cache.npz"
+        path.write_bytes(b"garbage")
+        dataset = cached(builder, path)
+        assert len(calls) == 1
+        assert dataset.name == "toy"
+        # the healed file is valid now
+        assert load_dataset(path).name == "toy"
+
+    def test_cached_can_refuse_to_regenerate(self, rng, tmp_path):
+        path = tmp_path / "cache.npz"
+        path.write_bytes(b"garbage")
+        with pytest.raises(CorruptCacheError):
+            cached(
+                lambda: _dense_dataset(rng),
+                path,
+                regenerate_on_corruption=False,
+            )
+        assert path.exists()  # refusal must not delete the evidence

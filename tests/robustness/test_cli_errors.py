@@ -1,0 +1,58 @@
+"""CLI failure paths: one-line errors, non-zero exits, self-healing cache."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.datasets.cache import load_dataset
+
+pytestmark = pytest.mark.robustness
+
+
+class TestErrorExit:
+    def test_impossible_split_exits_one_with_one_line(self, capsys):
+        # 10**6 per class cannot be satisfied → ValueError from the
+        # splitter, surfaced as a single actionable stderr line
+        code = main(
+            ["bench", "pie", "--sizes", "1000000", "--splits", "1",
+             "--algorithms", "srda"]
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: ValueError:")
+        assert err.strip().count("\n") == 0
+
+    def test_unknown_algorithm_exits_nonzero(self):
+        with pytest.raises(SystemExit):
+            main(["bench", "pie", "--algorithms", "no-such-algo"])
+
+
+class TestCacheFlag:
+    def test_corrupt_cache_is_regenerated(self, tmp_path, capsys):
+        cache = tmp_path / "pie.npz"
+        cache.write_bytes(b"definitely not an npz archive")
+        code = main(
+            ["bench", "pie", "--cache", str(cache), "--sizes", "5",
+             "--splits", "1", "--algorithms", "srda"]
+        )
+        assert code == 0
+        # the corrupt file was replaced by a valid archive
+        assert load_dataset(cache).name
+        assert "SRDA" in capsys.readouterr().out
+
+
+class TestParserFlags:
+    def test_robustness_flags_present(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["bench", "pie", "--fail-fast", "--retries", "2",
+             "--checkpoint", "ck.json", "--cache", "d.npz"]
+        )
+        assert args.fail_fast is True
+        assert args.retries == 2
+        assert args.checkpoint == "ck.json"
+        assert args.cache == "d.npz"
+
+    def test_fail_fast_defaults_off(self):
+        args = build_parser().parse_args(["bench", "pie"])
+        assert args.fail_fast is False
+        assert args.retries == 0

@@ -1,0 +1,140 @@
+"""Degenerate training inputs: graceful degradation instead of crashes."""
+
+import numpy as np
+import pytest
+
+from repro.core.base import validate_data
+from repro.core.srda import SRDA
+from repro.linalg.sparse import CSRMatrix
+from repro.robustness import RobustnessWarning
+
+pytestmark = pytest.mark.robustness
+
+
+class TestValidateDataLocation:
+    def test_error_names_rows_and_columns(self, rng):
+        X = rng.standard_normal((10, 6))
+        X[3, 2] = np.nan
+        X[7, 5] = np.inf
+        y = np.arange(10) % 2
+        with pytest.raises(ValueError) as excinfo:
+            validate_data(X, y)
+        message = str(excinfo.value)
+        assert "rows [3, 7]" in message
+        assert "columns [2, 5]" in message
+        assert "2 NaN/infinity entries" in message
+
+    def test_error_truncates_long_index_lists(self, rng):
+        X = rng.standard_normal((20, 4))
+        X[:10, 0] = np.nan
+        y = np.arange(20) % 2
+        with pytest.raises(ValueError, match=r"\.\.\. \(10 total\)"):
+            validate_data(X, y)
+
+    def test_sparse_error_names_rows_and_columns(self, rng):
+        dense = np.zeros((6, 5))
+        dense[2, 1] = np.nan
+        dense[4, 3] = 1.0
+        X = CSRMatrix.from_dense(dense)
+        y = np.arange(6) % 2
+        with pytest.raises(ValueError, match=r"rows \[2\].*columns \[1\]"):
+            validate_data(X, y)
+
+    def test_warn_policy_sanitizes_dense(self, rng):
+        X = rng.standard_normal((10, 4))
+        X[1, 1] = np.nan
+        X[2, 3] = -np.inf
+        y = np.arange(10) % 2
+        with pytest.warns(RobustnessWarning, match="replacing them with 0"):
+            cleaned, _, _ = validate_data(X, y, on_invalid="warn")
+        assert np.all(np.isfinite(cleaned))
+        assert cleaned[1, 1] == 0.0
+        assert cleaned[2, 3] == 0.0
+        # the caller's array is untouched
+        assert np.isnan(X[1, 1])
+
+    def test_warn_policy_sanitizes_sparse(self, rng):
+        dense = np.zeros((6, 5))
+        dense[2, 1] = np.nan
+        dense[3, 2] = 5.0
+        X = CSRMatrix.from_dense(dense)
+        y = np.arange(6) % 2
+        with pytest.warns(RobustnessWarning):
+            cleaned, _, _ = validate_data(X, y, on_invalid="warn")
+        assert np.all(np.isfinite(cleaned.data))
+        assert np.isnan(X.data).any()  # original untouched
+
+    def test_rejects_unknown_policy(self, rng):
+        X = rng.standard_normal((4, 2))
+        with pytest.raises(ValueError, match="on_invalid"):
+            validate_data(X, np.array([0, 1, 0, 1]), on_invalid="ignore")
+
+    def test_min_classes_one_accepts_single_class(self, rng):
+        X = rng.standard_normal((5, 3))
+        y = np.zeros(5, dtype=int)
+        _, classes, _ = validate_data(X, y, min_classes=1)
+        assert classes.shape[0] == 1
+
+
+class TestSingleClassFit:
+    def test_raise_policy_rejects_single_class(self, rng):
+        X = rng.standard_normal((8, 4))
+        y = np.zeros(8, dtype=int)
+        with pytest.raises(ValueError, match="2 classes"):
+            SRDA(on_invalid="raise").fit(X, y)
+
+    def test_warn_policy_fits_zero_dim_embedding(self, rng):
+        X = rng.standard_normal((8, 4))
+        y = np.full(8, 3)
+        with pytest.warns(RobustnessWarning, match="only one class"):
+            model = SRDA(on_invalid="warn").fit(X, y)
+        assert model.components_.shape == (4, 0)
+        assert model.transform(X).shape == (8, 0)
+        # predict always returns the single class
+        np.testing.assert_array_equal(model.predict(X), np.full(8, 3))
+        assert model.score(X, y) == 1.0
+        assert model.fit_report_.solver == "degenerate"
+        assert model.fit_report_.degraded
+
+    def test_dirty_single_class_input(self, rng):
+        """Both degradations stack: NaN features AND a single class."""
+        X = rng.standard_normal((8, 4))
+        X[0, 0] = np.nan
+        y = np.zeros(8, dtype=int)
+        with pytest.warns(RobustnessWarning):
+            model = SRDA(on_invalid="warn").fit(X, y)
+        assert model.predict(X[:2]).tolist() == [0, 0]
+
+
+class TestSingletonClasses:
+    def test_singleton_classes_fit_and_warn_recorded(self, rng):
+        # 3 classes, one of them a single sample
+        X = rng.standard_normal((9, 5))
+        y = np.array([0, 0, 0, 0, 1, 1, 1, 1, 2])
+        model = SRDA(alpha=1.0).fit(X, y)
+        assert any("single" in w for w in model.fit_report_.warnings)
+        assert model.components_.shape == (5, 2)
+
+    def test_all_singletons_m_equals_c(self, rng):
+        """m == c: every class has exactly one sample.
+
+        The within-class scatter vanishes entirely; the fit must still
+        produce a usable c-1 dimensional embedding (alpha keeps the
+        system well posed)."""
+        m = 6
+        X = rng.standard_normal((m, 4)) * 3.0
+        y = np.arange(m)
+        model = SRDA(alpha=1.0, solver="normal").fit(X, y)
+        assert model.components_.shape == (4, m - 1)
+        assert np.all(np.isfinite(model.components_))
+        assert model.fit_report_.warnings  # singleton warning recorded
+        # training accuracy is perfect: each sample is its own centroid
+        assert model.score(X, y) == 1.0
+
+    def test_m_less_than_c_impossible_but_m_equals_c_lsqr(self, rng):
+        m = 5
+        X = rng.standard_normal((m, 8))
+        y = np.arange(m)
+        model = SRDA(alpha=1.0, solver="lsqr", max_iter=30).fit(X, y)
+        assert np.all(np.isfinite(model.components_))
+        assert model.score(X, y) == 1.0
