@@ -1,0 +1,240 @@
+"""Blocked-vs-sequential LSQR benchmark — emits ``BENCH_block_lsqr.json``.
+
+Measures the three quantities the perf trajectory tracks from PR 2
+onward:
+
+1. **Wall time** of per-column :func:`repro.linalg.lsqr.lsqr` vs one
+   :func:`repro.linalg.block_lsqr.block_lsqr` call over the same
+   ``c - 1`` right-hand sides, at several ``(m, n, c, s)`` points.
+2. **Flam** (multiply-add pairs charged at nnz per product column, via
+   :class:`repro.complexity.FlamCountingOperator`) for both paths —
+   identical by construction, which is what makes flam/second a fair
+   throughput metric: the blocked path does the *same arithmetic*
+   faster.
+3. **Alpha-sweep reuse**: a grid of damping values solved by refitting
+   per alpha vs one :class:`~repro.linalg.block_lsqr.SharedBidiagonalization`
+   replayed per alpha, with operator-product counts proving the shared
+   path touches the data once.
+
+Run from the repo root::
+
+    PYTHONPATH=src:. python benchmarks/bench_block_lsqr.py            # full
+    PYTHONPATH=src:. python benchmarks/bench_block_lsqr.py --smoke    # CI
+
+The JSON schema is documented in ``docs/PERFORMANCE.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+
+import numpy as np
+
+from repro.complexity.counter import FlamCountingOperator
+from repro.linalg.block_lsqr import SharedBidiagonalization, block_lsqr
+from repro.linalg.lsqr import lsqr
+from repro.linalg.operators import as_operator
+from repro.linalg.sparse import CSRMatrix
+
+#: (m, n, classes, nnz-per-row, dtype) points for the full run.  The
+#: flagship case mirrors the paper's 20Newsgroups shape: tall sparse
+#: text-like data with c = 20 classes.
+FULL_CASES = [
+    dict(m=20000, n=26000, classes=20, row_nnz=80, dtype="float64"),
+    dict(m=8000, n=10000, classes=11, row_nnz=50, dtype="float64"),
+    dict(m=8000, n=10000, classes=11, row_nnz=50, dtype="float32"),
+    dict(m=8000, n=10000, classes=2, row_nnz=50, dtype="float64"),
+]
+
+SMOKE_CASES = [
+    dict(m=400, n=300, classes=11, row_nnz=20, dtype="float64"),
+    dict(m=400, n=300, classes=2, row_nnz=20, dtype="float64"),
+]
+
+
+def make_problem(m, n, row_nnz, dtype, seed=0):
+    """Sparse data + responses-like RHS block with sorted row indices."""
+    rng = np.random.default_rng(seed)
+    indices = np.empty(m * row_nnz, dtype=np.int64)
+    for i in range(m):
+        indices[i * row_nnz : (i + 1) * row_nnz] = np.sort(
+            rng.choice(n, size=row_nnz, replace=False)
+        )
+    data = rng.standard_normal(m * row_nnz).astype(dtype)
+    indptr = np.arange(0, (m + 1) * row_nnz, row_nnz, dtype=np.int64)
+    return CSRMatrix(data, indices, indptr, shape=(m, n))
+
+
+def make_rhs(m, classes, dtype, seed=1):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((m, classes - 1)).astype(dtype)
+
+
+def best_of(repeats, fn):
+    """Best wall time over ``repeats`` runs, plus the last return value."""
+    best = float("inf")
+    value = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, value
+
+
+def run_case(case, iter_lim, damp, repeats):
+    matrix = make_problem(
+        case["m"], case["n"], case["row_nnz"], case["dtype"]
+    )
+    B = make_rhs(case["m"], case["classes"], case["dtype"])
+    op = FlamCountingOperator(as_operator(matrix))
+    k = B.shape[1]
+
+    def sequential():
+        return np.column_stack(
+            [
+                lsqr(op, B[:, j], damp=damp, atol=0.0, btol=0.0,
+                     iter_lim=iter_lim).x
+                for j in range(k)
+            ]
+        )
+
+    def blocked():
+        return block_lsqr(
+            op, B, damp=damp, atol=0.0, btol=0.0, iter_lim=iter_lim
+        ).X
+
+    op.reset()
+    seq_seconds, seq_x = best_of(repeats, sequential)
+    seq_flam = op.flam / repeats
+
+    op.reset()
+    blk_seconds, blk_x = best_of(repeats, blocked)
+    blk_flam = op.flam / repeats
+
+    scale = max(1.0, float(np.max(np.abs(seq_x))))
+    return {
+        **case,
+        "iter_lim": iter_lim,
+        "damp": damp,
+        "nnz": matrix.nnz,
+        "sequential": {"seconds": seq_seconds, "flam": seq_flam},
+        "blocked": {"seconds": blk_seconds, "flam": blk_flam},
+        "speedup": seq_seconds / blk_seconds,
+        "max_rel_diff": float(np.max(np.abs(seq_x - blk_x)) / scale),
+    }
+
+
+def run_alpha_sweep(case, iter_lim, alphas, repeats):
+    """Per-alpha cold solves vs one shared bidiagonalization."""
+    matrix = make_problem(
+        case["m"], case["n"], case["row_nnz"], case["dtype"]
+    )
+    B = make_rhs(case["m"], case["classes"], case["dtype"])
+    op = FlamCountingOperator(as_operator(matrix))
+    damps = [float(np.sqrt(a)) for a in alphas]
+
+    def per_alpha():
+        return [
+            block_lsqr(op, B, damp=d, atol=0.0, btol=0.0,
+                       iter_lim=iter_lim).X
+            for d in damps
+        ]
+
+    def shared():
+        basis = SharedBidiagonalization(op, B, iter_lim=iter_lim)
+        return [
+            basis.solve(damp=d, atol=0.0, btol=0.0).X for d in damps
+        ]
+
+    op.reset()
+    cold_seconds, cold_xs = best_of(repeats, per_alpha)
+    cold_products = (op.n_matmat + op.n_rmatmat) / repeats
+
+    op.reset()
+    shared_seconds, shared_xs = best_of(repeats, shared)
+    shared_products = (op.n_matmat + op.n_rmatmat) / repeats
+
+    diff = max(
+        float(np.max(np.abs(a - b))) for a, b in zip(cold_xs, shared_xs)
+    )
+    return {
+        "m": case["m"],
+        "n": case["n"],
+        "classes": case["classes"],
+        "row_nnz": case["row_nnz"],
+        "iter_lim": iter_lim,
+        "n_alphas": len(alphas),
+        "per_alpha": {
+            "seconds": cold_seconds,
+            "operator_products": cold_products,
+        },
+        "shared_bidiagonalization": {
+            "seconds": shared_seconds,
+            "operator_products": shared_products,
+        },
+        "speedup": cold_seconds / shared_seconds,
+        "max_abs_diff": diff,
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny sizes for CI — validates the harness, not throughput",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_block_lsqr.json", help="output JSON path"
+    )
+    parser.add_argument("--repeats", type=int, default=None)
+    args = parser.parse_args(argv)
+
+    cases = SMOKE_CASES if args.smoke else FULL_CASES
+    iter_lim = 10 if args.smoke else 15
+    repeats = args.repeats or (2 if args.smoke else 3)
+    alphas = [0.01, 0.1, 0.5, 1.0, 2.0, 10.0, 100.0]
+
+    results = []
+    for case in cases:
+        result = run_case(case, iter_lim=iter_lim, damp=1.0, repeats=repeats)
+        results.append(result)
+        print(
+            f"m={case['m']} n={case['n']} c={case['classes']} "
+            f"s={case['row_nnz']} {case['dtype']}: "
+            f"seq {result['sequential']['seconds']:.3f}s "
+            f"blk {result['blocked']['seconds']:.3f}s "
+            f"speedup {result['speedup']:.2f}x "
+            f"(max rel diff {result['max_rel_diff']:.2e})"
+        )
+
+    sweep = run_alpha_sweep(
+        cases[0], iter_lim=iter_lim, alphas=alphas, repeats=repeats
+    )
+    print(
+        f"alpha sweep x{sweep['n_alphas']}: "
+        f"per-alpha {sweep['per_alpha']['seconds']:.3f}s "
+        f"({sweep['per_alpha']['operator_products']:.0f} products) vs "
+        f"shared {sweep['shared_bidiagonalization']['seconds']:.3f}s "
+        f"({sweep['shared_bidiagonalization']['operator_products']:.0f} "
+        f"products), speedup {sweep['speedup']:.2f}x"
+    )
+
+    payload = {
+        "benchmark": "block_lsqr",
+        "mode": "smoke" if args.smoke else "full",
+        "repeats": repeats,
+        "cases": results,
+        "alpha_sweep": sweep,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+    return payload
+
+
+if __name__ == "__main__":
+    main()

@@ -11,7 +11,7 @@ import numpy as np
 
 from benchmarks._harness import once
 from benchmarks.conftest import N_SPLITS, record_report
-from repro import IDRQR, LDA, SRDA
+from repro import IDRQR, LDA, SRDA, srda_alpha_path
 from repro.datasets.splits import (
     per_class_split,
     per_class_split_from_pool,
@@ -51,14 +51,24 @@ def sweep_panel(dataset, size, sparse=False, seed=55):
         train_idx, test_idx = _split(dataset, size, rng)
         X_train, y_train = dataset.subset(train_idx)
         X_test, y_test = dataset.subset(test_idx)
-        for i, ratio in enumerate(RATIOS):
-            alpha = ratio / (1.0 - ratio)
-            if sparse:
-                model = SRDA(alpha=alpha, solver="lsqr", max_iter=15, tol=0.0)
-            else:
+        if sparse:
+            # One shared bidiagonalization serves the whole α grid —
+            # the sweep pays a single fit's worth of data passes.
+            models = srda_alpha_path(
+                X_train,
+                y_train,
+                [r / (1.0 - r) for r in RATIOS],
+                max_iter=15,
+                tol=0.0,
+            )
+            for i, model in enumerate(models):
+                srda_errors[i] += error_rate(y_test, model.predict(X_test))
+        else:
+            for i, ratio in enumerate(RATIOS):
+                alpha = ratio / (1.0 - ratio)
                 model = SRDA(alpha=alpha, solver="normal")
-            model.fit(X_train, y_train)
-            srda_errors[i] += error_rate(y_test, model.predict(X_test))
+                model.fit(X_train, y_train)
+                srda_errors[i] += error_rate(y_test, model.predict(X_test))
         if not sparse:
             lda_error += error_rate(
                 y_test, LDA().fit(X_train, y_train).predict(X_test)

@@ -33,6 +33,7 @@ from repro.core import (
     SparseSRDA,
     SpectralRegressionEmbedding,
     SRDA,
+    srda_alpha_path,
 )
 from repro.datasets import CorruptCacheError, Dataset
 from repro.linalg import CSRMatrix
@@ -58,4 +59,5 @@ __all__ = [
     "SpectralRegressionEmbedding",
     "__version__",
     "guarded_solve",
+    "srda_alpha_path",
 ]

@@ -17,7 +17,7 @@ from repro.core.responses import generate_responses
 from repro.core.semi_supervised import SemiSupervisedSRDA
 from repro.core.sparse_srda import SparseSRDA
 from repro.core.spectral_embedding import SpectralRegressionEmbedding
-from repro.core.srda import SRDA
+from repro.core.srda import SRDA, srda_alpha_path
 
 __all__ = [
     "KernelSRDA",
@@ -26,4 +26,5 @@ __all__ = [
     "SparseSRDA",
     "SpectralRegressionEmbedding",
     "generate_responses",
+    "srda_alpha_path",
 ]

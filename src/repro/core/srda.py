@@ -53,6 +53,7 @@ import numpy as np
 
 from repro.core.base import LinearEmbedder, validate_data
 from repro.core.responses import generate_responses
+from repro.linalg.block_lsqr import SharedBidiagonalization, block_lsqr
 from repro.linalg.lsqr import FAILURE_ISTOPS, ISTOP_REASONS, lsqr
 from repro.linalg.operators import (
     AppendOnesOperator,
@@ -65,6 +66,45 @@ from repro.robustness import FitReport, guarded_solve
 #: Above this min(m, n) the Gram matrix of the normal-equations path gets
 #: expensive (cubic factor); "auto" switches to LSQR.
 _AUTO_NORMAL_LIMIT = 2000
+
+
+def _record_lsqr_columns(columns, report: FitReport, tol: float, alpha: float):
+    """Fold per-column LSQR results into a :class:`FitReport`.
+
+    Shared by the blocked and sequential solver paths and by
+    :func:`srda_alpha_path`, so the diagnostics and warning text are
+    identical no matter which engine produced the columns.  Returns the
+    per-column iteration counts.
+    """
+    iterations: List[int] = []
+    istops: List[int] = []
+    residuals: List[float] = []
+    for j, result in enumerate(columns):
+        iterations.append(result.itn)
+        istops.append(result.istop)
+        residuals.append(float(result.r2norm))
+        if result.istop in FAILURE_ISTOPS:
+            report.converged = False
+            report.add_warning(
+                f"LSQR failed on response {j}: "
+                f"istop={result.istop} ({ISTOP_REASONS[result.istop]}) "
+                f"after {result.itn} iterations, r2norm={result.r2norm:.3g}"
+            )
+        elif result.istop == 7 and tol > 0:
+            # Hitting the cap is only noteworthy when the caller
+            # asked for tolerance-based convergence (tol=0 runs a
+            # fixed iteration count by design, per the paper).
+            report.add_warning(
+                f"LSQR hit the iteration limit on response {j} "
+                f"before reaching tol={tol:g}",
+                emit=False,
+            )
+    report.solver = "lsqr"
+    report.lsqr_istop = istops
+    report.lsqr_iterations = iterations
+    report.lsqr_residuals = residuals
+    report.effective_alpha = alpha
+    return iterations
 
 
 class SRDA(LinearEmbedder):
@@ -99,6 +139,16 @@ class SRDA(LinearEmbedder):
         paper's IDR/QR comparison is named for: when data arrives in
         batches, refitting converges in a handful of iterations instead
         of starting cold.  Ignored by the normal-equations solver.
+    block:
+        When True (default) the LSQR path solves all ``c - 1`` response
+        columns in one blocked Golub–Kahan iteration
+        (:func:`repro.linalg.block_lsqr.block_lsqr`): two sparse
+        mat-mats per iteration instead of ``2(c-1)`` mat-vecs, so the
+        data streams through memory once per iteration regardless of
+        the number of classes.  ``block=False`` is the escape hatch
+        back to one :func:`~repro.linalg.lsqr.lsqr` call per column.
+        Per-column termination codes, damping, warm starts, and the
+        istop-8/9 failure semantics are identical on both paths.
     on_invalid:
         Degradation policy for degenerate input: ``"raise"`` (default)
         rejects non-finite features and single-class problems;
@@ -136,6 +186,7 @@ class SRDA(LinearEmbedder):
         max_iter: int = 20,
         tol: float = 1e-10,
         warm_start: bool = False,
+        block: bool = True,
         on_invalid: str = "raise",
     ) -> None:
         if alpha < 0:
@@ -154,6 +205,7 @@ class SRDA(LinearEmbedder):
         self.max_iter = int(max_iter)
         self.tol = float(tol)
         self.warm_start = bool(warm_start)
+        self.block = bool(block)
         self.on_invalid = on_invalid
         self.components_ = None
         self.intercept_ = None
@@ -335,49 +387,46 @@ class SRDA(LinearEmbedder):
     def _ridge_lsqr(
         self, op, targets: np.ndarray, report: FitReport
     ) -> np.ndarray:
-        """LSQR with damping √α, one run per target column."""
+        """LSQR with damping √α over all target columns.
+
+        The default (``block=True``) carries every column through one
+        blocked Golub–Kahan iteration; ``block=False`` falls back to a
+        sequential :func:`~repro.linalg.lsqr.lsqr` call per column.
+        Both paths feed the same per-column diagnostics into the
+        report.
+        """
         starts = self._warm_start_matrix(op.shape[1], targets.shape[1])
-        weights = np.empty((op.shape[1], targets.shape[1]))
-        iterations: List[int] = []
-        istops: List[int] = []
-        residuals: List[float] = []
         damp = float(np.sqrt(self.alpha))
-        for j in range(targets.shape[1]):
-            result = lsqr(
+        if self.block:
+            blocked = block_lsqr(
                 op,
-                targets[:, j],
+                targets,
                 damp=damp,
                 atol=self.tol,
                 btol=self.tol,
                 iter_lim=self.max_iter,
-                x0=None if starts is None else starts[:, j],
+                X0=starts,
             )
-            weights[:, j] = result.x
-            iterations.append(result.itn)
-            istops.append(result.istop)
-            residuals.append(float(result.r2norm))
-            if result.istop in FAILURE_ISTOPS:
-                report.converged = False
-                report.add_warning(
-                    f"LSQR failed on response {j}: "
-                    f"istop={result.istop} ({ISTOP_REASONS[result.istop]}) "
-                    f"after {result.itn} iterations, r2norm={result.r2norm:.3g}"
+            weights = np.asarray(blocked.X, dtype=np.float64)
+            columns = [blocked.column(j) for j in range(targets.shape[1])]
+        else:
+            weights = np.empty((op.shape[1], targets.shape[1]))
+            columns = []
+            for j in range(targets.shape[1]):
+                result = lsqr(
+                    op,
+                    targets[:, j],
+                    damp=damp,
+                    atol=self.tol,
+                    btol=self.tol,
+                    iter_lim=self.max_iter,
+                    x0=None if starts is None else starts[:, j],
                 )
-            elif result.istop == 7 and self.tol > 0:
-                # Hitting the cap is only noteworthy when the caller
-                # asked for tolerance-based convergence (tol=0 runs a
-                # fixed iteration count by design, per the paper).
-                report.add_warning(
-                    f"LSQR hit the iteration limit on response {j} "
-                    f"before reaching tol={self.tol:g}",
-                    emit=False,
-                )
-        report.solver = "lsqr"
-        report.lsqr_istop = istops
-        report.lsqr_iterations = iterations
-        report.lsqr_residuals = residuals
-        report.effective_alpha = self.alpha
-        self.lsqr_iterations_ = iterations
+                weights[:, j] = result.x
+                columns.append(result)
+        self.lsqr_iterations_ = _record_lsqr_columns(
+            columns, report, self.tol, self.alpha
+        )
         return weights
 
     def _warm_start_matrix(self, n_weights: int, n_targets: int):
@@ -397,3 +446,131 @@ class SRDA(LinearEmbedder):
             f"SRDA(alpha={self.alpha}, solver={self.solver!r}, "
             f"centering={self.centering!r}, max_iter={self.max_iter})"
         )
+
+
+def srda_alpha_path(
+    X,
+    y,
+    alphas,
+    centering: Union[str, bool] = "auto",
+    max_iter: int = 20,
+    tol: float = 1e-10,
+    on_invalid: str = "raise",
+) -> List[SRDA]:
+    """Fit SRDA for every ``alpha`` with ONE pass over the data.
+
+    The Golub–Kahan basis built by LSQR depends only on the operator and
+    the right-hand sides — the damping ``√α`` enters solely through the
+    scalar QR recurrences.  This function therefore bidiagonalizes once
+    (:class:`repro.linalg.block_lsqr.SharedBidiagonalization`,
+    ``2·max_iter + 1`` block products) and replays the recurrences per
+    alpha at zero additional operator cost.  Each fitted model is
+    numerically identical to ``SRDA(alpha=a, solver="lsqr").fit(X, y)``
+    run cold with the same ``max_iter``/``tol``.
+
+    This is the engine behind the Fig-5 alpha sweep and
+    :func:`repro.eval.model_selection.grid_search_alpha_srda`: a grid of
+    nine alphas costs one fit's worth of data passes instead of nine.
+
+    Parameters
+    ----------
+    X, y:
+        Training data and labels, as for :meth:`SRDA.fit`.
+    alphas:
+        Iterable of non-negative regularization values.
+    centering, max_iter, tol, on_invalid:
+        As the :class:`SRDA` constructor (the solver is always
+        ``"lsqr"`` — the shared basis only exists on the iterative
+        path).
+
+    Returns
+    -------
+    list of fitted :class:`SRDA`, one per alpha, in input order.
+    """
+    alphas = [float(a) for a in alphas]
+    if any(a < 0 for a in alphas):
+        raise ValueError("alpha must be non-negative")
+    if not alphas:
+        return []
+
+    def make_model(alpha: float) -> SRDA:
+        return SRDA(
+            alpha=alpha,
+            solver="lsqr",
+            centering=centering,
+            max_iter=max_iter,
+            tol=tol,
+            on_invalid=on_invalid,
+        )
+
+    X, classes, y_indices = validate_data(
+        X,
+        y,
+        on_invalid=on_invalid,
+        min_classes=1 if on_invalid == "warn" else 2,
+    )
+    n_classes = classes.shape[0]
+    if n_classes < 2:
+        # Degenerate one-class data: nothing to share, every alpha
+        # yields the same zero-dimensional embedding.
+        return [make_model(alpha).fit(X, y) for alpha in alphas]
+
+    counts = np.bincount(y_indices, minlength=n_classes)
+    singletons = int(np.sum(counts == 1))
+    responses = generate_responses(y_indices, n_classes)
+
+    sparse_input = isinstance(X, CSRMatrix) or is_sparse(X)
+    center = not sparse_input if centering == "auto" else bool(centering)
+    base = as_operator(X)
+    if center:
+        op = CenteringOperator(base)
+        mean = op.column_means
+    else:
+        op = AppendOnesOperator(base)
+        mean = None
+
+    # Per-class means of the raw features (one block product): the
+    # embedding centroid of class k is linear in the class mean, so
+    # every per-alpha model gets its centroids without another pass.
+    indicator = np.zeros((X.shape[0], n_classes))
+    indicator[np.arange(X.shape[0]), y_indices] = 1.0 / counts[y_indices]
+    class_means = base.rmatmat(indicator).T
+
+    shared = SharedBidiagonalization(op, responses, iter_lim=max_iter)
+
+    models: List[SRDA] = []
+    for alpha in alphas:
+        model = make_model(alpha)
+        report = FitReport()
+        report.requested_solver = "lsqr"
+        if singletons:
+            report.add_warning(
+                f"{singletons} of {n_classes} classes have a single "
+                "sample; their within-class scatter is zero and the fit "
+                "may overfit those classes",
+                emit=on_invalid == "warn",
+            )
+        solved = shared.solve(
+            damp=float(np.sqrt(alpha)), atol=tol, btol=tol
+        )
+        weights = np.asarray(solved.X, dtype=np.float64)
+        columns = [solved.column(j) for j in range(responses.shape[1])]
+        model.lsqr_iterations_ = _record_lsqr_columns(
+            columns, report, tol, alpha
+        )
+        if center:
+            components = weights
+            intercept = -(mean @ components)
+        else:
+            components = weights[:-1]
+            intercept = weights[-1]
+        model.fit_report_ = report
+        model.classes_ = classes
+        model.responses_ = responses
+        model.solver_used_ = "lsqr"
+        model.centered_ = center
+        model.components_ = components
+        model.intercept_ = intercept
+        model.centroids_ = class_means @ components + intercept[None, :]
+        models.append(model)
+    return models

@@ -31,6 +31,7 @@ from repro.eval.model_selection import (
     AlphaSearchResult,
     alpha_grid,
     grid_search_alpha,
+    grid_search_alpha_srda,
 )
 from repro.eval.tables import (
     figure_series,
@@ -55,6 +56,7 @@ __all__ = [
     "format_error_table",
     "format_time_table",
     "grid_search_alpha",
+    "grid_search_alpha_srda",
     "macro_f1",
     "mean_std",
     "paired_t_test",

@@ -13,10 +13,18 @@ of kernels, each implemented here from scratch on top of numpy primitives:
   solves, used by the normal-equations solver (Eqn 20/21).
 - :mod:`repro.linalg.lsqr` — the Paige–Saunders LSQR iteration, the
   linear-time solver of the paper's title.
+- :mod:`repro.linalg.block_lsqr` — the blocked multi-RHS variant that
+  carries all ``c-1`` SRDA systems through shared mat-mats, plus the
+  bidiagonalize-once alpha-sweep engine.
 - :mod:`repro.linalg.svd` — the cross-product SVD trick from Section II-B.
 - :mod:`repro.linalg.dense` — small dense helpers shared by the baselines.
 """
 
+from repro.linalg.block_lsqr import (
+    BlockLSQRResult,
+    SharedBidiagonalization,
+    block_lsqr,
+)
 from repro.linalg.cholesky import cholesky, solve_cholesky, solve_triangular
 from repro.linalg.coordinate_descent import (
     ElasticNetResult,
@@ -43,6 +51,7 @@ from repro.linalg.svd import cross_product_svd
 
 __all__ = [
     "AppendOnesOperator",
+    "BlockLSQRResult",
     "CSRMatrix",
     "CSROperator",
     "CenteringOperator",
@@ -54,8 +63,10 @@ __all__ = [
     "InjectedFaultError",
     "LSQRResult",
     "LinearOperator",
+    "SharedBidiagonalization",
     "TransposedOperator",
     "as_operator",
+    "block_lsqr",
     "cholesky",
     "cross_product_svd",
     "elastic_net",

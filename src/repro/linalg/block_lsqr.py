@@ -1,0 +1,812 @@
+"""Block LSQR — multi-RHS Golub–Kahan iteration with shared mat-mats.
+
+SRDA's fit cost is ``c-1`` independent damped least-squares solves
+against the *same* operator.  Running them through
+:func:`repro.linalg.lsqr.lsqr` one at a time issues ``2(c-1)``
+memory-bound products per iteration; this module carries all right-hand
+sides through one Golub–Kahan iteration, so each step touches the data
+exactly twice (one ``A @ V`` and one ``A.T @ U`` block product) no
+matter how many systems ride along.  The scalar QR recurrences are
+independent per column, so every column reproduces the sequential
+iteration up to floating-point summation order: istop codes, damping,
+warm starts, and the istop-8/9 failure semantics of
+:func:`repro.linalg.lsqr.lsqr` all carry over per column.
+
+Columns stop independently.  A column whose convergence test fires (or
+that hits istop 8/9) is frozen — its solution and diagnostics recorded
+at that iteration — and compacted out of the working block, so late
+iterations only pay for the columns still running.
+
+:class:`SharedBidiagonalization` exploits the fact that the Golub–Kahan
+basis depends only on ``(A, B)`` and never on ``damp``: it records the
+basis once (``2·depth + 1`` operator passes over the data) and then
+re-solves for any number of damping values with *zero* further operator
+products — the engine behind the one-pass alpha sweep.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.linalg.lsqr import (
+    _STAGNATION_FLOOR,
+    _STAGNATION_RTOL,
+    _STAGNATION_WINDOW,
+    FAILURE_ISTOPS,
+    LSQRResult,
+)
+from repro.linalg.operators import (
+    IdentityOperator,
+    StackedOperator,
+    as_operator,
+)
+from repro.linalg.sparse import as_value_dtype
+
+
+def _masked_errstate(fn):
+    """Silence IEEE warnings from already-poisoned column lanes.
+
+    The sequential solver breaks out of its loop the moment a non-finite
+    quantity appears, so it never performs arithmetic on NaN/Inf.  The
+    blocked iteration must carry a poisoned lane to the end of the
+    iteration that froze it (the lane is compacted out afterwards), and
+    the vectorized updates run over every lane — the resulting
+    ``invalid``/``overflow`` signals describe values that are already
+    frozen as istop 8 and never reach the output.
+    """
+
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+            return fn(*args, **kwargs)
+
+    return wrapper
+
+
+def _column_norms(block: np.ndarray) -> np.ndarray:
+    """Per-column 2-norms of a 2-D block, accumulated in float64."""
+    return np.sqrt(np.einsum("ij,ij->j", block, block, dtype=np.float64))
+
+
+@dataclass
+class BlockLSQRResult:
+    """Outcome of a blocked LSQR run: per-column arrays of diagnostics.
+
+    Attributes mirror :class:`repro.linalg.lsqr.LSQRResult`, vectorized
+    over the ``k`` right-hand sides: ``X`` is ``(n, k)`` and every
+    diagnostic is a length-``k`` array whose entry ``j`` is exactly what
+    the sequential solver would have reported for column ``j``.
+    """
+
+    X: np.ndarray
+    istop: np.ndarray
+    itn: np.ndarray
+    r1norm: np.ndarray
+    r2norm: np.ndarray
+    anorm: np.ndarray
+    acond: np.ndarray
+    arnorm: np.ndarray
+    xnorm: np.ndarray
+    residual_history: List[List[float]] = field(default_factory=list)
+
+    @property
+    def n_columns(self) -> int:
+        return int(self.istop.size)
+
+    @property
+    def failed(self) -> np.ndarray:
+        """Boolean mask of columns that diverged (8) or stagnated (9)."""
+        return np.isin(self.istop, tuple(FAILURE_ISTOPS))
+
+    @property
+    def any_failed(self) -> bool:
+        return bool(self.failed.any())
+
+    def column(self, j: int) -> LSQRResult:
+        """Column ``j`` repackaged as a sequential :class:`LSQRResult`."""
+        return LSQRResult(
+            x=np.array(self.X[:, j]),
+            istop=int(self.istop[j]),
+            itn=int(self.itn[j]),
+            r1norm=float(self.r1norm[j]),
+            r2norm=float(self.r2norm[j]),
+            anorm=float(self.anorm[j]),
+            acond=float(self.acond[j]),
+            arnorm=float(self.arnorm[j]),
+            xnorm=float(self.xnorm[j]),
+            residual_history=list(self.residual_history[j]),
+        )
+
+
+class _ColumnState:
+    """Per-column scalar recurrences of the damped LSQR QR step.
+
+    Every field is a length-``k_active`` float64 array; :meth:`take`
+    compacts all of them together when columns freeze.  The update
+    methods replay the sequential solver's scalar arithmetic verbatim,
+    just vectorized across columns.
+    """
+
+    _FIELDS = (
+        "rhobar",
+        "phibar",
+        "bnorm",
+        "rnorm",
+        "r1norm",
+        "r2norm",
+        "arnorm",
+        "anorm",
+        "acond",
+        "ddnorm",
+        "res2",
+        "xnorm",
+        "xxnorm",
+        "z",
+        "cs2",
+        "sn2",
+        "prev_r2norm",
+        "stalled",
+        "rho",
+        "phi",
+        "theta",
+        "psi",
+        "tau",
+    )
+
+    def __init__(self, alfa: np.ndarray, beta: np.ndarray, dampsq: float):
+        k = beta.size
+        self.dampsq = float(dampsq)
+        self.rhobar = alfa.astype(np.float64, copy=True)
+        self.phibar = beta.astype(np.float64, copy=True)
+        self.bnorm = self.phibar.copy()
+        self.rnorm = self.phibar.copy()
+        self.r1norm = self.phibar.copy()
+        self.r2norm = self.phibar.copy()
+        self.arnorm = self.rhobar * self.phibar
+        self.anorm = np.zeros(k)
+        self.acond = np.zeros(k)
+        self.ddnorm = np.zeros(k)
+        self.res2 = np.zeros(k)
+        self.xnorm = np.zeros(k)
+        self.xxnorm = np.zeros(k)
+        self.z = np.zeros(k)
+        self.cs2 = np.full(k, -1.0)
+        self.sn2 = np.zeros(k)
+        self.prev_r2norm = self.r2norm.copy()
+        self.stalled = np.zeros(k, dtype=np.int64)
+        self.rho = np.zeros(k)
+        self.phi = np.zeros(k)
+        self.theta = np.zeros(k)
+        self.psi = np.zeros(k)
+        self.tau = np.zeros(k)
+
+    def take(self, idx: np.ndarray) -> None:
+        """Keep only the columns at ``idx`` (local indices)."""
+        for name in self._FIELDS:
+            setattr(self, name, getattr(self, name)[idx])
+
+    def rotation(self, alfa: np.ndarray, beta: np.ndarray, damp: float):
+        """Damping + Givens rotations; returns the (t1, t2) step sizes."""
+        if damp > 0:
+            rhobar1 = np.sqrt(self.rhobar**2 + self.dampsq)
+            cs1 = self.rhobar / rhobar1
+            sn1 = damp / rhobar1
+            psi = sn1 * self.phibar
+            self.phibar = cs1 * self.phibar
+        else:
+            rhobar1 = self.rhobar
+            psi = np.zeros_like(rhobar1)
+        rho = np.sqrt(rhobar1**2 + beta**2)
+        cs = rhobar1 / rho
+        sn = beta / rho
+        theta = sn * alfa
+        self.rhobar = -cs * alfa
+        phi = cs * self.phibar
+        self.phibar = sn * self.phibar
+        self.rho = rho
+        self.phi = phi
+        self.theta = theta
+        self.psi = psi
+        self.tau = sn * phi
+        return phi / rho, -theta / rho
+
+    def diagnostics(self, alfa: np.ndarray, wnorm_sq: np.ndarray) -> None:
+        """Norm estimates after the rotation (sequential lines, batched)."""
+        rho, phi, theta = self.rho, self.phi, self.theta
+        self.ddnorm = self.ddnorm + wnorm_sq / rho**2
+        delta = self.sn2 * rho
+        gambar = -self.cs2 * rho
+        rhs = phi - delta * self.z
+        zbar = rhs / gambar
+        self.xnorm = np.sqrt(self.xxnorm + zbar**2)
+        gamma = np.sqrt(gambar**2 + theta**2)
+        self.cs2 = gambar / gamma
+        self.sn2 = theta / gamma
+        self.z = rhs / gamma
+        self.xxnorm = self.xxnorm + self.z**2
+        self.acond = self.anorm * np.sqrt(self.ddnorm)
+        self.res2 = self.res2 + self.psi**2
+        self.rnorm = np.sqrt(self.phibar**2 + self.res2)
+        self.arnorm = alfa * np.abs(self.tau)
+        r1sq = self.rnorm**2 - self.dampsq * self.xxnorm
+        r1 = np.sqrt(np.abs(r1sq))
+        self.r1norm = np.where(r1sq < 0, -r1, r1)
+        self.r2norm = self.rnorm.copy()
+
+
+def _post_step_istop(
+    state: _ColumnState,
+    itn: int,
+    iter_lim: int,
+    atol: float,
+    btol: float,
+    ctol: float,
+) -> np.ndarray:
+    """Per-column istop after one iteration (0 where nothing fired).
+
+    Replays the sequential solver's check order: non-finite → 8 wins,
+    stagnation → 9 next, then the convergence cascade 7…1 where later
+    (stronger) assignments override earlier ones.
+    """
+    k = state.rnorm.size
+    nonfinite = ~np.isfinite(state.r2norm) | ~np.isfinite(state.xnorm)
+
+    stalled_now = (state.prev_r2norm - state.r2norm) <= _STAGNATION_RTOL * (
+        np.maximum(state.prev_r2norm, 1.0)
+    )
+    state.stalled = np.where(stalled_now, state.stalled + 1, 0)
+    state.prev_r2norm = state.r2norm.copy()
+
+    bpos = state.bnorm > 0
+    test1 = np.divide(state.rnorm, state.bnorm, out=np.zeros(k), where=bpos)
+    anr = state.anorm * state.rnorm
+    test2 = np.divide(state.arnorm, anr, out=np.zeros(k), where=anr > 0)
+    test3 = np.divide(
+        1.0, state.acond, out=np.zeros(k), where=state.acond > 0
+    )
+    stagnated = (
+        (state.stalled >= _STAGNATION_WINDOW)
+        & (test1 > _STAGNATION_FLOOR)
+        & (test2 > _STAGNATION_FLOOR)
+    )
+    ratio = np.divide(
+        state.anorm * state.xnorm, state.bnorm, out=np.zeros(k), where=bpos
+    )
+    t1_stop = np.where(bpos, test1 / (1.0 + ratio), 0.0)
+    rtol = np.where(bpos, btol + atol * ratio, 0.0)
+
+    istop = np.zeros(k, dtype=np.int64)
+    if itn >= iter_lim:
+        istop[:] = 7
+    istop[1.0 + test3 <= 1.0] = 6
+    istop[1.0 + test2 <= 1.0] = 5
+    istop[1.0 + t1_stop <= 1.0] = 4
+    istop[test3 <= ctol] = 3
+    istop[test2 <= atol] = 2
+    istop[test1 <= rtol] = 1
+    istop[stagnated] = 9
+    istop[nonfinite] = 8
+    return istop
+
+
+class _Outputs:
+    """Full-width result arrays that frozen columns are written into."""
+
+    def __init__(self, n: int, k: int, block_dtype) -> None:
+        self.X = np.zeros((n, k), dtype=block_dtype, order="F")
+        self.istop = np.zeros(k, dtype=np.int64)
+        self.itn = np.zeros(k, dtype=np.int64)
+        self.r1norm = np.zeros(k)
+        self.r2norm = np.zeros(k)
+        self.anorm = np.zeros(k)
+        self.acond = np.zeros(k)
+        self.arnorm = np.zeros(k)
+        self.xnorm = np.zeros(k)
+        self.histories: List[List[float]] = [[] for _ in range(k)]
+
+    def freeze(
+        self,
+        active: np.ndarray,
+        local_idx: np.ndarray,
+        state: _ColumnState,
+        Xa: Optional[np.ndarray],
+        istop,
+        itn: int,
+    ) -> None:
+        """Record final state for the active columns at ``local_idx``."""
+        if local_idx.size == 0:
+            return
+        cols = active[local_idx]
+        if Xa is not None:
+            self.X[:, cols] = Xa[:, local_idx]
+        self.istop[cols] = istop
+        self.itn[cols] = itn
+        self.r1norm[cols] = state.r1norm[local_idx]
+        self.r2norm[cols] = state.r2norm[local_idx]
+        self.anorm[cols] = state.anorm[local_idx]
+        self.acond[cols] = state.acond[local_idx]
+        self.arnorm[cols] = state.arnorm[local_idx]
+        self.xnorm[cols] = state.xnorm[local_idx]
+
+    def result(self) -> BlockLSQRResult:
+        return BlockLSQRResult(
+            X=self.X,
+            istop=self.istop,
+            itn=self.itn,
+            r1norm=self.r1norm,
+            r2norm=self.r2norm,
+            anorm=self.anorm,
+            acond=self.acond,
+            arnorm=self.arnorm,
+            xnorm=self.xnorm,
+            residual_history=self.histories,
+        )
+
+
+@_masked_errstate
+def _solve_block(
+    op,
+    B: np.ndarray,
+    damp: float,
+    atol: float,
+    btol: float,
+    conlim: float,
+    iter_lim: int,
+    record_history: bool,
+) -> BlockLSQRResult:
+    """Cold-start blocked iteration (X0 handling lives in the wrapper)."""
+    m, n = op.shape
+    k = B.shape[1]
+    block_dtype = B.dtype
+    out = _Outputs(n, k, block_dtype)
+
+    dampsq = damp * damp
+    ctol = 1.0 / conlim if conlim > 0 else 0.0
+
+    U = np.array(B, dtype=block_dtype, order="F", copy=True)
+    beta0 = _column_norms(U)
+    pos0 = beta0 > 0
+    np.divide(U, beta0[None, :], out=U, where=pos0[None, :])
+    V = np.asfortranarray(op.rmatmat(U)) if k else np.zeros((n, 0), order="F")
+    if not pos0.all():
+        # Sequential semantics: beta == 0 skips the rmatvec, leaving
+        # v = 0 and alfa = 0 for that column.
+        V[:, ~pos0] = 0.0
+    alfa0 = _column_norms(V)
+    alfa0[~pos0] = 0.0
+    apos = alfa0 > 0
+    np.divide(V, alfa0[None, :], out=V, where=apos[None, :])
+
+    state = _ColumnState(alfa0, beta0, dampsq)
+    active = np.arange(k)
+
+    # b in the null space of Aᵀ (or b == 0): x = 0 is already optimal.
+    frozen0 = (alfa0 * beta0) == 0.0
+    if frozen0.any():
+        out.freeze(active, np.flatnonzero(frozen0), state, None, 0, 0)
+        keep = np.flatnonzero(~frozen0)
+        active = active[keep]
+        U = np.asfortranarray(U[:, keep])
+        V = np.asfortranarray(V[:, keep])
+        state.take(keep)
+        alfa0 = alfa0[keep]
+    alfa = alfa0.copy()
+
+    W = V.copy(order="F")
+    Xa = np.zeros((n, active.size), dtype=block_dtype, order="F")
+
+    itn = 0
+    while active.size and itn < iter_lim:
+        itn += 1
+        # Continue the bidiagonalization: beta·u = A v − alfa·u,
+        # alfa·v = Aᵀ u − beta·v — two block products for all columns.
+        AV = op.matmat(V)
+        U *= -alfa[None, :]
+        U += AV
+        beta = _column_norms(U)
+
+        bad_beta = ~np.isfinite(beta)
+        if bad_beta.any():
+            # Frozen before any state update: x and diagnostics hold the
+            # last finite iterate, exactly like the sequential break.
+            out.freeze(active, np.flatnonzero(bad_beta), state, Xa, 8, itn)
+
+        bpos = beta > 0
+        np.divide(U, beta[None, :], out=U, where=bpos[None, :])
+        state.anorm = np.sqrt(
+            state.anorm**2
+            + alfa**2
+            + np.where(bpos, beta, 0.0) ** 2
+            + dampsq
+        )
+
+        AtU = np.asfortranarray(op.rmatmat(U))
+        AtU -= beta[None, :] * V
+        alfa_new = _column_norms(AtU)
+        bad_alfa = bpos & ~np.isfinite(alfa_new)
+        if bad_alfa.any():
+            # Sequential breaks after the anorm update but before the
+            # rotation; state.anorm is already updated above.
+            out.freeze(active, np.flatnonzero(bad_alfa), state, Xa, 8, itn)
+        norm_mask = bpos & (alfa_new > 0)
+        np.divide(AtU, alfa_new[None, :], out=AtU, where=norm_mask[None, :])
+        if bpos.all():
+            V = AtU
+            alfa = alfa_new
+        else:
+            # beta == 0 columns keep their previous v and alfa.
+            cols = np.flatnonzero(bpos)
+            V[:, cols] = AtU[:, cols]
+            alfa = np.where(bpos, alfa_new, alfa)
+
+        pre_frozen = bad_beta | bad_alfa
+
+        t1, t2 = state.rotation(alfa, beta, damp)
+        wnorm_sq = np.einsum("ij,ij->j", W, W, dtype=np.float64)
+        t1c = t1.astype(block_dtype, copy=False)
+        t2c = t2.astype(block_dtype, copy=False)
+        Xa += t1c[None, :] * W
+        np.multiply(W, t2c[None, :], out=W)
+        W += V
+        state.diagnostics(alfa, wnorm_sq)
+
+        if record_history:
+            for local_j in np.flatnonzero(~pre_frozen):
+                out.histories[active[local_j]].append(
+                    float(state.r2norm[local_j])
+                )
+
+        istop_iter = _post_step_istop(state, itn, iter_lim, atol, btol, ctol)
+        istop_iter[pre_frozen] = 8
+        newly = (istop_iter != 0) & ~pre_frozen
+        if newly.any():
+            idx = np.flatnonzero(newly)
+            out.freeze(active, idx, state, Xa, istop_iter[idx], itn)
+
+        stopped = istop_iter != 0
+        if stopped.any():
+            keep = np.flatnonzero(~stopped)
+            active = active[keep]
+            if not active.size:
+                break
+            U = np.asfortranarray(U[:, keep])
+            V = np.asfortranarray(V[:, keep])
+            W = np.asfortranarray(W[:, keep])
+            Xa = np.asfortranarray(Xa[:, keep])
+            alfa = alfa[keep]
+            state.take(keep)
+
+    if active.size:
+        # Only reachable with iter_lim == 0: report the initial state.
+        out.freeze(active, np.arange(active.size), state, Xa, 0, itn)
+
+    return out.result()
+
+
+def block_lsqr(
+    A,
+    B: np.ndarray,
+    damp: float = 0.0,
+    atol: float = 1e-8,
+    btol: float = 1e-8,
+    conlim: float = 1e8,
+    iter_lim: Optional[int] = None,
+    X0: Optional[np.ndarray] = None,
+    record_history: bool = False,
+) -> BlockLSQRResult:
+    """Solve ``min_X ‖A X - B‖² + damp²‖X‖²`` for all columns at once.
+
+    Parameters match :func:`repro.linalg.lsqr.lsqr` with ``b`` widened
+    to a block ``B`` of shape ``(m, k)`` (a 1-D ``b`` is treated as one
+    column) and ``x0`` widened to ``X0`` of shape ``(n, k)``.  Each
+    column follows the sequential iteration's arithmetic and stopping
+    rules independently; the only difference is that the operator is
+    applied once per iteration via ``matmat``/``rmatmat`` instead of
+    ``2k`` separate mat-vecs.
+
+    Returns a :class:`BlockLSQRResult`; ``result.column(j)`` recovers a
+    sequential-style :class:`~repro.linalg.lsqr.LSQRResult` for any
+    column.
+    """
+    op = as_operator(A)
+    m, n = op.shape
+    B = as_value_dtype(B)
+    if B.ndim == 1:
+        B = B[:, None]
+    if B.ndim != 2 or B.shape[0] != m:
+        raise ValueError(
+            f"B must have shape ({m}, k), got {np.shape(B)}"
+        )
+    if damp < 0:
+        raise ValueError("damp must be non-negative")
+    if iter_lim is None:
+        iter_lim = 2 * n
+    if iter_lim < 0:
+        raise ValueError("iter_lim must be non-negative")
+
+    if X0 is not None:
+        X0 = as_value_dtype(X0)
+        if X0.ndim == 1:
+            X0 = X0[:, None]
+        if X0.shape != (n, B.shape[1]):
+            raise ValueError(
+                f"X0 must have shape ({n}, {B.shape[1]}), got {X0.shape}"
+            )
+        if damp > 0:
+            # Same augmented-system trick as the sequential solver: the
+            # correction D = X − X0 must penalize ‖X0 + D‖, so solve
+            #   [A; damp·I] D ≈ [B − A·X0; −damp·X0]
+            # with damp = 0 and shift back.  One stacked operator serves
+            # every column because damp is shared.
+            stacked = StackedOperator(op, IdentityOperator(n, scale=damp))
+            extended = np.concatenate(
+                [B - op.matmat(X0), -damp * X0], axis=0
+            )
+            inner = _solve_block(
+                stacked,
+                as_value_dtype(extended),
+                0.0,
+                atol,
+                btol,
+                conlim,
+                iter_lim,
+                record_history,
+            )
+            X = inner.X + X0
+            residual = B - op.matmat(X)
+            r1norm = _column_norms(residual)
+            xnorm = _column_norms(X)
+            return BlockLSQRResult(
+                X=X,
+                istop=inner.istop,
+                itn=inner.itn,
+                r1norm=r1norm,
+                r2norm=np.sqrt(r1norm**2 + (damp * xnorm) ** 2),
+                anorm=inner.anorm,
+                acond=inner.acond,
+                arnorm=inner.arnorm,
+                xnorm=xnorm,
+                residual_history=inner.residual_history,
+            )
+        B = B - op.matmat(X0)
+
+    result = _solve_block(
+        op, as_value_dtype(B), damp, atol, btol, conlim, iter_lim,
+        record_history,
+    )
+    if X0 is not None:
+        result.X += X0
+        result.xnorm = _column_norms(result.X)
+    return result
+
+
+class SharedBidiagonalization:
+    """Golub–Kahan basis of ``(A, B)``, recorded once, re-solved per damp.
+
+    The bidiagonalization ``A V_i = U_{i+1} B_i`` started from ``B``
+    does not involve the damping parameter — LSQR folds ``damp`` into
+    the scalar QR rotations only.  Recording the basis therefore costs
+    one pass of ``2·iter_lim + 1`` block products, after which
+    :meth:`solve` produces the full per-column result for *any* alpha
+    with zero additional operator work: exactly what a grid sweep needs.
+
+    Memory: ``depth`` stored ``(n, k)`` blocks.  For SRDA's ``k = c-1``
+    and the paper's 15–20 iteration protocol this is a few dozen dense
+    vectors per class — far cheaper than re-running the solver per
+    alpha.
+
+    Parameters
+    ----------
+    A:
+        Dense array, :class:`~repro.linalg.sparse.CSRMatrix`, or
+        :class:`~repro.linalg.operators.LinearOperator`.
+    B:
+        Right-hand-side block ``(m, k)`` (1-D accepted as one column).
+    iter_lim:
+        Bidiagonalization depth to record; :meth:`solve` can stop any
+        column earlier but never iterate past this.
+    """
+
+    @_masked_errstate
+    def __init__(self, A, B: np.ndarray, iter_lim: int) -> None:
+        op = as_operator(A)
+        m, n = op.shape
+        B = as_value_dtype(B)
+        if B.ndim == 1:
+            B = B[:, None]
+        if B.ndim != 2 or B.shape[0] != m:
+            raise ValueError(
+                f"B must have shape ({m}, k), got {np.shape(B)}"
+            )
+        if iter_lim < 0:
+            raise ValueError("iter_lim must be non-negative")
+        self.operator = op
+        self.shape = (m, n)
+        k = B.shape[1]
+
+        U = np.array(B, order="F", copy=True)
+        beta0 = _column_norms(U)
+        pos0 = beta0 > 0
+        np.divide(U, beta0[None, :], out=U, where=pos0[None, :])
+        V = (
+            np.asfortranarray(op.rmatmat(U))
+            if k
+            else np.zeros((n, 0), order="F")
+        )
+        if not pos0.all():
+            V[:, ~pos0] = 0.0
+        alfa0 = _column_norms(V)
+        alfa0[~pos0] = 0.0
+        apos = alfa0 > 0
+        np.divide(V, alfa0[None, :], out=V, where=apos[None, :])
+
+        self.beta0 = beta0
+        self.alfa0 = alfa0
+        self._V0 = V.copy(order="F")
+        self._betas: List[np.ndarray] = []
+        self._alfas: List[np.ndarray] = []
+        self._Vs: List[np.ndarray] = []
+
+        alfa = alfa0.copy()
+        for _ in range(iter_lim):
+            AV = op.matmat(V)
+            U *= -alfa[None, :]
+            U += AV
+            beta = _column_norms(U)
+            bpos = beta > 0
+            np.divide(U, beta[None, :], out=U, where=bpos[None, :])
+            AtU = np.asfortranarray(op.rmatmat(U))
+            AtU -= beta[None, :] * V
+            alfa_new = _column_norms(AtU)
+            norm_mask = bpos & (alfa_new > 0)
+            np.divide(
+                AtU, alfa_new[None, :], out=AtU, where=norm_mask[None, :]
+            )
+            if bpos.all():
+                V = AtU
+                alfa = alfa_new
+            else:
+                # Copy before the partial update: the previous step's
+                # stored block must not be mutated in place.
+                V = V.copy(order="F")
+                cols = np.flatnonzero(bpos)
+                V[:, cols] = AtU[:, cols]
+                alfa = np.where(bpos, alfa_new, alfa)
+            self._betas.append(beta)
+            self._alfas.append(alfa)
+            self._Vs.append(V)
+            if not np.any(np.isfinite(beta)):
+                # Every column has diverged; deeper recording is waste.
+                break
+
+    @property
+    def n_columns(self) -> int:
+        return int(self.beta0.size)
+
+    @property
+    def depth(self) -> int:
+        """Recorded bidiagonalization steps (max replay iterations)."""
+        return len(self._betas)
+
+    @_masked_errstate
+    def solve(
+        self,
+        damp: float = 0.0,
+        atol: float = 1e-8,
+        btol: float = 1e-8,
+        conlim: float = 1e8,
+        iter_lim: Optional[int] = None,
+        record_history: bool = False,
+    ) -> BlockLSQRResult:
+        """Replay the recorded basis under a damping value.
+
+        Produces the same result as ``block_lsqr(A, B, damp=damp,
+        iter_lim=depth)`` — per-column istop codes, stagnation checks
+        and all — without touching the operator.  Cost per call is
+        ``O(depth · n · k)`` axpy work.
+        """
+        if damp < 0:
+            raise ValueError("damp must be non-negative")
+        eff_lim = self.depth if iter_lim is None else iter_lim
+        if eff_lim < 0:
+            raise ValueError("iter_lim must be non-negative")
+        if eff_lim > self.depth:
+            raise ValueError(
+                f"iter_lim {eff_lim} exceeds recorded depth {self.depth}"
+            )
+        m, n = self.shape
+        k = self.n_columns
+        block_dtype = self._V0.dtype
+        out = _Outputs(n, k, block_dtype)
+
+        dampsq = damp * damp
+        ctol = 1.0 / conlim if conlim > 0 else 0.0
+
+        state = _ColumnState(self.alfa0, self.beta0, dampsq)
+        active = np.arange(k)
+        frozen0 = (self.alfa0 * self.beta0) == 0.0
+        if frozen0.any():
+            out.freeze(active, np.flatnonzero(frozen0), state, None, 0, 0)
+            keep = np.flatnonzero(~frozen0)
+            active = active[keep]
+            state.take(keep)
+
+        W = np.asfortranarray(self._V0[:, active]).copy(order="F")
+        Xa = np.zeros((n, active.size), dtype=block_dtype, order="F")
+        alfa_prev = self.alfa0[active].copy()
+
+        itn = 0
+        for step in range(eff_lim):
+            if not active.size:
+                break
+            itn = step + 1
+            beta = self._betas[step][active]
+            alfa = self._alfas[step][active]
+
+            bad_beta = ~np.isfinite(beta)
+            if bad_beta.any():
+                out.freeze(
+                    active, np.flatnonzero(bad_beta), state, Xa, 8, itn
+                )
+            bpos = beta > 0
+            state.anorm = np.sqrt(
+                state.anorm**2
+                + alfa_prev**2
+                + np.where(bpos, beta, 0.0) ** 2
+                + dampsq
+            )
+            bad_alfa = bpos & ~np.isfinite(alfa)
+            if bad_alfa.any():
+                out.freeze(
+                    active, np.flatnonzero(bad_alfa), state, Xa, 8, itn
+                )
+            pre_frozen = bad_beta | bad_alfa
+
+            Vstep = self._Vs[step]
+            V = Vstep if active.size == k else Vstep[:, active]
+
+            t1, t2 = state.rotation(alfa, beta, damp)
+            wnorm_sq = np.einsum("ij,ij->j", W, W, dtype=np.float64)
+            t1c = t1.astype(block_dtype, copy=False)
+            t2c = t2.astype(block_dtype, copy=False)
+            Xa += t1c[None, :] * W
+            np.multiply(W, t2c[None, :], out=W)
+            W += V
+            state.diagnostics(alfa, wnorm_sq)
+
+            if record_history:
+                for local_j in np.flatnonzero(~pre_frozen):
+                    out.histories[active[local_j]].append(
+                        float(state.r2norm[local_j])
+                    )
+
+            istop_iter = _post_step_istop(
+                state, itn, eff_lim, atol, btol, ctol
+            )
+            istop_iter[pre_frozen] = 8
+            newly = (istop_iter != 0) & ~pre_frozen
+            if newly.any():
+                idx = np.flatnonzero(newly)
+                out.freeze(active, idx, state, Xa, istop_iter[idx], itn)
+
+            alfa_prev = alfa
+            stopped = istop_iter != 0
+            if stopped.any():
+                keep = np.flatnonzero(~stopped)
+                active = active[keep]
+                if not active.size:
+                    break
+                W = np.asfortranarray(W[:, keep])
+                Xa = np.asfortranarray(Xa[:, keep])
+                alfa_prev = alfa_prev[keep]
+                state.take(keep)
+
+        if active.size:
+            # Only reachable with iter_lim == 0: report the initial state.
+            out.freeze(active, np.arange(active.size), state, Xa, 0, itn)
+
+        return out.result()

@@ -12,6 +12,15 @@ implementable without densifying anything:
   paths (the LDA baseline analysis, tests) that need the centered matrix
   as an operator without allocating a dense copy.
 
+The block solver adds two more products: ``A @ B`` and ``A.T @ U`` for
+dense blocks ``B``/``U`` (``matmat``/``rmatmat``).  Every structural
+operator forwards whole blocks to its base so a multi-RHS solve stays
+matrix-free at block width — centering becomes one base ``matmat`` plus
+a rank-one correction instead of ``k`` corrected mat-vecs.  Operators
+without a specialized block product fall back to a per-column sweep of
+``_matvec``, which keeps per-column semantics (fault injection, counts)
+identical to the sequential path.
+
 Operators compose, transpose, and count their products (for the empirical
 complexity validation in :mod:`repro.complexity.counter`).
 """
@@ -22,7 +31,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.linalg.sparse import CSRMatrix, is_sparse
+from repro.linalg.sparse import CSRMatrix, as_value_dtype, is_sparse
 
 
 class LinearOperator:
@@ -39,6 +48,13 @@ class LinearOperator:
     def __init__(self) -> None:
         self.n_matvec = 0
         self.n_rmatvec = 0
+        self.n_matmat = 0
+        self.n_rmatmat = 0
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Value dtype of the products (float64 unless data says float32)."""
+        return np.dtype(np.float64)
 
     def _matvec(self, v: np.ndarray) -> np.ndarray:
         raise NotImplementedError
@@ -46,9 +62,33 @@ class LinearOperator:
     def _rmatvec(self, u: np.ndarray) -> np.ndarray:
         raise NotImplementedError
 
+    def _matmat(self, B: np.ndarray) -> np.ndarray:
+        # Per-column fallback.  Goes through _matvec, not matvec, so one
+        # block product counts as one matmat — but still column by
+        # column, so wrappers with per-product semantics (fault
+        # injection) behave exactly as they would sequentially.
+        first = self._matvec(np.ascontiguousarray(B[:, 0]))
+        out = np.empty(
+            (self.shape[0], B.shape[1]), dtype=first.dtype, order="F"
+        )
+        out[:, 0] = first
+        for j in range(1, B.shape[1]):
+            out[:, j] = self._matvec(np.ascontiguousarray(B[:, j]))
+        return out
+
+    def _rmatmat(self, U: np.ndarray) -> np.ndarray:
+        first = self._rmatvec(np.ascontiguousarray(U[:, 0]))
+        out = np.empty(
+            (self.shape[1], U.shape[1]), dtype=first.dtype, order="F"
+        )
+        out[:, 0] = first
+        for j in range(1, U.shape[1]):
+            out[:, j] = self._rmatvec(np.ascontiguousarray(U[:, j]))
+        return out
+
     def matvec(self, v: np.ndarray) -> np.ndarray:
         """Compute ``A @ v``."""
-        v = np.asarray(v, dtype=np.float64)
+        v = as_value_dtype(v)
         if v.shape != (self.shape[1],):
             raise ValueError(
                 f"matvec expects length {self.shape[1]}, got {v.shape}"
@@ -58,7 +98,7 @@ class LinearOperator:
 
     def rmatvec(self, u: np.ndarray) -> np.ndarray:
         """Compute ``A.T @ u``."""
-        u = np.asarray(u, dtype=np.float64)
+        u = as_value_dtype(u)
         if u.shape != (self.shape[0],):
             raise ValueError(
                 f"rmatvec expects length {self.shape[0]}, got {u.shape}"
@@ -67,24 +107,32 @@ class LinearOperator:
         return self._rmatvec(u)
 
     def matmat(self, B: np.ndarray) -> np.ndarray:
-        """Compute ``A @ B`` column by column for a dense ``B``."""
-        B = np.asarray(B, dtype=np.float64)
+        """Compute ``A @ B`` for a dense block ``B`` in one pass."""
+        B = as_value_dtype(B)
         if B.ndim == 1:
             return self.matvec(B)
-        out = np.empty((self.shape[0], B.shape[1]), dtype=np.float64)
-        for j in range(B.shape[1]):
-            out[:, j] = self.matvec(B[:, j])
-        return out
+        if B.shape[0] != self.shape[1]:
+            raise ValueError(
+                f"matmat expects {self.shape[1]} rows, got {B.shape[0]}"
+            )
+        if B.shape[1] == 0:
+            return np.empty((self.shape[0], 0), dtype=self.dtype)
+        self.n_matmat += 1
+        return self._matmat(B)
 
-    def rmatmat(self, B: np.ndarray) -> np.ndarray:
-        """Compute ``A.T @ B`` column by column for a dense ``B``."""
-        B = np.asarray(B, dtype=np.float64)
-        if B.ndim == 1:
-            return self.rmatvec(B)
-        out = np.empty((self.shape[1], B.shape[1]), dtype=np.float64)
-        for j in range(B.shape[1]):
-            out[:, j] = self.rmatvec(B[:, j])
-        return out
+    def rmatmat(self, U: np.ndarray) -> np.ndarray:
+        """Compute ``A.T @ U`` for a dense block ``U`` in one pass."""
+        U = as_value_dtype(U)
+        if U.ndim == 1:
+            return self.rmatvec(U)
+        if U.shape[0] != self.shape[0]:
+            raise ValueError(
+                f"rmatmat expects {self.shape[0]} rows, got {U.shape[0]}"
+            )
+        if U.shape[1] == 0:
+            return np.empty((self.shape[1], 0), dtype=self.dtype)
+        self.n_rmatmat += 1
+        return self._rmatmat(U)
 
     @property
     def T(self) -> "LinearOperator":
@@ -100,6 +148,8 @@ class LinearOperator:
         """Zero the product counters."""
         self.n_matvec = 0
         self.n_rmatvec = 0
+        self.n_matmat = 0
+        self.n_rmatmat = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(shape={self.shape})"
@@ -122,6 +172,12 @@ class DenseOperator(LinearOperator):
     def _rmatvec(self, u: np.ndarray) -> np.ndarray:
         return self.array.T @ u
 
+    def _matmat(self, B: np.ndarray) -> np.ndarray:
+        return self.array @ B
+
+    def _rmatmat(self, U: np.ndarray) -> np.ndarray:
+        return self.array.T @ U
+
 
 class CSROperator(LinearOperator):
     """Operator view over our :class:`CSRMatrix` or a scipy CSR matrix."""
@@ -136,11 +192,21 @@ class CSROperator(LinearOperator):
             raise TypeError(f"expected a sparse matrix, got {type(matrix)}")
         self.shape = self.matrix.shape
 
+    @property
+    def dtype(self) -> np.dtype:
+        return self.matrix.dtype
+
     def _matvec(self, v: np.ndarray) -> np.ndarray:
         return self.matrix.matvec(v)
 
     def _rmatvec(self, u: np.ndarray) -> np.ndarray:
         return self.matrix.rmatvec(u)
+
+    def _matmat(self, B: np.ndarray) -> np.ndarray:
+        return self.matrix.matmat(B)
+
+    def _rmatmat(self, U: np.ndarray) -> np.ndarray:
+        return self.matrix.rmatmat(U)
 
 
 class TransposedOperator(LinearOperator):
@@ -151,11 +217,21 @@ class TransposedOperator(LinearOperator):
         self.base = base
         self.shape = (base.shape[1], base.shape[0])
 
+    @property
+    def dtype(self) -> np.dtype:
+        return self.base.dtype
+
     def _matvec(self, v: np.ndarray) -> np.ndarray:
         return self.base.rmatvec(v)
 
     def _rmatvec(self, u: np.ndarray) -> np.ndarray:
         return self.base.matvec(u)
+
+    def _matmat(self, B: np.ndarray) -> np.ndarray:
+        return self.base.rmatmat(B)
+
+    def _rmatmat(self, U: np.ndarray) -> np.ndarray:
+        return self.base.matmat(U)
 
 
 class CenteringOperator(LinearOperator):
@@ -184,12 +260,27 @@ class CenteringOperator(LinearOperator):
             raise ValueError("column_means must have length n_features")
         self.column_means = column_means
 
+    @property
+    def dtype(self) -> np.dtype:
+        return self.base.dtype
+
     def _matvec(self, v: np.ndarray) -> np.ndarray:
         shift = float(self.column_means @ v)
         return self.base.matvec(v) - shift
 
     def _rmatvec(self, u: np.ndarray) -> np.ndarray:
         return self.base.rmatvec(u) - float(u.sum()) * self.column_means
+
+    def _matmat(self, B: np.ndarray) -> np.ndarray:
+        # (X - 1 μᵀ) B = X B - 1 (μᵀ B): one base block product plus a
+        # rank-one correction — centering stays matrix-free at block width
+        return self.base.matmat(B) - (self.column_means @ B)[None, :]
+
+    def _rmatmat(self, U: np.ndarray) -> np.ndarray:
+        # (X - 1 μᵀ)ᵀ U = Xᵀ U - μ (1ᵀ U)
+        return self.base.rmatmat(U) - np.outer(
+            self.column_means, U.sum(axis=0)
+        )
 
 
 class AppendOnesOperator(LinearOperator):
@@ -208,12 +299,24 @@ class AppendOnesOperator(LinearOperator):
         self.base = base
         self.shape = (base.shape[0], base.shape[1] + 1)
 
+    @property
+    def dtype(self) -> np.dtype:
+        return self.base.dtype
+
     def _matvec(self, v: np.ndarray) -> np.ndarray:
         return self.base.matvec(v[:-1]) + v[-1]
 
     def _rmatvec(self, u: np.ndarray) -> np.ndarray:
         head = self.base.rmatvec(u)
         return np.concatenate([head, [u.sum()]])
+
+    def _matmat(self, B: np.ndarray) -> np.ndarray:
+        # [X | 1] B = X B[:-1] + 1 B[-1]
+        return self.base.matmat(B[:-1]) + B[-1][None, :]
+
+    def _rmatmat(self, U: np.ndarray) -> np.ndarray:
+        head = self.base.rmatmat(U)
+        return np.vstack([head, U.sum(axis=0)[None, :]])
 
 
 class InjectedFaultError(RuntimeError):
@@ -309,11 +412,21 @@ class ScaledOperator(LinearOperator):
         self.scale = float(scale)
         self.shape = base.shape
 
+    @property
+    def dtype(self) -> np.dtype:
+        return self.base.dtype
+
     def _matvec(self, v: np.ndarray) -> np.ndarray:
         return self.scale * self.base.matvec(v)
 
     def _rmatvec(self, u: np.ndarray) -> np.ndarray:
         return self.scale * self.base.rmatvec(u)
+
+    def _matmat(self, B: np.ndarray) -> np.ndarray:
+        return self.scale * self.base.matmat(B)
+
+    def _rmatmat(self, U: np.ndarray) -> np.ndarray:
+        return self.scale * self.base.rmatmat(U)
 
 
 class StackedOperator(LinearOperator):
@@ -333,6 +446,10 @@ class StackedOperator(LinearOperator):
         self.bottom = bottom
         self.shape = (top.shape[0] + bottom.shape[0], top.shape[1])
 
+    @property
+    def dtype(self) -> np.dtype:
+        return np.result_type(self.top.dtype, self.bottom.dtype)
+
     def _matvec(self, v: np.ndarray) -> np.ndarray:
         return np.concatenate([self.top.matvec(v), self.bottom.matvec(v)])
 
@@ -340,6 +457,14 @@ class StackedOperator(LinearOperator):
         head = u[: self.top.shape[0]]
         tail = u[self.top.shape[0] :]
         return self.top.rmatvec(head) + self.bottom.rmatvec(tail)
+
+    def _matmat(self, B: np.ndarray) -> np.ndarray:
+        return np.vstack([self.top.matmat(B), self.bottom.matmat(B)])
+
+    def _rmatmat(self, U: np.ndarray) -> np.ndarray:
+        head = U[: self.top.shape[0]]
+        tail = U[self.top.shape[0] :]
+        return self.top.rmatmat(head) + self.bottom.rmatmat(tail)
 
 
 class IdentityOperator(LinearOperator):
@@ -355,6 +480,12 @@ class IdentityOperator(LinearOperator):
 
     def _rmatvec(self, u: np.ndarray) -> np.ndarray:
         return self.scale * u
+
+    def _matmat(self, B: np.ndarray) -> np.ndarray:
+        return self.scale * B
+
+    def _rmatmat(self, U: np.ndarray) -> np.ndarray:
+        return self.scale * U
 
 
 def as_operator(X) -> LinearOperator:

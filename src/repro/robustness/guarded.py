@@ -42,7 +42,7 @@ from repro.linalg.cholesky import (
     cholesky,
     solve_factored,
 )
-from repro.linalg.lsqr import lsqr
+from repro.linalg.block_lsqr import block_lsqr
 from repro.robustness.report import FitReport
 
 #: Default number of escalating-jitter Cholesky retries.
@@ -253,22 +253,20 @@ def guarded_solve(
     if alpha:
         system[np.diag_indices_from(system)] += alpha
     columns = rhs.reshape(n, -1)
-    x = np.empty_like(columns)
-    istops: List[int] = []
-    iterations: List[int] = []
-    residuals: List[float] = []
-    for j in range(columns.shape[1]):
-        run = lsqr(
-            system,
-            columns[:, j],
-            atol=1e-12,
-            btol=1e-12,
-            iter_lim=rescue_iter_lim,
-        )
-        x[:, j] = run.x
-        istops.append(run.istop)
-        iterations.append(run.itn)
-        residuals.append(run.r2norm)
+    # All rescue columns ride one blocked Golub–Kahan iteration: the
+    # (dense) system streams through memory once per iteration instead
+    # of once per column, and per-column istop codes are preserved.
+    blocked = block_lsqr(
+        system,
+        columns,
+        atol=1e-12,
+        btol=1e-12,
+        iter_lim=rescue_iter_lim,
+    )
+    x = np.asarray(blocked.X, dtype=columns.dtype)
+    istops: List[int] = [int(v) for v in blocked.istop]
+    iterations: List[int] = [int(v) for v in blocked.itn]
+    residuals: List[float] = [float(v) for v in blocked.r2norm]
     if not np.all(np.isfinite(x)) or 8 in istops:
         # istop=8 means LSQR aborted on non-finite quantities; its x is
         # only the last finite iterate, not a rescue.

@@ -272,3 +272,157 @@ class TestInvariances:
         a = SRDA(alpha=1e-8, solver="normal").fit(X, y)
         b = SRDA(alpha=1e-8, solver="normal").fit(X2, y2)
         assert np.array_equal(a.predict(X), b.predict(X))
+
+
+class TestBlockPath:
+    """The blocked LSQR fit is the default; block=False is the escape
+    hatch back to one sequential solve per response column.  Both must
+    produce the same model and the same fit diagnostics."""
+
+    def test_block_matches_sequential_dense(self, small_classification):
+        X, y = small_classification
+        kwargs = dict(alpha=0.5, solver="lsqr", max_iter=15, tol=0.0)
+        blocked = SRDA(block=True, **kwargs).fit(X, y)
+        sequential = SRDA(block=False, **kwargs).fit(X, y)
+        assert np.allclose(
+            blocked.components_, sequential.components_, atol=1e-10
+        )
+        assert np.allclose(
+            blocked.intercept_, sequential.intercept_, atol=1e-10
+        )
+        assert blocked.lsqr_iterations_ == sequential.lsqr_iterations_
+        assert (
+            blocked.fit_report_.lsqr_istop
+            == sequential.fit_report_.lsqr_istop
+        )
+        assert np.array_equal(blocked.predict(X), sequential.predict(X))
+
+    def test_block_matches_sequential_sparse(self, sparse_classification):
+        # 12 iterations: past that, the fixture's ill conditioning
+        # amplifies summation-order rounding through the Golub–Kahan
+        # recurrence (both paths drift from exact arithmetic equally).
+        matrix, _, y = sparse_classification
+        kwargs = dict(alpha=1.0, solver="lsqr", max_iter=12, tol=0.0)
+        blocked = SRDA(block=True, **kwargs).fit(matrix, y)
+        sequential = SRDA(block=False, **kwargs).fit(matrix, y)
+        assert np.allclose(
+            blocked.components_, sequential.components_, atol=1e-10
+        )
+        assert blocked.fit_report_.lsqr_istop == (
+            sequential.fit_report_.lsqr_istop
+        )
+
+    def test_block_matches_sequential_tolerance_stopping(
+        self, sparse_classification
+    ):
+        matrix, _, y = sparse_classification
+        kwargs = dict(alpha=1.0, solver="lsqr", max_iter=200, tol=1e-8)
+        blocked = SRDA(block=True, **kwargs).fit(matrix, y)
+        sequential = SRDA(block=False, **kwargs).fit(matrix, y)
+        scale = max(1.0, np.max(np.abs(sequential.components_)))
+        assert (
+            np.max(np.abs(blocked.components_ - sequential.components_))
+            / scale
+            < 5e-8
+        )
+
+    def test_block_warm_start(self, small_classification):
+        X, y = small_classification
+        kwargs = dict(
+            alpha=0.5, solver="lsqr", max_iter=10, tol=0.0, warm_start=True
+        )
+        blocked = SRDA(block=True, **kwargs)
+        sequential = SRDA(block=False, **kwargs)
+        for model in (blocked, sequential):
+            model.fit(X, y)
+            model.fit(X, y)  # second fit starts from the first solution
+        assert np.allclose(
+            blocked.components_, sequential.components_, atol=1e-9
+        )
+        assert blocked.lsqr_iterations_ == sequential.lsqr_iterations_
+
+
+class TestAlphaPath:
+    def test_matches_cold_fits(self, sparse_classification):
+        from repro.core.srda import srda_alpha_path
+
+        matrix, _, y = sparse_classification
+        alphas = [0.01, 0.5, 1.0, 10.0]
+        models = srda_alpha_path(matrix, y, alphas, max_iter=15, tol=0.0)
+        assert len(models) == len(alphas)
+        for alpha, model in zip(alphas, models):
+            cold = SRDA(
+                alpha=alpha, solver="lsqr", max_iter=15, tol=0.0
+            ).fit(matrix, y)
+            assert np.array_equal(model.components_, cold.components_)
+            assert np.array_equal(model.intercept_, cold.intercept_)
+            assert np.allclose(model.centroids_, cold.centroids_, atol=1e-8)
+            assert model.lsqr_iterations_ == cold.lsqr_iterations_
+            assert (
+                model.fit_report_.lsqr_istop == cold.fit_report_.lsqr_istop
+            )
+            assert np.array_equal(model.predict(matrix), cold.predict(matrix))
+
+    def test_dense_centered_path(self, small_classification):
+        from repro.core.srda import srda_alpha_path
+
+        X, y = small_classification
+        models = srda_alpha_path(X, y, [0.1, 1.0], max_iter=15, tol=0.0)
+        for alpha, model in zip((0.1, 1.0), models):
+            cold = SRDA(
+                alpha=alpha, solver="lsqr", max_iter=15, tol=0.0
+            ).fit(X, y)
+            assert model.centered_ is True
+            assert np.array_equal(model.components_, cold.components_)
+            assert np.array_equal(model.intercept_, cold.intercept_)
+
+    def test_one_data_pass_for_whole_grid(
+        self, sparse_classification, monkeypatch
+    ):
+        """The alpha grid costs one bidiagonalization: the operator
+        product count is independent of the number of alphas."""
+        import repro.core.srda as srda_module
+        from repro.core.srda import srda_alpha_path
+
+        matrix, _, y = sparse_classification
+        max_iter = 10
+
+        def count_products(alphas):
+            captured = []
+            real = srda_module.as_operator
+
+            def spy(data):
+                op = real(data)
+                captured.append(op)
+                return op
+
+            monkeypatch.setattr(srda_module, "as_operator", spy)
+            srda_alpha_path(matrix, y, alphas, max_iter=max_iter, tol=0.0)
+            monkeypatch.setattr(srda_module, "as_operator", real)
+            base = captured[0]
+            return (
+                base.n_matmat
+                + base.n_rmatmat
+                + base.n_matvec
+                + base.n_rmatvec
+            )
+
+        one = count_products([1.0])
+        nine = count_products([0.01, 0.05, 0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 50.0])
+        # recording: max_iter matmats + (max_iter + 1) rmatmats, plus
+        # one rmatmat for the class-mean centroids
+        assert one == 2 * max_iter + 2
+        assert nine == one
+
+    def test_empty_grid(self, sparse_classification):
+        from repro.core.srda import srda_alpha_path
+
+        matrix, _, y = sparse_classification
+        assert srda_alpha_path(matrix, y, []) == []
+
+    def test_negative_alpha_rejected(self, sparse_classification):
+        from repro.core.srda import srda_alpha_path
+
+        matrix, _, y = sparse_classification
+        with pytest.raises(ValueError):
+            srda_alpha_path(matrix, y, [1.0, -0.5])

@@ -96,3 +96,53 @@ class TestGridSearch:
             X, y, alphas=[1e-6, 1.0, 1e6], n_splits=4, seed=1,
         )
         assert result.best_alpha != 1e6
+
+
+class TestGridSearchSRDA:
+    @pytest.fixture
+    def data(self, rng):
+        centers = 2.0 * rng.standard_normal((3, 40))
+        y = np.repeat(np.arange(3), 12)
+        X = centers[y] + 1.5 * rng.standard_normal((36, 40))
+        return X, y
+
+    def test_matches_per_alpha_refits(self, data):
+        """The shared-bidiagonalization search scores the same models as
+        refitting SRDA per alpha, so the error surfaces coincide."""
+        from repro.eval.model_selection import grid_search_alpha_srda
+
+        X, y = data
+        kwargs = dict(alphas=[0.1, 1.0, 10.0], n_splits=3, seed=0)
+        refit = grid_search_alpha(
+            lambda a: SRDA(
+                alpha=a, solver="lsqr", max_iter=15, tol=0.0
+            ),
+            X, y, **kwargs,
+        )
+        shared = grid_search_alpha_srda(
+            X, y, max_iter=15, tol=0.0, **kwargs
+        )
+        assert np.array_equal(refit.alphas, shared.alphas)
+        assert np.array_equal(refit.mean_errors, shared.mean_errors)
+        assert np.array_equal(refit.std_errors, shared.std_errors)
+
+    def test_sparse_input(self, rng):
+        from repro.eval.model_selection import grid_search_alpha_srda
+
+        dense = rng.standard_normal((40, 30))
+        dense[np.abs(dense) < 1.0] = 0.0
+        y = np.arange(40) % 2
+        dense[y == 1, :5] += 3.0
+        matrix = CSRMatrix.from_dense(dense)
+        result = grid_search_alpha_srda(
+            matrix, y, alphas=[0.5, 5.0], n_splits=2, seed=1
+        )
+        assert isinstance(result, AlphaSearchResult)
+        assert result.mean_errors.shape == (2,)
+
+    def test_default_grid(self, data):
+        from repro.eval.model_selection import grid_search_alpha_srda
+
+        X, y = data
+        result = grid_search_alpha_srda(X, y, n_splits=2, seed=0)
+        assert result.alphas.shape == (9,)

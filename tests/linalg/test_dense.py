@@ -98,3 +98,38 @@ class TestIsOrthonormal:
 
     def test_empty_is_orthonormal(self):
         assert is_orthonormal(np.empty((5, 0)))
+
+
+class TestRidgeCholeskyPath:
+    """ridge_solution factors the shifted Gram matrix once with the
+    repo's Cholesky and reuses the factor across right-hand sides."""
+
+    def test_matches_direct_solve(self, rng):
+        A = rng.standard_normal((30, 10))
+        b = rng.standard_normal(30)
+        alpha = 0.7
+        expected = np.linalg.solve(
+            A.T @ A + alpha * np.eye(10), A.T @ b
+        )
+        assert np.allclose(ridge_solution(A, b, alpha), expected, atol=1e-10)
+
+    def test_matrix_rhs_matches_column_loop(self, rng):
+        A = rng.standard_normal((30, 10))
+        B = rng.standard_normal((30, 4))
+        together = ridge_solution(A, B, 0.5)
+        assert together.shape == (10, 4)
+        for j in range(4):
+            assert np.allclose(
+                together[:, j], ridge_solution(A, B[:, j], 0.5), atol=1e-12
+            )
+
+    def test_singular_gram_falls_back_to_lstsq(self, rng):
+        # rank-deficient A with alpha=0: the Gram matrix is singular,
+        # Cholesky must fail, and the minimum-norm solution comes back
+        A = rng.standard_normal((20, 6))
+        A[:, 3] = A[:, 0] + A[:, 1]  # exact linear dependence
+        b = rng.standard_normal(20)
+        x = ridge_solution(A, b, 0.0)
+        assert np.all(np.isfinite(x))
+        # optimality of the least-squares fit
+        assert np.abs(A.T @ (A @ x - b)).max() < 1e-8
