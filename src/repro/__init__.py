@@ -27,6 +27,12 @@ Quickstart::
 """
 
 from repro.baselines import IDRQR, LDA, PCA, RLDA, RidgeClassifier
+from repro.exceptions import (
+    ContractViolationError,
+    ConvergenceError,
+    InvariantViolationError,
+    ReproError,
+)
 from repro.core import (
     KernelSRDA,
     SemiSupervisedSRDA,
@@ -43,9 +49,13 @@ __version__ = "1.0.0"
 
 __all__ = [
     "CSRMatrix",
+    "ContractViolationError",
+    "ConvergenceError",
     "CorruptCacheError",
     "Dataset",
     "FitReport",
+    "InvariantViolationError",
+    "ReproError",
     "IDRQR",
     "KernelSRDA",
     "LDA",

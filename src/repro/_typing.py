@@ -1,0 +1,66 @@
+"""Shared numpy typing aliases for the typed public surface.
+
+The numeric contracts PR 2 committed to — float32 propagating end to
+end, operators always returning 1-D/2-D float arrays of the declared
+value dtype — only become machine-checkable once the signatures say
+them.  These aliases are the vocabulary those signatures use; keeping
+them in one private module means the whole package agrees on what "a
+float vector" is, and a future dtype-policy change touches one file.
+
+Conventions
+-----------
+- ``FloatArray`` is the working type of every kernel: a real floating
+  ndarray whose dtype is one of the supported *value dtypes* (float64,
+  or float32 on the low-memory path — see
+  :func:`repro.linalg.sparse.as_value_dtype`).
+- ``Float64Array`` is for quantities deliberately accumulated in double
+  precision regardless of the data dtype (norm estimates, scalar QR
+  recurrences, condition numbers).
+- ``MatrixLike`` is what user-facing entry points accept: anything
+  :func:`repro.linalg.operators.as_operator` can wrap.  It is spelled
+  ``Any`` rather than a Union because scipy.sparse has no type stubs;
+  the runtime check lives in ``as_operator`` itself.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple, Union
+
+import numpy as np
+from numpy.typing import ArrayLike, DTypeLike, NDArray
+
+__all__ = [
+    "ArrayLike",
+    "BoolArray",
+    "DTypeLike",
+    "Float64Array",
+    "FloatArray",
+    "FloatDType",
+    "IntArray",
+    "MatrixLike",
+    "NDArray",
+    "Shape2D",
+]
+
+#: Any real floating ndarray (float32 or float64 in practice).
+FloatArray = NDArray[np.floating[Any]]
+
+#: Double-precision ndarray — deliberate float64 accumulation.
+Float64Array = NDArray[np.float64]
+
+#: Integer index arrays (int64 throughout the CSR substrate).
+IntArray = NDArray[np.integer[Any]]
+
+#: Boolean masks.
+BoolArray = NDArray[np.bool_]
+
+#: The dtype object of a value-dtype array.
+FloatDType = np.dtype[np.floating[Any]]
+
+#: ``(n_rows, n_cols)`` of an operator or matrix.
+Shape2D = Tuple[int, int]
+
+#: Anything accepted where a data matrix is expected: dense array-likes,
+#: our CSRMatrix, scipy.sparse matrices (unstubbed, hence Any), or a
+#: LinearOperator.  Validated at runtime by ``as_operator``.
+MatrixLike = Union[ArrayLike, Any]

@@ -1,0 +1,42 @@
+"""repro.analysis — static and runtime checking of numeric contracts.
+
+PR 1 and PR 2 made correctness promises that ordinary tests cannot keep
+watch over as the codebase grows: every operator must satisfy the
+adjoint identity ``⟨Ax, u⟩ = ⟨x, Aᵀu⟩`` (the graph-embedding
+factorization of Theorem 1 silently breaks otherwise), float32 must
+propagate end to end without silent float64 upcasts, and failures must
+flow through the repro exception taxonomy so the guarded fallback
+chains stay precise.  This subsystem turns those implicit contracts
+into checked ones, in two complementary halves:
+
+- **Static** — :mod:`repro.analysis.rules` defines AST lint rules
+  (``RPR001``…) for numeric-kernel hazards; :mod:`repro.analysis.linter`
+  runs them over source trees with per-line
+  ``# repro: noqa-RPRnnn`` suppression; :mod:`repro.analysis.cli` is
+  the ``python -m repro.analysis`` entry point CI gates on.
+- **Runtime** — :mod:`repro.analysis.contracts` probes live operator
+  instances: :func:`verify_operator` checks the adjoint identity,
+  blocked-vs-sequential product agreement, and shape/dtype conformance
+  on random probes, raising
+  :class:`repro.exceptions.ContractViolationError` with every failed
+  check named.
+
+See ``docs/STATIC_ANALYSIS.md`` for the rule catalog and noqa policy.
+"""
+
+from repro.analysis.contracts import ContractCheck, ContractReport, verify_operator
+from repro.analysis.linter import Finding, LintResult, lint_paths, lint_source
+from repro.analysis.rules import DEFAULT_RULES, Rule, rule_catalog
+
+__all__ = [
+    "ContractCheck",
+    "ContractReport",
+    "DEFAULT_RULES",
+    "Finding",
+    "LintResult",
+    "Rule",
+    "lint_paths",
+    "lint_source",
+    "rule_catalog",
+    "verify_operator",
+]

@@ -1,0 +1,129 @@
+"""Command-line front end: ``python -m repro.analysis [paths...]``.
+
+Exit status is the CI contract: 0 when no findings survive suppression,
+1 when any finding is reported, 2 on usage errors.  The JSON reporter
+(``--format json``) emits a machine-readable document for tooling; the
+text reporter prints one ``path:line:col: RPRnnn message`` line per
+finding plus a summary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, TextIO
+
+from repro.analysis.linter import LintResult, lint_paths
+from repro.analysis.rules import DEFAULT_RULES, rule_catalog
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "Numeric-contract linter: AST rules (RPR001...) guarding the "
+            "kernel invariants this reproduction depends on.  See "
+            "docs/STATIC_ANALYSIS.md for the catalog and noqa policy."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="IDS",
+        help="comma-separated rule IDs to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="IDS",
+        help="comma-separated rule IDs to skip",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    parser.add_argument(
+        "--explain",
+        metavar="ID",
+        help="print one rule's summary and rationale and exit",
+    )
+    return parser
+
+
+def _split_codes(raw: Optional[str]) -> Optional[List[str]]:
+    if raw is None:
+        return None
+    return [code.strip() for code in raw.split(",") if code.strip()]
+
+
+def _report_text(result: LintResult, stream: TextIO) -> None:
+    for finding in result.findings:
+        stream.write(
+            f"{finding.location}: {finding.rule_id} {finding.message}\n"
+        )
+    stream.write(
+        f"{len(result.findings)} finding(s), "
+        f"{result.n_suppressed} suppressed, "
+        f"{result.n_files} file(s) checked\n"
+    )
+
+
+def _report_json(result: LintResult, stream: TextIO) -> None:
+    document = {
+        "findings": [finding.to_dict() for finding in result.findings],
+        "n_findings": len(result.findings),
+        "n_suppressed": result.n_suppressed,
+        "n_files": result.n_files,
+    }
+    json.dump(document, stream, indent=2, sort_keys=True)
+    stream.write("\n")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(rule_catalog())
+        return 0
+    if args.explain:
+        wanted = args.explain.upper()
+        for rule in DEFAULT_RULES:
+            if rule.rule_id == wanted:
+                print(f"{rule.rule_id} ({rule.name})")
+                print(f"  {rule.summary}")
+                print(f"  rationale: {rule.rationale}")
+                return 0
+        print(f"unknown rule {args.explain!r}", file=sys.stderr)
+        return 2
+
+    missing = [path for path in args.paths if not Path(path).exists()]
+    if missing:
+        print(f"no such path(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    result = lint_paths(
+        [Path(path) for path in args.paths],
+        select=_split_codes(args.select),
+        ignore=_split_codes(args.ignore),
+    )
+    if args.format == "json":
+        _report_json(result, sys.stdout)
+    else:
+        _report_text(result, sys.stdout)
+    return 0 if result.ok else 1

@@ -1,0 +1,348 @@
+"""Runtime numeric contracts for linear operators.
+
+The static rules (:mod:`repro.analysis.rules`) catch structural
+hazards; this module checks the *numbers*.  Every operator in the
+package promises:
+
+1. **Adjoint identity** — ``⟨A v, u⟩ = ⟨v, Aᵀ u⟩`` for all probes.
+   This is what makes ``rmatvec`` actually the transpose LSQR assumes,
+   and what the graph-embedding factorization of Theorem 1 rests on.
+2. **Block/column agreement** — ``matmat(B)`` equals the column-by-
+   column ``matvec`` sweep (up to summation-order rounding), so the
+   blocked solver of PR 2 is a pure performance change, never a
+   semantic one.  Likewise ``rmatmat``.
+3. **Shape conformance** — products have the shapes the operator's
+   ``shape`` declares.
+4. **Dtype conformance** — probing in the operator's declared value
+   dtype returns that dtype: no silent float64 upcast on the float32
+   path, and ``op.dtype`` never lies about what products will be.
+
+:func:`verify_operator` runs all four on random probes and either
+returns a :class:`ContractReport` or raises
+:class:`repro.exceptions.ContractViolationError` naming every failed
+check.  The hypothesis suite in ``tests/analysis/test_contracts.py``
+drives it across every shipped operator class and both value dtypes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Union
+
+import numpy as np
+
+from repro._typing import FloatArray
+from repro.exceptions import ContractViolationError
+from repro.linalg.operators import LinearOperator, as_operator
+
+__all__ = ["ContractCheck", "ContractReport", "verify_operator"]
+
+#: Default probe count per direction.
+_DEFAULT_PROBES = 3
+
+#: Default dense block width for the matmat agreement checks.
+_DEFAULT_BLOCK_WIDTH = 3
+
+
+@dataclass(frozen=True)
+class ContractCheck:
+    """One contract check: what was checked and how it went."""
+
+    name: str
+    passed: bool
+    detail: str = ""
+
+    def __str__(self) -> str:
+        status = "ok" if self.passed else "FAIL"
+        suffix = f" ({self.detail})" if self.detail else ""
+        return f"{self.name}: {status}{suffix}"
+
+
+@dataclass
+class ContractReport:
+    """All checks run against one operator instance."""
+
+    operator: str
+    shape: "tuple[int, int]"
+    dtype: str
+    checks: List[ContractCheck] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(check.passed for check in self.checks)
+
+    @property
+    def failures(self) -> List[str]:
+        return [str(check) for check in self.checks if not check.passed]
+
+    def add(self, name: str, passed: bool, detail: str = "") -> None:
+        self.checks.append(ContractCheck(name, bool(passed), detail))
+
+    def summary(self) -> str:
+        n_failed = len(self.failures)
+        return (
+            f"ContractReport({self.operator}, shape={self.shape}, "
+            f"dtype={self.dtype}: {len(self.checks)} checks, "
+            f"{n_failed} failed)"
+        )
+
+    def __str__(self) -> str:
+        return self.summary()
+
+
+def _f64(array: FloatArray) -> FloatArray:
+    return np.asarray(array, dtype=np.float64)
+
+
+def _rel_gap(lhs: float, rhs: float, scale: float) -> float:
+    denom = max(abs(lhs), abs(rhs), scale, np.finfo(np.float64).tiny)
+    return abs(lhs - rhs) / denom
+
+
+def _max_col_gap(A: FloatArray, B: FloatArray) -> float:
+    """Worst per-column relative difference between two blocks."""
+    A64, B64 = _f64(A), _f64(B)
+    if A64.size == 0:
+        return 0.0
+    diff = np.linalg.norm(A64 - B64, axis=0)
+    scale = np.maximum(
+        np.maximum(np.linalg.norm(A64, axis=0), np.linalg.norm(B64, axis=0)),
+        1.0,
+    )
+    return float(np.max(diff / scale))
+
+
+def verify_operator(
+    op: Union[LinearOperator, Any],
+    n_probes: int = _DEFAULT_PROBES,
+    block_width: int = _DEFAULT_BLOCK_WIDTH,
+    rng: Optional[Union[int, np.random.Generator]] = None,
+    rtol: Optional[float] = None,
+    raise_on_failure: bool = True,
+) -> ContractReport:
+    """Check an operator against the numeric contracts on random probes.
+
+    Parameters
+    ----------
+    op:
+        A :class:`~repro.linalg.operators.LinearOperator`, or anything
+        :func:`~repro.linalg.operators.as_operator` accepts.
+    n_probes:
+        Independent probe vectors per direction for the adjoint and
+        mat-vec checks.
+    block_width:
+        Column count of the dense blocks used for the
+        ``matmat``/``rmatmat`` agreement checks (skipped when 0).
+    rng:
+        Seed or :class:`numpy.random.Generator`; default is a fixed
+        seed, so bare calls are deterministic.
+    rtol:
+        Relative tolerance for the numeric comparisons.  Defaults to
+        ``10_000 · eps`` of the operator's value dtype — loose enough
+        for summation-order differences between blocked and sequential
+        kernels, tight enough that a wrong adjoint (any systematic
+        error) fails immediately.
+    raise_on_failure:
+        When True (default) raise
+        :class:`~repro.exceptions.ContractViolationError` if any check
+        fails; otherwise return the report for inspection.
+
+    Returns
+    -------
+    ContractReport
+        Every check run, with pass/fail and numeric details.
+
+    Notes
+    -----
+    Probes are drawn in the operator's declared ``dtype``; inner
+    products are accumulated in float64 regardless, so the comparison
+    tolerance reflects the operator's arithmetic, not the checker's.
+    The operator's product counters are restored afterwards, so
+    verification does not perturb complexity accounting.
+    """
+    operator = op if isinstance(op, LinearOperator) else as_operator(op)
+    m, n = operator.shape
+    dtype = np.dtype(operator.dtype)
+    if rng is None or isinstance(rng, int):
+        rng = np.random.default_rng(0 if rng is None else rng)
+    if rtol is None:
+        rtol = 10_000 * float(np.finfo(dtype).eps)
+
+    report = ContractReport(
+        operator=type(operator).__name__,
+        shape=(int(m), int(n)),
+        dtype=str(dtype),
+    )
+
+    counters = (
+        operator.n_matvec,
+        operator.n_rmatvec,
+        operator.n_matmat,
+        operator.n_rmatmat,
+    )
+    try:
+        _run_checks(operator, report, n_probes, block_width, rng, rtol)
+    finally:
+        (
+            operator.n_matvec,
+            operator.n_rmatvec,
+            operator.n_matmat,
+            operator.n_rmatmat,
+        ) = counters
+
+    if raise_on_failure and not report.ok:
+        raise ContractViolationError(
+            f"{report.operator} violates numeric contracts: "
+            + "; ".join(report.failures),
+            failures=report.failures,
+        )
+    return report
+
+
+def _run_checks(
+    operator: LinearOperator,
+    report: ContractReport,
+    n_probes: int,
+    block_width: int,
+    rng: np.random.Generator,
+    rtol: float,
+) -> None:
+    m, n = operator.shape
+    dtype = np.dtype(operator.dtype)
+
+    def probe(size: int) -> FloatArray:
+        return rng.standard_normal(size).astype(dtype, copy=False)
+
+    for i in range(max(n_probes, 1)):
+        v = probe(n)
+        u = probe(m)
+        # The verifier must survive arbitrary misbehavior in the operator
+        # under test — a crash is itself a contract violation to report.
+        try:
+            Av = operator.matvec(v)
+            Atu = operator.rmatvec(u)
+        except Exception as exc:  # repro: noqa-RPR002
+            report.add(
+                f"matvec-call[{i}]",
+                False,
+                f"product raised {type(exc).__name__}: {exc}",
+            )
+            return
+
+        report.add(
+            f"matvec-shape[{i}]",
+            Av.shape == (m,),
+            f"got {Av.shape}, want ({m},)",
+        )
+        report.add(
+            f"rmatvec-shape[{i}]",
+            Atu.shape == (n,),
+            f"got {Atu.shape}, want ({n},)",
+        )
+        report.add(
+            f"matvec-dtype[{i}]",
+            np.dtype(Av.dtype) == dtype,
+            f"got {Av.dtype}, declared {dtype} — silent upcast/downcast",
+        )
+        report.add(
+            f"rmatvec-dtype[{i}]",
+            np.dtype(Atu.dtype) == dtype,
+            f"got {Atu.dtype}, declared {dtype} — silent upcast/downcast",
+        )
+        report.add(
+            f"matvec-finite[{i}]",
+            bool(np.all(np.isfinite(Av))),
+            "non-finite entries in A @ v for a finite probe",
+        )
+        report.add(
+            f"rmatvec-finite[{i}]",
+            bool(np.all(np.isfinite(Atu))),
+            "non-finite entries in A.T @ u for a finite probe",
+        )
+
+        if Av.shape != (m,) or Atu.shape != (n,):
+            # Shapes already reported above; the remaining comparisons
+            # are undefined against misshapen products.
+            return
+
+        lhs = float(_f64(u) @ _f64(Av))
+        rhs = float(_f64(v) @ _f64(Atu))
+        scale = float(
+            np.linalg.norm(_f64(u)) * np.linalg.norm(_f64(Av))
+            + np.linalg.norm(_f64(v)) * np.linalg.norm(_f64(Atu))
+        )
+        gap = _rel_gap(lhs, rhs, scale)
+        # Degenerate operators (e.g. centering a single row) produce
+        # products that are pure cancellation noise; when both sides are
+        # below rounding level at probe scale, the identity holds as
+        # well as arithmetic can show.
+        probe_scale = float(
+            np.linalg.norm(_f64(u)) * np.linalg.norm(_f64(v))
+        )
+        noise_floor = max(abs(lhs), abs(rhs)) <= rtol * probe_scale
+        report.add(
+            f"adjoint-identity[{i}]",
+            gap <= rtol or noise_floor,
+            f"<Av,u>={lhs:.6g} vs <v,Atu>={rhs:.6g}, "
+            f"relative gap {gap:.3g} > rtol {rtol:.3g}",
+        )
+
+    if block_width > 0:
+        B = rng.standard_normal((n, block_width)).astype(dtype, copy=False)
+        U = rng.standard_normal((m, block_width)).astype(dtype, copy=False)
+        try:
+            AB = operator.matmat(B)
+            AtU = operator.rmatmat(U)
+        except Exception as exc:  # repro: noqa-RPR002
+            report.add(
+                "matmat-call",
+                False,
+                f"block product raised {type(exc).__name__}: {exc}",
+            )
+            return
+
+        report.add(
+            "matmat-shape",
+            AB.shape == (m, block_width),
+            f"got {AB.shape}, want ({m}, {block_width})",
+        )
+        report.add(
+            "rmatmat-shape",
+            AtU.shape == (n, block_width),
+            f"got {AtU.shape}, want ({n}, {block_width})",
+        )
+        report.add(
+            "matmat-dtype",
+            np.dtype(AB.dtype) == dtype,
+            f"got {AB.dtype}, declared {dtype} — silent upcast/downcast",
+        )
+        report.add(
+            "rmatmat-dtype",
+            np.dtype(AtU.dtype) == dtype,
+            f"got {AtU.dtype}, declared {dtype} — silent upcast/downcast",
+        )
+
+        if AB.shape == (m, block_width):
+            columns = np.stack(
+                [operator.matvec(B[:, j]) for j in range(block_width)],
+                axis=1,
+            )
+            gap = _max_col_gap(AB, columns)
+            report.add(
+                "matmat-vs-matvec",
+                gap <= rtol,
+                f"blocked vs per-column forward products differ by "
+                f"{gap:.3g} > rtol {rtol:.3g}",
+            )
+        if AtU.shape == (n, block_width):
+            columns = np.stack(
+                [operator.rmatvec(U[:, j]) for j in range(block_width)],
+                axis=1,
+            )
+            gap = _max_col_gap(AtU, columns)
+            report.add(
+                "rmatmat-vs-rmatvec",
+                gap <= rtol,
+                f"blocked vs per-column adjoint products differ by "
+                f"{gap:.3g} > rtol {rtol:.3g}",
+            )

@@ -1,0 +1,194 @@
+"""The lint driver: parse files, run rules, honor noqa suppressions.
+
+Suppression syntax (checked per physical line)::
+
+    risky_call()  # repro: noqa-RPR002
+    other_call()  # repro: noqa-RPR001,RPR004
+    anything()    # repro: noqa
+
+The bare form suppresses every rule on that line; the coded form only
+the listed rules.  Suppressions are counted and reported so a tree
+accumulating noqa comments is visible in CI output.
+
+Files that fail to parse are reported as ``RPR000`` findings rather
+than crashing the run — a syntax error in a kernel module is the most
+severe finding there is.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.rules import DEFAULT_RULES, Finding, Rule
+
+__all__ = [
+    "Finding",
+    "LintResult",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+]
+
+#: Matches ``# repro: noqa`` and ``# repro: noqa-RPR001,RPR002``.
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:-(?P<codes>RPR\d{3}(?:\s*,\s*RPR\d{3})*))?",
+    re.IGNORECASE,
+)
+
+#: Directory names never descended into.
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".hypothesis", ".pytest_cache"})
+
+#: Suppress-everything sentinel in the per-line noqa table.
+_ALL = "*"
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run over a set of paths."""
+
+    findings: List[Finding] = field(default_factory=list)
+    n_files: int = 0
+    n_suppressed: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def sorted_findings(self) -> List[Finding]:
+        return sorted(
+            self.findings, key=lambda f: (f.path, f.line, f.col, f.rule_id)
+        )
+
+
+def _noqa_table(source: str) -> Dict[int, Set[str]]:
+    """Line number → set of suppressed rule IDs (``{'*'}`` = all)."""
+    table: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        if "#" not in line or "noqa" not in line:
+            continue
+        match = _NOQA_RE.search(line)
+        if match is None:
+            continue
+        codes = match.group("codes")
+        if codes is None:
+            table[lineno] = {_ALL}
+        else:
+            table[lineno] = {
+                code.strip().upper() for code in codes.split(",")
+            }
+    return table
+
+
+def _suppressed(finding: Finding, table: Dict[int, Set[str]]) -> bool:
+    codes = table.get(finding.line)
+    if codes is None:
+        return False
+    return _ALL in codes or finding.rule_id in codes
+
+
+def lint_source(
+    source: str,
+    path: str,
+    rules: Optional[Sequence[Rule]] = None,
+) -> Tuple[List[Finding], int]:
+    """Lint one source string; returns ``(findings, n_suppressed)``.
+
+    ``path`` determines rule scoping (kernel-module rules, package
+    scoping) and is echoed into findings; it need not exist on disk —
+    the fixture tests lint in-memory snippets under synthetic paths.
+    """
+    active = [
+        rule
+        for rule in (DEFAULT_RULES if rules is None else rules)
+        if rule.applies_to(path)
+    ]
+    if not active:
+        return [], 0
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return (
+            [
+                Finding(
+                    path=path,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 0) + 1,
+                    rule_id="RPR000",
+                    message=f"syntax error: {exc.msg}",
+                )
+            ],
+            0,
+        )
+    table = _noqa_table(source)
+    findings: List[Finding] = []
+    n_suppressed = 0
+    for rule in active:
+        for finding in rule.check(tree, path):
+            if _suppressed(finding, table):
+                n_suppressed += 1
+            else:
+                findings.append(finding)
+    return findings, n_suppressed
+
+
+def lint_file(
+    path: Path, rules: Optional[Sequence[Rule]] = None
+) -> Tuple[List[Finding], int]:
+    """Lint one file on disk; returns ``(findings, n_suppressed)``."""
+    source = Path(path).read_text(encoding="utf-8")
+    return lint_source(source, Path(path).as_posix(), rules)
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    """Yield every ``.py`` file under the given files/directories, sorted."""
+    for entry in paths:
+        entry = Path(entry)
+        if entry.is_dir():
+            for candidate in sorted(entry.rglob("*.py")):
+                if _SKIP_DIRS.intersection(candidate.parts):
+                    continue
+                yield candidate
+        elif entry.suffix == ".py":
+            yield entry
+
+
+def lint_paths(
+    paths: Iterable[Path],
+    rules: Optional[Sequence[Rule]] = None,
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> LintResult:
+    """Lint files and directories; the CLI's engine.
+
+    Parameters
+    ----------
+    paths:
+        Files or directory roots to walk.
+    rules:
+        Rule instances to run (default: :data:`DEFAULT_RULES`).
+    select:
+        When given, only rules with these IDs run.
+    ignore:
+        Rule IDs excluded after ``select`` is applied.
+    """
+    active: Sequence[Rule] = tuple(DEFAULT_RULES if rules is None else rules)
+    if select is not None:
+        wanted = {code.upper() for code in select}
+        active = tuple(rule for rule in active if rule.rule_id in wanted)
+    if ignore is not None:
+        dropped = {code.upper() for code in ignore}
+        active = tuple(rule for rule in active if rule.rule_id not in dropped)
+
+    result = LintResult()
+    for file_path in iter_python_files(paths):
+        result.n_files += 1
+        findings, suppressed = lint_file(file_path, active)
+        result.findings.extend(findings)
+        result.n_suppressed += suppressed
+    result.findings = result.sorted_findings()
+    return result

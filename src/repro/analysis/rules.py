@@ -1,0 +1,504 @@
+"""AST lint rules for numeric-kernel hazards.
+
+Each rule is a small AST visitor with a stable ID (``RPR001``…), a
+one-line summary, and a rationale tied to a contract the solvers depend
+on.  Rules are deliberately narrow: they flag the patterns that have
+actually broken (or would silently break) the numerical guarantees of
+this package, not general style.  Anything a rule flags can be
+suppressed per line with ``# repro: noqa-RPRnnn`` — the suppression is
+part of the contract too, because it forces the sanctioned sites to be
+annotated and reviewable.
+
+The rule set:
+
+========  ==============================================================
+RPR001    dtype-literal drift in kernel modules (``dtype=float``,
+          ``np.float64(...)`` casts) — breaks float32 end-to-end
+          propagation.
+RPR002    bare or over-broad ``except`` — swallows the exception
+          taxonomy the guarded fallback chains dispatch on.
+RPR003    raising foreign exception types (``RuntimeError``,
+          ``Exception``) from ``linalg``/``core``/``robustness`` —
+          failures must flow through :mod:`repro.exceptions`.
+RPR004    unseeded global-state ``np.random.*`` calls in ``src/`` —
+          experiments must be reproducible from a recorded seed.
+RPR005    operator classes defining ``matvec`` without ``rmatvec`` (or
+          ``matmat`` without ``rmatmat``) — an adjoint pair with one
+          side missing cannot satisfy ``⟨Ax, u⟩ = ⟨x, Aᵀu⟩`` and LSQR
+          will fall back to a broken default or crash mid-iteration.
+RPR006    mutable default arguments — shared state across calls
+          corrupts per-fit diagnostics.
+========  ==============================================================
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import PurePosixPath
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "DEFAULT_RULES",
+    "Finding",
+    "KERNEL_MODULE_SUFFIXES",
+    "Rule",
+    "rule_catalog",
+    "rules_by_id",
+]
+
+#: Modules holding the memory-bound value-dtype kernels: the files where
+#: a stray dtype literal silently upcasts the whole float32 path.
+KERNEL_MODULE_SUFFIXES: Tuple[str, ...] = (
+    "linalg/sparse.py",
+    "linalg/operators.py",
+    "linalg/lsqr.py",
+    "linalg/block_lsqr.py",
+)
+
+#: Names the numpy module is commonly bound to.
+_NUMPY_ALIASES = frozenset({"np", "numpy"})
+
+#: Legacy global-state sampling functions of ``np.random``.
+_LEGACY_RANDOM = frozenset(
+    {
+        "beta",
+        "binomial",
+        "bytes",
+        "choice",
+        "exponential",
+        "gamma",
+        "multivariate_normal",
+        "normal",
+        "permutation",
+        "poisson",
+        "rand",
+        "randint",
+        "randn",
+        "random",
+        "random_sample",
+        "sample",
+        "seed",
+        "shuffle",
+        "standard_normal",
+        "uniform",
+    }
+)
+
+#: Forward/adjoint product pairs every operator must define together.
+_ADJOINT_PAIRS: Tuple[Tuple[str, str], ...] = (
+    ("matvec", "rmatvec"),
+    ("_matvec", "_rmatvec"),
+    ("matmat", "rmatmat"),
+    ("_matmat", "_rmatmat"),
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint hit: where, which rule, and why."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    @property
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule_id": self.rule_id,
+            "message": self.message,
+        }
+
+
+def _dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _path_parts(path: str) -> Tuple[str, ...]:
+    return PurePosixPath(path.replace("\\", "/")).parts
+
+
+def _in_package_source(parts: Sequence[str]) -> bool:
+    """True for files under the package source (not tests/benchmarks)."""
+    return ("src" in parts or "repro" in parts) and not (
+        "tests" in parts or "benchmarks" in parts
+    )
+
+
+class Rule:
+    """Base class: an identified, scoped AST check.
+
+    Subclasses set the class attributes and implement :meth:`check`,
+    yielding a :class:`Finding` per hit.  :meth:`applies_to` restricts
+    the rule to the paths where its contract is in force; the linter
+    consults it before parsing, so out-of-scope files cost nothing.
+    """
+
+    rule_id: str = ""
+    name: str = ""
+    summary: str = ""
+    rationale: str = ""
+
+    def applies_to(self, path: str) -> bool:
+        return True
+
+    def check(self, tree: ast.AST, path: str) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, path: str, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            path=path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule_id=self.rule_id,
+            message=message,
+        )
+
+
+class DtypeLiteralDriftRule(Rule):
+    """RPR001 — dtype literals that silently upcast the float32 path."""
+
+    rule_id = "RPR001"
+    name = "dtype-literal-drift"
+    summary = (
+        "kernel module hardcodes a drifting dtype literal (dtype=float, "
+        "dtype='float', or an np.float64(...) cast) instead of "
+        "propagating the value dtype"
+    )
+    rationale = (
+        "The memory-bound kernels run at half the traffic on float32 "
+        "data, but only if every intermediate preserves the value dtype "
+        "(see repro.linalg.sparse.as_value_dtype).  `dtype=float` and "
+        "np.float64(...) casts re-introduce float64 silently.  "
+        "Deliberate double-precision accumulation is still allowed — "
+        "spell it `dtype=np.float64` to make the intent visible."
+    )
+
+    def applies_to(self, path: str) -> bool:
+        posix = "/".join(_path_parts(path))
+        return posix.endswith(KERNEL_MODULE_SUFFIXES)
+
+    def check(self, tree: ast.AST, path: str) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func_name = _dotted_name(node.func)
+            if func_name is not None:
+                head, _, tail = func_name.rpartition(".")
+                if tail == "float64" and head in _NUMPY_ALIASES:
+                    yield self.finding(
+                        path,
+                        node,
+                        "np.float64(...) cast in a kernel module; "
+                        "propagate the operand's value dtype (or use "
+                        "dtype=np.float64 where double accumulation is "
+                        "deliberate)",
+                    )
+            for keyword in node.keywords:
+                if keyword.arg != "dtype":
+                    continue
+                value = keyword.value
+                is_builtin_float = (
+                    isinstance(value, ast.Name) and value.id == "float"
+                )
+                is_float_string = (
+                    isinstance(value, ast.Constant)
+                    and isinstance(value.value, str)
+                    and value.value == "float"
+                )
+                if is_builtin_float or is_float_string:
+                    yield self.finding(
+                        path,
+                        keyword.value,
+                        "dtype=float in a kernel module silently means "
+                        "float64; propagate the value dtype or spell "
+                        "dtype=np.float64 if double precision is "
+                        "deliberate",
+                    )
+
+
+class OverBroadExceptRule(Rule):
+    """RPR002 — bare/over-broad ``except`` clauses."""
+
+    rule_id = "RPR002"
+    name = "over-broad-except"
+    summary = "bare `except:` or `except Exception` handler"
+    rationale = (
+        "The guarded fallback chains dispatch on a strict exception "
+        "taxonomy (repro.exceptions).  A broad handler swallows "
+        "InjectedFaultError, SolverFailure, and NotPositiveDefiniteError "
+        "alike, turning a documented degradation path into silent "
+        "garbage.  The sanctioned broad sites (the CLI boundary, the "
+        "experiment retry harness) carry an annotated noqa."
+    )
+
+    _BROAD = frozenset({"Exception", "BaseException"})
+
+    def check(self, tree: ast.AST, path: str) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    path,
+                    node,
+                    "bare `except:` catches everything including "
+                    "KeyboardInterrupt; name the exception types",
+                )
+                continue
+            for exc in self._exception_names(node.type):
+                if exc in self._BROAD or exc.split(".")[-1] in self._BROAD:
+                    yield self.finding(
+                        path,
+                        node,
+                        f"`except {exc}` is over-broad; catch the "
+                        "specific repro exception types (or annotate a "
+                        "sanctioned boundary with "
+                        "`# repro: noqa-RPR002`)",
+                    )
+
+    @staticmethod
+    def _exception_names(node: ast.AST) -> List[str]:
+        elts = node.elts if isinstance(node, ast.Tuple) else [node]
+        names = []
+        for elt in elts:
+            dotted = _dotted_name(elt)
+            if dotted is not None:
+                names.append(dotted)
+        return names
+
+
+class ForeignExceptionRule(Rule):
+    """RPR003 — foreign exception types raised from numeric packages."""
+
+    rule_id = "RPR003"
+    name = "foreign-exception"
+    summary = (
+        "numeric package raises RuntimeError/Exception instead of a "
+        "repro exception type"
+    )
+    rationale = (
+        "PR 1's fallback chains catch repro types precisely; a bare "
+        "RuntimeError from linalg/core/robustness either escapes the "
+        "chain or forces callers into over-broad handlers (RPR002).  "
+        "Raise a member of repro.exceptions — ConvergenceError, "
+        "InvariantViolationError, SolverFailure, ... — instead.  "
+        "Builtin argument-validation errors (ValueError, TypeError, "
+        "IndexError) remain fine: they mean caller error, not numeric "
+        "failure."
+    )
+
+    _FOREIGN = frozenset({"Exception", "BaseException", "RuntimeError"})
+    _PACKAGES = frozenset({"linalg", "core", "robustness"})
+
+    def applies_to(self, path: str) -> bool:
+        parts = _path_parts(path)
+        return (
+            "repro" in parts
+            and "tests" not in parts
+            and bool(self._PACKAGES.intersection(parts))
+        )
+
+    def check(self, tree: ast.AST, path: str) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            exc = node.exc
+            if isinstance(exc, ast.Call):
+                exc = exc.func
+            dotted = _dotted_name(exc)
+            if dotted is not None and dotted in self._FOREIGN:
+                yield self.finding(
+                    path,
+                    node,
+                    f"raise of foreign type {dotted} from a numeric "
+                    "package; use a repro.exceptions type so the "
+                    "guarded fallback chains can dispatch on it",
+                )
+
+
+class UnseededRandomRule(Rule):
+    """RPR004 — global-state ``np.random`` calls in package source."""
+
+    rule_id = "RPR004"
+    name = "unseeded-random"
+    summary = (
+        "call into the legacy global-state np.random API (or a seedless "
+        "default_rng()/SeedSequence())"
+    )
+    rationale = (
+        "Every figure and table in the reproduction must be replayable "
+        "from a recorded seed.  Legacy np.random.* functions share "
+        "hidden global state across the whole process; a seedless "
+        "default_rng() draws OS entropy.  Thread an explicit "
+        "np.random.Generator (or an integer seed) through instead."
+    )
+
+    def applies_to(self, path: str) -> bool:
+        return _in_package_source(_path_parts(path))
+
+    def check(self, tree: ast.AST, path: str) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted_name(node.func)
+            if dotted is None:
+                continue
+            parts = dotted.split(".")
+            is_np_random = (
+                len(parts) == 3
+                and parts[0] in _NUMPY_ALIASES
+                and parts[1] == "random"
+            )
+            if is_np_random and parts[2] in _LEGACY_RANDOM:
+                yield self.finding(
+                    path,
+                    node,
+                    f"{dotted}() uses the legacy shared global RNG; "
+                    "pass an explicit np.random.Generator",
+                )
+                continue
+            seedless_ctor = (
+                is_np_random and parts[2] in ("default_rng", "SeedSequence")
+            ) or (
+                len(parts) == 1 and parts[0] in ("default_rng", "SeedSequence")
+            )
+            if (
+                seedless_ctor
+                and not node.args
+                and not node.keywords
+            ):
+                yield self.finding(
+                    path,
+                    node,
+                    f"{dotted}() without a seed draws OS entropy; "
+                    "runs become unreproducible — pass a seed",
+                )
+
+
+class MissingAdjointRule(Rule):
+    """RPR005 — operator classes with half an adjoint pair."""
+
+    rule_id = "RPR005"
+    name = "missing-adjoint"
+    summary = (
+        "class defines matvec without rmatvec (or matmat without "
+        "rmatmat)"
+    )
+    rationale = (
+        "LSQR touches the data only through the pair (A@v, A.T@u); the "
+        "graph-embedding factorization of Theorem 1 assumes the two are "
+        "true adjoints.  A class shipping one side of a pair either "
+        "crashes mid-iteration or silently inherits a base "
+        "implementation that is NOT the adjoint of its override.  "
+        "Define both (and validate with "
+        "repro.analysis.contracts.verify_operator)."
+    )
+
+    def check(self, tree: ast.AST, path: str) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            methods = {
+                item.name
+                for item in node.body
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            for forward, adjoint in _ADJOINT_PAIRS:
+                if forward in methods and adjoint not in methods:
+                    yield self.finding(
+                        path,
+                        node,
+                        f"class {node.name} defines {forward} but not "
+                        f"{adjoint}; the adjoint identity "
+                        "<Ax, u> = <x, A^T u> cannot hold against an "
+                        "inherited fallback",
+                    )
+                elif adjoint in methods and forward not in methods:
+                    yield self.finding(
+                        path,
+                        node,
+                        f"class {node.name} defines {adjoint} but not "
+                        f"{forward}; define the pair together so the "
+                        "adjoint identity stays checkable",
+                    )
+
+
+class MutableDefaultRule(Rule):
+    """RPR006 — mutable default arguments."""
+
+    rule_id = "RPR006"
+    name = "mutable-default"
+    summary = "function default argument is a mutable object"
+    rationale = (
+        "Defaults are evaluated once; a list/dict/set default is shared "
+        "by every call.  For estimators this corrupts per-fit "
+        "diagnostics (one fit_report_ accumulating another fit's "
+        "warnings).  Use None and create the object in the body."
+    )
+
+    _MUTABLE_CALLS = frozenset({"list", "dict", "set"})
+
+    def check(self, tree: ast.AST, path: str) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if self._is_mutable(default):
+                    yield self.finding(
+                        path,
+                        default,
+                        f"mutable default in {node.name}(); use None "
+                        "and construct inside the body",
+                    )
+
+    def _is_mutable(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+            return True
+        if isinstance(node, ast.Call):
+            dotted = _dotted_name(node.func)
+            return dotted in self._MUTABLE_CALLS
+        return False
+
+
+#: The shipped rule set, in ID order.
+DEFAULT_RULES: Tuple[Rule, ...] = (
+    DtypeLiteralDriftRule(),
+    OverBroadExceptRule(),
+    ForeignExceptionRule(),
+    UnseededRandomRule(),
+    MissingAdjointRule(),
+    MutableDefaultRule(),
+)
+
+
+def rules_by_id() -> Dict[str, Rule]:
+    """Map rule ID → rule instance for the default set."""
+    return {rule.rule_id: rule for rule in DEFAULT_RULES}
+
+
+def rule_catalog() -> str:
+    """Human-readable catalog of the default rules (for ``--list-rules``)."""
+    lines = []
+    for rule in DEFAULT_RULES:
+        lines.append(f"{rule.rule_id} ({rule.name}): {rule.summary}")
+    return "\n".join(lines)

@@ -148,14 +148,15 @@ def cmd_info(_args) -> int:
     print(f"repro {repro.__version__} — SRDA (ICDE 2008) reproduction")
     non_estimators = (
         "CSRMatrix",
-        "CorruptCacheError",
         "Dataset",
         "FitReport",
         "RobustnessWarning",
     )
     print("estimators: " + ", ".join(
         name for name in repro.__all__
-        if name[0].isupper() and name not in non_estimators
+        if name[0].isupper()
+        and name not in non_estimators
+        and not name.endswith("Error")
     ))
     print("datasets:   pie, isolet, mnist, news (synthetic, Table II shapes)")
     print("run 'python -m repro bench --help' to reproduce a table")

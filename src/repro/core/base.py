@@ -22,15 +22,18 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro._typing import FloatArray
+
+from repro.exceptions import ReproError
 from repro.linalg.sparse import CSRMatrix, is_sparse
 from repro.robustness import RobustnessWarning
 
 
-class NotFittedError(RuntimeError):
+class NotFittedError(ReproError, RuntimeError):
     """Raised when ``transform``/``predict`` is called before ``fit``."""
 
 
-def encode_labels(y) -> Tuple[np.ndarray, np.ndarray]:
+def encode_labels(y) -> Tuple[FloatArray, FloatArray]:
     """Map arbitrary labels to contiguous indices.
 
     Returns ``(classes, y_indices)`` where ``classes`` is the sorted array
@@ -44,26 +47,26 @@ def encode_labels(y) -> Tuple[np.ndarray, np.ndarray]:
     return classes, y_indices
 
 
-def class_counts(y_indices: np.ndarray, n_classes: int) -> np.ndarray:
+def class_counts(y_indices: FloatArray, n_classes: int) -> FloatArray:
     """Number of samples per class (the paper's ``m_k``)."""
     return np.bincount(y_indices, minlength=n_classes)
 
 
-def _format_indices(indices: np.ndarray, limit: int = 5) -> str:
+def _format_indices(indices: FloatArray, limit: int = 5) -> str:
     shown = ", ".join(str(int(i)) for i in indices[:limit])
     if indices.shape[0] > limit:
         shown += f", ... ({indices.shape[0]} total)"
     return "[" + shown + "]"
 
 
-def _nonfinite_message(rows: np.ndarray, cols: np.ndarray, count: int) -> str:
+def _nonfinite_message(rows: FloatArray, cols: FloatArray, count: int) -> str:
     return (
         f"X contains {count} NaN/infinity entries in rows "
         f"{_format_indices(rows)} and columns {_format_indices(cols)}"
     )
 
 
-def _sparse_nonfinite_location(X) -> Tuple[np.ndarray, np.ndarray, int]:
+def _sparse_nonfinite_location(X) -> Tuple[FloatArray, FloatArray, int]:
     """(bad rows, bad cols, count) for a CSR-like matrix's data array."""
     csr = X if isinstance(X, CSRMatrix) else X.tocsr()
     bad = np.flatnonzero(~np.isfinite(csr.data))
@@ -103,7 +106,7 @@ def _handle_nonfinite(X, on_invalid: str):
 
 def validate_data(
     X, y, *, on_invalid: str = "raise", min_classes: int = 2
-) -> Tuple[object, np.ndarray, np.ndarray]:
+) -> Tuple[object, FloatArray, FloatArray]:
     """Validate a training pair and encode the labels.
 
     Returns ``(X, classes, y_indices)``.  ``X`` passes through unchanged
@@ -149,7 +152,7 @@ def validate_data(
     return X, classes, y_indices
 
 
-def as_dense(X) -> np.ndarray:
+def as_dense(X) -> FloatArray:
     """Densify sparse inputs (for baselines that cannot avoid it)."""
     if isinstance(X, CSRMatrix):
         return X.to_dense()
@@ -170,10 +173,10 @@ class LinearEmbedder:
       in the embedded space, used by :meth:`predict`.
     """
 
-    components_: Optional[np.ndarray] = None
-    intercept_: Optional[np.ndarray] = None
-    classes_: Optional[np.ndarray] = None
-    centroids_: Optional[np.ndarray] = None
+    components_: Optional[FloatArray] = None
+    intercept_: Optional[FloatArray] = None
+    classes_: Optional[FloatArray] = None
+    centroids_: Optional[FloatArray] = None
 
     def _check_fitted(self) -> None:
         if self.components_ is None:
@@ -184,7 +187,7 @@ class LinearEmbedder:
     def fit(self, X, y) -> "LinearEmbedder":
         raise NotImplementedError
 
-    def transform(self, X) -> np.ndarray:
+    def transform(self, X) -> FloatArray:
         """Project samples into the discriminant subspace."""
         self._check_fitted()
         if isinstance(X, CSRMatrix):
@@ -205,11 +208,11 @@ class LinearEmbedder:
             Z = Z + self.intercept_
         return Z
 
-    def fit_transform(self, X, y) -> np.ndarray:
+    def fit_transform(self, X, y) -> FloatArray:
         """Fit the model and return the training embedding."""
         return self.fit(X, y).transform(X)
 
-    def _store_centroids(self, Z_train: np.ndarray, y_indices: np.ndarray) -> None:
+    def _store_centroids(self, Z_train: FloatArray, y_indices: FloatArray) -> None:
         """Record per-class centroids of the training embedding."""
         n_classes = self.classes_.shape[0]
         d = Z_train.shape[1]
@@ -218,7 +221,7 @@ class LinearEmbedder:
             centroids[k] = Z_train[y_indices == k].mean(axis=0)
         self.centroids_ = centroids
 
-    def predict(self, X) -> np.ndarray:
+    def predict(self, X) -> FloatArray:
         """Nearest-centroid classification in the embedded space."""
         self._check_fitted()
         if self.centroids_ is None:

@@ -31,10 +31,13 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro._typing import FloatArray
+
+from repro.exceptions import InvariantViolationError
 from repro.linalg.gram_schmidt import orthonormalize
 
 
-def indicator_matrix(y_indices: np.ndarray, n_classes: int) -> np.ndarray:
+def indicator_matrix(y_indices: FloatArray, n_classes: int) -> FloatArray:
     """The ``c`` eigenvectors of ``W`` with eigenvalue 1 (Eqn 15).
 
     Column ``k`` is the 0/1 indicator of class ``k``.  (The paper orders
@@ -53,10 +56,10 @@ def indicator_matrix(y_indices: np.ndarray, n_classes: int) -> np.ndarray:
 
 
 def generate_responses(
-    y_indices: np.ndarray,
+    y_indices: FloatArray,
     n_classes: int,
     rng: Optional[np.random.Generator] = None,
-) -> np.ndarray:
+) -> FloatArray:
     """Produce the ``(m, c-1)`` response matrix ``Ȳ = [ȳ¹ … ȳ^{c-1}]``.
 
     Parameters
@@ -94,10 +97,10 @@ def generate_responses(
     stacked = np.hstack([ones, indicators])
     Q, kept = orthonormalize(stacked)
     if kept[0] != 0:  # pragma: no cover - ones always survives first
-        raise RuntimeError("all-ones vector unexpectedly dropped")
+        raise InvariantViolationError("all-ones vector unexpectedly dropped")
     responses = Q[:, 1:]
     if responses.shape[1] != n_classes - 1:
-        raise RuntimeError(
+        raise InvariantViolationError(
             f"expected {n_classes - 1} responses, got {responses.shape[1]}; "
             "the indicator span degenerated (should be impossible when "
             "every class is non-empty)"
@@ -106,8 +109,8 @@ def generate_responses(
 
 
 def response_table(
-    responses: np.ndarray, y_indices: np.ndarray, n_classes: int
-) -> np.ndarray:
+    responses: FloatArray, y_indices: FloatArray, n_classes: int
+) -> FloatArray:
     """Collapse responses to one row per class.
 
     Because each response column is piecewise constant on classes, the
@@ -129,7 +132,7 @@ def response_table(
 
 
 def validate_responses(
-    responses: np.ndarray, y_indices: np.ndarray, atol: float = 1e-8
+    responses: FloatArray, y_indices: FloatArray, atol: float = 1e-8
 ) -> Tuple[float, float]:
     """Check the Eqn-16 invariants; returns (max ones-dot, max cross-dot).
 

@@ -51,6 +51,8 @@ from typing import List, Optional, Union
 
 import numpy as np
 
+from repro._typing import FloatArray
+
 from repro.core.base import LinearEmbedder, validate_data
 from repro.core.responses import generate_responses
 from repro.linalg.block_lsqr import SharedBidiagonalization, block_lsqr
@@ -351,8 +353,8 @@ class SRDA(LinearEmbedder):
     # Ridge solvers shared by both paths
     # ------------------------------------------------------------------
     def _ridge_normal(
-        self, X: np.ndarray, targets: np.ndarray, report: FitReport
-    ) -> np.ndarray:
+        self, X: FloatArray, targets: FloatArray, report: FitReport
+    ) -> FloatArray:
         """Normal equations (Eqn 20), dual (Eqn 21) when wide, on dense X.
 
         Both systems go through :func:`repro.robustness.guarded_solve`,
@@ -385,8 +387,8 @@ class SRDA(LinearEmbedder):
         return solution
 
     def _ridge_lsqr(
-        self, op, targets: np.ndarray, report: FitReport
-    ) -> np.ndarray:
+        self, op, targets: FloatArray, report: FitReport
+    ) -> FloatArray:
         """LSQR with damping √α over all target columns.
 
         The default (``block=True``) carries every column through one

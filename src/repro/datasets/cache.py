@@ -31,6 +31,8 @@ from typing import Dict, Union
 
 import numpy as np
 
+from repro.exceptions import ReproError
+
 from repro.datasets.base import Dataset
 from repro.linalg.sparse import CSRMatrix
 
@@ -43,7 +45,7 @@ _FORMAT_KEYS = {
 }
 
 
-class CorruptCacheError(ValueError):
+class CorruptCacheError(ReproError, ValueError):
     """A cache file is unreadable, incomplete, or fails its checksum.
 
     Subclasses ``ValueError`` so callers that treated load failures as

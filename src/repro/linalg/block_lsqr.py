@@ -32,6 +32,8 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro._typing import BoolArray, FloatArray, IntArray, MatrixLike
+
 from repro.linalg.lsqr import (
     _STAGNATION_FLOOR,
     _STAGNATION_RTOL,
@@ -67,7 +69,7 @@ def _masked_errstate(fn):
     return wrapper
 
 
-def _column_norms(block: np.ndarray) -> np.ndarray:
+def _column_norms(block: FloatArray) -> FloatArray:
     """Per-column 2-norms of a 2-D block, accumulated in float64."""
     return np.sqrt(np.einsum("ij,ij->j", block, block, dtype=np.float64))
 
@@ -82,15 +84,15 @@ class BlockLSQRResult:
     the sequential solver would have reported for column ``j``.
     """
 
-    X: np.ndarray
-    istop: np.ndarray
-    itn: np.ndarray
-    r1norm: np.ndarray
-    r2norm: np.ndarray
-    anorm: np.ndarray
-    acond: np.ndarray
-    arnorm: np.ndarray
-    xnorm: np.ndarray
+    X: FloatArray
+    istop: IntArray
+    itn: IntArray
+    r1norm: FloatArray
+    r2norm: FloatArray
+    anorm: FloatArray
+    acond: FloatArray
+    arnorm: FloatArray
+    xnorm: FloatArray
     residual_history: List[List[float]] = field(default_factory=list)
 
     @property
@@ -98,7 +100,7 @@ class BlockLSQRResult:
         return int(self.istop.size)
 
     @property
-    def failed(self) -> np.ndarray:
+    def failed(self) -> BoolArray:
         """Boolean mask of columns that diverged (8) or stagnated (9)."""
         return np.isin(self.istop, tuple(FAILURE_ISTOPS))
 
@@ -157,7 +159,7 @@ class _ColumnState:
         "tau",
     )
 
-    def __init__(self, alfa: np.ndarray, beta: np.ndarray, dampsq: float):
+    def __init__(self, alfa: FloatArray, beta: FloatArray, dampsq: float):
         k = beta.size
         self.dampsq = float(dampsq)
         self.rhobar = alfa.astype(np.float64, copy=True)
@@ -184,12 +186,12 @@ class _ColumnState:
         self.psi = np.zeros(k)
         self.tau = np.zeros(k)
 
-    def take(self, idx: np.ndarray) -> None:
+    def take(self, idx: IntArray) -> None:
         """Keep only the columns at ``idx`` (local indices)."""
         for name in self._FIELDS:
             setattr(self, name, getattr(self, name)[idx])
 
-    def rotation(self, alfa: np.ndarray, beta: np.ndarray, damp: float):
+    def rotation(self, alfa: FloatArray, beta: FloatArray, damp: float):
         """Damping + Givens rotations; returns the (t1, t2) step sizes."""
         if damp > 0:
             rhobar1 = np.sqrt(self.rhobar**2 + self.dampsq)
@@ -214,7 +216,7 @@ class _ColumnState:
         self.tau = sn * phi
         return phi / rho, -theta / rho
 
-    def diagnostics(self, alfa: np.ndarray, wnorm_sq: np.ndarray) -> None:
+    def diagnostics(self, alfa: FloatArray, wnorm_sq: FloatArray) -> None:
         """Norm estimates after the rotation (sequential lines, batched)."""
         rho, phi, theta = self.rho, self.phi, self.theta
         self.ddnorm = self.ddnorm + wnorm_sq / rho**2
@@ -245,7 +247,7 @@ def _post_step_istop(
     atol: float,
     btol: float,
     ctol: float,
-) -> np.ndarray:
+) -> FloatArray:
     """Per-column istop after one iteration (0 where nothing fired).
 
     Replays the sequential solver's check order: non-finite → 8 wins,
@@ -310,10 +312,10 @@ class _Outputs:
 
     def freeze(
         self,
-        active: np.ndarray,
-        local_idx: np.ndarray,
+        active: FloatArray,
+        local_idx: FloatArray,
         state: _ColumnState,
-        Xa: Optional[np.ndarray],
+        Xa: Optional[FloatArray],
         istop,
         itn: int,
     ) -> None:
@@ -350,7 +352,7 @@ class _Outputs:
 @_masked_errstate
 def _solve_block(
     op,
-    B: np.ndarray,
+    B: FloatArray,
     damp: float,
     atol: float,
     btol: float,
@@ -488,14 +490,14 @@ def _solve_block(
 
 
 def block_lsqr(
-    A,
-    B: np.ndarray,
+    A: "MatrixLike",
+    B: FloatArray,
     damp: float = 0.0,
     atol: float = 1e-8,
     btol: float = 1e-8,
     conlim: float = 1e8,
     iter_lim: Optional[int] = None,
-    X0: Optional[np.ndarray] = None,
+    X0: Optional[FloatArray] = None,
     record_history: bool = False,
 ) -> BlockLSQRResult:
     """Solve ``min_X ‖A X - B‖² + damp²‖X‖²`` for all columns at once.
@@ -542,7 +544,9 @@ def block_lsqr(
             #   [A; damp·I] D ≈ [B − A·X0; −damp·X0]
             # with damp = 0 and shift back.  One stacked operator serves
             # every column because damp is shared.
-            stacked = StackedOperator(op, IdentityOperator(n, scale=damp))
+            stacked = StackedOperator(
+                op, IdentityOperator(n, scale=damp, dtype=op.dtype)
+            )
             extended = np.concatenate(
                 [B - op.matmat(X0), -damp * X0], axis=0
             )
@@ -612,7 +616,9 @@ class SharedBidiagonalization:
     """
 
     @_masked_errstate
-    def __init__(self, A, B: np.ndarray, iter_lim: int) -> None:
+    def __init__(
+        self, A: MatrixLike, B: FloatArray, iter_lim: int
+    ) -> None:
         op = as_operator(A)
         m, n = op.shape
         B = as_value_dtype(B)
@@ -647,9 +653,9 @@ class SharedBidiagonalization:
         self.beta0 = beta0
         self.alfa0 = alfa0
         self._V0 = V.copy(order="F")
-        self._betas: List[np.ndarray] = []
-        self._alfas: List[np.ndarray] = []
-        self._Vs: List[np.ndarray] = []
+        self._betas: List[FloatArray] = []
+        self._alfas: List[FloatArray] = []
+        self._Vs: List[FloatArray] = []
 
         alfa = alfa0.copy()
         for _ in range(iter_lim):

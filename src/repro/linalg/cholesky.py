@@ -20,8 +20,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.exceptions import ReproError
 
-class NotPositiveDefiniteError(ValueError):
+
+class NotPositiveDefiniteError(ReproError, ValueError):
     """Raised when a matrix handed to :func:`cholesky` is not SPD."""
 
 

@@ -6,8 +6,9 @@ from typing import Tuple
 
 import numpy as np
 
+from repro._typing import FloatArray
 
-def symmetric_eigh(A: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+def symmetric_eigh(A: FloatArray) -> Tuple[FloatArray, FloatArray]:
     """Eigendecomposition of a symmetric matrix, sorted descending.
 
     Thin wrapper over ``numpy.linalg.eigh`` that symmetrizes the input
@@ -24,7 +25,7 @@ def symmetric_eigh(A: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     return eigvals[order], eigvecs[:, order]
 
 
-def solve_lstsq(A: np.ndarray, b: np.ndarray) -> np.ndarray:
+def solve_lstsq(A: FloatArray, b: FloatArray) -> FloatArray:
     """Minimum-norm least-squares solution of ``A x ≈ b``."""
     A = np.asarray(A, dtype=np.float64)
     b = np.asarray(b, dtype=np.float64)
@@ -32,7 +33,7 @@ def solve_lstsq(A: np.ndarray, b: np.ndarray) -> np.ndarray:
     return x
 
 
-def ridge_solution(A: np.ndarray, b: np.ndarray, alpha: float) -> np.ndarray:
+def ridge_solution(A: FloatArray, b: FloatArray, alpha: float) -> FloatArray:
     """Reference ridge solution ``(AᵀA + αI)⁻¹ Aᵀ b`` for tests.
 
     The normal-equations matrix is factored once by the repo's blocked
@@ -62,8 +63,8 @@ def ridge_solution(A: np.ndarray, b: np.ndarray, alpha: float) -> np.ndarray:
 
 
 def generalized_eigh(
-    B: np.ndarray, A: np.ndarray, regularization: float = 0.0
-) -> Tuple[np.ndarray, np.ndarray]:
+    B: FloatArray, A: FloatArray, regularization: float = 0.0
+) -> Tuple[FloatArray, FloatArray]:
     """Solve ``B v = λ A v`` for symmetric ``B`` and SPD (after shift) ``A``.
 
     Reduces to a standard symmetric problem through the Cholesky factor
@@ -83,7 +84,7 @@ def generalized_eigh(
     return eigvals, V
 
 
-def is_orthonormal(Q: np.ndarray, tol: float = 1e-8) -> bool:
+def is_orthonormal(Q: FloatArray, tol: float = 1e-8) -> bool:
     """True if the columns of ``Q`` are orthonormal within ``tol``."""
     Q = np.asarray(Q, dtype=np.float64)
     if Q.shape[1] == 0:

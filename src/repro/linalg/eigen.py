@@ -21,6 +21,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.exceptions import ConvergenceError
 from repro.linalg.operators import as_operator
 
 
@@ -196,4 +197,6 @@ def lanczos_eigsh(
         betas.append(beta)
         Q[:, j + 1] = w / beta
 
-    raise RuntimeError("lanczos_eigsh failed to converge")  # pragma: no cover
+    raise ConvergenceError(
+        "lanczos_eigsh failed to converge"
+    )  # pragma: no cover

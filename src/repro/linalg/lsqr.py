@@ -27,6 +27,8 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro._typing import FloatArray, MatrixLike
+
 from repro.linalg.operators import (
     IdentityOperator,
     StackedOperator,
@@ -94,7 +96,7 @@ class LSQRResult:
         ``r2norm`` after each iteration, when history recording is on.
     """
 
-    x: np.ndarray
+    x: FloatArray
     istop: int
     itn: int
     r1norm: float
@@ -122,14 +124,14 @@ class LSQRResult:
 
 
 def lsqr(
-    A,
-    b: np.ndarray,
+    A: "MatrixLike",
+    b: FloatArray,
     damp: float = 0.0,
     atol: float = 1e-8,
     btol: float = 1e-8,
     conlim: float = 1e8,
     iter_lim: Optional[int] = None,
-    x0: Optional[np.ndarray] = None,
+    x0: Optional[FloatArray] = None,
     record_history: bool = False,
 ) -> LSQRResult:
     """Solve ``min_x ‖A x - b‖² + damp² ‖x‖²`` by the LSQR iteration.
@@ -179,7 +181,9 @@ def lsqr(
             # ‖d‖.  Solve the explicit augmented system
             #   [A; damp·I] d ≈ [b − A·x0; −damp·x0]
             # with the plain (damp = 0) iteration, then shift back.
-            stacked = StackedOperator(op, IdentityOperator(n, scale=damp))
+            stacked = StackedOperator(
+                op, IdentityOperator(n, scale=damp, dtype=op.dtype)
+            )
             extended_b = np.concatenate(
                 [b - op.matvec(x0), -damp * x0]
             )

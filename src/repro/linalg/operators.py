@@ -27,10 +27,12 @@ complexity validation in :mod:`repro.complexity.counter`).
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Any, Iterable, Optional, Tuple, Union
 
 import numpy as np
 
+from repro._typing import DTypeLike, FloatArray, FloatDType, MatrixLike
+from repro.exceptions import ReproError
 from repro.linalg.sparse import CSRMatrix, as_value_dtype, is_sparse
 
 
@@ -52,17 +54,17 @@ class LinearOperator:
         self.n_rmatmat = 0
 
     @property
-    def dtype(self) -> np.dtype:
+    def dtype(self) -> FloatDType:
         """Value dtype of the products (float64 unless data says float32)."""
         return np.dtype(np.float64)
 
-    def _matvec(self, v: np.ndarray) -> np.ndarray:
+    def _matvec(self, v: FloatArray) -> FloatArray:
         raise NotImplementedError
 
-    def _rmatvec(self, u: np.ndarray) -> np.ndarray:
+    def _rmatvec(self, u: FloatArray) -> FloatArray:
         raise NotImplementedError
 
-    def _matmat(self, B: np.ndarray) -> np.ndarray:
+    def _matmat(self, B: FloatArray) -> FloatArray:
         # Per-column fallback.  Goes through _matvec, not matvec, so one
         # block product counts as one matmat — but still column by
         # column, so wrappers with per-product semantics (fault
@@ -76,7 +78,7 @@ class LinearOperator:
             out[:, j] = self._matvec(np.ascontiguousarray(B[:, j]))
         return out
 
-    def _rmatmat(self, U: np.ndarray) -> np.ndarray:
+    def _rmatmat(self, U: FloatArray) -> FloatArray:
         first = self._rmatvec(np.ascontiguousarray(U[:, 0]))
         out = np.empty(
             (self.shape[1], U.shape[1]), dtype=first.dtype, order="F"
@@ -86,7 +88,7 @@ class LinearOperator:
             out[:, j] = self._rmatvec(np.ascontiguousarray(U[:, j]))
         return out
 
-    def matvec(self, v: np.ndarray) -> np.ndarray:
+    def matvec(self, v: FloatArray) -> FloatArray:
         """Compute ``A @ v``."""
         v = as_value_dtype(v)
         if v.shape != (self.shape[1],):
@@ -96,7 +98,7 @@ class LinearOperator:
         self.n_matvec += 1
         return self._matvec(v)
 
-    def rmatvec(self, u: np.ndarray) -> np.ndarray:
+    def rmatvec(self, u: FloatArray) -> FloatArray:
         """Compute ``A.T @ u``."""
         u = as_value_dtype(u)
         if u.shape != (self.shape[0],):
@@ -106,7 +108,7 @@ class LinearOperator:
         self.n_rmatvec += 1
         return self._rmatvec(u)
 
-    def matmat(self, B: np.ndarray) -> np.ndarray:
+    def matmat(self, B: FloatArray) -> FloatArray:
         """Compute ``A @ B`` for a dense block ``B`` in one pass."""
         B = as_value_dtype(B)
         if B.ndim == 1:
@@ -120,7 +122,7 @@ class LinearOperator:
         self.n_matmat += 1
         return self._matmat(B)
 
-    def rmatmat(self, U: np.ndarray) -> np.ndarray:
+    def rmatmat(self, U: FloatArray) -> FloatArray:
         """Compute ``A.T @ U`` for a dense block ``U`` in one pass."""
         U = as_value_dtype(U)
         if U.ndim == 1:
@@ -139,7 +141,7 @@ class LinearOperator:
         """The transposed operator (matvec and rmatvec swapped)."""
         return TransposedOperator(self)
 
-    def to_dense(self) -> np.ndarray:
+    def to_dense(self) -> FloatArray:
         """Materialize the operator (tests and small problems only)."""
         eye = np.eye(self.shape[1])
         return self.matmat(eye)
@@ -156,33 +158,42 @@ class LinearOperator:
 
 
 class DenseOperator(LinearOperator):
-    """Operator view over a dense ndarray."""
+    """Operator view over a dense ndarray.
 
-    def __init__(self, array: np.ndarray) -> None:
+    The value dtype follows the data: float32 input stays float32
+    (halving bandwidth on the single-precision path), anything else is
+    promoted to float64.
+    """
+
+    def __init__(self, array: MatrixLike) -> None:
         super().__init__()
-        array = np.asarray(array, dtype=np.float64)
+        array = as_value_dtype(np.asarray(array))
         if array.ndim != 2:
             raise ValueError("DenseOperator requires a 2-D array")
-        self.array = array
+        self.array: FloatArray = array
         self.shape = array.shape
 
-    def _matvec(self, v: np.ndarray) -> np.ndarray:
+    @property
+    def dtype(self) -> FloatDType:
+        return self.array.dtype
+
+    def _matvec(self, v: FloatArray) -> FloatArray:
         return self.array @ v
 
-    def _rmatvec(self, u: np.ndarray) -> np.ndarray:
+    def _rmatvec(self, u: FloatArray) -> FloatArray:
         return self.array.T @ u
 
-    def _matmat(self, B: np.ndarray) -> np.ndarray:
+    def _matmat(self, B: FloatArray) -> FloatArray:
         return self.array @ B
 
-    def _rmatmat(self, U: np.ndarray) -> np.ndarray:
+    def _rmatmat(self, U: FloatArray) -> FloatArray:
         return self.array.T @ U
 
 
 class CSROperator(LinearOperator):
     """Operator view over our :class:`CSRMatrix` or a scipy CSR matrix."""
 
-    def __init__(self, matrix) -> None:
+    def __init__(self, matrix: Union[CSRMatrix, Any]) -> None:
         super().__init__()
         if isinstance(matrix, CSRMatrix):
             self.matrix = matrix
@@ -193,19 +204,19 @@ class CSROperator(LinearOperator):
         self.shape = self.matrix.shape
 
     @property
-    def dtype(self) -> np.dtype:
+    def dtype(self) -> FloatDType:
         return self.matrix.dtype
 
-    def _matvec(self, v: np.ndarray) -> np.ndarray:
+    def _matvec(self, v: FloatArray) -> FloatArray:
         return self.matrix.matvec(v)
 
-    def _rmatvec(self, u: np.ndarray) -> np.ndarray:
+    def _rmatvec(self, u: FloatArray) -> FloatArray:
         return self.matrix.rmatvec(u)
 
-    def _matmat(self, B: np.ndarray) -> np.ndarray:
+    def _matmat(self, B: FloatArray) -> FloatArray:
         return self.matrix.matmat(B)
 
-    def _rmatmat(self, U: np.ndarray) -> np.ndarray:
+    def _rmatmat(self, U: FloatArray) -> FloatArray:
         return self.matrix.rmatmat(U)
 
 
@@ -218,19 +229,19 @@ class TransposedOperator(LinearOperator):
         self.shape = (base.shape[1], base.shape[0])
 
     @property
-    def dtype(self) -> np.dtype:
+    def dtype(self) -> FloatDType:
         return self.base.dtype
 
-    def _matvec(self, v: np.ndarray) -> np.ndarray:
+    def _matvec(self, v: FloatArray) -> FloatArray:
         return self.base.rmatvec(v)
 
-    def _rmatvec(self, u: np.ndarray) -> np.ndarray:
+    def _rmatvec(self, u: FloatArray) -> FloatArray:
         return self.base.matvec(u)
 
-    def _matmat(self, B: np.ndarray) -> np.ndarray:
+    def _matmat(self, B: FloatArray) -> FloatArray:
         return self.base.rmatmat(B)
 
-    def _rmatmat(self, U: np.ndarray) -> np.ndarray:
+    def _rmatmat(self, U: FloatArray) -> FloatArray:
         return self.base.matmat(U)
 
 
@@ -246,37 +257,39 @@ class CenteringOperator(LinearOperator):
     """
 
     def __init__(
-        self, base: LinearOperator, column_means: Optional[np.ndarray] = None
+        self, base: LinearOperator, column_means: Optional[FloatArray] = None
     ) -> None:
         super().__init__()
         self.base = base
         self.shape = base.shape
         if column_means is None:
-            ones = np.ones(base.shape[0])
+            # Probe in the base's value dtype so a float32 base yields
+            # float32 means and the operator never upcasts products.
+            ones = np.ones(base.shape[0], dtype=base.dtype)
             column_means = base.rmatvec(ones) / base.shape[0]
             base.reset_counts()
-        column_means = np.asarray(column_means, dtype=np.float64)
+        column_means = np.asarray(column_means, dtype=base.dtype)
         if column_means.shape != (base.shape[1],):
             raise ValueError("column_means must have length n_features")
-        self.column_means = column_means
+        self.column_means: FloatArray = column_means
 
     @property
-    def dtype(self) -> np.dtype:
+    def dtype(self) -> FloatDType:
         return self.base.dtype
 
-    def _matvec(self, v: np.ndarray) -> np.ndarray:
+    def _matvec(self, v: FloatArray) -> FloatArray:
         shift = float(self.column_means @ v)
         return self.base.matvec(v) - shift
 
-    def _rmatvec(self, u: np.ndarray) -> np.ndarray:
+    def _rmatvec(self, u: FloatArray) -> FloatArray:
         return self.base.rmatvec(u) - float(u.sum()) * self.column_means
 
-    def _matmat(self, B: np.ndarray) -> np.ndarray:
+    def _matmat(self, B: FloatArray) -> FloatArray:
         # (X - 1 μᵀ) B = X B - 1 (μᵀ B): one base block product plus a
         # rank-one correction — centering stays matrix-free at block width
         return self.base.matmat(B) - (self.column_means @ B)[None, :]
 
-    def _rmatmat(self, U: np.ndarray) -> np.ndarray:
+    def _rmatmat(self, U: FloatArray) -> FloatArray:
         # (X - 1 μᵀ)ᵀ U = Xᵀ U - μ (1ᵀ U)
         return self.base.rmatmat(U) - np.outer(
             self.column_means, U.sum(axis=0)
@@ -300,26 +313,26 @@ class AppendOnesOperator(LinearOperator):
         self.shape = (base.shape[0], base.shape[1] + 1)
 
     @property
-    def dtype(self) -> np.dtype:
+    def dtype(self) -> FloatDType:
         return self.base.dtype
 
-    def _matvec(self, v: np.ndarray) -> np.ndarray:
+    def _matvec(self, v: FloatArray) -> FloatArray:
         return self.base.matvec(v[:-1]) + v[-1]
 
-    def _rmatvec(self, u: np.ndarray) -> np.ndarray:
+    def _rmatvec(self, u: FloatArray) -> FloatArray:
         head = self.base.rmatvec(u)
         return np.concatenate([head, [u.sum()]])
 
-    def _matmat(self, B: np.ndarray) -> np.ndarray:
+    def _matmat(self, B: FloatArray) -> FloatArray:
         # [X | 1] B = X B[:-1] + 1 B[-1]
         return self.base.matmat(B[:-1]) + B[-1][None, :]
 
-    def _rmatmat(self, U: np.ndarray) -> np.ndarray:
+    def _rmatmat(self, U: FloatArray) -> FloatArray:
         head = self.base.rmatmat(U)
         return np.vstack([head, U.sum(axis=0)[None, :]])
 
 
-class InjectedFaultError(RuntimeError):
+class InjectedFaultError(ReproError, RuntimeError):
     """Raised by :class:`FaultyOperator` when a scheduled fault fires."""
 
 
@@ -354,7 +367,7 @@ class FaultyOperator(LinearOperator):
     def __init__(
         self,
         base: LinearOperator,
-        fail_at=(),
+        fail_at: Iterable[int] = (),
         fail_every: Optional[int] = None,
         mode: str = "nan",
     ) -> None:
@@ -371,6 +384,10 @@ class FaultyOperator(LinearOperator):
         self.n_products = 0
         self.n_faults_injected = 0
 
+    @property
+    def dtype(self) -> FloatDType:
+        return self.base.dtype
+
     def _due(self) -> bool:
         index = self.n_products
         self.n_products += 1
@@ -380,24 +397,26 @@ class FaultyOperator(LinearOperator):
             return True
         return False
 
-    def _inject(self, out: np.ndarray, direction: str) -> np.ndarray:
+    def _inject(self, out: FloatArray, direction: str) -> FloatArray:
         self.n_faults_injected += 1
         if self.mode == "raise":
             raise InjectedFaultError(
                 f"injected fault on {direction} product "
                 f"#{self.n_products - 1}"
             )
-        out = np.array(out, dtype=np.float64, copy=True)
+        # Copy in the base's own dtype: a float32 pipeline must see the
+        # corruption in float32, not a silently upcast float64 product.
+        out = np.array(out, copy=True)
         if out.size:
             out[0] = np.nan if self.mode == "nan" else np.inf
         return out
 
-    def _matvec(self, v: np.ndarray) -> np.ndarray:
+    def _matvec(self, v: FloatArray) -> FloatArray:
         due = self._due()
         out = self.base.matvec(v)
         return self._inject(out, "matvec") if due else out
 
-    def _rmatvec(self, u: np.ndarray) -> np.ndarray:
+    def _rmatvec(self, u: FloatArray) -> FloatArray:
         due = self._due()
         out = self.base.rmatvec(u)
         return self._inject(out, "rmatvec") if due else out
@@ -413,19 +432,19 @@ class ScaledOperator(LinearOperator):
         self.shape = base.shape
 
     @property
-    def dtype(self) -> np.dtype:
+    def dtype(self) -> FloatDType:
         return self.base.dtype
 
-    def _matvec(self, v: np.ndarray) -> np.ndarray:
+    def _matvec(self, v: FloatArray) -> FloatArray:
         return self.scale * self.base.matvec(v)
 
-    def _rmatvec(self, u: np.ndarray) -> np.ndarray:
+    def _rmatvec(self, u: FloatArray) -> FloatArray:
         return self.scale * self.base.rmatvec(u)
 
-    def _matmat(self, B: np.ndarray) -> np.ndarray:
+    def _matmat(self, B: FloatArray) -> FloatArray:
         return self.scale * self.base.matmat(B)
 
-    def _rmatmat(self, U: np.ndarray) -> np.ndarray:
+    def _rmatmat(self, U: FloatArray) -> FloatArray:
         return self.scale * self.base.rmatmat(U)
 
 
@@ -447,51 +466,67 @@ class StackedOperator(LinearOperator):
         self.shape = (top.shape[0] + bottom.shape[0], top.shape[1])
 
     @property
-    def dtype(self) -> np.dtype:
+    def dtype(self) -> FloatDType:
         return np.result_type(self.top.dtype, self.bottom.dtype)
 
-    def _matvec(self, v: np.ndarray) -> np.ndarray:
+    def _matvec(self, v: FloatArray) -> FloatArray:
         return np.concatenate([self.top.matvec(v), self.bottom.matvec(v)])
 
-    def _rmatvec(self, u: np.ndarray) -> np.ndarray:
+    def _rmatvec(self, u: FloatArray) -> FloatArray:
         head = u[: self.top.shape[0]]
         tail = u[self.top.shape[0] :]
         return self.top.rmatvec(head) + self.bottom.rmatvec(tail)
 
-    def _matmat(self, B: np.ndarray) -> np.ndarray:
+    def _matmat(self, B: FloatArray) -> FloatArray:
         return np.vstack([self.top.matmat(B), self.bottom.matmat(B)])
 
-    def _rmatmat(self, U: np.ndarray) -> np.ndarray:
+    def _rmatmat(self, U: FloatArray) -> FloatArray:
         head = U[: self.top.shape[0]]
         tail = U[self.top.shape[0] :]
         return self.top.rmatmat(head) + self.bottom.rmatmat(tail)
 
 
 class IdentityOperator(LinearOperator):
-    """``c * I`` on n-dimensional vectors."""
+    """``c * I`` on n-dimensional vectors.
 
-    def __init__(self, n: int, scale: float = 1.0) -> None:
+    ``dtype`` declares the value dtype of products; pass the data
+    operator's dtype when stacking (``[X; √α I]``) so the stack's
+    promoted dtype matches ``X`` instead of defaulting to float64.
+    """
+
+    def __init__(
+        self, n: int, scale: float = 1.0, dtype: DTypeLike = np.float64
+    ) -> None:
         super().__init__()
         self.shape = (n, n)
         self.scale = float(scale)
+        self._dtype: FloatDType = np.dtype(dtype)
 
-    def _matvec(self, v: np.ndarray) -> np.ndarray:
+    @property
+    def dtype(self) -> FloatDType:
+        return self._dtype
+
+    def _matvec(self, v: FloatArray) -> FloatArray:
         return self.scale * v
 
-    def _rmatvec(self, u: np.ndarray) -> np.ndarray:
+    def _rmatvec(self, u: FloatArray) -> FloatArray:
         return self.scale * u
 
-    def _matmat(self, B: np.ndarray) -> np.ndarray:
+    def _matmat(self, B: FloatArray) -> FloatArray:
         return self.scale * B
 
-    def _rmatmat(self, U: np.ndarray) -> np.ndarray:
+    def _rmatmat(self, U: FloatArray) -> FloatArray:
         return self.scale * U
 
 
-def as_operator(X) -> LinearOperator:
-    """Wrap a dense array, CSRMatrix, scipy sparse matrix, or operator."""
+def as_operator(X: MatrixLike) -> LinearOperator:
+    """Wrap a dense array, CSRMatrix, scipy sparse matrix, or operator.
+
+    Dense input keeps its value dtype (float32 stays float32); see
+    :func:`repro.linalg.sparse.as_value_dtype`.
+    """
     if isinstance(X, LinearOperator):
         return X
     if isinstance(X, CSRMatrix) or is_sparse(X):
         return CSROperator(X)
-    return DenseOperator(np.asarray(X, dtype=np.float64))
+    return DenseOperator(np.asarray(X))

@@ -34,14 +34,16 @@ can run at half the traffic.  Any other dtype is upcast to float64.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence, Tuple
+from typing import Any, Iterable, Optional, Sequence, Tuple
 
 import numpy as np
+
+from repro._typing import FloatArray, FloatDType, IntArray
 
 _VALUE_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
 
 
-def as_value_dtype(array) -> np.ndarray:
+def as_value_dtype(array: Any) -> FloatArray:
     """Coerce to a supported value dtype: float32 stays, others → float64."""
     array = np.asarray(array)
     if array.dtype not in _VALUE_DTYPES:
@@ -70,28 +72,28 @@ class CSRMatrix:
 
     def __init__(
         self,
-        data: np.ndarray,
-        indices: np.ndarray,
-        indptr: np.ndarray,
+        data: FloatArray,
+        indices: IntArray,
+        indptr: IntArray,
         shape: Tuple[int, int],
     ) -> None:
         self.data = as_value_dtype(data)
         self.indices = np.asarray(indices, dtype=np.int64)
         self.indptr = np.asarray(indptr, dtype=np.int64)
         self.shape = (int(shape[0]), int(shape[1]))
-        self._row_ids_cache: np.ndarray = None
-        self._nonempty_rows_cache: np.ndarray = None
-        self._col_cache: Tuple[np.ndarray, np.ndarray, np.ndarray] = None
-        self._transpose_cache: "CSRMatrix" = None
+        self._row_ids_cache: Optional[IntArray] = None
+        self._nonempty_rows_cache: Optional[IntArray] = None
+        self._col_cache: Optional[Tuple[IntArray, IntArray, IntArray]] = None
+        self._transpose_cache: Optional["CSRMatrix"] = None
         self._validate()
 
     @property
-    def dtype(self) -> np.dtype:
+    def dtype(self) -> FloatDType:
         """Value dtype (float64, or float32 on the low-memory path)."""
         return self.data.dtype
 
     @property
-    def _row_ids(self) -> np.ndarray:
+    def _row_ids(self) -> IntArray:
         """Row index of each stored entry (cached; used by the kernels)."""
         if self._row_ids_cache is None:
             self._row_ids_cache = np.repeat(
@@ -100,14 +102,14 @@ class CSRMatrix:
         return self._row_ids_cache
 
     @property
-    def _nonempty_rows(self) -> np.ndarray:
+    def _nonempty_rows(self) -> IntArray:
         """Indices of rows holding at least one entry (cached)."""
         if self._nonempty_rows_cache is None:
             self._nonempty_rows_cache = np.flatnonzero(np.diff(self.indptr))
         return self._nonempty_rows_cache
 
     @property
-    def _col_segments(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    def _col_segments(self) -> Tuple[IntArray, IntArray, IntArray]:
         """Column-sorted view for transposed segment sums (cached).
 
         Returns ``(order, starts, nonempty_cols)`` where ``order`` sorts
@@ -146,7 +148,7 @@ class CSRMatrix:
     # Constructors
     # ------------------------------------------------------------------
     @classmethod
-    def from_dense(cls, array: np.ndarray) -> "CSRMatrix":
+    def from_dense(cls, array: FloatArray) -> "CSRMatrix":
         """Build a CSR matrix from a dense 2-D array, dropping zeros.
 
         Float32 input stays float32; everything else becomes float64.
@@ -205,7 +207,7 @@ class CSRMatrix:
             (self.data, self.indices, self.indptr), shape=self.shape
         )
 
-    def to_dense(self) -> np.ndarray:
+    def to_dense(self) -> FloatArray:
         """Materialize the matrix as a dense ndarray."""
         out = np.zeros(self.shape, dtype=self.dtype)
         out[self._row_ids, self.indices] = self.data
@@ -247,7 +249,7 @@ class CSRMatrix:
             self._transpose_cache = transpose
         return self._transpose_cache
 
-    def row_nnz(self) -> np.ndarray:
+    def row_nnz(self) -> IntArray:
         """Number of non-zeros in each row (the paper's ``s`` statistic)."""
         return np.diff(self.indptr)
 
@@ -260,7 +262,7 @@ class CSRMatrix:
     # ------------------------------------------------------------------
     # Core products
     # ------------------------------------------------------------------
-    def matvec(self, v: np.ndarray) -> np.ndarray:
+    def matvec(self, v: FloatArray) -> FloatArray:
         """Compute ``A @ v`` in O(nnz)."""
         v = as_value_dtype(v)
         if v.shape != (self.shape[1],):
@@ -272,17 +274,19 @@ class CSRMatrix:
         if products.dtype == np.float64:
             # bincount is the fastest pure-numpy segmented sum (np.add.at
             # is an order of magnitude slower on large nnz) — but it
-            # always emits float64, so float32 takes reduceat below
+            # always emits float64, so float32 takes reduceat below.
+            # (astype guards the nnz == 0 corner, where bincount ignores
+            # the weights dtype and emits int64.)
             return np.bincount(
                 self._row_ids, weights=products, minlength=self.shape[0]
-            )
+            ).astype(np.float64, copy=False)
         out = np.zeros(self.shape[0], dtype=products.dtype)
         rows = self._nonempty_rows
         if rows.size:
             out[rows] = np.add.reduceat(products, self.indptr[rows])
         return out
 
-    def rmatvec(self, u: np.ndarray) -> np.ndarray:
+    def rmatvec(self, u: FloatArray) -> FloatArray:
         """Compute ``A.T @ u`` in O(nnz)."""
         u = as_value_dtype(u)
         if u.shape != (self.shape[0],):
@@ -294,14 +298,14 @@ class CSRMatrix:
         if products.dtype == np.float64:
             return np.bincount(
                 self.indices, weights=products, minlength=self.shape[1]
-            )
+            ).astype(np.float64, copy=False)
         order, starts, cols = self._col_segments
         out = np.zeros(self.shape[1], dtype=products.dtype)
         if cols.size:
             out[cols] = np.add.reduceat(products[order], starts)
         return out
 
-    def matmat(self, B: np.ndarray) -> np.ndarray:
+    def matmat(self, B: FloatArray) -> FloatArray:
         """Compute ``A @ B`` for a dense block ``B``.
 
         Sweeps the columns of ``B`` through a fused
@@ -340,7 +344,7 @@ class CSRMatrix:
                 out[rows, j] = np.add.reduceat(products, starts)
         return out
 
-    def rmatmat(self, U: np.ndarray) -> np.ndarray:
+    def rmatmat(self, U: FloatArray) -> FloatArray:
         """Compute ``A.T @ U`` for a dense block ``U``.
 
         Routed through the (lazily cached) transpose so it reuses the
@@ -364,7 +368,7 @@ class CSRMatrix:
     # ------------------------------------------------------------------
     # Column statistics and row transforms
     # ------------------------------------------------------------------
-    def column_means(self) -> np.ndarray:
+    def column_means(self) -> FloatArray:
         """Per-column mean — the sample mean vector used for centering."""
         # bincount, not np.add.at — same reasoning as the mat-vec kernel
         # (np.add.at is an order of magnitude slower on large nnz)
@@ -372,12 +376,12 @@ class CSRMatrix:
             self.indices,
             weights=self.data.astype(np.float64, copy=False),
             minlength=self.shape[1],
-        )
+        ).astype(np.float64, copy=False)
         if self.shape[0] == 0:
             return sums
         return sums / self.shape[0]
 
-    def row_norms(self) -> np.ndarray:
+    def row_norms(self) -> FloatArray:
         """Euclidean norm of each row.
 
         Each row is rescaled by its largest magnitude before squaring so
@@ -416,7 +420,7 @@ class CSRMatrix:
             self.shape,
         )
 
-    def take_rows(self, row_indices: np.ndarray) -> "CSRMatrix":
+    def take_rows(self, row_indices: IntArray) -> "CSRMatrix":
         """Select rows (with repetition allowed), as fancy indexing does."""
         row_indices = np.asarray(row_indices, dtype=np.int64)
         if row_indices.size and (

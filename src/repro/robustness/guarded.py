@@ -37,6 +37,9 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro._typing import FloatArray
+
+from repro.exceptions import ReproError
 from repro.linalg.cholesky import (
     NotPositiveDefiniteError,
     cholesky,
@@ -49,7 +52,7 @@ from repro.robustness.report import FitReport
 DEFAULT_JITTER_RETRIES = 6
 
 
-class SolverFailure(RuntimeError):
+class SolverFailure(ReproError, RuntimeError):
     """Every step of the guarded fallback chain failed.
 
     Attributes
@@ -86,7 +89,7 @@ class GuardedSolveResult:
         Per-column LSQR diagnostics when the rescue ran, else ``None``.
     """
 
-    x: np.ndarray
+    x: FloatArray
     solver: str
     effective_alpha: float
     condition_estimate: float
@@ -109,7 +112,7 @@ class GuardedSolveResult:
 
 
 def estimate_condition(
-    system: np.ndarray, L: Optional[np.ndarray] = None, iterations: int = 8
+    system: FloatArray, L: Optional[FloatArray] = None, iterations: int = 8
 ) -> float:
     """Cheap 2-norm condition estimate of an SPD system.
 
@@ -153,8 +156,8 @@ def _jitter_schedule(
 
 
 def guarded_solve(
-    gram: np.ndarray,
-    rhs: np.ndarray,
+    gram: FloatArray,
+    rhs: FloatArray,
     alpha: float = 0.0,
     max_jitter_retries: int = DEFAULT_JITTER_RETRIES,
     rescue_iter_lim: Optional[int] = None,

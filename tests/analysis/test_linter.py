@@ -1,0 +1,390 @@
+"""Per-rule fixtures for the numeric-contract linter.
+
+Every rule gets a *bad* snippet that must fire with the right rule ID
+and line, and a *good twin* — the closest conforming code — that must
+stay silent.  Paths are synthetic: rule scoping keys off path parts,
+so ``src/repro/linalg/sparse.py`` marks a kernel module without any
+file existing on disk.
+"""
+
+import textwrap
+
+from repro.analysis.linter import lint_paths, lint_source
+from repro.analysis.rules import DEFAULT_RULES, rules_by_id
+
+KERNEL_PATH = "src/repro/linalg/sparse.py"
+CORE_PATH = "src/repro/core/srda.py"
+PLAIN_PATH = "src/repro/eval/experiment.py"
+TEST_PATH = "tests/linalg/test_sparse.py"
+
+
+def findings_for(source, path, rule_id=None):
+    findings, _ = lint_source(textwrap.dedent(source), path)
+    if rule_id is None:
+        return findings
+    return [f for f in findings if f.rule_id == rule_id]
+
+
+def suppressed_count(source, path):
+    _, n_suppressed = lint_source(textwrap.dedent(source), path)
+    return n_suppressed
+
+
+# ----------------------------------------------------------------------
+# RPR001 — dtype-literal drift in kernel modules
+# ----------------------------------------------------------------------
+class TestDtypeLiteralDrift:
+    def test_dtype_float_keyword_fires(self):
+        bad = """
+        import numpy as np
+
+        def kernel(v):
+            return np.zeros(3, dtype=float)
+        """
+        found = findings_for(bad, KERNEL_PATH, "RPR001")
+        assert len(found) == 1
+        assert found[0].line == 5
+
+    def test_dtype_string_literal_fires(self):
+        bad = """
+        import numpy as np
+
+        out = np.empty(4, dtype="float")
+        """
+        assert len(findings_for(bad, KERNEL_PATH, "RPR001")) == 1
+
+    def test_float64_cast_call_fires(self):
+        bad = """
+        import numpy as np
+
+        def shift(mu, v):
+            return np.float64(mu @ v)
+        """
+        assert len(findings_for(bad, KERNEL_PATH, "RPR001")) == 1
+
+    def test_good_twin_dtype_np_float64_is_deliberate(self):
+        good = """
+        import numpy as np
+
+        def kernel(v):
+            return np.zeros(3, dtype=np.float64)
+        """
+        assert findings_for(good, KERNEL_PATH, "RPR001") == []
+
+    def test_good_twin_propagated_dtype(self):
+        good = """
+        import numpy as np
+
+        def kernel(v, op):
+            return np.zeros(3, dtype=op.dtype)
+        """
+        assert findings_for(good, KERNEL_PATH, "RPR001") == []
+
+    def test_rule_scoped_to_kernel_modules(self):
+        bad = """
+        import numpy as np
+
+        out = np.zeros(3, dtype=float)
+        """
+        assert findings_for(bad, PLAIN_PATH, "RPR001") == []
+
+
+# ----------------------------------------------------------------------
+# RPR002 — bare / over-broad except
+# ----------------------------------------------------------------------
+class TestOverBroadExcept:
+    def test_bare_except_fires(self):
+        bad = """
+        try:
+            risky()
+        except:
+            pass
+        """
+        found = findings_for(bad, PLAIN_PATH, "RPR002")
+        assert len(found) == 1
+        assert found[0].line == 4
+
+    def test_except_exception_fires(self):
+        bad = """
+        try:
+            risky()
+        except Exception:
+            pass
+        """
+        assert len(findings_for(bad, PLAIN_PATH, "RPR002")) == 1
+
+    def test_exception_inside_tuple_fires(self):
+        bad = """
+        try:
+            risky()
+        except (ValueError, Exception):
+            pass
+        """
+        assert len(findings_for(bad, PLAIN_PATH, "RPR002")) == 1
+
+    def test_good_twin_specific_exception(self):
+        good = """
+        try:
+            risky()
+        except ValueError:
+            pass
+        """
+        assert findings_for(good, PLAIN_PATH, "RPR002") == []
+
+
+# ----------------------------------------------------------------------
+# RPR003 — foreign exception types from numeric packages
+# ----------------------------------------------------------------------
+class TestForeignException:
+    def test_raise_runtime_error_fires_in_core(self):
+        bad = """
+        def fit():
+            raise RuntimeError("solver diverged")
+        """
+        found = findings_for(bad, CORE_PATH, "RPR003")
+        assert len(found) == 1
+        assert found[0].line == 3
+
+    def test_raise_exception_fires(self):
+        bad = """
+        def fit():
+            raise Exception("boom")
+        """
+        assert len(findings_for(bad, CORE_PATH, "RPR003")) == 1
+
+    def test_good_twin_repro_exception(self):
+        good = """
+        from repro.exceptions import ConvergenceError
+
+        def fit():
+            raise ConvergenceError("solver diverged")
+        """
+        assert findings_for(good, CORE_PATH, "RPR003") == []
+
+    def test_value_error_is_allowed(self):
+        good = """
+        def fit(n):
+            if n < 0:
+                raise ValueError("n must be non-negative")
+        """
+        assert findings_for(good, CORE_PATH, "RPR003") == []
+
+    def test_tests_are_out_of_scope(self):
+        bad = """
+        def helper():
+            raise RuntimeError("fixture failure")
+        """
+        assert findings_for(bad, TEST_PATH, "RPR003") == []
+
+
+# ----------------------------------------------------------------------
+# RPR004 — unseeded randomness in package source
+# ----------------------------------------------------------------------
+class TestUnseededRandom:
+    def test_legacy_global_call_fires(self):
+        bad = """
+        import numpy as np
+
+        noise = np.random.randn(10)
+        """
+        found = findings_for(bad, CORE_PATH, "RPR004")
+        assert len(found) == 1
+        assert found[0].line == 4
+
+    def test_seedless_default_rng_fires(self):
+        bad = """
+        import numpy as np
+
+        rng = np.random.default_rng()
+        """
+        assert len(findings_for(bad, CORE_PATH, "RPR004")) == 1
+
+    def test_good_twin_seeded_generator(self):
+        good = """
+        import numpy as np
+
+        def sample(seed):
+            rng = np.random.default_rng(seed)
+            return rng.standard_normal(10)
+        """
+        assert findings_for(good, CORE_PATH, "RPR004") == []
+
+    def test_tests_are_out_of_scope(self):
+        bad = """
+        import numpy as np
+
+        noise = np.random.randn(10)
+        """
+        assert findings_for(bad, TEST_PATH, "RPR004") == []
+
+
+# ----------------------------------------------------------------------
+# RPR005 — missing adjoint methods
+# ----------------------------------------------------------------------
+class TestMissingAdjoint:
+    def test_matvec_without_rmatvec_fires(self):
+        bad = """
+        class Lopsided:
+            def matvec(self, v):
+                return v
+        """
+        found = findings_for(bad, PLAIN_PATH, "RPR005")
+        assert len(found) == 1
+        assert "rmatvec" in found[0].message
+
+    def test_private_matmat_without_rmatmat_fires(self):
+        bad = """
+        class Lopsided:
+            def _matmat(self, B):
+                return B
+        """
+        assert len(findings_for(bad, PLAIN_PATH, "RPR005")) == 1
+
+    def test_good_twin_complete_pair(self):
+        good = """
+        class Balanced:
+            def matvec(self, v):
+                return v
+
+            def rmatvec(self, u):
+                return u
+        """
+        assert findings_for(good, PLAIN_PATH, "RPR005") == []
+
+    def test_unrelated_class_silent(self):
+        good = """
+        class Report:
+            def summary(self):
+                return "ok"
+        """
+        assert findings_for(good, PLAIN_PATH, "RPR005") == []
+
+
+# ----------------------------------------------------------------------
+# RPR006 — mutable default arguments
+# ----------------------------------------------------------------------
+class TestMutableDefault:
+    def test_list_literal_default_fires(self):
+        bad = """
+        def record(history=[]):
+            history.append(1)
+            return history
+        """
+        found = findings_for(bad, PLAIN_PATH, "RPR006")
+        assert len(found) == 1
+        assert found[0].line == 2
+
+    def test_dict_call_default_fires(self):
+        bad = """
+        def record(stats=dict()):
+            return stats
+        """
+        assert len(findings_for(bad, PLAIN_PATH, "RPR006")) == 1
+
+    def test_keyword_only_default_fires(self):
+        bad = """
+        def record(*, history=[]):
+            return history
+        """
+        assert len(findings_for(bad, PLAIN_PATH, "RPR006")) == 1
+
+    def test_good_twin_none_sentinel(self):
+        good = """
+        def record(history=None):
+            if history is None:
+                history = []
+            return history
+        """
+        assert findings_for(good, PLAIN_PATH, "RPR006") == []
+
+    def test_immutable_defaults_silent(self):
+        good = """
+        def configure(shape=(3, 4), name="x", count=0):
+            return shape, name, count
+        """
+        assert findings_for(good, PLAIN_PATH, "RPR006") == []
+
+
+# ----------------------------------------------------------------------
+# noqa suppression
+# ----------------------------------------------------------------------
+class TestNoqaSuppression:
+    def test_coded_noqa_suppresses_matching_rule(self):
+        source = """
+        try:
+            risky()
+        except Exception:  # repro: noqa-RPR002
+            pass
+        """
+        assert findings_for(source, PLAIN_PATH, "RPR002") == []
+        assert suppressed_count(source, PLAIN_PATH) == 1
+
+    def test_coded_noqa_does_not_suppress_other_rules(self):
+        source = """
+        def record(history=[]):  # repro: noqa-RPR002
+            return history
+        """
+        assert len(findings_for(source, PLAIN_PATH, "RPR006")) == 1
+
+    def test_blanket_noqa_suppresses_everything(self):
+        source = """
+        def record(history=[]):  # repro: noqa
+            return history
+        """
+        assert findings_for(source, PLAIN_PATH) == []
+        assert suppressed_count(source, PLAIN_PATH) == 1
+
+    def test_comma_separated_codes(self):
+        source = """
+        try:
+            risky()
+        except Exception:  # repro: noqa-RPR002,RPR006
+            pass
+        """
+        assert findings_for(source, PLAIN_PATH) == []
+
+    def test_noqa_on_other_line_does_not_leak(self):
+        source = """
+        # repro: noqa-RPR006
+        def record(history=[]):
+            return history
+        """
+        assert len(findings_for(source, PLAIN_PATH, "RPR006")) == 1
+
+
+# ----------------------------------------------------------------------
+# Driver-level behavior
+# ----------------------------------------------------------------------
+class TestDriver:
+    def test_syntax_error_reports_rpr000(self):
+        findings = findings_for("def broken(:\n    pass\n", CORE_PATH)
+        assert [f.rule_id for f in findings] == ["RPR000"]
+
+    def test_rule_ids_are_unique_and_stable(self):
+        ids = [rule.rule_id for rule in DEFAULT_RULES]
+        assert len(ids) == len(set(ids))
+        assert ids == sorted(ids)
+        assert set(rules_by_id()) == set(ids)
+
+    def test_lint_paths_walks_directories(self, tmp_path):
+        pkg = tmp_path / "src" / "repro" / "core"
+        pkg.mkdir(parents=True)
+        (pkg / "bad.py").write_text(
+            "def fit():\n    raise RuntimeError('x')\n"
+        )
+        (pkg / "good.py").write_text("VALUE = 1\n")
+        result = lint_paths([tmp_path / "src"])
+        assert result.n_files == 2
+        assert [f.rule_id for f in result.findings] == ["RPR003"]
+        assert not result.ok
+
+    def test_lint_paths_select_and_ignore(self, tmp_path):
+        pkg = tmp_path / "src" / "repro" / "core"
+        pkg.mkdir(parents=True)
+        (pkg / "bad.py").write_text(
+            "def fit(h=[]):\n    raise RuntimeError('x')\n"
+        )
+        only_006 = lint_paths([tmp_path / "src"], select=["RPR006"])
+        assert [f.rule_id for f in only_006.findings] == ["RPR006"]
+        without_006 = lint_paths([tmp_path / "src"], ignore=["RPR006"])
+        assert "RPR006" not in [f.rule_id for f in without_006.findings]
