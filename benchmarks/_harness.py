@@ -25,7 +25,7 @@ def paper_algorithms(srda_solver: str = "normal", srda_iters: int = 20) -> Dict:
         "LDA": lambda: LDA(),
         "RLDA": lambda: RLDA(alpha=1.0),
         "SRDA": lambda: SRDA(alpha=1.0, solver=srda_solver, max_iter=srda_iters),
-        "IDR/QR": lambda: IDRQR(ridge=1.0),
+        "IDR/QR": lambda: IDRQR(alpha=1.0),
     }
 
 

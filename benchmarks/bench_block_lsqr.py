@@ -179,6 +179,73 @@ def run_alpha_sweep(case, iter_lim, alphas, repeats):
     }
 
 
+def run_observability_overhead(case, iter_lim, repeats):
+    """Tracing overhead on the blocked path, disabled and enabled.
+
+    The contract the observability layer ships under: with tracing
+    *disabled* (the default for every fit), the instrumented call path
+    — resolve the tracer, ask it for an iteration hook, pass the
+    resulting ``None`` to the solver — must cost less than 2% over the
+    bare solver call.  Asserted here so a regression fails the
+    benchmark run, not just a code review.
+    """
+    from repro.observability import DISABLED_TRACER, InMemorySink, Tracer
+
+    matrix = make_problem(
+        case["m"], case["n"], case["row_nnz"], case["dtype"]
+    )
+    B = make_rhs(case["m"], case["classes"], case["dtype"])
+    op = as_operator(matrix)
+
+    def plain():
+        return block_lsqr(
+            op, B, damp=1.0, atol=0.0, btol=0.0, iter_lim=iter_lim
+        ).X
+
+    def disabled_trace():
+        hook = DISABLED_TRACER.iteration_hook()  # None — the default path
+        return block_lsqr(
+            op, B, damp=1.0, atol=0.0, btol=0.0, iter_lim=iter_lim,
+            on_iteration=hook,
+        ).X
+
+    def enabled_trace():
+        tracer = Tracer(sink=InMemorySink())
+        with tracer.span("bench.block_lsqr") as span:
+            result = block_lsqr(
+                op, B, damp=1.0, atol=0.0, btol=0.0, iter_lim=iter_lim,
+                on_iteration=tracer.iteration_hook(span),
+            ).X
+        return result
+
+    reps = max(repeats, 5)
+    plain_seconds, _ = best_of(reps, plain)
+    disabled_seconds, _ = best_of(reps, disabled_trace)
+    enabled_seconds, _ = best_of(reps, enabled_trace)
+
+    overhead = disabled_seconds / plain_seconds - 1.0
+    # Small absolute slack keeps timer jitter on smoke-sized problems
+    # from failing a structurally-zero-cost path.
+    assert disabled_seconds <= plain_seconds * 1.02 + 1e-4, (
+        f"disabled tracing added {overhead:.1%} to block_lsqr "
+        f"({plain_seconds:.6f}s -> {disabled_seconds:.6f}s); "
+        "the observability layer must be free when off"
+    )
+    return {
+        "m": case["m"],
+        "n": case["n"],
+        "classes": case["classes"],
+        "iter_lim": iter_lim,
+        "repeats": reps,
+        "plain_seconds": plain_seconds,
+        "disabled_trace_seconds": disabled_seconds,
+        "enabled_trace_seconds": enabled_seconds,
+        "disabled_overhead": overhead,
+        "enabled_overhead": enabled_seconds / plain_seconds - 1.0,
+        "max_disabled_overhead": 0.02,
+    }
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -222,12 +289,23 @@ def main(argv=None):
         f"products), speedup {sweep['speedup']:.2f}x"
     )
 
+    observability = run_observability_overhead(
+        cases[-1], iter_lim=iter_lim, repeats=repeats
+    )
+    print(
+        f"observability overhead: disabled "
+        f"{observability['disabled_overhead']:+.2%}, enabled "
+        f"{observability['enabled_overhead']:+.2%} "
+        f"(plain {observability['plain_seconds']:.4f}s)"
+    )
+
     payload = {
         "benchmark": "block_lsqr",
         "mode": "smoke" if args.smoke else "full",
         "repeats": repeats,
         "cases": results,
         "alpha_sweep": sweep,
+        "observability": observability,
     }
     with open(args.out, "w") as handle:
         json.dump(payload, handle, indent=2)

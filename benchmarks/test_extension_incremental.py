@@ -32,7 +32,7 @@ def test_incremental_update_policies(benchmark):
     X_test_dense = X_test.to_dense()
 
     def run():
-        idrqr = IDRQR(ridge=1.0)
+        idrqr = IDRQR(alpha=1.0)
         srda_cold_time = 0.0
         srda_warm_time = 0.0
         idrqr_time = 0.0

@@ -74,7 +74,7 @@ def sweep_panel(dataset, size, sparse=False, seed=55):
                 y_test, LDA().fit(X_train, y_train).predict(X_test)
             )
         idrqr_error += error_rate(
-            y_test, IDRQR(ridge=1.0).fit(X_train, y_train).predict(X_test)
+            y_test, IDRQR(alpha=1.0).fit(X_train, y_train).predict(X_test)
         )
         runs += 1
     srda_errors /= runs

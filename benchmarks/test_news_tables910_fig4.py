@@ -27,7 +27,7 @@ def news_algorithms():
         "RLDA": lambda: RLDA(alpha=1.0),
         # paper: iterative solution with LSQR, 15 iterations, α = 1
         "SRDA": lambda: SRDA(alpha=1.0, solver="lsqr", max_iter=15, tol=0.0),
-        "IDR/QR": lambda: IDRQR(ridge=1.0),
+        "IDR/QR": lambda: IDRQR(alpha=1.0),
     }
 
 

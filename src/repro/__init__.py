@@ -41,8 +41,16 @@ from repro.core import (
     SRDA,
     srda_alpha_path,
 )
+from repro.core.estimator import (
+    ReproDeprecationWarning,
+    ReproEstimator,
+    all_estimators,
+    clone,
+)
 from repro.datasets import CorruptCacheError, Dataset
 from repro.linalg import CSRMatrix
+from repro.observability import configure as configure_observability
+from repro.observability import trace_span
 from repro.robustness import FitReport, RobustnessWarning, guarded_solve
 
 __version__ = "1.0.0"
@@ -55,7 +63,9 @@ __all__ = [
     "Dataset",
     "FitReport",
     "InvariantViolationError",
+    "ReproDeprecationWarning",
     "ReproError",
+    "ReproEstimator",
     "IDRQR",
     "KernelSRDA",
     "LDA",
@@ -68,6 +78,10 @@ __all__ = [
     "SparseSRDA",
     "SpectralRegressionEmbedding",
     "__version__",
+    "all_estimators",
+    "clone",
+    "configure_observability",
     "guarded_solve",
     "srda_alpha_path",
+    "trace_span",
 ]

@@ -36,6 +36,7 @@ from typing import Optional
 import numpy as np
 
 from repro.core.base import LinearEmbedder, as_dense, class_counts, validate_data
+from repro.core.estimator import warn_deprecated_param
 from repro.linalg.dense import generalized_eigh
 from repro.linalg.gram_schmidt import gram_schmidt_qr
 
@@ -45,18 +46,30 @@ class IDRQR(LinearEmbedder):
 
     Parameters
     ----------
-    ridge:
+    alpha:
         Regularizer ε added to the reduced within-class scatter so the
         small generalized eigenproblem is well posed (Ye et al. use a
         fixed small constant; 1.0 mirrors the other baselines' default).
+        Previously spelled ``ridge`` — the old keyword still works but
+        emits a :class:`~repro.core.estimator.ReproDeprecationWarning`.
     n_components:
         Dimensions to keep; defaults to ``c - 1``.
     """
 
-    def __init__(self, ridge: float = 1.0, n_components: Optional[int] = None) -> None:
-        if ridge < 0:
-            raise ValueError("ridge must be non-negative")
-        self.ridge = float(ridge)
+    _deprecated_params = {"ridge": "alpha"}
+
+    def __init__(
+        self,
+        alpha: float = 1.0,
+        n_components: Optional[int] = None,
+        ridge: Optional[float] = None,
+    ) -> None:
+        if ridge is not None:
+            warn_deprecated_param(type(self), "ridge", "alpha")
+            alpha = ridge
+        if alpha < 0:
+            raise ValueError("alpha must be non-negative")
+        self.alpha = float(alpha)
         self.n_components = n_components
         self.components_ = None
         self.intercept_ = None
@@ -70,6 +83,16 @@ class IDRQR(LinearEmbedder):
         self._n_seen: int = 0
         self._Q: Optional[np.ndarray] = None
         self._Sw_reduced: Optional[np.ndarray] = None
+
+    @property
+    def ridge(self) -> float:
+        """Deprecated alias for :attr:`alpha` (kept readable for one cycle)."""
+        return self.alpha
+
+    @ridge.setter
+    def ridge(self, value: float) -> None:
+        warn_deprecated_param(type(self), "ridge", "alpha")
+        self.alpha = float(value)
 
     def fit(self, X, y) -> "IDRQR":
         """Fit the QR-reduced discriminant transformation."""
@@ -99,7 +122,7 @@ class IDRQR(LinearEmbedder):
         within = Z - centroid_z[y_indices]
         Sw_r = within.T @ within
 
-        eigvals, V = generalized_eigh(Sb_r, Sw_r, regularization=self.ridge)
+        eigvals, V = generalized_eigh(Sb_r, Sw_r, regularization=self.alpha)
 
         d = n_classes - 1 if self.n_components is None else self.n_components
         d = min(d, V.shape[1])
@@ -180,7 +203,7 @@ class IDRQR(LinearEmbedder):
         # 4. re-solve the small eigenproblem
         centroid_z = (centroids - self.mean_) @ Q_new
         Sb_r = (centroid_z * counts[:, None]).T @ centroid_z
-        eigvals, V = generalized_eigh(Sb_r, Sw_r, regularization=self.ridge)
+        eigvals, V = generalized_eigh(Sb_r, Sw_r, regularization=self.alpha)
         d = n_classes - 1 if self.n_components is None else self.n_components
         d = min(d, V.shape[1])
         self.components_ = Q_new @ V[:, :d]

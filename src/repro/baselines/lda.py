@@ -29,6 +29,7 @@ from typing import Optional
 import numpy as np
 
 from repro.core.base import LinearEmbedder, as_dense, validate_data
+from repro.core.estimator import warn_deprecated_param
 from repro.core.graph import scaled_indicator
 from repro.linalg.svd import cross_product_svd
 
@@ -104,18 +105,39 @@ class ScatterLDA(LinearEmbedder):
     of ``S_t + εI``.  Only usable when ``n`` is modest and ``S_t`` is
     nonsingular (or ε > 0); exists so tests can check the SVD route
     against an independent construction.
+
+    The regularizer is ``alpha`` (previously ``ridge`` — deprecated,
+    same rename as :class:`~repro.baselines.idrqr.IDRQR`).
     """
 
+    _deprecated_params = {"ridge": "alpha"}
+
     def __init__(
-        self, n_components: Optional[int] = None, ridge: float = 0.0
+        self,
+        n_components: Optional[int] = None,
+        alpha: float = 0.0,
+        ridge: Optional[float] = None,
     ) -> None:
+        if ridge is not None:
+            warn_deprecated_param(type(self), "ridge", "alpha")
+            alpha = ridge
         self.n_components = n_components
-        self.ridge = float(ridge)
+        self.alpha = float(alpha)
         self.components_ = None
         self.intercept_ = None
         self.classes_ = None
         self.centroids_ = None
         self.eigenvalues_: Optional[np.ndarray] = None
+
+    @property
+    def ridge(self) -> float:
+        """Deprecated alias for :attr:`alpha`."""
+        return self.alpha
+
+    @ridge.setter
+    def ridge(self, value: float) -> None:
+        warn_deprecated_param(type(self), "ridge", "alpha")
+        self.alpha = float(value)
 
     def fit(self, X, y) -> "ScatterLDA":
         from repro.core.graph import between_class_scatter, total_scatter
@@ -128,7 +150,7 @@ class ScatterLDA(LinearEmbedder):
 
         Sb = between_class_scatter(X, y_indices, n_classes)
         St = total_scatter(X)
-        eigvals, eigvecs = generalized_eigh(Sb, St, regularization=self.ridge)
+        eigvals, eigvecs = generalized_eigh(Sb, St, regularization=self.alpha)
 
         d = n_classes - 1 if self.n_components is None else self.n_components
         d = min(d, eigvecs.shape[1])

@@ -15,10 +15,11 @@ from typing import Optional
 import numpy as np
 
 from repro.core.base import NotFittedError, as_dense
+from repro.core.estimator import ReproEstimator
 from repro.linalg.svd import cross_product_svd
 
 
-class PCA:
+class PCA(ReproEstimator):
     """Principal component analysis via the cross-product SVD.
 
     Parameters
@@ -80,7 +81,7 @@ class PCA:
         return Z @ self.components_.T + self.mean_
 
 
-class PCALDA:
+class PCALDA(ReproEstimator):
     """The classical two-stage PCA+LDA pipeline (Fisherfaces).
 
     Reduces to ``pca_components`` dimensions first (restoring the

@@ -17,10 +17,11 @@ from repro.core.base import NotFittedError, validate_data
 from repro.linalg.lsqr import FAILURE_ISTOPS, ISTOP_REASONS, lsqr
 from repro.linalg.operators import AppendOnesOperator, as_operator
 from repro.linalg.sparse import CSRMatrix, is_sparse
+from repro.core.estimator import ReproEstimator
 from repro.robustness import FitReport, guarded_solve
 
 
-class RidgeClassifier:
+class RidgeClassifier(ReproEstimator):
     """Multi-class ridge regression on ±1 one-vs-rest targets.
 
     Parameters

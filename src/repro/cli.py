@@ -73,7 +73,7 @@ def _algorithms(names: List[str], sparse: bool):
             if sparse
             else (lambda: SRDA(alpha=1.0)),
         ),
-        "idrqr": ("IDR/QR", lambda: IDRQR(ridge=1.0)),
+        "idrqr": ("IDR/QR", lambda: IDRQR(alpha=1.0)),
     }
     selected = {}
     for name in names:
@@ -88,6 +88,45 @@ def _algorithms(names: List[str], sparse: bool):
     return selected
 
 
+def _configure_tracing(args):
+    """Install the global tracer per --trace-jsonl/--profile.
+
+    Returns the in-memory sink that backs ``--profile`` (or ``None``),
+    so the caller can render the table after the run.
+    """
+    if not (args.trace_jsonl or args.profile):
+        return None
+    from repro.observability import (
+        InMemorySink,
+        JsonlSink,
+        MultiSink,
+        configure,
+    )
+
+    sinks = []
+    profile_sink = None
+    if args.trace_jsonl:
+        sinks.append(JsonlSink(args.trace_jsonl))
+    if args.profile:
+        profile_sink = InMemorySink()
+        sinks.append(profile_sink)
+    configure(sink=sinks[0] if len(sinks) == 1 else MultiSink(sinks))
+    return profile_sink
+
+
+def _finish_tracing(profile_sink) -> None:
+    """Flush the global tracer and print the profile table if asked."""
+    from repro.observability import format_profile, get_tracer
+
+    tracer = get_tracer()
+    if not tracer.enabled:
+        return
+    tracer.close()
+    if profile_sink is not None:
+        print()
+        print(format_profile(profile_sink.spans, metrics=tracer.metrics))
+
+
 def cmd_bench(args) -> int:
     from repro.eval import (
         format_error_table,
@@ -95,6 +134,7 @@ def cmd_bench(args) -> int:
         run_experiment,
     )
 
+    profile_sink = _configure_tracing(args)
     if args.cache:
         from repro.datasets.cache import cached
 
@@ -124,6 +164,7 @@ def cmd_bench(args) -> int:
     print(format_error_table(result))
     print()
     print(format_time_table(result))
+    _finish_tracing(profile_sink)
     return 0
 
 
@@ -150,6 +191,8 @@ def cmd_info(_args) -> int:
         "CSRMatrix",
         "Dataset",
         "FitReport",
+        "ReproDeprecationWarning",
+        "ReproEstimator",
         "RobustnessWarning",
     )
     print("estimators: " + ", ".join(
@@ -208,6 +251,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache", default=None, metavar="PATH",
         help="load the dataset from this .npz cache (generating and "
         "saving it on first use; corrupt caches are regenerated)",
+    )
+    bench.add_argument(
+        "--trace-jsonl", default=None, metavar="PATH",
+        help="write observability spans, solver iteration events, and "
+        "metrics to PATH as JSON Lines (validate with "
+        "'python -m repro.observability PATH')",
+    )
+    bench.add_argument(
+        "--profile", action="store_true",
+        help="print a per-span wall-time profile (and counters) after "
+        "the sweep",
     )
     bench.set_defaults(func=cmd_bench)
 

@@ -13,12 +13,13 @@ SRDA-LSQR against both ``m`` and ``n``, and ≥ 2 for LDA against
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.linalg.operators import LinearOperator
 from repro.linalg.sparse import CSRMatrix
+from repro.observability.metrics import MetricsRegistry
 
 
 class FlamCountingOperator(LinearOperator):
@@ -28,9 +29,20 @@ class FlamCountingOperator(LinearOperator):
     ----------
     flam:
         Total multiply-add pairs charged so far.
+
+    When a ``metrics`` registry is supplied, every charge also
+    increments the ``metric`` counter there, so flam lands in the same
+    trace as the wall-time spans (the observability contract: time and
+    flam in one record stream).
     """
 
-    def __init__(self, base: LinearOperator, nnz: int = None) -> None:
+    def __init__(
+        self,
+        base: LinearOperator,
+        nnz: Optional[int] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        metric: str = "flam",
+    ) -> None:
         super().__init__()
         self.base = base
         self.shape = base.shape
@@ -42,17 +54,25 @@ class FlamCountingOperator(LinearOperator):
                 nnz = self.shape[0] * self.shape[1]
         self.nnz = int(nnz)
         self.flam = 0
+        self._counter = (
+            metrics.counter(metric) if metrics is not None else None
+        )
+
+    def _charge(self, amount: int) -> None:
+        self.flam += amount
+        if self._counter is not None:
+            self._counter.add(float(amount))
 
     @property
     def dtype(self) -> np.dtype:
         return self.base.dtype
 
     def _matvec(self, v: np.ndarray) -> np.ndarray:
-        self.flam += self.nnz
+        self._charge(self.nnz)
         return self.base.matvec(v)
 
     def _rmatvec(self, u: np.ndarray) -> np.ndarray:
-        self.flam += self.nnz
+        self._charge(self.nnz)
         return self.base.rmatvec(u)
 
     def _matmat(self, B: np.ndarray) -> np.ndarray:
@@ -60,11 +80,11 @@ class FlamCountingOperator(LinearOperator):
         # the flam bill is identical to k mat-vecs, only the wall time
         # differs.  That equality is what makes flam-per-second a fair
         # metric for the blocked-vs-sequential benchmark.
-        self.flam += self.nnz * B.shape[1]
+        self._charge(self.nnz * B.shape[1])
         return self.base.matmat(B)
 
     def _rmatmat(self, U: np.ndarray) -> np.ndarray:
-        self.flam += self.nnz * U.shape[1]
+        self._charge(self.nnz * U.shape[1])
         return self.base.rmatmat(U)
 
     def reset(self) -> None:

@@ -24,6 +24,7 @@ import numpy as np
 
 from repro._typing import FloatArray
 
+from repro.core.estimator import ReproEstimator
 from repro.exceptions import ReproError
 from repro.linalg.sparse import CSRMatrix, is_sparse
 from repro.robustness import RobustnessWarning
@@ -161,10 +162,12 @@ def as_dense(X) -> FloatArray:
     return np.asarray(X, dtype=np.float64)
 
 
-class LinearEmbedder:
+class LinearEmbedder(ReproEstimator):
     """Base class for linear discriminant embeddings.
 
-    Subclasses implement ``fit`` and set:
+    Inherits the shared parameter protocol
+    (:class:`~repro.core.estimator.ReproEstimator`); subclasses
+    implement ``fit`` and set:
 
     - ``components_`` — ``(n, d)`` projection matrix;
     - ``intercept_`` — length-``d`` offset added after projection

@@ -1,0 +1,186 @@
+"""The unified estimator protocol: params, cloning, the registry.
+
+Every public estimator in this package mixes in :class:`ReproEstimator`
+and thereby speaks the sklearn parameter protocol:
+
+- ``get_params()`` / ``set_params(**p)`` — introspected from the
+  constructor signature, so an estimator's parameters are *exactly* its
+  ``__init__`` keywords (sklearn's convention: constructors only store);
+- ``clone(est)`` — a fresh unfitted instance with the same parameters;
+- ``fit(X, y) -> self``, ``transform``, ``fit_transform`` and a uniform
+  ``fit_report_`` attribute (``None`` where an estimator records no
+  solver diagnostics).
+
+Renamed constructor arguments stay importable for one deprecation
+cycle: a class lists them in ``_deprecated_params`` (old name → new
+name), keeps the old keyword in its signature with a ``None`` sentinel,
+and calls :func:`warn_deprecated_param` when it sees a non-sentinel
+value.  ``get_params`` never reports deprecated names, so a
+get/set/clone round-trip silently migrates old spellings.
+"""
+
+from __future__ import annotations
+
+import inspect
+import warnings
+from typing import Any, Callable, ClassVar, Dict, List, Optional, Type, TypeVar
+
+from repro.exceptions import InvariantViolationError
+
+E = TypeVar("E", bound="ReproEstimator")
+
+
+class ReproDeprecationWarning(FutureWarning):
+    """A constructor argument spelling scheduled for removal.
+
+    Subclasses ``FutureWarning`` so end users see it by default
+    (``DeprecationWarning`` is hidden outside ``__main__``).
+    """
+
+
+def warn_deprecated_param(
+    cls: type, old: str, new: str, stacklevel: int = 3
+) -> None:
+    """Emit the standard deprecation message for a renamed argument."""
+    warnings.warn(
+        f"{cls.__name__}({old}=...) is deprecated; use {new}=... "
+        "instead (the old spelling will be removed in a future release)",
+        ReproDeprecationWarning,
+        stacklevel=stacklevel,
+    )
+
+
+class ReproEstimator:
+    """Mixin providing the shared parameter protocol.
+
+    Requirements on subclasses (checked by the parametrized round-trip
+    test in ``tests/core/test_estimator_api.py``):
+
+    - ``__init__`` takes only explicit keyword-able parameters (no
+      ``*args``/``**kwargs``) and stores each one verbatim on ``self``
+      under the same name;
+    - deprecated argument spellings appear in ``_deprecated_params``
+      and default to a ``None`` sentinel in the signature.
+    """
+
+    #: Old constructor-argument name → current name.  Old names are
+    #: excluded from ``get_params`` and mapped (with a warning) by
+    #: ``set_params``.
+    _deprecated_params: ClassVar[Dict[str, str]] = {}
+
+    #: Uniform diagnostics surface: estimators whose fit records solver
+    #: diagnostics overwrite this with a ``FitReport``; for the rest it
+    #: stays ``None`` rather than raising ``AttributeError``.
+    fit_report_: Optional[Any] = None
+
+    @classmethod
+    def _param_names(cls) -> List[str]:
+        """Constructor parameter names, minus deprecated spellings."""
+        signature = inspect.signature(cls.__init__)
+        names = []
+        for name, parameter in signature.parameters.items():
+            if name == "self":
+                continue
+            if parameter.kind in (
+                inspect.Parameter.VAR_POSITIONAL,
+                inspect.Parameter.VAR_KEYWORD,
+            ):
+                raise TypeError(
+                    f"{cls.__name__}.__init__ must not use *args/**kwargs"
+                )
+            if name in cls._deprecated_params:
+                continue
+            names.append(name)
+        return names
+
+    def get_params(self, deep: bool = True) -> Dict[str, Any]:
+        """Current constructor parameters as a dict.
+
+        ``deep`` is accepted for sklearn signature compatibility; no
+        estimator here nests another, so it has no effect.
+        """
+        return {name: getattr(self, name) for name in self._param_names()}
+
+    def set_params(self: E, **params: Any) -> E:
+        """Update parameters in place; returns ``self``.
+
+        Unknown names raise ``ValueError`` (catching typos is the whole
+        point of the sklearn contract); deprecated names are mapped to
+        their replacement with a :class:`ReproDeprecationWarning`.
+        """
+        if not params:
+            return self
+        valid = self._param_names()
+        for name, value in params.items():
+            target = name
+            if name in self._deprecated_params:
+                target = self._deprecated_params[name]
+                warn_deprecated_param(type(self), name, target)
+            if target not in valid:
+                raise ValueError(
+                    f"invalid parameter {name!r} for "
+                    f"{type(self).__name__}; valid parameters: "
+                    f"{sorted(valid)}"
+                )
+            setattr(self, target, value)
+        return self
+
+    def clone(self: E) -> E:
+        """A new unfitted instance with this estimator's parameters."""
+        return clone(self)
+
+
+def clone(estimator: E) -> E:
+    """Construct a fresh unfitted copy from ``get_params()``.
+
+    Works on anything implementing the protocol (not just
+    :class:`ReproEstimator` subclasses).  Fitted state (trailing
+    underscore attributes) is *not* copied — same semantics as
+    ``sklearn.base.clone``.
+    """
+    params = estimator.get_params()
+    new = type(estimator)(**params)
+    reconstructed = new.get_params()
+    for name, value in params.items():
+        if reconstructed.get(name) is not value and reconstructed.get(
+            name
+        ) != value:
+            raise InvariantViolationError(
+                f"{type(estimator).__name__} does not store parameter "
+                f"{name!r} verbatim (got {reconstructed.get(name)!r}, "
+                f"expected {value!r}); constructors must only store"
+            )
+    return new
+
+
+def all_estimators() -> Dict[str, Callable[[], Type[ReproEstimator]]]:
+    """Name → class loader for every public estimator.
+
+    Values are zero-argument callables (lazy imports keep this module
+    free of circular dependencies); ``all_estimators()["SRDA"]()``
+    yields the class.  The shared API tests parametrize over this
+    registry, so adding an estimator here opts it into the protocol
+    contract.
+    """
+
+    def _core(name: str) -> Callable[[], Type[ReproEstimator]]:
+        def load() -> Type[ReproEstimator]:
+            import repro
+
+            return getattr(repro, name)
+
+        return load
+
+    names = (
+        "SRDA",
+        "KernelSRDA",
+        "SparseSRDA",
+        "SemiSupervisedSRDA",
+        "SpectralRegressionEmbedding",
+        "LDA",
+        "RLDA",
+        "IDRQR",
+        "PCA",
+        "RidgeClassifier",
+    )
+    return {name: _core(name) for name in names}

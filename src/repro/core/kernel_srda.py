@@ -22,7 +22,9 @@ from typing import Optional
 import numpy as np
 
 from repro.core.base import NotFittedError, as_dense, validate_data
+from repro.core.estimator import ReproEstimator
 from repro.core.responses import generate_responses
+from repro.observability import Tracer, resolve_tracer
 from repro.robustness import FitReport, guarded_solve
 
 
@@ -46,7 +48,7 @@ def polynomial_kernel(
     return (gamma * (X @ Y.T) + coef0) ** degree
 
 
-class KernelSRDA:
+class KernelSRDA(ReproEstimator):
     """Kernel discriminant analysis via spectral regression.
 
     Parameters
@@ -60,6 +62,10 @@ class KernelSRDA:
         ``(m_test, m_train)`` for transform).
     gamma, degree, coef0:
         Kernel hyperparameters; ``gamma`` defaults to ``1 / n_features``.
+    trace:
+        Observability control, as :class:`~repro.core.srda.SRDA`'s
+        ``trace`` parameter: ``fit`` emits a ``kernel_srda.fit`` span
+        with nested validate/responses/gram/solve/embed phases.
     """
 
     def __init__(
@@ -69,6 +75,7 @@ class KernelSRDA:
         gamma: Optional[float] = None,
         degree: int = 3,
         coef0: float = 1.0,
+        trace=None,
     ) -> None:
         if alpha <= 0:
             raise ValueError("KernelSRDA requires alpha > 0")
@@ -79,6 +86,8 @@ class KernelSRDA:
         self.gamma = gamma
         self.degree = int(degree)
         self.coef0 = float(coef0)
+        self.trace = trace
+        self.tracer_: Optional[Tracer] = None
         self.dual_coef_: Optional[np.ndarray] = None
         self.X_fit_: Optional[np.ndarray] = None
         self.classes_: Optional[np.ndarray] = None
@@ -98,34 +107,55 @@ class KernelSRDA:
 
     def fit(self, X, y) -> "KernelSRDA":
         """Fit the kernel discriminant embedding."""
-        X, classes, y_indices = validate_data(X, y)
-        self.classes_ = classes
-        responses = generate_responses(y_indices, classes.shape[0])
+        tracer = resolve_tracer(self.trace)
+        self.tracer_ = tracer if tracer.enabled else None
+        with tracer.span(
+            "kernel_srda.fit", alpha=self.alpha, kernel=self.kernel
+        ):
+            return self._fit_phases(X, y, tracer)
 
-        if self.kernel == "precomputed":
-            K = np.asarray(X, dtype=np.float64)
-            if K.shape[0] != K.shape[1]:
-                raise ValueError("precomputed fit needs a square Gram matrix")
-            self.X_fit_ = None
-        else:
-            X = as_dense(X)
-            self.X_fit_ = X
-            K = self._gram(X, X)
+    def _fit_phases(self, X, y, tracer: Tracer) -> "KernelSRDA":
+        with tracer.span("kernel_srda.validate"):
+            X, classes, y_indices = validate_data(X, y)
+        self.classes_ = classes
+        with tracer.span(
+            "kernel_srda.responses", n_classes=int(classes.shape[0])
+        ):
+            responses = generate_responses(y_indices, classes.shape[0])
+
+        with tracer.span("kernel_srda.gram") as gram_span:
+            if self.kernel == "precomputed":
+                K = np.asarray(X, dtype=np.float64)
+                if K.shape[0] != K.shape[1]:
+                    raise ValueError(
+                        "precomputed fit needs a square Gram matrix"
+                    )
+                self.X_fit_ = None
+            else:
+                X = as_dense(X)
+                self.X_fit_ = X
+                K = self._gram(X, X)
+            gram_span.set_attribute("gram_rows", int(K.shape[0]))
 
         # K + αI is SPD in exact arithmetic, but a near-singular kernel
         # with a tiny alpha can still break the factorization — route
         # through the guarded chain and keep the diagnostics.
         report = FitReport(requested_solver="cholesky")
         self.fit_report_ = report
-        result = guarded_solve(K, responses, alpha=self.alpha, report=report)
+        with tracer.span("kernel_srda.solve") as solve_span:
+            result = guarded_solve(
+                K, responses, alpha=self.alpha, report=report
+            )
+            solve_span.set_attribute("solver", result.solver)
         if result.fallbacks:
             report.add_warning(
                 f"kernel system solve degraded to {result.solver} "
                 f"(effective_alpha={result.effective_alpha:.3g})"
             )
         self.dual_coef_ = result.x
-        self._train_embedding = K @ self.dual_coef_
-        self._store_centroids(self._train_embedding, y_indices)
+        with tracer.span("kernel_srda.embed"):
+            self._train_embedding = K @ self.dual_coef_
+            self._store_centroids(self._train_embedding, y_indices)
         return self
 
     def _store_centroids(self, Z: np.ndarray, y_indices: np.ndarray) -> None:

@@ -22,11 +22,12 @@ from repro.core.base import NotFittedError, as_dense
 from repro.core.graph import knn_affinity
 from repro.linalg.cholesky import cholesky, solve_factored
 from repro.linalg.eigen import lanczos_eigsh
+from repro.core.estimator import ReproEstimator
 from repro.linalg.lsqr import lsqr
 from repro.linalg.operators import CenteringOperator, as_operator
 
 
-class SpectralRegressionEmbedding:
+class SpectralRegressionEmbedding(ReproEstimator):
     """Linear out-of-sample extension of a graph spectral embedding.
 
     Parameters

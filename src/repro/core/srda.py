@@ -63,6 +63,7 @@ from repro.linalg.operators import (
     as_operator,
 )
 from repro.linalg.sparse import CSRMatrix, is_sparse
+from repro.observability import Tracer, resolve_tracer
 from repro.robustness import FitReport, guarded_solve
 
 #: Above this min(m, n) the Gram matrix of the normal-equations path gets
@@ -158,6 +159,23 @@ class SRDA(LinearEmbedder):
         (producing a zero-dimensional embedding), and emits
         :class:`~repro.robustness.RobustnessWarning` for each
         degradation.
+    trace:
+        Observability control (see :mod:`repro.observability`):
+        ``None`` uses the process-wide tracer (disabled unless
+        ``repro.observability.configure()`` ran); ``True`` attaches a
+        fresh in-memory tracer exposed as ``tracer_`` after fit;
+        ``False`` disables tracing for this estimator regardless of the
+        global; a ``Tracer`` or ``Sink`` is used directly.  When
+        enabled, ``fit`` emits nested spans (``srda.fit`` →
+        validate/responses/solve/embed), per-iteration LSQR events, and
+        an ``srda.flam`` counter.
+    validate_operators:
+        When True, ``fit`` runs
+        :func:`repro.analysis.contracts.verify_operator` on the actual
+        operator it is about to solve with (adjointness, linearity,
+        shape contracts) and emits an ``srda.contract_check`` span.
+        Raises :class:`~repro.exceptions.ContractViolationError` on a
+        violation — the debug switch for custom operators.
 
     Attributes
     ----------
@@ -190,6 +208,8 @@ class SRDA(LinearEmbedder):
         warm_start: bool = False,
         block: bool = True,
         on_invalid: str = "raise",
+        trace=None,
+        validate_operators: bool = False,
     ) -> None:
         if alpha < 0:
             raise ValueError("alpha must be non-negative")
@@ -209,6 +229,9 @@ class SRDA(LinearEmbedder):
         self.warm_start = bool(warm_start)
         self.block = bool(block)
         self.on_invalid = on_invalid
+        self.trace = trace
+        self.validate_operators = bool(validate_operators)
+        self.tracer_: Optional[Tracer] = None
         self.components_ = None
         self.intercept_ = None
         self.classes_ = None
@@ -222,14 +245,25 @@ class SRDA(LinearEmbedder):
     # ------------------------------------------------------------------
     def fit(self, X, y) -> "SRDA":
         """Learn the ``c - 1`` projective functions from labeled data."""
+        tracer = resolve_tracer(self.trace)
+        self.tracer_ = tracer if tracer.enabled else None
+        self._fit_tracer = tracer
+        with tracer.span(
+            "srda.fit", alpha=self.alpha, solver=self.solver
+        ) as fit_span:
+            return self._fit_phases(X, y, tracer, fit_span)
+
+    def _fit_phases(self, X, y, tracer: Tracer, fit_span) -> "SRDA":
+        """The fit pipeline, one observability span per phase."""
         report = FitReport()
         self.fit_report_ = report
-        X, classes, y_indices = validate_data(
-            X,
-            y,
-            on_invalid=self.on_invalid,
-            min_classes=1 if self.on_invalid == "warn" else 2,
-        )
+        with tracer.span("srda.validate"):
+            X, classes, y_indices = validate_data(
+                X,
+                y,
+                on_invalid=self.on_invalid,
+                min_classes=1 if self.on_invalid == "warn" else 2,
+            )
         self.classes_ = classes
         n_classes = classes.shape[0]
         if n_classes < 2:
@@ -243,7 +277,8 @@ class SRDA(LinearEmbedder):
                 "may overfit those classes",
                 emit=self.on_invalid == "warn",
             )
-        responses = generate_responses(y_indices, n_classes)
+        with tracer.span("srda.responses", n_classes=int(n_classes)):
+            responses = generate_responses(y_indices, n_classes)
         self.responses_ = responses
 
         sparse_input = isinstance(X, CSRMatrix) or is_sparse(X)
@@ -257,22 +292,49 @@ class SRDA(LinearEmbedder):
                 "centering sparse input densifies it; use solver='lsqr' "
                 "(implicit centering) or centering=False"
             )
+        fit_span.set_attribute("solver_used", solver)
+        fit_span.set_attribute("shape", [int(s) for s in X.shape])
 
         self.lsqr_iterations_ = None
-        if center:
-            components, intercept = self._fit_centered(
-                X, responses, solver, sparse_input, report
-            )
-        else:
-            components, intercept = self._fit_augmented(
-                X, responses, solver, sparse_input, report
-            )
+        with tracer.span("srda.solve", solver=solver, centered=center):
+            if center:
+                components, intercept = self._fit_centered(
+                    X, responses, solver, sparse_input, report, tracer
+                )
+            else:
+                components, intercept = self._fit_augmented(
+                    X, responses, solver, sparse_input, report, tracer
+                )
         self.solver_used_ = solver
         self.centered_ = center
         self.components_ = components
         self.intercept_ = intercept
-        self._store_centroids(self.transform(X), y_indices)
+        with tracer.span("srda.embed"):
+            self._store_centroids(self.transform(X), y_indices)
         return self
+
+    def _contract_check(self, op, tracer: Tracer) -> None:
+        """Run :func:`verify_operator` on the actual solve operator."""
+        from repro.analysis.contracts import verify_operator
+
+        with tracer.span(
+            "srda.contract_check", operator=type(op).__name__
+        ) as span:
+            contract = verify_operator(op)
+            span.set_attribute("checks", len(contract.checks))
+            span.set_attribute("ok", contract.ok)
+
+    def _instrument_operator(self, op, tracer: Tracer):
+        """Contract-check and/or flam-count the operator fit solves with."""
+        if self.validate_operators:
+            self._contract_check(op, tracer)
+        if tracer.enabled:
+            from repro.complexity.counter import FlamCountingOperator
+
+            op = FlamCountingOperator(
+                op, metrics=tracer.metrics, metric="srda.flam"
+            )
+        return op
 
     def _fit_single_class(self, X, y_indices, report: FitReport) -> "SRDA":
         """Degenerate one-class fit: a zero-dimensional embedding.
@@ -309,7 +371,7 @@ class SRDA(LinearEmbedder):
     # ------------------------------------------------------------------
     # Centered path — exactly Eqn 14 (dense data, or sparse via LSQR)
     # ------------------------------------------------------------------
-    def _fit_centered(self, X, responses, solver, sparse_input, report):
+    def _fit_centered(self, X, responses, solver, sparse_input, report, tracer):
         if solver == "normal":
             X = np.asarray(X, dtype=np.float64)
             mean = X.mean(axis=0)
@@ -322,11 +384,13 @@ class SRDA(LinearEmbedder):
                     "matrix singular at alpha=0",
                     emit=self.on_invalid == "warn",
                 )
+            if self.validate_operators:
+                self._contract_check(as_operator(centered), tracer)
             components = self._ridge_normal(centered, responses, report)
         else:
-            base = as_operator(X)
-            op = CenteringOperator(base)
-            mean = op.column_means
+            centering_op = CenteringOperator(as_operator(X))
+            mean = centering_op.column_means
+            op = self._instrument_operator(centering_op, tracer)
             components = self._ridge_lsqr(op, responses, report)
         intercept = -(mean @ components)
         return components, intercept
@@ -334,7 +398,7 @@ class SRDA(LinearEmbedder):
     # ------------------------------------------------------------------
     # Augmented path — Section III-B bias absorption
     # ------------------------------------------------------------------
-    def _fit_augmented(self, X, responses, solver, sparse_input, report):
+    def _fit_augmented(self, X, responses, solver, sparse_input, report, tracer):
         if solver == "normal":
             if sparse_input:
                 X = (
@@ -343,9 +407,13 @@ class SRDA(LinearEmbedder):
                     else np.asarray(X.todense(), dtype=np.float64)
                 )
             X_aug = np.hstack([X, np.ones((X.shape[0], 1))])
+            if self.validate_operators:
+                self._contract_check(as_operator(X_aug), tracer)
             weights = self._ridge_normal(X_aug, responses, report)
         else:
-            op = AppendOnesOperator(as_operator(X))
+            op = self._instrument_operator(
+                AppendOnesOperator(as_operator(X)), tracer
+            )
             weights = self._ridge_lsqr(op, responses, report)
         return weights[:-1], weights[-1]
 
@@ -395,10 +463,15 @@ class SRDA(LinearEmbedder):
         blocked Golub–Kahan iteration; ``block=False`` falls back to a
         sequential :func:`~repro.linalg.lsqr.lsqr` call per column.
         Both paths feed the same per-column diagnostics into the
-        report.
+        report.  When tracing is enabled, every solver iteration lands
+        as an event on the enclosing ``srda.solve`` span.  (The tracer
+        rides ``self._fit_tracer`` rather than the signature so that
+        fault-injection wrappers around this method keep working.)
         """
         starts = self._warm_start_matrix(op.shape[1], targets.shape[1])
         damp = float(np.sqrt(self.alpha))
+        tracer = getattr(self, "_fit_tracer", None)
+        hook = tracer.iteration_hook() if tracer is not None else None
         if self.block:
             blocked = block_lsqr(
                 op,
@@ -408,6 +481,7 @@ class SRDA(LinearEmbedder):
                 btol=self.tol,
                 iter_lim=self.max_iter,
                 X0=starts,
+                on_iteration=hook,
             )
             weights = np.asarray(blocked.X, dtype=np.float64)
             columns = [blocked.column(j) for j in range(targets.shape[1])]
@@ -423,6 +497,7 @@ class SRDA(LinearEmbedder):
                     btol=self.tol,
                     iter_lim=self.max_iter,
                     x0=None if starts is None else starts[:, j],
+                    on_iteration=hook,
                 )
                 weights[:, j] = result.x
                 columns.append(result)
@@ -458,6 +533,7 @@ def srda_alpha_path(
     max_iter: int = 20,
     tol: float = 1e-10,
     on_invalid: str = "raise",
+    trace=None,
 ) -> List[SRDA]:
     """Fit SRDA for every ``alpha`` with ONE pass over the data.
 
@@ -484,6 +560,12 @@ def srda_alpha_path(
         As the :class:`SRDA` constructor (the solver is always
         ``"lsqr"`` — the shared basis only exists on the iterative
         path).
+    trace:
+        Observability control, as :class:`SRDA`'s ``trace`` parameter.
+        When enabled the sweep emits one ``srda.alpha_path`` span with
+        a nested ``srda.bidiagonalize`` span (the single data pass) and
+        one ``srda.replay`` span per alpha (the zero-cost recurrence
+        replays).
 
     Returns
     -------
@@ -494,6 +576,7 @@ def srda_alpha_path(
         raise ValueError("alpha must be non-negative")
     if not alphas:
         return []
+    tracer = resolve_tracer(trace)
 
     def make_model(alpha: float) -> SRDA:
         return SRDA(
@@ -538,41 +621,49 @@ def srda_alpha_path(
     indicator[np.arange(X.shape[0]), y_indices] = 1.0 / counts[y_indices]
     class_means = base.rmatmat(indicator).T
 
-    shared = SharedBidiagonalization(op, responses, iter_lim=max_iter)
+    with tracer.span(
+        "srda.alpha_path", n_alphas=len(alphas), max_iter=int(max_iter)
+    ):
+        with tracer.span("srda.bidiagonalize"):
+            shared = SharedBidiagonalization(op, responses, iter_lim=max_iter)
 
-    models: List[SRDA] = []
-    for alpha in alphas:
-        model = make_model(alpha)
-        report = FitReport()
-        report.requested_solver = "lsqr"
-        if singletons:
-            report.add_warning(
-                f"{singletons} of {n_classes} classes have a single "
-                "sample; their within-class scatter is zero and the fit "
-                "may overfit those classes",
-                emit=on_invalid == "warn",
+        models: List[SRDA] = []
+        for alpha in alphas:
+            model = make_model(alpha)
+            report = FitReport()
+            report.requested_solver = "lsqr"
+            if singletons:
+                report.add_warning(
+                    f"{singletons} of {n_classes} classes have a single "
+                    "sample; their within-class scatter is zero and the fit "
+                    "may overfit those classes",
+                    emit=on_invalid == "warn",
+                )
+            with tracer.span("srda.replay", alpha=alpha):
+                solved = shared.solve(
+                    damp=float(np.sqrt(alpha)),
+                    atol=tol,
+                    btol=tol,
+                    on_iteration=tracer.iteration_hook(),
+                )
+            weights = np.asarray(solved.X, dtype=np.float64)
+            columns = [solved.column(j) for j in range(responses.shape[1])]
+            model.lsqr_iterations_ = _record_lsqr_columns(
+                columns, report, tol, alpha
             )
-        solved = shared.solve(
-            damp=float(np.sqrt(alpha)), atol=tol, btol=tol
-        )
-        weights = np.asarray(solved.X, dtype=np.float64)
-        columns = [solved.column(j) for j in range(responses.shape[1])]
-        model.lsqr_iterations_ = _record_lsqr_columns(
-            columns, report, tol, alpha
-        )
-        if center:
-            components = weights
-            intercept = -(mean @ components)
-        else:
-            components = weights[:-1]
-            intercept = weights[-1]
-        model.fit_report_ = report
-        model.classes_ = classes
-        model.responses_ = responses
-        model.solver_used_ = "lsqr"
-        model.centered_ = center
-        model.components_ = components
-        model.intercept_ = intercept
-        model.centroids_ = class_means @ components + intercept[None, :]
-        models.append(model)
+            if center:
+                components = weights
+                intercept = -(mean @ components)
+            else:
+                components = weights[:-1]
+                intercept = weights[-1]
+            model.fit_report_ = report
+            model.classes_ = classes
+            model.responses_ = responses
+            model.solver_used_ = "lsqr"
+            model.centered_ = center
+            model.components_ = components
+            model.intercept_ = intercept
+            model.centroids_ = class_means @ components + intercept[None, :]
+            models.append(model)
     return models

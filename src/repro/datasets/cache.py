@@ -193,6 +193,15 @@ def load_dataset(path: Union[str, Path]) -> Dataset:
     )
 
 
+def _count(metric: str) -> None:
+    """Bump a ``dataset_cache.*`` counter on the ambient tracer."""
+    from repro.observability import current_tracer
+
+    tracer = current_tracer()
+    if tracer.enabled:
+        tracer.metrics.counter(metric).add()
+
+
 def cached(
     builder,
     path: Union[str, Path],
@@ -205,15 +214,23 @@ def cached(
     through on a cache miss.  When the existing file is corrupt and
     ``regenerate_on_corruption`` is true (the default), it is deleted
     and rebuilt instead of failing the whole run.
+
+    When the ambient tracer is enabled, hits, misses, and corrupt
+    reads land on the ``dataset_cache.hits`` / ``.misses`` /
+    ``.corrupt`` counters.
     """
     path = _resolve_path(path)
     if path.exists():
         try:
-            return load_dataset(path)
+            dataset = load_dataset(path)
+            _count("dataset_cache.hits")
+            return dataset
         except CorruptCacheError:
+            _count("dataset_cache.corrupt")
             if not regenerate_on_corruption:
                 raise
             path.unlink(missing_ok=True)
+    _count("dataset_cache.misses")
     dataset = builder(**kwargs)
     save_dataset(dataset, path)
     return dataset

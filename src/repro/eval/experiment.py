@@ -28,7 +28,16 @@ import time
 import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -41,7 +50,15 @@ from repro.datasets.splits import (
     split_seeds,
 )
 from repro.eval.metrics import error_rate, mean_std
+from repro.observability import current_tracer
 from repro.robustness import RobustnessWarning
+
+#: Cell key: (algorithm name, training-size label).
+CellKey = Tuple[str, str]
+
+#: Failure-type sentinels for non-exception failure modes.
+MEMORY_BUDGET_FAILURE = "MemoryBudgetExceeded"
+FIT_TIMEOUT_FAILURE = "FitTimeout"
 
 #: The experiment machine in the paper had 2 GB of RAM.
 PAPER_MEMORY_BUDGET_BYTES = 2 * 1024**3
@@ -54,12 +71,23 @@ class CellResult:
     errors: List[float] = field(default_factory=list)
     fit_seconds: List[float] = field(default_factory=list)
     failure: Optional[str] = None
+    #: Machine-readable failure class: the exception type name for
+    #: fit/predict errors, or a sentinel (:data:`MEMORY_BUDGET_FAILURE`,
+    #: :data:`FIT_TIMEOUT_FAILURE`) for guard-imposed failures.
+    failure_type: Optional[str] = None
     retries: int = 0
 
     @property
     def failed(self) -> bool:
         """True when the cell could not run (e.g. over memory budget)."""
         return self.failure is not None
+
+    def record_failure(self, message: str, failure_type: str) -> None:
+        """Mark the cell failed, discarding any partial measurements."""
+        self.failure = message
+        self.failure_type = failure_type
+        self.errors.clear()
+        self.fit_seconds.clear()
 
     @property
     def mean_error(self) -> float:
@@ -83,7 +111,7 @@ class ExperimentResult:
     dataset_name: str
     algorithm_names: List[str]
     size_labels: List[str]
-    cells: Dict[tuple, CellResult]
+    cells: Dict[CellKey, CellResult]
     n_splits: int
 
     def cell(self, algorithm: str, size_label: str) -> CellResult:
@@ -119,7 +147,7 @@ def _make_split(
     dataset: Dataset,
     size: Union[int, float],
     rng: np.random.Generator,
-):
+) -> Tuple[np.ndarray, np.ndarray]:
     protocol = dataset.metadata.get("split_protocol", "per_class_within")
     if protocol == "per_class_within":
         return per_class_split(dataset.y, int(size), rng)
@@ -156,7 +184,7 @@ def _checkpoint_signature(
     labels: List[str],
     n_splits: int,
     seed: int,
-) -> Dict[str, object]:
+) -> Dict[str, Any]:
     return {
         "dataset": dataset_name,
         "algorithms": list(names),
@@ -168,11 +196,12 @@ def _checkpoint_signature(
 
 def _write_checkpoint(
     path: Path,
-    signature: Dict[str, object],
+    signature: Dict[str, Any],
     completed: Dict[str, int],
-    cells: Dict[tuple, CellResult],
+    cells: Dict[CellKey, CellResult],
 ) -> None:
     """Atomically persist sweep progress (temp file + rename)."""
+    labels: List[str] = signature["size_labels"]
     state = {
         "version": _CHECKPOINT_VERSION,
         "signature": signature,
@@ -183,12 +212,13 @@ def _write_checkpoint(
                     "errors": cell.errors,
                     "fit_seconds": cell.fit_seconds,
                     "failure": cell.failure,
+                    "failure_type": cell.failure_type,
                     "retries": cell.retries,
                 }
                 for (name, lab), cell in cells.items()
                 if lab == label
             }
-            for label in signature["size_labels"]
+            for label in labels
         },
     }
     tmp = path.with_name(path.name + f".tmp{os.getpid()}")
@@ -198,8 +228,8 @@ def _write_checkpoint(
 
 def _load_checkpoint(
     path: Path,
-    signature: Dict[str, object],
-    cells: Dict[tuple, CellResult],
+    signature: Dict[str, Any],
+    cells: Dict[CellKey, CellResult],
 ) -> Dict[str, int]:
     """Restore progress from ``path`` into ``cells``.
 
@@ -237,6 +267,9 @@ def _load_checkpoint(
             cell.errors = [float(e) for e in stored["errors"]]
             cell.fit_seconds = [float(t) for t in stored["fit_seconds"]]
             cell.failure = stored["failure"]
+            # Checkpoints written before failure_type existed lack the
+            # key; those cells keep None rather than invalidating.
+            cell.failure_type = stored.get("failure_type")
             cell.retries = int(stored.get("retries", 0))
     return {label: int(done) for label, done in completed.items()}
 
@@ -309,7 +342,7 @@ def run_experiment(
             )
     labels = [size_label(size) for size in train_sizes]
     names = list(algorithms)
-    cells: Dict[tuple, CellResult] = {
+    cells: Dict[CellKey, CellResult] = {
         (name, label): CellResult() for name in names for label in labels
     }
 
@@ -317,86 +350,61 @@ def run_experiment(
         dataset.name, names, labels, n_splits, seed
     )
     completed: Dict[str, int] = {}
-    if checkpoint_path is not None:
-        checkpoint_path = Path(checkpoint_path)
-        completed = _load_checkpoint(checkpoint_path, signature, cells)
+    ckpt: Optional[Path] = (
+        Path(checkpoint_path) if checkpoint_path is not None else None
+    )
+    if ckpt is not None:
+        completed = _load_checkpoint(ckpt, signature, cells)
 
     n_classes = dataset.n_classes
-    avg_nnz = (
+    avg_nnz: Optional[float] = (
         dataset.X.mean_nnz_per_row() if dataset.is_sparse else None
     )
 
-    for size, label in zip(train_sizes, labels):
-        seeds = split_seeds(seed + hash(label) % 100003, n_splits)
-        for split_index, split_seed in enumerate(seeds):
-            if split_index < completed.get(label, 0):
-                continue  # restored from checkpoint
-            rng = np.random.default_rng(int(split_seed))
-            train_idx, test_idx = _make_split(dataset, size, rng)
-            X_train, y_train = dataset.subset(train_idx)
-            X_test, y_test = dataset.subset(test_idx)
-            m, n = X_train.shape
-
-            for name in names:
-                cell = cells[(name, label)]
-                if cell.failed:
-                    continue
-                if memory_budget_bytes is not None:
-                    predicted = estimate_fit_bytes(
-                        name, m, n, n_classes, s=avg_nnz
-                    )
-                    if predicted > memory_budget_bytes:
-                        cell.failure = (
-                            f"predicted working set {predicted / 1e9:.1f} GB "
-                            f"exceeds budget {memory_budget_bytes / 1e9:.1f} GB"
-                        )
-                        cell.errors.clear()
-                        cell.fit_seconds.clear()
-                        continue
-                outcome = None
-                for attempt in range(retries + 1):
-                    model = algorithms[name]()
-                    try:
-                        start = time.perf_counter()
-                        model.fit(X_train, y_train)
-                        elapsed = time.perf_counter() - start
-                        error = error_rate(y_test, model.predict(X_test))
-                        outcome = (elapsed, error)
-                        break
-                    # Sanctioned boundary: the resilient runner must survive
-                    # any solver failure mode to finish the sweep.
-                    except Exception as exc:  # repro: noqa-RPR002
-                        if attempt < retries:
-                            cell.retries += 1
-                            continue
-                        if not continue_on_error:
-                            raise
-                        cell.failure = f"{type(exc).__name__}: {exc}"
-                        cell.errors.clear()
-                        cell.fit_seconds.clear()
-                if outcome is None:
-                    continue
-                elapsed, error = outcome
-                if (
-                    fit_timeout_seconds is not None
-                    and elapsed > fit_timeout_seconds
+    tracer = current_tracer()
+    with tracer.span(
+        "experiment.run",
+        dataset=dataset.name,
+        n_algorithms=len(names),
+        n_splits=int(n_splits),
+    ):
+        for size, label in zip(train_sizes, labels):
+            seeds = split_seeds(seed + hash(label) % 100003, n_splits)
+            for split_index, split_seed in enumerate(seeds):
+                if split_index < completed.get(label, 0):
+                    continue  # restored from checkpoint
+                with tracer.span(
+                    "experiment.split", size=label, split=int(split_index)
                 ):
-                    cell.failure = (
-                        f"fit took {elapsed:.2f}s, exceeding the "
-                        f"{fit_timeout_seconds:.2f}s timeout"
-                    )
-                    cell.errors.clear()
-                    cell.fit_seconds.clear()
-                    continue
-                cell.fit_seconds.append(elapsed)
-                cell.errors.append(error)
+                    rng = np.random.default_rng(int(split_seed))
+                    train_idx, test_idx = _make_split(dataset, size, rng)
+                    X_train, y_train = dataset.subset(train_idx)
+                    X_test, y_test = dataset.subset(test_idx)
+                    m, n = X_train.shape
 
-            completed[label] = split_index + 1
-            if checkpoint_path is not None:
-                _write_checkpoint(checkpoint_path, signature, completed, cells)
+                    for name in names:
+                        _run_cell(
+                            cells[(name, label)],
+                            name,
+                            algorithms[name],
+                            X_train,
+                            y_train,
+                            X_test,
+                            y_test,
+                            (m, n, n_classes, avg_nnz),
+                            memory_budget_bytes,
+                            continue_on_error,
+                            retries,
+                            fit_timeout_seconds,
+                            tracer,
+                        )
 
-    if checkpoint_path is not None:
-        checkpoint_path.unlink(missing_ok=True)
+                completed[label] = split_index + 1
+                if ckpt is not None:
+                    _write_checkpoint(ckpt, signature, completed, cells)
+
+    if ckpt is not None:
+        ckpt.unlink(missing_ok=True)
 
     return ExperimentResult(
         dataset_name=dataset.name,
@@ -405,3 +413,84 @@ def run_experiment(
         cells=cells,
         n_splits=n_splits,
     )
+
+
+def _run_cell(
+    cell: CellResult,
+    name: str,
+    factory: Callable[[], Any],
+    X_train: Any,
+    y_train: np.ndarray,
+    X_test: Any,
+    y_test: np.ndarray,
+    problem: Tuple[int, int, int, Optional[float]],
+    memory_budget_bytes: Optional[float],
+    continue_on_error: bool,
+    retries: int,
+    fit_timeout_seconds: Optional[float],
+    tracer: Any,
+) -> None:
+    """One algorithm's fit/predict on one split, with every guard.
+
+    Failures (memory budget, exception after retries, timeout) set both
+    the human-readable :attr:`CellResult.failure` message and the
+    machine-readable :attr:`CellResult.failure_type`, and land as an
+    ``experiment.failure`` event on the enclosing split span.
+    """
+    if cell.failed:
+        return
+    m, n, n_classes, avg_nnz = problem
+
+    def _fail(message: str, failure_type: str) -> None:
+        cell.record_failure(message, failure_type)
+        tracer.event(
+            "experiment.failure",
+            algorithm=name,
+            failure_type=failure_type,
+            message=message,
+        )
+
+    if memory_budget_bytes is not None:
+        predicted = estimate_fit_bytes(name, m, n, n_classes, s=avg_nnz)
+        if predicted > memory_budget_bytes:
+            _fail(
+                f"predicted working set {predicted / 1e9:.1f} GB "
+                f"exceeds budget {memory_budget_bytes / 1e9:.1f} GB",
+                MEMORY_BUDGET_FAILURE,
+            )
+            return
+    outcome: Optional[Tuple[float, float]] = None
+    with tracer.span("experiment.fit", algorithm=name) as fit_span:
+        for attempt in range(retries + 1):
+            model = factory()
+            try:
+                start = time.perf_counter()
+                model.fit(X_train, y_train)
+                elapsed = time.perf_counter() - start
+                error = error_rate(y_test, model.predict(X_test))
+                outcome = (elapsed, error)
+                break
+            # Sanctioned boundary: the resilient runner must survive
+            # any solver failure mode to finish the sweep.
+            except Exception as exc:  # repro: noqa-RPR002
+                if attempt < retries:
+                    cell.retries += 1
+                    continue
+                if not continue_on_error:
+                    raise
+                _fail(f"{type(exc).__name__}: {exc}", type(exc).__name__)
+        if outcome is not None:
+            fit_span.set_attribute("fit_seconds", outcome[0])
+            fit_span.set_attribute("error", outcome[1])
+    if outcome is None:
+        return
+    elapsed, error = outcome
+    if fit_timeout_seconds is not None and elapsed > fit_timeout_seconds:
+        _fail(
+            f"fit took {elapsed:.2f}s, exceeding the "
+            f"{fit_timeout_seconds:.2f}s timeout",
+            FIT_TIMEOUT_FAILURE,
+        )
+        return
+    cell.fit_seconds.append(elapsed)
+    cell.errors.append(error)

@@ -27,7 +27,7 @@ _REGISTRY = {
     "SparseSRDA": (SparseSRDA, ("alpha", "l1_ratio", "max_iter", "tol")),
     "LDA": (LDA, ("n_components", "svd_tol")),
     "RLDA": (RLDA, ("alpha", "n_components", "svd_tol")),
-    "IDRQR": (IDRQR, ("ridge", "n_components")),
+    "IDRQR": (IDRQR, ("alpha", "n_components")),
 }
 
 #: fitted-state arrays common to every LinearEmbedder
@@ -79,6 +79,11 @@ def load_model(path: Union[str, Path]):
             raise ValueError(f"unknown model type {type_name!r} in archive")
         cls, _ = _REGISTRY[type_name]
         params = json.loads(str(archive["params_json"]))
+        # Archives written before constructor-arg renames store the old
+        # spelling; migrate silently (the file format is not user code).
+        for old, new in getattr(cls, "_deprecated_params", {}).items():
+            if old in params and new not in params:
+                params[new] = params.pop(old)
         model = cls(**params)
         for name in _ARRAYS:
             if name in archive:

@@ -47,6 +47,32 @@ from repro.linalg.operators import (
     as_operator,
 )
 from repro.linalg.sparse import as_value_dtype
+from repro.observability.hooks import IterationEvent, IterationHook
+
+
+def _block_event(
+    solver: str,
+    itn: int,
+    state: "_ColumnState",
+    istop_iter: IntArray,
+    active: IntArray,
+) -> IterationEvent:
+    """One observability event for a whole block iteration.
+
+    ``r2norm``/``arnorm`` are the maxima over still-finite columns (a
+    diverged lane's NaN must not poison the trace); ``istop`` is the
+    strongest code any column hit this iteration (0 while all run).
+    """
+    finite_r2 = state.r2norm[np.isfinite(state.r2norm)]
+    finite_ar = state.arnorm[np.isfinite(state.arnorm)]
+    return IterationEvent(
+        solver=solver,
+        itn=itn,
+        r2norm=float(finite_r2.max()) if finite_r2.size else 0.0,
+        arnorm=float(finite_ar.max()) if finite_ar.size else 0.0,
+        istop=int(istop_iter.max()) if istop_iter.size else 0,
+        active=[int(col) for col in active],
+    )
 
 
 def _masked_errstate(fn):
@@ -359,6 +385,7 @@ def _solve_block(
     conlim: float,
     iter_lim: int,
     record_history: bool,
+    on_iteration: Optional[IterationHook] = None,
 ) -> BlockLSQRResult:
     """Cold-start blocked iteration (X0 handling lives in the wrapper)."""
     m, n = op.shape
@@ -464,6 +491,13 @@ def _solve_block(
 
         istop_iter = _post_step_istop(state, itn, iter_lim, atol, btol, ctol)
         istop_iter[pre_frozen] = 8
+        if on_iteration is not None:
+            # One event per block iteration, before compaction, so the
+            # firing count equals the max per-column itn and `active`
+            # names the original columns that iterated this step.
+            on_iteration(
+                _block_event("block_lsqr", itn, state, istop_iter, active)
+            )
         newly = (istop_iter != 0) & ~pre_frozen
         if newly.any():
             idx = np.flatnonzero(newly)
@@ -499,6 +533,7 @@ def block_lsqr(
     iter_lim: Optional[int] = None,
     X0: Optional[FloatArray] = None,
     record_history: bool = False,
+    on_iteration: Optional[IterationHook] = None,
 ) -> BlockLSQRResult:
     """Solve ``min_X ‖A X - B‖² + damp²‖X‖²`` for all columns at once.
 
@@ -509,6 +544,10 @@ def block_lsqr(
     rules independently; the only difference is that the operator is
     applied once per iteration via ``matmat``/``rmatmat`` instead of
     ``2k`` separate mat-vecs.
+
+    ``on_iteration`` fires once per *block* iteration (not per column)
+    with the still-active column indices; the firing count equals
+    ``int(result.itn.max())``.
 
     Returns a :class:`BlockLSQRResult`; ``result.column(j)`` recovers a
     sequential-style :class:`~repro.linalg.lsqr.LSQRResult` for any
@@ -559,6 +598,7 @@ def block_lsqr(
                 conlim,
                 iter_lim,
                 record_history,
+                on_iteration,
             )
             X = inner.X + X0
             residual = B - op.matmat(X)
@@ -580,7 +620,7 @@ def block_lsqr(
 
     result = _solve_block(
         op, as_value_dtype(B), damp, atol, btol, conlim, iter_lim,
-        record_history,
+        record_history, on_iteration,
     )
     if X0 is not None:
         result.X += X0
@@ -707,6 +747,7 @@ class SharedBidiagonalization:
         conlim: float = 1e8,
         iter_lim: Optional[int] = None,
         record_history: bool = False,
+        on_iteration: Optional[IterationHook] = None,
     ) -> BlockLSQRResult:
         """Replay the recorded basis under a damping value.
 
@@ -794,6 +835,16 @@ class SharedBidiagonalization:
                 state, itn, eff_lim, atol, btol, ctol
             )
             istop_iter[pre_frozen] = 8
+            if on_iteration is not None:
+                on_iteration(
+                    _block_event(
+                        "shared_bidiagonalization",
+                        itn,
+                        state,
+                        istop_iter,
+                        active,
+                    )
+                )
             newly = (istop_iter != 0) & ~pre_frozen
             if newly.any():
                 idx = np.flatnonzero(newly)

@@ -34,6 +34,7 @@ from repro.linalg.operators import (
     StackedOperator,
     as_operator,
 )
+from repro.observability.hooks import IterationEvent, IterationHook
 
 #: Human-readable meanings of the termination codes.  0–7 follow Paige &
 #: Saunders / Algorithm 583; 8 and 9 are this implementation's explicit
@@ -133,6 +134,7 @@ def lsqr(
     iter_lim: Optional[int] = None,
     x0: Optional[FloatArray] = None,
     record_history: bool = False,
+    on_iteration: Optional[IterationHook] = None,
 ) -> LSQRResult:
     """Solve ``min_x ‖A x - b‖² + damp² ‖x‖²`` by the LSQR iteration.
 
@@ -158,6 +160,12 @@ def lsqr(
         ``x - x0`` against the shifted residual.
     record_history:
         Keep ``r2norm`` per iteration (used by the convergence ablation).
+    on_iteration:
+        Optional observability hook called with one
+        :class:`~repro.observability.hooks.IterationEvent` per counted
+        iteration — the firing count always equals the returned
+        ``itn``, including on divergence (events fired at an istop=8
+        break carry the last finite diagnostics).
     """
     op = as_operator(A)
     m, n = op.shape
@@ -196,6 +204,7 @@ def lsqr(
                 conlim=conlim,
                 iter_lim=iter_lim,
                 record_history=record_history,
+                on_iteration=on_iteration,
             )
             x = inner.x + x0
             residual = b - op.matvec(x)
@@ -276,6 +285,22 @@ def lsqr(
     prev_r2norm = r2norm
     stalled_iterations = 0
 
+    def _notify(current_istop: int) -> None:
+        # Exactly one event per counted iteration: every `break` below
+        # is preceded by a call, and the loop bottom covers the
+        # continuing path.  Early breaks (non-finite beta/alfa) fire
+        # with the last finite diagnostics.
+        if on_iteration is not None:
+            on_iteration(
+                IterationEvent(
+                    solver="lsqr",
+                    itn=itn,
+                    r2norm=float(r2norm),
+                    arnorm=float(arnorm),
+                    istop=current_istop,
+                )
+            )
+
     while itn < iter_lim:
         itn += 1
         # Continue the bidiagonalization: beta*u = A v - alfa*u
@@ -285,6 +310,7 @@ def lsqr(
             # A NaN/Inf entered through the operator (or the iteration
             # diverged); x still holds the last finite iterate.
             istop = 8
+            _notify(istop)
             break
         if beta > 0:
             u /= beta
@@ -293,6 +319,7 @@ def lsqr(
             alfa = np.linalg.norm(v)
             if not np.isfinite(alfa):
                 istop = 8
+                _notify(istop)
                 break
             if alfa > 0:
                 v /= alfa
@@ -362,6 +389,7 @@ def lsqr(
 
         if not np.isfinite(r2norm) or not np.isfinite(xnorm):
             istop = 8
+            _notify(istop)
             break
         # Stagnation: several consecutive iterations with no residual
         # progress while *both* residual and optimality tests are still
@@ -379,6 +407,7 @@ def lsqr(
             and test2 > _STAGNATION_FLOOR
         ):
             istop = 9
+            _notify(istop)
             break
         t1_stop = test1 / (1 + anorm * xnorm / bnorm) if bnorm > 0 else 0.0
         rtol = btol + atol * anorm * xnorm / bnorm if bnorm > 0 else 0.0
@@ -399,6 +428,7 @@ def lsqr(
             istop = 2
         if test1 <= rtol:
             istop = 1
+        _notify(istop)
         if istop != 0:
             break
 

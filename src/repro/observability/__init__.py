@@ -1,0 +1,171 @@
+"""Solver observability: tracing, metrics, per-iteration hooks.
+
+Zero-dependency instrumentation substrate for the whole repo.  Three
+layers:
+
+- **Spans** (:class:`Tracer`, :func:`trace_span`) — nested timed
+  intervals covering fit phases, solves, fallback decisions;
+- **Metrics** (:class:`MetricsRegistry`) — counters / gauges /
+  histograms (flam counts, cache hits, fallback totals);
+- **Hooks** (:class:`IterationEvent`) — per-iteration solver callbacks
+  from ``lsqr`` / ``block_lsqr``.
+
+Two ways in:
+
+1. *Per-estimator*: ``SRDA(trace=tracer)`` (or ``trace=True`` for a
+   fresh in-memory tracer exposed as ``estimator.tracer_``).
+2. *Global*: :func:`configure` installs a process-wide tracer that
+   every instrumented path picks up via :func:`current_tracer`.
+
+While an enabled tracer has a span open, library code lower in the
+stack (``guarded_solve``, the dataset cache) joins that trace
+automatically — no threading of tracer handles through signatures.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Union
+
+from repro.observability.hooks import (
+    IterationEvent,
+    IterationHook,
+    IterationRecorder,
+)
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.observability.profile import (
+    SpanStats,
+    format_profile,
+    summarize_spans,
+)
+from repro.observability.sinks import (
+    NULL_SINK,
+    InMemorySink,
+    JsonlSink,
+    MultiSink,
+    Record,
+    Sink,
+    TextSink,
+)
+from repro.observability.spans import (
+    _ACTIVE_TRACER,
+    DISABLED_TRACER,
+    Span,
+    SpanEvent,
+    Tracer,
+)
+from repro.observability.validate import (
+    validate_trace_file,
+    validate_trace_lines,
+)
+
+__all__ = [
+    "Counter",
+    "DISABLED_TRACER",
+    "Gauge",
+    "Histogram",
+    "InMemorySink",
+    "IterationEvent",
+    "IterationHook",
+    "IterationRecorder",
+    "JsonlSink",
+    "MetricsRegistry",
+    "MultiSink",
+    "NULL_SINK",
+    "Record",
+    "Sink",
+    "Span",
+    "SpanEvent",
+    "SpanStats",
+    "TextSink",
+    "Tracer",
+    "configure",
+    "current_tracer",
+    "format_profile",
+    "get_tracer",
+    "resolve_tracer",
+    "summarize_spans",
+    "trace_span",
+    "validate_trace_file",
+    "validate_trace_lines",
+]
+
+# Process-wide tracer installed by configure(); disabled until then.
+_GLOBAL_TRACER: Tracer = DISABLED_TRACER
+
+
+def configure(
+    sink: Optional[Sink] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    enabled: bool = True,
+) -> Tracer:
+    """Install (and return) the process-wide tracer.
+
+    ``configure(enabled=False)`` restores the disabled default.  The
+    previous global tracer is not flushed or closed — callers that
+    swap sinks mid-process own that lifecycle.
+    """
+    global _GLOBAL_TRACER
+    if not enabled:
+        _GLOBAL_TRACER = DISABLED_TRACER
+    else:
+        _GLOBAL_TRACER = Tracer(sink=sink, metrics=metrics, enabled=True)
+    return _GLOBAL_TRACER
+
+
+def get_tracer() -> Tracer:
+    """The process-wide tracer (disabled unless :func:`configure` ran)."""
+    return _GLOBAL_TRACER
+
+
+def current_tracer() -> Tracer:
+    """The tracer instrumented library code should record into.
+
+    The innermost *enabled* tracer with an open span wins (so an
+    estimator-local ``SRDA(trace=...)`` captures the ``guarded_solve``
+    spans underneath it); otherwise the global tracer.
+    """
+    active = _ACTIVE_TRACER.get()
+    if active is not None:
+        return active
+    return _GLOBAL_TRACER
+
+
+def resolve_tracer(
+    trace: Union[None, bool, Tracer, Sink] = None,
+) -> Tracer:
+    """Turn an estimator's ``trace=`` argument into a tracer.
+
+    - ``None`` → the process-wide tracer (disabled unless configured);
+    - ``False`` → explicitly disabled, even if a global is configured;
+    - ``True`` → a fresh enabled tracer with an in-memory sink;
+    - a :class:`Tracer` → itself;
+    - a :class:`Sink` → a fresh enabled tracer writing to it.
+    """
+    if trace is None:
+        return _GLOBAL_TRACER
+    if trace is False:
+        return DISABLED_TRACER
+    if trace is True:
+        return Tracer(sink=InMemorySink(), enabled=True)
+    if isinstance(trace, Tracer):
+        return trace
+    if isinstance(trace, Sink):
+        return Tracer(sink=trace, enabled=True)
+    raise TypeError(
+        "trace must be None, bool, a Tracer, or a Sink; got "
+        f"{type(trace).__name__}"
+    )
+
+
+def trace_span(name: str, **attributes: Any) -> Any:
+    """Open a span on the *current* tracer (module-level convenience).
+
+    ``with trace_span("experiment.run", dataset=name): ...`` — a no-op
+    context manager when no enabled tracer is current.
+    """
+    return current_tracer().span(name, **attributes)

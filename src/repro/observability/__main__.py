@@ -1,0 +1,10 @@
+"""``python -m repro.observability TRACE.jsonl`` — validate a trace."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.observability.validate import main
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

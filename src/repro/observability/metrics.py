@@ -1,0 +1,153 @@
+"""Process-local metrics: counters, gauges, histograms.
+
+Deliberately minimal and dependency-free.  A :class:`MetricsRegistry`
+is a named bag of instruments that hot paths can update with one
+attribute store; it never touches the filesystem itself — sinks
+serialize a :meth:`MetricsRegistry.snapshot` when the caller flushes a
+trace.  All instruments are cheap enough to update unconditionally
+(one float add), so library code records into the current tracer's
+registry without checking whether tracing is enabled.
+
+Thread-safety: instrument *creation* is locked; instrument *updates*
+are plain ``+=`` on a float.  Under CPython that is not a torn write,
+and the consumers here (benchmark summaries, trace footers) tolerate
+the last-write-wins races a free-threaded build could introduce —
+these are diagnostics, not ledgers.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def add(self, amount: float = 1.0) -> None:
+        """Increase the counter; negative amounts are rejected."""
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can move in both directions (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Streaming summary of observed values (count/sum/min/max/last)."""
+
+    __slots__ = ("name", "count", "total", "minimum", "maximum", "last")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+        self.last = 0.0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.last = value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": float(self.count),
+            "sum": self.total,
+            "min": self.minimum if self.count else 0.0,
+            "max": self.maximum if self.count else 0.0,
+            "mean": self.mean,
+            "last": self.last,
+        }
+
+
+class MetricsRegistry:
+    """Named counters/gauges/histograms, created on first use.
+
+    ``counter("srda.flam").add(n)`` is the whole API surface hot paths
+    see; :meth:`snapshot` turns the registry into plain dicts for a
+    sink or a JSON report.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._counters.setdefault(name, Counter(name))
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._gauges.setdefault(name, Gauge(name))
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._histograms.setdefault(
+                    name, Histogram(name)
+                )
+        return instrument
+
+    def get_counter(self, name: str) -> Optional[Counter]:
+        """The counter if it exists, without creating it."""
+        return self._counters.get(name)
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Plain-dict view of every instrument, for serialization."""
+        with self._lock:
+            return {
+                "counters": {
+                    name: c.value for name, c in self._counters.items()
+                },
+                "gauges": {
+                    name: g.value for name, g in self._gauges.items()
+                },
+                "histograms": {
+                    name: h.summary()
+                    for name, h in self._histograms.items()
+                },
+            }
+
+    def reset(self) -> None:
+        """Drop every instrument (tests, between benchmark cases)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()

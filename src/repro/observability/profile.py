@@ -1,0 +1,103 @@
+"""Aggregate span records into a human-readable profile table.
+
+Consumes the plain span records sinks receive (not live spans), so it
+works identically on an :class:`~repro.observability.sinks.InMemorySink`
+capture and on a parsed JSONL trace file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional
+
+
+@dataclass
+class SpanStats:
+    """Aggregated timings for one span name."""
+
+    name: str
+    count: int = 0
+    total: float = 0.0
+    minimum: float = field(default=float("inf"))
+    maximum: float = 0.0
+    events: int = 0
+    errors: int = 0
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def add(self, duration: float, n_events: int, is_error: bool) -> None:
+        self.count += 1
+        self.total += duration
+        self.minimum = min(self.minimum, duration)
+        self.maximum = max(self.maximum, duration)
+        self.events += n_events
+        if is_error:
+            self.errors += 1
+
+
+def summarize_spans(
+    records: Iterable[Mapping[str, object]],
+) -> Dict[str, SpanStats]:
+    """Group span records by name; skips metrics and malformed lines."""
+    stats: Dict[str, SpanStats] = {}
+    for record in records:
+        if record.get("type") not in (None, "span"):
+            continue
+        name = record.get("name")
+        if not isinstance(name, str):
+            continue
+        duration = record.get("duration", 0.0)
+        if not isinstance(duration, (int, float)):
+            continue
+        events = record.get("events")
+        n_events = len(events) if isinstance(events, list) else 0
+        entry = stats.get(name)
+        if entry is None:
+            entry = stats[name] = SpanStats(name)
+        entry.add(
+            float(duration), n_events, record.get("status") == "error"
+        )
+    return stats
+
+
+def format_profile(
+    records: Iterable[Mapping[str, object]],
+    metrics: Optional[Mapping[str, object]] = None,
+) -> str:
+    """Render the ``--profile`` table: one line per span name.
+
+    Sorted by total time descending, so the expensive phase reads
+    first.  When a metrics snapshot (or a live
+    :class:`~repro.observability.metrics.MetricsRegistry`) is provided,
+    its counters are appended as a footer.
+    """
+    snapshot = getattr(metrics, "snapshot", None)
+    if callable(snapshot):
+        metrics = snapshot()
+    stats = summarize_spans(records)
+    lines: List[str] = [
+        f"{'span':32} {'calls':>6} {'total':>10} {'mean':>10} "
+        f"{'max':>10} {'events':>7}"
+    ]
+    lines.append("-" * len(lines[0]))
+    for entry in sorted(
+        stats.values(), key=lambda s: s.total, reverse=True
+    ):
+        marker = " !" if entry.errors else ""
+        lines.append(
+            f"{entry.name + marker:32} {entry.count:6d} "
+            f"{entry.total * 1e3:9.2f}ms {entry.mean * 1e3:9.2f}ms "
+            f"{entry.maximum * 1e3:9.2f}ms {entry.events:7d}"
+        )
+    if not stats:
+        lines.append("(no spans recorded)")
+    if metrics:
+        counters = metrics.get("counters")
+        if isinstance(counters, Mapping) and counters:
+            lines.append("")
+            lines.append("counters:")
+            for name in sorted(counters):
+                lines.append(f"  {name} = {counters[name]:.6g}")
+    return "\n".join(lines)

@@ -1,0 +1,224 @@
+"""Trace sinks — where finished spans and metric snapshots go.
+
+Three shipped sinks cover the three consumers:
+
+- :class:`InMemorySink` — tests and the ``--profile`` summary table;
+- :class:`JsonlSink` — one JSON object per line, the machine-readable
+  trace format (schema in ``docs/OBSERVABILITY.md``, validated by
+  :mod:`repro.observability.validate`);
+- :class:`TextSink` — indented human-readable lines for quick looks.
+
+:class:`MultiSink` fans out to several at once.  Sinks receive plain
+dict *records* (already serialized spans), never live ``Span`` objects,
+so a sink cannot accidentally mutate tracer state.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, TextIO, Union
+
+Record = Dict[str, object]
+
+
+class Sink:
+    """Base sink: every method is a no-op (also the null sink)."""
+
+    def emit_span(self, record: Record) -> None:  # noqa: B027 - optional
+        """Receive one finished span record."""
+
+    def emit_metrics(self, record: Record) -> None:  # noqa: B027
+        """Receive one metrics-snapshot record."""
+
+    def flush(self) -> None:  # noqa: B027
+        """Make everything emitted so far durable."""
+
+    def close(self) -> None:
+        """Flush and release resources."""
+        self.flush()
+
+
+#: Shared do-nothing sink for disabled tracers.
+NULL_SINK = Sink()
+
+
+class InMemorySink(Sink):
+    """Collects records in lists — the test and ``--profile`` sink.
+
+    Attributes
+    ----------
+    spans, metrics:
+        Emitted records, in emission order (children before parents,
+        since a span is emitted when it closes).
+    flush_count:
+        Times :meth:`flush` was called — lets tests assert that an
+        unwinding exception still flushed the sink.
+    """
+
+    def __init__(self) -> None:
+        self.spans: List[Record] = []
+        self.metrics: List[Record] = []
+        self.flush_count = 0
+
+    def emit_span(self, record: Record) -> None:
+        self.spans.append(record)
+
+    def emit_metrics(self, record: Record) -> None:
+        self.metrics.append(record)
+
+    def flush(self) -> None:
+        self.flush_count += 1
+
+    def find(self, name: str) -> List[Record]:
+        """All span records with the given name, in emission order."""
+        return [s for s in self.spans if s.get("name") == name]
+
+    def clear(self) -> None:
+        self.spans.clear()
+        self.metrics.clear()
+        self.flush_count = 0
+
+
+class JsonlSink(Sink):
+    """Appends one JSON object per line to a file (or a text stream).
+
+    The file is opened lazily on first emit and written line-at-a-time,
+    so a crash mid-run leaves a prefix of valid lines rather than a
+    torn document.  Passing a stream instead of a path writes there
+    and never closes it.
+    """
+
+    def __init__(self, target: Union[str, Path, TextIO]) -> None:
+        self._path: Optional[Path]
+        self._stream: Optional[TextIO]
+        if isinstance(target, (str, Path)):
+            self._path = Path(target)
+            self._stream = None
+            self._owns_stream = True
+        else:
+            self._path = None
+            self._stream = target
+            self._owns_stream = False
+
+    def _ensure_stream(self) -> TextIO:
+        if self._stream is None:
+            assert self._path is not None
+            self._stream = open(self._path, "a", encoding="utf-8")
+        return self._stream
+
+    def _write(self, record: Record) -> None:
+        stream = self._ensure_stream()
+        stream.write(json.dumps(record, default=_json_default))
+        stream.write("\n")
+
+    def emit_span(self, record: Record) -> None:
+        self._write(record)
+
+    def emit_metrics(self, record: Record) -> None:
+        self._write(record)
+
+    def flush(self) -> None:
+        if self._stream is not None:
+            try:
+                self._stream.flush()
+            except (OSError, ValueError):  # pragma: no cover - closed pipe
+                pass
+
+    def close(self) -> None:
+        self.flush()
+        if self._owns_stream and self._stream is not None:
+            self._stream.close()
+            self._stream = None
+
+
+class TextSink(Sink):
+    """Human-readable, depth-indented span lines.
+
+    Example output::
+
+        [  12.3ms] srda.fit solver=lsqr
+        [   1.2ms]   srda.responses
+    """
+
+    def __init__(self, stream: Optional[TextIO] = None) -> None:
+        self._stream = stream if stream is not None else sys.stderr
+
+    def emit_span(self, record: Record) -> None:
+        duration = float(record.get("duration", 0.0))  # type: ignore[arg-type]
+        depth = int(record.get("depth", 0))  # type: ignore[arg-type]
+        attributes = record.get("attributes") or {}
+        attr_text = ""
+        if isinstance(attributes, dict) and attributes:
+            attr_text = " " + " ".join(
+                f"{key}={_compact(value)}"
+                for key, value in attributes.items()
+            )
+        status = record.get("status")
+        marker = " !" if status == "error" else ""
+        self._stream.write(
+            f"[{duration * 1e3:8.1f}ms] "
+            + "  " * depth
+            + f"{record.get('name')}{marker}{attr_text}\n"
+        )
+
+    def emit_metrics(self, record: Record) -> None:
+        counters = record.get("counters") or {}
+        if isinstance(counters, dict) and counters:
+            body = " ".join(
+                f"{key}={_compact(value)}"
+                for key, value in sorted(counters.items())
+            )
+            self._stream.write(f"[ metrics ] {body}\n")
+
+    def flush(self) -> None:
+        try:
+            self._stream.flush()
+        except (OSError, ValueError):  # pragma: no cover - closed pipe
+            pass
+
+
+class MultiSink(Sink):
+    """Fan one record stream out to several sinks."""
+
+    def __init__(self, sinks: Sequence[Sink]) -> None:
+        self.sinks = list(sinks)
+
+    def emit_span(self, record: Record) -> None:
+        for sink in self.sinks:
+            sink.emit_span(record)
+
+    def emit_metrics(self, record: Record) -> None:
+        for sink in self.sinks:
+            sink.emit_metrics(record)
+
+    def flush(self) -> None:
+        for sink in self.sinks:
+            sink.flush()
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()
+
+
+def _compact(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    text = str(value)
+    return text if len(text) <= 40 else text[:37] + "..."
+
+
+def _json_default(value: object) -> object:
+    """Serialize numpy scalars/arrays without importing numpy here."""
+    if hasattr(value, "tolist"):
+        return value.tolist()
+    if hasattr(value, "item"):
+        return value.item()
+    return str(value)
+
+
+def open_text_stream(path: Union[str, Path]) -> TextIO:
+    """Open a UTF-8 text file for appending (helper for CLI wiring)."""
+    return io.TextIOWrapper(open(path, "ab"), encoding="utf-8")

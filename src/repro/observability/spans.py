@@ -1,0 +1,351 @@
+"""Nested timed spans and the :class:`Tracer` that produces them.
+
+The model is deliberately small — a span is a named, timed interval
+with attributes and point-in-time events, nested under a parent span.
+A :class:`Tracer` hands out spans through the :meth:`Tracer.span`
+context manager, keeps the current-span stack in a ``ContextVar`` (so
+nesting is correct across threads and async contexts), and emits each
+span to its sink when the span closes.
+
+Two invariants the tests pin down:
+
+- a span is closed **exactly once**, even when an exception unwinds
+  through several nested ``with`` blocks (each context manager guards
+  itself with a ``_closed`` flag);
+- the sink is **flushed when a root span closes**, so a trace is
+  durable after every top-level operation even if the process dies
+  later — including when the root span closed because of an exception.
+
+Disabled tracing costs one attribute check per ``span()`` call: the
+tracer returns a shared no-op context manager whose span swallows
+``set_attribute``/``add_event``.  Per-iteration solver instrumentation
+never goes through spans at all — it uses the hook protocol in
+:mod:`repro.observability.hooks`, which is ``None`` when tracing is
+off.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import itertools
+import time
+from types import TracebackType
+from typing import Any, Dict, List, Optional, Type
+
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.sinks import NULL_SINK, Record, Sink
+
+#: The innermost enabled tracer, set while one of its spans is open.
+#: Library code (``guarded_solve``, the dataset cache) reads this so an
+#: estimator-local tracer is honoured without threading it through
+#: every call signature.
+_ACTIVE_TRACER: "contextvars.ContextVar[Optional[Tracer]]" = (
+    contextvars.ContextVar("repro_active_tracer", default=None)
+)
+
+
+class SpanEvent:
+    """A named point in time inside a span (e.g. one LSQR iteration)."""
+
+    __slots__ = ("name", "time", "attributes")
+
+    def __init__(
+        self, name: str, timestamp: float, attributes: Dict[str, Any]
+    ) -> None:
+        self.name = name
+        self.time = timestamp
+        self.attributes = attributes
+
+    def to_record(self) -> Record:
+        return {
+            "name": self.name,
+            "time": self.time,
+            "attributes": self.attributes,
+        }
+
+
+class Span:
+    """One named, timed interval in a trace.
+
+    Attributes
+    ----------
+    name, trace_id, span_id, parent_id:
+        Identity: ``parent_id`` is ``None`` for root spans; every span
+        in one nested tree shares a ``trace_id``.
+    attributes:
+        Key → JSON-serializable value, set at creation or via
+        :meth:`set_attribute`.
+    events:
+        Ordered :class:`SpanEvent` list (per-iteration solver events,
+        fallback decisions, cache hits ...).
+    status:
+        ``"ok"``, or ``"error"`` when an exception closed the span.
+    """
+
+    __slots__ = (
+        "name",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "depth",
+        "start",
+        "end",
+        "status",
+        "attributes",
+        "events",
+        "_t0",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        trace_id: int,
+        span_id: int,
+        parent_id: Optional[int],
+        depth: int,
+        attributes: Dict[str, Any],
+    ) -> None:
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.depth = depth
+        self.start = time.time()
+        self.end: Optional[float] = None
+        self.status = "ok"
+        self.attributes = attributes
+        self.events: List[SpanEvent] = []
+        self._t0 = time.perf_counter()
+
+    @property
+    def duration(self) -> float:
+        """Seconds from start to close (so-far duration while open)."""
+        if self.end is None:
+            return time.perf_counter() - self._t0
+        return self.end - self.start
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        self.attributes[key] = value
+
+    def add_event(self, name: str, **attributes: Any) -> None:
+        self.events.append(SpanEvent(name, time.time(), attributes))
+
+    def to_record(self) -> Record:
+        duration = (
+            self.duration if self.end is not None else 0.0
+        )
+        return {
+            "type": "span",
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "depth": self.depth,
+            "start": self.start,
+            "end": self.end if self.end is not None else self.start,
+            "duration": duration,
+            "status": self.status,
+            "attributes": self.attributes,
+            "events": [event.to_record() for event in self.events],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "open" if self.end is None else f"{self.duration:.6f}s"
+        return f"Span({self.name!r}, {state})"
+
+
+class _NoOpSpan:
+    """Swallows every span operation; shared by all disabled contexts."""
+
+    __slots__ = ()
+
+    name = ""
+    status = "ok"
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        pass
+
+    def add_event(self, name: str, **attributes: Any) -> None:
+        pass
+
+
+NOOP_SPAN = _NoOpSpan()
+
+
+class _NoOpSpanContext:
+    """Context manager returned by a disabled tracer — costs nothing."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> _NoOpSpan:
+        return NOOP_SPAN
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> bool:
+        return False
+
+
+_NOOP_CONTEXT = _NoOpSpanContext()
+
+
+class _SpanContext:
+    """Live span context: times the span, maintains the tracer stack."""
+
+    __slots__ = ("_tracer", "span", "_closed", "_span_token", "_tracer_token")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self.span = span
+        self._closed = False
+        self._span_token: Optional[contextvars.Token[Optional[Span]]] = None
+        self._tracer_token: Optional[
+            contextvars.Token[Optional[Tracer]]
+        ] = None
+
+    def __enter__(self) -> Span:
+        self._span_token = self._tracer._current.set(self.span)
+        self._tracer_token = _ACTIVE_TRACER.set(self._tracer)
+        return self.span
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> bool:
+        if self._closed:  # close exactly once, whatever unwinds through
+            return False
+        self._closed = True
+        span = self.span
+        span.end = span.start + (time.perf_counter() - span._t0)
+        if exc_type is not None:
+            span.status = "error"
+            span.attributes.setdefault("error_type", exc_type.__name__)
+            if exc is not None:
+                span.attributes.setdefault("error_message", str(exc)[:200])
+        if self._span_token is not None:
+            self._tracer._current.reset(self._span_token)
+        if self._tracer_token is not None:
+            _ACTIVE_TRACER.reset(self._tracer_token)
+        self._tracer._emit(span)
+        return False
+
+
+class Tracer:
+    """Produces nested spans, owns a sink and a metrics registry.
+
+    Parameters
+    ----------
+    sink:
+        Where closed spans (and metric snapshots) go; defaults to the
+        shared null sink.
+    metrics:
+        The registry instrumented code records counters into; a fresh
+        one per tracer unless shared explicitly.
+    enabled:
+        When False, :meth:`span` returns a no-op context and
+        :meth:`iteration_hook` returns ``None`` — the zero-overhead
+        configuration the benchmark assertion guards.
+    """
+
+    def __init__(
+        self,
+        sink: Optional[Sink] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        enabled: bool = True,
+    ) -> None:
+        self.sink = sink if sink is not None else NULL_SINK
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.enabled = bool(enabled)
+        self._ids = itertools.count(1)
+        self._current: "contextvars.ContextVar[Optional[Span]]" = (
+            contextvars.ContextVar("repro_current_span", default=None)
+        )
+
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attributes: Any) -> Any:
+        """Open a nested span: ``with tracer.span("srda.fit") as span:``.
+
+        Returns a context manager yielding the :class:`Span` (or the
+        shared no-op span when disabled).  The span closes exactly once
+        when the block exits and is emitted to the sink; root spans
+        flush the sink on close.
+        """
+        if not self.enabled:
+            return _NOOP_CONTEXT
+        parent = self._current.get()
+        span_id = next(self._ids)
+        if parent is None:
+            trace_id = span_id
+            parent_id = None
+            depth = 0
+        else:
+            trace_id = parent.trace_id
+            parent_id = parent.span_id
+            depth = parent.depth + 1
+        return _SpanContext(
+            self,
+            Span(name, trace_id, span_id, parent_id, depth, attributes),
+        )
+
+    def current_span(self) -> Optional[Span]:
+        """The innermost open span of this tracer, or ``None``."""
+        return self._current.get()
+
+    def event(self, name: str, **attributes: Any) -> None:
+        """Attach an event to the current span (no-op when disabled)."""
+        if not self.enabled:
+            return
+        span = self._current.get()
+        if span is not None:
+            span.add_event(name, **attributes)
+
+    def iteration_hook(self, span: Optional[Span] = None) -> Optional[Any]:
+        """A solver ``on_iteration`` callback bound to ``span``.
+
+        Returns ``None`` when tracing is disabled (or no span is open),
+        so solvers skip per-iteration work entirely.  The callback
+        appends one ``"<solver>.iteration"`` event per
+        :class:`~repro.observability.hooks.IterationEvent`.
+        """
+        if not self.enabled:
+            return None
+        target = span if span is not None else self._current.get()
+        if target is None or isinstance(target, _NoOpSpan):
+            return None
+
+        def record(event: Any) -> None:
+            target.add_event(
+                f"{event.solver}.iteration", **event.to_attributes()
+            )
+
+        return record
+
+    # ------------------------------------------------------------------
+    def _emit(self, span: Span) -> None:
+        self.sink.emit_span(span.to_record())
+        if span.parent_id is None:
+            # Root closed: make the trace durable now.
+            self.sink.flush()
+
+    def flush(self, emit_metrics: bool = True) -> None:
+        """Emit a metrics snapshot (when enabled) and flush the sink."""
+        if self.enabled and emit_metrics:
+            snapshot = self.metrics.snapshot()
+            self.sink.emit_metrics(
+                {"type": "metrics", "time": time.time(), **snapshot}
+            )
+        self.sink.flush()
+
+    def close(self) -> None:
+        """Flush (with a final metrics snapshot) and close the sink."""
+        self.flush()
+        self.sink.close()
+
+
+#: Shared always-disabled tracer (``trace=False`` resolves to this).
+DISABLED_TRACER = Tracer(enabled=False)

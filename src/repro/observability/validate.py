@@ -1,0 +1,159 @@
+"""JSONL trace schema validator.
+
+Usage (also wired into CI's observability smoke step)::
+
+    python -m repro.observability trace.jsonl
+
+Checks every line parses as JSON and conforms to the span/metrics
+record schema documented in ``docs/OBSERVABILITY.md``: required keys,
+types, parent/trace referential integrity (a ``parent_id`` must name a
+span emitted in the same trace), and event shape.  Exit status 0 means
+the whole file validates.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Mapping, Set, Tuple, Union
+
+_SPAN_REQUIRED: Dict[str, Union[type, Tuple[type, ...]]] = {
+    "name": str,
+    "trace_id": int,
+    "span_id": int,
+    "depth": int,
+    "start": (int, float),
+    "end": (int, float),
+    "duration": (int, float),
+    "status": str,
+    "attributes": dict,
+    "events": list,
+}
+
+_METRICS_REQUIRED: Dict[str, Union[type, Tuple[type, ...]]] = {
+    "counters": dict,
+    "gauges": dict,
+    "histograms": dict,
+}
+
+
+def _check_span(record: Mapping[str, object], errors: List[str]) -> None:
+    for key, expected in _SPAN_REQUIRED.items():
+        if key not in record:
+            errors.append(f"span missing key {key!r}")
+        elif not isinstance(record[key], expected):
+            errors.append(
+                f"span key {key!r} has type "
+                f"{type(record[key]).__name__}"
+            )
+    parent = record.get("parent_id")
+    if parent is not None and not isinstance(parent, int):
+        errors.append("span parent_id must be int or null")
+    status = record.get("status")
+    if status not in ("ok", "error"):
+        errors.append(f"span status must be ok/error, got {status!r}")
+    events = record.get("events")
+    if isinstance(events, list):
+        for event in events:
+            if not isinstance(event, dict):
+                errors.append("span event is not an object")
+            elif not isinstance(event.get("name"), str) or not isinstance(
+                event.get("time"), (int, float)
+            ):
+                errors.append("span event missing name/time")
+
+
+def _check_metrics(
+    record: Mapping[str, object], errors: List[str]
+) -> None:
+    for key, expected in _METRICS_REQUIRED.items():
+        if key not in record:
+            errors.append(f"metrics missing key {key!r}")
+        elif not isinstance(record[key], expected):
+            errors.append(
+                f"metrics key {key!r} has type "
+                f"{type(record[key]).__name__}"
+            )
+
+
+def validate_trace_lines(lines: List[str]) -> List[str]:
+    """Validate JSONL lines; returns error strings (empty == valid)."""
+    errors: List[str] = []
+    seen_spans: Dict[int, Set[int]] = {}  # trace_id -> span ids
+    deferred_parents: List[Tuple[int, int, int]] = []
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            errors.append(f"line {lineno}: invalid JSON ({exc})")
+            continue
+        if not isinstance(record, dict):
+            errors.append(f"line {lineno}: not a JSON object")
+            continue
+        kind = record.get("type")
+        local: List[str] = []
+        if kind == "span":
+            _check_span(record, local)
+            trace_id = record.get("trace_id")
+            span_id = record.get("span_id")
+            if isinstance(trace_id, int) and isinstance(span_id, int):
+                seen_spans.setdefault(trace_id, set()).add(span_id)
+                parent = record.get("parent_id")
+                if isinstance(parent, int):
+                    # Children are emitted before their parents (spans
+                    # emit on close), so resolve references at the end.
+                    deferred_parents.append((lineno, trace_id, parent))
+        elif kind == "metrics":
+            _check_metrics(record, local)
+        else:
+            local.append(f"unknown record type {kind!r}")
+        errors.extend(f"line {lineno}: {msg}" for msg in local)
+    for lineno, trace_id, parent in deferred_parents:
+        if parent not in seen_spans.get(trace_id, set()):
+            errors.append(
+                f"line {lineno}: parent_id {parent} not found in "
+                f"trace {trace_id}"
+            )
+    return errors
+
+
+def validate_trace_file(path: Union[str, Path]) -> List[str]:
+    """Validate one JSONL trace file; returns error strings."""
+    text = Path(path).read_text(encoding="utf-8")
+    lines = text.splitlines()
+    if not any(line.strip() for line in lines):
+        return ["trace file is empty"]
+    return validate_trace_lines(lines)
+
+
+def main(argv: List[str]) -> int:
+    if len(argv) != 1:
+        print(
+            "usage: python -m repro.observability TRACE.jsonl",
+            file=sys.stderr,
+        )
+        return 2
+    path = Path(argv[0])
+    if not path.exists():
+        print(f"error: no such file: {path}", file=sys.stderr)
+        return 2
+    errors = validate_trace_file(path)
+    if errors:
+        for message in errors[:50]:
+            print(f"invalid: {message}", file=sys.stderr)
+        if len(errors) > 50:
+            print(
+                f"... and {len(errors) - 50} more errors",
+                file=sys.stderr,
+            )
+        return 1
+    n_lines = sum(
+        1
+        for line in path.read_text(encoding="utf-8").splitlines()
+        if line.strip()
+    )
+    print(f"ok: {path} ({n_lines} records)")
+    return 0

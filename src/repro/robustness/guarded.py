@@ -33,7 +33,7 @@ linear-algebra traceback.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Any, List, Optional
 
 import numpy as np
 
@@ -46,6 +46,7 @@ from repro.linalg.cholesky import (
     solve_factored,
 )
 from repro.linalg.block_lsqr import block_lsqr
+from repro.observability import current_tracer
 from repro.robustness.report import FitReport
 
 #: Default number of escalating-jitter Cholesky retries.
@@ -194,9 +195,54 @@ def guarded_solve(
     gram = np.asarray(gram, dtype=np.float64)
     rhs = np.asarray(rhs, dtype=np.float64)
     n = gram.shape[0]
+    # Observability rides the ambient tracer (a no-op unless the caller
+    # or the process configured one): the chain's decisions — which
+    # rung succeeded, every rung that failed — become span attributes,
+    # span events, and counters.
+    tracer = current_tracer()
+    with tracer.span(
+        "guarded_solve", alpha=float(alpha), n=int(n)
+    ) as span:
+        result = _solve_chain(
+            gram,
+            rhs,
+            alpha,
+            max_jitter_retries,
+            rescue_iter_lim,
+            tracer,
+            span,
+        )
+    if report is not None:
+        result.merge_into(report)
+    return result
+
+
+def _solve_chain(
+    gram: FloatArray,
+    rhs: FloatArray,
+    alpha: float,
+    max_jitter_retries: int,
+    rescue_iter_lim: Optional[int],
+    tracer: Any,
+    span: Any,
+) -> GuardedSolveResult:
+    """The fallback chain itself; ``span`` collects its decisions."""
+    n = gram.shape[0]
     attempts: List[str] = []
     diag = np.diagonal(gram)
     diag_scale = float(np.mean(np.abs(diag))) if n else 1.0
+
+    def _finish(result: GuardedSolveResult) -> GuardedSolveResult:
+        span.set_attribute("solver", result.solver)
+        span.set_attribute("effective_alpha", result.effective_alpha)
+        span.set_attribute("fallback_steps", len(result.fallbacks))
+        if tracer.enabled:
+            tracer.metrics.counter(f"guarded_solve.{result.solver}").add()
+        return result
+
+    def _fallback(step: str) -> None:
+        attempts.append(step)
+        tracer.event("guarded_solve.fallback", step=step)
 
     def _try_cholesky(shift: float, label: str):
         system = gram.copy()
@@ -205,11 +251,11 @@ def guarded_solve(
         try:
             L = cholesky(system)
         except NotPositiveDefiniteError as exc:
-            attempts.append(f"{label} failed ({exc})")
+            _fallback(f"{label} failed ({exc})")
             return None
         x = solve_factored(L, rhs)
         if not np.all(np.isfinite(x)):
-            attempts.append(f"{label} produced non-finite solution")
+            _fallback(f"{label} produced non-finite solution")
             return None
         return system, L, x
 
@@ -217,16 +263,15 @@ def guarded_solve(
     outcome = _try_cholesky(alpha, "cholesky")
     if outcome is not None:
         system, L, x = outcome
-        result = GuardedSolveResult(
-            x=x,
-            solver="cholesky",
-            effective_alpha=alpha,
-            condition_estimate=estimate_condition(system, L),
-            fallbacks=attempts,
+        return _finish(
+            GuardedSolveResult(
+                x=x,
+                solver="cholesky",
+                effective_alpha=alpha,
+                condition_estimate=estimate_condition(system, L),
+                fallbacks=attempts,
+            )
         )
-        if report is not None:
-            result.merge_into(report)
-        return result
 
     # Step 2: escalating-jitter retries.
     for k, jitter in enumerate(
@@ -238,16 +283,15 @@ def guarded_solve(
         )
         if outcome is not None:
             system, L, x = outcome
-            result = GuardedSolveResult(
-                x=x,
-                solver="cholesky+jitter",
-                effective_alpha=effective,
-                condition_estimate=estimate_condition(system, L),
-                fallbacks=attempts,
+            return _finish(
+                GuardedSolveResult(
+                    x=x,
+                    solver="cholesky+jitter",
+                    effective_alpha=effective,
+                    condition_estimate=estimate_condition(system, L),
+                    fallbacks=attempts,
+                )
             )
-            if report is not None:
-                result.merge_into(report)
-            return result
 
     # Step 3: LSQR rescue — minimum-norm solve of the (singular) system.
     if rescue_iter_lim is None:
@@ -265,6 +309,7 @@ def guarded_solve(
         atol=1e-12,
         btol=1e-12,
         iter_lim=rescue_iter_lim,
+        on_iteration=tracer.iteration_hook(span),
     )
     x = np.asarray(blocked.X, dtype=columns.dtype)
     istops: List[int] = [int(v) for v in blocked.istop]
@@ -273,24 +318,25 @@ def guarded_solve(
     if not np.all(np.isfinite(x)) or 8 in istops:
         # istop=8 means LSQR aborted on non-finite quantities; its x is
         # only the last finite iterate, not a rescue.
-        attempts.append(
+        _fallback(
             "lsqr rescue produced non-finite solution"
             if not np.all(np.isfinite(x))
             else "lsqr rescue hit non-finite products (istop=8)"
         )
+        if tracer.enabled:
+            tracer.metrics.counter("guarded_solve.failure").add()
         raise SolverFailure(
             "guarded_solve exhausted its fallback chain", attempts
         )
-    result = GuardedSolveResult(
-        x=x[:, 0] if rhs.ndim == 1 else x,
-        solver="lsqr-rescue",
-        effective_alpha=alpha,
-        condition_estimate=estimate_condition(system),
-        fallbacks=attempts,
-        lsqr_istop=istops,
-        lsqr_iterations=iterations,
-        lsqr_residuals=residuals,
+    return _finish(
+        GuardedSolveResult(
+            x=x[:, 0] if rhs.ndim == 1 else x,
+            solver="lsqr-rescue",
+            effective_alpha=alpha,
+            condition_estimate=estimate_condition(system),
+            fallbacks=attempts,
+            lsqr_istop=istops,
+            lsqr_iterations=iterations,
+            lsqr_residuals=residuals,
+        )
     )
-    if report is not None:
-        result.merge_into(report)
-    return result

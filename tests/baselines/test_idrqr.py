@@ -32,7 +32,7 @@ class TestIDRQR:
 
     def test_invalid_ridge(self):
         with pytest.raises(ValueError):
-            IDRQR(ridge=-1.0)
+            IDRQR(alpha=-1.0)
 
     def test_coincident_centroids_rejected(self, rng):
         X = np.tile(rng.standard_normal(4), (6, 1))

@@ -22,7 +22,7 @@ def stream(rng):
 class TestPartialFit:
     def test_unfitted_partial_fit_falls_back_to_fit(self, stream):
         X, y = stream(10, 1)
-        model = IDRQR(ridge=1.0).partial_fit(X, y)
+        model = IDRQR(alpha=1.0).partial_fit(X, y)
         assert model.components_ is not None
         assert model.score(X, y) > 0.9
 
@@ -34,11 +34,11 @@ class TestPartialFit:
         X2, y2 = stream(5, 3)
         X_test, y_test = stream(30, 4)
 
-        incremental = IDRQR(ridge=1.0).fit(X0, y0)
+        incremental = IDRQR(alpha=1.0).fit(X0, y0)
         incremental.partial_fit(X1, y1)
         incremental.partial_fit(X2, y2)
 
-        full = IDRQR(ridge=1.0).fit(
+        full = IDRQR(alpha=1.0).fit(
             np.vstack([X0, X1, X2]), np.concatenate([y0, y1, y2])
         )
         agreement = np.mean(
@@ -52,7 +52,7 @@ class TestPartialFit:
     def test_mean_tracked_exactly(self, stream):
         X0, y0 = stream(10, 1)
         X1, y1 = stream(4, 2)
-        model = IDRQR(ridge=1.0).fit(X0, y0)
+        model = IDRQR(alpha=1.0).fit(X0, y0)
         model.partial_fit(X1, y1)
         expected_mean = np.vstack([X0, X1]).mean(axis=0)
         assert np.allclose(model.mean_, expected_mean, atol=1e-12)
@@ -60,7 +60,7 @@ class TestPartialFit:
     def test_updates_improve_on_stale_model(self, rng, stream):
         """With a drifted class, incorporating new samples must help."""
         X0, y0 = stream(10, 1)
-        model = IDRQR(ridge=1.0).fit(X0, y0)
+        model = IDRQR(alpha=1.0).fit(X0, y0)
         # class 0 drifts to a new location
         drift = 6.0 * rng.standard_normal(12)
         X_new = X0[y0 == 0] + drift
@@ -72,25 +72,25 @@ class TestPartialFit:
 
     def test_unknown_label_rejected(self, stream):
         X0, y0 = stream(8, 1)
-        model = IDRQR(ridge=1.0).fit(X0, y0)
+        model = IDRQR(alpha=1.0).fit(X0, y0)
         with pytest.raises(ValueError, match="unseen"):
             model.partial_fit(X0[:2], np.array([7, 7]))
 
     def test_wrong_feature_count_rejected(self, stream, rng):
         X0, y0 = stream(8, 1)
-        model = IDRQR(ridge=1.0).fit(X0, y0)
+        model = IDRQR(alpha=1.0).fit(X0, y0)
         with pytest.raises(ValueError, match="feature"):
             model.partial_fit(rng.standard_normal((2, 5)), np.array([0, 1]))
 
     def test_length_mismatch_rejected(self, stream):
         X0, y0 = stream(8, 1)
-        model = IDRQR(ridge=1.0).fit(X0, y0)
+        model = IDRQR(alpha=1.0).fit(X0, y0)
         with pytest.raises(ValueError, match="mismatch"):
             model.partial_fit(X0[:3], y0[:2])
 
     def test_single_sample_updates(self, stream):
         X0, y0 = stream(10, 1)
-        model = IDRQR(ridge=1.0).fit(X0, y0)
+        model = IDRQR(alpha=1.0).fit(X0, y0)
         for i in range(6):
             model.partial_fit(X0[i : i + 1], y0[i : i + 1])
         assert np.all(np.isfinite(model.components_))

@@ -87,7 +87,7 @@ class TestScatterLDAAgreement:
     def test_matches_svd_route_subspace(self, small_classification):
         X, y = small_classification
         svd_route = LDA().fit(X, y)
-        scatter_route = ScatterLDA(ridge=1e-10).fit(X, y)
+        scatter_route = ScatterLDA(alpha=1e-10).fit(X, y)
         # same projection subspace: orthonormalized spans agree
         Q1, _ = np.linalg.qr(svd_route.components_)
         Q2, _ = np.linalg.qr(scatter_route.components_)
@@ -96,7 +96,7 @@ class TestScatterLDAAgreement:
     def test_matching_eigenvalues(self, small_classification):
         X, y = small_classification
         svd_route = LDA().fit(X, y)
-        scatter_route = ScatterLDA(ridge=1e-10).fit(X, y)
+        scatter_route = ScatterLDA(alpha=1e-10).fit(X, y)
         assert np.allclose(
             svd_route.eigenvalues_, scatter_route.eigenvalues_, atol=1e-5
         )
@@ -104,5 +104,5 @@ class TestScatterLDAAgreement:
     def test_same_predictions(self, small_classification):
         X, y = small_classification
         a = LDA().fit(X, y)
-        b = ScatterLDA(ridge=1e-10).fit(X, y)
+        b = ScatterLDA(alpha=1e-10).fit(X, y)
         assert np.array_equal(a.predict(X), b.predict(X))

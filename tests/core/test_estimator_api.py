@@ -1,0 +1,180 @@
+"""The shared estimator protocol: get/set params, clone, deprecations.
+
+Parametrized over :func:`repro.all_estimators`, so every estimator that
+joins the registry is automatically held to the contract.
+"""
+
+import inspect
+import warnings
+
+import pytest
+
+import repro
+from repro import IDRQR, SRDA, ReproDeprecationWarning, all_estimators, clone
+from repro.baselines.lda import ScatterLDA
+from repro.core.estimator import ReproEstimator
+
+REGISTRY = all_estimators()
+
+#: Non-default values per parameter name, used to prove that set_params
+#: and clone carry values through (defaults would vacuously pass).
+OVERRIDES = {
+    "alpha": 2.5,
+    "max_iter": 7,
+    "tol": 1e-6,
+    "n_components": 2,
+}
+
+
+def estimator_classes():
+    return [
+        pytest.param(loader, id=name) for name, loader in REGISTRY.items()
+    ]
+
+
+@pytest.mark.parametrize("loader", estimator_classes())
+class TestProtocolContract:
+    def test_is_repro_estimator(self, loader):
+        assert issubclass(loader(), ReproEstimator)
+
+    def test_params_mirror_constructor_signature(self, loader):
+        cls = loader()
+        estimator = cls()
+        params = estimator.get_params()
+        signature = inspect.signature(cls.__init__)
+        expected = {
+            name
+            for name in signature.parameters
+            if name != "self" and name not in cls._deprecated_params
+        }
+        assert set(params) == expected
+
+    def test_deprecated_names_hidden_from_get_params(self, loader):
+        cls = loader()
+        for old in cls._deprecated_params:
+            assert old not in cls().get_params()
+
+    def test_get_set_round_trip(self, loader):
+        estimator = loader()()
+        params = estimator.get_params()
+        changed = {
+            name: OVERRIDES[name]
+            for name in params
+            if name in OVERRIDES
+        }
+        estimator.set_params(**changed)
+        after = estimator.get_params()
+        for name, value in changed.items():
+            assert after[name] == value
+        untouched = set(params) - set(changed)
+        for name in untouched:
+            assert after[name] == params[name]
+
+    def test_clone_copies_params_not_fitted_state(self, loader):
+        estimator = loader()()
+        overrides = {
+            name: OVERRIDES[name]
+            for name in estimator.get_params()
+            if name in OVERRIDES
+        }
+        estimator.set_params(**overrides)
+        copy = clone(estimator)
+        assert type(copy) is type(estimator)
+        assert copy is not estimator
+        assert copy.get_params() == estimator.get_params()
+        assert copy.fit_report_ is None
+
+    def test_method_clone_matches_function(self, loader):
+        estimator = loader()()
+        assert estimator.clone().get_params() == clone(
+            estimator
+        ).get_params()
+
+    def test_set_params_rejects_unknown_names(self, loader):
+        estimator = loader()()
+        with pytest.raises(ValueError, match="invalid parameter"):
+            estimator.set_params(definitely_not_a_parameter=1)
+
+    def test_set_params_empty_is_noop(self, loader):
+        estimator = loader()()
+        assert estimator.set_params() is estimator
+
+
+class TestRegistry:
+    def test_registry_covers_public_estimators(self):
+        exported = {
+            name
+            for name in repro.__all__
+            if name[0].isupper()
+            and isinstance(getattr(repro, name), type)
+            and issubclass(getattr(repro, name), ReproEstimator)
+            and getattr(repro, name) is not ReproEstimator
+        }
+        assert exported == set(REGISTRY)
+
+    def test_loaders_resolve_to_exported_classes(self):
+        for name, loader in REGISTRY.items():
+            assert loader() is getattr(repro, name)
+
+
+class TestSRDAClone:
+    def test_clone_drops_fitted_attributes(self, small_classification):
+        X, y = small_classification
+        model = SRDA(alpha=2.0, solver="normal").fit(X, y)
+        copy = clone(model)
+        assert copy.components_ is None
+        assert copy.fit_report_ is None
+        assert copy.get_params()["alpha"] == 2.0
+        copy.fit(X, y)  # the clone is a working estimator
+        assert copy.components_ is not None
+
+    def test_clone_preserves_trace_argument(self):
+        model = SRDA(alpha=1.0, trace=True)
+        assert clone(model).get_params()["trace"] is True
+
+
+class TestDeprecatedRidgeSpelling:
+    @pytest.mark.parametrize(
+        "cls", [ScatterLDA, IDRQR], ids=["ScatterLDA", "IDRQR"]
+    )
+    def test_constructor_ridge_warns_and_maps(self, cls):
+        with pytest.warns(ReproDeprecationWarning, match="ridge=.*alpha="):
+            estimator = cls(ridge=0.75)
+        assert estimator.alpha == 0.75
+        assert "ridge" not in estimator.get_params()
+
+    @pytest.mark.parametrize(
+        "cls", [ScatterLDA, IDRQR], ids=["ScatterLDA", "IDRQR"]
+    )
+    def test_set_params_ridge_warns_and_maps(self, cls):
+        estimator = cls()
+        with pytest.warns(ReproDeprecationWarning):
+            estimator.set_params(ridge=0.25)
+        assert estimator.get_params()["alpha"] == 0.25
+
+    @pytest.mark.parametrize(
+        "cls", [ScatterLDA, IDRQR], ids=["ScatterLDA", "IDRQR"]
+    )
+    def test_ridge_alias_reads_silently_warns_on_write(self, cls):
+        estimator = cls(alpha=0.5)
+        with warnings.catch_warnings():
+            # Reading the alias stays quiet for the deprecation cycle.
+            warnings.simplefilter("error", ReproDeprecationWarning)
+            assert estimator.ridge == 0.5
+        with pytest.warns(ReproDeprecationWarning):
+            estimator.ridge = 1.5
+        assert estimator.alpha == 1.5
+
+    @pytest.mark.parametrize(
+        "cls", [ScatterLDA, IDRQR], ids=["ScatterLDA", "IDRQR"]
+    )
+    def test_new_spelling_stays_silent(self, cls):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", ReproDeprecationWarning)
+            estimator = cls(alpha=0.5)
+            estimator.set_params(alpha=1.0)
+            clone(estimator)
+        assert estimator.alpha == 1.0
+
+    def test_deprecation_warning_is_a_future_warning(self):
+        assert issubclass(ReproDeprecationWarning, FutureWarning)

@@ -12,7 +12,7 @@ ALGOS = {
     "LDA": lambda: LDA(),
     "RLDA": lambda: RLDA(alpha=1.0),
     "SRDA": lambda: SRDA(alpha=1.0),
-    "IDR/QR": lambda: IDRQR(ridge=1.0),
+    "IDR/QR": lambda: IDRQR(alpha=1.0),
 }
 
 

@@ -1,0 +1,16 @@
+"""Fixtures for the observability tests."""
+
+import pytest
+
+from repro import observability
+
+
+@pytest.fixture(autouse=True)
+def _reset_global_tracer():
+    """Restore the disabled default tracer after every test.
+
+    Tests that call ``configure()`` install a process-wide tracer;
+    leaking it would make unrelated tests record spans.
+    """
+    yield
+    observability.configure(enabled=False)

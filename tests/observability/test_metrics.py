@@ -1,0 +1,87 @@
+"""MetricsRegistry instruments: counters, gauges, histograms."""
+
+import pytest
+
+from repro.observability import MetricsRegistry
+
+
+class TestCounter:
+    def test_add_defaults_to_one(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits")
+        counter.add()
+        counter.add(2.5)
+        assert counter.value == 3.5
+
+    def test_negative_amount_rejected(self):
+        counter = MetricsRegistry().counter("hits")
+        with pytest.raises(ValueError, match="only go up"):
+            counter.add(-1)
+        assert counter.value == 0.0
+
+    def test_same_name_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.counter("x") is not registry.counter("y")
+
+
+class TestGauge:
+    def test_set_moves_both_directions(self):
+        gauge = MetricsRegistry().gauge("level")
+        gauge.set(5.0)
+        assert gauge.value == 5.0
+        gauge.set(-2)
+        assert gauge.value == -2.0
+
+
+class TestHistogram:
+    def test_observe_and_summary(self):
+        histogram = MetricsRegistry().histogram("timings")
+        for value in (2.0, 8.0, 5.0):
+            histogram.observe(value)
+        summary = histogram.summary()
+        assert summary["count"] == 3.0
+        assert summary["sum"] == 15.0
+        assert summary["min"] == 2.0
+        assert summary["max"] == 8.0
+        assert summary["mean"] == 5.0
+        assert summary["last"] == 5.0
+
+    def test_empty_summary_uses_zeros(self):
+        summary = MetricsRegistry().histogram("empty").summary()
+        assert summary["count"] == 0.0
+        assert summary["min"] == 0.0
+        assert summary["max"] == 0.0
+        assert summary["mean"] == 0.0
+
+
+class TestRegistry:
+    def test_get_counter_does_not_create(self):
+        registry = MetricsRegistry()
+        assert registry.get_counter("absent") is None
+        registry.counter("present").add()
+        assert registry.get_counter("present").value == 1.0
+
+    def test_snapshot_is_plain_data(self):
+        registry = MetricsRegistry()
+        registry.counter("c").add(2)
+        registry.gauge("g").set(7)
+        registry.histogram("h").observe(1.0)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"c": 2.0}
+        assert snapshot["gauges"] == {"g": 7.0}
+        assert snapshot["histograms"]["h"]["count"] == 1.0
+        # A snapshot is a copy: later updates do not mutate it.
+        registry.counter("c").add()
+        assert snapshot["counters"] == {"c": 2.0}
+
+    def test_reset_drops_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("c").add()
+        registry.reset()
+        assert registry.get_counter("c") is None
+        assert registry.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }

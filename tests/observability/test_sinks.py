@@ -1,0 +1,192 @@
+"""Sink behaviour and the JSONL schema validator."""
+
+import io
+import json
+
+import numpy as np
+
+from repro.observability import (
+    InMemorySink,
+    JsonlSink,
+    MultiSink,
+    TextSink,
+    Tracer,
+    validate_trace_file,
+    validate_trace_lines,
+)
+
+
+def trace_something(sink):
+    """Emit a small nested trace (plus metrics) into ``sink``."""
+    tracer = Tracer(sink=sink)
+    with tracer.span("outer", alpha=1.0):
+        with tracer.span("inner") as inner:
+            inner.add_event("tick", itn=1)
+    tracer.metrics.counter("ticks").add(2)
+    tracer.close()
+    return tracer
+
+
+class TestInMemorySink:
+    def test_find_and_clear(self):
+        sink = InMemorySink()
+        trace_something(sink)
+        assert [r["name"] for r in sink.spans] == ["inner", "outer"]
+        assert len(sink.find("inner")) == 1
+        assert sink.find("missing") == []
+        assert len(sink.metrics) == 1
+        assert sink.flush_count >= 1
+        sink.clear()
+        assert sink.spans == [] and sink.metrics == []
+        assert sink.flush_count == 0
+
+
+class TestJsonlSink:
+    def test_file_round_trip_validates(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        trace_something(JsonlSink(path))
+        lines = path.read_text().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert [r["type"] for r in records] == ["span", "span", "metrics"]
+        assert records[1]["name"] == "outer"
+        assert validate_trace_file(path) == []
+
+    def test_numpy_values_serialized(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path)
+        tracer = Tracer(sink=sink)
+        with tracer.span(
+            "numpy",
+            count=np.int64(3),
+            scale=np.float32(0.5),
+            shape=np.array([2, 3]),
+        ):
+            pass
+        sink.close()
+        record = json.loads(path.read_text())
+        assert record["attributes"] == {
+            "count": 3,
+            "scale": 0.5,
+            "shape": [2, 3],
+        }
+
+    def test_appends_across_instances(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        for _ in range(2):
+            sink = JsonlSink(path)
+            tracer = Tracer(sink=sink)
+            with tracer.span("run"):
+                pass
+            sink.close()
+        assert len(path.read_text().splitlines()) == 2
+        assert validate_trace_file(path) == []
+
+    def test_stream_target_not_closed(self):
+        stream = io.StringIO()
+        sink = JsonlSink(stream)
+        tracer = Tracer(sink=sink)
+        with tracer.span("streamed"):
+            pass
+        sink.close()
+        assert not stream.closed  # caller owns the stream
+        assert json.loads(stream.getvalue())["name"] == "streamed"
+
+
+class TestTextSink:
+    def test_indented_human_lines(self):
+        stream = io.StringIO()
+        trace_something(TextSink(stream))
+        lines = stream.getvalue().splitlines()
+        assert "inner" in lines[0] and "outer" in lines[1]
+        # depth-1 span indented further than its root
+        assert lines[0].index("inner") > lines[1].index("outer")
+        assert "alpha=1" in lines[1]
+        metrics_lines = [
+            line for line in lines[2:] if line.startswith("[ metrics ]")
+        ]
+        assert metrics_lines and "ticks=2" in metrics_lines[0]
+
+    def test_error_marker(self):
+        stream = io.StringIO()
+        sink = TextSink(stream)
+        sink.emit_span(
+            {"name": "bad", "duration": 0.1, "depth": 0, "status": "error"}
+        )
+        assert "bad !" in stream.getvalue()
+
+
+class TestMultiSink:
+    def test_fans_out(self):
+        first, second = InMemorySink(), InMemorySink()
+        trace_something(MultiSink([first, second]))
+        for sink in (first, second):
+            assert [r["name"] for r in sink.spans] == ["inner", "outer"]
+            assert len(sink.metrics) == 1
+            assert sink.flush_count >= 1
+
+
+class TestValidator:
+    def test_flags_broken_lines(self):
+        good = {
+            "type": "span",
+            "name": "ok",
+            "trace_id": 1,
+            "span_id": 1,
+            "parent_id": None,
+            "depth": 0,
+            "start": 0.0,
+            "end": 1.0,
+            "duration": 1.0,
+            "status": "ok",
+            "attributes": {},
+            "events": [],
+        }
+        assert validate_trace_lines([json.dumps(good)]) == []
+
+        missing = dict(good)
+        del missing["duration"]
+        assert any(
+            "duration" in e for e in validate_trace_lines([json.dumps(missing)])
+        )
+
+        bad_status = dict(good, status="maybe")
+        assert any(
+            "status" in e
+            for e in validate_trace_lines([json.dumps(bad_status)])
+        )
+
+        orphan = dict(good, span_id=2, parent_id=99)
+        errors = validate_trace_lines([json.dumps(orphan)])
+        assert any("parent_id 99" in e for e in errors)
+
+        assert any(
+            "invalid JSON" in e for e in validate_trace_lines(["{not json"])
+        )
+        assert any(
+            "unknown record type" in e
+            for e in validate_trace_lines(['{"type": "mystery"}'])
+        )
+
+    def test_children_before_parents_is_legal(self):
+        child = {
+            "type": "span",
+            "name": "child",
+            "trace_id": 1,
+            "span_id": 2,
+            "parent_id": 1,
+            "depth": 1,
+            "start": 0.0,
+            "end": 1.0,
+            "duration": 1.0,
+            "status": "ok",
+            "attributes": {},
+            "events": [],
+        }
+        parent = dict(child, name="parent", span_id=1, parent_id=None, depth=0)
+        lines = [json.dumps(child), json.dumps(parent)]
+        assert validate_trace_lines(lines) == []
+
+    def test_empty_file_is_invalid(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert validate_trace_file(path) == ["trace file is empty"]

@@ -1,0 +1,291 @@
+"""Span/tracer semantics: nesting, close-once, flush-on-root, dispatch."""
+
+import json
+
+import pytest
+
+from repro import observability
+from repro.observability import (
+    DISABLED_TRACER,
+    InMemorySink,
+    Sink,
+    Tracer,
+    configure,
+    current_tracer,
+    get_tracer,
+    resolve_tracer,
+    trace_span,
+    validate_trace_lines,
+)
+
+
+def make_tracer():
+    sink = InMemorySink()
+    return Tracer(sink=sink), sink
+
+
+class TestSpanRecords:
+    def test_root_span_record_schema(self):
+        tracer, sink = make_tracer()
+        with tracer.span("root", alpha=1.5) as span:
+            span.set_attribute("extra", "value")
+            span.add_event("tick", itn=1)
+        assert len(sink.spans) == 1
+        record = sink.spans[0]
+        assert record["type"] == "span"
+        assert record["name"] == "root"
+        assert record["parent_id"] is None
+        assert record["depth"] == 0
+        assert record["trace_id"] == record["span_id"]
+        assert record["status"] == "ok"
+        assert record["attributes"] == {"alpha": 1.5, "extra": "value"}
+        assert record["events"] == [record["events"][0]]
+        assert record["events"][0]["name"] == "tick"
+        assert record["events"][0]["attributes"] == {"itn": 1}
+        assert record["duration"] >= 0.0
+        assert record["end"] >= record["start"]
+
+    def test_record_passes_schema_validator(self):
+        tracer, sink = make_tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        lines = [json.dumps(record) for record in sink.spans]
+        assert validate_trace_lines(lines) == []
+
+    def test_nesting_parent_ids_and_depth(self):
+        tracer, sink = make_tracer()
+        with tracer.span("a") as a:
+            with tracer.span("b") as b:
+                with tracer.span("c") as c:
+                    pass
+        # Children emit before parents (spans emit on close).
+        assert [r["name"] for r in sink.spans] == ["c", "b", "a"]
+        rc, rb, ra = sink.spans
+        assert ra["parent_id"] is None
+        assert rb["parent_id"] == a.span_id
+        assert rc["parent_id"] == b.span_id
+        assert (ra["depth"], rb["depth"], rc["depth"]) == (0, 1, 2)
+        assert ra["trace_id"] == rb["trace_id"] == rc["trace_id"]
+        assert c.trace_id == a.trace_id
+
+    def test_siblings_share_trace_and_parent(self):
+        tracer, sink = make_tracer()
+        with tracer.span("root") as root:
+            with tracer.span("left"):
+                pass
+            with tracer.span("right"):
+                pass
+        left, right = sink.find("left")[0], sink.find("right")[0]
+        assert left["parent_id"] == right["parent_id"] == root.span_id
+        assert left["trace_id"] == right["trace_id"] == root.trace_id
+        assert left["span_id"] != right["span_id"]
+
+    def test_separate_roots_get_separate_traces(self):
+        tracer, sink = make_tracer()
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        first, second = sink.spans
+        assert first["trace_id"] != second["trace_id"]
+        assert first["parent_id"] is None and second["parent_id"] is None
+
+
+class TestCloseSemantics:
+    def test_exception_closes_every_span_exactly_once(self):
+        tracer, sink = make_tracer()
+        with pytest.raises(RuntimeError, match="boom"):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise RuntimeError("boom")
+        assert [r["name"] for r in sink.spans] == ["inner", "outer"]
+        for record in sink.spans:
+            assert record["status"] == "error"
+            assert record["attributes"]["error_type"] == "RuntimeError"
+            assert record["attributes"]["error_message"] == "boom"
+        # Root closed (via the exception) => the sink was flushed.
+        assert sink.flush_count >= 1
+
+    def test_manual_double_exit_emits_once(self):
+        tracer, sink = make_tracer()
+        context = tracer.span("once")
+        context.__enter__()
+        context.__exit__(None, None, None)
+        context.__exit__(None, None, None)
+        assert len(sink.find("once")) == 1
+
+    def test_error_message_truncated(self):
+        tracer, sink = make_tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("long"):
+                raise ValueError("x" * 500)
+        message = sink.spans[0]["attributes"]["error_message"]
+        assert len(message) == 200
+
+    def test_root_close_flushes_sink(self):
+        tracer, sink = make_tracer()
+        with tracer.span("root"):
+            with tracer.span("child"):
+                pass
+            assert sink.flush_count == 0  # child close does not flush
+        assert sink.flush_count == 1
+
+    def test_stack_restored_after_exception(self):
+        tracer, sink = make_tracer()
+        with pytest.raises(KeyError):
+            with tracer.span("failing"):
+                raise KeyError("k")
+        assert tracer.current_span() is None
+        with tracer.span("after"):
+            pass
+        assert sink.find("after")[0]["parent_id"] is None
+
+
+class TestDisabledTracer:
+    def test_span_is_noop(self):
+        with DISABLED_TRACER.span("nothing") as span:
+            span.set_attribute("k", "v")
+            span.add_event("e")
+        assert DISABLED_TRACER.current_span() is None
+
+    def test_iteration_hook_is_none(self):
+        assert DISABLED_TRACER.iteration_hook() is None
+
+    def test_event_is_noop(self):
+        DISABLED_TRACER.event("nothing", k=1)  # must not raise
+
+    def test_enabled_tracer_without_open_span_has_no_hook(self):
+        tracer, _ = make_tracer()
+        assert tracer.iteration_hook() is None
+
+
+class TestCurrentSpanAndEvents:
+    def test_current_span_tracks_innermost(self):
+        tracer, _ = make_tracer()
+        assert tracer.current_span() is None
+        with tracer.span("outer") as outer:
+            assert tracer.current_span() is outer
+            with tracer.span("inner") as inner:
+                assert tracer.current_span() is inner
+            assert tracer.current_span() is outer
+        assert tracer.current_span() is None
+
+    def test_event_attaches_to_current_span(self):
+        tracer, sink = make_tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                tracer.event("marker", step="a")
+        inner = sink.find("inner")[0]
+        outer = sink.find("outer")[0]
+        assert [e["name"] for e in inner["events"]] == ["marker"]
+        assert outer["events"] == []
+
+    def test_iteration_hook_binds_explicit_span(self):
+        tracer, sink = make_tracer()
+
+        class FakeEvent:
+            solver = "lsqr"
+
+            def to_attributes(self):
+                return {"solver": "lsqr", "itn": 1}
+
+        with tracer.span("outer") as outer:
+            hook = tracer.iteration_hook(outer)
+            with tracer.span("inner"):
+                hook(FakeEvent())
+        outer_record = sink.find("outer")[0]
+        assert [e["name"] for e in outer_record["events"]] == [
+            "lsqr.iteration"
+        ]
+        assert sink.find("inner")[0]["events"] == []
+
+
+class TestGlobalConfigureAndResolve:
+    def test_global_tracer_disabled_by_default(self):
+        configure(enabled=False)
+        assert not get_tracer().enabled
+        with trace_span("nothing"):
+            pass  # no-op, nothing recorded anywhere
+
+    def test_configure_installs_and_trace_span_records(self):
+        sink = InMemorySink()
+        configure(sink=sink)
+        with trace_span("global.root", key="v"):
+            pass
+        assert sink.find("global.root")[0]["attributes"] == {"key": "v"}
+
+    def test_configure_disabled_restores_default(self):
+        configure(sink=InMemorySink())
+        assert get_tracer().enabled
+        configure(enabled=False)
+        assert get_tracer() is DISABLED_TRACER
+
+    def test_local_tracer_with_open_span_wins(self):
+        global_sink = InMemorySink()
+        configure(sink=global_sink)
+        local, local_sink = make_tracer()
+        assert current_tracer() is get_tracer()
+        with local.span("local.root"):
+            assert current_tracer() is local
+            with trace_span("nested.via.current"):
+                pass
+        assert current_tracer() is get_tracer()
+        assert local_sink.find("nested.via.current")
+        assert not global_sink.find("nested.via.current")
+
+    def test_resolve_tracer_dispatch(self):
+        assert resolve_tracer(None) is observability.get_tracer()
+        assert resolve_tracer(False) is DISABLED_TRACER
+
+        fresh = resolve_tracer(True)
+        assert fresh.enabled
+        assert isinstance(fresh.sink, InMemorySink)
+        assert resolve_tracer(True) is not fresh  # a new tracer each time
+
+        tracer, _ = make_tracer()
+        assert resolve_tracer(tracer) is tracer
+
+        sink = InMemorySink()
+        wrapped = resolve_tracer(sink)
+        assert wrapped.enabled and wrapped.sink is sink
+        assert isinstance(wrapped, Tracer)
+
+        with pytest.raises(TypeError, match="trace must be"):
+            resolve_tracer(123)
+
+    def test_resolve_tracer_none_honours_configure(self):
+        sink = InMemorySink()
+        installed = configure(sink=sink)
+        assert resolve_tracer(None) is installed
+
+    def test_null_sink_accepts_everything(self):
+        tracer = Tracer(sink=Sink())
+        with tracer.span("into.the.void"):
+            pass
+        tracer.close()
+
+
+class TestFlushAndClose:
+    def test_flush_emits_metrics_snapshot(self):
+        tracer, sink = make_tracer()
+        tracer.metrics.counter("things").add(3)
+        tracer.flush()
+        assert len(sink.metrics) == 1
+        record = sink.metrics[0]
+        assert record["type"] == "metrics"
+        assert record["counters"] == {"things": 3.0}
+        assert "time" in record
+        assert validate_trace_lines([json.dumps(record)]) == []
+
+    def test_flush_without_metrics(self):
+        tracer, sink = make_tracer()
+        tracer.flush(emit_metrics=False)
+        assert sink.metrics == []
+        assert sink.flush_count == 1
+
+    def test_disabled_flush_emits_nothing(self):
+        sink = InMemorySink()
+        tracer = Tracer(sink=sink, enabled=False)
+        tracer.flush()
+        assert sink.metrics == []

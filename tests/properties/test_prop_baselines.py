@@ -36,7 +36,7 @@ def test_lda_eigenvalues_bounded(seed):
 @given(st.integers(0, 2**31 - 1))
 def test_embedding_dim_never_exceeds_c_minus_1(seed):
     X, y, c = classification_case(seed)
-    for model in (LDA(), RLDA(alpha=1.0), IDRQR(ridge=1.0)):
+    for model in (LDA(), RLDA(alpha=1.0), IDRQR(alpha=1.0)):
         model.fit(X, y)
         assert model.components_.shape[1] <= c - 1
 
@@ -46,7 +46,7 @@ def test_embedding_dim_never_exceeds_c_minus_1(seed):
 def test_predictions_within_training_label_set(seed):
     X, y, _ = classification_case(seed)
     query = np.random.default_rng(seed + 1).standard_normal(X.shape)
-    for model in (LDA(), RLDA(alpha=1.0), IDRQR(ridge=1.0)):
+    for model in (LDA(), RLDA(alpha=1.0), IDRQR(alpha=1.0)):
         model.fit(X, y)
         assert set(model.predict(query)) <= set(np.unique(y))
 
@@ -93,7 +93,7 @@ def test_pca_transform_inverse_round_trip(seed):
 @given(st.integers(0, 2**31 - 1))
 def test_idrqr_components_in_centroid_span(seed):
     X, y, c = classification_case(seed)
-    model = IDRQR(ridge=1.0).fit(X, y)
+    model = IDRQR(alpha=1.0).fit(X, y)
     mean = X.mean(axis=0)
     centroids = np.vstack(
         [X[y == k].mean(axis=0) - mean for k in range(c)]

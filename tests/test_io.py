@@ -16,7 +16,7 @@ def fitted_models(small_classification):
         "SparseSRDA": SparseSRDA(alpha=0.5, l1_ratio=0.8).fit(X, y),
         "LDA": LDA().fit(X, y),
         "RLDA": RLDA(alpha=2.0).fit(X, y),
-        "IDRQR": IDRQR(ridge=0.7).fit(X, y),
+        "IDRQR": IDRQR(alpha=0.7).fit(X, y),
     }
 
 
