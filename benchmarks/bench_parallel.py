@@ -1,0 +1,296 @@
+"""Sharded-backend benchmark — emits ``BENCH_parallel.json``.
+
+Measures what the parallel layer claims and what it must not break:
+
+1. **Wall time** of :func:`repro.linalg.block_lsqr.block_lsqr` through a
+   :class:`repro.parallel.ShardedOperator` on the serial, thread, and
+   process backends at several worker counts, against the pre-PR direct
+   (unsharded) path on the paper's 20Newsgroups-like shape
+   (m=20000, n=26000, c=20).
+2. **Parity**: every sharded variant must be *bitwise identical* to the
+   sharded serial run (``max_rel_diff_vs_serial == 0``), and within the
+   adjoint fold tolerance of the direct path
+   (``max_rel_diff_vs_direct <= 1e-12``).  Both are asserted, not just
+   recorded.
+3. **Serial overhead**: a single-shard ShardedOperator is a passthrough
+   and must cost <2% over the direct path.
+4. **Experiment grids**: ``run_experiment(n_jobs=...)`` error grids must
+   be bitwise identical across worker counts.
+
+Speedups are recorded together with ``cpu_count`` — on a single-core CI
+runner the threaded numbers honestly show ~1x, and the parity columns
+are the part that must hold everywhere.
+
+Run from the repo root::
+
+    PYTHONPATH=src:. python benchmarks/bench_parallel.py            # full
+    PYTHONPATH=src:. python benchmarks/bench_parallel.py --smoke    # CI
+
+The JSON schema is documented in ``docs/PARALLEL.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.core.srda import SRDA
+from repro.datasets import Dataset
+from repro.eval.experiment import run_experiment
+from repro.linalg.block_lsqr import block_lsqr
+from repro.linalg.operators import as_operator
+from repro.linalg.sparse import CSRMatrix
+from repro.parallel import ShardedOperator, resolve_backend
+
+FULL_CASE = dict(m=20000, n=26000, classes=20, row_nnz=80)
+SMOKE_CASE = dict(m=1200, n=900, classes=5, row_nnz=30)
+
+FULL_WORKERS = [1, 2, 4, 8]
+SMOKE_WORKERS = [2]
+
+
+def make_problem(m, n, row_nnz, seed=0):
+    """Sparse text-like data with sorted row indices (bench_block_lsqr's)."""
+    rng = np.random.default_rng(seed)
+    indices = np.empty(m * row_nnz, dtype=np.int64)
+    for i in range(m):
+        indices[i * row_nnz : (i + 1) * row_nnz] = np.sort(
+            rng.choice(n, size=row_nnz, replace=False)
+        )
+    data = rng.standard_normal(m * row_nnz)
+    indptr = np.arange(0, (m + 1) * row_nnz, row_nnz, dtype=np.int64)
+    return CSRMatrix(data, indices, indptr, shape=(m, n))
+
+
+def make_rhs(m, classes, seed=1):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((m, classes - 1))
+
+
+def best_of(repeats, fn):
+    best = float("inf")
+    value = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, value
+
+
+def rel_diff(X, reference):
+    scale = max(1.0, float(np.max(np.abs(reference))))
+    return float(np.max(np.abs(X - reference)) / scale)
+
+
+def solve(op, B, iter_lim, repeats):
+    return best_of(
+        repeats,
+        lambda: block_lsqr(op, B, damp=1.0, atol=0.0, btol=0.0,
+                           iter_lim=iter_lim).X,
+    )
+
+
+def run_solver_grid(case, iter_lim, repeats, worker_counts, include_process):
+    """Direct vs sharded serial/thread/process at each worker count."""
+    matrix = make_problem(case["m"], case["n"], case["row_nnz"])
+    B = make_rhs(case["m"], case["classes"])
+
+    direct_seconds, direct_x = solve(
+        as_operator(matrix), B, iter_lim, repeats
+    )
+
+    with ShardedOperator(matrix, backend="serial") as op:
+        n_shards = op.n_shards
+        serial_seconds, serial_x = solve(op, B, iter_lim, repeats)
+
+    variants = []
+    for backend_name in ("thread", "process") if include_process else ("thread",):
+        for workers in worker_counts:
+            backend = resolve_backend(backend_name, workers)
+            try:
+                with ShardedOperator(matrix, backend=backend) as op:
+                    seconds, X = solve(op, B, iter_lim, repeats)
+            finally:
+                backend.close()
+            vs_serial = rel_diff(X, serial_x)
+            vs_direct = rel_diff(X, direct_x)
+            assert vs_serial == 0.0, (
+                f"{backend_name} x{workers} diverged from the sharded "
+                f"serial run (max_rel_diff={vs_serial:.3e}); sharded "
+                "results must not depend on the backend"
+            )
+            assert vs_direct <= 1e-12, (
+                f"{backend_name} x{workers} drifted {vs_direct:.3e} from "
+                "the direct path; adjoint fold tolerance is 1e-12"
+            )
+            variants.append(
+                {
+                    "backend": backend_name,
+                    "n_workers": workers,
+                    "seconds": seconds,
+                    "speedup_vs_serial": serial_seconds / seconds,
+                    "speedup_vs_direct": direct_seconds / seconds,
+                    "max_rel_diff_vs_serial": vs_serial,
+                    "max_rel_diff_vs_direct": vs_direct,
+                }
+            )
+
+    return {
+        **case,
+        "nnz": matrix.nnz,
+        "iter_lim": iter_lim,
+        "n_shards": n_shards,
+        "direct": {"seconds": direct_seconds},
+        "sharded_serial": {
+            "seconds": serial_seconds,
+            "overhead_vs_direct": serial_seconds / direct_seconds - 1.0,
+            "max_rel_diff_vs_direct": rel_diff(serial_x, direct_x),
+        },
+        "variants": variants,
+    }
+
+
+def run_serial_passthrough(case, iter_lim, repeats):
+    """Single-shard sharding must be free: the pre-PR path, refactored.
+
+    Asserted at <2% (plus timer-jitter slack): ``SRDA()`` without
+    ``n_jobs`` never pays for the parallel layer's existence.
+    """
+    matrix = make_problem(case["m"], case["n"], case["row_nnz"])
+    B = make_rhs(case["m"], case["classes"])
+    reps = max(repeats, 5)
+
+    direct_seconds, _ = solve(as_operator(matrix), B, iter_lim, reps)
+    with ShardedOperator(matrix, n_shards=1, backend="serial") as op:
+        passthrough_seconds, _ = solve(op, B, iter_lim, reps)
+
+    overhead = passthrough_seconds / direct_seconds - 1.0
+    assert passthrough_seconds <= direct_seconds * 1.02 + 1e-4, (
+        f"single-shard passthrough added {overhead:.1%} over the direct "
+        "path; the serial backend must stay within 2%"
+    )
+    return {
+        "direct_seconds": direct_seconds,
+        "passthrough_seconds": passthrough_seconds,
+        "overhead": overhead,
+        "max_overhead": 0.02,
+    }
+
+
+def run_experiment_parity(seed=7):
+    """Error grids must be bitwise identical across ``n_jobs``."""
+    rng = np.random.default_rng(seed)
+    X = np.vstack(
+        [rng.standard_normal((40, 16)) + 3.0 * k for k in range(4)]
+    )
+    y = np.repeat(np.arange(4), 40)
+    dataset = Dataset(
+        "bench-grid",
+        X,
+        y,
+        metadata={
+            "split_protocol": "per_class_within",
+            "train_sizes": [5, 10],
+        },
+    )
+    algorithms = {"SRDA": lambda: SRDA(alpha=1.0)}
+
+    grids = {}
+    for jobs in (1, 2, 4):
+        result = run_experiment(
+            dataset, algorithms, n_splits=3, seed=seed, n_jobs=jobs
+        )
+        grids[jobs] = {
+            key: tuple(cell.errors) for key, cell in result.cells.items()
+        }
+    identical = all(grids[jobs] == grids[1] for jobs in grids)
+    assert identical, "experiment grids diverged across n_jobs"
+    return {
+        "n_jobs_checked": sorted(grids),
+        "n_cells": len(grids[1]),
+        "bitwise_identical": identical,
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny sizes for CI — validates parity, not throughput",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_parallel.json", help="output JSON path"
+    )
+    parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument(
+        "--no-process",
+        action="store_true",
+        help="skip the process backend (slow spawn on tiny runners)",
+    )
+    args = parser.parse_args(argv)
+
+    case = SMOKE_CASE if args.smoke else FULL_CASE
+    worker_counts = SMOKE_WORKERS if args.smoke else FULL_WORKERS
+    iter_lim = 10 if args.smoke else 15
+    repeats = args.repeats or (2 if args.smoke else 3)
+
+    solver = run_solver_grid(
+        case,
+        iter_lim=iter_lim,
+        repeats=repeats,
+        worker_counts=worker_counts,
+        include_process=not args.no_process,
+    )
+    print(
+        f"m={case['m']} n={case['n']} c={case['classes']} "
+        f"shards={solver['n_shards']}: direct "
+        f"{solver['direct']['seconds']:.3f}s, sharded serial "
+        f"{solver['sharded_serial']['seconds']:.3f}s "
+        f"({solver['sharded_serial']['overhead_vs_direct']:+.1%})"
+    )
+    for variant in solver["variants"]:
+        print(
+            f"  {variant['backend']:>7} x{variant['n_workers']}: "
+            f"{variant['seconds']:.3f}s "
+            f"(vs serial {variant['speedup_vs_serial']:.2f}x, "
+            f"rel diff {variant['max_rel_diff_vs_serial']:.1e} serial / "
+            f"{variant['max_rel_diff_vs_direct']:.1e} direct)"
+        )
+
+    passthrough = run_serial_passthrough(
+        SMOKE_CASE, iter_lim=iter_lim, repeats=repeats
+    )
+    print(
+        f"single-shard passthrough overhead: "
+        f"{passthrough['overhead']:+.2%}"
+    )
+
+    grid = run_experiment_parity()
+    print(
+        f"experiment grids over n_jobs={grid['n_jobs_checked']}: "
+        f"bitwise identical across {grid['n_cells']} cells"
+    )
+
+    payload = {
+        "benchmark": "parallel",
+        "mode": "smoke" if args.smoke else "full",
+        "cpu_count": os.cpu_count(),
+        "repeats": repeats,
+        "solver": solver,
+        "serial_passthrough": passthrough,
+        "experiment_grid": grid,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+    return payload
+
+
+if __name__ == "__main__":
+    main()

@@ -221,7 +221,7 @@ def _run_checks(
         try:
             Av = operator.matvec(v)
             Atu = operator.rmatvec(u)
-        except Exception as exc:  # repro: noqa-RPR002
+        except Exception as exc:  # repro: noqa-RPR002 — verifier boundary: any crash becomes a reported violation
             report.add(
                 f"matvec-call[{i}]",
                 False,
@@ -293,7 +293,7 @@ def _run_checks(
         try:
             AB = operator.matmat(B)
             AtU = operator.rmatmat(U)
-        except Exception as exc:  # repro: noqa-RPR002
+        except Exception as exc:  # repro: noqa-RPR002 — verifier boundary: any crash becomes a reported violation
             report.add(
                 "matmat-call",
                 False,

@@ -18,12 +18,11 @@ severe finding there is.
 from __future__ import annotations
 
 import ast
-import re
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
-from repro.analysis.rules import DEFAULT_RULES, Finding, Rule
+from repro.analysis.rules import DEFAULT_RULES, NOQA_RE, Finding, Rule
 
 __all__ = [
     "Finding",
@@ -33,12 +32,6 @@ __all__ = [
     "lint_paths",
     "lint_source",
 ]
-
-#: Matches ``# repro: noqa`` and ``# repro: noqa-RPR001,RPR002``.
-_NOQA_RE = re.compile(
-    r"#\s*repro:\s*noqa(?:-(?P<codes>RPR\d{3}(?:\s*,\s*RPR\d{3})*))?",
-    re.IGNORECASE,
-)
 
 #: Directory names never descended into.
 _SKIP_DIRS = frozenset({"__pycache__", ".git", ".hypothesis", ".pytest_cache"})
@@ -71,7 +64,7 @@ def _noqa_table(source: str) -> Dict[int, Set[str]]:
     for lineno, line in enumerate(source.splitlines(), start=1):
         if "#" not in line or "noqa" not in line:
             continue
-        match = _NOQA_RE.search(line)
+        match = NOQA_RE.search(line)
         if match is None:
             continue
         codes = match.group("codes")
@@ -129,7 +122,15 @@ def lint_source(
     n_suppressed = 0
     for rule in active:
         for finding in rule.check(tree, path):
-            if _suppressed(finding, table):
+            # Source-level rules with suppressible=False (the noqa
+            # hygiene check) bypass the table: a noqa comment must not
+            # be able to silence the rule that audits noqa comments.
+            if rule.suppressible and _suppressed(finding, table):
+                n_suppressed += 1
+            else:
+                findings.append(finding)
+        for finding in rule.check_source(source, path):
+            if rule.suppressible and _suppressed(finding, table):
                 n_suppressed += 1
             else:
                 findings.append(finding)

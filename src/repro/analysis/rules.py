@@ -28,12 +28,18 @@ RPR005    operator classes defining ``matvec`` without ``rmatvec`` (or
           will fall back to a broken default or crash mid-iteration.
 RPR006    mutable default arguments — shared state across calls
           corrupts per-fit diagnostics.
+RPR007    a ``# repro: noqa`` suppression without an adjacent
+          justification comment — sanctioned exceptions must say why
+          they are sanctioned.
 ========  ==============================================================
 """
 
 from __future__ import annotations
 
 import ast
+import io
+import re
+import tokenize
 from dataclasses import dataclass
 from pathlib import PurePosixPath
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
@@ -42,10 +48,19 @@ __all__ = [
     "DEFAULT_RULES",
     "Finding",
     "KERNEL_MODULE_SUFFIXES",
+    "NOQA_RE",
     "Rule",
     "rule_catalog",
     "rules_by_id",
 ]
+
+#: Matches ``# repro: noqa`` and ``# repro: noqa-RPR001,RPR002``.  Lives
+#: here (not in the linter) so the noqa-hygiene rule below can reuse it
+#: without importing the driver that imports this module.
+NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:-(?P<codes>RPR\d{3}(?:\s*,\s*RPR\d{3})*))?",
+    re.IGNORECASE,
+)
 
 #: Modules holding the memory-bound value-dtype kernels: the files where
 #: a stray dtype literal silently upcasts the whole float32 path.
@@ -148,6 +163,8 @@ class Rule:
     yielding a :class:`Finding` per hit.  :meth:`applies_to` restricts
     the rule to the paths where its contract is in force; the linter
     consults it before parsing, so out-of-scope files cost nothing.
+    Rules that inspect comments (invisible to the AST) override
+    :meth:`check_source` instead of (or as well as) :meth:`check`.
     """
 
     rule_id: str = ""
@@ -155,11 +172,33 @@ class Rule:
     summary: str = ""
     rationale: str = ""
 
+    #: When False, ``# repro: noqa`` comments cannot silence this rule —
+    #: used by the noqa-hygiene rule, which would otherwise be
+    #: self-suppressing on every line it flags.
+    suppressible: bool = True
+
     def applies_to(self, path: str) -> bool:
         return True
 
     def check(self, tree: ast.AST, path: str) -> Iterator[Finding]:
-        raise NotImplementedError
+        """AST-level findings; the default contributes none."""
+        return iter(())
+
+    def check_source(self, source: str, path: str) -> Iterator[Finding]:
+        """Source-level findings (comments, layout); default none."""
+        return iter(())
+
+    def line_finding(
+        self, path: str, line: int, col: int, message: str
+    ) -> Finding:
+        """A finding at an explicit position (for source-level rules)."""
+        return Finding(
+            path=path,
+            line=line,
+            col=col,
+            rule_id=self.rule_id,
+            message=message,
+        )
 
     def finding(self, path: str, node: ast.AST, message: str) -> Finding:
         return Finding(
@@ -480,6 +519,68 @@ class MutableDefaultRule(Rule):
         return False
 
 
+class UnjustifiedNoqaRule(Rule):
+    """RPR007 — noqa suppressions without a justification comment."""
+
+    rule_id = "RPR007"
+    name = "unjustified-noqa"
+    summary = (
+        "`# repro: noqa` suppression without an adjacent justification "
+        "comment"
+    )
+    rationale = (
+        "A suppression is a claim that this line is a sanctioned "
+        "exception to a numeric contract.  Unjustified claims rot: "
+        "nobody can review whether the exemption still holds after the "
+        "code around it changes.  Say why — either as trailing prose on "
+        "the same comment (`# repro: noqa-RPR002 — CLI boundary`) or as "
+        "a plain comment line directly above.  This rule cannot itself "
+        "be noqa'd; the justification IS the suppression mechanism."
+    )
+    suppressible = False
+
+    def check_source(self, source: str, path: str) -> Iterator[Finding]:
+        # Tokenize rather than regex-scan raw lines: a "# repro: noqa"
+        # inside a docstring or a test fixture string is prose ABOUT
+        # suppressions, not a suppression, and only COMMENT tokens are
+        # the real thing.
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+            comments = {
+                token.start[0]: (token.start[1], token.string)
+                for token in tokens
+                if token.type == tokenize.COMMENT
+            }
+        except (tokenize.TokenError, IndentationError, SyntaxError):
+            return  # unparsable source is RPR000's job
+        lines = source.splitlines()
+        for lineno in sorted(comments):
+            col, text = comments[lineno]
+            match = NOQA_RE.search(text)
+            if match is None:
+                continue
+            trailing = text[match.end():].strip().lstrip("-—:;,. ").strip()
+            if trailing:
+                continue  # justified inline, after the directive
+            if self._comment_above(lines, lineno):
+                continue
+            yield self.line_finding(
+                path,
+                lineno,
+                col + match.start() + 1,
+                "noqa suppression has no justification; add prose after "
+                "the directive or a comment line directly above",
+            )
+
+    @staticmethod
+    def _comment_above(lines: List[str], lineno: int) -> bool:
+        """True when the previous line is a pure (non-noqa) comment."""
+        if lineno < 2:
+            return False
+        above = lines[lineno - 2].strip()
+        return above.startswith("#") and NOQA_RE.search(above) is None
+
+
 #: The shipped rule set, in ID order.
 DEFAULT_RULES: Tuple[Rule, ...] = (
     DtypeLiteralDriftRule(),
@@ -488,6 +589,7 @@ DEFAULT_RULES: Tuple[Rule, ...] = (
     UnseededRandomRule(),
     MissingAdjointRule(),
     MutableDefaultRule(),
+    UnjustifiedNoqaRule(),
 )
 
 

@@ -160,6 +160,7 @@ def cmd_bench(args) -> int:
         continue_on_error=not args.fail_fast,
         retries=args.retries,
         checkpoint_path=args.checkpoint,
+        n_jobs=args.jobs,
     )
     print(format_error_table(result))
     print()
@@ -251,6 +252,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache", default=None, metavar="PATH",
         help="load the dataset from this .npz cache (generating and "
         "saving it on first use; corrupt caches are regenerated)",
+    )
+    bench.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="run each split's per-algorithm cells on N worker threads "
+        "(-1 = all cores); results are bitwise identical to --jobs 1",
     )
     bench.add_argument(
         "--trace-jsonl", default=None, metavar="PATH",

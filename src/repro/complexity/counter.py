@@ -13,6 +13,7 @@ SRDA-LSQR against both ``m`` and ``n``, and ≥ 2 for LDA against
 
 from __future__ import annotations
 
+import threading
 from typing import Optional, Sequence
 
 import numpy as np
@@ -54,12 +55,17 @@ class FlamCountingOperator(LinearOperator):
                 nnz = self.shape[0] * self.shape[1]
         self.nnz = int(nnz)
         self.flam = 0
+        self._flam_lock = threading.Lock()
         self._counter = (
             metrics.counter(metric) if metrics is not None else None
         )
 
     def _charge(self, amount: int) -> None:
-        self.flam += amount
+        # flam += is a read-modify-write on an unbounded int — unlike
+        # the float metrics, concurrent charges (thread-backend shards,
+        # user threading) can drop increments without the lock.
+        with self._flam_lock:
+            self.flam += amount
         if self._counter is not None:
             self._counter.add(float(amount))
 

@@ -64,6 +64,7 @@ from repro.linalg.operators import (
 )
 from repro.linalg.sparse import CSRMatrix, is_sparse
 from repro.observability import Tracer, resolve_tracer
+from repro.parallel import Backend, ShardedOperator, effective_n_jobs
 from repro.robustness import FitReport, guarded_solve
 
 #: Above this min(m, n) the Gram matrix of the normal-equations path gets
@@ -176,6 +177,23 @@ class SRDA(LinearEmbedder):
         shape contracts) and emits an ``srda.contract_check`` span.
         Raises :class:`~repro.exceptions.ContractViolationError` on a
         violation — the debug switch for custom operators.
+    n_jobs:
+        Worker count for the LSQR path's operator products.  ``None``
+        or 1 keeps the direct single-core kernels; ``k > 1`` (or
+        ``-1`` for every core) routes products through a row-sharded
+        operator (:class:`repro.parallel.ShardedOperator`) on a thread
+        backend.  The shard layout depends only on the data shape,
+        never on the worker count, so every parallel fit is bitwise
+        identical at any ``n_jobs`` and on any backend; against the
+        direct single-core path the fit agrees to the fold tolerance
+        of the sharded block products (~1e-15 per product).  Ignored
+        by the normal-equations solver.
+    backend:
+        Execution backend for the sharded products: ``None`` (pick
+        from ``n_jobs``), a name (``"serial"``/``"thread"``/
+        ``"process"``), or a live
+        :class:`repro.parallel.Backend` — the instance is shared, not
+        closed, so one process pool can serve many fits.
 
     Attributes
     ----------
@@ -210,6 +228,8 @@ class SRDA(LinearEmbedder):
         on_invalid: str = "raise",
         trace=None,
         validate_operators: bool = False,
+        n_jobs: Optional[int] = None,
+        backend: Union[str, Backend, None] = None,
     ) -> None:
         if alpha < 0:
             raise ValueError("alpha must be non-negative")
@@ -221,6 +241,11 @@ class SRDA(LinearEmbedder):
             raise ValueError("max_iter must be positive")
         if on_invalid not in ("raise", "warn"):
             raise ValueError("on_invalid must be 'raise' or 'warn'")
+        effective_n_jobs(n_jobs)  # validate early; stored verbatim below
+        if backend is not None and not isinstance(backend, (str, Backend)):
+            raise ValueError(
+                "backend must be None, a backend name, or a Backend"
+            )
         self.alpha = float(alpha)
         self.solver = solver
         self.centering = centering
@@ -231,6 +256,8 @@ class SRDA(LinearEmbedder):
         self.on_invalid = on_invalid
         self.trace = trace
         self.validate_operators = bool(validate_operators)
+        self.n_jobs = n_jobs
+        self.backend = backend
         self.tracer_: Optional[Tracer] = None
         self.components_ = None
         self.intercept_ = None
@@ -336,6 +363,20 @@ class SRDA(LinearEmbedder):
             )
         return op
 
+    def _base_operator(self, X):
+        """Data operator for the LSQR path, sharded when parallel.
+
+        Returns ``(op, sharded)`` where ``sharded`` is the
+        :class:`~repro.parallel.ShardedOperator` to close after the
+        solve, or ``None`` on the direct path.  The direct path is
+        byte-for-byte the pre-parallel code — ``n_jobs=None`` adds no
+        wrapper and no overhead.
+        """
+        if self.backend is None and effective_n_jobs(self.n_jobs) <= 1:
+            return as_operator(X), None
+        sharded = ShardedOperator(X, backend=self.backend, n_jobs=self.n_jobs)
+        return sharded, sharded
+
     def _fit_single_class(self, X, y_indices, report: FitReport) -> "SRDA":
         """Degenerate one-class fit: a zero-dimensional embedding.
 
@@ -388,10 +429,15 @@ class SRDA(LinearEmbedder):
                 self._contract_check(as_operator(centered), tracer)
             components = self._ridge_normal(centered, responses, report)
         else:
-            centering_op = CenteringOperator(as_operator(X))
-            mean = centering_op.column_means
-            op = self._instrument_operator(centering_op, tracer)
-            components = self._ridge_lsqr(op, responses, report)
+            base, sharded = self._base_operator(X)
+            try:
+                centering_op = CenteringOperator(base)
+                mean = centering_op.column_means
+                op = self._instrument_operator(centering_op, tracer)
+                components = self._ridge_lsqr(op, responses, report)
+            finally:
+                if sharded is not None:
+                    sharded.close()
         intercept = -(mean @ components)
         return components, intercept
 
@@ -411,10 +457,13 @@ class SRDA(LinearEmbedder):
                 self._contract_check(as_operator(X_aug), tracer)
             weights = self._ridge_normal(X_aug, responses, report)
         else:
-            op = self._instrument_operator(
-                AppendOnesOperator(as_operator(X)), tracer
-            )
-            weights = self._ridge_lsqr(op, responses, report)
+            base, sharded = self._base_operator(X)
+            try:
+                op = self._instrument_operator(AppendOnesOperator(base), tracer)
+                weights = self._ridge_lsqr(op, responses, report)
+            finally:
+                if sharded is not None:
+                    sharded.close()
         return weights[:-1], weights[-1]
 
     # ------------------------------------------------------------------
@@ -534,6 +583,8 @@ def srda_alpha_path(
     tol: float = 1e-10,
     on_invalid: str = "raise",
     trace=None,
+    n_jobs: Optional[int] = None,
+    backend: Union[str, Backend, None] = None,
 ) -> List[SRDA]:
     """Fit SRDA for every ``alpha`` with ONE pass over the data.
 
@@ -566,6 +617,11 @@ def srda_alpha_path(
         a nested ``srda.bidiagonalize`` span (the single data pass) and
         one ``srda.replay`` span per alpha (the zero-cost recurrence
         replays).
+    n_jobs, backend:
+        Parallel operator products for the single bidiagonalization
+        pass, exactly as :class:`SRDA`'s parameters of the same names.
+        The replayed recurrences touch no data, so only the shared
+        pass speeds up — which is the whole cost of the sweep.
 
     Returns
     -------
@@ -606,7 +662,12 @@ def srda_alpha_path(
 
     sparse_input = isinstance(X, CSRMatrix) or is_sparse(X)
     center = not sparse_input if centering == "auto" else bool(centering)
-    base = as_operator(X)
+    if backend is None and effective_n_jobs(n_jobs) <= 1:
+        base = as_operator(X)
+        sharded = None
+    else:
+        sharded = ShardedOperator(X, backend=backend, n_jobs=n_jobs)
+        base = sharded
     if center:
         op = CenteringOperator(base)
         mean = op.column_means
@@ -624,8 +685,16 @@ def srda_alpha_path(
     with tracer.span(
         "srda.alpha_path", n_alphas=len(alphas), max_iter=int(max_iter)
     ):
-        with tracer.span("srda.bidiagonalize"):
-            shared = SharedBidiagonalization(op, responses, iter_lim=max_iter)
+        try:
+            with tracer.span("srda.bidiagonalize"):
+                shared = SharedBidiagonalization(
+                    op, responses, iter_lim=max_iter
+                )
+        finally:
+            # The per-alpha replays touch no data — the sharded
+            # operator (and any pool it owns) can go away right here.
+            if sharded is not None:
+                sharded.close()
 
         models: List[SRDA] = []
         for alpha in alphas:

@@ -27,7 +27,7 @@ import os
 import zipfile
 import zlib
 from pathlib import Path
-from typing import Dict, Union
+from typing import Callable, Dict, Union
 
 import numpy as np
 
@@ -82,18 +82,22 @@ def save_dataset(dataset: Dataset, path: Union[str, Path]) -> Path:
     The archive is written to a temporary sibling file and renamed into
     place, so readers never observe a partially written cache.
     """
-    payload = {"name": np.array(dataset.name), "y": dataset.y}
-    if dataset.is_sparse:
+    payload: Dict[str, np.ndarray] = {
+        "name": np.array(dataset.name),
+        "y": dataset.y,
+    }
+    X = dataset.X
+    if isinstance(X, CSRMatrix):
         payload["format"] = np.array("csr")
-        payload["data"] = dataset.X.data
-        payload["indices"] = dataset.X.indices
-        payload["indptr"] = dataset.X.indptr
-        payload["shape"] = np.array(dataset.X.shape)
+        payload["data"] = X.data
+        payload["indices"] = X.indices
+        payload["indptr"] = X.indptr
+        payload["shape"] = np.array(X.shape)
     else:
         payload["format"] = np.array("dense")
-        payload["X"] = np.asarray(dataset.X)
+        payload["X"] = np.asarray(X)
 
-    plain_metadata = {}
+    plain_metadata: Dict[str, object] = {}
     for key, value in dataset.metadata.items():
         if isinstance(value, np.ndarray):
             payload[_METADATA_ARRAY_PREFIX + key] = value
@@ -169,17 +173,21 @@ def load_dataset(path: Union[str, Path]) -> Dataset:
     # Archives from before checksums were introduced load without
     # verification rather than being rejected wholesale.
 
+    X: Union[np.ndarray, CSRMatrix]
     if fmt == "csr":
+        shape = entries["shape"]
         X = CSRMatrix(
             entries["data"],
             entries["indices"],
             entries["indptr"],
-            tuple(entries["shape"]),
+            (int(shape[0]), int(shape[1])),
         )
     else:
         X = entries["X"]
     try:
-        metadata = json.loads(str(entries["metadata_json"]))
+        metadata: Dict[str, object] = json.loads(
+            str(entries["metadata_json"])
+        )
     except json.JSONDecodeError as exc:
         raise CorruptCacheError(path, f"invalid metadata JSON ({exc})") from exc
     for key, value in entries.items():
@@ -203,10 +211,10 @@ def _count(metric: str) -> None:
 
 
 def cached(
-    builder,
+    builder: Callable[..., Dataset],
     path: Union[str, Path],
     regenerate_on_corruption: bool = True,
-    **kwargs,
+    **kwargs: object,
 ) -> Dataset:
     """Return the dataset at ``path``, generating and saving it if absent.
 

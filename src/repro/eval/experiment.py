@@ -51,6 +51,7 @@ from repro.datasets.splits import (
 )
 from repro.eval.metrics import error_rate, mean_std
 from repro.observability import current_tracer
+from repro.parallel import Backend, resolve_backend
 from repro.robustness import RobustnessWarning
 
 #: Cell key: (algorithm name, training-size label).
@@ -285,6 +286,8 @@ def run_experiment(
     retries: int = 0,
     fit_timeout_seconds: Optional[float] = None,
     checkpoint_path: Optional[Union[str, Path]] = None,
+    n_jobs: Optional[int] = None,
+    backend: Union[str, Backend, None] = None,
 ) -> ExperimentResult:
     """Run the full (algorithm × training size × split) sweep.
 
@@ -329,6 +332,20 @@ def run_experiment(
         resumed from instead of recomputing.  Checkpoints from a
         different configuration are ignored with a warning.  The file is
         removed on successful completion.
+    n_jobs:
+        Cells of one split (one fit/predict per algorithm) run
+        concurrently on this many worker threads; ``None``/1 keeps the
+        sequential loop.  Splits are still drawn sequentially from the
+        same per-label seed streams and cells never share state, so the
+        recorded errors are bitwise identical at any ``n_jobs`` — only
+        the wall-clock timings differ.  Checkpointing (after each full
+        split), retries, and the timeout guard are unaffected.
+    backend:
+        Execution backend for the parallel cells: ``None`` (pick from
+        ``n_jobs``), ``"serial"``/``"thread"``, or a live
+        :class:`repro.parallel.Backend` (shared, not closed).  The
+        process backend is rejected — cells close over live estimators
+        and dataset views that must stay in-process.
     """
     if retries < 0:
         raise ValueError("retries must be non-negative")
@@ -361,47 +378,70 @@ def run_experiment(
         dataset.X.mean_nnz_per_row() if dataset.is_sparse else None
     )
 
+    runner = resolve_backend(backend, n_jobs)
+    owns_runner = not isinstance(backend, Backend)
+    if not runner.supports_closures:
+        if owns_runner:
+            runner.close()
+        raise ValueError(
+            "run_experiment parallelizes cells with in-process closures; "
+            "use a serial or thread backend (the process backend is for "
+            "operator products)"
+        )
+
     tracer = current_tracer()
-    with tracer.span(
-        "experiment.run",
-        dataset=dataset.name,
-        n_algorithms=len(names),
-        n_splits=int(n_splits),
-    ):
-        for size, label in zip(train_sizes, labels):
-            seeds = split_seeds(seed + hash(label) % 100003, n_splits)
-            for split_index, split_seed in enumerate(seeds):
-                if split_index < completed.get(label, 0):
-                    continue  # restored from checkpoint
-                with tracer.span(
-                    "experiment.split", size=label, split=int(split_index)
-                ):
-                    rng = np.random.default_rng(int(split_seed))
-                    train_idx, test_idx = _make_split(dataset, size, rng)
-                    X_train, y_train = dataset.subset(train_idx)
-                    X_test, y_test = dataset.subset(test_idx)
-                    m, n = X_train.shape
+    try:
+        with tracer.span(
+            "experiment.run",
+            dataset=dataset.name,
+            n_algorithms=len(names),
+            n_splits=int(n_splits),
+            n_workers=int(runner.n_workers),
+        ):
+            for size, label in zip(train_sizes, labels):
+                seeds = split_seeds(seed + hash(label) % 100003, n_splits)
+                for split_index, split_seed in enumerate(seeds):
+                    if split_index < completed.get(label, 0):
+                        continue  # restored from checkpoint
+                    with tracer.span(
+                        "experiment.split", size=label, split=int(split_index)
+                    ):
+                        rng = np.random.default_rng(int(split_seed))
+                        train_idx, test_idx = _make_split(dataset, size, rng)
+                        X_train, y_train = dataset.subset(train_idx)
+                        X_test, y_test = dataset.subset(test_idx)
+                        m, n = X_train.shape
 
-                    for name in names:
-                        _run_cell(
-                            cells[(name, label)],
-                            name,
-                            algorithms[name],
-                            X_train,
-                            y_train,
-                            X_test,
-                            y_test,
-                            (m, n, n_classes, avg_nnz),
-                            memory_budget_bytes,
-                            continue_on_error,
-                            retries,
-                            fit_timeout_seconds,
-                            tracer,
-                        )
+                        def run_one(name: str) -> None:
+                            _run_cell(
+                                cells[(name, label)],
+                                name,
+                                algorithms[name],
+                                X_train,
+                                y_train,
+                                X_test,
+                                y_test,
+                                (m, n, n_classes, avg_nnz),
+                                memory_budget_bytes,
+                                continue_on_error,
+                                retries,
+                                fit_timeout_seconds,
+                                tracer,
+                            )
 
-                completed[label] = split_index + 1
-                if ckpt is not None:
-                    _write_checkpoint(ckpt, signature, completed, cells)
+                        # Each cell owns disjoint state (its CellResult),
+                        # so fanning the per-algorithm cells of ONE split
+                        # across workers cannot reorder or race anything
+                        # the serial loop produced; the barrier below
+                        # keeps checkpoint-after-split exact.
+                        runner.map(run_one, names)
+
+                    completed[label] = split_index + 1
+                    if ckpt is not None:
+                        _write_checkpoint(ckpt, signature, completed, cells)
+    finally:
+        if owns_runner:
+            runner.close()
 
     if ckpt is not None:
         ckpt.unlink(missing_ok=True)

@@ -11,7 +11,7 @@ the figure's x-axis.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Sequence
+from typing import Any, Callable, Optional, Sequence, Union
 
 import numpy as np
 
@@ -50,12 +50,12 @@ class AlphaSearchResult:
 
 
 def grid_search_alpha(
-    model_factory: Callable[[float], object],
-    X,
-    y,
-    alphas: Sequence[float] = None,
+    model_factory: Callable[[float], Any],
+    X: Any,
+    y: Any,
+    alphas: Optional[Sequence[float]] = None,
     n_splits: int = 5,
-    validation_per_class: int = None,
+    validation_per_class: Optional[int] = None,
     seed: int = 0,
 ) -> AlphaSearchResult:
     """Estimate validation error per α by repeated per-class splits.
@@ -81,7 +81,7 @@ def grid_search_alpha(
     y = np.asarray(y)
     if alphas is None:
         alphas = alpha_grid()
-    alphas = np.asarray(list(alphas), dtype=np.float64)
+    alpha_values = np.asarray(list(alphas), dtype=np.float64)
     counts = np.bincount(np.unique(y, return_inverse=True)[1])
     if validation_per_class is None:
         validation_per_class = max(1, int(counts.min()) // 2)
@@ -92,39 +92,39 @@ def grid_search_alpha(
             f"{validation_per_class} for validation"
         )
 
-    def take(indices):
+    def take(indices: np.ndarray) -> Any:
         if isinstance(X, CSRMatrix):
             return X.take_rows(indices)
         return X[indices]
 
-    errors = np.zeros((len(alphas), n_splits))
+    errors = np.zeros((len(alpha_values), n_splits))
     for j, split_seed in enumerate(split_seeds(seed, n_splits)):
         rng = np.random.default_rng(int(split_seed))
         fit_idx, val_idx = per_class_split(y, train_per_class, rng)
         X_fit, y_fit = take(fit_idx), y[fit_idx]
         X_val, y_val = take(val_idx), y[val_idx]
-        for i, alpha in enumerate(alphas):
+        for i, alpha in enumerate(alpha_values):
             model = model_factory(float(alpha))
             model.fit(X_fit, y_fit)
             errors[i, j] = error_rate(y_val, model.predict(X_val))
 
     return AlphaSearchResult(
-        alphas=alphas,
+        alphas=alpha_values,
         mean_errors=errors.mean(axis=1),
         std_errors=errors.std(axis=1),
     )
 
 
 def grid_search_alpha_srda(
-    X,
-    y,
-    alphas: Sequence[float] = None,
+    X: Any,
+    y: Any,
+    alphas: Optional[Sequence[float]] = None,
     n_splits: int = 5,
-    validation_per_class: int = None,
+    validation_per_class: Optional[int] = None,
     seed: int = 0,
     max_iter: int = 20,
     tol: float = 1e-10,
-    centering=None,
+    centering: Union[None, str, bool] = None,
 ) -> AlphaSearchResult:
     """α grid search for SRDA paying one data pass per split.
 
@@ -152,7 +152,7 @@ def grid_search_alpha_srda(
     y = np.asarray(y)
     if alphas is None:
         alphas = alpha_grid()
-    alphas = np.asarray(list(alphas), dtype=np.float64)
+    alpha_values = np.asarray(list(alphas), dtype=np.float64)
     counts = np.bincount(np.unique(y, return_inverse=True)[1])
     if validation_per_class is None:
         validation_per_class = max(1, int(counts.min()) // 2)
@@ -163,12 +163,12 @@ def grid_search_alpha_srda(
             f"{validation_per_class} for validation"
         )
 
-    def take(indices):
+    def take(indices: np.ndarray) -> Any:
         if isinstance(X, CSRMatrix):
             return X.take_rows(indices)
         return X[indices]
 
-    errors = np.zeros((len(alphas), n_splits))
+    errors = np.zeros((len(alpha_values), n_splits))
     for j, split_seed in enumerate(split_seeds(seed, n_splits)):
         rng = np.random.default_rng(int(split_seed))
         fit_idx, val_idx = per_class_split(y, train_per_class, rng)
@@ -177,7 +177,7 @@ def grid_search_alpha_srda(
         models = srda_alpha_path(
             X_fit,
             y_fit,
-            alphas,
+            alpha_values,
             centering="auto" if centering is None else centering,
             max_iter=max_iter,
             tol=tol,
@@ -186,7 +186,7 @@ def grid_search_alpha_srda(
             errors[i, j] = error_rate(y_val, model.predict(X_val))
 
     return AlphaSearchResult(
-        alphas=alphas,
+        alphas=alpha_values,
         mean_errors=errors.mean(axis=1),
         std_errors=errors.std(axis=1),
     )

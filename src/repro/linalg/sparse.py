@@ -294,7 +294,23 @@ class CSRMatrix:
                 f"rmatvec expects a vector of length {self.shape[0]}, "
                 f"got shape {u.shape}"
             )
-        products = self.data * u[self._row_ids]
+        return self.reduce_adjoint_products(self.data * u[self._row_ids])
+
+    def reduce_adjoint_products(self, products: FloatArray) -> FloatArray:
+        """Reduce per-entry adjoint products to ``A.T @ u``.
+
+        ``products`` must be ``data * u[row_ids]`` in storage order — the
+        elementwise stage of :meth:`rmatvec`.  Splitting the product this
+        way lets a row-sharded operator compute the elementwise stage
+        shard-by-shard (each shard owns a contiguous slice of storage
+        order) and still apply this one *canonical* reduction, making the
+        sharded adjoint bitwise identical to the unsharded one.
+        """
+        if products.shape != self.data.shape:
+            raise ValueError(
+                f"expected {self.data.shape[0]} adjoint products, "
+                f"got shape {products.shape}"
+            )
         if products.dtype == np.float64:
             return np.bincount(
                 self.indices, weights=products, minlength=self.shape[1]

@@ -31,6 +31,12 @@ from repro.observability.hooks import (
     IterationHook,
     IterationRecorder,
 )
+from repro.observability.diff import (
+    SpanDiff,
+    TraceDiff,
+    diff_traces,
+    format_diff,
+)
 from repro.observability.metrics import (
     Counter,
     Gauge,
@@ -79,12 +85,16 @@ __all__ = [
     "Record",
     "Sink",
     "Span",
+    "SpanDiff",
     "SpanEvent",
     "SpanStats",
     "TextSink",
+    "TraceDiff",
     "Tracer",
     "configure",
     "current_tracer",
+    "diff_traces",
+    "format_diff",
     "format_profile",
     "get_tracer",
     "resolve_tracer",

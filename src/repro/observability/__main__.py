@@ -1,10 +1,24 @@
-"""``python -m repro.observability TRACE.jsonl`` — validate a trace."""
+"""``python -m repro.observability`` — trace tooling.
+
+Two forms::
+
+    python -m repro.observability TRACE.jsonl          # validate
+    python -m repro.observability diff A.jsonl B.jsonl # compare
+"""
 
 from __future__ import annotations
 
 import sys
 
-from repro.observability.validate import main
+from repro.observability.diff import main as diff_main
+from repro.observability.validate import main as validate_main
+
+
+def main(argv: list) -> int:
+    if argv and argv[0] == "diff":
+        return diff_main(argv[1:])
+    return validate_main(argv)
+
 
 if __name__ == "__main__":
     sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,188 @@
+"""Compare two JSONL traces span-by-span.
+
+Usage (the regression half of the observability toolchain)::
+
+    python -m repro.observability diff before.jsonl after.jsonl
+
+Both files are aggregated with
+:func:`~repro.observability.profile.summarize_spans` and compared per
+span name: call counts, total/mean wall time, and the p95 latency
+estimate.  Counters from the traces' metrics records are diffed too —
+so ``srda.flam`` regressions (more work) show up next to wall-time
+regressions (slower work), which is exactly the question "did this
+change make the solver do more, or just do it slower?".
+
+The module is a pure consumer: it reads the records sinks wrote and
+never imports the live tracer, so it works on traces from any run.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Optional, Union
+
+from repro.observability.profile import SpanStats, summarize_spans
+
+__all__ = ["SpanDiff", "TraceDiff", "diff_traces", "format_diff", "main"]
+
+
+@dataclass
+class SpanDiff:
+    """One span name's before/after comparison."""
+
+    name: str
+    a: Optional[SpanStats]
+    b: Optional[SpanStats]
+
+    @property
+    def status(self) -> str:
+        """``"added"`` / ``"removed"`` / ``"common"``."""
+        if self.a is None:
+            return "added"
+        if self.b is None:
+            return "removed"
+        return "common"
+
+    @property
+    def total_delta(self) -> float:
+        """Change in total wall seconds (b - a); absent sides count 0."""
+        before = self.a.total if self.a is not None else 0.0
+        after = self.b.total if self.b is not None else 0.0
+        return after - before
+
+    @property
+    def total_ratio(self) -> float:
+        """``b.total / a.total``; inf for added spans, 0 for removed."""
+        before = self.a.total if self.a is not None else 0.0
+        after = self.b.total if self.b is not None else 0.0
+        if before == 0.0:
+            return float("inf") if after > 0.0 else 1.0
+        return after / before
+
+
+@dataclass
+class TraceDiff:
+    """Aggregated comparison of two traces."""
+
+    spans: List[SpanDiff]
+    counters_a: Dict[str, float]
+    counters_b: Dict[str, float]
+
+    def counter_names(self) -> List[str]:
+        return sorted(set(self.counters_a) | set(self.counters_b))
+
+
+def _read_records(path: Union[str, Path]) -> List[Mapping[str, object]]:
+    records: List[Mapping[str, object]] = []
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue  # the validator reports these; the diff skips them
+        if isinstance(record, dict):
+            records.append(record)
+    return records
+
+
+def _final_counters(
+    records: Iterable[Mapping[str, object]],
+) -> Dict[str, float]:
+    """Counters from the last metrics record (cumulative totals)."""
+    counters: Dict[str, float] = {}
+    for record in records:
+        if record.get("type") != "metrics":
+            continue
+        raw = record.get("counters")
+        if isinstance(raw, Mapping):
+            counters = {
+                str(name): float(value)
+                for name, value in raw.items()
+                if isinstance(value, (int, float))
+            }
+    return counters
+
+
+def diff_traces(
+    records_a: Iterable[Mapping[str, object]],
+    records_b: Iterable[Mapping[str, object]],
+) -> TraceDiff:
+    """Compare two record streams; spans sorted by |total delta| desc."""
+    records_a = list(records_a)
+    records_b = list(records_b)
+    stats_a = summarize_spans(records_a)
+    stats_b = summarize_spans(records_b)
+    spans = [
+        SpanDiff(name, stats_a.get(name), stats_b.get(name))
+        for name in sorted(set(stats_a) | set(stats_b))
+    ]
+    spans.sort(key=lambda d: abs(d.total_delta), reverse=True)
+    return TraceDiff(
+        spans=spans,
+        counters_a=_final_counters(records_a),
+        counters_b=_final_counters(records_b),
+    )
+
+
+def _ms(value: Optional[float]) -> str:
+    return "-" if value is None else f"{value * 1e3:.2f}ms"
+
+
+def format_diff(
+    diff: TraceDiff, label_a: str = "a", label_b: str = "b"
+) -> str:
+    """Render the comparison as one table plus a counters footer."""
+    lines = [
+        f"{'span':32} {'calls':>11} {'total':>21} {'p95':>21} {'ratio':>7}"
+    ]
+    lines.append("-" * len(lines[0]))
+    for entry in diff.spans:
+        calls_a = entry.a.count if entry.a is not None else 0
+        calls_b = entry.b.count if entry.b is not None else 0
+        total_a = entry.a.total if entry.a is not None else None
+        total_b = entry.b.total if entry.b is not None else None
+        p95_a = entry.a.percentile(95) if entry.a is not None else None
+        p95_b = entry.b.percentile(95) if entry.b is not None else None
+        ratio = entry.total_ratio
+        ratio_text = "new" if ratio == float("inf") else f"{ratio:6.2f}x"
+        marker = {"added": " +", "removed": " -"}.get(entry.status, "")
+        lines.append(
+            f"{entry.name + marker:32} {calls_a:5d}>{calls_b:<5d} "
+            f"{_ms(total_a):>10}>{_ms(total_b):<10} "
+            f"{_ms(p95_a):>10}>{_ms(p95_b):<10} {ratio_text:>7}"
+        )
+    if not diff.spans:
+        lines.append("(no spans in either trace)")
+    names = diff.counter_names()
+    if names:
+        lines.append("")
+        lines.append(f"counters ({label_a} > {label_b}):")
+        for name in names:
+            before = diff.counters_a.get(name, 0.0)
+            after = diff.counters_b.get(name, 0.0)
+            delta = after - before
+            lines.append(
+                f"  {name} = {before:.6g} > {after:.6g} ({delta:+.6g})"
+            )
+    return "\n".join(lines)
+
+
+def main(argv: List[str]) -> int:
+    if len(argv) != 2:
+        print(
+            "usage: python -m repro.observability diff A.jsonl B.jsonl",
+            file=sys.stderr,
+        )
+        return 2
+    paths = [Path(arg) for arg in argv]
+    for path in paths:
+        if not path.exists():
+            print(f"error: no such file: {path}", file=sys.stderr)
+            return 2
+    diff = diff_traces(_read_records(paths[0]), _read_records(paths[1]))
+    print(format_diff(diff, label_a=str(paths[0]), label_b=str(paths[1])))
+    return 0

@@ -17,8 +17,16 @@ these are diagnostics, not ledgers.
 
 from __future__ import annotations
 
+import math
 import threading
 from typing import Dict, Optional
+
+#: Geometric bucket growth for histogram percentiles: each bucket is
+#: 20% wider than the last, so a reported percentile is within ±10% of
+#: the true order statistic (and clamped to the observed min/max).
+_BUCKET_GROWTH = 1.2
+
+_LOG_GROWTH = math.log(_BUCKET_GROWTH)
 
 
 class Counter:
@@ -51,9 +59,25 @@ class Gauge:
 
 
 class Histogram:
-    """Streaming summary of observed values (count/sum/min/max/last)."""
+    """Streaming summary of observed values, with percentile estimates.
 
-    __slots__ = ("name", "count", "total", "minimum", "maximum", "last")
+    Alongside the running count/sum/min/max/last, every observation
+    lands in a geometric bucket (:data:`_BUCKET_GROWTH` wide), so
+    :meth:`percentile` answers p50/p95/p99 queries in O(buckets) with
+    bounded relative error and O(1) memory per distinct magnitude —
+    no sample retention, safe for million-observation span streams.
+    """
+
+    __slots__ = (
+        "name",
+        "count",
+        "total",
+        "minimum",
+        "maximum",
+        "last",
+        "_buckets",
+        "_nonpositive",
+    )
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -62,6 +86,8 @@ class Histogram:
         self.minimum = float("inf")
         self.maximum = float("-inf")
         self.last = 0.0
+        self._buckets: Dict[int, int] = {}
+        self._nonpositive = 0
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -72,10 +98,40 @@ class Histogram:
             self.minimum = value
         if value > self.maximum:
             self.maximum = value
+        if value > 0.0:
+            index = int(math.floor(math.log(value) / _LOG_GROWTH))
+            self._buckets[index] = self._buckets.get(index, 0) + 1
+        else:
+            self._nonpositive += 1
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Estimated ``q``-th percentile (``q`` in [0, 100]).
+
+        Walks the geometric buckets to the target rank and reports the
+        bucket's geometric midpoint, clamped to the observed
+        ``[min, max]`` — so p0/p100 are exact and interior percentiles
+        are within one bucket width (±10%) of the true order statistic.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if not self.count:
+            return 0.0
+        rank = max(1, math.ceil(self.count * q / 100.0))
+        seen = self._nonpositive
+        if seen >= rank:
+            # Non-positive observations sort first; their best single
+            # representative is the observed minimum.
+            return self.minimum
+        for index in sorted(self._buckets):
+            seen += self._buckets[index]
+            if seen >= rank:
+                midpoint = math.exp((index + 0.5) * _LOG_GROWTH)
+                return min(self.maximum, max(self.minimum, midpoint))
+        return self.maximum  # pragma: no cover - rank <= count always hits
 
     def summary(self) -> Dict[str, float]:
         return {
@@ -85,6 +141,9 @@ class Histogram:
             "max": self.maximum if self.count else 0.0,
             "mean": self.mean,
             "last": self.last,
+            "p50": self.percentile(50.0),
+            "p95": self.percentile(95.0),
+            "p99": self.percentile(99.0),
         }
 
 

@@ -10,6 +10,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional
 
+from repro.observability.metrics import Histogram
+
 
 @dataclass
 class SpanStats:
@@ -22,10 +24,18 @@ class SpanStats:
     maximum: float = 0.0
     events: int = 0
     errors: int = 0
+    #: Log-bucketed latency distribution backing the percentile columns.
+    histogram: Histogram = field(
+        default_factory=lambda: Histogram("duration")
+    )
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Estimated latency percentile over this span's durations."""
+        return self.histogram.percentile(q)
 
     def add(self, duration: float, n_events: int, is_error: bool) -> None:
         self.count += 1
@@ -33,6 +43,7 @@ class SpanStats:
         self.minimum = min(self.minimum, duration)
         self.maximum = max(self.maximum, duration)
         self.events += n_events
+        self.histogram.observe(duration)
         if is_error:
             self.errors += 1
 
@@ -79,7 +90,7 @@ def format_profile(
     stats = summarize_spans(records)
     lines: List[str] = [
         f"{'span':32} {'calls':>6} {'total':>10} {'mean':>10} "
-        f"{'max':>10} {'events':>7}"
+        f"{'p50':>10} {'p95':>10} {'p99':>10} {'max':>10} {'events':>7}"
     ]
     lines.append("-" * len(lines[0]))
     for entry in sorted(
@@ -89,6 +100,9 @@ def format_profile(
         lines.append(
             f"{entry.name + marker:32} {entry.count:6d} "
             f"{entry.total * 1e3:9.2f}ms {entry.mean * 1e3:9.2f}ms "
+            f"{entry.percentile(50) * 1e3:9.2f}ms "
+            f"{entry.percentile(95) * 1e3:9.2f}ms "
+            f"{entry.percentile(99) * 1e3:9.2f}ms "
             f"{entry.maximum * 1e3:9.2f}ms {entry.events:7d}"
         )
     if not stats:

@@ -1,0 +1,55 @@
+"""Sharded execution: row-partitioned operators on pluggable backends.
+
+The paper's solver touches data only through operator products, and
+those products decompose along rows — so this package splits the data
+operator into contiguous row shards
+(:class:`~repro.parallel.sharded.ShardedOperator`) and fans the
+per-shard kernels out on an execution
+:class:`~repro.parallel.backends.Backend`: serial (the default, a pure
+refactoring), threads (numpy kernels release the GIL), or processes
+(shard data broadcast once through ``multiprocessing.shared_memory``).
+
+Entry points most callers want:
+
+- ``SRDA(n_jobs=4)`` / ``srda_alpha_path(..., n_jobs=4)`` — parallel
+  products inside one fit;
+- ``run_experiment(..., n_jobs=4)`` — parallel grid cells, bitwise
+  identical to the serial grid;
+- :func:`~repro.parallel.backends.resolve_backend` +
+  :class:`ShardedOperator` for direct operator-level control.
+
+See ``docs/PARALLEL.md`` for backend selection, the shared-memory
+lifecycle, and the determinism guarantees.
+"""
+
+from repro.parallel.backends import (
+    Backend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    effective_n_jobs,
+    resolve_backend,
+)
+from repro.parallel.sharded import (
+    ShardedOperator,
+    csr_row_slice,
+    default_shard_count,
+    shard_bounds,
+)
+from repro.parallel.shm import SharedArena, SharedArrayRef, attach_array
+
+__all__ = [
+    "Backend",
+    "ProcessBackend",
+    "SerialBackend",
+    "SharedArena",
+    "SharedArrayRef",
+    "ShardedOperator",
+    "ThreadBackend",
+    "attach_array",
+    "csr_row_slice",
+    "default_shard_count",
+    "effective_n_jobs",
+    "resolve_backend",
+    "shard_bounds",
+]

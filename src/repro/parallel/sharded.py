@@ -1,0 +1,591 @@
+"""Row-partitioned operators: LSQR-shaped sharding with exact fan-in.
+
+SRDA's whole cost is products against the data operator, and those
+products decompose along rows: for ``X`` split into contiguous row
+blocks ``X_s``,
+
+- forward:  ``X v   = concat_s (X_s v)``        (disjoint writes)
+- adjoint:  ``X.T u = sum_s   (X_s.T u_s)``     (a reduction)
+
+:class:`ShardedOperator` realizes that decomposition behind the
+standard :class:`~repro.linalg.operators.LinearOperator` contract, so
+``block_lsqr``, ``verify_operator`` and FLAM counting all work
+unchanged, and fans the per-shard kernels out on any
+:class:`~repro.parallel.backends.Backend`.
+
+Determinism contract
+--------------------
+Results depend on the *shard layout* (``n_shards``; a pure function of
+``m`` by default) and never on the backend or worker count:
+
+- CSR ``matvec``/``matmat`` are **bitwise identical** to the unsharded
+  kernels — the handwritten CSR kernels reduce each row in storage
+  order, and row segments never straddle a shard boundary.
+- CSR ``rmatvec`` is also **bitwise identical**: shards compute only
+  the *elementwise* stage (``data * u[row_ids]`` over their contiguous
+  slice of storage order) into one products buffer, and the coordinator
+  applies the single canonical reduction
+  (:meth:`~repro.linalg.sparse.CSRMatrix.reduce_adjoint_products`).
+- Dense kernels, and every ``rmatmat``, are deterministic and
+  reproducible for a given layout (identical across backends and worker
+  counts) but only within a few ulp of the unsharded product: adjoint
+  fan-in folds per-shard partials in fixed shard order, and dense
+  forward products go through BLAS, whose internal reduction order can
+  depend on the block's row count.
+
+Process transport
+-----------------
+On a backend without closure support (the process backend), shard
+payloads are broadcast into shared memory **once** at construction;
+each product ships only small picklable task dicts, with the operand
+and result travelling through two reusable shared-memory mailboxes.
+Workers rebuild shard objects lazily and cache them (including their
+transpose caches) for the life of the pool.
+
+Per-shard wall times are recorded into the current tracer's metrics
+(histogram ``parallel.shard_seconds``, counter
+``parallel.shard_products``), so shard balance shows up in the same
+trace as the fit spans.
+"""
+
+from __future__ import annotations
+
+import atexit
+import gc
+import time
+from typing import (
+    Any,
+    Dict,
+    List,
+    Literal,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+import numpy as np
+
+from repro._typing import FloatArray, FloatDType, IntArray
+from repro.linalg.operators import LinearOperator, as_operator
+from repro.linalg.sparse import CSRMatrix
+from repro.observability import current_tracer
+from repro.parallel.backends import Backend, resolve_backend
+from repro.parallel.shm import attach_array
+
+__all__ = [
+    "ShardedOperator",
+    "csr_row_slice",
+    "default_shard_count",
+    "shard_bounds",
+]
+
+#: Rows per shard below which splitting stops paying for itself.
+_MIN_SHARD_ROWS = 512
+
+#: Default cap on shard count (matches the largest pool the benchmarks
+#: exercise; more shards than cores only adds fan-in overhead).
+_MAX_DEFAULT_SHARDS = 8
+
+
+def default_shard_count(m: int) -> int:
+    """Shard count used when the caller does not pick one.
+
+    A pure function of ``m`` — *not* of the backend or worker count — so
+    that the default layout (and therefore the exact floating-point
+    result of every product) is identical on every backend.
+    """
+    if m < _MIN_SHARD_ROWS:
+        return 1
+    return max(2, min(_MAX_DEFAULT_SHARDS, m // _MIN_SHARD_ROWS))
+
+
+def shard_bounds(m: int, n_shards: int) -> List[Tuple[int, int]]:
+    """Contiguous, nearly equal ``[start, stop)`` row ranges."""
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    n_shards = min(n_shards, max(1, m))
+    edges = [(m * i) // n_shards for i in range(n_shards + 1)]
+    return [(edges[i], edges[i + 1]) for i in range(n_shards)]
+
+
+def csr_row_slice(matrix: CSRMatrix, start: int, stop: int) -> CSRMatrix:
+    """The contiguous row block ``matrix[start:stop]`` as a CSRMatrix.
+
+    ``data``/``indices`` are views into the parent's storage (zero
+    copy); only the localized ``indptr`` is materialized.
+    """
+    if not 0 <= start <= stop <= matrix.shape[0]:
+        raise ValueError(
+            f"invalid row range [{start}, {stop}) for {matrix.shape[0]} rows"
+        )
+    lo = int(matrix.indptr[start])
+    hi = int(matrix.indptr[stop])
+    return CSRMatrix(
+        matrix.data[lo:hi],
+        matrix.indices[lo:hi],
+        matrix.indptr[start : stop + 1] - lo,
+        (stop - start, matrix.shape[1]),
+    )
+
+
+def _ordered_fold(partials: FloatArray) -> FloatArray:
+    """Sum ``partials`` over axis 0 as a left fold in shard order.
+
+    A plain left fold — not ``np.sum``, whose pairwise reduction would
+    tie the association (and thus the low bits) to internal blocking
+    heuristics instead of the shard layout.
+    """
+    acc = np.array(partials[0])
+    for i in range(1, partials.shape[0]):
+        acc += partials[i]
+    return acc
+
+
+def _apply_shard_kernel(
+    mode: str,
+    shard: Any,
+    kernel: str,
+    operand: FloatArray,
+    out: FloatArray,
+    rows: Tuple[int, int],
+    nnz_range: Tuple[int, int],
+    slot: int,
+) -> None:
+    """Run one shard's share of a product, writing into ``out``.
+
+    The single kernel body shared by every backend: in-process backends
+    call it directly on local arrays; process workers call it on
+    shared-memory views.  Forward kernels write their disjoint row
+    block; adjoint kernels write either their slice of the CSR products
+    buffer (``rmatvec``) or their partial into slot ``slot`` for the
+    coordinator's ordered fold.
+    """
+    r0, r1 = rows
+    if mode == "csr":
+        if kernel == "matvec":
+            out[r0:r1] = shard.matvec(operand)
+        elif kernel == "rmatvec":
+            p0, p1 = nnz_range
+            u_slice = operand[r0:r1]
+            np.multiply(
+                shard.data, u_slice[shard._row_ids], out=out[p0:p1]
+            )
+        elif kernel == "matmat":
+            out[r0:r1] = shard.matmat(operand)
+        else:
+            out[slot] = shard.rmatmat(operand[r0:r1])
+    elif mode == "dense":
+        if kernel == "matvec":
+            out[r0:r1] = shard @ operand
+        elif kernel == "rmatvec":
+            out[slot] = shard.T @ operand[r0:r1]
+        elif kernel == "matmat":
+            out[r0:r1] = shard @ operand
+        else:
+            out[slot] = shard.T @ operand[r0:r1]
+    else:  # ops
+        if kernel == "matvec":
+            out[r0:r1] = shard.matvec(operand)
+        elif kernel == "rmatvec":
+            out[slot] = shard.rmatvec(operand[r0:r1])
+        elif kernel == "matmat":
+            out[r0:r1] = shard.matmat(operand)
+        else:
+            out[slot] = shard.rmatmat(operand[r0:r1])
+
+
+# ----------------------------------------------------------------------
+# Process-worker side
+# ----------------------------------------------------------------------
+
+#: Shards this worker has rebuilt from shared memory, keyed by bundle
+#: key; cached so transpose/segment caches survive across products.
+_SHARD_CACHE: Dict[str, Any] = {}
+
+
+def _clear_shard_cache() -> None:
+    """Drop rebuilt shards so their views release the shm buffers.
+
+    Registered *after* :mod:`repro.parallel.shm`'s attachment cleanup
+    (atexit is LIFO), so by the time the worker unmaps its attached
+    blocks no cached ndarray still pins a buffer.  The explicit
+    collection matters: a CSR shard and its lazily built transpose
+    back-link each other (``A.T.T is A``), a cycle refcounting alone
+    never frees.
+    """
+    _SHARD_CACHE.clear()
+    gc.collect()
+
+
+atexit.register(_clear_shard_cache)
+
+
+def _materialize_shard(bundle: Dict[str, Any]) -> Any:
+    key = bundle["key"]
+    shard = _SHARD_CACHE.get(key)
+    if shard is None:
+        refs = bundle["refs"]
+        if bundle["kind"] == "csr":
+            shard = CSRMatrix(
+                attach_array(refs["data"]),
+                attach_array(refs["indices"]),
+                attach_array(refs["indptr"]),
+                bundle["shape"],
+            )
+        else:
+            shard = attach_array(refs["block"])
+        _SHARD_CACHE[key] = shard
+    return shard
+
+
+def _process_shard_task(task: Dict[str, Any]) -> float:
+    """Worker entry point: one shard kernel on shared-memory views."""
+    t0 = time.perf_counter()
+    shard = _materialize_shard(task["bundle"])
+    _apply_shard_kernel(
+        task["bundle"]["kind"],
+        shard,
+        task["kernel"],
+        attach_array(task["operand"]),
+        attach_array(task["out"]),
+        task["rows"],
+        task["nnz"],
+        task["slot"],
+    )
+    return time.perf_counter() - t0
+
+
+class ShardedOperator(LinearOperator):
+    """Row-partitioned view of a CSR/dense matrix (or operator stack).
+
+    Parameters
+    ----------
+    X:
+        What to shard.  Accepts a :class:`CSRMatrix` / scipy sparse
+        matrix / :class:`~repro.linalg.operators.CSROperator` (CSR
+        mode), a dense ndarray / ``DenseOperator`` (dense mode), or a
+        sequence of :class:`LinearOperator` row blocks (ops mode — the
+        hook fault-injection tests use to plant a
+        :class:`~repro.linalg.operators.FaultyOperator` inside one
+        shard; serial/thread backends only).
+    n_shards:
+        Number of contiguous row shards.  Default:
+        :func:`default_shard_count` of the row count — deliberately
+        independent of the backend so results never depend on *where*
+        the product ran.  Clamped to the row count.
+    backend:
+        A :class:`~repro.parallel.backends.Backend` instance (caller
+        keeps ownership), a backend name, or ``None``; names and
+        ``None`` go through
+        :func:`~repro.parallel.backends.resolve_backend` sized by
+        ``n_jobs``, and the resulting backend is owned (and closed) by
+        this operator.
+    n_jobs:
+        Worker count used only when ``backend`` is not already an
+        instance.
+
+    With one shard every product delegates straight to the unsharded
+    kernel — the degenerate layout is a true passthrough.
+    """
+
+    def __init__(
+        self,
+        X: Union[
+            CSRMatrix, FloatArray, LinearOperator, Sequence[LinearOperator], Any
+        ],
+        n_shards: Optional[int] = None,
+        backend: Union[None, str, Backend] = None,
+        n_jobs: Optional[int] = None,
+    ) -> None:
+        super().__init__()
+        self._owns_backend = not isinstance(backend, Backend)
+        self.backend = resolve_backend(backend, n_jobs)
+        self._closed = False
+
+        self.matrix: Optional[CSRMatrix] = None
+        self.array: Optional[FloatArray] = None
+        self._ops: Optional[List[LinearOperator]] = None
+
+        if isinstance(X, (list, tuple)):
+            self._mode = "ops"
+            self._init_ops(list(X), n_shards)
+        else:
+            base = as_operator(X)
+            inner_matrix = getattr(base, "matrix", None)
+            inner_array = getattr(base, "array", None)
+            if isinstance(inner_matrix, CSRMatrix):
+                self._mode = "csr"
+                self.matrix = inner_matrix
+            elif inner_array is not None:
+                self._mode = "dense"
+                self.array = np.asarray(inner_array)
+            else:
+                raise TypeError(
+                    "ShardedOperator needs a CSR/dense matrix (or a "
+                    "sequence of row-block operators); got "
+                    f"{type(X).__name__} — wrap structural operators "
+                    "around the sharded data operator instead"
+                )
+            m = base.shape[0]
+            self.shape = (m, base.shape[1])
+            count = default_shard_count(m) if n_shards is None else int(n_shards)
+            self._bounds = shard_bounds(m, count)
+            self._build_local_shards()
+
+        self.n_shards = len(self._bounds)
+        self._single = self.n_shards == 1
+        self._nnz_bounds = self._compute_nnz_bounds()
+        self._direct: Optional[LinearOperator] = None
+        if self._single:
+            if self._mode == "ops":
+                assert self._ops is not None
+                self._direct = self._ops[0]
+            elif self._mode == "csr":
+                self._direct = as_operator(self.matrix)
+            else:
+                self._direct = as_operator(self.array)
+
+        self._uses_shm = not self.backend.supports_closures
+        self._bundles: List[Dict[str, Any]] = []
+        if self._uses_shm and not self._single:
+            self._broadcast_shards()
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def _init_ops(
+        self, ops: List[LinearOperator], n_shards: Optional[int]
+    ) -> None:
+        if not ops:
+            raise ValueError("ops mode needs at least one row-block operator")
+        if not all(isinstance(op, LinearOperator) for op in ops):
+            raise TypeError("ops mode expects LinearOperator row blocks")
+        n_cols = ops[0].shape[1]
+        if any(op.shape[1] != n_cols for op in ops):
+            raise ValueError("row-block operators must share column count")
+        if n_shards is not None and int(n_shards) != len(ops):
+            raise ValueError(
+                f"n_shards={n_shards} conflicts with {len(ops)} row blocks"
+            )
+        if not self.backend.supports_closures:
+            raise ValueError(
+                "operator-sequence sharding cannot cross a process "
+                "boundary; use a serial or thread backend"
+            )
+        self._ops = ops
+        bounds = []
+        row = 0
+        for op in ops:
+            bounds.append((row, row + op.shape[0]))
+            row += op.shape[0]
+        self._bounds = bounds
+        self.shape = (row, n_cols)
+        self._local_shards: List[Any] = list(ops)
+
+    def _build_local_shards(self) -> None:
+        if self._mode == "csr":
+            assert self.matrix is not None
+            self._local_shards = [
+                csr_row_slice(self.matrix, r0, r1) for r0, r1 in self._bounds
+            ]
+        else:
+            assert self.array is not None
+            self._local_shards = [
+                self.array[r0:r1] for r0, r1 in self._bounds
+            ]
+
+    def _compute_nnz_bounds(self) -> List[Tuple[int, int]]:
+        if self._mode != "csr":
+            return [(0, 0)] * self.n_shards
+        assert self.matrix is not None
+        indptr: IntArray = self.matrix.indptr
+        return [
+            (int(indptr[r0]), int(indptr[r1])) for r0, r1 in self._bounds
+        ]
+
+    def _broadcast_shards(self) -> None:
+        """One-time shared-memory broadcast of every shard's payload."""
+        arena = getattr(self.backend, "arena", None)
+        if arena is None:
+            raise ValueError(
+                f"backend {self.backend.name!r} does not support closures "
+                "and has no shared-memory arena"
+            )
+        for i, shard in enumerate(self._local_shards):
+            if self._mode == "csr":
+                refs = arena.share(
+                    {
+                        "data": shard.data,
+                        "indices": shard.indices,
+                        "indptr": shard.indptr,
+                    }
+                )
+                shape: Tuple[int, ...] = shard.shape
+            else:
+                refs = arena.share({"block": shard})
+                shape = shard.shape
+            # The data block's shm name is globally unique — it doubles
+            # as the worker-side cache key for the rebuilt shard.
+            key = refs["data" if self._mode == "csr" else "block"].name
+            self._bundles.append(
+                {"kind": self._mode, "refs": refs, "shape": shape, "key": key}
+            )
+        self._role_in = f"{self._bundles[0]['key']}:in"
+        self._role_out = f"{self._bundles[0]['key']}:out"
+
+    # ------------------------------------------------------------------
+    # Operator contract
+    # ------------------------------------------------------------------
+    @property
+    def dtype(self) -> FloatDType:
+        if self._mode == "csr":
+            assert self.matrix is not None
+            return self.matrix.dtype
+        if self._mode == "dense":
+            assert self.array is not None
+            return self.array.dtype
+        assert self._ops is not None
+        return np.result_type(*[op.dtype for op in self._ops])
+
+    @property
+    def shard_layout(self) -> List[Tuple[int, int]]:
+        """The contiguous ``[start, stop)`` row range of each shard."""
+        return list(self._bounds)
+
+    def _record(self, timings: List[float]) -> None:
+        tracer = current_tracer()
+        if not tracer.enabled:
+            return
+        histogram = tracer.metrics.histogram("parallel.shard_seconds")
+        for elapsed in timings:
+            histogram.observe(elapsed)
+        tracer.metrics.counter("parallel.shard_products").add(
+            float(len(timings))
+        )
+
+    def _run(
+        self,
+        kernel: str,
+        operand: FloatArray,
+        out_shape: Tuple[int, ...],
+        out_dtype: FloatDType,
+        order: Literal["C", "F"] = "C",
+    ) -> FloatArray:
+        """Fan a kernel out over every shard; return the fan-in buffer."""
+        if self._uses_shm:
+            arena = getattr(self.backend, "arena")
+            in_view, in_ref = arena.ndarray(
+                self._role_in, operand.shape, operand.dtype
+            )
+            in_view[...] = operand
+            out_view, out_ref = arena.ndarray(
+                self._role_out, out_shape, out_dtype
+            )
+            tasks = [
+                {
+                    "bundle": self._bundles[i],
+                    "kernel": kernel,
+                    "operand": in_ref,
+                    "out": out_ref,
+                    "rows": self._bounds[i],
+                    "nnz": self._nnz_bounds[i],
+                    "slot": i,
+                }
+                for i in range(self.n_shards)
+            ]
+            timings = self.backend.map(_process_shard_task, tasks)
+            # Copy out before the mailbox is reused by the next product.
+            result = np.array(out_view, order=order)
+        else:
+            out = np.empty(out_shape, dtype=out_dtype, order=order)
+
+            def run_shard(index: int) -> float:
+                t0 = time.perf_counter()
+                _apply_shard_kernel(
+                    self._mode,
+                    self._local_shards[index],
+                    kernel,
+                    operand,
+                    out,
+                    self._bounds[index],
+                    self._nnz_bounds[index],
+                    index,
+                )
+                return time.perf_counter() - t0
+
+            timings = self.backend.map(run_shard, list(range(self.n_shards)))
+            result = out
+        self._record(timings)
+        return result
+
+    def _matvec(self, v: FloatArray) -> FloatArray:
+        if self._direct is not None:
+            return self._direct.matvec(v)
+        out_dtype = np.result_type(self.dtype, v.dtype)
+        return self._run("matvec", v, (self.shape[0],), out_dtype)
+
+    def _rmatvec(self, u: FloatArray) -> FloatArray:
+        if self._direct is not None:
+            return self._direct.rmatvec(u)
+        out_dtype = np.result_type(self.dtype, u.dtype)
+        if self._mode == "csr":
+            assert self.matrix is not None
+            products = self._run(
+                "rmatvec", u, (self.matrix.nnz,), out_dtype
+            )
+            return self.matrix.reduce_adjoint_products(products)
+        partials = self._run(
+            "rmatvec", u, (self.n_shards, self.shape[1]), out_dtype
+        )
+        return _ordered_fold(partials)
+
+    def _matmat(self, B: FloatArray) -> FloatArray:
+        if self._direct is not None:
+            return self._direct.matmat(B)
+        out_dtype = np.result_type(self.dtype, B.dtype)
+        return self._run(
+            "matmat", B, (self.shape[0], B.shape[1]), out_dtype, order="F"
+        )
+
+    def _rmatmat(self, U: FloatArray) -> FloatArray:
+        if self._direct is not None:
+            return self._direct.rmatmat(U)
+        out_dtype = np.result_type(self.dtype, U.dtype)
+        partials = self._run(
+            "rmatmat",
+            U,
+            (self.n_shards, self.shape[1], U.shape[1]),
+            out_dtype,
+        )
+        return _ordered_fold(partials)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Close the backend if this operator owns it.  Idempotent.
+
+        Shared-memory broadcast blocks live in the backend's arena and
+        are unlinked when the backend closes — a caller-supplied
+        backend therefore keeps shard payloads mapped (by design: it
+        may be serving several operators) until the caller closes it.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._owns_backend:
+            self.backend.close()
+
+    def __enter__(self) -> "ShardedOperator":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> bool:
+        self.close()
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardedOperator(shape={self.shape}, mode={self._mode!r}, "
+            f"n_shards={self.n_shards}, backend={self.backend.name!r})"
+        )

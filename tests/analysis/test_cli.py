@@ -99,7 +99,7 @@ def test_suppressions_are_counted(tmp_path, capsys):
         tmp_path,
         {
             "src/repro/core/ok.py": (
-                "def record(h=[]):  # repro: noqa-RPR006\n    return h\n"
+                "def record(h=[]):  # repro: noqa-RPR006 — fixture\n    return h\n"
             )
         },
     )

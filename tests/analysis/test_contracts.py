@@ -122,19 +122,19 @@ def test_faulty_operator_without_faults_contract(m, n, dtype, seed):
     assert verify_operator(FaultyOperator(base)).ok
 
 
-class BrokenAdjointOperator(DenseOperator):  # repro: noqa-RPR005
+class BrokenAdjointOperator(DenseOperator):  # repro: noqa-RPR005 — deliberately half-broken fixture
     """rmatvec returns the transpose product plus a systematic offset."""
 
     def _rmatvec(self, u):
         return super()._rmatvec(u) + 1.0
 
 
-class WrongShapeOperator(DenseOperator):  # repro: noqa-RPR005
+class WrongShapeOperator(DenseOperator):  # repro: noqa-RPR005 — deliberately half-broken fixture
     def _matvec(self, v):
         return np.append(super()._matvec(v), 0.0)
 
 
-class UpcastingOperator(DenseOperator):  # repro: noqa-RPR005
+class UpcastingOperator(DenseOperator):  # repro: noqa-RPR005 — deliberately half-broken fixture
     def _matvec(self, v):
         return super()._matvec(v).astype(np.float64)
 

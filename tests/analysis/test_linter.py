@@ -306,6 +306,69 @@ class TestMutableDefault:
 
 
 # ----------------------------------------------------------------------
+# RPR007 — noqa suppressions must carry a justification
+# ----------------------------------------------------------------------
+class TestUnjustifiedNoqa:
+    def test_bare_noqa_without_justification_fires(self):
+        bad = """
+        try:
+            risky()
+        except Exception:  # repro: noqa-RPR002
+            pass
+        """
+        found = findings_for(bad, PLAIN_PATH, "RPR007")
+        assert len(found) == 1
+        assert found[0].line == 4
+
+    def test_inline_prose_is_a_justification(self):
+        good = """
+        try:
+            risky()
+        except Exception:  # repro: noqa-RPR002 — CLI boundary
+            pass
+        """
+        assert findings_for(good, PLAIN_PATH, "RPR007") == []
+
+    def test_comment_line_above_is_a_justification(self):
+        good = """
+        try:
+            risky()
+        # the retry harness must survive any solver failure mode
+        except Exception:  # repro: noqa-RPR002
+            pass
+        """
+        assert findings_for(good, PLAIN_PATH, "RPR007") == []
+
+    def test_noqa_comment_above_does_not_justify(self):
+        bad = """
+        def f(a=[]):  # repro: noqa-RPR006 — fixture
+            return a
+        def g(b=[]):  # repro: noqa-RPR006
+            return b
+        """
+        found = findings_for(bad, PLAIN_PATH, "RPR007")
+        assert [f.line for f in found] == [4]
+
+    def test_noqa_inside_string_literal_is_ignored(self):
+        good = '''
+        DOC = """
+        suppress with  # repro: noqa-RPR002
+        """
+        '''
+        assert findings_for(good, PLAIN_PATH, "RPR007") == []
+
+    def test_rpr007_cannot_suppress_itself(self):
+        # A blanket noqa would normally silence every rule on its line;
+        # the hygiene rule must still fire or it would be vacuous.
+        bad = """
+        def record(history=[]):  # repro: noqa
+            return history
+        """
+        assert len(findings_for(bad, PLAIN_PATH, "RPR007")) == 1
+        assert not rules_by_id()["RPR007"].suppressible
+
+
+# ----------------------------------------------------------------------
 # noqa suppression
 # ----------------------------------------------------------------------
 class TestNoqaSuppression:
@@ -328,7 +391,7 @@ class TestNoqaSuppression:
 
     def test_blanket_noqa_suppresses_everything(self):
         source = """
-        def record(history=[]):  # repro: noqa
+        def record(history=[]):  # repro: noqa — test fixture
             return history
         """
         assert findings_for(source, PLAIN_PATH) == []
@@ -338,7 +401,7 @@ class TestNoqaSuppression:
         source = """
         try:
             risky()
-        except Exception:  # repro: noqa-RPR002,RPR006
+        except Exception:  # repro: noqa-RPR002,RPR006 — test fixture
             pass
         """
         assert findings_for(source, PLAIN_PATH) == []

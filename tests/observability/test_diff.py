@@ -1,0 +1,152 @@
+"""Tests for histogram percentiles and the trace-diff tool."""
+
+import json
+
+import pytest
+
+from repro.observability import (
+    Histogram,
+    SpanStats,
+    diff_traces,
+    format_diff,
+    format_profile,
+)
+from repro.observability.diff import main as diff_main
+
+
+def span(name, duration, status="ok"):
+    return {"type": "span", "name": name, "duration": duration, "status": status}
+
+
+class TestHistogramPercentiles:
+    def test_percentile_within_bucket_error(self):
+        h = Histogram("latency")
+        values = [0.001 * (i + 1) for i in range(1000)]
+        for v in values:
+            h.observe(v)
+        # Log-bucketing with growth 1.2 bounds the relative error of any
+        # percentile estimate by ~10%.
+        for q, exact in [(50, 0.5005), (95, 0.9505), (99, 0.9905)]:
+            assert h.percentile(q) == pytest.approx(exact, rel=0.1)
+
+    def test_percentile_clamped_to_observed_range(self):
+        h = Histogram("latency")
+        h.observe(3.0)
+        assert h.percentile(50) == 3.0
+        assert h.percentile(99) == 3.0
+
+    def test_nonpositive_values_return_minimum(self):
+        h = Histogram("latency")
+        h.observe(0.0)
+        h.observe(-1.0)
+        h.observe(5.0)
+        assert h.percentile(50) == -1.0
+
+    def test_empty_histogram(self):
+        assert Histogram("latency").percentile(95) == 0.0
+
+    @pytest.mark.parametrize("bad", [-1, 101])
+    def test_invalid_quantile_rejected(self, bad):
+        with pytest.raises(ValueError, match="percentile"):
+            Histogram("latency").percentile(bad)
+
+    def test_summary_includes_percentiles(self):
+        h = Histogram("latency")
+        for v in (1.0, 2.0, 4.0):
+            h.observe(v)
+        summary = h.summary()
+        assert {"p50", "p95", "p99"} <= set(summary)
+        assert summary["p50"] <= summary["p95"] <= summary["p99"]
+
+    def test_profile_table_has_percentile_columns(self):
+        records = [span("solve", 0.01 * (i + 1)) for i in range(20)]
+        table = format_profile(records)
+        assert "p50" in table and "p95" in table and "p99" in table
+
+
+class TestDiffTraces:
+    def test_statuses(self):
+        a = [span("kept", 1.0), span("gone", 2.0)]
+        b = [span("kept", 1.5), span("new", 0.5)]
+        diff = diff_traces(a, b)
+        by_name = {entry.name: entry for entry in diff.spans}
+        assert by_name["kept"].status == "common"
+        assert by_name["gone"].status == "removed"
+        assert by_name["new"].status == "added"
+
+    def test_sorted_by_absolute_delta(self):
+        a = [span("small", 1.0), span("big", 1.0)]
+        b = [span("small", 1.1), span("big", 9.0)]
+        diff = diff_traces(a, b)
+        assert diff.spans[0].name == "big"
+
+    def test_total_ratio(self):
+        diff = diff_traces([span("s", 2.0)], [span("s", 4.0)])
+        assert diff.spans[0].total_ratio == pytest.approx(2.0)
+        added = diff_traces([], [span("s", 1.0)])
+        assert added.spans[0].total_ratio == float("inf")
+
+    def test_counters_from_last_metrics_record(self):
+        a = [
+            {"type": "metrics", "counters": {"flam": 10.0}},
+            {"type": "metrics", "counters": {"flam": 25.0}},
+        ]
+        b = [{"type": "metrics", "counters": {"flam": 30.0}}]
+        diff = diff_traces(a, b)
+        assert diff.counters_a == {"flam": 25.0}
+        assert diff.counters_b == {"flam": 30.0}
+        assert diff.counter_names() == ["flam"]
+
+    def test_format_mentions_spans_and_counters(self):
+        diff = diff_traces(
+            [span("solve", 1.0), {"type": "metrics", "counters": {"c": 1}}],
+            [span("solve", 2.0), {"type": "metrics", "counters": {"c": 3}}],
+        )
+        text = format_diff(diff, "before", "after")
+        assert "solve" in text
+        assert "c = 1 > 3 (+2)" in text
+
+    def test_empty_traces(self):
+        text = format_diff(diff_traces([], []))
+        assert "no spans" in text
+
+
+class TestDiffCli:
+    def write_trace(self, path, records):
+        path.write_text(
+            "\n".join(json.dumps(record) for record in records) + "\n"
+        )
+
+    def test_happy_path(self, tmp_path, capsys):
+        a = tmp_path / "a.jsonl"
+        b = tmp_path / "b.jsonl"
+        self.write_trace(a, [span("solve", 1.0)])
+        self.write_trace(b, [span("solve", 3.0)])
+        assert diff_main([str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "solve" in out
+
+    def test_usage_error(self, capsys):
+        assert diff_main(["only-one.jsonl"]) == 2
+        assert "usage" in capsys.readouterr().err
+
+    def test_missing_file(self, tmp_path, capsys):
+        a = tmp_path / "a.jsonl"
+        self.write_trace(a, [span("solve", 1.0)])
+        assert diff_main([str(a), str(tmp_path / "nope.jsonl")]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_skips_malformed_lines(self, tmp_path):
+        a = tmp_path / "a.jsonl"
+        b = tmp_path / "b.jsonl"
+        a.write_text('{"type": "span", "name": "s", "duration": 1.0}\n{oops\n')
+        self.write_trace(b, [span("s", 2.0)])
+        assert diff_main([str(a), str(b)]) == 0
+
+
+class TestSpanStatsPercentile:
+    def test_spanstats_percentile_tracks_histogram(self):
+        stats = SpanStats("s")
+        for v in (0.1, 0.2, 0.4):
+            stats.add(v, 0, False)
+        assert stats.percentile(50) == pytest.approx(0.2, rel=0.15)

@@ -1,0 +1,135 @@
+"""End-to-end determinism: parallel fits and parallel experiment grids."""
+
+import numpy as np
+import pytest
+
+from repro.core.srda import SRDA, srda_alpha_path
+from repro.datasets import Dataset
+from repro.eval.experiment import run_experiment
+from repro.linalg.sparse import CSRMatrix
+from repro.parallel import SerialBackend
+
+pytestmark = pytest.mark.parallel
+
+ALGOS = {"SRDA": lambda: SRDA(alpha=1.0)}
+
+
+@pytest.fixture
+def blobs(rng):
+    X = np.vstack(
+        [rng.standard_normal((60, 12)) + 4.0 * k for k in range(3)]
+    )
+    y = np.repeat(np.arange(3), 60)
+    return X, y
+
+
+@pytest.fixture
+def sparse_blobs(blobs, rng):
+    X, y = blobs
+    X = np.where(rng.random(X.shape) < 0.4, X, 0.0)
+    return CSRMatrix.from_dense(X), y
+
+
+class TestSRDAParallelFit:
+    def test_backends_agree_bitwise(self, sparse_blobs):
+        X, y = sparse_blobs
+        serial = SRDA(alpha=0.5, backend="serial").fit(X, y)
+        threaded = SRDA(alpha=0.5, n_jobs=2).fit(X, y)
+        np.testing.assert_array_equal(serial.components_, threaded.components_)
+
+    def test_sharded_close_to_direct(self, sparse_blobs):
+        X, y = sparse_blobs
+        direct = SRDA(alpha=0.5).fit(X, y)
+        sharded = SRDA(alpha=0.5, n_jobs=2).fit(X, y)
+        np.testing.assert_allclose(
+            sharded.components_, direct.components_, rtol=1e-8, atol=1e-10
+        )
+
+    def test_dense_centered_backends_agree(self, blobs):
+        X, y = blobs
+        serial = SRDA(
+            alpha=0.5, solver="lsqr", backend="serial", centering=True
+        ).fit(X, y)
+        threaded = SRDA(
+            alpha=0.5, solver="lsqr", n_jobs=2, centering=True
+        ).fit(X, y)
+        np.testing.assert_array_equal(serial.components_, threaded.components_)
+
+    def test_predictions_unchanged(self, sparse_blobs):
+        X, y = sparse_blobs
+        direct = SRDA(alpha=0.5).fit(X, y)
+        threaded = SRDA(alpha=0.5, n_jobs=2).fit(X, y)
+        np.testing.assert_array_equal(direct.predict(X), threaded.predict(X))
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            SRDA(alpha=1.0, backend=3.14)
+
+    def test_invalid_n_jobs_rejected(self):
+        with pytest.raises(ValueError, match="n_jobs"):
+            SRDA(alpha=1.0, n_jobs=0)
+
+    def test_params_stored_verbatim(self):
+        model = SRDA(alpha=1.0, n_jobs=-1, backend="thread")
+        assert model.n_jobs == -1
+        assert model.backend == "thread"
+
+
+class TestAlphaPathParallel:
+    def test_backends_agree_bitwise(self, sparse_blobs):
+        X, y = sparse_blobs
+        alphas = [0.01, 0.1, 1.0]
+        serial = srda_alpha_path(X, y, alphas, backend="serial")
+        threaded = srda_alpha_path(X, y, alphas, n_jobs=2)
+        for a, b in zip(serial, threaded):
+            np.testing.assert_array_equal(a.components_, b.components_)
+
+    def test_close_to_direct_path(self, sparse_blobs):
+        X, y = sparse_blobs
+        alphas = [0.1, 1.0]
+        direct = srda_alpha_path(X, y, alphas)
+        sharded = srda_alpha_path(X, y, alphas, n_jobs=2)
+        for a, b in zip(direct, sharded):
+            np.testing.assert_allclose(
+                b.components_, a.components_, rtol=1e-8, atol=1e-10
+            )
+
+
+class TestExperimentParallel:
+    @pytest.fixture
+    def tiny_dataset(self, blobs):
+        X, y = blobs
+        return Dataset(
+            "tiny",
+            X,
+            y,
+            metadata={
+                "split_protocol": "per_class_within",
+                "train_sizes": [5, 10],
+            },
+        )
+
+    def test_grid_bitwise_identical_across_n_jobs(self, tiny_dataset):
+        results = [
+            run_experiment(
+                tiny_dataset, ALGOS, n_splits=2, seed=3, n_jobs=jobs
+            )
+            for jobs in (None, 2, 4)
+        ]
+        baseline = results[0]
+        for other in results[1:]:
+            for key, cell in baseline.cells.items():
+                assert cell.errors == other.cells[key].errors
+
+    def test_explicit_backend_instance_honoured(self, tiny_dataset):
+        with SerialBackend() as backend:
+            result = run_experiment(
+                tiny_dataset, ALGOS, n_splits=2, seed=3, backend=backend
+            )
+        assert not result.cell("SRDA", "5").failed
+
+    def test_process_backend_rejected(self, tiny_dataset):
+        with pytest.raises(ValueError, match="process"):
+            run_experiment(
+                tiny_dataset, ALGOS, n_splits=2, seed=3, backend="process"
+            )

@@ -1,0 +1,241 @@
+"""Unit tests for ShardedOperator: layout, parity, faults, lifecycle."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.contracts import verify_operator
+from repro.linalg.block_lsqr import block_lsqr
+from repro.linalg.operators import (
+    DenseOperator,
+    FaultyOperator,
+    InjectedFaultError,
+    as_operator,
+)
+from repro.linalg.sparse import CSRMatrix
+from repro.parallel import (
+    ShardedOperator,
+    ThreadBackend,
+    csr_row_slice,
+    default_shard_count,
+    shard_bounds,
+)
+
+pytestmark = pytest.mark.parallel
+
+
+def random_csr(rng, m=60, n=17, density=0.3):
+    dense = rng.standard_normal((m, n))
+    dense[rng.random((m, n)) > density] = 0.0
+    return CSRMatrix.from_dense(dense), dense
+
+
+class TestLayout:
+    def test_bounds_tile_the_rows(self):
+        bounds = shard_bounds(100, 7)
+        assert bounds[0][0] == 0
+        assert bounds[-1][1] == 100
+        for (_, stop), (start, _) in zip(bounds, bounds[1:]):
+            assert stop == start
+
+    def test_bounds_clamped_to_rows(self):
+        assert len(shard_bounds(3, 8)) == 3
+
+    def test_bounds_reject_nonpositive(self):
+        with pytest.raises(ValueError, match="n_shards"):
+            shard_bounds(10, 0)
+
+    def test_default_count_is_pure_in_m(self):
+        assert default_shard_count(10) == 1
+        assert default_shard_count(512) >= 2
+        assert default_shard_count(10**7) <= 8
+        # Same m, same layout — regardless of how often it is asked.
+        assert default_shard_count(4096) == default_shard_count(4096)
+
+    def test_csr_row_slice_matches_dense_slice(self, rng):
+        matrix, dense = random_csr(rng)
+        block = csr_row_slice(matrix, 13, 41)
+        np.testing.assert_array_equal(block.to_dense(), dense[13:41])
+
+    def test_csr_row_slice_rejects_bad_range(self, rng):
+        matrix, _ = random_csr(rng)
+        with pytest.raises(ValueError, match="row range"):
+            csr_row_slice(matrix, 10, 5)
+
+
+class TestCSRParity:
+    """CSR products must be bitwise identical to the unsharded kernels."""
+
+    @pytest.mark.parametrize("n_shards", [1, 2, 3, 5, 8])
+    def test_bitwise_products(self, rng, n_shards):
+        matrix, _ = random_csr(rng)
+        v = rng.standard_normal(matrix.shape[1])
+        u = rng.standard_normal(matrix.shape[0])
+        B = rng.standard_normal((matrix.shape[1], 4))
+        U = rng.standard_normal((matrix.shape[0], 4))
+        direct = as_operator(matrix)
+        with ShardedOperator(matrix, n_shards=n_shards) as op:
+            assert np.array_equal(op.matvec(v), direct.matvec(v))
+            assert np.array_equal(op.rmatvec(u), direct.rmatvec(u))
+            assert np.array_equal(op.matmat(B), direct.matmat(B))
+            # rmatmat folds per-shard partials: deterministic, but a
+            # different association than the unsharded product.
+            np.testing.assert_allclose(
+                op.rmatmat(U), direct.rmatmat(U), rtol=1e-12, atol=1e-14
+            )
+
+    def test_thread_backend_bitwise_equals_serial(self, rng):
+        matrix, _ = random_csr(rng)
+        U = rng.standard_normal((matrix.shape[0], 3))
+        u = rng.standard_normal(matrix.shape[0])
+        with ShardedOperator(matrix, n_shards=4, backend="serial") as a:
+            with ShardedOperator(
+                matrix, n_shards=4, backend="thread", n_jobs=4
+            ) as b:
+                assert np.array_equal(a.rmatvec(u), b.rmatvec(u))
+                assert np.array_equal(a.rmatmat(U), b.rmatmat(U))
+
+
+class TestDenseParity:
+    @pytest.mark.parametrize("n_shards", [2, 4, 7])
+    def test_products_close_to_direct(self, rng, n_shards):
+        A = rng.standard_normal((50, 9))
+        direct = as_operator(A)
+        v = rng.standard_normal(9)
+        u = rng.standard_normal(50)
+        with ShardedOperator(A, n_shards=n_shards) as op:
+            # Dense kernels go through BLAS, whose reduction order can
+            # depend on the block's row count: tight tolerance, not
+            # bitwise (unlike the handwritten CSR kernels).
+            np.testing.assert_allclose(
+                op.matvec(v), direct.matvec(v), rtol=1e-12, atol=1e-14
+            )
+            np.testing.assert_allclose(
+                op.rmatvec(u), direct.rmatvec(u), rtol=1e-12, atol=1e-14
+            )
+
+    def test_backends_agree_bitwise_at_fixed_layout(self, rng):
+        A = rng.standard_normal((50, 9))
+        v = rng.standard_normal(9)
+        u = rng.standard_normal(50)
+        with ShardedOperator(A, n_shards=7, backend="serial") as a:
+            with ShardedOperator(A, n_shards=7, backend="thread", n_jobs=4) as b:
+                assert np.array_equal(a.matvec(v), b.matvec(v))
+                assert np.array_equal(a.rmatvec(u), b.rmatvec(u))
+
+
+class TestContract:
+    @pytest.mark.parametrize("backend", ["serial", "thread"])
+    def test_verify_operator_csr(self, rng, backend):
+        matrix, _ = random_csr(rng)
+        with ShardedOperator(
+            matrix, n_shards=3, backend=backend, n_jobs=2
+        ) as op:
+            report = verify_operator(op, rng=0)
+        assert report.ok
+
+    def test_verify_operator_dense(self, rng):
+        A = rng.standard_normal((40, 11))
+        with ShardedOperator(A, n_shards=4) as op:
+            report = verify_operator(op, rng=0)
+        assert report.ok
+
+    @pytest.mark.slow
+    def test_verify_operator_process_backend(self, rng):
+        matrix, _ = random_csr(rng, m=32, n=9)
+        with ShardedOperator(
+            matrix, n_shards=2, backend="process", n_jobs=2
+        ) as op:
+            report = verify_operator(op, rng=0)
+        assert report.ok
+
+
+class TestOpsMode:
+    def test_row_blocks_stack(self, rng):
+        A = rng.standard_normal((30, 6))
+        ops = [DenseOperator(A[:12]), DenseOperator(A[12:])]
+        with ShardedOperator(ops) as op:
+            assert op.shape == (30, 6)
+            assert op.shard_layout == [(0, 12), (12, 30)]
+            v = rng.standard_normal(6)
+            np.testing.assert_allclose(op.matvec(v), A @ v, rtol=1e-13)
+
+    def test_mismatched_columns_rejected(self, rng):
+        ops = [
+            DenseOperator(rng.standard_normal((5, 4))),
+            DenseOperator(rng.standard_normal((5, 3))),
+        ]
+        with pytest.raises(ValueError, match="column count"):
+            ShardedOperator(ops)
+
+    def test_process_backend_rejected(self, rng):
+        ops = [DenseOperator(rng.standard_normal((5, 4)))]
+        with pytest.raises(ValueError, match="process"):
+            ShardedOperator(ops, backend="process", n_jobs=2)
+
+    def test_nan_fault_in_one_shard_sets_failure_istop(self, rng):
+        A = rng.standard_normal((40, 8))
+        faulty = FaultyOperator(
+            DenseOperator(A[20:]), fail_every=1, mode="nan"
+        )
+        ops = [DenseOperator(A[:20]), faulty]
+        B = rng.standard_normal((40, 2))
+        with ShardedOperator(ops, backend="thread", n_jobs=2) as op:
+            result = block_lsqr(op, B, iter_lim=10)
+        assert result.any_failed
+        assert set(result.istop[result.failed]) <= {8, 9}
+        assert faulty.n_faults_injected > 0
+
+    def test_raise_fault_propagates_without_hanging(self, rng):
+        A = rng.standard_normal((40, 8))
+        ops = [
+            DenseOperator(A[:20]),
+            FaultyOperator(DenseOperator(A[20:]), fail_at={0}, mode="raise"),
+        ]
+        B = rng.standard_normal((40, 2))
+        with ShardedOperator(ops, backend="thread", n_jobs=2) as op:
+            with pytest.raises(InjectedFaultError):
+                block_lsqr(op, B, iter_lim=10)
+            # The pool survived the fault: the healthy shards still run.
+            v = rng.standard_normal(8)
+            assert np.isfinite(op.matvec(v)[:20]).all()
+
+
+class TestLifecycle:
+    def test_single_shard_is_passthrough(self, rng):
+        matrix, _ = random_csr(rng, m=20)
+        op = ShardedOperator(matrix, n_shards=1)
+        assert op.n_shards == 1
+        v = rng.standard_normal(matrix.shape[1])
+        assert np.array_equal(
+            op.matvec(v), as_operator(matrix).matvec(v)
+        )
+        op.close()
+
+    def test_close_is_idempotent(self, rng):
+        matrix, _ = random_csr(rng, m=20)
+        op = ShardedOperator(matrix, n_shards=2)
+        op.close()
+        op.close()
+
+    def test_caller_supplied_backend_not_closed(self, rng):
+        matrix, _ = random_csr(rng, m=20)
+        backend = ThreadBackend(n_workers=2)
+        op = ShardedOperator(matrix, n_shards=2, backend=backend)
+        op.close()
+        # Still usable: close() must not have shut the caller's pool.
+        assert backend.map(lambda i: i + 1, [1, 2]) == [2, 3]
+        backend.close()
+
+    def test_owned_backend_closed_with_operator(self, rng):
+        matrix, _ = random_csr(rng, m=20)
+        op = ShardedOperator(matrix, n_shards=2, backend="thread", n_jobs=2)
+        backend = op.backend
+        op.close()
+        assert backend._executor is None
+
+    def test_structural_operator_rejected(self, rng):
+        from repro.linalg.operators import ScaledOperator
+
+        scaled = ScaledOperator(DenseOperator(rng.standard_normal((6, 3))), 2.0)
+        with pytest.raises(TypeError, match="ShardedOperator"):
+            ShardedOperator(scaled)
