@@ -61,17 +61,33 @@ def _news(scale, seed):
     return make_text(n_docs=3000, vocab_size=26214, seed=seed)
 
 
-def _algorithms(names: List[str], sparse: bool):
+def _algorithms(
+    names: List[str],
+    sparse: bool,
+    backend: Optional[str] = None,
+    workers: Optional[int] = None,
+):
     from repro import IDRQR, LDA, RLDA, SRDA
 
+    srda_kwargs = {}
+    if backend is not None:
+        # Route SRDA's operator products through the chosen backend
+        # (results are bitwise identical for a given data shape — the
+        # shard layout never depends on the backend or worker count).
+        srda_kwargs = {"backend": backend, "n_jobs": workers}
     registry = {
         "lda": ("LDA", lambda: LDA()),
         "rlda": ("RLDA", lambda: RLDA(alpha=1.0)),
         "srda": (
             "SRDA",
-            (lambda: SRDA(alpha=1.0, solver="lsqr", max_iter=15, tol=0.0))
+            (
+                lambda: SRDA(
+                    alpha=1.0, solver="lsqr", max_iter=15, tol=0.0,
+                    **srda_kwargs,
+                )
+            )
             if sparse
-            else (lambda: SRDA(alpha=1.0)),
+            else (lambda: SRDA(alpha=1.0, **srda_kwargs)),
         ),
         "idrqr": ("IDR/QR", lambda: IDRQR(alpha=1.0)),
     }
@@ -144,7 +160,12 @@ def cmd_bench(args) -> int:
         )
     else:
         dataset = DATASET_BUILDERS[args.dataset](args.scale, args.seed)
-    algorithms = _algorithms(args.algorithms, dataset.is_sparse)
+    algorithms = _algorithms(
+        args.algorithms,
+        dataset.is_sparse,
+        backend=args.backend,
+        workers=args.workers,
+    )
     sizes = None
     if args.sizes:
         raw = [float(s) for s in args.sizes.split(",")]
@@ -257,6 +278,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=None, metavar="N",
         help="run each split's per-algorithm cells on N worker threads "
         "(-1 = all cores); results are bitwise identical to --jobs 1",
+    )
+    bench.add_argument(
+        "--backend", default=None,
+        choices=("serial", "thread", "process", "distributed"),
+        help="execution backend for SRDA's operator products; "
+        "'distributed' ships shards once to supervised localhost "
+        "worker processes and degrades to a local backend (recorded "
+        "in the fit report) if the cluster becomes unhealthy",
+    )
+    bench.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker count for --backend (-1 = all cores)",
     )
     bench.add_argument(
         "--trace-jsonl", default=None, metavar="PATH",

@@ -24,6 +24,7 @@ from repro.core.graph import graph_responses, semi_supervised_affinity
 from repro.linalg.cholesky import cholesky, solve_factored
 from repro.linalg.lsqr import lsqr
 from repro.linalg.operators import CenteringOperator, as_operator
+from repro.observability import Tracer, resolve_tracer
 
 
 class SemiSupervisedSRDA(LinearEmbedder):
@@ -45,6 +46,11 @@ class SemiSupervisedSRDA(LinearEmbedder):
         ``"normal"`` or ``"lsqr"`` for the regression step.
     max_iter, tol:
         LSQR controls.
+    trace:
+        Observability control, as :class:`repro.core.srda.SRDA`'s
+        parameter of the same name.  When enabled, ``fit`` emits
+        ``semi_srda.fit`` with nested affinity/responses/solve/embed
+        spans and per-iteration LSQR events on the iterative path.
 
     Notes
     -----
@@ -62,6 +68,7 @@ class SemiSupervisedSRDA(LinearEmbedder):
         solver: str = "normal",
         max_iter: int = 20,
         tol: float = 1e-10,
+        trace=None,
     ) -> None:
         if alpha < 0:
             raise ValueError("alpha must be non-negative")
@@ -74,6 +81,8 @@ class SemiSupervisedSRDA(LinearEmbedder):
         self.solver = solver
         self.max_iter = int(max_iter)
         self.tol = float(tol)
+        self.trace = trace
+        self.tracer_: Optional[Tracer] = None
         self.components_ = None
         self.intercept_ = None
         self.classes_ = None
@@ -83,6 +92,17 @@ class SemiSupervisedSRDA(LinearEmbedder):
 
     def fit(self, X, y) -> "SemiSupervisedSRDA":
         """Fit from a partially labeled sample (``y == -1`` = unlabeled)."""
+        tracer = resolve_tracer(self.trace)
+        self.tracer_ = tracer if tracer.enabled else None
+        with tracer.span(
+            "semi_srda.fit",
+            alpha=self.alpha,
+            solver=self.solver,
+            supervised_weight=self.supervised_weight,
+        ):
+            return self._fit_phases(X, y, tracer)
+
+    def _fit_phases(self, X, y, tracer: Tracer) -> "SemiSupervisedSRDA":
         X = as_dense(X)
         y = np.asarray(y)
         if y.shape != (X.shape[0],):
@@ -106,29 +126,39 @@ class SemiSupervisedSRDA(LinearEmbedder):
             n_components = classes.shape[0] - 1
 
         # spectral step on the blended graph
-        W = semi_supervised_affinity(
-            X,
-            y_indices,
-            classes.shape[0],
+        with tracer.span(
+            "semi_srda.affinity",
             n_neighbors=self.n_neighbors,
-            supervised_weight=self.supervised_weight,
-        )
-        responses = graph_responses(W, n_components=n_components)
+            n_labeled=int(labeled_mask.sum()),
+        ):
+            W = semi_supervised_affinity(
+                X,
+                y_indices,
+                classes.shape[0],
+                n_neighbors=self.n_neighbors,
+                supervised_weight=self.supervised_weight,
+            )
+        with tracer.span(
+            "semi_srda.responses", n_components=int(n_components)
+        ):
+            responses = graph_responses(W, n_components=n_components)
         self.responses_ = responses
 
         # regression step — identical machinery to supervised SRDA
         mean = X.mean(axis=0)
         centered = X - mean
-        if self.solver == "normal":
-            components = self._ridge_normal(centered, responses)
-        else:
-            op = CenteringOperator(as_operator(X), column_means=mean)
-            components = self._ridge_lsqr(op, responses)
+        with tracer.span("semi_srda.solve", solver=self.solver):
+            if self.solver == "normal":
+                components = self._ridge_normal(centered, responses)
+            else:
+                op = CenteringOperator(as_operator(X), column_means=mean)
+                components = self._ridge_lsqr(op, responses, tracer)
         self.components_ = components
         self.intercept_ = -(mean @ components)
 
-        Z_labeled = self.transform(X[labeled_mask])
-        self._store_centroids(Z_labeled, encoded)
+        with tracer.span("semi_srda.embed"):
+            Z_labeled = self.transform(X[labeled_mask])
+            self._store_centroids(Z_labeled, encoded)
         return self
 
     def _ridge_normal(self, X: np.ndarray, targets: np.ndarray) -> np.ndarray:
@@ -144,9 +174,12 @@ class SemiSupervisedSRDA(LinearEmbedder):
         outer[np.diag_indices_from(outer)] += self.alpha
         return X.T @ solve_factored(cholesky(outer), targets)
 
-    def _ridge_lsqr(self, op, targets: np.ndarray) -> np.ndarray:
+    def _ridge_lsqr(
+        self, op, targets: np.ndarray, tracer: Optional[Tracer] = None
+    ) -> np.ndarray:
         weights = np.empty((op.shape[1], targets.shape[1]))
         iterations = []
+        hook = tracer.iteration_hook() if tracer is not None else None
         for j in range(targets.shape[1]):
             result = lsqr(
                 op,
@@ -155,6 +188,7 @@ class SemiSupervisedSRDA(LinearEmbedder):
                 atol=self.tol,
                 btol=self.tol,
                 iter_lim=self.max_iter,
+                on_iteration=hook,
             )
             weights[:, j] = result.x
             iterations.append(result.itn)

@@ -18,6 +18,7 @@ from repro.core.base import LinearEmbedder, validate_data
 from repro.core.responses import generate_responses
 from repro.linalg.coordinate_descent import elastic_net
 from repro.linalg.sparse import CSRMatrix, is_sparse
+from repro.observability import Tracer, resolve_tracer
 
 
 class SparseSRDA(LinearEmbedder):
@@ -32,6 +33,12 @@ class SparseSRDA(LinearEmbedder):
         normal-equations solution), default 0.9.
     max_iter, tol:
         Coordinate-descent controls.
+    trace:
+        Observability control, as :class:`repro.core.srda.SRDA`'s
+        parameter of the same name.  When enabled, ``fit`` emits
+        ``sparse_srda.fit`` with nested validate/responses/solve/embed
+        spans and one ``elastic_net.column`` event per response
+        (sweeps used, non-zeros produced).
 
     Attributes
     ----------
@@ -49,6 +56,7 @@ class SparseSRDA(LinearEmbedder):
         l1_ratio: float = 0.9,
         max_iter: int = 1000,
         tol: float = 1e-6,
+        trace=None,
     ) -> None:
         if alpha < 0:
             raise ValueError("alpha must be non-negative")
@@ -58,6 +66,8 @@ class SparseSRDA(LinearEmbedder):
         self.l1_ratio = float(l1_ratio)
         self.max_iter = int(max_iter)
         self.tol = float(tol)
+        self.trace = trace
+        self.tracer_: Optional[Tracer] = None
         self.components_ = None
         self.intercept_ = None
         self.classes_ = None
@@ -67,9 +77,21 @@ class SparseSRDA(LinearEmbedder):
 
     def fit(self, X, y) -> "SparseSRDA":
         """Fit sparse projective functions from labeled data."""
-        X, classes, y_indices = validate_data(X, y)
+        tracer = resolve_tracer(self.trace)
+        self.tracer_ = tracer if tracer.enabled else None
+        with tracer.span(
+            "sparse_srda.fit", alpha=self.alpha, l1_ratio=self.l1_ratio
+        ):
+            return self._fit_phases(X, y, tracer)
+
+    def _fit_phases(self, X, y, tracer: Tracer) -> "SparseSRDA":
+        with tracer.span("sparse_srda.validate"):
+            X, classes, y_indices = validate_data(X, y)
         self.classes_ = classes
-        responses = generate_responses(y_indices, classes.shape[0])
+        with tracer.span(
+            "sparse_srda.responses", n_classes=int(classes.shape[0])
+        ):
+            responses = generate_responses(y_indices, classes.shape[0])
 
         sparse_input = isinstance(X, CSRMatrix) or is_sparse(X)
         if sparse_input and not isinstance(X, CSRMatrix):
@@ -92,23 +114,33 @@ class SparseSRDA(LinearEmbedder):
         n = X.shape[1]
         weights = np.empty((n, responses.shape[1]))
         iterations = []
-        for j in range(responses.shape[1]):
-            result = elastic_net(
-                design,
-                responses[:, j],
-                alpha=self.alpha,
-                l1_ratio=self.l1_ratio,
-                max_iter=self.max_iter,
-                tol=self.tol,
-            )
-            weights[:, j] = result.coef
-            iterations.append(result.n_iter)
+        with tracer.span(
+            "sparse_srda.solve", n_responses=int(responses.shape[1])
+        ):
+            for j in range(responses.shape[1]):
+                result = elastic_net(
+                    design,
+                    responses[:, j],
+                    alpha=self.alpha,
+                    l1_ratio=self.l1_ratio,
+                    max_iter=self.max_iter,
+                    tol=self.tol,
+                )
+                weights[:, j] = result.coef
+                iterations.append(result.n_iter)
+                tracer.event(
+                    "elastic_net.column",
+                    column=j,
+                    sweeps=int(result.n_iter),
+                    nonzeros=int(np.count_nonzero(result.coef)),
+                )
         self.n_iter_ = iterations
 
         self.components_ = weights
         self.intercept_ = -(means @ weights)
         self.sparsity_ = float(np.mean(weights == 0.0))
-        self._store_centroids(self.transform(X), y_indices)
+        with tracer.span("sparse_srda.embed"):
+            self._store_centroids(self.transform(X), y_indices)
         return self
 
     def selected_features(self) -> np.ndarray:

@@ -72,6 +72,32 @@ from repro.robustness import FitReport, guarded_solve
 _AUTO_NORMAL_LIMIT = 2000
 
 
+def _note_parallel_backend(report: FitReport, sharded) -> None:
+    """Record which backend served the products (and any degradation).
+
+    Called after the solve, before the sharded operator closes.  A
+    distributed fit that lost its cluster mid-solve records the full
+    ladder (``"distributed->serial"``) plus a
+    :class:`~repro.robustness.RobustnessWarning` — the result is still
+    bitwise correct (same shard layout), but the operator should know
+    the cluster died under them.
+    """
+    if sharded is None:
+        return
+    degraded_from = getattr(sharded, "degraded_from", None)
+    if degraded_from is None:
+        report.backend = sharded.backend.name
+        return
+    report.backend = f"{degraded_from}->{sharded.backend.name}"
+    report.add_warning(
+        f"distributed cluster became unhealthy mid-fit; products fell "
+        f"back to the {sharded.backend.name} backend "
+        f"({sharded.degradation_reason}); results are unchanged (the "
+        "shard layout, and therefore every bit of every product, does "
+        "not depend on the backend)"
+    )
+
+
 def _record_lsqr_columns(columns, report: FitReport, tol: float, alpha: float):
     """Fold per-column LSQR results into a :class:`FitReport`.
 
@@ -191,9 +217,15 @@ class SRDA(LinearEmbedder):
     backend:
         Execution backend for the sharded products: ``None`` (pick
         from ``n_jobs``), a name (``"serial"``/``"thread"``/
-        ``"process"``), or a live
+        ``"process"``/``"distributed"``), or a live
         :class:`repro.parallel.Backend` — the instance is shared, not
-        closed, so one process pool can serve many fits.
+        closed, so one process pool (or worker cluster) can serve many
+        fits.  ``"distributed"`` ships shards once to supervised
+        localhost worker processes and streams only the ``c-1``
+        operand/result vectors per iteration; if the cluster becomes
+        unhealthy mid-fit the products fall back to a local backend —
+        recorded in ``fit_report_.backend`` as e.g.
+        ``"distributed->serial"`` — with bitwise-identical results.
 
     Attributes
     ----------
@@ -435,6 +467,7 @@ class SRDA(LinearEmbedder):
                 mean = centering_op.column_means
                 op = self._instrument_operator(centering_op, tracer)
                 components = self._ridge_lsqr(op, responses, report)
+                _note_parallel_backend(report, sharded)
             finally:
                 if sharded is not None:
                     sharded.close()
@@ -461,6 +494,7 @@ class SRDA(LinearEmbedder):
             try:
                 op = self._instrument_operator(AppendOnesOperator(base), tracer)
                 weights = self._ridge_lsqr(op, responses, report)
+                _note_parallel_backend(report, sharded)
             finally:
                 if sharded is not None:
                     sharded.close()
@@ -685,11 +719,13 @@ def srda_alpha_path(
     with tracer.span(
         "srda.alpha_path", n_alphas=len(alphas), max_iter=int(max_iter)
     ):
+        backend_report = FitReport()
         try:
             with tracer.span("srda.bidiagonalize"):
                 shared = SharedBidiagonalization(
                     op, responses, iter_lim=max_iter
                 )
+            _note_parallel_backend(backend_report, sharded)
         finally:
             # The per-alpha replays touch no data — the sharded
             # operator (and any pool it owns) can go away right here.
@@ -701,6 +737,11 @@ def srda_alpha_path(
             model = make_model(alpha)
             report = FitReport()
             report.requested_solver = "lsqr"
+            report.backend = backend_report.backend
+            for note in backend_report.warnings:
+                # Already emitted once for the shared pass; the
+                # per-alpha copies are record-only.
+                report.add_warning(note, emit=False)
             if singletons:
                 report.add_warning(
                     f"{singletons} of {n_classes} classes have a single "

@@ -1,0 +1,39 @@
+"""Fault-tolerant distributed execution for the sharded solver layer.
+
+The paper's linear-time argument rests on SRDA touching the data only
+through operator products; PR 5's sharded layer exploited that on one
+host, and this package takes the same contract across process
+boundaries over localhost TCP: shards are pinned to supervised worker
+subprocesses once, each iteration ships only the small operand/result
+vectors, and a chaos-tested recovery ladder (retry → reassign →
+degrade) keeps results **bitwise identical** to the serial backend
+through worker death, slow workers, and corrupt frames.
+
+Modules
+-------
+``framing``
+    Length-prefixed, CRC-validated wire protocol and ``Transport``.
+``worker``
+    The worker subprocess (``python -m repro.distributed.worker``).
+``supervisor``
+    Heartbeats, deadlines, worker-death detection, shard reassignment.
+``backend``
+    :class:`DistributedBackend` — the ``Backend``-protocol surface.
+``chaos``
+    Seeded fault injection: :class:`ChaosPlan`,
+    :class:`ChaosTransport`, :class:`ChaosBackend`.
+"""
+
+from repro.distributed.backend import DistributedBackend
+from repro.distributed.chaos import ChaosBackend, ChaosPlan, ChaosTransport
+from repro.distributed.framing import Transport
+from repro.distributed.supervisor import Supervisor
+
+__all__ = [
+    "ChaosBackend",
+    "ChaosPlan",
+    "ChaosTransport",
+    "DistributedBackend",
+    "Supervisor",
+    "Transport",
+]

@@ -1,0 +1,228 @@
+"""The wire protocol: length-prefixed, CRC-validated message frames.
+
+Every byte that crosses a worker boundary travels inside one frame::
+
+    offset  size  field
+    0       4     magic    b"RPRD"
+    4       1     version  PROTOCOL_VERSION
+    5       1     type     message type (MSG_* constants)
+    6       8     length   payload byte count, big-endian
+    14      4     crc      zlib.crc32 of the payload
+    18      n     payload  pickled message body
+
+The receiver validates magic, version, length bound, and CRC before it
+unpickles anything; any violation raises
+:class:`~repro.exceptions.ProtocolError`.  Because a framing violation
+means the *stream position* can no longer be trusted (one corrupt
+length prefix desynchronizes everything after it), the supervisor
+treats a protocol error as a connection failure, never as a retryable
+message failure.
+
+Message bodies are plain dicts of picklable values (numpy arrays
+included — pickle round-trips dtype and shape exactly, which the
+bitwise-determinism contract relies on).  The payload limit exists to
+turn a corrupt length prefix into an immediate protocol error instead
+of a multi-gigabyte allocation.
+
+:class:`Transport` wraps a connected socket with ``send``/``recv`` and
+byte accounting; :class:`repro.distributed.chaos.ChaosTransport`
+subclasses it to inject corruption, drops, and delays at exactly this
+layer.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+import zlib
+from typing import Any, Optional, Tuple
+
+from repro.exceptions import ProtocolError, TransportError
+
+__all__ = [
+    "HEADER_BYTES",
+    "MAGIC",
+    "MAX_PAYLOAD_BYTES",
+    "MSG_ACK",
+    "MSG_CALL",
+    "MSG_ERROR",
+    "MSG_HELLO",
+    "MSG_PING",
+    "MSG_PONG",
+    "MSG_RESULT",
+    "MSG_SHARD",
+    "MSG_SHUTDOWN",
+    "MSG_TASK",
+    "PROTOCOL_VERSION",
+    "Transport",
+    "build_frame",
+    "data_frame_types",
+]
+
+MAGIC = b"RPRD"
+PROTOCOL_VERSION = 1
+
+#: ``!`` = network byte order: magic, version, type, length, crc.
+_HEADER = struct.Struct("!4sBBQI")
+HEADER_BYTES = _HEADER.size
+
+#: Upper bound on one payload (4 GiB) — far above any shard this
+#: package ships, so hitting it always means a corrupt length prefix.
+MAX_PAYLOAD_BYTES = 4 * 1024**3
+
+# Message types.
+MSG_HELLO = 1  # worker -> coordinator, after connect
+MSG_PING = 2  # coordinator -> worker heartbeat probe
+MSG_PONG = 3  # worker -> coordinator heartbeat reply
+MSG_SHARD = 4  # coordinator -> worker: one-time shard payload
+MSG_ACK = 5  # worker -> coordinator: shard stored
+MSG_TASK = 6  # coordinator -> worker: one shard kernel product
+MSG_RESULT = 7  # worker -> coordinator: kernel/call result
+MSG_ERROR = 8  # worker -> coordinator: in-band task failure
+MSG_SHUTDOWN = 9  # coordinator -> worker: exit cleanly
+MSG_CALL = 10  # coordinator -> worker: generic Backend.map task
+
+#: Frame types that carry work or data (not liveness chatter).  The
+#: chaos layer schedules injection against this subsequence so that
+#: background heartbeats cannot perturb a seeded schedule.
+_DATA_FRAME_TYPES = frozenset({MSG_SHARD, MSG_TASK, MSG_CALL})
+
+
+def data_frame_types() -> frozenset:
+    """The frame types the chaos layer counts (work, not heartbeats)."""
+    return _DATA_FRAME_TYPES
+
+
+def build_frame(mtype: int, message: Any) -> bytes:
+    """Serialize one message into a complete frame (header + payload)."""
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(payload) > MAX_PAYLOAD_BYTES:
+        raise ProtocolError(
+            f"refusing to send a {len(payload)}-byte payload "
+            f"(limit {MAX_PAYLOAD_BYTES})"
+        )
+    header = _HEADER.pack(
+        MAGIC, PROTOCOL_VERSION, mtype, len(payload), zlib.crc32(payload)
+    )
+    return header + payload
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes:
+    """Read exactly ``count`` bytes or raise :class:`TransportError`."""
+    chunks = []
+    remaining = count
+    while remaining:
+        try:
+            chunk = sock.recv(min(remaining, 1 << 20))
+        except socket.timeout as exc:
+            raise TransportError(
+                f"timed out waiting for {remaining} of {count} bytes"
+            ) from exc
+        except OSError as exc:
+            raise TransportError(f"socket failed mid-read: {exc}") from exc
+        if not chunk:
+            raise TransportError(
+                f"connection closed with {remaining} of {count} bytes unread"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+class Transport:
+    """A framed, checksummed message channel over one connected socket.
+
+    Thread safety is the *caller's* job: the supervisor serializes all
+    traffic on a connection behind the owning worker handle's lock.
+    ``bytes_sent``/``bytes_received`` count full frames (header
+    included) and feed the per-iteration traffic numbers in
+    ``BENCH_distributed.json``.
+    """
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self._closed = False
+        # Frames queue promptly: products are latency-bound on small
+        # operand/result vectors, not bandwidth-bound.
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:  # pragma: no cover - non-TCP sockets in tests
+            pass
+
+    # -- sending -------------------------------------------------------
+    def send(self, mtype: int, message: Any) -> None:
+        """Frame and send one message (blocking until queued)."""
+        self._send_raw(build_frame(mtype, message), mtype)
+
+    def _send_raw(self, frame: bytes, mtype: int) -> None:
+        """Ship pre-built frame bytes — the chaos-injection seam."""
+        try:
+            self.sock.sendall(frame)
+        except OSError as exc:
+            raise TransportError(f"send failed: {exc}") from exc
+        self.bytes_sent += len(frame)
+
+    # -- receiving -----------------------------------------------------
+    def recv(self, timeout: Optional[float] = None) -> Tuple[int, Any]:
+        """Receive one validated frame; returns ``(type, message)``.
+
+        ``timeout`` covers each blocking read (header and payload
+        separately); ``None`` waits forever.  Raises
+        :class:`TransportError` on timeout/EOF and
+        :class:`ProtocolError` on any framing violation.
+        """
+        self.sock.settimeout(timeout)
+        header = _recv_exact(self.sock, HEADER_BYTES)
+        magic, version, mtype, length, crc = _HEADER.unpack(header)
+        if magic != MAGIC:
+            raise ProtocolError(f"bad frame magic {magic!r}")
+        if version != PROTOCOL_VERSION:
+            raise ProtocolError(
+                f"unsupported protocol version {version} "
+                f"(expected {PROTOCOL_VERSION})"
+            )
+        if length > MAX_PAYLOAD_BYTES:
+            raise ProtocolError(
+                f"length prefix {length} exceeds the "
+                f"{MAX_PAYLOAD_BYTES}-byte payload limit"
+            )
+        payload = _recv_exact(self.sock, length)
+        actual_crc = zlib.crc32(payload)
+        if actual_crc != crc:
+            raise ProtocolError(
+                f"payload CRC mismatch (header {crc:#010x}, "
+                f"payload {actual_crc:#010x})"
+            )
+        self.bytes_received += HEADER_BYTES + length
+        try:
+            message = pickle.loads(payload)
+        # Justification: pickle raises a zoo of exception types for
+        # truncated/hostile payloads; all of them mean the same
+        # protocol-level failure here.
+        except Exception as exc:  # repro: noqa-RPR002
+            raise ProtocolError(f"payload failed to unpickle: {exc}") from exc
+        return mtype, message
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        """Close the socket.  Idempotent; never raises."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self.sock.close()
+        except OSError:  # pragma: no cover - close failures are benign
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Transport(sent={self.bytes_sent}, "
+            f"received={self.bytes_received})"
+        )

@@ -1,0 +1,682 @@
+"""The supervisor: worker lifecycle, heartbeats, retry, reassignment.
+
+This is the fault-tolerance half of :mod:`repro.distributed`.  The
+coordinator side owns a listening socket on ``127.0.0.1``, spawns
+worker subprocesses that dial back in, and mediates *all* traffic:
+
+- **Heartbeats.**  A daemon thread PINGs each idle worker on a fixed
+  interval (skipping workers whose connection is currently busy with a
+  task — traffic is liveness).  A failed or mismatched PONG marks the
+  worker dead.  Detection is advisory: the task path discovers death
+  on its own through send/recv failures, so a slow heartbeat never
+  blocks recovery.
+- **Death handling.**  ``mark_dead`` closes the transport and kills
+  the subprocess (killing is what makes it safe to *retry* the
+  worker's tasks elsewhere: a half-dead worker can no longer deliver a
+  stale RESULT into a fresh round).  Workers are never respawned —
+  their shards are **reassigned** to survivors, which already hold the
+  payloads in the coordinator's retained copy.
+- **Retry with backoff.**  :meth:`Supervisor.run_tasks` runs rounds:
+  send every unfinished task to its shard's current owner, collect
+  replies, mark failures dead, reassign orphaned shards, back off
+  exponentially, repeat — up to ``max_retries`` rounds past the first.
+  Because every task is a pure function of (shard payload, operand),
+  re-running only the failed subset on a different worker yields
+  byte-identical results; the bitwise contract survives every
+  recovery path.
+- **Deadlines.**  Each round stamps tasks with an absolute monotonic
+  deadline; workers refuse tasks whose budget is spent, and the
+  coordinator's recv timeouts are derived from the same deadline, so a
+  wedged worker costs one round, not forever.
+
+When no worker survives, or the retry budget is exhausted,
+:class:`~repro.exceptions.ClusterUnhealthyError` is raised; the
+sharded layer catches it to degrade to a local backend.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.distributed.framing import (
+    MSG_ACK,
+    MSG_CALL,
+    MSG_ERROR,
+    MSG_HELLO,
+    MSG_PING,
+    MSG_PONG,
+    MSG_RESULT,
+    MSG_SHARD,
+    MSG_SHUTDOWN,
+    MSG_TASK,
+    Transport,
+)
+from repro.distributed.worker import payload_checksum
+from repro.exceptions import (
+    ClusterUnhealthyError,
+    ProtocolError,
+    TransportError,
+    WorkerCrashError,
+)
+from repro.observability import current_tracer
+
+__all__ = ["Supervisor", "WorkerHandle"]
+
+
+def _worker_environment() -> Dict[str, str]:
+    """Subprocess env with this package importable, whatever the cwd."""
+    import os
+
+    import repro
+
+    env = dict(os.environ)
+    package_root = str(Path(repro.__file__).resolve().parent.parent)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        package_root if not existing else package_root + os.pathsep + existing
+    )
+    return env
+
+
+class WorkerHandle:
+    """Coordinator-side state for one worker subprocess.
+
+    The ``lock`` serializes all traffic on the worker's connection —
+    the heartbeat thread and the task path never interleave frames on
+    one socket.  ``shard_keys`` tracks which shards this worker
+    currently owns (the reassignment unit).
+    """
+
+    def __init__(self, worker_id: int, proc: subprocess.Popen) -> None:
+        self.worker_id = worker_id
+        self.proc = proc
+        self.transport: Optional[Transport] = None
+        self.alive = False
+        self.lock = threading.Lock()
+        self.shard_keys: List[str] = []
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "alive" if self.alive else "dead"
+        return f"WorkerHandle(id={self.worker_id}, {state})"
+
+
+class Supervisor:
+    """Spawns, monitors, and recovers a pool of localhost workers.
+
+    Parameters
+    ----------
+    n_workers:
+        Subprocesses to spawn (each a ``repro.distributed.worker``).
+    heartbeat_interval:
+        Seconds between liveness probes; ``0`` disables the heartbeat
+        thread (the task path still detects death on its own).
+    task_timeout:
+        Per-round deadline budget in seconds for one batch of tasks.
+    max_retries:
+        Extra rounds allowed after the first before the cluster is
+        declared unhealthy.
+    backoff_base:
+        First retry sleeps this long; each later round doubles it.
+    transport_factory:
+        Wraps each accepted worker socket — the chaos-injection seam
+        (:class:`~repro.distributed.chaos.ChaosTransport`).
+    connect_timeout:
+        Budget for the whole spawn-and-handshake phase.
+    """
+
+    def __init__(
+        self,
+        n_workers: int,
+        heartbeat_interval: float = 2.0,
+        task_timeout: float = 30.0,
+        max_retries: int = 3,
+        backoff_base: float = 0.05,
+        transport_factory: Callable[[socket.socket], Transport] = Transport,
+        connect_timeout: float = 30.0,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        self.n_workers = int(n_workers)
+        self.heartbeat_interval = float(heartbeat_interval)
+        self.task_timeout = float(task_timeout)
+        self.max_retries = int(max_retries)
+        self.backoff_base = float(backoff_base)
+        self._transport_factory = transport_factory
+        self._connect_timeout = float(connect_timeout)
+
+        self.workers: List[WorkerHandle] = []
+        #: Retained shard payloads (key -> SHARD message body) so
+        #: orphaned shards can be re-shipped to survivors.
+        self._payloads: Dict[str, Dict[str, Any]] = {}
+        #: key -> current owning WorkerHandle.
+        self._owners: Dict[str, WorkerHandle] = {}
+        self._task_ids = itertools.count(1)
+        self._state_lock = threading.Lock()
+        self._stop = threading.Event()
+        self._heartbeat_thread: Optional[threading.Thread] = None
+        self._closed = False
+
+        # Observable recovery counters (surfaced via Backend.stats()).
+        self.worker_deaths = 0
+        self.reassignments = 0
+        self.retries = 0
+        self.heartbeats = 0
+
+        self._start()
+
+    # ------------------------------------------------------------------
+    # Startup
+    # ------------------------------------------------------------------
+    def _start(self) -> None:
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(self.n_workers)
+        port = listener.getsockname()[1]
+        try:
+            env = _worker_environment()
+            for worker_id in range(self.n_workers):
+                proc = subprocess.Popen(
+                    [
+                        sys.executable,
+                        "-m",
+                        "repro.distributed.worker",
+                        "--host",
+                        "127.0.0.1",
+                        "--port",
+                        str(port),
+                        "--worker-id",
+                        str(worker_id),
+                    ],
+                    env=env,
+                    stdout=subprocess.DEVNULL,
+                    stderr=subprocess.DEVNULL,
+                )
+                self.workers.append(WorkerHandle(worker_id, proc))
+            deadline = time.monotonic() + self._connect_timeout
+            pending = self.n_workers
+            while pending:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise TransportError(
+                        f"{pending} of {self.n_workers} workers failed to "
+                        f"connect within {self._connect_timeout}s"
+                    )
+                listener.settimeout(remaining)
+                try:
+                    sock, _ = listener.accept()
+                except socket.timeout as exc:
+                    raise TransportError(
+                        f"{pending} of {self.n_workers} workers failed to "
+                        f"connect within {self._connect_timeout}s"
+                    ) from exc
+                transport = self._transport_factory(sock)
+                mtype, hello = transport.recv(timeout=remaining)
+                if mtype != MSG_HELLO:
+                    raise ProtocolError(
+                        f"expected HELLO from connecting worker, got {mtype}"
+                    )
+                handle = self.workers[hello["worker_id"]]
+                handle.transport = transport
+                handle.alive = True
+                pending -= 1
+        # Justification: bootstrap must tear down spawned worker
+        # processes on ANY unwind (including KeyboardInterrupt) before
+        # re-raising, or they outlive the coordinator.
+        except BaseException:  # repro: noqa-RPR002
+            self.close()
+            raise
+        finally:
+            listener.close()
+        if self.heartbeat_interval > 0:
+            self._heartbeat_thread = threading.Thread(
+                target=self._heartbeat_loop,
+                name="repro-distributed-heartbeat",
+                daemon=True,
+            )
+            self._heartbeat_thread.start()
+
+    # ------------------------------------------------------------------
+    # Liveness
+    # ------------------------------------------------------------------
+    def _heartbeat_loop(self) -> None:
+        nonces = itertools.count(1)
+        while not self._stop.wait(self.heartbeat_interval):
+            for handle in self.workers:
+                if self._stop.is_set():
+                    return
+                if not handle.alive:
+                    continue
+                # Never contend with an in-flight task round: traffic
+                # on a busy connection already proves liveness.
+                if not handle.lock.acquire(blocking=False):
+                    continue
+                try:
+                    if not handle.alive or handle.transport is None:
+                        continue
+                    nonce = next(nonces)
+                    try:
+                        handle.transport.send(MSG_PING, {"nonce": nonce})
+                        mtype, pong = handle.transport.recv(
+                            timeout=max(self.heartbeat_interval, 1.0)
+                        )
+                    except (TransportError, ProtocolError) as exc:
+                        self._mark_dead(handle, f"heartbeat failed: {exc}")
+                        continue
+                    if mtype != MSG_PONG or pong.get("nonce") != nonce:
+                        self._mark_dead(
+                            handle,
+                            f"heartbeat got message type {mtype} "
+                            f"(nonce {pong.get('nonce')!r} != {nonce})",
+                        )
+                        continue
+                    self.heartbeats += 1
+                finally:
+                    handle.lock.release()
+            tracer = current_tracer()
+            if tracer.enabled:
+                tracer.metrics.counter("distributed.heartbeats").add(
+                    float(self.heartbeats)
+                )
+
+    def _mark_dead(self, handle: WorkerHandle, reason: str) -> None:
+        """Declare a worker dead: close its pipe, kill its process.
+
+        Caller must hold ``handle.lock``.  Killing (not just closing)
+        is what guarantees a retried task can never race a stale
+        RESULT from the original owner.
+        """
+        if not handle.alive:
+            return
+        handle.alive = False
+        self.worker_deaths += 1
+        if handle.transport is not None:
+            handle.transport.close()
+        if handle.proc.poll() is None:
+            handle.proc.kill()
+        tracer = current_tracer()
+        if tracer.enabled:
+            tracer.metrics.counter("distributed.worker_deaths").add(1.0)
+            tracer.event(
+                "distributed.worker_death",
+                worker_id=handle.worker_id,
+                reason=reason[:200],
+            )
+
+    def kill_worker(self, worker_id: int) -> None:
+        """Forcibly kill one worker (the chaos hook and test seam)."""
+        handle = self.workers[worker_id]
+        with handle.lock:
+            self._mark_dead(handle, "killed by chaos injection")
+
+    @property
+    def survivors(self) -> List[WorkerHandle]:
+        return [handle for handle in self.workers if handle.alive]
+
+    @property
+    def healthy(self) -> bool:
+        return not self._closed and bool(self.survivors)
+
+    # ------------------------------------------------------------------
+    # Shard shipment and reassignment
+    # ------------------------------------------------------------------
+    def ship_shard(self, key: str, kind: str, shape: Tuple[int, ...],
+                   arrays: Dict[str, Any]) -> None:
+        """Ship one shard to a worker (round-robin), retaining a copy.
+
+        The retained payload is the coordinator's own reference to the
+        shard arrays (no copy — numpy pickling happens per shipment),
+        kept so the shard can follow its owner's death to a survivor.
+        """
+        payload = {
+            "key": key,
+            "kind": kind,
+            "shape": tuple(shape),
+            "arrays": arrays,
+        }
+        with self._state_lock:
+            self._payloads[key] = payload
+        while True:
+            with self._state_lock:
+                survivors = self.survivors
+                if not survivors:
+                    raise ClusterUnhealthyError(
+                        "no live workers to ship shards to"
+                    )
+                owner = min(survivors, key=lambda h: len(h.shard_keys))
+            try:
+                self._ship_to(owner, payload)
+            except WorkerCrashError:
+                continue  # that worker died mid-shipment; try the next
+            return
+
+    def _ship_to(self, handle: WorkerHandle, payload: Dict[str, Any]) -> None:
+        """Send one SHARD to one worker and verify the checksum ACK."""
+        key = payload["key"]
+        with handle.lock:
+            if not handle.alive or handle.transport is None:
+                raise WorkerCrashError(
+                    f"worker {handle.worker_id} died before shard {key!r} "
+                    "could be shipped"
+                )
+            try:
+                handle.transport.send(MSG_SHARD, payload)
+                mtype, ack = handle.transport.recv(timeout=self.task_timeout)
+            except (TransportError, ProtocolError) as exc:
+                self._mark_dead(handle, f"shard shipment failed: {exc}")
+                raise WorkerCrashError(
+                    f"worker {handle.worker_id} died during shard "
+                    f"shipment: {exc}"
+                ) from exc
+            if mtype != MSG_ACK or ack.get("key") != key:
+                self._mark_dead(handle, f"bad shard ACK (type {mtype})")
+                raise WorkerCrashError(
+                    f"worker {handle.worker_id} replied to SHARD with "
+                    f"message type {mtype}"
+                )
+            expected = payload_checksum(payload["arrays"])
+            if ack.get("checksum") != expected:
+                self._mark_dead(
+                    handle,
+                    f"shard {key!r} checksum mismatch "
+                    f"({ack.get('checksum')!r} != {expected})",
+                )
+                raise WorkerCrashError(
+                    f"shard {key!r} arrived corrupted at worker "
+                    f"{handle.worker_id} (checksum mismatch)"
+                )
+        with self._state_lock:
+            self._owners[key] = handle
+            if key not in handle.shard_keys:
+                handle.shard_keys.append(key)
+
+    def _reassign_orphans(self) -> None:
+        """Move every dead worker's shards onto surviving workers."""
+        with self._state_lock:
+            orphaned = [
+                key
+                for key, owner in self._owners.items()
+                if not owner.alive
+            ]
+        for key in orphaned:
+            payload = self._payloads[key]
+            while True:
+                with self._state_lock:
+                    survivors = self.survivors
+                    if not survivors:
+                        raise ClusterUnhealthyError(
+                            f"no live workers left to adopt shard {key!r}"
+                        )
+                    dead_owner = self._owners[key]
+                    if key in dead_owner.shard_keys:
+                        dead_owner.shard_keys.remove(key)
+                    target = min(survivors, key=lambda h: len(h.shard_keys))
+                try:
+                    self._ship_to(target, payload)
+                except WorkerCrashError:
+                    continue  # adopter died too; pick the next survivor
+                break
+            self.reassignments += 1
+            tracer = current_tracer()
+            if tracer.enabled:
+                tracer.metrics.counter("distributed.reassignments").add(1.0)
+                tracer.event(
+                    "distributed.shard_reassigned",
+                    key=key,
+                    to_worker=self._owners[key].worker_id,
+                )
+
+    # ------------------------------------------------------------------
+    # Task rounds
+    # ------------------------------------------------------------------
+    def run_tasks(self, tasks: Sequence[Dict[str, Any]]) -> List[Any]:
+        """Run shard-kernel tasks; returns results in task order.
+
+        Each task dict needs ``key`` (shard), ``kernel``, ``operand``.
+        Retries failed subsets on reassigned shards with exponential
+        backoff until everything completes or the budget is exhausted.
+        """
+        results: List[Any] = [None] * len(tasks)
+        pending = {i: dict(task) for i, task in enumerate(tasks)}
+        for index, task in pending.items():
+            task["task_id"] = next(self._task_ids)
+        attempt = 0
+        while pending:
+            if attempt > self.max_retries:
+                raise ClusterUnhealthyError(
+                    f"{len(pending)} tasks still failing after "
+                    f"{self.max_retries} retries"
+                )
+            if attempt > 0:
+                self.retries += 1
+                tracer = current_tracer()
+                if tracer.enabled:
+                    tracer.metrics.counter("distributed.retries").add(1.0)
+                time.sleep(self.backoff_base * (2.0 ** (attempt - 1)))
+                self._reassign_orphans()
+            completed = self._run_round(pending, results)
+            for index in completed:
+                del pending[index]
+            attempt += 1
+        return results
+
+    def _run_round(
+        self, pending: Dict[int, Dict[str, Any]], results: List[Any]
+    ) -> List[int]:
+        """One send-all/collect-all round; returns completed indices."""
+        deadline = time.monotonic() + self.task_timeout
+        # Group tasks by current shard owner.
+        by_worker: Dict[int, List[Tuple[int, Dict[str, Any]]]] = {}
+        with self._state_lock:
+            for index, task in pending.items():
+                owner = self._owners.get(task["key"])
+                if owner is None or not owner.alive:
+                    continue  # orphaned; next round reassigns first
+                by_worker.setdefault(owner.worker_id, []).append((index, task))
+        completed: List[int] = []
+        tracer = current_tracer()
+        histogram = (
+            tracer.metrics.histogram("distributed.task_seconds")
+            if tracer.enabled
+            else None
+        )
+        for worker_id, batch in by_worker.items():
+            handle = self.workers[worker_id]
+            with handle.lock:
+                if not handle.alive or handle.transport is None:
+                    continue
+                transport = handle.transport
+                try:
+                    for _, task in batch:
+                        transport.send(
+                            MSG_TASK,
+                            {
+                                "task_id": task["task_id"],
+                                "key": task["key"],
+                                "kernel": task["kernel"],
+                                "operand": task["operand"],
+                                "deadline": deadline,
+                            },
+                        )
+                    expected = {task["task_id"]: index
+                                for index, task in batch}
+                    while expected:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            raise TransportError(
+                                f"worker {worker_id} missed the "
+                                f"{self.task_timeout}s round deadline"
+                            )
+                        mtype, message = transport.recv(timeout=remaining)
+                        if mtype == MSG_PONG:
+                            continue  # stale heartbeat reply; harmless
+                        task_id = message.get("task_id")
+                        index = expected.get(task_id)
+                        if mtype == MSG_RESULT and index is not None:
+                            results[index] = message["array"]
+                            completed.append(index)
+                            del expected[task_id]
+                            if histogram is not None:
+                                histogram.observe(message.get("seconds", 0.0))
+                        elif mtype == MSG_ERROR and index is not None:
+                            del expected[task_id]
+                            if message.get("kind") == "task_exception":
+                                raise message["exception"]
+                            # deadline / missing_shard: retryable
+                            # in-band refusal, worker stays alive.
+                        else:
+                            raise ProtocolError(
+                                f"unexpected reply type {mtype} "
+                                f"(task_id {task_id!r})"
+                            )
+                except (TransportError, ProtocolError) as exc:
+                    self._mark_dead(handle, f"task round failed: {exc}")
+        return completed
+
+    # ------------------------------------------------------------------
+    # Generic calls (Backend.map surface)
+    # ------------------------------------------------------------------
+    def run_calls(
+        self, fn: Callable[[Any], Any], items: Sequence[Any]
+    ) -> List[Any]:
+        """Map a module-level callable over items on the cluster.
+
+        Items are dealt round-robin over survivors; failed subsets are
+        retried on the remaining workers.  The first in-band task
+        exception (in submission order) propagates, matching local
+        backend semantics.
+        """
+        results: List[Any] = [None] * len(items)
+        pending: Dict[int, Any] = dict(enumerate(items))
+        attempt = 0
+        while pending:
+            if attempt > self.max_retries:
+                raise ClusterUnhealthyError(
+                    f"{len(pending)} mapped tasks still failing after "
+                    f"{self.max_retries} retries"
+                )
+            if attempt > 0:
+                self.retries += 1
+                time.sleep(self.backoff_base * (2.0 ** (attempt - 1)))
+            survivors = self.survivors
+            if not survivors:
+                raise ClusterUnhealthyError(
+                    "no live workers for mapped tasks"
+                )
+            task_error: List[Tuple[int, BaseException]] = []
+            indices = sorted(pending)
+            batches: Dict[int, List[int]] = {}
+            for position, index in enumerate(indices):
+                handle = survivors[position % len(survivors)]
+                batches.setdefault(handle.worker_id, []).append(index)
+            deadline = time.monotonic() + self.task_timeout
+            t0 = time.perf_counter()
+            for worker_id, batch in batches.items():
+                handle = self.workers[worker_id]
+                with handle.lock:
+                    if not handle.alive or handle.transport is None:
+                        continue
+                    transport = handle.transport
+                    ids = {}
+                    try:
+                        for index in batch:
+                            task_id = next(self._task_ids)
+                            ids[task_id] = index
+                            transport.send(
+                                MSG_CALL,
+                                {
+                                    "task_id": task_id,
+                                    "fn": fn,
+                                    "item": pending[index],
+                                },
+                            )
+                        while ids:
+                            remaining = deadline - time.monotonic()
+                            if remaining <= 0:
+                                raise TransportError(
+                                    f"worker {worker_id} missed the call "
+                                    "deadline"
+                                )
+                            mtype, message = transport.recv(timeout=remaining)
+                            if mtype == MSG_PONG:
+                                continue
+                            task_id = message.get("task_id")
+                            index = ids.pop(task_id, None)
+                            if index is None:
+                                raise ProtocolError(
+                                    f"unexpected reply (type {mtype}, "
+                                    f"task_id {task_id!r})"
+                                )
+                            if mtype == MSG_RESULT:
+                                results[index] = message["result"]
+                                del pending[index]
+                            elif mtype == MSG_ERROR:
+                                if message.get("kind") == "task_exception":
+                                    # Record; raise the submission-order
+                                    # first once the round drains.
+                                    task_error.append(
+                                        (index, message["exception"])
+                                    )
+                                    del pending[index]
+                                # other kinds stay pending for retry
+                            else:
+                                raise ProtocolError(
+                                    f"unexpected reply type {mtype}"
+                                )
+                    except (TransportError, ProtocolError) as exc:
+                        self._mark_dead(handle, f"call round failed: {exc}")
+            tracer = current_tracer()
+            if tracer.enabled:
+                tracer.metrics.histogram("distributed.rpc_seconds").observe(
+                    time.perf_counter() - t0
+                )
+            if task_error:
+                task_error.sort(key=lambda pair: pair[0])
+                raise task_error[0][1]
+            attempt += 1
+        return results
+
+    # ------------------------------------------------------------------
+    # Accounting and lifecycle
+    # ------------------------------------------------------------------
+    def traffic(self) -> Tuple[int, int]:
+        """Total (bytes_sent, bytes_received) across all connections."""
+        sent = 0
+        received = 0
+        for handle in self.workers:
+            if handle.transport is not None:
+                sent += handle.transport.bytes_sent
+                received += handle.transport.bytes_received
+        return sent, received
+
+    def close(self) -> None:
+        """Stop heartbeats, shut workers down, reap subprocesses."""
+        if self._closed:
+            return
+        self._closed = True
+        self._stop.set()
+        if self._heartbeat_thread is not None:
+            self._heartbeat_thread.join(timeout=5.0)
+        for handle in self.workers:
+            with handle.lock:
+                if handle.alive and handle.transport is not None:
+                    try:
+                        handle.transport.send(MSG_SHUTDOWN, {})
+                    except (TransportError, ProtocolError):
+                        pass
+                    handle.transport.close()
+                handle.alive = False
+            if handle.proc.poll() is None:
+                handle.proc.terminate()
+        for handle in self.workers:
+            try:
+                handle.proc.wait(timeout=5.0)
+            except subprocess.TimeoutExpired:  # pragma: no cover
+                handle.proc.kill()
+                handle.proc.wait(timeout=5.0)

@@ -2,45 +2,49 @@
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro._typing import ArrayLike, Float64Array, IntArray
 
-def error_rate(y_true, y_pred) -> float:
+
+def error_rate(y_true: ArrayLike, y_pred: ArrayLike) -> float:
     """Fraction misclassified — the metric of Tables III/V/VII/IX."""
-    y_true = np.asarray(y_true)
-    y_pred = np.asarray(y_pred)
-    if y_true.shape != y_pred.shape:
+    true = np.asarray(y_true)
+    pred = np.asarray(y_pred)
+    if true.shape != pred.shape:
         raise ValueError(
-            f"shape mismatch: {y_true.shape} vs {y_pred.shape}"
+            f"shape mismatch: {true.shape} vs {pred.shape}"
         )
-    if y_true.size == 0:
+    if true.size == 0:
         raise ValueError("cannot compute an error rate on zero samples")
-    return float(np.mean(y_true != y_pred))
+    return float(np.mean(true != pred))
 
 
-def mean_std(values: np.ndarray) -> Tuple[float, float]:
+def mean_std(values: ArrayLike) -> Tuple[float, float]:
     """Mean and (population) standard deviation over random splits."""
-    values = np.asarray(values, dtype=np.float64)
-    finite = values[np.isfinite(values)]
+    array = np.asarray(values, dtype=np.float64)
+    finite = array[np.isfinite(array)]
     if finite.size == 0:
         return float("nan"), float("nan")
     return float(finite.mean()), float(finite.std())
 
 
-def confusion_matrix(y_true, y_pred, n_classes: int) -> np.ndarray:
+def confusion_matrix(
+    y_true: ArrayLike, y_pred: ArrayLike, n_classes: int
+) -> IntArray:
     """Row = true class, column = predicted class (encoded labels)."""
-    y_true = np.asarray(y_true, dtype=np.int64)
-    y_pred = np.asarray(y_pred, dtype=np.int64)
+    true = np.asarray(y_true, dtype=np.int64)
+    pred = np.asarray(y_pred, dtype=np.int64)
     matrix = np.zeros((n_classes, n_classes), dtype=np.int64)
-    np.add.at(matrix, (y_true, y_pred), 1)
+    np.add.at(matrix, (true, pred), 1)
     return matrix
 
 
 def precision_recall_f1(
-    y_true, y_pred, n_classes: int
-) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    y_true: ArrayLike, y_pred: ArrayLike, n_classes: int
+) -> Tuple[Float64Array, Float64Array, Float64Array]:
     """Per-class precision, recall and F1 from encoded labels.
 
     Classes never predicted get precision 0; classes absent from
@@ -60,14 +64,17 @@ def precision_recall_f1(
     return precision, recall, f1
 
 
-def macro_f1(y_true, y_pred, n_classes: int) -> float:
+def macro_f1(y_true: ArrayLike, y_pred: ArrayLike, n_classes: int) -> float:
     """Unweighted mean of per-class F1 scores."""
     _, _, f1 = precision_recall_f1(y_true, y_pred, n_classes)
     return float(f1.mean())
 
 
 def classification_report(
-    y_true, y_pred, n_classes: int, class_names=None
+    y_true: ArrayLike,
+    y_pred: ArrayLike,
+    n_classes: int,
+    class_names: Optional[Sequence[str]] = None,
 ) -> str:
     """A per-class precision/recall/F1 table, plus macro averages."""
     precision, recall, f1 = precision_recall_f1(y_true, y_pred, n_classes)
@@ -82,11 +89,11 @@ def classification_report(
     for k in range(n_classes):
         lines.append(
             f"{class_names[k]:>10} {precision[k]:>10.3f} {recall[k]:>8.3f} "
-            f"{f1[k]:>8.3f} {support[k]:>8d}"
+            f"{f1[k]:>8.3f} {int(support[k]):>8d}"
         )
     lines.append("-" * 48)
     lines.append(
         f"{'macro':>10} {precision.mean():>10.3f} {recall.mean():>8.3f} "
-        f"{f1.mean():>8.3f} {support.sum():>8d}"
+        f"{f1.mean():>8.3f} {int(support.sum()):>8d}"
     )
     return "\n".join(lines)

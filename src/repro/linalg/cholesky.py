@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro._typing import ArrayLike, Float64Array
 from repro.exceptions import ReproError
 
 
@@ -27,7 +28,7 @@ class NotPositiveDefiniteError(ReproError, ValueError):
     """Raised when a matrix handed to :func:`cholesky` is not SPD."""
 
 
-def cholesky(A: np.ndarray, block_size: int = 64) -> np.ndarray:
+def cholesky(A: ArrayLike, block_size: int = 64) -> Float64Array:
     """Compute the lower-triangular Cholesky factor ``L`` with ``A = L Lᵀ``.
 
     Parameters
@@ -45,11 +46,11 @@ def cholesky(A: np.ndarray, block_size: int = 64) -> np.ndarray:
     NotPositiveDefiniteError
         If a non-positive pivot is encountered.
     """
-    A = np.asarray(A, dtype=np.float64)
-    if A.ndim != 2 or A.shape[0] != A.shape[1]:
+    matrix = np.asarray(A, dtype=np.float64)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
         raise ValueError("cholesky requires a square matrix")
-    n = A.shape[0]
-    L = np.tril(A).astype(np.float64, copy=True)
+    n = matrix.shape[0]
+    L = np.tril(matrix).astype(np.float64, copy=True)
     for start in range(0, n, block_size):
         stop = min(start + block_size, n)
         _factor_panel(L, start, stop)
@@ -65,7 +66,7 @@ def cholesky(A: np.ndarray, block_size: int = 64) -> np.ndarray:
     return np.tril(L)
 
 
-def _factor_panel(L: np.ndarray, start: int, stop: int) -> None:
+def _factor_panel(L: Float64Array, start: int, stop: int) -> None:
     """Unblocked Cholesky of the diagonal panel ``L[start:stop, start:stop]``."""
     for j in range(start, stop):
         pivot = L[j, j]
@@ -82,30 +83,30 @@ def _factor_panel(L: np.ndarray, start: int, stop: int) -> None:
 
 
 def solve_triangular(
-    L: np.ndarray, b: np.ndarray, lower: bool = True
-) -> np.ndarray:
+    L: ArrayLike, b: ArrayLike, lower: bool = True
+) -> Float64Array:
     """Solve ``L x = b`` for triangular ``L`` by substitution.
 
     Accepts a vector or matrix right-hand side.  Row-block substitution
     (64 rows at a time) keeps the inner work in matrix products.
     """
-    L = np.asarray(L, dtype=np.float64)
-    b = np.asarray(b, dtype=np.float64)
-    n = L.shape[0]
-    if L.ndim != 2 or L.shape[1] != n:
+    factor = np.asarray(L, dtype=np.float64)
+    rhs = np.asarray(b, dtype=np.float64)
+    n = factor.shape[0]
+    if factor.ndim != 2 or factor.shape[1] != n:
         raise ValueError("triangular solve requires a square matrix")
-    vector_input = b.ndim == 1
-    B = b.reshape(n, -1).astype(np.float64, copy=True)
+    vector_input = rhs.ndim == 1
+    B = rhs.reshape(n, -1).astype(np.float64, copy=True)
     block = 64
     if lower:
         for start in range(0, n, block):
             stop = min(start + block, n)
             if start:
-                B[start:stop] -= L[start:stop, :start] @ B[:start]
+                B[start:stop] -= factor[start:stop, :start] @ B[:start]
             for i in range(start, stop):
                 if start < i:
-                    B[i] -= L[i, start:i] @ B[start:i]
-                diag = L[i, i]
+                    B[i] -= factor[i, start:i] @ B[start:i]
+                diag = factor[i, i]
                 if diag == 0.0:
                     raise np.linalg.LinAlgError("singular triangular matrix")
                 B[i] /= diag
@@ -113,25 +114,25 @@ def solve_triangular(
         for stop in range(n, 0, -block):
             start = max(stop - block, 0)
             if stop < n:
-                B[start:stop] -= L[start:stop, stop:] @ B[stop:]
+                B[start:stop] -= factor[start:stop, stop:] @ B[stop:]
             for i in range(stop - 1, start - 1, -1):
                 if i + 1 < stop:
-                    B[i] -= L[i, i + 1 : stop] @ B[i + 1 : stop]
-                diag = L[i, i]
+                    B[i] -= factor[i, i + 1 : stop] @ B[i + 1 : stop]
+                diag = factor[i, i]
                 if diag == 0.0:
                     raise np.linalg.LinAlgError("singular triangular matrix")
                 B[i] /= diag
     return B[:, 0] if vector_input else B
 
 
-def solve_cholesky(A: np.ndarray, b: np.ndarray) -> np.ndarray:
+def solve_cholesky(A: ArrayLike, b: ArrayLike) -> Float64Array:
     """Solve ``A x = b`` for SPD ``A`` via Cholesky (factor once per call)."""
     L = cholesky(A)
     y = solve_triangular(L, b, lower=True)
     return solve_triangular(L.T, y, lower=False)
 
 
-def solve_factored(L: np.ndarray, b: np.ndarray) -> np.ndarray:
+def solve_factored(L: ArrayLike, b: ArrayLike) -> Float64Array:
     """Solve with a precomputed lower factor ``L`` (``A = L Lᵀ``).
 
     This is the "factor once, solve ``c-1`` right-hand sides" pattern the

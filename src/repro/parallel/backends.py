@@ -38,8 +38,10 @@ from __future__ import annotations
 import contextvars
 import os
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Iterable, List, Optional, Type, Union
 
+from repro.exceptions import WorkerCrashError
 from repro.parallel.shm import SharedArena
 
 __all__ = [
@@ -86,6 +88,11 @@ class Backend:
     #: False when task callables must be picklable module-level
     #: functions (the process backend); closures are fine otherwise.
     supports_closures: bool = True
+
+    #: True when shard payloads must be *shipped* to workers (no shared
+    #: address space at all — the distributed backend).  The sharded
+    #: layer checks this to pick the remote transport path.
+    remote: bool = False
 
     def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> List[Any]:
         """Apply ``fn`` to every item; results in submission order."""
@@ -203,7 +210,19 @@ class ProcessBackend(Backend):
         tasks = list(items)
         if not tasks:
             return []
-        return list(self._pool().map(fn, tasks))
+        try:
+            return list(self._pool().map(fn, tasks))
+        except BrokenProcessPool as exc:
+            # A worker died mid-map (OOM-kill, segfault, SIGKILL).  The
+            # pool is unusable and — critically — the dead worker can
+            # never detach its shared-memory mappings, so unlink every
+            # segment *now* (close() tears down the arena) instead of
+            # leaking them until interpreter exit.
+            self.close()
+            raise WorkerCrashError(
+                f"process-pool worker died mid-map: {exc}; shared-memory "
+                "segments unlinked, backend closed"
+            ) from exc
 
     def close(self) -> None:
         if self._executor is not None:
@@ -213,7 +232,7 @@ class ProcessBackend(Backend):
 
 
 #: Accepted string spellings for :func:`resolve_backend`.
-_BACKEND_NAMES = ("serial", "thread", "process")
+_BACKEND_NAMES = ("serial", "thread", "process", "distributed")
 
 
 def resolve_backend(
@@ -226,8 +245,8 @@ def resolve_backend(
       keeps ownership and is responsible for closing it);
     - ``None`` picks :class:`SerialBackend` for one job and
       :class:`ThreadBackend` otherwise;
-    - ``"serial"``/``"thread"``/``"process"`` select explicitly, sized
-      by ``n_jobs``.
+    - ``"serial"``/``"thread"``/``"process"``/``"distributed"`` select
+      explicitly, sized by ``n_jobs``.
     """
     if isinstance(backend, Backend):
         return backend
@@ -240,6 +259,12 @@ def resolve_backend(
         return ThreadBackend(jobs)
     if backend == "process":
         return ProcessBackend(jobs)
+    if backend == "distributed":
+        # Imported lazily: the distributed stack (sockets, subprocess
+        # supervision) stays out of the import graph until requested.
+        from repro.distributed.backend import DistributedBackend
+
+        return DistributedBackend(jobs)
     raise ValueError(
         f"unknown backend {backend!r}; expected one of {_BACKEND_NAMES} "
         "or a Backend instance"

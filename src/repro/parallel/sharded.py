@@ -67,10 +67,11 @@ from typing import (
 import numpy as np
 
 from repro._typing import FloatArray, FloatDType, IntArray
+from repro.exceptions import TransportError
 from repro.linalg.operators import LinearOperator, as_operator
 from repro.linalg.sparse import CSRMatrix
 from repro.observability import current_tracer
-from repro.parallel.backends import Backend, resolve_backend
+from repro.parallel.backends import Backend, SerialBackend, resolve_backend
 from repro.parallel.shm import attach_array
 
 __all__ = [
@@ -78,6 +79,7 @@ __all__ = [
     "csr_row_slice",
     "default_shard_count",
     "shard_bounds",
+    "shard_kernel_result",
 ]
 
 #: Rows per shard below which splitting stops paying for itself.
@@ -142,6 +144,40 @@ def _ordered_fold(partials: FloatArray) -> FloatArray:
     return acc
 
 
+def shard_kernel_result(
+    mode: str,
+    shard: Any,
+    kernel: str,
+    operand: FloatArray,
+) -> FloatArray:
+    """One shard's share of a product, as a returned array.
+
+    The single arithmetic body behind every transport: in-process
+    backends write the returned block into a coordinator-owned buffer
+    (:func:`_apply_shard_kernel`), and distributed workers ship it back
+    over a socket.  Forward kernels expect the full operand; adjoint
+    kernels expect the caller's pre-sliced ``operand[r0:r1]`` block.
+    Both transports evaluating these exact expressions is what makes
+    the distributed backend bitwise-identical to the local ones.
+    """
+    if mode == "dense":
+        if kernel in ("matvec", "matmat"):
+            return shard @ operand
+        return shard.T @ operand
+    # CSR and ops modes share the operator-method surface, except the
+    # CSR adjoint: shards emit only the elementwise stage so the
+    # coordinator can apply the one canonical reduction.
+    if kernel == "matvec":
+        return shard.matvec(operand)
+    if kernel == "rmatvec":
+        if mode == "csr":
+            return np.multiply(shard.data, operand[shard._row_ids])
+        return shard.rmatvec(operand)
+    if kernel == "matmat":
+        return shard.matmat(operand)
+    return shard.rmatmat(operand)
+
+
 def _apply_shard_kernel(
     mode: str,
     shard: Any,
@@ -154,45 +190,21 @@ def _apply_shard_kernel(
 ) -> None:
     """Run one shard's share of a product, writing into ``out``.
 
-    The single kernel body shared by every backend: in-process backends
-    call it directly on local arrays; process workers call it on
-    shared-memory views.  Forward kernels write their disjoint row
+    The write-into-buffer form of :func:`shard_kernel_result` used by
+    in-process backends (including process workers writing into
+    shared-memory views).  Forward kernels write their disjoint row
     block; adjoint kernels write either their slice of the CSR products
     buffer (``rmatvec``) or their partial into slot ``slot`` for the
     coordinator's ordered fold.
     """
     r0, r1 = rows
-    if mode == "csr":
-        if kernel == "matvec":
-            out[r0:r1] = shard.matvec(operand)
-        elif kernel == "rmatvec":
-            p0, p1 = nnz_range
-            u_slice = operand[r0:r1]
-            np.multiply(
-                shard.data, u_slice[shard._row_ids], out=out[p0:p1]
-            )
-        elif kernel == "matmat":
-            out[r0:r1] = shard.matmat(operand)
-        else:
-            out[slot] = shard.rmatmat(operand[r0:r1])
-    elif mode == "dense":
-        if kernel == "matvec":
-            out[r0:r1] = shard @ operand
-        elif kernel == "rmatvec":
-            out[slot] = shard.T @ operand[r0:r1]
-        elif kernel == "matmat":
-            out[r0:r1] = shard @ operand
-        else:
-            out[slot] = shard.T @ operand[r0:r1]
-    else:  # ops
-        if kernel == "matvec":
-            out[r0:r1] = shard.matvec(operand)
-        elif kernel == "rmatvec":
-            out[slot] = shard.rmatvec(operand[r0:r1])
-        elif kernel == "matmat":
-            out[r0:r1] = shard.matmat(operand)
-        else:
-            out[slot] = shard.rmatmat(operand[r0:r1])
+    if kernel in ("matvec", "matmat"):
+        out[r0:r1] = shard_kernel_result(mode, shard, kernel, operand)
+    elif mode == "csr" and kernel == "rmatvec":
+        p0, p1 = nnz_range
+        out[p0:p1] = shard_kernel_result(mode, shard, kernel, operand[r0:r1])
+    else:
+        out[slot] = shard_kernel_result(mode, shard, kernel, operand[r0:r1])
 
 
 # ----------------------------------------------------------------------
@@ -346,10 +358,31 @@ class ShardedOperator(LinearOperator):
             else:
                 self._direct = as_operator(self.array)
 
-        self._uses_shm = not self.backend.supports_closures
+        #: Set when a remote cluster failed and products fell back to a
+        #: local backend; surfaced into ``fit_report_`` by the solvers.
+        self.degraded_from: Optional[str] = None
+        self.degradation_reason: Optional[str] = None
+
+        self._uses_remote = bool(getattr(self.backend, "remote", False))
+        self._uses_shm = (
+            not self.backend.supports_closures and not self._uses_remote
+        )
         self._bundles: List[Dict[str, Any]] = []
-        if self._uses_shm and not self._single:
-            self._broadcast_shards()
+        self._remote_keys: List[str] = []
+        if not self._single:
+            if self._uses_shm:
+                self._broadcast_shards()
+            elif self._uses_remote:
+                try:
+                    self._ship_remote_shards()
+                except TransportError as exc:
+                    if (
+                        getattr(self.backend, "on_unhealthy", "degrade")
+                        != "degrade"
+                    ):
+                        self.close()
+                        raise
+                    self._degrade(exc)
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -434,6 +467,62 @@ class ShardedOperator(LinearOperator):
         self._role_in = f"{self._bundles[0]['key']}:in"
         self._role_out = f"{self._bundles[0]['key']}:out"
 
+    def _ship_remote_shards(self) -> None:
+        """One-time checksummed shipment of every shard to the cluster.
+
+        Mirrors :meth:`_broadcast_shards` for remote backends: shard
+        payloads cross the wire exactly once; per-product traffic is
+        limited to operand and result vectors.
+        """
+        payloads: List[Dict[str, Any]] = []
+        for shard in self._local_shards:
+            if self._mode == "csr":
+                payloads.append(
+                    {
+                        "kind": "csr",
+                        "shape": shard.shape,
+                        "arrays": {
+                            "data": shard.data,
+                            "indices": shard.indices,
+                            "indptr": shard.indptr,
+                        },
+                    }
+                )
+            else:
+                payloads.append(
+                    {
+                        "kind": "dense",
+                        "shape": shard.shape,
+                        "arrays": {"block": np.ascontiguousarray(shard)},
+                    }
+                )
+        self._remote_keys = self.backend.ship_shards(payloads)
+
+    def _degrade(self, exc: BaseException) -> None:
+        """Fall back to the serial backend after cluster failure.
+
+        The local shards built at construction make this a pure
+        transport switch: the shard layout — and therefore every bit
+        of every subsequent product — is unchanged.
+        """
+        reason = f"{type(exc).__name__}: {exc}"
+        self.degraded_from = self.backend.name
+        self.degradation_reason = reason
+        tracer = current_tracer()
+        if tracer.enabled:
+            tracer.metrics.counter("parallel.degradations").add(1.0)
+            tracer.event(
+                "parallel.backend_degraded",
+                from_backend=self.backend.name,
+                reason=reason[:200],
+            )
+        if self._owns_backend:
+            self.backend.close()
+        self.backend = SerialBackend()
+        self._owns_backend = True
+        self._uses_remote = False
+        self._uses_shm = False
+
     # ------------------------------------------------------------------
     # Operator contract
     # ------------------------------------------------------------------
@@ -473,6 +562,21 @@ class ShardedOperator(LinearOperator):
         order: Literal["C", "F"] = "C",
     ) -> FloatArray:
         """Fan a kernel out over every shard; return the fan-in buffer."""
+        if self._uses_remote:
+            try:
+                return self._run_remote(
+                    kernel, operand, out_shape, out_dtype, order
+                )
+            except TransportError as exc:
+                if (
+                    getattr(self.backend, "on_unhealthy", "degrade")
+                    != "degrade"
+                ):
+                    raise
+                # Fall through to the local path: same shard layout,
+                # same kernels — the product below is bit-for-bit what
+                # the cluster would have returned.
+                self._degrade(exc)
         if self._uses_shm:
             arena = getattr(self.backend, "arena")
             in_view, in_ref = arena.ndarray(
@@ -518,6 +622,51 @@ class ShardedOperator(LinearOperator):
             result = out
         self._record(timings)
         return result
+
+    def _run_remote(
+        self,
+        kernel: str,
+        operand: FloatArray,
+        out_shape: Tuple[int, ...],
+        out_dtype: FloatDType,
+        order: Literal["C", "F"],
+    ) -> FloatArray:
+        """Stream one product through the remote cluster.
+
+        Forward kernels ship the full operand (every shard multiplies
+        against all columns); adjoint kernels ship only each shard's
+        ``operand[r0:r1]`` block.  Assembly mirrors
+        :func:`_apply_shard_kernel`'s writes exactly, so the returned
+        buffer is bitwise what the local paths produce.
+        """
+        forward = kernel in ("matvec", "matmat")
+        tasks = []
+        for i in range(self.n_shards):
+            r0, r1 = self._bounds[i]
+            tasks.append(
+                {
+                    "key": self._remote_keys[i],
+                    "kernel": kernel,
+                    "operand": operand if forward else operand[r0:r1],
+                }
+            )
+        arrays = self.backend.run_tasks(tasks)
+        out = np.empty(out_shape, dtype=out_dtype, order=order)
+        for i, array in enumerate(arrays):
+            if forward:
+                r0, r1 = self._bounds[i]
+                out[r0:r1] = array
+            elif self._mode == "csr" and kernel == "rmatvec":
+                p0, p1 = self._nnz_bounds[i]
+                out[p0:p1] = array
+            else:
+                out[i] = array
+        tracer = current_tracer()
+        if tracer.enabled:
+            tracer.metrics.counter("parallel.shard_products").add(
+                float(self.n_shards)
+            )
+        return out
 
     def _matvec(self, v: FloatArray) -> FloatArray:
         if self._direct is not None:

@@ -30,6 +30,7 @@ re-registration is a set no-op and needs no bpo-39959 workaround.
 from __future__ import annotations
 
 import atexit
+import weakref
 from multiprocessing import shared_memory
 from typing import Dict, List, NamedTuple, Tuple
 
@@ -82,14 +83,42 @@ def _dispose(shm: shared_memory.SharedMemory) -> None:
         pass
 
 
+def _release_blocks(
+    broadcast: List[shared_memory.SharedMemory],
+    scratch: Dict[str, shared_memory.SharedMemory],
+) -> None:
+    """Unlink every block in the given containers (in place).
+
+    Module-level (and fed the bare containers, never the arena) so a
+    ``weakref.finalize`` can use it without keeping the arena alive.
+    """
+    for shm in list(broadcast) + list(scratch.values()):
+        _dispose(shm)
+    broadcast.clear()
+    scratch.clear()
+
+
 class SharedArena:
-    """Coordinator-side owner of a set of shared-memory blocks."""
+    """Coordinator-side owner of a set of shared-memory blocks.
+
+    Cleanup is guaranteed on three independent paths: explicit
+    :meth:`close` (the normal case, and what the process backend runs
+    *eagerly* when a worker crashes mid-map), garbage collection of an
+    arena that was never closed (a backend dropped after a crashed
+    fit), and interpreter exit — the latter two via one
+    ``weakref.finalize``, which unlike the previous bound-method
+    ``atexit`` hook holds no strong reference to the arena, so an
+    abandoned arena's segments are unlinked at GC time instead of
+    leaking until exit.
+    """
 
     def __init__(self) -> None:
         self._broadcast: List[shared_memory.SharedMemory] = []
         self._scratch: Dict[str, shared_memory.SharedMemory] = {}
         self._closed = False
-        atexit.register(self.close)
+        self._finalizer = weakref.finalize(
+            self, _release_blocks, self._broadcast, self._scratch
+        )
 
     def share(self, arrays: Dict[str, np.ndarray]) -> Dict[str, SharedArrayRef]:
         """Copy each array into its own block; returns attach handles.
@@ -133,14 +162,11 @@ class SharedArena:
         return _block_view(shm, ref.dtype, ref.shape), ref
 
     def close(self) -> None:
-        """Unlink every block.  Idempotent; also runs atexit."""
-        if self._closed:
-            return
+        """Unlink every block.  Idempotent; also runs via finalizer."""
         self._closed = True
-        for shm in self._broadcast + list(self._scratch.values()):
-            _dispose(shm)
-        self._broadcast = []
-        self._scratch = {}
+        # Invoking the finalizer runs _release_blocks exactly once and
+        # marks it dead, so GC/exit won't run it again.
+        self._finalizer()
 
 
 # ----------------------------------------------------------------------

@@ -67,6 +67,10 @@ class FitReport:
     converged:
         False when any response column terminated on a failure code
         (divergence, stagnation) or the fallback chain was exhausted.
+    backend:
+        Execution backend the operator products ran on (``None`` on
+        the direct single-core path).  A degraded distributed fit
+        records the ladder, e.g. ``"distributed->serial"``.
     """
 
     solver: Optional[str] = None
@@ -79,6 +83,7 @@ class FitReport:
     lsqr_residuals: Optional[List[float]] = None
     warnings: List[str] = field(default_factory=list)
     converged: bool = True
+    backend: Optional[str] = None
 
     @property
     def degraded(self) -> bool:
@@ -108,6 +113,8 @@ class FitReport:
             parts.append(f"fallbacks={len(self.fallbacks)}")
         if self.lsqr_istop is not None:
             parts.append(f"lsqr_istop={self.lsqr_istop}")
+        if self.backend is not None:
+            parts.append(f"backend={self.backend}")
         if self.warnings:
             parts.append(f"warnings={len(self.warnings)}")
         parts.append(f"converged={self.converged}")

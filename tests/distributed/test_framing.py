@@ -1,0 +1,218 @@
+"""Unit tests for the wire protocol (no worker processes)."""
+
+import socket
+import struct
+import zlib
+
+import numpy as np
+import pytest
+
+import repro.distributed.framing as framing
+from repro.distributed.chaos import ChaosPlan, ChaosTransport
+from repro.distributed.framing import (
+    HEADER_BYTES,
+    MAGIC,
+    MSG_PING,
+    MSG_RESULT,
+    MSG_TASK,
+    PROTOCOL_VERSION,
+    Transport,
+    build_frame,
+    data_frame_types,
+)
+from repro.exceptions import ProtocolError, TransportError
+
+
+@pytest.fixture
+def pair():
+    """Two connected transports over a local socket pair."""
+    left_sock, right_sock = socket.socketpair()
+    left, right = Transport(left_sock), Transport(right_sock)
+    yield left, right
+    left.close()
+    right.close()
+
+
+class TestRoundTrip:
+    def test_message_round_trip(self, pair):
+        left, right = pair
+        message = {"task_id": 7, "kernel": "matvec", "note": "héllo"}
+        left.send(MSG_TASK, message)
+        mtype, received = right.recv(timeout=5.0)
+        assert mtype == MSG_TASK
+        assert received == message
+
+    def test_ndarray_payload_is_bitwise(self, pair):
+        left, right = pair
+        array = np.random.default_rng(0).standard_normal((37, 5))[::2]
+        left.send(MSG_RESULT, {"array": array})
+        _, received = right.recv(timeout=5.0)
+        out = received["array"]
+        assert out.dtype == array.dtype
+        assert out.shape == array.shape
+        assert np.array_equal(out, array)
+
+    def test_byte_counters_count_full_frames(self, pair):
+        left, right = pair
+        frame = build_frame(MSG_PING, {"nonce": 1})
+        left.send(MSG_PING, {"nonce": 1})
+        right.recv(timeout=5.0)
+        assert left.bytes_sent == len(frame)
+        assert right.bytes_received == len(frame)
+
+    def test_close_is_idempotent(self, pair):
+        left, _ = pair
+        left.close()
+        left.close()
+
+
+class TestFrameValidation:
+    def test_header_layout(self):
+        frame = build_frame(MSG_TASK, {"x": 1})
+        magic, version, mtype, length, crc = struct.Struct("!4sBBQI").unpack(
+            frame[:HEADER_BYTES]
+        )
+        assert magic == MAGIC
+        assert version == PROTOCOL_VERSION
+        assert mtype == MSG_TASK
+        assert length == len(frame) - HEADER_BYTES
+        assert crc == zlib.crc32(frame[HEADER_BYTES:])
+
+    def _send_raw(self, pair, raw):
+        left, right = pair
+        left.sock.sendall(raw)
+        return right
+
+    def test_bad_magic_rejected(self, pair):
+        frame = bytearray(build_frame(MSG_TASK, {}))
+        frame[:4] = b"XXXX"
+        right = self._send_raw(pair, bytes(frame))
+        with pytest.raises(ProtocolError, match="magic"):
+            right.recv(timeout=5.0)
+
+    def test_bad_version_rejected(self, pair):
+        frame = bytearray(build_frame(MSG_TASK, {}))
+        frame[4] = PROTOCOL_VERSION + 1
+        right = self._send_raw(pair, bytes(frame))
+        with pytest.raises(ProtocolError, match="version"):
+            right.recv(timeout=5.0)
+
+    def test_oversize_length_prefix_rejected(self, pair):
+        # A corrupt length prefix must fail fast, not allocate gigabytes.
+        header = struct.Struct("!4sBBQI").pack(
+            MAGIC, PROTOCOL_VERSION, MSG_TASK, framing.MAX_PAYLOAD_BYTES + 1, 0
+        )
+        right = self._send_raw(pair, header)
+        with pytest.raises(ProtocolError, match="length prefix"):
+            right.recv(timeout=5.0)
+
+    def test_crc_mismatch_rejected(self, pair):
+        frame = bytearray(build_frame(MSG_TASK, {"value": 123456}))
+        frame[-1] ^= 0x01  # flip one payload bit; header CRC is stale
+        right = self._send_raw(pair, bytes(frame))
+        with pytest.raises(ProtocolError, match="CRC"):
+            right.recv(timeout=5.0)
+
+    def test_oversize_send_refused(self, monkeypatch):
+        monkeypatch.setattr(framing, "MAX_PAYLOAD_BYTES", 8)
+        with pytest.raises(ProtocolError, match="refusing to send"):
+            build_frame(MSG_TASK, {"payload": "far too large"})
+
+    def test_eof_is_transport_error(self, pair):
+        left, right = pair
+        left.close()
+        with pytest.raises(TransportError, match="closed"):
+            right.recv(timeout=5.0)
+
+    def test_timeout_is_transport_error(self, pair):
+        _, right = pair
+        with pytest.raises(TransportError, match="timed out"):
+            right.recv(timeout=0.05)
+
+    def test_truncated_frame_is_transport_error(self, pair):
+        left, right = pair
+        frame = build_frame(MSG_TASK, {"value": 1})
+        left.sock.sendall(frame[:-3])
+        left.close()
+        with pytest.raises(TransportError):
+            right.recv(timeout=5.0)
+
+
+class TestChaosTransport:
+    def _chaos_pair(self, plan):
+        left_sock, right_sock = socket.socketpair()
+        return ChaosTransport(left_sock, plan), Transport(right_sock)
+
+    def test_corrupt_send_caught_by_receiver_crc(self):
+        left, right = self._chaos_pair(ChaosPlan(corrupt_sends=(0,)))
+        try:
+            left.send(MSG_TASK, {"value": 42})
+            with pytest.raises(ProtocolError, match="CRC"):
+                right.recv(timeout=5.0)
+        finally:
+            left.close()
+            right.close()
+
+    def test_dropped_send_times_out(self):
+        left, right = self._chaos_pair(ChaosPlan(drop_sends=(0,)))
+        try:
+            left.send(MSG_TASK, {"value": 42})
+            with pytest.raises(TransportError, match="timed out"):
+                right.recv(timeout=0.05)
+        finally:
+            left.close()
+            right.close()
+
+    def test_only_data_frames_advance_the_schedule(self):
+        # Heartbeat chatter must not consume trigger index 0: the PING
+        # sails through untouched and the first TASK is the one dropped.
+        assert MSG_PING not in data_frame_types()
+        left, right = self._chaos_pair(ChaosPlan(drop_sends=(0,)))
+        try:
+            left.send(MSG_PING, {"nonce": 9})
+            assert right.recv(timeout=5.0) == (MSG_PING, {"nonce": 9})
+            left.send(MSG_TASK, {"value": 1})
+            with pytest.raises(TransportError):
+                right.recv(timeout=0.05)
+        finally:
+            left.close()
+            right.close()
+
+    def test_later_frames_unaffected(self):
+        left, right = self._chaos_pair(ChaosPlan(drop_sends=(0,)))
+        try:
+            left.send(MSG_TASK, {"value": "lost"})
+            left.send(MSG_TASK, {"value": "kept"})
+            assert right.recv(timeout=5.0) == (MSG_TASK, {"value": "kept"})
+        finally:
+            left.close()
+            right.close()
+
+    def test_probabilistic_schedule_is_seeded(self):
+        # Same seed -> same drop decisions, run to run.
+        def decisions(seed):
+            plan = ChaosPlan(seed=seed, p_drop=0.5)
+            left, right = self._chaos_pair(plan)
+            try:
+                received = []
+                for index in range(12):
+                    left.send(MSG_TASK, {"index": index})
+                left.sock.sendall(b"")
+                right.sock.settimeout(0.2)
+                while True:
+                    try:
+                        received.append(right.recv(timeout=0.2)[1]["index"])
+                    except TransportError:
+                        break
+                return received
+            finally:
+                left.close()
+                right.close()
+
+        assert decisions(3) == decisions(3)
+        assert decisions(3) != decisions(4)
+
+    def test_wants_transport(self):
+        assert not ChaosPlan(kill_at={0: 1}).wants_transport()
+        assert ChaosPlan(corrupt_sends=(1,)).wants_transport()
+        assert ChaosPlan(p_delay=0.5).wants_transport()

@@ -1,0 +1,99 @@
+"""Shared-memory teardown guarantees: no leaked segments, ever.
+
+The three cleanup paths the arena docstring promises — explicit close
+(including the eager close after a worker crash), garbage collection
+of an abandoned arena, and interpreter exit — each get a test here
+(exit-path coverage is implied by the finalizer test: ``weakref.finalize``
+registers an atexit callback for anything still alive).
+"""
+
+import gc
+import os
+import signal
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro.exceptions import WorkerCrashError
+from repro.parallel.backends import ProcessBackend
+from repro.parallel.shm import SharedArena
+
+pytestmark = [pytest.mark.parallel, pytest.mark.robustness]
+
+
+def _assert_unlinked(names):
+    for name in names:
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+
+def _kill_self(_item):
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+class TestArenaFinalizer:
+    def test_close_unlinks_everything(self, rng):
+        arena = SharedArena()
+        refs = arena.share({"a": rng.standard_normal(16)})
+        _, scratch_ref = arena.ndarray("in", (8,), np.float64)
+        names = [ref.name for ref in refs.values()] + [scratch_ref.name]
+        arena.close()
+        _assert_unlinked(names)
+
+    def test_close_is_idempotent(self, rng):
+        arena = SharedArena()
+        arena.share({"a": rng.standard_normal(4)})
+        arena.close()
+        arena.close()
+
+    def test_abandoned_arena_is_collected(self, rng):
+        # An arena dropped without close() (e.g. a backend abandoned
+        # after a crashed fit) must not leak its segments until
+        # interpreter exit: the finalizer fires at GC time.
+        arena = SharedArena()
+        refs = arena.share({"block": rng.standard_normal(32)})
+        names = [ref.name for ref in refs.values()]
+        del arena
+        gc.collect()
+        _assert_unlinked(names)
+
+    def test_finalizer_holds_no_strong_reference(self, rng):
+        import weakref
+
+        arena = SharedArena()
+        arena.share({"a": rng.standard_normal(4)})
+        probe = weakref.ref(arena)
+        del arena
+        gc.collect()
+        assert probe() is None
+
+
+class TestWorkerCrashTeardown:
+    @pytest.mark.slow
+    def test_killed_worker_surfaces_crash_and_unlinks(self, rng):
+        # SIGKILL a pool worker mid-map: the map must surface
+        # WorkerCrashError (not BrokenProcessPool) and the arena's
+        # segments must be unlinked *eagerly*, not at interpreter exit.
+        backend = ProcessBackend(n_workers=1)
+        try:
+            refs = backend.arena.share({"payload": rng.standard_normal(64)})
+            names = [ref.name for ref in refs.values()]
+            with pytest.raises(WorkerCrashError, match="died mid-map"):
+                backend.map(_kill_self, [0])
+            _assert_unlinked(names)
+        finally:
+            backend.close()
+
+    @pytest.mark.slow
+    def test_backend_usable_error_after_crash(self, rng):
+        # After the eager teardown the backend is closed; further use
+        # must fail loudly instead of writing into unlinked segments.
+        backend = ProcessBackend(n_workers=1)
+        try:
+            with pytest.raises(WorkerCrashError):
+                backend.map(_kill_self, [0])
+            with pytest.raises(ValueError, match="closed"):
+                backend.arena.ndarray("in", (4,), np.float64)
+        finally:
+            backend.close()
