@@ -18,6 +18,9 @@ of kernels, each implemented here from scratch on top of numpy primitives:
   bidiagonalize-once alpha-sweep engine.
 - :mod:`repro.linalg.svd` — the cross-product SVD trick from Section II-B.
 - :mod:`repro.linalg.dense` — small dense helpers shared by the baselines.
+- :mod:`repro.linalg.sketch` — randomized sketching operators
+  (CountSketch / sparse-sign / SRHT) and the sketch-and-precondition
+  path that cuts LSQR iteration counts on ill-conditioned data.
 """
 
 from repro.linalg.block_lsqr import (
@@ -46,6 +49,21 @@ from repro.linalg.operators import (
     TransposedOperator,
     as_operator,
 )
+from repro.linalg.sketch import (
+    SKETCH_KINDS,
+    CountSketchOperator,
+    PreconditionedOperator,
+    SRHTOperator,
+    SketchOperator,
+    SketchPreconditioner,
+    SketchingError,
+    SparseSignOperator,
+    build_preconditioner,
+    default_sketch_size,
+    preconditioner_from_gram,
+    sketch_apply,
+    sketch_operator,
+)
 from repro.linalg.sparse import CSRMatrix
 from repro.linalg.svd import cross_product_svd
 
@@ -55,6 +73,7 @@ __all__ = [
     "CSRMatrix",
     "CSROperator",
     "CenteringOperator",
+    "CountSketchOperator",
     "DenseOperator",
     "ElasticNetResult",
     "FAILURE_ISTOPS",
@@ -63,12 +82,21 @@ __all__ = [
     "InjectedFaultError",
     "LSQRResult",
     "LinearOperator",
+    "PreconditionedOperator",
+    "SKETCH_KINDS",
+    "SRHTOperator",
     "SharedBidiagonalization",
+    "SketchOperator",
+    "SketchPreconditioner",
+    "SketchingError",
+    "SparseSignOperator",
     "TransposedOperator",
     "as_operator",
     "block_lsqr",
+    "build_preconditioner",
     "cholesky",
     "cross_product_svd",
+    "default_sketch_size",
     "elastic_net",
     "elastic_net_path",
     "jacobi_eigh",
@@ -76,6 +104,9 @@ __all__ = [
     "lsqr",
     "orthogonalize_against",
     "orthonormalize",
+    "preconditioner_from_gram",
+    "sketch_apply",
+    "sketch_operator",
     "solve_cholesky",
     "solve_lstsq",
     "solve_triangular",

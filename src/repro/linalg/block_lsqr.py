@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import functools
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 import numpy as np
 
@@ -43,11 +43,15 @@ from repro.linalg.lsqr import (
 )
 from repro.linalg.operators import (
     IdentityOperator,
+    LinearOperator,
     StackedOperator,
     as_operator,
 )
 from repro.linalg.sparse import as_value_dtype
 from repro.observability.hooks import IterationEvent, IterationHook
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.linalg.sketch import SketchPreconditioner
 
 
 def _block_event(
@@ -534,6 +538,7 @@ def block_lsqr(
     X0: Optional[FloatArray] = None,
     record_history: bool = False,
     on_iteration: Optional[IterationHook] = None,
+    precondition: Optional["SketchPreconditioner"] = None,
 ) -> BlockLSQRResult:
     """Solve ``min_X ‖A X - B‖² + damp²‖X‖²`` for all columns at once.
 
@@ -544,6 +549,15 @@ def block_lsqr(
     rules independently; the only difference is that the operator is
     applied once per iteration via ``matmat``/``rmatmat`` instead of
     ``2k`` separate mat-vecs.
+
+    ``precondition`` (from
+    :func:`repro.linalg.sketch.build_preconditioner`) runs the block
+    iteration on the right-preconditioned system ``A R⁻¹`` — damping
+    and warm starts are folded into an explicit augmented system (the
+    internal damp would penalize ``‖R X‖``, not ``‖X‖``) and solutions
+    are mapped back through ``R⁻¹``.  ``r1norm``/``r2norm``/``xnorm``
+    are recomputed against the original system; ``anorm``/``acond``/
+    ``arnorm`` and the histories describe the preconditioned system.
 
     ``on_iteration`` fires once per *block* iteration (not per column)
     with the still-active column indices; the firing count equals
@@ -568,6 +582,71 @@ def block_lsqr(
         iter_lim = 2 * n
     if iter_lim < 0:
         raise ValueError("iter_lim must be non-negative")
+
+    if precondition is not None:
+        if precondition.n != n:
+            raise ValueError(
+                f"preconditioner dimension {precondition.n} does not "
+                f"match operator column count {n}"
+            )
+        if X0 is not None:
+            X0 = as_value_dtype(X0)
+            if X0.ndim == 1:
+                X0 = X0[:, None]
+            if X0.shape != (n, B.shape[1]):
+                raise ValueError(
+                    f"X0 must have shape ({n}, {B.shape[1]}), "
+                    f"got {X0.shape}"
+                )
+        # Fold damping and warm starts into an explicit augmented
+        # system — the internal damp would penalize ‖R X‖, not ‖X‖,
+        # under a right preconditioner.
+        system: LinearOperator = op
+        if damp > 0:
+            system = StackedOperator(
+                op, IdentityOperator(n, scale=damp, dtype=op.dtype)
+            )
+        top = B if X0 is None else B - op.matmat(X0)
+        if damp > 0:
+            tail = (
+                np.zeros((n, B.shape[1]), dtype=B.dtype)
+                if X0 is None
+                else -damp * X0
+            )
+            rhs = np.concatenate([top, tail], axis=0)
+        else:
+            rhs = top
+        inner = _solve_block(
+            precondition.wrap(system),
+            as_value_dtype(rhs),
+            0.0,
+            atol,
+            btol,
+            conlim,
+            iter_lim,
+            record_history,
+            on_iteration,
+        )
+        X = np.asarray(precondition.apply(inner.X)).astype(
+            inner.X.dtype, copy=False
+        )
+        if X0 is not None:
+            X = X + X0
+        residual = B - op.matmat(X)
+        r1norm = _column_norms(residual)
+        xnorm = _column_norms(X)
+        return BlockLSQRResult(
+            X=X,
+            istop=inner.istop,
+            itn=inner.itn,
+            r1norm=r1norm,
+            r2norm=np.sqrt(r1norm**2 + (damp * xnorm) ** 2),
+            anorm=inner.anorm,
+            acond=inner.acond,
+            arnorm=inner.arnorm,
+            xnorm=xnorm,
+            residual_history=inner.residual_history,
+        )
 
     if X0 is not None:
         X0 = as_value_dtype(X0)

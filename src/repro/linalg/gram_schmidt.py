@@ -14,14 +14,16 @@ the caller can drop dependent vectors instead of dividing by ~0.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import List, Tuple
 
 import numpy as np
 
+from repro._typing import ArrayLike, Float64Array, IntArray
+
 
 def orthogonalize_against(
-    v: np.ndarray, basis: np.ndarray, reorthogonalize: bool = True
-) -> np.ndarray:
+    v: ArrayLike, basis: ArrayLike, reorthogonalize: bool = True
+) -> Float64Array:
     """Remove from ``v`` its components along orthonormal ``basis`` columns.
 
     Parameters
@@ -35,23 +37,23 @@ def orthogonalize_against(
         keeps the result orthogonal to working precision even when ``v``
         is nearly inside the span of ``basis``.
     """
-    v = np.asarray(v, dtype=np.float64).copy()
-    basis = np.asarray(basis, dtype=np.float64)
-    if basis.ndim != 2 or basis.shape[0] != v.shape[0]:
+    work = np.asarray(v, dtype=np.float64).copy()
+    Q = np.asarray(basis, dtype=np.float64)
+    if Q.ndim != 2 or Q.shape[0] != work.shape[0]:
         raise ValueError("basis must be (m, k) with m matching v")
     passes = 2 if reorthogonalize else 1
     for _ in range(passes):
-        for j in range(basis.shape[1]):
-            column = basis[:, j]
-            v -= (column @ v) * column
-    return v
+        for j in range(Q.shape[1]):
+            column = Q[:, j]
+            work -= (column @ work) * column
+    return work
 
 
 def orthonormalize(
-    vectors: np.ndarray,
+    vectors: ArrayLike,
     tol: float = 1e-10,
     reorthogonalize: bool = True,
-) -> Tuple[np.ndarray, np.ndarray]:
+) -> Tuple[Float64Array, IntArray]:
     """Orthonormalize the columns of ``vectors`` by modified Gram–Schmidt.
 
     Returns ``(Q, kept)`` where ``Q`` is ``(m, r)`` with orthonormal
@@ -64,8 +66,8 @@ def orthonormalize(
     if V.ndim != 2:
         raise ValueError("expected a 2-D array of column vectors")
     m, k = V.shape
-    columns = []
-    kept = []
+    columns: List[Float64Array] = []
+    kept: List[int] = []
     for j in range(k):
         v = V[:, j].copy()
         original_norm = np.linalg.norm(v)
@@ -84,25 +86,26 @@ def orthonormalize(
     return np.column_stack(columns), np.asarray(kept, dtype=np.int64)
 
 
-def orthonormality_error(Q: np.ndarray) -> float:
+def orthonormality_error(Q: ArrayLike) -> float:
     """Max-abs deviation of ``QᵀQ`` from the identity (a test helper)."""
-    Q = np.asarray(Q, dtype=np.float64)
-    if Q.shape[1] == 0:
+    dense = np.asarray(Q, dtype=np.float64)
+    if dense.shape[1] == 0:
         return 0.0
-    gram = Q.T @ Q
-    return float(np.abs(gram - np.eye(Q.shape[1])).max())
+    gram = dense.T @ dense
+    return float(np.abs(gram - np.eye(dense.shape[1])).max())
 
 
-def project_onto_span(v: np.ndarray, basis: np.ndarray) -> np.ndarray:
+def project_onto_span(v: ArrayLike, basis: ArrayLike) -> Float64Array:
     """Orthogonal projection of ``v`` onto the span of orthonormal columns."""
-    basis = np.asarray(basis, dtype=np.float64)
-    v = np.asarray(v, dtype=np.float64)
-    return basis @ (basis.T @ v)
+    Q = np.asarray(basis, dtype=np.float64)
+    dense_v = np.asarray(v, dtype=np.float64)
+    result: Float64Array = Q @ (Q.T @ dense_v)
+    return result
 
 
 def gram_schmidt_qr(
-    A: np.ndarray, tol: float = 1e-10
-) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]:
+    A: ArrayLike, tol: float = 1e-10
+) -> Tuple[Float64Array, Float64Array, IntArray]:
     """Thin QR factorization ``A = Q R`` via modified Gram–Schmidt.
 
     Used by the IDR/QR baseline, which is defined by a QR factorization
@@ -111,15 +114,15 @@ def gram_schmidt_qr(
     ``kept`` records the survivors, with ``R`` of shape ``(r, k)`` still
     satisfying ``A ≈ Q R``.
     """
-    A = np.asarray(A, dtype=np.float64)
-    if A.ndim != 2:
+    dense = np.asarray(A, dtype=np.float64)
+    if dense.ndim != 2:
         raise ValueError("expected a 2-D array")
-    m, k = A.shape
-    Q_cols = []
-    kept = []
+    m, k = dense.shape
+    Q_cols: List[Float64Array] = []
+    kept: List[int] = []
     R = np.zeros((k, k))
     for j in range(k):
-        v = A[:, j].copy()
+        v = dense[:, j].copy()
         original_norm = np.linalg.norm(v)
         for i, q in enumerate(Q_cols):
             # two projection passes for stability

@@ -23,7 +23,7 @@ Works on anything accepted by :func:`repro.linalg.operators.as_operator`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 import numpy as np
 
@@ -31,10 +31,14 @@ from repro._typing import FloatArray, MatrixLike
 
 from repro.linalg.operators import (
     IdentityOperator,
+    LinearOperator,
     StackedOperator,
     as_operator,
 )
 from repro.observability.hooks import IterationEvent, IterationHook
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.linalg.sketch import SketchPreconditioner
 
 #: Human-readable meanings of the termination codes.  0–7 follow Paige &
 #: Saunders / Algorithm 583; 8 and 9 are this implementation's explicit
@@ -135,6 +139,7 @@ def lsqr(
     x0: Optional[FloatArray] = None,
     record_history: bool = False,
     on_iteration: Optional[IterationHook] = None,
+    precondition: Optional["SketchPreconditioner"] = None,
 ) -> LSQRResult:
     """Solve ``min_x ‖A x - b‖² + damp² ‖x‖²`` by the LSQR iteration.
 
@@ -166,6 +171,18 @@ def lsqr(
         iteration — the firing count always equals the returned
         ``itn``, including on divergence (events fired at an istop=8
         break carry the last finite diagnostics).
+    precondition:
+        Optional right preconditioner from
+        :func:`repro.linalg.sketch.build_preconditioner`.  The
+        iteration then runs on ``A R⁻¹`` (with damping and warm starts
+        folded into an explicit augmented system, since LSQR's internal
+        damping would penalize the preconditioned variable ``z`` rather
+        than ``x = R⁻¹ z``) and the solution is mapped back through
+        ``R⁻¹``.  ``r1norm``/``r2norm``/``xnorm`` are recomputed
+        against the *original* system; ``anorm``/``acond``/``arnorm``
+        and the residual history describe the preconditioned system the
+        iteration actually ran on.  For the exact ridge problem the
+        preconditioner should be built with ``alpha = damp²``.
     """
     op = as_operator(A)
     m, n = op.shape
@@ -178,6 +195,62 @@ def lsqr(
         iter_lim = 2 * n
     if iter_lim < 0:
         raise ValueError("iter_lim must be non-negative")
+
+    if precondition is not None:
+        if precondition.n != n:
+            raise ValueError(
+                f"preconditioner dimension {precondition.n} does not "
+                f"match operator column count {n}"
+            )
+        if x0 is not None:
+            x0 = np.asarray(x0, dtype=np.float64)
+            if x0.shape != (n,):
+                raise ValueError(f"x0 must have length {n}")
+        # Fold damping (and any warm start) into an explicit augmented
+        # system: LSQR's built-in damp would penalize ‖z‖ = ‖Rx‖, not
+        # ‖x‖, under a right preconditioner.
+        system: LinearOperator = op
+        if damp > 0:
+            system = StackedOperator(
+                op, IdentityOperator(n, scale=damp, dtype=op.dtype)
+            )
+        top = b if x0 is None else b - np.asarray(
+            op.matvec(x0), dtype=np.float64
+        )
+        if damp > 0:
+            tail = np.zeros(n) if x0 is None else -damp * x0
+            rhs = np.concatenate([top, tail])
+        else:
+            rhs = top
+        inner = lsqr(
+            precondition.wrap(system),
+            rhs,
+            damp=0.0,
+            atol=atol,
+            btol=btol,
+            conlim=conlim,
+            iter_lim=iter_lim,
+            record_history=record_history,
+            on_iteration=on_iteration,
+        )
+        x = np.asarray(precondition.apply(inner.x), dtype=np.float64)
+        if x0 is not None:
+            x = x + x0
+        residual = b - np.asarray(op.matvec(x), dtype=np.float64)
+        r1norm = float(np.linalg.norm(residual))
+        xnorm = float(np.linalg.norm(x))
+        return LSQRResult(
+            x=x,
+            istop=inner.istop,
+            itn=inner.itn,
+            r1norm=r1norm,
+            r2norm=float(np.sqrt(r1norm**2 + (damp * xnorm) ** 2)),
+            anorm=inner.anorm,
+            acond=inner.acond,
+            arnorm=inner.arnorm,
+            xnorm=xnorm,
+            residual_history=inner.residual_history,
+        )
 
     if x0 is not None:
         x0 = np.asarray(x0, dtype=np.float64)

@@ -1,0 +1,737 @@
+"""Randomized sketching operators and the sketch-and-precondition path.
+
+The paper reduces LDA to ``c-1`` regularized least-squares problems
+solved by LSQR, so the total cost is *iterations × data passes*.  The
+parallel layer attacks the passes; this module attacks the iteration
+count, following "Randomized Iterative Algorithms for Fisher
+Discriminant Analysis" (Chowdhury–Yang–Drineas, arXiv:1809.03045): a
+random sketch ``S`` with ``s ≪ m`` rows embeds the column space of the
+``(m, n)`` data operator well enough that the factor ``R`` of
+
+    ``RᵀR = (S X)ᵀ(S X) + α I``
+
+is a *right preconditioner* — ``[X; √α·I] R⁻¹`` has condition number
+bounded by the sketch distortion (a small constant), independent of how
+ill-conditioned ``X`` is.  LSQR on the preconditioned system then
+converges in a few iterations where the plain iteration needs hundreds.
+
+Three sketch families, each a first-class
+:class:`~repro.linalg.operators.LinearOperator` (they compose with
+``ShardedOperator``/``CenteringOperator`` and pass ``verify_operator``):
+
+- :class:`CountSketchOperator` — one ±1 entry per input coordinate;
+  ``S v`` is a signed :func:`numpy.bincount`, ``O(m)`` per apply and
+  ``O(nnz)`` to sketch a CSR matrix.  The default: cheapest build, and
+  the distortion bound only enters through the preconditioner quality.
+- :class:`SparseSignOperator` — ``k`` entries of ``±1/√k`` per input
+  coordinate; ``k`` times the CountSketch cost for a ``k``-fold variance
+  reduction.  The middle ground when ``s`` must stay small.
+- :class:`SRHTOperator` — subsampled randomized Hadamard transform
+  ``(1/√s)·P·H·D`` via an in-place fast Walsh–Hadamard transform,
+  ``O(m log m)`` per apply.  Densest mixing (best distortion per row of
+  ``S``) but no ``O(nnz)`` sparse fast path — prefer it on dense data.
+
+:func:`build_preconditioner` sketches the data operator (peeling
+:class:`~repro.linalg.operators.AppendOnesOperator` /
+:class:`~repro.linalg.operators.CenteringOperator` wrappers so the
+structural tricks stay matrix-free), forms the small ``n × n`` Gram of
+the sketch, factors it with the repo's blocked
+:func:`~repro.linalg.cholesky.cholesky`, and returns a
+:class:`SketchPreconditioner` whose triangular solves the solvers apply
+per iteration.  ``lsqr``/``block_lsqr`` accept it via their
+``precondition`` parameter; :class:`repro.core.srda.SRDA` exposes the
+whole path as ``solver="sketched_lsqr"``.
+
+Observability: the build emits one ``sketch.build`` span (kind, sizes,
+regularization, jitter) and every triangular solve bumps the
+``precond.apply`` counter, so iteration savings and preconditioner cost
+land in the same trace as the ``lsqr.iteration`` events they pay for.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro._typing import (
+    DTypeLike,
+    Float64Array,
+    FloatArray,
+    FloatDType,
+    IntArray,
+    MatrixLike,
+)
+from repro.exceptions import ReproError
+from repro.linalg.cholesky import (
+    NotPositiveDefiniteError,
+    cholesky,
+    solve_triangular,
+)
+from repro.linalg.operators import (
+    AppendOnesOperator,
+    CenteringOperator,
+    LinearOperator,
+    as_operator,
+)
+from repro.linalg.sparse import CSRMatrix
+from repro.observability import current_tracer
+
+__all__ = [
+    "SKETCH_KINDS",
+    "CountSketchOperator",
+    "PreconditionedOperator",
+    "SRHTOperator",
+    "SketchOperator",
+    "SketchPreconditioner",
+    "SketchingError",
+    "SparseSignOperator",
+    "build_preconditioner",
+    "default_sketch_size",
+    "preconditioner_from_gram",
+    "sketch_apply",
+    "sketch_operator",
+]
+
+#: Registered sketch families, in the order the docs discuss them.
+SKETCH_KINDS: Tuple[str, ...] = ("countsketch", "sparse_sign", "srht")
+
+#: Above this many cells the fused-bincount CSR sketch kernel would
+#: allocate an unreasonable dense accumulator; fall back to the chunked
+#: generic path instead.
+_DENSE_ACCUMULATOR_LIMIT = 50_000_000
+
+#: Identity-block width of the generic (operator-only) sketch path.
+_SKETCH_CHUNK = 64
+
+#: Jitter escalation for rank-deficient sketch Grams at alpha = 0
+#: (relative to the mean diagonal), mirroring guarded_solve's ladder.
+_JITTER_STEPS = (1e-12, 1e-10, 1e-8, 1e-6)
+
+
+class SketchingError(ReproError, ValueError):
+    """Raised for invalid sketch configuration or unusable sketches."""
+
+
+class SketchOperator(LinearOperator):
+    """Base class for seeded random sketching operators ``S : R^m → R^s``.
+
+    Subclasses draw their randomness from ``np.random.default_rng(seed)``
+    at construction, so two instances with equal parameters produce
+    bitwise-identical products — the determinism the benchmarks assert.
+
+    ``dtype`` declares the value dtype of products (float32 keeps the
+    half-bandwidth pipeline intact); outputs are computed and returned
+    in ``np.result_type(self.dtype, operand.dtype)``.
+    """
+
+    kind: str = "sketch"
+
+    def __init__(
+        self, m: int, sketch_size: int, seed: int, dtype: DTypeLike
+    ) -> None:
+        super().__init__()
+        if m < 1:
+            raise SketchingError(f"m must be >= 1, got {m}")
+        if sketch_size < 1:
+            raise SketchingError(
+                f"sketch_size must be >= 1, got {sketch_size}"
+            )
+        self.shape = (int(sketch_size), int(m))
+        self.seed = int(seed)
+        self._dtype: FloatDType = np.dtype(dtype)
+        if self._dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+            raise SketchingError(
+                f"sketch dtype must be float32 or float64, got {dtype!r}"
+            )
+
+    @property
+    def dtype(self) -> FloatDType:
+        return self._dtype
+
+    def _out_dtype(self, operand: FloatArray) -> FloatDType:
+        return np.dtype(np.result_type(self._dtype, operand.dtype))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(shape={self.shape}, seed={self.seed})"
+        )
+
+
+class CountSketchOperator(SketchOperator):
+    """CountSketch: each input coordinate lands in one ±1 bucket.
+
+    ``S`` has exactly one nonzero per *column*: coordinate ``i`` is
+    hashed to row ``bucket[i]`` with sign ``sign[i]``.  ``S v`` is a
+    signed bincount (``O(m)``); the adjoint is a gather.  ``E[SᵀS] = I``
+    and the sketch embeds any fixed ``n``-dimensional column space with
+    constant distortion once ``s = O(n²/δ)`` — in practice a small
+    multiple of ``n`` suffices for preconditioning, which only needs the
+    distortion to be bounded, not tiny.
+    """
+
+    kind = "countsketch"
+
+    def __init__(
+        self,
+        m: int,
+        sketch_size: int,
+        seed: int = 0,
+        dtype: DTypeLike = np.float64,
+    ) -> None:
+        super().__init__(m, sketch_size, seed, dtype)
+        rng = np.random.default_rng(self.seed)
+        self.buckets: IntArray = rng.integers(
+            0, self.shape[0], size=m, dtype=np.int64
+        )
+        self.signs: Float64Array = np.where(
+            rng.integers(0, 2, size=m) == 1, 1.0, -1.0
+        )
+
+    def _matvec(self, v: FloatArray) -> FloatArray:
+        out_dtype = self._out_dtype(v)
+        weighted = self.signs * v
+        out = np.bincount(
+            self.buckets, weights=weighted, minlength=self.shape[0]
+        )
+        return out.astype(out_dtype, copy=False)
+
+    def _rmatvec(self, u: FloatArray) -> FloatArray:
+        out_dtype = self._out_dtype(u)
+        out = self.signs * u[self.buckets]
+        return out.astype(out_dtype, copy=False)
+
+    def _matmat(self, B: FloatArray) -> FloatArray:
+        out_dtype = self._out_dtype(B)
+        out = np.zeros((self.shape[0], B.shape[1]), dtype=np.float64)
+        np.add.at(out, self.buckets, self.signs[:, None] * B)
+        return out.astype(out_dtype, copy=False)
+
+    def _rmatmat(self, U: FloatArray) -> FloatArray:
+        out_dtype = self._out_dtype(U)
+        out = self.signs[:, None] * U[self.buckets]
+        return out.astype(out_dtype, copy=False)
+
+    def sketch_csr(self, matrix: CSRMatrix) -> Optional[Float64Array]:
+        """``S @ X`` for CSR ``X`` via one fused-key bincount, or None.
+
+        Entry ``(r, c, x)`` of ``X`` contributes ``sign[r]·x`` to output
+        cell ``(bucket[r], c)``; flattening cells to ``bucket·n + c``
+        keys turns the whole product into a single ``O(nnz)`` bincount.
+        Returns ``None`` when the dense accumulator would be too large
+        (the caller falls back to the chunked operator path).
+        """
+        s, n = self.shape[0], matrix.shape[1]
+        if s * n > _DENSE_ACCUMULATOR_LIMIT:
+            return None
+        row_ids = matrix._row_ids
+        keys = self.buckets[row_ids] * n + matrix.indices
+        weights = self.signs[row_ids] * matrix.data
+        flat = np.bincount(keys, weights=weights, minlength=s * n)
+        return flat.reshape(s, n)
+
+
+class SparseSignOperator(SketchOperator):
+    """Sparse-sign sketch: ``k`` entries of ``±1/√k`` per input coordinate.
+
+    A ``k``-fold replicated CountSketch scaled by ``1/√k`` (replicas
+    drawn independently, collisions within a coordinate allowed): the
+    variance of ``‖Sv‖²`` shrinks by ``~k`` versus CountSketch, buying a
+    usable embedding at smaller ``s``, for ``k`` times the apply cost.
+    """
+
+    kind = "sparse_sign"
+
+    def __init__(
+        self,
+        m: int,
+        sketch_size: int,
+        k_nonzeros: int = 8,
+        seed: int = 0,
+        dtype: DTypeLike = np.float64,
+    ) -> None:
+        super().__init__(m, sketch_size, seed, dtype)
+        if k_nonzeros < 1:
+            raise SketchingError(
+                f"k_nonzeros must be >= 1, got {k_nonzeros}"
+            )
+        self.k_nonzeros = int(k_nonzeros)
+        rng = np.random.default_rng(self.seed)
+        self.rows: IntArray = rng.integers(
+            0, self.shape[0], size=(m, self.k_nonzeros), dtype=np.int64
+        )
+        signs = np.where(
+            rng.integers(0, 2, size=(m, self.k_nonzeros)) == 1, 1.0, -1.0
+        )
+        self.signs: Float64Array = signs / np.sqrt(float(self.k_nonzeros))
+
+    def _matvec(self, v: FloatArray) -> FloatArray:
+        out_dtype = self._out_dtype(v)
+        weighted = (self.signs * v[:, None]).ravel()
+        out = np.bincount(
+            self.rows.ravel(), weights=weighted, minlength=self.shape[0]
+        )
+        return out.astype(out_dtype, copy=False)
+
+    def _rmatvec(self, u: FloatArray) -> FloatArray:
+        out_dtype = self._out_dtype(u)
+        out = (self.signs * u[self.rows]).sum(axis=1)
+        return out.astype(out_dtype, copy=False)
+
+    def _matmat(self, B: FloatArray) -> FloatArray:
+        out_dtype = self._out_dtype(B)
+        out = np.zeros((self.shape[0], B.shape[1]), dtype=np.float64)
+        for t in range(self.k_nonzeros):
+            np.add.at(out, self.rows[:, t], self.signs[:, t][:, None] * B)
+        return out.astype(out_dtype, copy=False)
+
+    def _rmatmat(self, U: FloatArray) -> FloatArray:
+        out_dtype = self._out_dtype(U)
+        # (m, k, j) gather summed over the k replicas
+        out = (self.signs[:, :, None] * U[self.rows]).sum(axis=1)
+        return out.astype(out_dtype, copy=False)
+
+    def sketch_csr(self, matrix: CSRMatrix) -> Optional[Float64Array]:
+        """``S @ X`` for CSR ``X``: one fused bincount per replica."""
+        s, n = self.shape[0], matrix.shape[1]
+        if s * n > _DENSE_ACCUMULATOR_LIMIT:
+            return None
+        row_ids = matrix._row_ids
+        flat = np.zeros(s * n, dtype=np.float64)
+        for t in range(self.k_nonzeros):
+            keys = self.rows[:, t][row_ids] * n + matrix.indices
+            weights = self.signs[:, t][row_ids] * matrix.data
+            flat += np.bincount(keys, weights=weights, minlength=s * n)
+        return flat.reshape(s, n)
+
+
+def _fwht(block: Float64Array) -> Float64Array:
+    """In-place fast Walsh–Hadamard transform over axis 0.
+
+    ``block`` is ``(m2, k)`` with ``m2`` a power of two; applies the
+    *unnormalized* Hadamard matrix (entries ±1) in ``O(m2 log m2 · k)``
+    via the standard butterfly, vectorized as reshaped pair updates.
+    """
+    n = block.shape[0]
+    h = 1
+    while h < n:
+        view = block.reshape(n // (2 * h), 2, h, -1)
+        top = view[:, 0].copy()
+        view[:, 0] += view[:, 1]
+        view[:, 1] *= -1.0
+        view[:, 1] += top
+        h *= 2
+    return block
+
+
+class SRHTOperator(SketchOperator):
+    """Subsampled randomized Hadamard transform ``(1/√s)·P·H·D``.
+
+    ``D`` flips signs, the (unnormalized) Hadamard transform ``H`` mixes
+    every coordinate into every other in ``O(m log m)``, and ``P``
+    samples ``s`` of the ``m2`` mixed rows without replacement; the
+    ``1/√s`` scale makes ``E[SᵀS] = I``.  Inputs are zero-padded to the
+    next power of two ``m2 ≥ m``.  The dense mixing gives the best
+    distortion per sketch row of the three families, at the price of no
+    ``O(nnz)`` sparse fast path.
+    """
+
+    kind = "srht"
+
+    def __init__(
+        self,
+        m: int,
+        sketch_size: int,
+        seed: int = 0,
+        dtype: DTypeLike = np.float64,
+    ) -> None:
+        super().__init__(m, sketch_size, seed, dtype)
+        self.padded: int = 1 << max(0, int(m - 1).bit_length())
+        if sketch_size > self.padded:
+            raise SketchingError(
+                f"SRHT sketch_size {sketch_size} exceeds the padded "
+                f"dimension {self.padded}"
+            )
+        rng = np.random.default_rng(self.seed)
+        self.signs: Float64Array = np.where(
+            rng.integers(0, 2, size=m) == 1, 1.0, -1.0
+        )
+        self.sample: IntArray = np.sort(
+            rng.choice(self.padded, size=self.shape[0], replace=False)
+        ).astype(np.int64)
+        self._scale = 1.0 / np.sqrt(float(self.shape[0]))
+
+    def _matmat(self, B: FloatArray) -> FloatArray:
+        out_dtype = self._out_dtype(B)
+        m = self.shape[1]
+        padded = np.zeros((self.padded, B.shape[1]), dtype=np.float64)
+        padded[:m] = self.signs[:, None] * B
+        _fwht(padded)
+        out = self._scale * padded[self.sample]
+        return out.astype(out_dtype, copy=False)
+
+    def _rmatmat(self, U: FloatArray) -> FloatArray:
+        out_dtype = self._out_dtype(U)
+        m = self.shape[1]
+        padded = np.zeros((self.padded, U.shape[1]), dtype=np.float64)
+        padded[self.sample] = U
+        _fwht(padded)
+        out = self._scale * (self.signs[:, None] * padded[:m])
+        return out.astype(out_dtype, copy=False)
+
+    def _matvec(self, v: FloatArray) -> FloatArray:
+        return self._matmat(v[:, None])[:, 0]
+
+    def _rmatvec(self, u: FloatArray) -> FloatArray:
+        return self._rmatmat(u[:, None])[:, 0]
+
+
+def sketch_operator(
+    kind: str,
+    m: int,
+    sketch_size: int,
+    seed: int = 0,
+    dtype: DTypeLike = np.float64,
+) -> SketchOperator:
+    """Build a sketch operator by family name (see :data:`SKETCH_KINDS`)."""
+    if kind == "countsketch":
+        return CountSketchOperator(m, sketch_size, seed=seed, dtype=dtype)
+    if kind == "sparse_sign":
+        return SparseSignOperator(m, sketch_size, seed=seed, dtype=dtype)
+    if kind == "srht":
+        return SRHTOperator(m, sketch_size, seed=seed, dtype=dtype)
+    raise SketchingError(
+        f"unknown sketch kind {kind!r}; expected one of {SKETCH_KINDS}"
+    )
+
+
+def default_sketch_size(m: int, n: int) -> int:
+    """Default sketch rows: ``min(m, max(4n, n + 64))``.
+
+    Four rows of ``S`` per column of ``X`` keeps the CountSketch
+    distortion comfortably below 1 for preconditioning (the convergence
+    rate only degrades with the *bound* on the distortion); the ``n+64``
+    floor keeps tiny problems full-rank, and sketching never exceeds the
+    data's own row count.
+    """
+    return max(1, min(m, max(4 * n, n + 64)))
+
+
+def sketch_apply(
+    S: SketchOperator,
+    A: MatrixLike,
+    chunk: int = _SKETCH_CHUNK,
+) -> Float64Array:
+    """Compute the dense sketch ``S @ A`` of an ``(m, n)`` operator.
+
+    Structural wrappers are peeled so the paper's memory tricks stay
+    intact: ``S·[X|1] = [S·X | S·1]`` and ``S·(X − 1μᵀ) = S·X − (S·1)μᵀ``
+    each cost one extra sketch mat-vec, never a densified matrix.  The
+    base data is sketched by the family's ``O(nnz)`` CSR kernel or a
+    dense ``matmat`` when the payload is reachable (this includes
+    :class:`~repro.parallel.sharded.ShardedOperator`, whose underlying
+    matrix is sketched directly — the build is a one-time coordinator
+    step); arbitrary operators fall back to chunked
+    ``(A ᵀ Sᵀ)ᵀ`` block products of width ``chunk``.
+    """
+    op = as_operator(A)
+    if S.shape[1] != op.shape[0]:
+        raise SketchingError(
+            f"sketch expects {S.shape[1]} rows, operator has {op.shape[0]}"
+        )
+    if isinstance(op, AppendOnesOperator):
+        inner = sketch_apply(S, op.base, chunk=chunk)
+        ones_image = np.asarray(
+            S.matvec(np.ones(op.shape[0])), dtype=np.float64
+        )
+        return np.hstack([inner, ones_image[:, None]])
+    if isinstance(op, CenteringOperator):
+        inner = sketch_apply(S, op.base, chunk=chunk)
+        ones_image = np.asarray(
+            S.matvec(np.ones(op.shape[0])), dtype=np.float64
+        )
+        means = np.asarray(op.column_means, dtype=np.float64)
+        return inner - np.outer(ones_image, means)
+    matrix = getattr(op, "matrix", None)
+    if isinstance(matrix, CSRMatrix):
+        kernel = getattr(S, "sketch_csr", None)
+        if kernel is not None:
+            fast = kernel(matrix)
+            if fast is not None:
+                return np.asarray(fast, dtype=np.float64)
+    array = getattr(op, "array", None)
+    if array is not None:
+        return np.asarray(
+            S.matmat(np.asarray(array, dtype=np.float64)), dtype=np.float64
+        )
+    return _sketch_via_rmatmat(S, op, chunk)
+
+
+def _sketch_via_rmatmat(
+    S: SketchOperator, op: LinearOperator, chunk: int
+) -> Float64Array:
+    """Generic ``S @ A`` via ``(Aᵀ · (Sᵀ block))ᵀ`` in identity chunks.
+
+    Works for any operator (only ``rmatmat`` is required) at the cost of
+    ``⌈s/chunk⌉`` block products of width ``chunk`` — the path taken
+    when the data payload is hidden behind a custom operator.
+    """
+    s, m = S.shape
+    n = op.shape[1]
+    chunk = max(1, int(chunk))
+    out = np.empty((s, n), dtype=np.float64)
+    for start in range(0, s, chunk):
+        stop = min(start + chunk, s)
+        basis = np.zeros((s, stop - start), dtype=np.float64)
+        basis[np.arange(start, stop), np.arange(stop - start)] = 1.0
+        st_block = np.asarray(S.rmatmat(basis), dtype=np.float64)
+        out[start:stop] = np.asarray(
+            op.rmatmat(st_block), dtype=np.float64
+        ).T
+    return out
+
+
+class SketchPreconditioner:
+    """Right preconditioner ``R⁻¹`` with ``RᵀR = (S X)ᵀ(S X) + α I``.
+
+    Holds the lower Cholesky factor ``L = Rᵀ`` of the regularized sketch
+    Gram; :meth:`apply` maps preconditioned coordinates back
+    (``W ↦ R⁻¹ W``) and :meth:`apply_adjoint` applies ``R⁻ᵀ`` (the
+    adjoint direction the solvers need).  Both are ``O(n²)`` triangular
+    solves per column — independent of ``m``, the whole point.
+
+    Every application bumps the ``precond.apply`` counter on the ambient
+    tracer, so preconditioner cost is visible next to the
+    ``lsqr.iteration`` events it eliminates.
+    """
+
+    def __init__(
+        self,
+        factor_lower: Float64Array,
+        alpha: float = 0.0,
+        kind: str = "custom",
+        sketch_size: int = 0,
+        jitter: float = 0.0,
+    ) -> None:
+        factor = np.asarray(factor_lower, dtype=np.float64)
+        if factor.ndim != 2 or factor.shape[0] != factor.shape[1]:
+            raise SketchingError(
+                "preconditioner factor must be a square lower-triangular "
+                f"matrix, got shape {factor.shape}"
+            )
+        self.factor_lower = factor
+        self.shape: Tuple[int, int] = factor.shape
+        self.alpha = float(alpha)
+        self.kind = kind
+        self.sketch_size = int(sketch_size)
+        self.jitter = float(jitter)
+        self.n_applies = 0
+
+    @property
+    def n(self) -> int:
+        """Dimension of the (column) space the preconditioner acts on."""
+        return self.shape[0]
+
+    def _count(self) -> None:
+        self.n_applies += 1
+        tracer = current_tracer()
+        if tracer.enabled:
+            tracer.metrics.counter("precond.apply").add(1.0)
+
+    def apply(self, W: FloatArray) -> Float64Array:
+        """``R⁻¹ W`` — map preconditioned coordinates to solutions."""
+        self._count()
+        return solve_triangular(self.factor_lower.T, W, lower=False)
+
+    def apply_adjoint(self, W: FloatArray) -> Float64Array:
+        """``R⁻ᵀ W`` — the transposed solve used by adjoint products."""
+        self._count()
+        return solve_triangular(self.factor_lower, W, lower=True)
+
+    def wrap(self, op: LinearOperator) -> "PreconditionedOperator":
+        """The preconditioned operator ``op · R⁻¹`` the solvers iterate on."""
+        return PreconditionedOperator(op, self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SketchPreconditioner(n={self.n}, kind={self.kind!r}, "
+            f"sketch_size={self.sketch_size}, alpha={self.alpha})"
+        )
+
+
+class PreconditionedOperator(LinearOperator):
+    """``A R⁻¹`` — a base operator right-multiplied by a preconditioner.
+
+    The solvers iterate on this operator in the well-conditioned ``z``
+    coordinates (``x = R⁻¹ z``); each forward product pays one
+    triangular solve before the base product, each adjoint one after.
+    Products keep the base operator's value dtype.
+    """
+
+    def __init__(
+        self, base: LinearOperator, precondition: SketchPreconditioner
+    ) -> None:
+        super().__init__()
+        if precondition.n != base.shape[1]:
+            raise SketchingError(
+                f"preconditioner dimension {precondition.n} does not match "
+                f"operator column count {base.shape[1]}"
+            )
+        self.base = base
+        self.precondition = precondition
+        self.shape = base.shape
+
+    @property
+    def dtype(self) -> FloatDType:
+        return self.base.dtype
+
+    def _cast(self, out: FloatArray) -> FloatArray:
+        return np.asarray(out).astype(self.dtype, copy=False)
+
+    def _matvec(self, v: FloatArray) -> FloatArray:
+        return self.base.matvec(self._cast(self.precondition.apply(v)))
+
+    def _rmatvec(self, u: FloatArray) -> FloatArray:
+        return self._cast(self.precondition.apply_adjoint(self.base.rmatvec(u)))
+
+    def _matmat(self, B: FloatArray) -> FloatArray:
+        return self.base.matmat(self._cast(self.precondition.apply(B)))
+
+    def _rmatmat(self, U: FloatArray) -> FloatArray:
+        return self._cast(self.precondition.apply_adjoint(self.base.rmatmat(U)))
+
+
+def _factor_with_jitter(
+    gram: Float64Array, alpha: float
+) -> Tuple[Float64Array, float]:
+    """Cholesky of ``gram + α I``, escalating jitter if rank-deficient.
+
+    At ``alpha = 0`` a rank-deficient sketch (``s < n``, duplicate
+    columns) makes the Gram semidefinite; mirroring ``guarded_solve``,
+    a jitter ladder relative to the mean diagonal retries before giving
+    up.  Returns ``(L, jitter_used)``.
+    """
+    n = gram.shape[0]
+    work = np.array(gram, dtype=np.float64, copy=True)
+    if alpha > 0:
+        work[np.diag_indices(n)] += alpha
+    scale = float(np.trace(work)) / max(1, n)
+    if scale <= 0 or not np.isfinite(scale):
+        scale = 1.0
+    last_error: Optional[NotPositiveDefiniteError] = None
+    for step, relative in enumerate((0.0,) + _JITTER_STEPS):
+        jitter = relative * scale
+        try:
+            attempt = work if step == 0 else _with_jitter(work, jitter)
+            return cholesky(attempt), jitter
+        except NotPositiveDefiniteError as exc:
+            last_error = exc
+    raise SketchingError(
+        "sketch Gram matrix is not positive definite even after jitter "
+        f"escalation: {last_error}"
+    )
+
+
+def _with_jitter(gram: Float64Array, jitter: float) -> Float64Array:
+    out = np.array(gram, copy=True)
+    out[np.diag_indices(gram.shape[0])] += jitter
+    return out
+
+
+def preconditioner_from_gram(
+    gram: Float64Array,
+    alpha: float = 0.0,
+    kind: str = "custom",
+    sketch_size: int = 0,
+) -> SketchPreconditioner:
+    """Factor a precomputed sketch Gram ``(S X)ᵀ(S X)`` into ``R⁻¹``.
+
+    The alpha sweep uses this to share one sketch across a whole grid:
+    the ``O(s·n²)`` Gram is built once, and each alpha pays only the
+    ``O(n³/3)`` Cholesky of ``gram + α I``.
+    """
+    gram = np.asarray(gram, dtype=np.float64)
+    if gram.ndim != 2 or gram.shape[0] != gram.shape[1]:
+        raise SketchingError(
+            f"gram must be square, got shape {gram.shape}"
+        )
+    if alpha < 0:
+        raise SketchingError("alpha must be non-negative")
+    factor, jitter = _factor_with_jitter(gram, alpha)
+    return SketchPreconditioner(
+        factor, alpha=alpha, kind=kind, sketch_size=sketch_size, jitter=jitter
+    )
+
+
+def build_preconditioner(
+    A: MatrixLike,
+    alpha: float = 0.0,
+    sketch: Union[str, SketchOperator] = "countsketch",
+    sketch_size: Optional[int] = None,
+    seed: int = 0,
+    chunk: int = _SKETCH_CHUNK,
+) -> SketchPreconditioner:
+    """Sketch ``A`` and factor the regularized Gram into ``R⁻¹``.
+
+    Parameters
+    ----------
+    A:
+        The ``(m, n)`` data operator (dense array, CSR matrix, or any
+        :class:`~repro.linalg.operators.LinearOperator`, including the
+        structural SRDA wrappers and sharded operators).
+    alpha:
+        Ridge regularization ``α``; folded into the Gram so the factor
+        preconditions the damped system ``[A; √α·I]`` exactly.  With
+        ``alpha > 0`` the Gram is always positive definite, so the
+        preconditioner exists for any sketch size.
+    sketch:
+        Family name from :data:`SKETCH_KINDS`, or a prebuilt
+        :class:`SketchOperator` (whose row count then fixes the size).
+    sketch_size:
+        Rows of ``S``; default :func:`default_sketch_size`.
+    seed:
+        Seed for the sketch draw — fixed seed means a bitwise
+        reproducible preconditioner and therefore bitwise reproducible
+        sketched solves.
+    chunk:
+        Block width of the generic operator fallback in
+        :func:`sketch_apply`.
+
+    Emits one ``sketch.build`` span (kind, sizes, alpha, jitter) on the
+    ambient tracer.
+    """
+    op = as_operator(A)
+    m, n = op.shape
+    if alpha < 0:
+        raise SketchingError("alpha must be non-negative")
+    if isinstance(sketch, SketchOperator):
+        S = sketch
+        if S.shape[1] != m:
+            raise SketchingError(
+                f"sketch operator expects {S.shape[1]} rows, data has {m}"
+            )
+    else:
+        size = default_sketch_size(m, n) if sketch_size is None else int(sketch_size)
+        if size < 1:
+            raise SketchingError(f"sketch_size must be >= 1, got {size}")
+        S = sketch_operator(sketch, m, min(size, m), seed=seed)
+    tracer = current_tracer()
+    with tracer.span(
+        "sketch.build",
+        kind=S.kind,
+        sketch_size=int(S.shape[0]),
+        rows=int(m),
+        cols=int(n),
+        alpha=float(alpha),
+    ) as span:
+        sketched = sketch_apply(S, op, chunk=chunk)
+        gram = sketched.T @ sketched
+        factor, jitter = _factor_with_jitter(gram, alpha)
+        span.set_attribute("jitter", float(jitter))
+    return SketchPreconditioner(
+        factor,
+        alpha=alpha,
+        kind=S.kind,
+        sketch_size=int(S.shape[0]),
+        jitter=jitter,
+    )

@@ -296,7 +296,9 @@ class CSRMatrix:
             )
         return self.reduce_adjoint_products(self.data * u[self._row_ids])
 
-    def reduce_adjoint_products(self, products: FloatArray) -> FloatArray:
+    def reduce_adjoint_products(
+        self, products: FloatArray, out: Optional[FloatArray] = None
+    ) -> FloatArray:
         """Reduce per-entry adjoint products to ``A.T @ u``.
 
         ``products`` must be ``data * u[row_ids]`` in storage order — the
@@ -305,18 +307,45 @@ class CSRMatrix:
         shard-by-shard (each shard owns a contiguous slice of storage
         order) and still apply this one *canonical* reduction, making the
         sharded adjoint bitwise identical to the unsharded one.
+
+        ``out``, when given, receives the reduction in place and is
+        returned — callers that hold a long-lived column buffer (a
+        solver's adjoint accumulator, say) keep a stable destination
+        across products.  Results are **bitwise identical** with and
+        without ``out``: both forms run the same per-dtype reduction
+        kernel (``bincount``'s sequential fold for float64, segmented
+        ``reduceat`` otherwise — the two accumulate in different orders,
+        so they are *not* interchangeable at the bit level).
         """
         if products.shape != self.data.shape:
             raise ValueError(
                 f"expected {self.data.shape[0]} adjoint products, "
                 f"got shape {products.shape}"
             )
+        if out is not None:
+            if out.shape != (self.shape[1],):
+                raise ValueError(
+                    f"out must have shape ({self.shape[1]},), "
+                    f"got {out.shape}"
+                )
+            if out.dtype != products.dtype:
+                raise ValueError(
+                    f"out dtype {out.dtype} does not match products "
+                    f"dtype {products.dtype}"
+                )
         if products.dtype == np.float64:
-            return np.bincount(
+            reduced = np.bincount(
                 self.indices, weights=products, minlength=self.shape[1]
             ).astype(np.float64, copy=False)
+            if out is None:
+                return reduced
+            out[:] = reduced
+            return out
+        if out is None:
+            out = np.zeros(self.shape[1], dtype=products.dtype)
+        else:
+            out[:] = 0
         order, starts, cols = self._col_segments
-        out = np.zeros(self.shape[1], dtype=products.dtype)
         if cols.size:
             out[cols] = np.add.reduceat(products[order], starts)
         return out

@@ -34,6 +34,7 @@ from repro.parallel.sharded import (
     ShardedOperator,
     csr_row_slice,
     default_shard_count,
+    nnz_shard_bounds,
     shard_bounds,
 )
 from repro.parallel.shm import SharedArena, SharedArrayRef, attach_array
@@ -50,6 +51,7 @@ __all__ = [
     "csr_row_slice",
     "default_shard_count",
     "effective_n_jobs",
+    "nnz_shard_bounds",
     "resolve_backend",
     "shard_bounds",
 ]

@@ -15,8 +15,9 @@ unchanged, and fans the per-shard kernels out on any
 
 Determinism contract
 --------------------
-Results depend on the *shard layout* (``n_shards``; a pure function of
-``m`` by default) and never on the backend or worker count:
+Results depend on the *shard layout* (a pure function of the data: row
+count, plus — for CSR — the nnz profile via
+:func:`nnz_shard_bounds`) and never on the backend or worker count:
 
 - CSR ``matvec``/``matmat`` are **bitwise identical** to the unsharded
   kernels — the handwritten CSR kernels reduce each row in storage
@@ -78,6 +79,7 @@ __all__ = [
     "ShardedOperator",
     "csr_row_slice",
     "default_shard_count",
+    "nnz_shard_bounds",
     "shard_bounds",
     "shard_kernel_result",
 ]
@@ -109,6 +111,49 @@ def shard_bounds(m: int, n_shards: int) -> List[Tuple[int, int]]:
     n_shards = min(n_shards, max(1, m))
     edges = [(m * i) // n_shards for i in range(n_shards + 1)]
     return [(edges[i], edges[i + 1]) for i in range(n_shards)]
+
+
+def nnz_shard_bounds(
+    indptr: IntArray, n_shards: int
+) -> List[Tuple[int, int]]:
+    """Contiguous row ranges balanced by *stored-entry* count.
+
+    A CSR shard's kernel cost is proportional to its non-zeros, not its
+    rows; on skewed data (a few heavy rows, a long sparse tail) the
+    row-count splits of :func:`shard_bounds` leave one worker doing most
+    of the arithmetic while the rest idle.  This picks the row cut for
+    shard ``i`` as the ``indptr`` position nearest ``total·i/n_shards``,
+    so every shard carries within one row's worth of nnz of the ideal
+    share — while staying a pure function of the data (never of the
+    backend or worker count), preserving the determinism contract.
+
+    Each shard keeps at least one row; with fewer rows than shards, or
+    an all-zero matrix, this degrades to :func:`shard_bounds`.
+    """
+    m = int(len(indptr)) - 1
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    n_shards = min(n_shards, max(1, m))
+    total = int(indptr[-1]) if m >= 0 else 0
+    if n_shards == 1 or total == 0:
+        return shard_bounds(m, n_shards)
+    cuts: List[int] = [0]
+    for i in range(1, n_shards):
+        target = (total * i) // n_shards
+        # First row boundary at or past the nnz target, then snap back
+        # when the previous boundary is nearer in nnz space.
+        cut = int(np.searchsorted(indptr, target, side="left"))
+        cut = min(cut, m)
+        if cut > 0 and (target - int(indptr[cut - 1])) < (
+            int(indptr[cut]) - target
+        ):
+            cut -= 1
+        # Keep shards non-empty and strictly increasing.
+        cut = max(cut, cuts[-1] + 1)
+        cut = min(cut, m - (n_shards - i))
+        cuts.append(cut)
+    cuts.append(m)
+    return [(cuts[i], cuts[i + 1]) for i in range(n_shards)]
 
 
 def csr_row_slice(matrix: CSRMatrix, start: int, stop: int) -> CSRMatrix:
@@ -314,6 +359,7 @@ class ShardedOperator(LinearOperator):
         self._owns_backend = not isinstance(backend, Backend)
         self.backend = resolve_backend(backend, n_jobs)
         self._closed = False
+        self._scratch: Dict[Tuple[str, Tuple[int, ...], str, str], FloatArray] = {}
 
         self.matrix: Optional[CSRMatrix] = None
         self.array: Optional[FloatArray] = None
@@ -342,7 +388,14 @@ class ShardedOperator(LinearOperator):
             m = base.shape[0]
             self.shape = (m, base.shape[1])
             count = default_shard_count(m) if n_shards is None else int(n_shards)
-            self._bounds = shard_bounds(m, count)
+            if self._mode == "csr":
+                # Balance shards by stored entries, not rows — kernel
+                # cost is O(nnz), and the cut is still a pure function
+                # of the data, so the determinism contract holds.
+                assert self.matrix is not None
+                self._bounds = nnz_shard_bounds(self.matrix.indptr, count)
+            else:
+                self._bounds = shard_bounds(m, count)
             self._build_local_shards()
 
         self.n_shards = len(self._bounds)
@@ -602,7 +655,7 @@ class ShardedOperator(LinearOperator):
             # Copy out before the mailbox is reused by the next product.
             result = np.array(out_view, order=order)
         else:
-            out = np.empty(out_shape, dtype=out_dtype, order=order)
+            out = self._fan_in_buffer(kernel, out_shape, out_dtype, order)
 
             def run_shard(index: int) -> float:
                 t0 = time.perf_counter()
@@ -667,6 +720,33 @@ class ShardedOperator(LinearOperator):
                 float(self.n_shards)
             )
         return out
+
+    def _fan_in_buffer(
+        self,
+        kernel: str,
+        out_shape: Tuple[int, ...],
+        out_dtype: FloatDType,
+        order: Literal["C", "F"],
+    ) -> FloatArray:
+        """Fan-in buffer for ``_run``; adjoint buffers are reused.
+
+        Forward products (``matvec``/``matmat``) are returned to callers
+        and must stay fresh.  Adjoint intermediates — the CSR products
+        buffer and the per-shard partials — are fully consumed by the
+        canonical reduction / ordered fold (both of which allocate their
+        own output) before the next product starts, so the hot LSQR
+        adjoint path can recycle them instead of re-allocating an
+        ``nnz``-sized (or ``n_shards×n×k``) buffer every iteration.
+        Concurrent products on one operator were never supported.
+        """
+        if kernel in ("matvec", "matmat"):
+            return np.empty(out_shape, dtype=out_dtype, order=order)
+        key = (kernel, out_shape, np.dtype(out_dtype).str, order)
+        buf = self._scratch.get(key)
+        if buf is None:
+            buf = np.empty(out_shape, dtype=out_dtype, order=order)
+            self._scratch[key] = buf
+        return buf
 
     def _matvec(self, v: FloatArray) -> FloatArray:
         if self._direct is not None:

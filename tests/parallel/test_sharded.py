@@ -17,6 +17,7 @@ from repro.parallel import (
     ThreadBackend,
     csr_row_slice,
     default_shard_count,
+    nnz_shard_bounds,
     shard_bounds,
 )
 
@@ -239,3 +240,161 @@ class TestLifecycle:
         scaled = ScaledOperator(DenseOperator(rng.standard_normal((6, 3))), 2.0)
         with pytest.raises(TypeError, match="ShardedOperator"):
             ShardedOperator(scaled)
+
+
+def skewed_csr(rng, m=2400, n=60, heavy_nnz=40, light_nnz=2):
+    """CSR whose first 10% of rows carry ~90% of the non-zeros.
+
+    Row nnz is small next to any realistic per-shard nnz target, so a
+    balanced contiguous partition with max/min ratio <= 1.1 exists.
+    """
+    ks = np.where(np.arange(m) < m // 10, heavy_nnz, light_nnz)
+    indptr = np.zeros(m + 1, dtype=np.int64)
+    indptr[1:] = np.cumsum(ks)
+    indices = np.concatenate(
+        [rng.choice(n, size=int(k), replace=False) for k in ks]
+    ).astype(np.int64)
+    data = rng.standard_normal(int(indptr[-1]))
+    return CSRMatrix(data, indices, indptr, (m, n))
+
+
+class TestNnzShardBounds:
+    def test_bounds_tile_rows_and_are_strictly_increasing(self, rng):
+        matrix = skewed_csr(rng)
+        for n_shards in (2, 3, 5, 8):
+            bounds = nnz_shard_bounds(matrix.indptr, n_shards)
+            assert bounds[0][0] == 0
+            assert bounds[-1][1] == matrix.shape[0]
+            for (_, stop), (start, _) in zip(bounds, bounds[1:]):
+                assert stop == start
+            assert all(stop > start for start, stop in bounds)
+
+    def test_skewed_fixture_balances_within_ten_percent(self, rng):
+        matrix = skewed_csr(rng)
+        for n_shards in (2, 3, 4, 8):
+            bounds = nnz_shard_bounds(matrix.indptr, n_shards)
+            nnzs = [
+                int(matrix.indptr[stop] - matrix.indptr[start])
+                for start, stop in bounds
+            ]
+            assert max(nnzs) / min(nnzs) <= 1.1
+
+    def test_row_splits_would_not_balance_this_fixture(self, rng):
+        # The motivating contrast: equal-row splits put every heavy row
+        # in the first shard.
+        matrix = skewed_csr(rng)
+        bounds = shard_bounds(matrix.shape[0], 4)
+        nnzs = [
+            int(matrix.indptr[stop] - matrix.indptr[start])
+            for start, stop in bounds
+        ]
+        assert max(nnzs) / min(nnzs) > 3
+
+    def test_uniform_nnz_reduces_to_row_splits(self):
+        indptr = np.arange(0, 505, 5, dtype=np.int64)  # 100 rows x 5 nnz
+        assert nnz_shard_bounds(indptr, 4) == shard_bounds(100, 4)
+
+    def test_single_shard_and_empty_fall_back(self):
+        indptr = np.array([0, 3, 3, 9], dtype=np.int64)
+        assert nnz_shard_bounds(indptr, 1) == shard_bounds(3, 1)
+        empty = np.zeros(4, dtype=np.int64)
+        assert nnz_shard_bounds(empty, 2) == shard_bounds(3, 2)
+
+    def test_more_shards_than_rows_clamps(self):
+        indptr = np.array([0, 5, 6, 7], dtype=np.int64)
+        bounds = nnz_shard_bounds(indptr, 8)
+        assert len(bounds) == 3
+        assert bounds[0][0] == 0 and bounds[-1][1] == 3
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError, match="n_shards"):
+            nnz_shard_bounds(np.array([0, 1], dtype=np.int64), 0)
+
+
+class TestNnzLayoutParity:
+    """The nnz-weighted layout keeps the determinism contract intact."""
+
+    def test_sharded_csr_uses_nnz_weighted_layout(self, rng):
+        matrix = skewed_csr(rng)
+        with ShardedOperator(matrix, n_shards=4, backend="serial") as op:
+            assert op.shard_layout == [
+                tuple(b) for b in nnz_shard_bounds(matrix.indptr, 4)
+            ]
+
+    def test_products_bitwise_match_unsharded_kernels(self, rng):
+        # matvec/rmatvec/matmat are bitwise identical to the direct CSR
+        # kernels for ANY layout (disjoint row blocks + one canonical
+        # adjoint reduction), so rebalancing the boundaries cannot
+        # change a single bit of these products.
+        matrix = skewed_csr(rng)
+        v = rng.standard_normal(matrix.shape[1])
+        u = rng.standard_normal(matrix.shape[0])
+        B = rng.standard_normal((matrix.shape[1], 3))
+        for n_shards in (2, 4, 8):
+            with ShardedOperator(
+                matrix, n_shards=n_shards, backend="serial"
+            ) as op:
+                assert np.array_equal(op.matvec(v), matrix.matvec(v))
+                assert np.array_equal(op.rmatvec(u), matrix.rmatvec(u))
+                assert np.array_equal(op.matmat(B), matrix.matmat(B))
+
+    def test_rmatmat_close_to_direct_for_any_layout(self, rng):
+        matrix = skewed_csr(rng)
+        U = rng.standard_normal((matrix.shape[0], 4))
+        direct = np.column_stack(
+            [matrix.rmatvec(U[:, j]) for j in range(U.shape[1])]
+        )
+        for n_shards in (2, 8):
+            with ShardedOperator(
+                matrix, n_shards=n_shards, backend="serial"
+            ) as op:
+                np.testing.assert_allclose(
+                    op.rmatmat(U), direct, rtol=0, atol=1e-12
+                )
+
+    def test_layout_is_backend_independent(self, rng):
+        matrix = skewed_csr(rng, m=600)
+        with ShardedOperator(matrix, n_shards=3, backend="serial") as a:
+            layout_serial = a.shard_layout
+        with ShardedOperator(
+            matrix, n_shards=3, backend="thread", n_jobs=2
+        ) as b:
+            assert b.shard_layout == layout_serial
+
+
+class TestFanInBuffers:
+    def test_adjoint_buffers_are_reused_forward_stay_fresh(self, rng):
+        matrix = skewed_csr(rng, m=600)
+        v = rng.standard_normal(matrix.shape[1])
+        u = rng.standard_normal(matrix.shape[0])
+        U = rng.standard_normal((matrix.shape[0], 3))
+        with ShardedOperator(matrix, n_shards=3, backend="serial") as op:
+            op.rmatvec(u)
+            op.rmatmat(U)
+            # One scratch buffer per adjoint kernel signature, none for
+            # forward products.
+            kinds = {key[0] for key in op._scratch}
+            assert kinds == {"rmatvec", "rmatmat"}
+            n_buffers = len(op._scratch)
+            op.rmatvec(u)
+            op.rmatmat(U)
+            assert len(op._scratch) == n_buffers
+            # Forward results are returned to callers: consecutive calls
+            # must hand out distinct arrays.
+            first = op.matvec(v)
+            second = op.matvec(v)
+            assert first is not second
+            assert np.array_equal(first, second)
+
+    def test_repeated_adjoints_are_bitwise_stable(self, rng):
+        matrix = skewed_csr(rng, m=600)
+        u = rng.standard_normal(matrix.shape[0])
+        U = rng.standard_normal((matrix.shape[0], 3))
+        with ShardedOperator(matrix, n_shards=3, backend="serial") as op:
+            r1 = np.array(op.rmatvec(u))
+            R1 = np.array(op.rmatmat(U))
+            # Interleave other products to dirty the scratch buffers.
+            op.rmatvec(rng.standard_normal(matrix.shape[0]))
+            op.rmatmat(rng.standard_normal((matrix.shape[0], 3)))
+            assert np.array_equal(op.rmatvec(u), r1)
+            assert np.array_equal(op.rmatmat(U), R1)
