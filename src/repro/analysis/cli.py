@@ -5,6 +5,13 @@ Exit status is the CI contract: 0 when no findings survive suppression,
 (``--format json``) emits a machine-readable document for tooling; the
 text reporter prints one ``path:line:col: RPRnnn message`` line per
 finding plus a summary.
+
+``--complexity`` switches from AST linting to the empirical harness
+(:mod:`repro.analysis.complexity.harness`): registered kernel probes
+run at geometrically spaced sizes, fitted exponents are checked against
+the docstring claims and the ``complexity_baseline.json`` ratchet, and
+violations come back as RPR009 findings through the same reporters and
+exit codes.
 """
 
 from __future__ import annotations
@@ -62,6 +69,51 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="ID",
         help="print one rule's summary and rationale and exit",
     )
+    complexity = parser.add_argument_group(
+        "complexity contracts (rule RPR009)"
+    )
+    complexity.add_argument(
+        "--complexity",
+        action="store_true",
+        help=(
+            "run the empirical scaling harness instead of the AST "
+            "linter; positional paths are ignored"
+        ),
+    )
+    complexity.add_argument(
+        "--complexity-scale",
+        choices=("smoke", "full"),
+        default="smoke",
+        help="size ladder: smoke (CI, seconds) or full (baseline tier)",
+    )
+    complexity.add_argument(
+        "--complexity-probes",
+        metavar="NAMES",
+        help="comma-separated probe names to run (default: all)",
+    )
+    complexity.add_argument(
+        "--complexity-baseline",
+        metavar="PATH",
+        default="complexity_baseline.json",
+        help="ratchet file (default: complexity_baseline.json)",
+    )
+    complexity.add_argument(
+        "--update-complexity-baseline",
+        action="store_true",
+        help="rewrite the baseline from this run instead of checking it",
+    )
+    complexity.add_argument(
+        "--complexity-report",
+        metavar="PATH",
+        help="also write the fitted-exponent report (CI artifact) here",
+    )
+    complexity.add_argument(
+        "--complexity-seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="seed for the probe problem draws (default: 0)",
+    )
     return parser
 
 
@@ -94,6 +146,71 @@ def _report_json(result: LintResult, stream: TextIO) -> None:
     stream.write("\n")
 
 
+def _run_complexity(args: argparse.Namespace) -> int:
+    # Imported here: the harness pulls in numpy and (lazily) the kernel
+    # modules, none of which a plain lint run should pay for.
+    from repro.analysis.complexity.harness import (
+        baseline_payload,
+        findings_from_results,
+        load_baseline,
+        run_harness,
+        write_report,
+    )
+    from repro.analysis.complexity.probes import PROBES
+
+    names = _split_codes(args.complexity_probes)
+    if names:
+        unknown = sorted(set(names) - set(PROBES))
+        if unknown:
+            print(
+                f"unknown probe(s): {', '.join(unknown)}; "
+                f"registered: {', '.join(sorted(PROBES))}",
+                file=sys.stderr,
+            )
+            return 2
+    results = run_harness(
+        names=names, scale=args.complexity_scale, seed=args.complexity_seed
+    )
+
+    baseline_path = Path(args.complexity_baseline)
+    if args.update_complexity_baseline:
+        payload = baseline_payload(results, scale=args.complexity_scale)
+        with baseline_path.open("w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(
+            f"wrote {len(results)} probe baseline(s) to {baseline_path}",
+            file=sys.stderr,
+        )
+        findings = findings_from_results(results, baseline=None)
+    else:
+        baseline = load_baseline(baseline_path)
+        findings = findings_from_results(results, baseline=baseline)
+
+    if args.complexity_report:
+        write_report(
+            Path(args.complexity_report),
+            results,
+            findings,
+            scale=args.complexity_scale,
+        )
+
+    result = LintResult(
+        findings=findings, n_files=len(results), n_suppressed=0
+    )
+    if args.format == "json":
+        _report_json(result, sys.stdout)
+    else:
+        for probe in results:
+            sys.stderr.write(
+                f"probe {probe.name}: claim {probe.claim} "
+                f"(exponent {probe.claimed_exponent:.2f}), "
+                f"fitted {probe.fitted_exponent:.2f}\n"
+            )
+        _report_text(result, sys.stdout)
+    return 0 if result.ok else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -111,6 +228,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                 return 0
         print(f"unknown rule {args.explain!r}", file=sys.stderr)
         return 2
+
+    if args.complexity:
+        return _run_complexity(args)
 
     missing = [path for path in args.paths if not Path(path).exists()]
     if missing:

@@ -1,0 +1,38 @@
+"""Machine-checked complexity contracts.
+
+Three coordinated pieces keep the paper's O(m·s) headline honest:
+
+- :mod:`repro.analysis.complexity.grammar` — the ``Complexity: O(...)``
+  docstring claim grammar (vocabulary ``m, n, c, nnz, s, k, iters``)
+  that rule RPR008 requires of every public kernel function.
+- :mod:`repro.analysis.complexity.probes` — the registry mapping claims
+  to runnable probes (build a problem at size ``size``, return a
+  measured cost).
+- :mod:`repro.analysis.complexity.harness` — runs each probe at
+  geometrically spaced sizes, fits the log–log slope with
+  :func:`repro.complexity.counter.loglog_slope`, and reports RPR009
+  findings when a fitted exponent exceeds its claim beyond tolerance or
+  the checked-in ``complexity_baseline.json`` ratchet.
+
+Only the grammar is imported eagerly — it is stdlib-only and feeds the
+linter; the probes import kernel modules lazily so ``python -m
+repro.analysis`` stays fast when the harness is not requested.
+"""
+
+from repro.analysis.complexity.grammar import (
+    VOCABULARY,
+    ClaimParseError,
+    ComplexityClaim,
+    claim_from_docstring,
+    extract_claim_text,
+    parse_claim,
+)
+
+__all__ = [
+    "VOCABULARY",
+    "ClaimParseError",
+    "ComplexityClaim",
+    "claim_from_docstring",
+    "extract_claim_text",
+    "parse_claim",
+]

@@ -1,0 +1,403 @@
+"""The machine-checked complexity-claim grammar.
+
+The paper's whole contribution is a complexity bound — SRDA trains in
+``O(m·s)`` per LSQR iteration — yet an ``O(...)`` statement in prose is
+just a comment: it can rot silently as PRs rewrite the hot paths.  This
+module gives those statements a grammar, so the linter (rule RPR008)
+can require every kernel entry point to carry a *parseable* claim and
+the empirical harness (:mod:`repro.analysis.complexity.harness`, rule
+RPR009) can cross-check the claimed exponent against measured scaling.
+
+Claim syntax, one line inside a docstring::
+
+    Complexity: O(nnz)
+    Complexity: O(m·c^2)
+    Complexity: O(iters·(nnz + m + n)) per right-hand side
+
+Anything after the closing parenthesis is free prose.  The expression
+grammar is::
+
+    sum     := product ("+" product)*
+    product := factor (("·" | "*" | juxtaposition) factor)*
+    factor  := "log" factor | primary
+    primary := VAR ("^" INT)? | INT | "(" sum ")"
+
+with ``VAR`` restricted to the fixed vocabulary in :data:`VOCABULARY`.
+Unicode conveniences are normalized before tokenizing: ``·``/``×`` mean
+multiplication and superscript digits mean powers (``n²`` = ``n^2``),
+so the claims stay readable in rendered docs.
+
+Claims are *asymptotic in the scaled variables*: the harness drives one
+problem size and asks each claim for its growth exponent under a
+declared coupling (e.g. scaling ``m`` with fixed non-zeros per row
+makes ``nnz`` grow linearly too).  ``log`` factors contribute their
+true sub-polynomial growth to the exponent (≈ 0.1 over the probed
+range), which keeps ``O(nnz log nnz)`` claims honest without failing
+linear-time measurements.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass
+from typing import Iterator, List, Mapping, Optional, Set, Tuple, Union
+
+__all__ = [
+    "CLAIM_MARKER_RE",
+    "VOCABULARY",
+    "ClaimParseError",
+    "ComplexityClaim",
+    "extract_claim_text",
+    "parse_claim",
+    "claim_from_docstring",
+]
+
+#: The variable vocabulary every claim must draw from.  The harness and
+#: the docs table share these definitions; a claim using any other name
+#: fails to parse (RPR008).
+VOCABULARY: Mapping[str, str] = {
+    "m": "samples / operator rows",
+    "n": "features / operator columns",
+    "c": "classes (equivalently: right-hand-side / response columns)",
+    "nnz": "stored non-zeros of the sparse operand",
+    "s": "average non-zeros per row (nnz = m·s); sketch rows where a "
+    "module's docs say so",
+    "k": "block width / subspace depth / shard count, per module docs",
+    "iters": "solver iterations",
+}
+
+#: Detects the start of a claim line inside a docstring.  A literal
+#: ``O(...)`` is how prose *mentions* the grammar (this module included)
+#: — the lookahead keeps mentions from parsing as malformed claims.
+CLAIM_MARKER_RE = re.compile(r"Complexity:\s*O\((?!\s*\.\.\.)")
+
+#: Unicode spellings normalized before tokenizing.
+_SUPERSCRIPTS = {
+    "¹": "^1",
+    "²": "^2",
+    "³": "^3",
+    "⁴": "^4",
+    "⁵": "^5",
+}
+
+_TOKEN_RE = re.compile(r"\s*(?:(?P<name>[A-Za-z_]+)|(?P<int>\d+)|(?P<op>[·×*+^()]))")
+
+
+class ClaimParseError(ValueError):
+    """A ``Complexity: O(...)`` line that does not follow the grammar."""
+
+
+# ----------------------------------------------------------------------
+# Expression nodes.  Deliberately tiny: the only question the harness
+# asks an expression is "how fast do you grow?", answered numerically by
+# evaluation, so no symbolic manipulation is needed.
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _Const:
+    value: float
+
+    def evaluate(self, values: Mapping[str, float]) -> float:
+        return self.value
+
+    def render(self) -> str:
+        return str(int(self.value))
+
+
+@dataclass(frozen=True)
+class _Var:
+    name: str
+    power: int = 1
+
+    def evaluate(self, values: Mapping[str, float]) -> float:
+        return values[self.name] ** self.power
+
+    def render(self) -> str:
+        return self.name if self.power == 1 else f"{self.name}^{self.power}"
+
+
+@dataclass(frozen=True)
+class _Log:
+    arg: "_Node"
+
+    def evaluate(self, values: Mapping[str, float]) -> float:
+        return math.log(max(self.arg.evaluate(values), math.e))
+
+    def render(self) -> str:
+        return f"log {self.arg.render()}"
+
+
+@dataclass(frozen=True)
+class _Product:
+    factors: Tuple["_Node", ...]
+
+    def evaluate(self, values: Mapping[str, float]) -> float:
+        out = 1.0
+        for factor in self.factors:
+            out *= factor.evaluate(values)
+        return out
+
+    def render(self) -> str:
+        parts = []
+        for factor in self.factors:
+            rendered = factor.render()
+            # sums (and log factors, whose argument would otherwise
+            # absorb the next factor on re-parse) bind looser than "·"
+            if isinstance(factor, (_Sum, _Log)):
+                rendered = f"({rendered})"
+            parts.append(rendered)
+        return "·".join(parts)
+
+
+@dataclass(frozen=True)
+class _Sum:
+    terms: Tuple["_Node", ...]
+
+    def evaluate(self, values: Mapping[str, float]) -> float:
+        return sum(term.evaluate(values) for term in self.terms)
+
+    def render(self) -> str:
+        return " + ".join(t.render() for t in self.terms)
+
+
+_Node = Union[_Const, _Var, _Log, _Product, _Sum]
+
+
+def _tokenize(text: str) -> List[str]:
+    for uni, ascii_form in _SUPERSCRIPTS.items():
+        text = text.replace(uni, ascii_form)
+    tokens: List[str] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            remainder = text[pos:].strip()
+            if not remainder:
+                break
+            raise ClaimParseError(
+                f"unexpected character {remainder[0]!r} in claim {text!r}"
+            )
+        pos = match.end()
+        token = match.group("name") or match.group("int") or match.group("op")
+        if token in ("·", "×"):
+            token = "*"
+        tokens.append(token)
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser for the claim grammar."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.pos = 0
+
+    def peek(self) -> Optional[str]:
+        if self.pos < len(self.tokens):
+            return self.tokens[self.pos]
+        return None
+
+    def take(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise ClaimParseError(f"claim {self.text!r} ended unexpectedly")
+        self.pos += 1
+        return token
+
+    def parse(self) -> _Node:
+        node = self.sum()
+        if self.peek() is not None:
+            raise ClaimParseError(
+                f"trailing {self.peek()!r} in claim {self.text!r}"
+            )
+        return node
+
+    def sum(self) -> _Node:
+        terms = [self.product()]
+        while self.peek() == "+":
+            self.take()
+            terms.append(self.product())
+        if len(terms) == 1:
+            return terms[0]
+        return _Sum(tuple(terms))
+
+    def product(self) -> _Node:
+        factors = [self.factor()]
+        while True:
+            token = self.peek()
+            if token == "*":
+                self.take()
+                factors.append(self.factor())
+            elif token is not None and token not in ("+", ")"):
+                # juxtaposition: "m s", "nnz log nnz"
+                factors.append(self.factor())
+            else:
+                break
+        if len(factors) == 1:
+            return factors[0]
+        return _Product(tuple(factors))
+
+    def factor(self) -> _Node:
+        if self.peek() == "log":
+            self.take()
+            return _Log(self.factor())
+        return self.primary()
+
+    def primary(self) -> _Node:
+        token = self.take()
+        if token == "(":
+            inner = self.sum()
+            if self.take() != ")":
+                raise ClaimParseError(
+                    f"unbalanced parentheses in claim {self.text!r}"
+                )
+            return inner
+        if token.isdigit():
+            return _Const(float(token))
+        if token in VOCABULARY:
+            if self.peek() == "^":
+                self.take()
+                exponent = self.take()
+                if not exponent.isdigit():
+                    raise ClaimParseError(
+                        f"power must be an integer in claim {self.text!r}"
+                    )
+                return _Var(token, int(exponent))
+            return _Var(token)
+        raise ClaimParseError(
+            f"unknown variable {token!r} in claim {self.text!r}; the "
+            f"vocabulary is {{{', '.join(sorted(VOCABULARY))}}}"
+        )
+
+
+def _collect_variables(node: _Node) -> Tuple[str, ...]:
+    names: Set[str] = set()
+
+    def walk(current: _Node) -> None:
+        if isinstance(current, _Var):
+            names.add(current.name)
+        elif isinstance(current, _Log):
+            walk(current.arg)
+        elif isinstance(current, (_Product, _Sum)):
+            children: Tuple[_Node, ...] = (
+                current.factors
+                if isinstance(current, _Product)
+                else current.terms
+            )
+            for child in children:
+                walk(child)
+
+    walk(node)
+    return tuple(sorted(names))
+
+
+@dataclass(frozen=True)
+class ComplexityClaim:
+    """A parsed ``Complexity: O(...)`` claim.
+
+    ``raw`` is the text inside ``O(...)`` as written; ``variables`` the
+    vocabulary symbols it uses.  :meth:`scaling_exponent` is the number
+    the harness checks fitted log–log slopes against.
+    """
+
+    raw: str
+    expression: _Node
+    variables: Tuple[str, ...]
+
+    def evaluate(self, values: Mapping[str, float]) -> float:
+        """The claim's cost expression at concrete variable values."""
+        missing = [v for v in self.variables if v not in values]
+        if missing:
+            raise ValueError(f"no value for claim variable(s) {missing}")
+        return self.expression.evaluate(values)
+
+    def scaling_exponent(
+        self,
+        couplings: Mapping[str, float],
+        held: float = 8.0,
+        span: Tuple[float, float] = (1e5, 1e8),
+    ) -> float:
+        """Growth exponent of the claim under a probe's size couplings.
+
+        ``couplings`` maps each vocabulary variable to its growth rate
+        against the probe's size parameter (``{"m": 1, "nnz": 1}``:
+        rows and non-zeros both scale linearly; absent variables are
+        held constant at ``held``).  Computed numerically over ``span``
+        so sums, parentheses, and ``log`` factors all contribute their
+        true growth — no symbolic expansion.
+        """
+        lo, hi = span
+
+        def value_at(size: float) -> float:
+            values = {
+                name: held * size ** couplings.get(name, 0.0)
+                for name in self.variables
+            }
+            return self.expression.evaluate(values)
+
+        return float(
+            (math.log(value_at(hi)) - math.log(value_at(lo)))
+            / (math.log(hi) - math.log(lo))
+        )
+
+    def normalized(self) -> str:
+        """Canonical rendering (``·`` products, ``^`` powers)."""
+        return f"O({self.expression.render()})"
+
+
+def extract_claim_text(docstring: str) -> Optional[str]:
+    """The text inside the first ``Complexity: O(...)``, or ``None``.
+
+    Raises :class:`ClaimParseError` when the marker is present but the
+    parentheses never close — that is a malformed claim, not a missing
+    one.
+    """
+    match = CLAIM_MARKER_RE.search(docstring)
+    if match is None:
+        return None
+    depth = 1
+    start = match.end()
+    for pos in range(start, len(docstring)):
+        char = docstring[pos]
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+            if depth == 0:
+                return docstring[start:pos]
+    raise ClaimParseError("Complexity: O( ... never closes its parenthesis")
+
+
+def parse_claim(text: str) -> ComplexityClaim:
+    """Parse the inside of ``O(...)`` into a :class:`ComplexityClaim`."""
+    stripped = text.strip()
+    if not stripped:
+        raise ClaimParseError("empty complexity claim")
+    expression = _Parser(stripped).parse()
+    return ComplexityClaim(
+        raw=stripped,
+        expression=expression,
+        variables=_collect_variables(expression),
+    )
+
+
+def claim_from_docstring(docstring: Optional[str]) -> Optional[ComplexityClaim]:
+    """Extract and parse a docstring's claim; ``None`` when absent.
+
+    Raises :class:`ClaimParseError` when a claim line is present but
+    malformed — the caller (RPR008, the harness) decides how to report.
+    """
+    if not docstring:
+        return None
+    text = extract_claim_text(docstring)
+    if text is None:
+        return None
+    return parse_claim(text)
+
+
+def iter_claim_lines(docstring: str) -> Iterator[Tuple[int, str]]:
+    """Yield ``(0-based line offset, line)`` for each claim line."""
+    for offset, line in enumerate(docstring.splitlines()):
+        if CLAIM_MARKER_RE.search(line):
+            yield offset, line

@@ -105,14 +105,32 @@ def lint_source(
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
+        # Columns are 0-based everywhere else (ast col_offset), so the
+        # 1-based SyntaxError offset is shifted down — both reporters
+        # then print the same location for the same parse failure.
         return (
             [
                 Finding(
                     path=path,
                     line=exc.lineno or 1,
-                    col=(exc.offset or 0) + 1,
+                    col=max((exc.offset or 1) - 1, 0),
                     rule_id="RPR000",
                     message=f"syntax error: {exc.msg}",
+                )
+            ],
+            0,
+        )
+    except ValueError as exc:
+        # ast.parse raises bare ValueError (no location) for sources
+        # the tokenizer rejects outright, e.g. embedded null bytes.
+        return (
+            [
+                Finding(
+                    path=path,
+                    line=1,
+                    col=0,
+                    rule_id="RPR000",
+                    message=f"unparsable source: {exc}",
                 )
             ],
             0,

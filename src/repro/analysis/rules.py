@@ -31,6 +31,20 @@ RPR006    mutable default arguments — shared state across calls
 RPR007    a ``# repro: noqa`` suppression without an adjacent
           justification comment — sanctioned exceptions must say why
           they are sanctioned.
+RPR008    a public function in a designated kernel module without a
+          parseable ``Complexity: O(...)`` claim (or a malformed claim
+          anywhere in package source) — the paper's bound must be
+          machine-checkable, not prose.
+RPR009    an empirically measured scaling exponent exceeding the
+          docstring claim (produced by the
+          :mod:`repro.analysis.complexity` harness, not by AST
+          inspection).
+RPR010    a float64 temporary allocated inside a loop in a kernel
+          module — ``np.zeros``/``np.empty``/``.astype`` without a
+          dtype threaded from an argument.
+RPR011    an allocation call inside the per-iteration body of the
+          lsqr / block_lsqr / sharded hot loops, which must reuse
+          scratch buffers (docs/PARALLEL.md).
 ========  ==============================================================
 """
 
@@ -42,11 +56,21 @@ import re
 import tokenize
 from dataclasses import dataclass
 from pathlib import PurePosixPath
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.complexity.grammar import (
+    CLAIM_MARKER_RE,
+    ClaimParseError,
+    VOCABULARY,
+    claim_from_docstring,
+)
 
 __all__ = [
+    "CLAIMED_MODULE_SUFFIXES",
     "DEFAULT_RULES",
     "Finding",
+    "HOT_LOOP_MODULE_SUFFIXES",
+    "KERNEL_LOOP_MODULE_SUFFIXES",
     "KERNEL_MODULE_SUFFIXES",
     "NOQA_RE",
     "Rule",
@@ -69,6 +93,34 @@ KERNEL_MODULE_SUFFIXES: Tuple[str, ...] = (
     "linalg/operators.py",
     "linalg/lsqr.py",
     "linalg/block_lsqr.py",
+)
+
+#: Modules whose loops are numeric hot paths: a float64 temporary
+#: allocated per iteration doubles the memory traffic the linear-time
+#: claim budgets for (RPR010's scope).
+KERNEL_LOOP_MODULE_SUFFIXES: Tuple[str, ...] = KERNEL_MODULE_SUFFIXES + (
+    "linalg/sketch.py",
+    "linalg/gram_schmidt.py",
+    "parallel/sharded.py",
+    "core/responses.py",
+)
+
+#: The solver hot loops with an explicit scratch-buffer contract
+#: (docs/PARALLEL.md): any allocation per iteration is a regression
+#: (RPR011's scope).
+HOT_LOOP_MODULE_SUFFIXES: Tuple[str, ...] = (
+    "linalg/lsqr.py",
+    "linalg/block_lsqr.py",
+    "parallel/sharded.py",
+)
+
+#: Modules whose public functions must carry a machine-checkable
+#: ``Complexity: O(...)`` claim (RPR008's requirement scope): the whole
+#: linalg package plus the sharded operator layer and the response
+#: construction the paper prices in Table I.
+CLAIMED_MODULE_SUFFIXES: Tuple[str, ...] = (
+    "parallel/sharded.py",
+    "core/responses.py",
 )
 
 #: Names the numpy module is commonly bound to.
@@ -581,6 +633,289 @@ class UnjustifiedNoqaRule(Rule):
         return above.startswith("#") and NOQA_RE.search(above) is None
 
 
+class ComplexityClaimRule(Rule):
+    """RPR008 — kernel entry points must carry parseable complexity claims."""
+
+    rule_id = "RPR008"
+    name = "missing-complexity-claim"
+    summary = (
+        "public kernel function without a parseable `Complexity: O(...)` "
+        "docstring claim (or a malformed claim anywhere)"
+    )
+    rationale = (
+        "The paper's contribution IS a complexity bound (O(ms) per LSQR "
+        "iteration), and prose O(...) statements rot silently as hot "
+        "paths are rewritten.  Every public function in the designated "
+        "kernel modules (repro.linalg.*, repro.parallel.sharded, "
+        "repro.core.responses) must state its cost in the machine-"
+        "checkable grammar — vocabulary {"
+        + ", ".join(sorted(VOCABULARY))
+        + "} — so the empirical harness (RPR009) can hold the code to "
+        "it.  Claims on methods or in other modules are optional but, "
+        "when present, must parse too."
+    )
+
+    def applies_to(self, path: str) -> bool:
+        parts = _path_parts(path)
+        return _in_package_source(parts) and not path.endswith("__init__.py")
+
+    @staticmethod
+    def _designated(path: str) -> bool:
+        parts = _path_parts(path)
+        posix = "/".join(parts)
+        return (
+            "linalg" in parts and not posix.endswith("__init__.py")
+        ) or posix.endswith(CLAIMED_MODULE_SUFFIXES)
+
+    def check(self, tree: ast.AST, path: str) -> Iterator[Finding]:
+        require = self._designated(path)
+        module = tree if isinstance(tree, ast.Module) else None
+        if module is None:  # pragma: no cover - linter always passes Modules
+            return
+        # Claims anywhere in the file must parse (module, class, and
+        # method docstrings included).
+        for node in ast.walk(module):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            yield from self._check_docstring_parses(
+                path, node, ast.get_docstring(node, clean=False)
+            )
+        module_doc = ast.get_docstring(module, clean=False)
+        if module_doc and module.body:
+            yield from self._check_docstring_parses(
+                path, module.body[0], module_doc
+            )
+        if not require:
+            return
+        for node in module.body:
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name.startswith("_"):
+                continue
+            docstring = ast.get_docstring(node, clean=False)
+            if docstring and CLAIM_MARKER_RE.search(docstring):
+                continue  # parse failures already reported above
+            yield self.finding(
+                path,
+                node,
+                f"public kernel function {node.name}() has no "
+                "`Complexity: O(...)` claim; state its cost in the "
+                "claim grammar (see docs/STATIC_ANALYSIS.md)",
+            )
+
+    def _check_docstring_parses(
+        self, path: str, node: ast.AST, docstring: Optional[str]
+    ) -> Iterator[Finding]:
+        if not docstring or not CLAIM_MARKER_RE.search(docstring):
+            return
+        try:
+            claim_from_docstring(docstring)
+        except ClaimParseError as exc:
+            label = getattr(node, "name", "module")
+            yield self.finding(
+                path,
+                node,
+                f"complexity claim on {label} does not follow the "
+                f"grammar: {exc}",
+            )
+
+
+class EmpiricalComplexityRule(Rule):
+    """RPR009 — measured scaling exceeding the claim (harness-produced).
+
+    This rule never fires from the AST: findings with this ID are
+    produced by the empirical harness (``python -m repro.analysis
+    --complexity``), which runs each registered kernel at geometrically
+    spaced sizes, fits the log–log slope, and compares it with the
+    docstring claim's exponent.  It lives in the catalog so the ID,
+    summary, and rationale are documented and ``--explain RPR009``
+    works.
+    """
+
+    rule_id = "RPR009"
+    name = "complexity-contract-violation"
+    summary = (
+        "measured scaling exponent exceeds the docstring's "
+        "`Complexity: O(...)` claim (empirical harness finding)"
+    )
+    rationale = (
+        "A claim that parses can still be wrong — a hidden "
+        "densification or Gram product turns O(nnz) into O(m·n) with "
+        "no AST-visible signature (the IDR/QR comparison in PAPERS.md "
+        "is exactly such a degradation).  The harness measures each "
+        "registered kernel at 4–6 geometrically spaced sizes, fits "
+        "log(cost) against log(size), and fails when the fitted "
+        "exponent exceeds the claimed one beyond tolerance or creeps "
+        "past the checked-in complexity_baseline.json ratchet."
+    )
+
+    def applies_to(self, path: str) -> bool:
+        return False  # findings come from the harness, never the AST
+
+
+def _is_float64_constant(node: ast.AST) -> bool:
+    """True for the spellings that pin a value to float64 (or default
+    to it): ``float``, ``"float"``, ``"float64"``, ``np.float64``."""
+    if isinstance(node, ast.Name) and node.id == "float":
+        return True
+    if isinstance(node, ast.Constant) and node.value in ("float", "float64"):
+        return True
+    dotted = _dotted_name(node)
+    if dotted is not None:
+        head, _, tail = dotted.rpartition(".")
+        return tail == "float64" and head in _NUMPY_ALIASES
+    return False
+
+
+def _iter_loop_calls(tree: ast.AST) -> Iterator[ast.Call]:
+    """Every Call inside a ``for``/``while`` body, deduplicated."""
+    seen: Set[Tuple[int, int]] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.For, ast.AsyncFor, ast.While)):
+            continue
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Call):
+                key = (sub.lineno, sub.col_offset)
+                if key not in seen:
+                    seen.add(key)
+                    yield sub
+
+
+#: numpy allocation constructors that take an explicit dtype.
+_ALLOC_FUNCS = frozenset({"zeros", "empty", "ones", "full"})
+#: ``*_like`` variants inherit the prototype's dtype when none is given,
+#: which IS threading — they are only flagged with an explicit float64.
+_ALLOC_LIKE_FUNCS = frozenset(
+    {"zeros_like", "empty_like", "ones_like", "full_like"}
+)
+#: Calls that materialize a fresh array (RPR011's hot-loop scope).
+_HOT_ALLOC_FUNCS = _ALLOC_FUNCS | _ALLOC_LIKE_FUNCS | frozenset(
+    {"concatenate", "hstack", "vstack", "stack", "tile"}
+)
+
+
+def _numpy_call_name(node: ast.Call) -> Optional[str]:
+    """``zeros`` for ``np.zeros(...)``/``numpy.zeros(...)``, else None."""
+    dotted = _dotted_name(node.func)
+    if dotted is None:
+        return None
+    head, _, tail = dotted.rpartition(".")
+    if head in _NUMPY_ALIASES:
+        return tail
+    return None
+
+
+class Float64LoopTemporaryRule(Rule):
+    """RPR010 — float64 temporaries allocated inside kernel loops."""
+
+    rule_id = "RPR010"
+    name = "float64-loop-temporary"
+    summary = (
+        "loop body in a kernel module allocates a float64 temporary "
+        "(np.zeros/np.empty/.astype without a dtype threaded from an "
+        "argument)"
+    )
+    rationale = (
+        "An allocation inside a loop repeats every iteration, and "
+        "without a threaded dtype it lands on float64 — double the "
+        "bytes the float32 path budgeted, once per iteration.  Thread "
+        "the operand's dtype (dtype=v.dtype, dtype=value_dtype) or "
+        "hoist the buffer out of the loop.  Deliberate float64 "
+        "accumulation inside a loop is still possible behind an "
+        "annotated `# repro: noqa-RPR010`."
+    )
+
+    def applies_to(self, path: str) -> bool:
+        posix = "/".join(_path_parts(path))
+        return posix.endswith(KERNEL_LOOP_MODULE_SUFFIXES)
+
+    def check(self, tree: ast.AST, path: str) -> Iterator[Finding]:
+        for call in _iter_loop_calls(tree):
+            name = _numpy_call_name(call)
+            dtype_kw = next(
+                (kw.value for kw in call.keywords if kw.arg == "dtype"), None
+            )
+            if name in _ALLOC_FUNCS:
+                if dtype_kw is None:
+                    yield self.finding(
+                        path,
+                        call,
+                        f"np.{name}(...) inside a loop with no dtype "
+                        "defaults to a float64 temporary; thread the "
+                        "value dtype or hoist the buffer",
+                    )
+                elif _is_float64_constant(dtype_kw):
+                    yield self.finding(
+                        path,
+                        call,
+                        f"np.{name}(..., dtype=float64) inside a loop "
+                        "allocates a double-width temporary every "
+                        "iteration; thread the value dtype instead",
+                    )
+            elif name in _ALLOC_LIKE_FUNCS:
+                if dtype_kw is not None and _is_float64_constant(dtype_kw):
+                    yield self.finding(
+                        path,
+                        call,
+                        f"np.{name}(..., dtype=float64) inside a loop "
+                        "overrides the prototype's dtype with a "
+                        "double-width temporary",
+                    )
+            elif (
+                isinstance(call.func, ast.Attribute)
+                and call.func.attr == "astype"
+            ):
+                target = dtype_kw
+                if target is None and call.args:
+                    target = call.args[0]
+                if target is not None and _is_float64_constant(target):
+                    yield self.finding(
+                        path,
+                        call,
+                        ".astype(float64) inside a loop copies to a "
+                        "double-width temporary every iteration; "
+                        "thread the dtype from an argument",
+                    )
+
+
+class HotLoopAllocationRule(Rule):
+    """RPR011 — allocations inside the solver hot loops."""
+
+    rule_id = "RPR011"
+    name = "hot-loop-allocation"
+    summary = (
+        "allocation call inside a per-iteration body of the "
+        "lsqr/block_lsqr/sharded hot loops"
+    )
+    rationale = (
+        "The solver iteration bodies are the O(ms)-per-iteration bound "
+        "itself: docs/PARALLEL.md commits them to reused scratch "
+        "buffers (the PR 7 adjoint fan-in rework exists for exactly "
+        "this).  A fresh np.zeros/np.empty/np.concatenate per "
+        "iteration adds allocator traffic and page faults that grow "
+        "with the operand, silently degrading the measured constant — "
+        "allocate once outside the loop and write into the buffer."
+    )
+
+    def applies_to(self, path: str) -> bool:
+        posix = "/".join(_path_parts(path))
+        return posix.endswith(HOT_LOOP_MODULE_SUFFIXES)
+
+    def check(self, tree: ast.AST, path: str) -> Iterator[Finding]:
+        for call in _iter_loop_calls(tree):
+            name = _numpy_call_name(call)
+            if name in _HOT_ALLOC_FUNCS:
+                yield self.finding(
+                    path,
+                    call,
+                    f"np.{name}(...) inside a solver hot loop; reuse a "
+                    "scratch buffer allocated outside the iteration "
+                    "(docs/PARALLEL.md scratch-buffer contract)",
+                )
+
+
 #: The shipped rule set, in ID order.
 DEFAULT_RULES: Tuple[Rule, ...] = (
     DtypeLiteralDriftRule(),
@@ -590,6 +925,10 @@ DEFAULT_RULES: Tuple[Rule, ...] = (
     MissingAdjointRule(),
     MutableDefaultRule(),
     UnjustifiedNoqaRule(),
+    ComplexityClaimRule(),
+    EmpiricalComplexityRule(),
+    Float64LoopTemporaryRule(),
+    HotLoopAllocationRule(),
 )
 
 

@@ -9,12 +9,19 @@ against the model's ``k·(2·m·s + 3m + 5n)`` prediction.
 benchmark that demonstrates the linear-time claim reports slopes ≈ 1 for
 SRDA-LSQR against both ``m`` and ``n``, and ≥ 2 for LDA against
 ``t = min(m, n)``.
+
+:func:`measure_seconds` and :func:`measure_scaling` are the scaling-probe
+primitives behind :mod:`repro.analysis.complexity.harness`: best-of-
+repeats autoranged wall time at one size, and the same swept over a
+geometric size ladder with the fitted log–log slope attached.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Optional, Sequence
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Callable, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -105,22 +112,89 @@ def loglog_slope(sizes: Sequence[float], times: Sequence[float]) -> float:
     A slope of p means time ~ size^p over the measured range.  Requires
     strictly positive inputs and at least two points.
     """
-    sizes = np.asarray(sizes, dtype=np.float64)
-    times = np.asarray(times, dtype=np.float64)
-    if sizes.shape != times.shape or sizes.size < 2:
+    size_arr = np.asarray(sizes, dtype=np.float64)
+    time_arr = np.asarray(times, dtype=np.float64)
+    if size_arr.shape != time_arr.shape or size_arr.size < 2:
         raise ValueError("need at least two matching (size, time) pairs")
-    if np.any(sizes <= 0) or np.any(times <= 0):
+    if np.any(size_arr <= 0) or np.any(time_arr <= 0):
         raise ValueError("sizes and times must be strictly positive")
-    log_s = np.log(sizes)
-    log_t = np.log(times)
+    log_s = np.log(size_arr)
+    log_t = np.log(time_arr)
     slope, _ = np.polyfit(log_s, log_t, 1)
     return float(slope)
 
 
 def predicted_lsqr_flam(
-    m: int, n: int, iterations: int, nnz: int = None
+    m: int, n: int, iterations: int, nnz: Optional[int] = None
 ) -> float:
     """Model prediction for one LSQR solve, for counter cross-checks."""
     if nnz is None:
         nnz = m * n
     return iterations * (2.0 * nnz + 3.0 * m + 5.0 * n)
+
+
+def measure_seconds(
+    fn: Callable[[], object],
+    repeats: int = 3,
+    min_time: float = 0.02,
+    max_number: int = 4096,
+) -> float:
+    """Best-of-``repeats`` wall seconds for one call of ``fn``.
+
+    Timeit-style autoranging: the inner call count doubles until one
+    batch takes at least ``min_time``, so per-call overhead (~µs) does
+    not swamp fast kernels; taking the *minimum* over repeats rejects
+    scheduler noise, which only ever adds time.  The floor of 1 ns
+    keeps downstream log–log fits defined even for degenerate clocks.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    best = float("inf")
+    number = 1
+    for _ in range(repeats):
+        while True:
+            start = perf_counter()
+            for _ in range(number):
+                fn()
+            elapsed = perf_counter() - start
+            if elapsed >= min_time or number >= max_number:
+                break
+            number *= 2
+        best = min(best, elapsed / number)
+    return max(best, 1e-9)
+
+
+@dataclass(frozen=True)
+class ScalingMeasurement:
+    """Per-size costs of one kernel plus the fitted scaling exponent."""
+
+    sizes: Tuple[int, ...]
+    costs: Tuple[float, ...]
+
+    @property
+    def slope(self) -> float:
+        """Fitted log–log slope: cost ~ size^slope over the sweep."""
+        return loglog_slope(self.sizes, self.costs)
+
+
+def measure_scaling(
+    make: Callable[[int], Callable[[], object]],
+    sizes: Sequence[int],
+    repeats: int = 3,
+    min_time: float = 0.02,
+) -> ScalingMeasurement:
+    """Time ``make(size)()`` at each size of a geometric ladder.
+
+    ``make`` does the (untimed) problem setup and returns the thunk to
+    measure, so construction cost — often a different complexity class
+    than the kernel, e.g. the O(nnz log nnz) transpose build versus the
+    O(nnz) product — never pollutes the fitted slope.
+    """
+    resolved = [int(s) for s in sizes]
+    if len(resolved) < 2:
+        raise ValueError("need at least two sizes to fit a slope")
+    costs = tuple(
+        measure_seconds(make(size), repeats=repeats, min_time=min_time)
+        for size in resolved
+    )
+    return ScalingMeasurement(sizes=tuple(resolved), costs=costs)

@@ -40,6 +40,8 @@ from repro.linalg.gram_schmidt import orthonormalize
 def indicator_matrix(y_indices: FloatArray, n_classes: int) -> FloatArray:
     """The ``c`` eigenvectors of ``W`` with eigenvalue 1 (Eqn 15).
 
+    Complexity: O(m·c) — the matrix itself, one scatter per sample.
+
     Column ``k`` is the 0/1 indicator of class ``k``.  (The paper orders
     samples by class so these look like padded blocks of ones; with
     arbitrary sample order they are the same vectors, permuted.)
@@ -61,6 +63,9 @@ def generate_responses(
     rng: Optional[np.random.Generator] = None,
 ) -> FloatArray:
     """Produce the ``(m, c-1)`` response matrix ``Ȳ = [ȳ¹ … ȳ^{c-1}]``.
+
+    Complexity: O(m·c^2) — Table I's quoted cost for the spectral step
+    (Gram–Schmidt over ``c + 1`` length-``m`` columns).
 
     Parameters
     ----------
@@ -113,6 +118,9 @@ def response_table(
 ) -> FloatArray:
     """Collapse responses to one row per class.
 
+    Complexity: O(m·c) — one masked scan of the response matrix per
+    class (the ``(m, c-1)`` matrix is read ``c`` times at worst).
+
     Because each response column is piecewise constant on classes, the
     whole ``(m, c-1)`` matrix is determined by a ``(c, c-1)`` table of
     per-class values.  This is what lets ``transform`` on unseen data be
@@ -135,6 +143,8 @@ def validate_responses(
     responses: FloatArray, y_indices: FloatArray, atol: float = 1e-8
 ) -> Tuple[float, float]:
     """Check the Eqn-16 invariants; returns (max ones-dot, max cross-dot).
+
+    Complexity: O(m·c^2) — the ``ȲᵀȲ`` Gram matrix dominates.
 
     Intended for tests and debugging: both values should be ~0 and the
     diagonal of ``ȲᵀȲ`` should be ~1.

@@ -343,7 +343,13 @@ class SRDA(LinearEmbedder):
 
     # ------------------------------------------------------------------
     def fit(self, X, y) -> "SRDA":
-        """Learn the ``c - 1`` projective functions from labeled data."""
+        """Learn the ``c - 1`` projective functions from labeled data.
+
+        Complexity: O(iters·c·(nnz + m + n) + m·c^2) — the paper's
+        linear-time claim: response generation (``m·c²``) plus
+        ``c - 1`` regressions at ``2·nnz + 3m + 5n`` flam per LSQR
+        iteration.  Dense inputs have ``nnz = m·n``.
+        """
         tracer = resolve_tracer(self.trace)
         self.tracer_ = tracer if tracer.enabled else None
         self._fit_tracer = tracer

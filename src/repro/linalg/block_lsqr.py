@@ -542,6 +542,10 @@ def block_lsqr(
 ) -> BlockLSQRResult:
     """Solve ``min_X ‖A X - B‖² + damp²‖X‖²`` for all columns at once.
 
+    Complexity: O(iters·c·(nnz + m + n)) for ``c`` right-hand-side
+    columns — the same per-column arithmetic as sequential LSQR, with
+    the operator products amortized across the block via ``matmat``.
+
     Parameters match :func:`repro.linalg.lsqr.lsqr` with ``b`` widened
     to a block ``B`` of shape ``(m, k)`` (a 1-D ``b`` is treated as one
     column) and ``x0`` widened to ``X0`` of shape ``(n, k)``.  Each

@@ -31,6 +31,9 @@ class NotPositiveDefiniteError(ReproError, ValueError):
 def cholesky(A: ArrayLike, block_size: int = 64) -> Float64Array:
     """Compute the lower-triangular Cholesky factor ``L`` with ``A = L Lᵀ``.
 
+    Complexity: O(n^3) — the dense-baseline cost SRDA's iterative
+    regression avoids (``n³/3`` flam, blocked or not).
+
     Parameters
     ----------
     A:
@@ -87,6 +90,9 @@ def solve_triangular(
 ) -> Float64Array:
     """Solve ``L x = b`` for triangular ``L`` by substitution.
 
+    Complexity: O(n^2) per right-hand side (O(n^2·c) for a ``c``-column
+    block).
+
     Accepts a vector or matrix right-hand side.  Row-block substitution
     (64 rows at a time) keeps the inner work in matrix products.
     """
@@ -126,7 +132,10 @@ def solve_triangular(
 
 
 def solve_cholesky(A: ArrayLike, b: ArrayLike) -> Float64Array:
-    """Solve ``A x = b`` for SPD ``A`` via Cholesky (factor once per call)."""
+    """Solve ``A x = b`` for SPD ``A`` via Cholesky (factor once per call).
+
+    Complexity: O(n^3) — dominated by the factorization.
+    """
     L = cholesky(A)
     y = solve_triangular(L, b, lower=True)
     return solve_triangular(L.T, y, lower=False)
@@ -134,6 +143,8 @@ def solve_cholesky(A: ArrayLike, b: ArrayLike) -> Float64Array:
 
 def solve_factored(L: ArrayLike, b: ArrayLike) -> Float64Array:
     """Solve with a precomputed lower factor ``L`` (``A = L Lᵀ``).
+
+    Complexity: O(n^2) per right-hand side — two triangular solves.
 
     This is the "factor once, solve ``c-1`` right-hand sides" pattern the
     complexity analysis counts: the factorization dominates, each extra

@@ -11,6 +11,8 @@ from repro._typing import FloatArray
 def symmetric_eigh(A: FloatArray) -> Tuple[FloatArray, FloatArray]:
     """Eigendecomposition of a symmetric matrix, sorted descending.
 
+    Complexity: O(n^3) — dense symmetric eigensolve.
+
     Thin wrapper over ``numpy.linalg.eigh`` that symmetrizes the input
     (guarding against rounding asymmetry in computed Gram matrices) and
     returns eigenvalues in decreasing order — the convention every
@@ -26,7 +28,10 @@ def symmetric_eigh(A: FloatArray) -> Tuple[FloatArray, FloatArray]:
 
 
 def solve_lstsq(A: FloatArray, b: FloatArray) -> FloatArray:
-    """Minimum-norm least-squares solution of ``A x ≈ b``."""
+    """Minimum-norm least-squares solution of ``A x ≈ b``.
+
+    Complexity: O(m·n^2) — dense SVD-backed ``lstsq``.
+    """
     A = np.asarray(A, dtype=np.float64)
     b = np.asarray(b, dtype=np.float64)
     x, _, _, _ = np.linalg.lstsq(A, b, rcond=None)
@@ -35,6 +40,8 @@ def solve_lstsq(A: FloatArray, b: FloatArray) -> FloatArray:
 
 def ridge_solution(A: FloatArray, b: FloatArray, alpha: float) -> FloatArray:
     """Reference ridge solution ``(AᵀA + αI)⁻¹ Aᵀ b`` for tests.
+
+    Complexity: O(m·n^2 + n^3) — Gram build plus one factorization.
 
     The normal-equations matrix is factored once by the repo's blocked
     Cholesky and the factor is reused for every right-hand-side column
@@ -67,6 +74,8 @@ def generalized_eigh(
 ) -> Tuple[FloatArray, FloatArray]:
     """Solve ``B v = λ A v`` for symmetric ``B`` and SPD (after shift) ``A``.
 
+    Complexity: O(n^3) — Cholesky reduction plus a symmetric eigensolve.
+
     Reduces to a standard symmetric problem through the Cholesky factor
     of ``A + regularization·I``.  Eigenvalues come back descending.
     """
@@ -85,7 +94,10 @@ def generalized_eigh(
 
 
 def is_orthonormal(Q: FloatArray, tol: float = 1e-8) -> bool:
-    """True if the columns of ``Q`` are orthonormal within ``tol``."""
+    """True if the columns of ``Q`` are orthonormal within ``tol``.
+
+    Complexity: O(m·k^2) for a ``(m, k)`` input — the Gram matrix.
+    """
     Q = np.asarray(Q, dtype=np.float64)
     if Q.shape[1] == 0:
         return True

@@ -30,6 +30,9 @@ def jacobi_eigh(
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Eigendecomposition of a symmetric matrix by cyclic Jacobi.
 
+    Complexity: O(iters·n^3) — each cyclic sweep applies ``n(n−1)/2``
+    rotations of O(n) work; ``iters`` sweeps in total.
+
     Returns ``(eigenvalues, eigenvectors)`` sorted descending, like
     :func:`repro.linalg.dense.symmetric_eigh`.
 
@@ -96,6 +99,9 @@ def lanczos_eigsh(
     seed: int = 0,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Leading ``k`` eigenpairs of a symmetric operator by Lanczos.
+
+    Complexity: O(iters·(nnz + m·iters)) — one ``matvec`` per Krylov
+    step plus full reorthogonalization against the basis built so far.
 
     Full reorthogonalization keeps the Krylov basis orthonormal (the
     classic three-term recurrence loses orthogonality as Ritz pairs

@@ -26,6 +26,9 @@ def orthogonalize_against(
 ) -> Float64Array:
     """Remove from ``v`` its components along orthonormal ``basis`` columns.
 
+    Complexity: O(m·k) — one (or two, reorthogonalized) sweeps over the
+    ``k`` basis columns of length ``m``.
+
     Parameters
     ----------
     v:
@@ -55,6 +58,9 @@ def orthonormalize(
     reorthogonalize: bool = True,
 ) -> Tuple[Float64Array, IntArray]:
     """Orthonormalize the columns of ``vectors`` by modified Gram–Schmidt.
+
+    Complexity: O(m·k^2) — the paper's quoted cost for the response
+    step with ``k = c`` indicator columns (Table I's cheap half).
 
     Returns ``(Q, kept)`` where ``Q`` is ``(m, r)`` with orthonormal
     columns spanning the input, and ``kept`` holds the indices of the
@@ -87,7 +93,10 @@ def orthonormalize(
 
 
 def orthonormality_error(Q: ArrayLike) -> float:
-    """Max-abs deviation of ``QᵀQ`` from the identity (a test helper)."""
+    """Max-abs deviation of ``QᵀQ`` from the identity (a test helper).
+
+    Complexity: O(m·k^2) — builds the full ``k × k`` Gram matrix.
+    """
     dense = np.asarray(Q, dtype=np.float64)
     if dense.shape[1] == 0:
         return 0.0
@@ -96,7 +105,10 @@ def orthonormality_error(Q: ArrayLike) -> float:
 
 
 def project_onto_span(v: ArrayLike, basis: ArrayLike) -> Float64Array:
-    """Orthogonal projection of ``v`` onto the span of orthonormal columns."""
+    """Orthogonal projection of ``v`` onto the span of orthonormal columns.
+
+    Complexity: O(m·k) — two thin matrix–vector products.
+    """
     Q = np.asarray(basis, dtype=np.float64)
     dense_v = np.asarray(v, dtype=np.float64)
     result: Float64Array = Q @ (Q.T @ dense_v)
@@ -107,6 +119,9 @@ def gram_schmidt_qr(
     A: ArrayLike, tol: float = 1e-10
 ) -> Tuple[Float64Array, Float64Array, IntArray]:
     """Thin QR factorization ``A = Q R`` via modified Gram–Schmidt.
+
+    Complexity: O(m·k^2) for a ``(m, k)`` input — twice that of a
+    single-pass MGS because of the stability re-projection.
 
     Used by the IDR/QR baseline, which is defined by a QR factorization
     of the class-centroid matrix.  Returns ``(Q, R, kept)``; when ``A``

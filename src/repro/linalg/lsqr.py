@@ -143,6 +143,10 @@ def lsqr(
 ) -> LSQRResult:
     """Solve ``min_x ‖A x - b‖² + damp² ‖x‖²`` by the LSQR iteration.
 
+    Complexity: O(iters·(nnz + m + n)) — the paper's headline: each
+    Golub–Kahan step costs one ``matvec`` plus one ``rmatvec``
+    (``2·nnz`` flam) and a handful of length-``m``/``n`` vector ops.
+
     Parameters
     ----------
     A:
@@ -525,6 +529,8 @@ def lsqr(
 
 def lsqr_flam_per_iteration(m: int, n: int, nnz: Optional[int] = None) -> int:
     """Paper's per-iteration cost: ``2·nnz + 3m + 5n`` flam.
+
+    Complexity: O(1) — closed-form arithmetic on three integers.
 
     With dense data ``nnz = m·n`` this is the ``2mn + 3m + 5n`` of
     Section III-C.2; with sparse data it is ``2ms + 3m + 5n``.

@@ -522,6 +522,8 @@ class IdentityOperator(LinearOperator):
 def as_operator(X: MatrixLike) -> LinearOperator:
     """Wrap a dense array, CSRMatrix, scipy sparse matrix, or operator.
 
+    Complexity: O(1) — wrapping only; no data is copied or scanned.
+
     Dense input keeps its value dtype (float32 stays float32); see
     :func:`repro.linalg.sparse.as_value_dtype`.
     """

@@ -393,7 +393,10 @@ def sketch_operator(
     seed: int = 0,
     dtype: DTypeLike = np.float64,
 ) -> SketchOperator:
-    """Build a sketch operator by family name (see :data:`SKETCH_KINDS`)."""
+    """Build a sketch operator by family name (see :data:`SKETCH_KINDS`).
+
+    Complexity: O(m + s) — drawing the hash/sign (or sampling) arrays.
+    """
     if kind == "countsketch":
         return CountSketchOperator(m, sketch_size, seed=seed, dtype=dtype)
     if kind == "sparse_sign":
@@ -407,6 +410,8 @@ def sketch_operator(
 
 def default_sketch_size(m: int, n: int) -> int:
     """Default sketch rows: ``min(m, max(4n, n + 64))``.
+
+    Complexity: O(1) — integer arithmetic.
 
     Four rows of ``S`` per column of ``X`` keeps the CountSketch
     distortion comfortably below 1 for preconditioning (the convergence
@@ -423,6 +428,11 @@ def sketch_apply(
     chunk: int = _SKETCH_CHUNK,
 ) -> Float64Array:
     """Compute the dense sketch ``S @ A`` of an ``(m, n)`` operator.
+
+    Complexity: O(nnz) on the CSR fast paths (CountSketch/sparse-sign
+    scatter once per stored entry; here ``s`` counts sketch rows, so
+    the output adds an ``O(s·n)`` write).  Dense payloads cost a
+    ``matmat``; generic operators fall back to chunked block products.
 
     Structural wrappers are peeled so the paper's memory tricks stay
     intact: ``S·[X|1] = [S·X | S·1]`` and ``S·(X − 1μᵀ) = S·X − (S·1)μᵀ``
@@ -482,7 +492,10 @@ def _sketch_via_rmatmat(
     out = np.empty((s, n), dtype=np.float64)
     for start in range(0, s, chunk):
         stop = min(start + chunk, s)
-        basis = np.zeros((s, stop - start), dtype=np.float64)
+        # fresh float64 identity block per chunk: the preconditioner path is
+        # deliberately float64 end-to-end, and the block's width varies on
+        # the ragged last chunk so a scratch buffer would need re-slicing
+        basis = np.zeros((s, stop - start), dtype=np.float64)  # repro: noqa-RPR010
         basis[np.arange(start, stop), np.arange(stop - start)] = 1.0
         st_block = np.asarray(S.rmatmat(basis), dtype=np.float64)
         out[start:stop] = np.asarray(
@@ -646,6 +659,8 @@ def preconditioner_from_gram(
 ) -> SketchPreconditioner:
     """Factor a precomputed sketch Gram ``(S X)ᵀ(S X)`` into ``R⁻¹``.
 
+    Complexity: O(n^3) — one blocked Cholesky of the shifted Gram.
+
     The alpha sweep uses this to share one sketch across a whole grid:
     the ``O(s·n²)`` Gram is built once, and each alpha pays only the
     ``O(n³/3)`` Cholesky of ``gram + α I``.
@@ -672,6 +687,9 @@ def build_preconditioner(
     chunk: int = _SKETCH_CHUNK,
 ) -> SketchPreconditioner:
     """Sketch ``A`` and factor the regularized Gram into ``R⁻¹``.
+
+    Complexity: O(nnz + s·n^2 + n^3) with ``s`` sketch rows — sketch
+    apply, Gram build, and Cholesky; all one-time coordinator work.
 
     Parameters
     ----------

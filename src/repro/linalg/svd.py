@@ -28,6 +28,9 @@ def cross_product_svd(
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Economy SVD ``X = U diag(s) Vᵀ`` via the smaller Gram matrix.
 
+    Complexity: O(m·n^2 + n^3) when ``n ≤ m`` (mirrored otherwise) —
+    Gram build, eigensolve on the small side, and back-multiplication.
+
     Parameters
     ----------
     X:
@@ -85,13 +88,20 @@ def _truncate(
 
 
 def svd_rank(X: np.ndarray, tol: float = 1e-10) -> int:
-    """Numerical rank of ``X`` by the same criterion as the SVD above."""
+    """Numerical rank of ``X`` by the same criterion as the SVD above.
+
+    Complexity: O(m·n^2 + n^3) — delegates to the cross-product SVD.
+    """
     _, s, _ = cross_product_svd(X, tol=tol)
     return int(s.shape[0])
 
 
 def low_rank_approximation(X: np.ndarray, rank: int) -> np.ndarray:
-    """Best rank-``k`` approximation of ``X`` (Eckart–Young), a test helper."""
+    """Best rank-``k`` approximation of ``X`` (Eckart–Young), a test helper.
+
+    Complexity: O(m·n^2 + n^3 + m·n·k) — full SVD plus the rank-``k``
+    reconstruction.
+    """
     U, s, V = cross_product_svd(X)
     k = min(rank, s.shape[0])
     return (U[:, :k] * s[:k]) @ V[:, :k].T

@@ -95,6 +95,8 @@ _MAX_DEFAULT_SHARDS = 8
 def default_shard_count(m: int) -> int:
     """Shard count used when the caller does not pick one.
 
+    Complexity: O(1) — integer arithmetic on ``m``.
+
     A pure function of ``m`` — *not* of the backend or worker count — so
     that the default layout (and therefore the exact floating-point
     result of every product) is identical on every backend.
@@ -105,7 +107,10 @@ def default_shard_count(m: int) -> int:
 
 
 def shard_bounds(m: int, n_shards: int) -> List[Tuple[int, int]]:
-    """Contiguous, nearly equal ``[start, stop)`` row ranges."""
+    """Contiguous, nearly equal ``[start, stop)`` row ranges.
+
+    Complexity: O(k) for ``k`` shards — the edge list itself.
+    """
     if n_shards < 1:
         raise ValueError(f"n_shards must be >= 1, got {n_shards}")
     n_shards = min(n_shards, max(1, m))
@@ -117,6 +122,9 @@ def nnz_shard_bounds(
     indptr: IntArray, n_shards: int
 ) -> List[Tuple[int, int]]:
     """Contiguous row ranges balanced by *stored-entry* count.
+
+    Complexity: O(k·log m) for ``k`` shards — one binary search into
+    ``indptr`` per cut.
 
     A CSR shard's kernel cost is proportional to its non-zeros, not its
     rows; on skewed data (a few heavy rows, a long sparse tail) the
@@ -159,6 +167,9 @@ def nnz_shard_bounds(
 def csr_row_slice(matrix: CSRMatrix, start: int, stop: int) -> CSRMatrix:
     """The contiguous row block ``matrix[start:stop]`` as a CSRMatrix.
 
+    Complexity: O(m) worst case — the localized ``indptr`` copy; the
+    ``data``/``indices`` views are O(1).
+
     ``data``/``indices`` are views into the parent's storage (zero
     copy); only the localized ``indptr`` is materialized.
     """
@@ -196,6 +207,9 @@ def shard_kernel_result(
     operand: FloatArray,
 ) -> FloatArray:
     """One shard's share of a product, as a returned array.
+
+    Complexity: O(nnz) per shard-local kernel call (``nnz`` = the
+    shard's stored entries; ``O(nnz·c)`` for ``c``-column blocks).
 
     The single arithmetic body behind every transport: in-process
     backends write the returned block into a coordinator-owned buffer
@@ -315,6 +329,10 @@ def _process_shard_task(task: Dict[str, Any]) -> float:
 
 class ShardedOperator(LinearOperator):
     """Row-partitioned view of a CSR/dense matrix (or operator stack).
+
+    Complexity: O(nnz) per ``matvec``/``rmatvec`` summed across shards
+    (``O(nnz·c)`` for ``c``-column blocks), plus O(m + k) coordinator
+    work per product for the gather and ordered fold.
 
     Parameters
     ----------

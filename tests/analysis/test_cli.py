@@ -105,3 +105,55 @@ def test_suppressions_are_counted(tmp_path, capsys):
     )
     assert main([str(root / "src")]) == 0
     assert "1 suppressed" in capsys.readouterr().out
+
+
+def test_complexity_unknown_probe_exits_two(capsys):
+    assert main(["--complexity", "--complexity-probes", "nope"]) == 2
+    assert "unknown probe" in capsys.readouterr().err
+
+
+def test_complexity_single_probe_writes_baseline_and_report(
+    tmp_path, capsys
+):
+    baseline = tmp_path / "complexity_baseline.json"
+    report = tmp_path / "report.json"
+    code = main(
+        [
+            "--complexity",
+            "--complexity-probes",
+            "csr_matvec",
+            "--complexity-baseline",
+            str(baseline),
+            "--update-complexity-baseline",
+            "--complexity-report",
+            str(report),
+            "--format",
+            "json",
+        ]
+    )
+    assert code == 0
+    document = json.loads(capsys.readouterr().out)
+    assert document["n_findings"] == 0
+    payload = json.loads(baseline.read_text())
+    assert set(payload["probes"]) == {"csr_matvec"}
+    entry = payload["probes"]["csr_matvec"]
+    assert entry["claim"] == "O(nnz)"
+    assert len(entry["sizes"]) == len(entry["costs"]) >= 4
+    assert json.loads(report.read_text())["violations"] == []
+
+
+def test_complexity_check_against_baseline(tmp_path, capsys):
+    baseline = tmp_path / "complexity_baseline.json"
+    args = [
+        "--complexity",
+        "--complexity-probes",
+        "csr_matvec",
+        "--complexity-baseline",
+        str(baseline),
+    ]
+    assert main(args + ["--update-complexity-baseline"]) == 0
+    capsys.readouterr()
+    # second run checks tolerance AND the just-written ratchet
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "0 finding(s)" in out

@@ -451,3 +451,354 @@ class TestDriver:
         assert [f.rule_id for f in only_006.findings] == ["RPR006"]
         without_006 = lint_paths([tmp_path / "src"], ignore=["RPR006"])
         assert "RPR006" not in [f.rule_id for f in without_006.findings]
+
+
+# ----------------------------------------------------------------------
+# RPR008 — complexity claims on kernel entry points
+# ----------------------------------------------------------------------
+class TestComplexityClaim:
+    def test_public_kernel_function_without_claim_fires(self):
+        bad = '''
+        def matvec(v):
+            """Multiply, quickly."""
+            return v
+        '''
+        found = findings_for(bad, KERNEL_PATH, "RPR008")
+        assert len(found) == 1
+        assert found[0].line == 2
+        assert "matvec()" in found[0].message
+
+    def test_missing_docstring_fires(self):
+        bad = """
+        def matvec(v):
+            return v
+        """
+        assert len(findings_for(bad, KERNEL_PATH, "RPR008")) == 1
+
+    def test_good_twin_parseable_claim(self):
+        good = '''
+        def matvec(v):
+            """Multiply.
+
+            Complexity: O(nnz) — one pass over stored entries.
+            """
+            return v
+        '''
+        assert findings_for(good, KERNEL_PATH, "RPR008") == []
+
+    def test_malformed_claim_fires_even_when_present(self):
+        bad = '''
+        def matvec(v):
+            """Multiply.
+
+            Complexity: O(rows·cols)
+            """
+            return v
+        '''
+        found = findings_for(bad, KERNEL_PATH, "RPR008")
+        assert len(found) == 1
+        assert "grammar" in found[0].message
+
+    def test_malformed_claim_on_method_fires_outside_kernel_scope(self):
+        # Claims are optional on methods and in non-designated modules,
+        # but a claim that IS written must parse anywhere.
+        bad = '''
+        class Model:
+            def fit(self, X):
+                """Complexity: O(banana)"""
+                return self
+        '''
+        found = findings_for(bad, PLAIN_PATH, "RPR008")
+        assert len(found) == 1
+
+    def test_private_and_non_kernel_functions_exempt(self):
+        good = '''
+        def _helper(v):
+            """No claim needed on private helpers."""
+            return v
+        '''
+        assert findings_for(good, KERNEL_PATH, "RPR008") == []
+        no_claim = '''
+        def run(v):
+            """Non-kernel modules need no claims."""
+            return v
+        '''
+        assert findings_for(no_claim, PLAIN_PATH, "RPR008") == []
+
+    def test_prose_mention_of_the_grammar_is_not_a_claim(self):
+        good = '''
+        def _describe():
+            """Every kernel carries a `Complexity: O(...)` line."""
+            return None
+        '''
+        assert findings_for(good, PLAIN_PATH, "RPR008") == []
+
+    def test_noqa_with_justification_suppresses_rpr008(self):
+        source = '''
+        def matvec(v):  # repro: noqa-RPR008 — cost depends on the plugin
+            """Dispatch to a plugin kernel."""
+            return v
+        '''
+        assert findings_for(source, KERNEL_PATH, "RPR008") == []
+        assert findings_for(source, KERNEL_PATH, "RPR007") == []
+        assert suppressed_count(source, KERNEL_PATH) == 1
+
+    def test_bare_noqa_on_rpr008_requires_justification(self):
+        source = '''
+        def matvec(v):  # repro: noqa-RPR008
+            """Dispatch."""
+            return v
+        '''
+        assert findings_for(source, KERNEL_PATH, "RPR008") == []
+        assert len(findings_for(source, KERNEL_PATH, "RPR007")) == 1
+
+
+# ----------------------------------------------------------------------
+# RPR009 — catalog-only: produced by the harness, never by the AST
+# ----------------------------------------------------------------------
+class TestEmpiricalComplexityCatalogEntry:
+    def test_registered_with_stable_id(self):
+        rule = rules_by_id()["RPR009"]
+        assert rule.name == "complexity-contract-violation"
+
+    def test_never_applies_to_any_path(self):
+        rule = rules_by_id()["RPR009"]
+        assert not rule.applies_to(KERNEL_PATH)
+        assert not rule.applies_to("anything/at/all.py")
+
+    def test_lint_never_yields_rpr009(self):
+        source = """
+        import numpy as np
+
+        def kernel(v):
+            return np.dot(v, v)
+        """
+        assert findings_for(source, KERNEL_PATH, "RPR009") == []
+
+
+# ----------------------------------------------------------------------
+# RPR010 — float64 temporaries inside kernel loops
+# ----------------------------------------------------------------------
+class TestFloat64LoopTemporary:
+    def test_dtypeless_zeros_in_loop_fires(self):
+        bad = """
+        import numpy as np
+
+        def kernel(blocks):
+            for block in blocks:
+                scratch = np.zeros(block.shape)
+                scratch += block
+        """
+        found = findings_for(bad, KERNEL_PATH, "RPR010")
+        assert len(found) == 1
+        assert found[0].line == 6
+
+    def test_explicit_float64_in_while_loop_fires(self):
+        bad = """
+        import numpy as np
+
+        def kernel(n):
+            while n > 0:
+                buf = np.empty(n, dtype=np.float64)
+                n -= 1
+        """
+        assert len(findings_for(bad, KERNEL_PATH, "RPR010")) == 1
+
+    def test_astype_float64_in_loop_fires(self):
+        bad = """
+        import numpy as np
+
+        def kernel(blocks):
+            for block in blocks:
+                yield block.astype(np.float64)
+        """
+        assert len(findings_for(bad, KERNEL_PATH, "RPR010")) == 1
+
+    def test_good_twin_threaded_dtype(self):
+        good = """
+        import numpy as np
+
+        def kernel(blocks, value_dtype):
+            for block in blocks:
+                scratch = np.zeros(block.shape, dtype=value_dtype)
+                scratch += block
+        """
+        assert findings_for(good, KERNEL_PATH, "RPR010") == []
+
+    def test_good_twin_hoisted_allocation(self):
+        good = """
+        import numpy as np
+
+        def kernel(blocks, shape):
+            scratch = np.zeros(shape)
+            for block in blocks:
+                scratch += block
+        """
+        assert findings_for(good, KERNEL_PATH, "RPR010") == []
+
+    def test_good_twin_zeros_like_inherits_dtype(self):
+        good = """
+        import numpy as np
+
+        def kernel(blocks):
+            for block in blocks:
+                yield np.zeros_like(block)
+        """
+        assert findings_for(good, KERNEL_PATH, "RPR010") == []
+
+    def test_astype_threaded_dtype_in_loop_silent(self):
+        good = """
+        import numpy as np
+
+        def kernel(blocks, value_dtype):
+            for block in blocks:
+                yield block.astype(value_dtype, copy=False)
+        """
+        assert findings_for(good, KERNEL_PATH, "RPR010") == []
+
+    def test_out_of_scope_module_silent(self):
+        source = """
+        import numpy as np
+
+        def run(blocks):
+            for block in blocks:
+                scratch = np.zeros(block.shape)
+                scratch += block
+        """
+        assert findings_for(source, PLAIN_PATH, "RPR010") == []
+
+    def test_noqa_with_justification_suppresses_rpr010(self):
+        source = """
+        import numpy as np
+
+        def kernel(blocks):
+            for block in blocks:
+                # accumulation is deliberately double precision
+                scratch = np.zeros(block.shape)  # repro: noqa-RPR010
+                scratch += block
+        """
+        assert findings_for(source, KERNEL_PATH, "RPR010") == []
+        assert findings_for(source, KERNEL_PATH, "RPR007") == []
+        assert suppressed_count(source, KERNEL_PATH) == 1
+
+    def test_bare_noqa_on_rpr010_requires_justification(self):
+        source = """
+        import numpy as np
+
+        def kernel(blocks):
+            for block in blocks:
+                scratch = np.zeros(block.shape)  # repro: noqa-RPR010
+                scratch += block
+        """
+        assert findings_for(source, KERNEL_PATH, "RPR010") == []
+        assert len(findings_for(source, KERNEL_PATH, "RPR007")) == 1
+
+
+# ----------------------------------------------------------------------
+# RPR011 — allocations inside the solver hot loops
+# ----------------------------------------------------------------------
+HOT_PATH = "src/repro/linalg/lsqr.py"
+
+
+class TestHotLoopAllocation:
+    def test_concatenate_in_iteration_loop_fires(self):
+        bad = """
+        import numpy as np
+
+        def iterate(u, v, iter_lim):
+            for _ in range(iter_lim):
+                u = np.concatenate([u, v])
+        """
+        found = findings_for(bad, HOT_PATH, "RPR011")
+        assert len(found) == 1
+        assert "scratch buffer" in found[0].message
+
+    def test_zeros_like_in_iteration_loop_fires(self):
+        bad = """
+        import numpy as np
+
+        def iterate(u, iter_lim):
+            for _ in range(iter_lim):
+                w = np.zeros_like(u)
+                u = u + w
+        """
+        assert len(findings_for(bad, HOT_PATH, "RPR011")) == 1
+
+    def test_good_twin_scratch_reuse(self):
+        good = """
+        import numpy as np
+
+        def iterate(u, v, iter_lim):
+            scratch = np.empty_like(u)
+            for _ in range(iter_lim):
+                np.multiply(u, v, out=scratch)
+                u = u - scratch
+        """
+        assert findings_for(good, HOT_PATH, "RPR011") == []
+
+    def test_allocation_outside_loop_silent(self):
+        good = """
+        import numpy as np
+
+        def setup(u, v):
+            stacked = np.concatenate([u, v])
+            return stacked
+        """
+        assert findings_for(good, HOT_PATH, "RPR011") == []
+
+    def test_non_hot_module_silent(self):
+        source = """
+        import numpy as np
+
+        def kernel(blocks, value_dtype):
+            out = []
+            for block in blocks:
+                out.append(np.concatenate([block, block]))
+            return out
+        """
+        assert findings_for(source, KERNEL_PATH, "RPR011") == []
+
+    def test_noqa_with_justification_suppresses_rpr011(self):
+        source = """
+        import numpy as np
+
+        def iterate(u, v, iter_lim):
+            for _ in range(iter_lim):
+                # restart path rebuilds the basis, once per breakdown
+                u = np.concatenate([u, v])  # repro: noqa-RPR011
+        """
+        assert findings_for(source, HOT_PATH, "RPR011") == []
+        assert findings_for(source, HOT_PATH, "RPR007") == []
+        assert suppressed_count(source, HOT_PATH) == 1
+
+
+# ----------------------------------------------------------------------
+# RPR000 — parse failures report consistent locations
+# ----------------------------------------------------------------------
+class TestUnparsableSource:
+    def test_syntax_error_location_is_zero_based_column(self):
+        findings = findings_for("def broken(:\n    pass\n", CORE_PATH)
+        (finding,) = findings
+        assert finding.rule_id == "RPR000"
+        assert finding.line == 1
+        # ast columns are 0-based everywhere else; RPR000 must match
+        assert 0 <= finding.col < len("def broken(:")
+
+    def test_null_byte_source_reports_line_one_col_zero(self):
+        findings, suppressed = lint_source("x = 1\x00\n", CORE_PATH)
+        (finding,) = findings
+        assert finding.rule_id == "RPR000"
+        assert (finding.line, finding.col) == (1, 0)
+        assert suppressed == 0
+
+    def test_rpr000_location_identical_across_reporters(self):
+        # the to_dict() payload (JSON reporter) and the location string
+        # (text reporter) must agree on the same line/col
+        findings, _ = lint_source("def broken(:\n", CORE_PATH)
+        (finding,) = findings
+        payload = finding.to_dict()
+        assert payload["line"] == finding.line
+        assert payload["col"] == finding.col
+        assert finding.location == (
+            f"{finding.path}:{payload['line']}:{payload['col']}"
+        )
