@@ -1,0 +1,392 @@
+"""Serving benchmark — emits ``BENCH_serving.json``.
+
+Measures what ``repro.serving`` claims and asserts it:
+
+1. **Sustained concurrent throughput**: a :class:`BatchingPredictor`
+   under >= 4 concurrent pipelined clients must coalesce single-row
+   requests into block calls (mean batch size > 1) and report p50 /
+   p95 / p99 request latency plus rows/sec from its own SLO metrics.
+   Asserted per client count.
+2. **Batching advantage**: the coalescing path must beat a
+   *single-row loop* — the same worker and queue machinery restricted
+   to ``max_batch=1`` so every request becomes its own model call —
+   on throughput, under the same client load.  Direct in-process
+   per-row and block-call numbers are recorded as model-side
+   references.  Asserted.
+3. **partial_fit vs cold refit**: streaming batches through
+   ``SRDA.partial_fit`` must match a cold ``fit`` on the concatenated
+   data to ``<= 1e-6`` (float64) while the warm-started LSQR takes
+   *strictly fewer* iterations than the cold refit on every batch —
+   the measured payoff of carrying ``coef0`` forward.  Asserted per
+   batch; the per-batch curve extends
+   ``benchmarks/test_extension_incremental.py``.
+
+The conditioning in section 3 matters: on well-conditioned data LSQR
+converges in a handful of iterations either way and the warm start has
+nothing to save.  The grid applies a power-law column spectrum
+(cond ~1e2) so the cold solve needs hundreds of iterations and the
+warm start's head start is visible.  Run from the repo root::
+
+    PYTHONPATH=src:. python benchmarks/bench_serving.py            # full
+    PYTHONPATH=src:. python benchmarks/bench_serving.py --smoke    # CI
+
+The JSON schema is documented in ``docs/SERVING.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import threading
+import time
+
+import numpy as np
+
+from repro.core.solver_config import SolverConfig
+from repro.core.srda import SRDA
+from repro.serving import BatchingPredictor
+
+#: Serving workload (sections 1 and 2).  ``window`` is the number of
+#: in-flight tickets each client pipelines before waiting — an open
+#: loop; a client that blocks on every row can never fill a batch.
+FULL_SERVING = {
+    "n_features": 256,
+    "n_classes": 16,
+    "rows_per_class": 40,
+    "clients": (4, 8),
+    "rows_per_client": 600,
+    "window": 32,
+    "max_batch": 128,
+    "max_wait": 0.0005,
+}
+SMOKE_SERVING = dict(
+    FULL_SERVING, clients=(4,), rows_per_client=200, rows_per_class=20
+)
+
+#: Incremental workload (section 3): power-law column spectrum with
+#: cond ~1e2 so cold LSQR at tol=1e-10 needs hundreds of iterations.
+FULL_INCREMENTAL = {
+    "n_features": 80,
+    "n_classes": 6,
+    "cond": 1e2,
+    "alpha": 0.01,
+    "tol": 1e-10,
+    "max_iter": 1000,
+    "base_rows": 1000,
+    "batch_rows": 10,
+    "n_batches": 5,
+}
+SMOKE_INCREMENTAL = dict(FULL_INCREMENTAL, n_batches=2)
+
+#: Acceptance bound for partial_fit equivalence (float64).
+EQUIVALENCE_BOUND = 1e-6
+
+
+def timed(fn):
+    start = time.perf_counter()
+    value = fn()
+    return value, time.perf_counter() - start
+
+
+def _fit_serving_model(cfg, seed):
+    rng = np.random.default_rng(seed)
+    n, c = cfg["n_features"], cfg["n_classes"]
+    centers = 5.0 * rng.standard_normal((c, n))
+    X = np.vstack(
+        [
+            centers[k] + rng.standard_normal((cfg["rows_per_class"], n))
+            for k in range(c)
+        ]
+    )
+    y = np.repeat(np.arange(c), cfg["rows_per_class"])
+    model = SRDA(alpha=1.0, config=SolverConfig(solver="normal")).fit(X, y)
+    rows = rng.standard_normal(
+        (cfg["rows_per_client"], n)
+    ).astype(np.float32)
+    return model, rows
+
+
+def _drive_clients(predictor, rows, n_clients, window):
+    """Pipelined load: each client keeps ``window`` tickets in flight.
+
+    Returns (throughput_rows_per_s, PredictorStats).  Throughput is
+    wall-clock over the full client run — arrival through last result
+    — not just model time, so queueing overhead counts against it.
+    """
+    barrier = threading.Barrier(n_clients + 1)
+    errors = []
+
+    def client():
+        barrier.wait()
+        pending = []
+        try:
+            for row in rows:
+                pending.append(predictor.submit(row))
+                if len(pending) >= window:
+                    for ticket in pending:
+                        ticket.done.wait(30)
+                    pending = []
+            for ticket in pending:
+                ticket.done.wait(30)
+            for ticket in pending:
+                if ticket.error is not None:
+                    raise ticket.error
+        # Sanctioned boundary: client threads must hand any failure to
+        # the main thread, which re-raises after join.
+        except BaseException as err:  # repro: noqa-RPR002
+            errors.append(err)
+
+    threads = [threading.Thread(target=client) for _ in range(n_clients)]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    start = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    if errors:
+        raise errors[0]
+    stats = predictor.stats()
+    assert stats.requests == n_clients * len(rows)
+    return n_clients * len(rows) / elapsed, stats
+
+
+def run_concurrency(cfg, seed=0):
+    """Section 1: sustained throughput + tail latency per client count."""
+    model, rows = _fit_serving_model(cfg, seed)
+    points = []
+    for n_clients in cfg["clients"]:
+        with BatchingPredictor(
+            model, max_batch=cfg["max_batch"], max_wait=cfg["max_wait"]
+        ) as predictor:
+            throughput, stats = _drive_clients(
+                predictor, rows, n_clients, cfg["window"]
+            )
+        assert stats.p99_latency_s > 0.0
+        assert stats.p99_latency_s >= stats.p95_latency_s >= 0.0
+        # Coalescing must actually happen under concurrent load.
+        assert stats.mean_batch_size > 1.0
+        assert stats.batches < stats.requests
+        points.append(
+            {
+                "clients": n_clients,
+                "requests": stats.requests,
+                "throughput_rows_per_s": throughput,
+                "mean_batch_size": stats.mean_batch_size,
+                "p50_latency_s": stats.p50_latency_s,
+                "p95_latency_s": stats.p95_latency_s,
+                "p99_latency_s": stats.p99_latency_s,
+            }
+        )
+    return {
+        "rows_per_client": cfg["rows_per_client"],
+        "window": cfg["window"],
+        "max_batch": cfg["max_batch"],
+        "max_wait_s": cfg["max_wait"],
+        "points": points,
+    }
+
+
+def run_batching_advantage(cfg, seed=0):
+    """Section 2: coalescing vs a single-row loop, same client load."""
+    model, rows = _fit_serving_model(cfg, seed)
+    n_clients = max(cfg["clients"])
+
+    with BatchingPredictor(
+        model, max_batch=cfg["max_batch"], max_wait=cfg["max_wait"]
+    ) as predictor:
+        batched_tp, batched_stats = _drive_clients(
+            predictor, rows, n_clients, cfg["window"]
+        )
+    # The single-row loop: identical queue/worker machinery, but
+    # max_batch=1 forces one model call per request.
+    with BatchingPredictor(model, max_batch=1, max_wait=0.0) as predictor:
+        loop_tp, loop_stats = _drive_clients(
+            predictor, rows, n_clients, cfg["window"]
+        )
+    assert loop_stats.mean_batch_size == 1.0
+
+    # Model-side references without any serving machinery.
+    _, block_seconds = timed(lambda: model.predict(rows))
+    direct_block_tp = len(rows) / block_seconds
+
+    def per_row_loop():
+        for row in rows:
+            model.predict(row[None, :])
+
+    _, loop_seconds = timed(per_row_loop)
+    direct_row_tp = len(rows) / loop_seconds
+
+    # The acceptance claim: batching must pay for its queueing.
+    assert batched_tp > loop_tp, (
+        f"batched {batched_tp:.0f} rows/s must beat the single-row "
+        f"loop at {loop_tp:.0f} rows/s"
+    )
+    return {
+        "clients": n_clients,
+        "batched": {
+            "throughput_rows_per_s": batched_tp,
+            "mean_batch_size": batched_stats.mean_batch_size,
+            "p99_latency_s": batched_stats.p99_latency_s,
+        },
+        "single_row_loop": {
+            "throughput_rows_per_s": loop_tp,
+            "mean_batch_size": loop_stats.mean_batch_size,
+            "p99_latency_s": loop_stats.p99_latency_s,
+        },
+        "speedup": batched_tp / loop_tp,
+        "direct_reference": {
+            "per_row_loop_rows_per_s": direct_row_tp,
+            "block_call_rows_per_s": direct_block_tp,
+        },
+    }
+
+
+def _make_incremental_stream(cfg, seed):
+    """Ill-conditioned class blobs under a power-law column spectrum."""
+    rng = np.random.default_rng(seed)
+    n, c = cfg["n_features"], cfg["n_classes"]
+    U = np.linalg.qr(rng.standard_normal((n, n)))[0]
+    spectrum = cfg["cond"] ** (-np.arange(n) / (n - 1))
+    base = U * spectrum
+    centers = 2.0 * rng.standard_normal((c, n))
+
+    def make(m):
+        y = rng.integers(0, c, size=m)
+        y[:c] = np.arange(c)  # every class present in every batch
+        X = (centers[y] + rng.standard_normal((m, n))) @ base
+        return X, y
+
+    return make
+
+
+def run_partial_fit_curve(cfg, seed=0):
+    """Section 3: warm partial_fit vs cold refit, per streamed batch."""
+    make = _make_incremental_stream(cfg, seed)
+    kwargs = dict(
+        alpha=cfg["alpha"],
+        config=SolverConfig(solver="lsqr"),
+        max_iter=cfg["max_iter"],
+        tol=cfg["tol"],
+    )
+    X0, y0 = make(cfg["base_rows"])
+    warm = SRDA(**kwargs)
+    _, base_seconds = timed(lambda: warm.partial_fit(X0, y0))
+    seen_X, seen_y = [X0], [y0]
+
+    curve = []
+    for index in range(cfg["n_batches"]):
+        Xb, yb = make(cfg["batch_rows"])
+        seen_X.append(Xb)
+        seen_y.append(yb)
+        _, warm_seconds = timed(lambda: warm.partial_fit(Xb, yb))
+        warm_iters = int(max(warm.lsqr_iterations_))
+        cold = SRDA(**kwargs)
+        X_all = np.vstack(seen_X)
+        y_all = np.concatenate(seen_y)
+        _, cold_seconds = timed(lambda: cold.fit(X_all, y_all))
+        cold_iters = int(max(cold.lsqr_iterations_))
+        max_diff = float(
+            np.abs(warm.components_ - cold.components_).max()
+        )
+        # The acceptance claims: same answer, strictly fewer iterations.
+        assert max_diff <= EQUIVALENCE_BOUND, (
+            f"batch {index}: partial_fit drifted {max_diff:.2e} from the "
+            f"cold refit (bound {EQUIVALENCE_BOUND:.0e})"
+        )
+        assert warm_iters < cold_iters, (
+            f"batch {index}: warm start took {warm_iters} iterations, "
+            f"cold refit {cold_iters} — warm must be strictly below"
+        )
+        curve.append(
+            {
+                "batch": index + 1,
+                "rows_total": int(X_all.shape[0]),
+                "warm_iterations": warm_iters,
+                "cold_iterations": cold_iters,
+                "iteration_ratio": cold_iters / warm_iters,
+                "warm_seconds": warm_seconds,
+                "cold_seconds": cold_seconds,
+                "max_coef_diff": max_diff,
+            }
+        )
+    assert warm.fit_report_.incremental["batches"] == cfg["n_batches"] + 1
+    return {
+        "n_features": cfg["n_features"],
+        "n_classes": cfg["n_classes"],
+        "cond": cfg["cond"],
+        "alpha": cfg["alpha"],
+        "tol": cfg["tol"],
+        "base_rows": cfg["base_rows"],
+        "batch_rows": cfg["batch_rows"],
+        "base_fit_seconds": base_seconds,
+        "equivalence_bound": EQUIVALENCE_BOUND,
+        "warm_below_cold_every_batch": True,
+        "curve": curve,
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny sizes for CI — validates the claims, not throughput",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_serving.json", help="output JSON path"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="problem-generation seed"
+    )
+    args = parser.parse_args(argv)
+
+    serving_cfg = SMOKE_SERVING if args.smoke else FULL_SERVING
+    incremental_cfg = SMOKE_INCREMENTAL if args.smoke else FULL_INCREMENTAL
+
+    concurrency = run_concurrency(serving_cfg, seed=args.seed)
+    for point in concurrency["points"]:
+        print(
+            f"{point['clients']} clients: "
+            f"{point['throughput_rows_per_s']:8.0f} rows/s  "
+            f"batch {point['mean_batch_size']:5.1f}  "
+            f"p50 {point['p50_latency_s'] * 1e3:6.2f}ms  "
+            f"p99 {point['p99_latency_s'] * 1e3:6.2f}ms"
+        )
+
+    advantage = run_batching_advantage(serving_cfg, seed=args.seed)
+    print(
+        f"batched {advantage['batched']['throughput_rows_per_s']:.0f} "
+        f"rows/s vs single-row loop "
+        f"{advantage['single_row_loop']['throughput_rows_per_s']:.0f} "
+        f"rows/s ({advantage['speedup']:.1f}x)"
+    )
+
+    incremental = run_partial_fit_curve(incremental_cfg, seed=args.seed)
+    for point in incremental["curve"]:
+        print(
+            f"batch {point['batch']} (+{incremental['batch_rows']} rows): "
+            f"warm {point['warm_iterations']:4d} vs cold "
+            f"{point['cold_iterations']:4d} iters "
+            f"({point['iteration_ratio']:.2f}x), "
+            f"diff {point['max_coef_diff']:.1e}"
+        )
+
+    payload = {
+        "benchmark": "serving",
+        "mode": "smoke" if args.smoke else "full",
+        "cpu_count": os.cpu_count(),
+        "concurrency": concurrency,
+        "batching_advantage": advantage,
+        "partial_fit_vs_refit": incremental,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+    return payload
+
+
+if __name__ == "__main__":
+    main()

@@ -40,7 +40,7 @@ def main() -> None:
         "LDA": lambda: LDA(),
         "RLDA": lambda: RLDA(alpha=1.0),
         "SRDA": lambda: SRDA(alpha=1.0),
-        "IDR/QR": lambda: IDRQR(ridge=1.0),
+        "IDR/QR": lambda: IDRQR(alpha=1.0),
     }
 
     print(f"{'train/class':>12} " + " ".join(f"{n:>16}" for n in algorithms))

@@ -36,6 +36,7 @@ from repro.exceptions import (
 from repro.core import (
     KernelSRDA,
     SemiSupervisedSRDA,
+    SolverConfig,
     SparseSRDA,
     SpectralRegressionEmbedding,
     SRDA,
@@ -75,6 +76,7 @@ __all__ = [
     "RobustnessWarning",
     "SRDA",
     "SemiSupervisedSRDA",
+    "SolverConfig",
     "SparseSRDA",
     "SpectralRegressionEmbedding",
     "__version__",

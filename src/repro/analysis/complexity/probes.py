@@ -233,6 +233,7 @@ def _build_sharded_matvec(m: int, rng: np.random.Generator) -> Thunk:
 
 def _build_srda_fit(m: int, rng: np.random.Generator) -> Thunk:
     from repro.core.srda import SRDA
+    from repro.core.solver_config import SolverConfig
 
     A = _csr_problem(m, rng)
     y = _labels(m, rng)
@@ -242,8 +243,35 @@ def _build_srda_fit(m: int, rng: np.random.Generator) -> Thunk:
         # tol=0 disables early convergence exit, so every size pays
         # exactly max_iter block iterations and the slope measures the
         # per-iteration cost the paper's claim is about.
-        model = SRDA(alpha=1.0, solver="lsqr", max_iter=6, tol=0.0)
+        model = SRDA(
+            alpha=1.0, config=SolverConfig(solver="lsqr"), max_iter=6, tol=0.0
+        )
         return model.fit(A, y)
+
+    return fit
+
+
+def _build_srda_partial_fit(m: int, rng: np.random.Generator) -> Thunk:
+    from repro.core.srda import SRDA
+    from repro.core.solver_config import SolverConfig
+
+    # Two batches of m rows each: the thunk pays one cold batch and one
+    # warm-started batch over the 2m-row accumulated stream, so the
+    # slope measures the incremental path's per-row cost (solve over
+    # accumulated rows + table lookup; the O(c^3) count-space
+    # Gram-Schmidt is size-independent).  A fresh model per call keeps
+    # the thunk re-runnable at constant cost.
+    A = _csr_problem(m, rng)
+    y_a = _labels(m, rng)
+    B = _csr_problem(m, rng)
+    y_b = _labels(m, rng)
+
+    def fit() -> object:
+        model = SRDA(
+            alpha=1.0, config=SolverConfig(solver="lsqr"), max_iter=6, tol=0.0
+        )
+        model.partial_fit(A, y_a)
+        return model.partial_fit(B, y_b)
 
     return fit
 
@@ -362,6 +390,18 @@ register_probe(
         build=_build_srda_fit,
         sizes=_SOLVER_SIZES,
         note="full sparse fit, 6 block iterations pinned via tol=0",
+    )
+)
+register_probe(
+    ProbeSpec(
+        name="srda_partial_fit",
+        module="repro.core.srda",
+        qualname="SRDA.partial_fit",
+        couplings={"nnz": 1.0, "m": 1.0},
+        build=_build_srda_partial_fit,
+        sizes=_SOLVER_SIZES,
+        note="cold batch + warm batch over 2m accumulated sparse rows, "
+        "6 block iterations pinned via tol=0",
     )
 )
 

@@ -36,7 +36,6 @@ from typing import Optional
 import numpy as np
 
 from repro.core.base import LinearEmbedder, as_dense, class_counts, validate_data
-from repro.core.estimator import warn_deprecated_param
 from repro.linalg.dense import generalized_eigh
 from repro.linalg.gram_schmidt import gram_schmidt_qr
 
@@ -50,23 +49,17 @@ class IDRQR(LinearEmbedder):
         Regularizer ε added to the reduced within-class scatter so the
         small generalized eigenproblem is well posed (Ye et al. use a
         fixed small constant; 1.0 mirrors the other baselines' default).
-        Previously spelled ``ridge`` — the old keyword still works but
-        emits a :class:`~repro.core.estimator.ReproDeprecationWarning`.
+        The pre-rename ``ridge`` spelling completed its deprecation
+        cycle and has been removed.
     n_components:
         Dimensions to keep; defaults to ``c - 1``.
     """
-
-    _deprecated_params = {"ridge": "alpha"}
 
     def __init__(
         self,
         alpha: float = 1.0,
         n_components: Optional[int] = None,
-        ridge: Optional[float] = None,
     ) -> None:
-        if ridge is not None:
-            warn_deprecated_param(type(self), "ridge", "alpha")
-            alpha = ridge
         if alpha < 0:
             raise ValueError("alpha must be non-negative")
         self.alpha = float(alpha)
@@ -83,16 +76,6 @@ class IDRQR(LinearEmbedder):
         self._n_seen: int = 0
         self._Q: Optional[np.ndarray] = None
         self._Sw_reduced: Optional[np.ndarray] = None
-
-    @property
-    def ridge(self) -> float:
-        """Deprecated alias for :attr:`alpha` (kept readable for one cycle)."""
-        return self.alpha
-
-    @ridge.setter
-    def ridge(self, value: float) -> None:
-        warn_deprecated_param(type(self), "ridge", "alpha")
-        self.alpha = float(value)
 
     def fit(self, X, y) -> "IDRQR":
         """Fit the QR-reduced discriminant transformation."""

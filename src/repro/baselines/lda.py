@@ -29,7 +29,6 @@ from typing import Optional
 import numpy as np
 
 from repro.core.base import LinearEmbedder, as_dense, validate_data
-from repro.core.estimator import warn_deprecated_param
 from repro.core.graph import scaled_indicator
 from repro.linalg.svd import cross_product_svd
 
@@ -106,21 +105,16 @@ class ScatterLDA(LinearEmbedder):
     nonsingular (or ε > 0); exists so tests can check the SVD route
     against an independent construction.
 
-    The regularizer is ``alpha`` (previously ``ridge`` — deprecated,
-    same rename as :class:`~repro.baselines.idrqr.IDRQR`).
+    The regularizer is ``alpha`` (the pre-rename ``ridge`` spelling
+    completed its deprecation cycle and has been removed, same schedule
+    as :class:`~repro.baselines.idrqr.IDRQR`).
     """
-
-    _deprecated_params = {"ridge": "alpha"}
 
     def __init__(
         self,
         n_components: Optional[int] = None,
         alpha: float = 0.0,
-        ridge: Optional[float] = None,
     ) -> None:
-        if ridge is not None:
-            warn_deprecated_param(type(self), "ridge", "alpha")
-            alpha = ridge
         self.n_components = n_components
         self.alpha = float(alpha)
         self.components_ = None
@@ -128,16 +122,6 @@ class ScatterLDA(LinearEmbedder):
         self.classes_ = None
         self.centroids_ = None
         self.eigenvalues_: Optional[np.ndarray] = None
-
-    @property
-    def ridge(self) -> float:
-        """Deprecated alias for :attr:`alpha`."""
-        return self.alpha
-
-    @ridge.setter
-    def ridge(self, value: float) -> None:
-        warn_deprecated_param(type(self), "ridge", "alpha")
-        self.alpha = float(value)
 
     def fit(self, X, y) -> "ScatterLDA":
         from repro.core.graph import between_class_scatter, total_scatter

@@ -14,7 +14,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.core.base import NotFittedError, as_dense
+from repro.core.base import NotFittedError, as_dense, working_dtype
 from repro.core.estimator import ReproEstimator
 from repro.linalg.svd import cross_product_svd
 
@@ -64,11 +64,17 @@ class PCA(ReproEstimator):
         return self
 
     def transform(self, X) -> np.ndarray:
-        """Project onto the principal directions."""
+        """Project onto the principal directions.
+
+        Follows the :func:`~repro.core.base.working_dtype` contract:
+        float32 input yields a float32 embedding.
+        """
         if self.components_ is None:
             raise NotFittedError("PCA must be fitted before use")
+        dtype = working_dtype(X)
         X = as_dense(X)
-        return (X - self.mean_) @ self.components_
+        Z = (X - self.mean_) @ self.components_
+        return Z.astype(dtype, copy=False)
 
     def fit_transform(self, X, y=None) -> np.ndarray:
         """Fit and project in one pass."""

@@ -13,11 +13,12 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.core.base import NotFittedError, validate_data
+from repro.core.base import NotFittedError, validate_data, working_dtype
 from repro.linalg.lsqr import FAILURE_ISTOPS, ISTOP_REASONS, lsqr
 from repro.linalg.operators import AppendOnesOperator, as_operator
 from repro.linalg.sparse import CSRMatrix, is_sparse
-from repro.core.estimator import ReproEstimator
+from repro.core.estimator import ReproEstimator, warn_deprecated_param
+from repro.core.solver_config import SolverConfig, config_alias
 from repro.robustness import FitReport, guarded_solve
 
 
@@ -28,25 +29,43 @@ class RidgeClassifier(ReproEstimator):
     ----------
     alpha:
         Tikhonov regularization (> 0 for the normal path).
-    solver:
-        ``"normal"``, ``"lsqr"``, or ``"auto"`` (LSQR for sparse input).
+    config:
+        A :class:`~repro.core.solver_config.SolverConfig`; only its
+        ``solver`` field is consulted here — ``"normal"``, ``"lsqr"``,
+        or ``"auto"`` (LSQR for sparse input).  Passing ``solver=`` as
+        a keyword is deprecated and merges into the config.
     max_iter, tol:
         LSQR controls, as in :class:`repro.core.srda.SRDA`.
     """
 
+    _deprecated_params = {"solver": "config"}
+
     def __init__(
         self,
         alpha: float = 1.0,
-        solver: str = "auto",
+        config: Optional[SolverConfig] = None,
         max_iter: int = 20,
         tol: float = 1e-10,
+        solver: Optional[str] = None,
     ) -> None:
         if alpha < 0:
             raise ValueError("alpha must be non-negative")
-        if solver not in ("auto", "normal", "lsqr"):
-            raise ValueError(f"unknown solver {solver!r}")
+        if config is None:
+            config = SolverConfig()
+        elif not isinstance(config, SolverConfig):
+            raise ValueError(
+                f"config must be a SolverConfig, got {type(config).__name__}"
+            )
+        if solver is not None:
+            warn_deprecated_param(type(self), "solver", "config")
+            config = config.replace(solver=solver)
+        if config.solver not in ("auto", "normal", "lsqr"):
+            raise ValueError(
+                f"unknown solver {config.solver!r}; RidgeClassifier "
+                "supports 'auto', 'normal', or 'lsqr'"
+            )
         self.alpha = float(alpha)
-        self.solver = solver
+        self.config = config
         self.max_iter = int(max_iter)
         self.tol = float(tol)
         self.coef_: Optional[np.ndarray] = None
@@ -54,6 +73,8 @@ class RidgeClassifier(ReproEstimator):
         self.classes_: Optional[np.ndarray] = None
         self.lsqr_iterations_: Optional[List[int]] = None
         self.fit_report_: Optional[FitReport] = None
+
+    solver = config_alias("solver")
 
     def fit(self, X, y) -> "RidgeClassifier":
         """Fit one ridge regression per class against ±1 targets."""
@@ -136,16 +157,38 @@ class RidgeClassifier(ReproEstimator):
         return self
 
     def decision_function(self, X) -> np.ndarray:
-        """Per-class regression scores."""
+        """Per-class regression scores.
+
+        ``(m, c)`` scores; ``argmax`` over a row is the predicted class.
+        Follows the :func:`~repro.core.base.working_dtype` contract
+        (float32 input yields float32 scores).
+        """
         if self.coef_ is None:
             raise NotFittedError("RidgeClassifier must be fitted before use")
+        dtype = working_dtype(X)
+        coef = np.asarray(self.coef_, dtype=dtype)
         if isinstance(X, CSRMatrix):
-            scores = X.matmat(self.coef_)
+            scores = X.matmat(coef)
         elif is_sparse(X):
-            scores = np.asarray(X @ self.coef_)
+            scores = np.asarray(X @ coef)
         else:
-            scores = np.asarray(X, dtype=np.float64) @ self.coef_
-        return scores + self.intercept_
+            X = np.asarray(X)
+            if X.dtype != dtype:
+                X = X.astype(dtype)
+            scores = X @ coef
+        scores = scores + np.asarray(self.intercept_, dtype=dtype)
+        return scores.astype(dtype, copy=False)
+
+    def transform(self, X) -> np.ndarray:
+        """Embed samples into score space.
+
+        The one-vs-rest regression scores *are* the model's learned
+        ``c``-dimensional representation; exposing them as ``transform``
+        gives the ablation baseline the same embed surface as the
+        discriminant estimators.  Identical to
+        :meth:`decision_function`.
+        """
+        return self.decision_function(X)
 
     def predict(self, X) -> np.ndarray:
         """Class with the highest regression score."""

@@ -5,6 +5,8 @@ Three commands mirror the repository's main entry points:
 - ``bench`` — run one dataset's (algorithm × training size × split)
   sweep and print the paper-style error and time tables;
 - ``table1`` — print the Table-I complexity model for a problem size;
+- ``serve`` — expose a fitted (or demo) model over HTTP with request
+  batching and SLO metrics (see ``docs/SERVING.md``);
 - ``info`` — package version and component inventory.
 """
 
@@ -68,21 +70,23 @@ def _algorithms(
     workers: Optional[int] = None,
     solver: Optional[str] = None,
 ):
-    from repro import IDRQR, LDA, RLDA, SRDA
+    from repro import IDRQR, LDA, RLDA, SRDA, SolverConfig
 
-    srda_kwargs = {}
+    parallel = {}
     if backend is not None:
         # Route SRDA's operator products through the chosen backend
         # (results are bitwise identical for a given data shape — the
         # shard layout never depends on the backend or worker count).
-        srda_kwargs = {"backend": backend, "n_jobs": workers}
+        parallel = {"backend": backend, "n_jobs": workers}
     # --solver overrides SRDA's solver choice on both the sparse path
     # (default "lsqr" per the paper's 20Newsgroups protocol) and the
     # dense path (default "auto").
-    sparse_solver = solver if solver is not None else "lsqr"
-    dense_kwargs = dict(srda_kwargs)
-    if solver is not None:
-        dense_kwargs["solver"] = solver
+    sparse_config = SolverConfig(
+        solver=solver if solver is not None else "lsqr", **parallel
+    )
+    dense_config = SolverConfig(
+        solver=solver if solver is not None else "auto", **parallel
+    )
     registry = {
         "lda": ("LDA", lambda: LDA()),
         "rlda": ("RLDA", lambda: RLDA(alpha=1.0)),
@@ -90,12 +94,11 @@ def _algorithms(
             "SRDA",
             (
                 lambda: SRDA(
-                    alpha=1.0, solver=sparse_solver, max_iter=15, tol=0.0,
-                    **srda_kwargs,
+                    alpha=1.0, config=sparse_config, max_iter=15, tol=0.0,
                 )
             )
             if sparse
-            else (lambda: SRDA(alpha=1.0, **dense_kwargs)),
+            else (lambda: SRDA(alpha=1.0, config=dense_config)),
         ),
         "idrqr": ("IDR/QR", lambda: IDRQR(alpha=1.0)),
     }
@@ -214,24 +217,74 @@ def cmd_table1(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    import numpy as np
+
+    from repro.serving.registry import ModelRegistry
+    from repro.serving.server import ServingApp, serve_forever
+
+    tracer = None
+    if args.trace_jsonl:
+        from repro.observability import JsonlSink, configure, get_tracer
+
+        configure(sink=JsonlSink(args.trace_jsonl))
+        tracer = get_tracer()
+
+    if args.model_path:
+        from repro.io import load_model
+
+        model = load_model(args.model_path)
+        name = args.name or type(model).__name__.lower()
+    else:
+        # Demo model: a small synthetic problem so the server is
+        # exercisable without any dataset on disk.
+        from repro import SRDA, SolverConfig
+
+        rng = np.random.default_rng(args.seed)
+        centers = 4.0 * rng.standard_normal((args.classes, args.features))
+        X = np.vstack(
+            [
+                centers[k]
+                + rng.standard_normal(
+                    (args.rows // args.classes, args.features)
+                )
+                for k in range(args.classes)
+            ]
+        )
+        y = np.repeat(np.arange(args.classes), args.rows // args.classes)
+        # Seed via partial_fit so POST /partial_fit extends this same
+        # incremental stream instead of starting a fresh one.
+        model = SRDA(
+            alpha=1.0, config=SolverConfig(solver="lsqr"), tol=1e-8
+        ).partial_fit(X, y)
+        name = args.name or "srda-demo"
+        print(
+            f"fitted demo SRDA on {X.shape[0]}x{X.shape[1]} "
+            f"synthetic rows ({args.classes} classes)"
+        )
+
+    registry = ModelRegistry()
+    registry.register(name, model, note="served at startup")
+    app = ServingApp(
+        registry,
+        name,
+        max_batch=args.max_batch,
+        max_wait=args.max_wait,
+        tracer=tracer,
+    )
+    try:
+        serve_forever(app, args.host, args.port)
+    finally:
+        if tracer is not None:
+            tracer.close()
+    return 0
+
+
 def cmd_info(_args) -> int:
     import repro
 
     print(f"repro {repro.__version__} — SRDA (ICDE 2008) reproduction")
-    non_estimators = (
-        "CSRMatrix",
-        "Dataset",
-        "FitReport",
-        "ReproDeprecationWarning",
-        "ReproEstimator",
-        "RobustnessWarning",
-    )
-    print("estimators: " + ", ".join(
-        name for name in repro.__all__
-        if name[0].isupper()
-        and name not in non_estimators
-        and not name.endswith("Error")
-    ))
+    print("estimators: " + ", ".join(sorted(repro.all_estimators())))
     print("datasets:   pie, isolet, mnist, news (synthetic, Table II shapes)")
     print("run 'python -m repro bench --help' to reproduce a table")
     return 0
@@ -327,6 +380,43 @@ def build_parser() -> argparse.ArgumentParser:
     model.add_argument("--k", type=int, default=20)
     model.add_argument("--s", type=float, default=None)
     model.set_defaults(func=cmd_table1)
+
+    serve = commands.add_parser(
+        "serve",
+        help="serve a fitted model over HTTP with request batching",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8321,
+        help="0 binds an ephemeral port (printed at startup)",
+    )
+    serve.add_argument(
+        "--model-path", default=None, metavar="PATH",
+        help="serve a model saved with repro.io.save_model; omitted = "
+        "fit a demo SRDA on synthetic data",
+    )
+    serve.add_argument(
+        "--name", default=None,
+        help="registry name for the served model",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=64,
+        help="max rows coalesced into one block predict",
+    )
+    serve.add_argument(
+        "--max-wait", type=float, default=0.002,
+        help="seconds to wait for stragglers after a batch opens",
+    )
+    serve.add_argument("--rows", type=int, default=600)
+    serve.add_argument("--features", type=int, default=32)
+    serve.add_argument("--classes", type=int, default=6)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--trace-jsonl", default=None, metavar="PATH",
+        help="write spans and the final SLO metrics snapshot "
+        "(p50/p95/p99 latency histograms) to PATH as JSON Lines",
+    )
+    serve.set_defaults(func=cmd_serve)
 
     info = commands.add_parser("info", help="package summary")
     info.set_defaults(func=cmd_info)

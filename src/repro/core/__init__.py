@@ -16,6 +16,7 @@ from repro.core.kernel_srda import KernelSRDA
 from repro.core.responses import generate_responses
 from repro.core.semi_supervised import SemiSupervisedSRDA
 from repro.core.sparse_srda import SparseSRDA
+from repro.core.solver_config import SolverConfig
 from repro.core.spectral_embedding import SpectralRegressionEmbedding
 from repro.core.srda import SRDA, srda_alpha_path
 
@@ -23,6 +24,7 @@ __all__ = [
     "KernelSRDA",
     "SRDA",
     "SemiSupervisedSRDA",
+    "SolverConfig",
     "SparseSRDA",
     "SpectralRegressionEmbedding",
     "generate_responses",

@@ -162,6 +162,21 @@ def as_dense(X) -> FloatArray:
     return np.asarray(X, dtype=np.float64)
 
 
+def working_dtype(X) -> np.dtype:
+    """The prediction-surface dtype contract, shared by every estimator.
+
+    float32 input stays float32 end-to-end through
+    ``transform``/``decision_function`` (the fitted arrays are cast
+    once per call, the products run at single precision — half the
+    memory traffic, which is what the serving path batches for);
+    every other input computes in float64, as training does.
+    """
+    dtype = getattr(X, "dtype", None)
+    if dtype is not None and np.dtype(dtype) == np.float32:
+        return np.dtype(np.float32)
+    return np.dtype(np.float64)
+
+
 class LinearEmbedder(ReproEstimator):
     """Base class for linear discriminant embeddings.
 
@@ -191,25 +206,34 @@ class LinearEmbedder(ReproEstimator):
         raise NotImplementedError
 
     def transform(self, X) -> FloatArray:
-        """Project samples into the discriminant subspace."""
+        """Project samples into the discriminant subspace.
+
+        Returns an ``(m, d)`` embedding in :func:`working_dtype`'s
+        contract: float32 input yields a float32 embedding, everything
+        else float64.
+        """
         self._check_fitted()
+        dtype = working_dtype(X)
+        components = np.asarray(self.components_, dtype=dtype)
         if isinstance(X, CSRMatrix):
-            Z = X.matmat(self.components_)
+            Z = X.matmat(components)
         elif is_sparse(X):
-            Z = np.asarray(X @ self.components_)
+            Z = np.asarray(X @ components)
         else:
-            X = np.asarray(X, dtype=np.float64)
+            X = np.asarray(X)
             if X.ndim != 2:
                 raise ValueError(f"X must be 2-D, got shape {X.shape}")
-            if X.shape[1] != self.components_.shape[0]:
+            if X.shape[1] != components.shape[0]:
                 raise ValueError(
                     f"X has {X.shape[1]} features, model expects "
-                    f"{self.components_.shape[0]}"
+                    f"{components.shape[0]}"
                 )
-            Z = X @ self.components_
+            if X.dtype != dtype:
+                X = X.astype(dtype)
+            Z = X @ components
         if self.intercept_ is not None:
-            Z = Z + self.intercept_
-        return Z
+            Z = Z + np.asarray(self.intercept_, dtype=dtype)
+        return Z.astype(dtype, copy=False)
 
     def fit_transform(self, X, y) -> FloatArray:
         """Fit the model and return the training embedding."""
@@ -224,16 +248,31 @@ class LinearEmbedder(ReproEstimator):
             centroids[k] = Z_train[y_indices == k].mean(axis=0)
         self.centroids_ = centroids
 
-    def predict(self, X) -> FloatArray:
-        """Nearest-centroid classification in the embedded space."""
+    def decision_function(self, X) -> FloatArray:
+        """Per-class scores: higher = closer centroid in the embedding.
+
+        Returns ``(m, c)`` scores ``2 z·c_k - ‖c_k‖²``, the negated
+        squared centroid distance with the per-row ``‖z‖²`` constant
+        dropped; ``argmax`` over a row is the predicted class.  Follows
+        the :func:`working_dtype` contract (float32 in → float32 out).
+        """
         self._check_fitted()
         if self.centroids_ is None:
             raise NotFittedError("fit() did not record class centroids")
         Z = self.transform(X)
-        # ‖z - c_k‖² = ‖z‖² - 2 z·c_k + ‖c_k‖²; ‖z‖² is constant per row.
-        cross = Z @ self.centroids_.T
-        dist = np.sum(self.centroids_**2, axis=1) - 2.0 * cross
-        return self.classes_[np.argmin(dist, axis=1)]
+        C = np.asarray(self.centroids_, dtype=Z.dtype)
+        cross = Z @ C.T
+        return 2.0 * cross - np.sum(C * C, axis=1)
+
+    def predict(self, X) -> FloatArray:
+        """Nearest-centroid classification in the embedded space.
+
+        Exactly ``argmax`` of :meth:`decision_function` — the scores are
+        the IEEE negation of the squared centroid distances, so ties
+        break identically to the historical ``argmin`` read-out.
+        """
+        scores = self.decision_function(X)
+        return self.classes_[np.argmax(scores, axis=1)]
 
     def score(self, X, y) -> float:
         """Accuracy of :meth:`predict` against true labels."""

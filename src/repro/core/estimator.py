@@ -114,6 +114,15 @@ class ReproEstimator:
         for name, value in params.items():
             target = name
             if name in self._deprecated_params:
+                prop = getattr(type(self), name, None)
+                if isinstance(prop, property) and prop.fset is not None:
+                    # Classes that fold several old knobs into one new
+                    # parameter (e.g. SolverConfig) expose each old name
+                    # as an aliasing property whose setter warns and
+                    # migrates the value field-wise — assigning the raw
+                    # value to the *target* would clobber the group.
+                    setattr(self, name, value)
+                    continue
                 target = self._deprecated_params[name]
                 warn_deprecated_param(type(self), name, target)
             if target not in valid:
@@ -124,6 +133,32 @@ class ReproEstimator:
                 )
             setattr(self, target, value)
         return self
+
+    def fitted_attributes(self) -> Dict[str, Any]:
+        """Fitted-state markers currently set on this instance.
+
+        The sklearn convention: fitted state lives in public attributes
+        with a trailing underscore (``components_``, ``coef_``,
+        ``fit_report_``, ...).  Only non-``None`` values count — every
+        constructor initializes its markers to ``None``.
+        """
+        return {
+            name: value
+            for name, value in vars(self).items()
+            if name.endswith("_")
+            and not name.startswith("_")
+            and value is not None
+        }
+
+    def is_fitted(self) -> bool:
+        """True once ``fit`` has populated any fitted-state marker.
+
+        The registry promotion path in :mod:`repro.serving` refuses
+        unfitted models with this check, so it must stay accurate for
+        every estimator — the shared API tests assert it flips on fit
+        and resets on :func:`clone`.
+        """
+        return bool(self.fitted_attributes())
 
     def clone(self: E) -> E:
         """A new unfitted instance with this estimator's parameters."""
@@ -136,7 +171,9 @@ def clone(estimator: E) -> E:
     Works on anything implementing the protocol (not just
     :class:`ReproEstimator` subclasses).  Fitted state (trailing
     underscore attributes) is *not* copied — same semantics as
-    ``sklearn.base.clone``.
+    ``sklearn.base.clone`` — and the copy is verified to carry none,
+    so a constructor that leaks fitted-looking state fails loudly here
+    rather than corrupting a registry promotion.
     """
     params = estimator.get_params()
     new = type(estimator)(**params)
@@ -150,6 +187,13 @@ def clone(estimator: E) -> E:
                 f"{name!r} verbatim (got {reconstructed.get(name)!r}, "
                 f"expected {value!r}); constructors must only store"
             )
+    if isinstance(new, ReproEstimator) and new.is_fitted():
+        leaked = sorted(new.fitted_attributes())
+        raise InvariantViolationError(
+            f"{type(estimator).__name__}() initializes fitted-state "
+            f"markers {leaked} to non-None values; constructors must "
+            "leave all trailing-underscore attributes as None"
+        )
     return new
 
 

@@ -21,7 +21,12 @@ from typing import Optional
 
 import numpy as np
 
-from repro.core.base import NotFittedError, as_dense, validate_data
+from repro.core.base import (
+    NotFittedError,
+    as_dense,
+    validate_data,
+    working_dtype,
+)
 from repro.core.estimator import ReproEstimator
 from repro.core.responses import generate_responses
 from repro.observability import Tracer, resolve_tracer
@@ -166,9 +171,16 @@ class KernelSRDA(ReproEstimator):
         self.centroids_ = centroids
 
     def transform(self, X) -> np.ndarray:
-        """Embed samples: ``K(X, X_train) @ dual_coef``."""
+        """Embed samples: ``K(X, X_train) @ dual_coef``.
+
+        The kernel itself is evaluated in float64 (RBF exponentials
+        underflow badly at single precision); the returned embedding
+        follows the :func:`~repro.core.base.working_dtype` contract —
+        float32 input yields a float32 embedding.
+        """
         if self.dual_coef_ is None:
             raise NotFittedError("KernelSRDA must be fitted before use")
+        dtype = working_dtype(X)
         if self.kernel == "precomputed":
             K = np.asarray(X, dtype=np.float64)
             if K.shape[1] != self.dual_coef_.shape[0]:
@@ -177,19 +189,34 @@ class KernelSRDA(ReproEstimator):
                 )
         else:
             K = self._gram(as_dense(X), self.X_fit_)
-        return K @ self.dual_coef_
+        return (K @ self.dual_coef_).astype(dtype, copy=False)
 
     def fit_transform(self, X, y) -> np.ndarray:
         """Fit and return the training embedding (no extra kernel pass)."""
         self.fit(X, y)
         return self._train_embedding
 
+    def decision_function(self, X) -> np.ndarray:
+        """Per-class scores: higher = closer centroid in the embedding.
+
+        Same contract as
+        :meth:`repro.core.base.LinearEmbedder.decision_function`:
+        ``(m, c)`` scores ``2 z·c_k - ‖c_k‖²``, ``argmax`` is the
+        predicted class, float32 input yields float32 scores.
+        """
+        if self.dual_coef_ is None:
+            raise NotFittedError("KernelSRDA must be fitted before use")
+        if self.centroids_ is None:
+            raise NotFittedError("fit() did not record class centroids")
+        Z = self.transform(X)
+        C = np.asarray(self.centroids_, dtype=Z.dtype)
+        cross = Z @ C.T
+        return 2.0 * cross - np.sum(C * C, axis=1)
+
     def predict(self, X) -> np.ndarray:
         """Nearest-centroid classification in the kernel embedding."""
-        Z = self.transform(X)
-        cross = Z @ self.centroids_.T
-        dist = np.sum(self.centroids_**2, axis=1) - 2.0 * cross
-        return self.classes_[np.argmin(dist, axis=1)]
+        scores = self.decision_function(X)
+        return self.classes_[np.argmax(scores, axis=1)]
 
     def score(self, X, y) -> float:
         """Accuracy of :meth:`predict`."""

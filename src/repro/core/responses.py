@@ -113,6 +113,89 @@ def generate_responses(
     return responses
 
 
+def response_table_from_counts(
+    counts: FloatArray, tol: float = 1e-10
+) -> FloatArray:
+    """The ``(c, c-1)`` per-class response table from class counts alone.
+
+    Complexity: O(c^3) — weighted Gram–Schmidt over ``c + 1``
+    coefficient vectors of length ``c``; independent of ``m``.
+
+    Every vector in the span of ``[1, e_1 … e_c]`` is piecewise constant
+    on classes, so it is determined by its ``c`` per-class values, and
+    inner products reduce to count-weighted dot products:
+    ``⟨u, w⟩ = Σ_k m_k u_k w_k``.  Running the same modified
+    Gram–Schmidt as :func:`generate_responses` — two projection passes,
+    the same relative drop tolerance — on the ``(c, c+1)`` coefficient
+    matrix ``[1_c, I_c]`` under that weighted inner product reproduces
+    the response *table* without ever materializing a length-``m``
+    vector: the full ``(m, c-1)`` response matrix is
+    ``table[y_indices]``.
+
+    This is the engine behind :meth:`repro.core.srda.SRDA.partial_fit`:
+    the counts are *integers*, accumulated by commutative addition, so
+    the table is a deterministic function of the class histogram —
+    bitwise identical under any batch ordering of the same data.
+
+    Parameters
+    ----------
+    counts:
+        Per-class sample counts ``m_k``; every entry must be positive.
+    tol:
+        Relative drop tolerance, as :func:`orthonormalize`.
+
+    Returns
+    -------
+    ``(c, c-1)`` table whose column ``j`` holds response ``ȳʲ``'s value
+    on each class; rows indexed by encoded class, columns satisfy the
+    Eqn-16 invariants under the count-weighted inner product.
+    """
+    counts = np.asarray(counts)
+    if counts.ndim != 1:
+        raise ValueError("counts must be 1-D")
+    n_classes = counts.shape[0]
+    if n_classes < 2:
+        raise ValueError("need at least 2 classes to build responses")
+    if np.any(counts <= 0):
+        missing = np.flatnonzero(counts <= 0)
+        raise ValueError(f"classes with no samples: {missing.tolist()}")
+    weights = counts.astype(np.float64)
+
+    # Coefficient columns of [1, e_1 … e_c] in the per-class-value
+    # basis: the all-ones vector is constant 1 on every class, the
+    # indicator of class k is the unit vector delta_k.
+    stacked = np.hstack([np.ones((n_classes, 1)), np.eye(n_classes)])
+    columns = []
+    kept = []
+    for j in range(n_classes + 1):
+        v = stacked[:, j].copy()
+        original_norm = float(np.sqrt(weights @ (v * v)))
+        if original_norm == 0.0:  # pragma: no cover - counts all positive
+            continue
+        for _ in range(2):  # "twice is enough" — as orthonormalize()
+            for q in columns:
+                v -= float(weights @ (q * v)) * q
+        norm = float(np.sqrt(weights @ (v * v)))
+        if norm <= tol * original_norm:
+            continue
+        columns.append(v / norm)
+        kept.append(j)
+    if not kept or kept[0] != 0:  # pragma: no cover - ones survives first
+        raise InvariantViolationError("all-ones vector unexpectedly dropped")
+    table = (
+        np.column_stack(columns[1:])
+        if len(columns) > 1
+        else np.zeros((n_classes, 0))
+    )
+    if table.shape[1] != n_classes - 1:
+        raise InvariantViolationError(
+            f"expected {n_classes - 1} responses, got {table.shape[1]}; "
+            "the indicator span degenerated (should be impossible when "
+            "every class is non-empty)"
+        )
+    return table
+
+
 def response_table(
     responses: FloatArray, y_indices: FloatArray, n_classes: int
 ) -> FloatArray:

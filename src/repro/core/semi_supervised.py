@@ -20,7 +20,9 @@ from typing import List, Optional
 import numpy as np
 
 from repro.core.base import LinearEmbedder, as_dense, encode_labels
+from repro.core.estimator import warn_deprecated_param
 from repro.core.graph import graph_responses, semi_supervised_affinity
+from repro.core.solver_config import SolverConfig, config_alias
 from repro.linalg.cholesky import cholesky, solve_factored
 from repro.linalg.lsqr import lsqr
 from repro.linalg.operators import CenteringOperator, as_operator
@@ -42,8 +44,11 @@ class SemiSupervisedSRDA(LinearEmbedder):
     n_components:
         Embedding dimensions; defaults to ``c - 1`` when labels exist,
         else must be given explicitly.
-    solver:
-        ``"normal"`` or ``"lsqr"`` for the regression step.
+    config:
+        A :class:`~repro.core.solver_config.SolverConfig`; only its
+        ``solver`` field is consulted here and must be ``"normal"``
+        (default) or ``"lsqr"``.  Passing ``solver=`` as a keyword is
+        deprecated and merges into the config with a warning.
     max_iter, tol:
         LSQR controls.
     trace:
@@ -59,26 +64,41 @@ class SemiSupervisedSRDA(LinearEmbedder):
     samples in the learned embedding.
     """
 
+    _deprecated_params = {"solver": "config"}
+
     def __init__(
         self,
         alpha: float = 1.0,
         n_neighbors: int = 5,
         supervised_weight: float = 1.0,
         n_components: Optional[int] = None,
-        solver: str = "normal",
+        config: Optional[SolverConfig] = None,
         max_iter: int = 20,
         tol: float = 1e-10,
         trace=None,
+        solver: Optional[str] = None,
     ) -> None:
         if alpha < 0:
             raise ValueError("alpha must be non-negative")
-        if solver not in ("normal", "lsqr"):
-            raise ValueError(f"unknown solver {solver!r}")
+        if config is None:
+            config = SolverConfig(solver="normal")
+        elif not isinstance(config, SolverConfig):
+            raise ValueError(
+                f"config must be a SolverConfig, got {type(config).__name__}"
+            )
+        if solver is not None:
+            warn_deprecated_param(type(self), "solver", "config")
+            config = config.replace(solver=solver)
+        if config.solver not in ("normal", "lsqr"):
+            raise ValueError(
+                f"unknown solver {config.solver!r}; SemiSupervisedSRDA "
+                "supports 'normal' or 'lsqr'"
+            )
         self.alpha = float(alpha)
         self.n_neighbors = int(n_neighbors)
         self.supervised_weight = float(supervised_weight)
         self.n_components = n_components
-        self.solver = solver
+        self.config = config
         self.max_iter = int(max_iter)
         self.tol = float(tol)
         self.trace = trace
@@ -89,6 +109,8 @@ class SemiSupervisedSRDA(LinearEmbedder):
         self.centroids_ = None
         self.responses_ = None
         self.lsqr_iterations_: Optional[List[int]] = None
+
+    solver = config_alias("solver")
 
     def fit(self, X, y) -> "SemiSupervisedSRDA":
         """Fit from a partially labeled sample (``y == -1`` = unlabeled)."""

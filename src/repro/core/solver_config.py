@@ -1,0 +1,161 @@
+"""Grouped solver knobs — the ``SolverConfig`` dataclass.
+
+The fit-time execution surface of :class:`~repro.core.srda.SRDA` grew
+one keyword at a time across releases: ``solver``, then the sketch
+family (``sketch``/``sketch_size``/``sketch_seed``), then the parallel
+substrate (``n_jobs``/``backend``).  Six loosely coupled knobs on every
+signature made each new entry point (``srda_alpha_path``, the CLI, the
+serving layer) repeat the same six parameters and the same six
+validations.
+
+``SolverConfig`` folds them into one validated, immutable value:
+
+- constructed eagerly, so an invalid combination fails at *construction*
+  rather than deep inside a fit;
+- frozen, so a config can be shared between estimators, stored in a
+  model registry, and compared by value (``clone`` round-trips);
+- the old keywords survive one deprecation cycle as thin aliases that
+  merge into the config with a
+  :class:`~repro.core.estimator.ReproDeprecationWarning`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Union
+
+from repro.parallel import Backend, effective_n_jobs
+
+__all__ = ["SOLVER_NAMES", "SolverConfig", "config_alias"]
+
+
+def config_alias(name: str) -> property:
+    """A property aliasing ``self.config.<name>`` for one deprecation cycle.
+
+    Reads are silent (solve paths read these knobs on every fit);
+    writes emit a :class:`~repro.core.estimator.ReproDeprecationWarning`
+    and merge the value into the frozen config.  Estimators list the
+    aliased names in ``_deprecated_params`` mapping to ``"config"``;
+    the generic ``set_params`` then routes assignments through the
+    setter instead of clobbering the config with a raw value.
+    """
+
+    def getter(self):
+        return getattr(self.config, name)
+
+    def setter(self, value) -> None:
+        from repro.core.estimator import warn_deprecated_param
+
+        warn_deprecated_param(type(self), name, "config")
+        self.config = self.config.replace(**{name: value})
+
+    getter.__doc__ = (
+        f"Alias for ``config.{name}``; assigning through it is "
+        "deprecated (merge into ``config`` instead)."
+    )
+    return property(getter, setter)
+
+#: Every solver an estimator in this package understands.  ``"auto"``
+#: resolves per input (see the :class:`~repro.core.srda.SRDA` module
+#: docstring); the rest name a concrete engine.
+SOLVER_NAMES = ("auto", "normal", "lsqr", "sketched_lsqr")
+
+
+@dataclass(frozen=True)
+class SolverConfig:
+    """Validated bundle of solver-execution knobs.
+
+    Parameters
+    ----------
+    solver:
+        ``"auto"`` (default), ``"normal"``, ``"lsqr"``, or
+        ``"sketched_lsqr"`` — the engine selection previously passed as
+        ``SRDA(solver=...)``.
+    sketch:
+        Sketch family for ``solver="sketched_lsqr"``: ``"countsketch"``
+        (default), ``"sparse_sign"``, or ``"srht"``.
+    sketch_size:
+        Sketch row count; ``None`` picks
+        :func:`repro.linalg.sketch.default_sketch_size`.
+    sketch_seed:
+        Seed of the sketch draw (fixed seed → bitwise-reproducible
+        sketched fits).
+    n_jobs:
+        Worker count for the LSQR path's operator products (``None``/1
+        direct, ``-1`` every core).
+    backend:
+        Execution backend for sharded products: ``None``, a name
+        (``"serial"``/``"thread"``/``"process"``/``"distributed"``), or
+        a live :class:`repro.parallel.Backend`.
+    """
+
+    solver: str = "auto"
+    sketch: str = "countsketch"
+    sketch_size: Optional[int] = None
+    sketch_seed: int = 0
+    n_jobs: Optional[int] = None
+    backend: Union[str, Backend, None] = None
+
+    def __post_init__(self) -> None:
+        if self.solver not in SOLVER_NAMES:
+            raise ValueError(
+                f"unknown solver {self.solver!r}; expected one of "
+                f"{SOLVER_NAMES}"
+            )
+        from repro.linalg.sketch import SKETCH_KINDS
+
+        if self.sketch not in SKETCH_KINDS:
+            raise ValueError(
+                f"unknown sketch {self.sketch!r}; expected one of "
+                f"{SKETCH_KINDS}"
+            )
+        if self.sketch_size is not None and self.sketch_size < 1:
+            raise ValueError("sketch_size must be positive or None")
+        object.__setattr__(self, "sketch_seed", int(self.sketch_seed))
+        effective_n_jobs(self.n_jobs)  # validates; value stored verbatim
+        if self.backend is not None and not isinstance(
+            self.backend, (str, Backend)
+        ):
+            raise ValueError(
+                "backend must be None, a backend name, or a Backend"
+            )
+
+    def replace(self, **changes: Any) -> "SolverConfig":
+        """A copy with the given fields changed (re-validated)."""
+        return dataclasses.replace(self, **changes)
+
+    def merge_legacy(
+        self, overrides: Mapping[str, Any]
+    ) -> "SolverConfig":
+        """Fold non-``None`` legacy keyword values into a new config.
+
+        The deprecation shim: each old keyword (``solver=...`` etc.)
+        that was actually passed overrides the corresponding config
+        field.  ``None`` values mean "not passed" and are ignored —
+        every legacy keyword's old default is either ``None`` already
+        or restated by the config defaults.
+        """
+        changes = {
+            name: value
+            for name, value in overrides.items()
+            if value is not None
+        }
+        return self.replace(**changes) if changes else self
+
+    def to_param_dict(self) -> Dict[str, Any]:
+        """JSON-safe field dict for persistence (drops live backends).
+
+        ``backend`` survives only as a name: a live
+        :class:`~repro.parallel.Backend` is process state, not a model
+        parameter, so archives record ``None`` for it.
+        """
+        backend = self.backend if isinstance(self.backend, str) else None
+        return {
+            "solver": self.solver,
+            "sketch": self.sketch,
+            "sketch_size": self.sketch_size,
+            "sketch_seed": self.sketch_seed,
+            "n_jobs": self.n_jobs,
+            "backend": backend,
+        }

@@ -18,7 +18,7 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.core.base import NotFittedError, as_dense
+from repro.core.base import NotFittedError, as_dense, working_dtype
 from repro.core.graph import knn_affinity
 from repro.linalg.cholesky import cholesky, solve_factored
 from repro.linalg.eigen import lanczos_eigsh
@@ -140,13 +140,19 @@ class SpectralRegressionEmbedding(ReproEstimator):
         return weights
 
     def transform(self, X) -> np.ndarray:
-        """Embed (possibly unseen) samples linearly."""
+        """Embed (possibly unseen) samples linearly.
+
+        Follows the :func:`~repro.core.base.working_dtype` contract:
+        float32 input yields a float32 embedding.
+        """
         if self.components_ is None:
             raise NotFittedError(
                 "SpectralRegressionEmbedding must be fitted before use"
             )
+        dtype = working_dtype(X)
         X = as_dense(X)
-        return X @ self.components_ + self.intercept_
+        Z = X @ self.components_ + self.intercept_
+        return Z.astype(dtype, copy=False)
 
     def fit_transform(self, X, y=None) -> np.ndarray:
         """Fit and embed the training data."""

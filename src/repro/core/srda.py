@@ -47,6 +47,7 @@ paper ran its experiments (closed form on PIE/Isolet/MNIST, LSQR on
 
 from __future__ import annotations
 
+import warnings
 from typing import List, Optional, Union
 
 import numpy as np
@@ -54,7 +55,12 @@ import numpy as np
 from repro._typing import FloatArray
 
 from repro.core.base import LinearEmbedder, validate_data
-from repro.core.responses import generate_responses
+from repro.core.estimator import ReproDeprecationWarning, warn_deprecated_param
+from repro.core.responses import (
+    generate_responses,
+    response_table_from_counts,
+)
+from repro.core.solver_config import SolverConfig, config_alias
 from repro.linalg.block_lsqr import SharedBidiagonalization, block_lsqr
 from repro.linalg.lsqr import FAILURE_ISTOPS, ISTOP_REASONS, lsqr
 from repro.linalg.operators import (
@@ -137,6 +143,123 @@ def _record_lsqr_columns(columns, report: FitReport, tol: float, alpha: float):
     return iterations
 
 
+class _IncrementalState:
+    """Everything :meth:`SRDA.partial_fit` accumulates between batches.
+
+    The response construction needs only *integer* per-class counts
+    (the Gram matrix of ``[1, e_1 … e_c]`` is a function of counts
+    alone), so the incremental bookkeeping is exact and independent of
+    batch order.  The solver, by contrast, needs the actual rows, which
+    are kept as the list of validated batch blocks (concatenated lazily
+    per solve — the data is stored once either way).
+    """
+
+    __slots__ = (
+        "blocks",
+        "labels",
+        "sparse",
+        "n_features",
+        "rows",
+        "classes",
+        "counts",
+        "solved_classes",
+        "solved_counts",
+        "solved_table",
+    )
+
+    def __init__(self, sparse: bool, n_features: int) -> None:
+        self.blocks: List = []
+        self.labels: List = []
+        self.sparse = sparse
+        self.n_features = n_features
+        self.rows = 0
+        #: sorted array of distinct labels seen so far (None before the
+        #: first batch) and the aligned int64 per-class running sums
+        self.classes = None
+        self.counts = None
+        #: snapshot of (classes, counts, response table) at the last
+        #: solve — what the previous coefficients were fitted against,
+        #: needed to project them into the new response basis
+        self.solved_classes = None
+        self.solved_counts = None
+        self.solved_table = None
+
+    def response_rebasing(self, classes, table):
+        """Map old response columns onto the new ones: ``(c₀-1, c-1)``.
+
+        The response targets are renormalized every batch (each value
+        scales like ``1/√m_k``), so the previous coefficients are
+        systematically off-scale as a warm start.  But the ridge
+        solution is *linear* in its targets, and the old table's
+        columns are orthonormal under the old count-weighted inner
+        product — so ``M = T₀ᵀ·diag(counts₀)·T[old_rows]`` expresses
+        each new response column in the old basis (restricted to the
+        rows both solves share), and ``components @ M`` is the exact
+        old-data solution for the *new* targets.  The remaining warm
+        start error is only what the new rows genuinely change.  Class
+        growth needs no special case: new classes have no old rows, so
+        their columns project through the shared classes alone.
+        """
+        if self.solved_table is None:
+            return None
+        old_rows = np.searchsorted(classes, self.solved_classes)
+        weighted = self.solved_counts[:, None] * table[old_rows, :]
+        return self.solved_table.T @ weighted
+
+    def absorb_labels(self, y: FloatArray) -> FloatArray:
+        """Merge one batch into the running class histogram.
+
+        Returns the labels first seen in this batch.  The update is
+        O(c + batch): integer adds over a sorted merge, so the
+        histogram — and the response table built from it — is bitwise
+        independent of batch order.
+        """
+        batch_classes, batch_indices = np.unique(y, return_inverse=True)
+        batch_counts = np.bincount(
+            batch_indices, minlength=batch_classes.shape[0]
+        ).astype(np.int64)
+        if self.classes is None:
+            self.classes = batch_classes
+            self.counts = batch_counts
+            return batch_classes
+        new_labels = batch_classes[~np.isin(batch_classes, self.classes)]
+        if new_labels.shape[0]:
+            merged = np.union1d(self.classes, batch_classes)
+            counts = np.zeros(merged.shape[0], dtype=np.int64)
+            counts[np.searchsorted(merged, self.classes)] = self.counts
+            self.classes = merged
+            self.counts = counts
+        self.counts[
+            np.searchsorted(self.classes, batch_classes)
+        ] += batch_counts
+        return new_labels
+
+
+def _concat_blocks(blocks: List, sparse: bool):
+    """Stack accumulated batch blocks into one training matrix.
+
+    Dense blocks vstack; CSR blocks concatenate their raw arrays with
+    row-pointer offsets — O(total nnz), no densification.
+    """
+    if len(blocks) == 1:
+        return blocks[0]
+    if not sparse:
+        return np.vstack(blocks)
+    n_cols = blocks[0].shape[1]
+    data = np.concatenate([b.data for b in blocks])
+    indices = np.concatenate(
+        [np.asarray(b.indices, dtype=np.int64) for b in blocks]
+    )
+    pieces = [np.zeros(1, dtype=np.int64)]
+    offset = 0
+    rows = 0
+    for block in blocks:
+        pieces.append(np.asarray(block.indptr[1:], dtype=np.int64) + offset)
+        offset += int(block.indptr[-1])
+        rows += block.shape[0]
+    return CSRMatrix(data, indices, np.concatenate(pieces), (rows, n_cols))
+
+
 class SRDA(LinearEmbedder):
     """Spectral Regression Discriminant Analysis.
 
@@ -149,21 +272,26 @@ class SRDA(LinearEmbedder):
         the linearly independent case (Corollary 3); the normal-equation
         path then falls back to a minimum-norm least-squares solve since
         the Gram matrix may be singular.
-    solver:
-        ``"normal"``, ``"lsqr"``, ``"sketched_lsqr"``, or ``"auto"``
-        (see module docstring).  ``"sketched_lsqr"`` is the LSQR path
-        plus a sketch-and-precondition step
-        (:func:`repro.linalg.sketch.build_preconditioner`): one pass
-        sketches the fit operator, an ``n × n`` Cholesky factor of the
-        regularized sketch Gram right-preconditions the iteration, and
-        the per-response iteration counts typically drop 2–5× at equal
-        accuracy on ill-conditioned data.  Deterministic under a fixed
-        ``sketch_seed`` (bitwise, including with ``n_jobs > 1``).
-        Only pays for *tall* systems: on wide data (``n >= m``, e.g.
-        text grids) the ``(n, n)`` Gram would dominate the data, so
-        the fit degrades to plain LSQR with a
+    config:
+        A :class:`~repro.core.solver_config.SolverConfig` bundling the
+        execution knobs: ``solver`` (``"normal"``, ``"lsqr"``,
+        ``"sketched_lsqr"``, or ``"auto"`` — see module docstring),
+        the sketch family (``sketch``/``sketch_size``/``sketch_seed``
+        for ``"sketched_lsqr"``: one pass sketches the fit operator,
+        an ``n × n`` Cholesky factor of the regularized sketch Gram
+        right-preconditions the iteration, typically dropping
+        iteration counts 2–5×; on wide data ``n >= m`` the fit
+        degrades to plain LSQR with a
         :class:`~repro.robustness.RobustnessWarning` and
-        ``solver_used_ == "lsqr"``.
+        ``solver_used_ == "lsqr"``), and the parallel substrate
+        (``n_jobs``/``backend`` for sharded operator products — the
+        shard layout depends only on the data shape, so any worker
+        count and backend is bitwise identical).  ``None`` means
+        ``SolverConfig()`` (all defaults).  The six knobs remain
+        readable as attributes (``model.solver`` etc.); passing them
+        as *constructor keywords* is deprecated and emits a
+        :class:`~repro.core.estimator.ReproDeprecationWarning` while
+        merging into the config.
     centering:
         ``"auto"`` (center dense input, append-ones for sparse), or an
         explicit ``True``/``False``.  ``True`` is exactly Eqn 14
@@ -216,40 +344,6 @@ class SRDA(LinearEmbedder):
         shape contracts) and emits an ``srda.contract_check`` span.
         Raises :class:`~repro.exceptions.ContractViolationError` on a
         violation — the debug switch for custom operators.
-    n_jobs:
-        Worker count for the LSQR path's operator products.  ``None``
-        or 1 keeps the direct single-core kernels; ``k > 1`` (or
-        ``-1`` for every core) routes products through a row-sharded
-        operator (:class:`repro.parallel.ShardedOperator`) on a thread
-        backend.  The shard layout depends only on the data shape,
-        never on the worker count, so every parallel fit is bitwise
-        identical at any ``n_jobs`` and on any backend; against the
-        direct single-core path the fit agrees to the fold tolerance
-        of the sharded block products (~1e-15 per product).  Ignored
-        by the normal-equations solver.
-    backend:
-        Execution backend for the sharded products: ``None`` (pick
-        from ``n_jobs``), a name (``"serial"``/``"thread"``/
-        ``"process"``/``"distributed"``), or a live
-        :class:`repro.parallel.Backend` — the instance is shared, not
-        closed, so one process pool (or worker cluster) can serve many
-        fits.  ``"distributed"`` ships shards once to supervised
-        localhost worker processes and streams only the ``c-1``
-        operand/result vectors per iteration; if the cluster becomes
-        unhealthy mid-fit the products fall back to a local backend —
-        recorded in ``fit_report_.backend`` as e.g.
-        ``"distributed->serial"`` — with bitwise-identical results.
-    sketch:
-        Sketch family for ``solver="sketched_lsqr"``: ``"countsketch"``
-        (default; ``O(nnz)`` build), ``"sparse_sign"``, or ``"srht"``.
-        Ignored by the other solvers.
-    sketch_size:
-        Rows of the sketch; ``None`` (default) uses
-        :func:`repro.linalg.sketch.default_sketch_size` (≈ ``4 n``,
-        capped at ``m``).
-    sketch_seed:
-        Seed of the sketch draw.  A fixed seed makes the whole sketched
-        fit bitwise reproducible.
 
     Attributes
     ----------
@@ -274,10 +368,19 @@ class SRDA(LinearEmbedder):
         effective α, and per-response LSQR termination codes.
     """
 
+    _deprecated_params = {
+        "solver": "config",
+        "sketch": "config",
+        "sketch_size": "config",
+        "sketch_seed": "config",
+        "n_jobs": "config",
+        "backend": "config",
+    }
+
     def __init__(
         self,
         alpha: float = 1.0,
-        solver: str = "auto",
+        config: Optional[SolverConfig] = None,
         centering: Union[str, bool] = "auto",
         max_iter: int = 20,
         tol: float = 1e-10,
@@ -286,37 +389,40 @@ class SRDA(LinearEmbedder):
         on_invalid: str = "raise",
         trace=None,
         validate_operators: bool = False,
+        solver: Optional[str] = None,
         n_jobs: Optional[int] = None,
         backend: Union[str, Backend, None] = None,
-        sketch: str = "countsketch",
+        sketch: Optional[str] = None,
         sketch_size: Optional[int] = None,
-        sketch_seed: int = 0,
+        sketch_seed: Optional[int] = None,
     ) -> None:
         if alpha < 0:
             raise ValueError("alpha must be non-negative")
-        if solver not in ("auto", "normal", "lsqr", "sketched_lsqr"):
-            raise ValueError(f"unknown solver {solver!r}")
         if centering not in ("auto", True, False):
             raise ValueError("centering must be 'auto', True, or False")
         if max_iter < 1:
             raise ValueError("max_iter must be positive")
         if on_invalid not in ("raise", "warn"):
             raise ValueError("on_invalid must be 'raise' or 'warn'")
-        effective_n_jobs(n_jobs)  # validate early; stored verbatim below
-        if backend is not None and not isinstance(backend, (str, Backend)):
+        if config is None:
+            config = SolverConfig()
+        elif not isinstance(config, SolverConfig):
             raise ValueError(
-                "backend must be None, a backend name, or a Backend"
+                f"config must be a SolverConfig, got {type(config).__name__}"
             )
-        from repro.linalg.sketch import SKETCH_KINDS
-
-        if sketch not in SKETCH_KINDS:
-            raise ValueError(
-                f"unknown sketch {sketch!r}; expected one of {SKETCH_KINDS}"
-            )
-        if sketch_size is not None and sketch_size < 1:
-            raise ValueError("sketch_size must be positive or None")
+        legacy = {
+            "solver": solver,
+            "sketch": sketch,
+            "sketch_size": sketch_size,
+            "sketch_seed": sketch_seed,
+            "n_jobs": n_jobs,
+            "backend": backend,
+        }
+        for name, value in legacy.items():
+            if value is not None:
+                warn_deprecated_param(type(self), name, "config")
         self.alpha = float(alpha)
-        self.solver = solver
+        self.config = config.merge_legacy(legacy)
         self.centering = centering
         self.max_iter = int(max_iter)
         self.tol = float(tol)
@@ -325,11 +431,6 @@ class SRDA(LinearEmbedder):
         self.on_invalid = on_invalid
         self.trace = trace
         self.validate_operators = bool(validate_operators)
-        self.n_jobs = n_jobs
-        self.backend = backend
-        self.sketch = sketch
-        self.sketch_size = sketch_size
-        self.sketch_seed = int(sketch_seed)
         self.tracer_: Optional[Tracer] = None
         self.components_ = None
         self.intercept_ = None
@@ -340,6 +441,24 @@ class SRDA(LinearEmbedder):
         self.centered_: Optional[bool] = None
         self.lsqr_iterations_: Optional[List[int]] = None
         self.fit_report_: Optional[FitReport] = None
+        # partial_fit accumulator; None until the first partial_fit call
+        self._incremental: Optional[_IncrementalState] = None
+        # set (and always reset) by partial_fit around its solve so the
+        # incremental path warm-starts regardless of the warm_start param
+        self._force_warm_start = False
+
+    # ------------------------------------------------------------------
+    # Config-field aliases.  Reading ``model.solver`` etc. stays cheap
+    # and silent (the internal solve paths read these constantly);
+    # *assigning* through the old names is the deprecated spelling and
+    # merges into ``config`` with a warning.
+    # ------------------------------------------------------------------
+    solver = config_alias("solver")
+    sketch = config_alias("sketch")
+    sketch_size = config_alias("sketch_size")
+    sketch_seed = config_alias("sketch_seed")
+    n_jobs = config_alias("n_jobs")
+    backend = config_alias("backend")
 
     # ------------------------------------------------------------------
     def fit(self, X, y) -> "SRDA":
@@ -362,6 +481,9 @@ class SRDA(LinearEmbedder):
         """The fit pipeline, one observability span per phase."""
         report = FitReport()
         self.fit_report_ = report
+        # A cold fit discards any partial_fit stream: the model now
+        # describes exactly the data passed here.
+        self._incremental = None
         with tracer.span("srda.validate"):
             X, classes, y_indices = validate_data(
                 X,
@@ -422,6 +544,196 @@ class SRDA(LinearEmbedder):
         self.intercept_ = intercept
         with tracer.span("srda.embed"):
             self._store_centroids(self.transform(X), y_indices)
+        return self
+
+    # ------------------------------------------------------------------
+    # Incremental fitting
+    # ------------------------------------------------------------------
+    def partial_fit(self, X, y) -> "SRDA":
+        """Absorb one labeled batch and refresh the model incrementally.
+
+        Complexity: O(iters·c·(nnz + m + n) + m·c + c^3) — one
+        warm-started solve over the *accumulated* ``m`` rows / ``nnz``
+        entries, a table lookup (``m·c``) for the responses, and a
+        count-space Gram–Schmidt (``c^3``) independent of ``m``.  The
+        win over a cold refit is in ``iters``: the solve starts from
+        the previous batch's coefficients, so typically converges in a
+        small fraction of the cold iteration count (asserted by the
+        incremental benchmarks).
+
+        The spectral step never touches old rows again: per-class
+        *integer* running sums (updated in O(c + batch) per call) feed
+        :func:`repro.core.responses.response_table_from_counts`, whose
+        ``(c, c-1)`` table is an exact, batch-order-independent
+        function of the class histogram; the ``(m, c-1)`` response
+        matrix is a lookup into it.  The regression step then re-solves
+        the concatenated stream with LSQR started from the previous
+        projection vectors — the iterative analogue of the paper's
+        incremental (IDR/QR) comparison point.
+
+        Semantics and restrictions:
+
+        - The first ``partial_fit`` call starts a fresh stream; a later
+          ``fit`` discards the stream.  Batches must agree in feature
+          count and sparsity (no mixing sparse and dense).
+        - Labels unseen in earlier batches are welcome: the class set
+          grows, the new response columns start cold while the old ones
+          warm-start (zero-padded when the class count changes), and
+          ``classes_`` stays the sorted union.
+        - A stream whose cumulative data still has a single class fits
+          the degenerate zero-dimensional embedding (it does not raise,
+          unlike ``fit`` with ``on_invalid="raise"`` — a stream
+          legitimately starts narrow and widens).
+        - ``solver="normal"`` is rejected: refactoring normal equations
+          per batch is exactly the cold refit this method exists to
+          avoid.  ``"auto"`` resolves to ``"lsqr"``.
+
+        After each call ``fit_report_.incremental`` records the batch
+        count, new/total rows, cumulative classes, labels first seen in
+        this batch, and whether the solve warm-started.
+
+        Converged solves match ``fit`` on the concatenated data to
+        solver tolerance: both minimize the same ridge objective, whose
+        solution is unique for ``alpha > 0``, and the warm start moves
+        only the iteration count, never the fixed point.  (With
+        ``tol=0`` LSQR runs exactly ``max_iter`` iterations from
+        *different* starting points, so use a tolerance-based stop when
+        equivalence matters.)
+        """
+        tracer = resolve_tracer(self.trace)
+        self.tracer_ = tracer if tracer.enabled else None
+        self._fit_tracer = tracer
+        with tracer.span(
+            "srda.partial_fit", alpha=self.alpha, solver=self.solver
+        ) as fit_span:
+            return self._partial_fit_phases(X, y, tracer, fit_span)
+
+    def _partial_fit_phases(self, X, y, tracer: Tracer, fit_span) -> "SRDA":
+        """Validate-accumulate-solve pipeline for one batch."""
+        solver = self.solver
+        if solver == "normal":
+            raise ValueError(
+                "partial_fit requires an iterative solver ('lsqr' or "
+                "'sketched_lsqr'); solver='normal' refactors from "
+                "scratch every batch — call fit() instead"
+            )
+        if solver == "auto":
+            solver = "lsqr"
+
+        report = FitReport()
+        self.fit_report_ = report
+        with tracer.span("srda.validate"):
+            X, _, _ = validate_data(
+                X, y, on_invalid=self.on_invalid, min_classes=1
+            )
+        if not isinstance(X, CSRMatrix) and is_sparse(X):
+            X = CSRMatrix.from_scipy(X)
+        sparse_input = isinstance(X, CSRMatrix)
+
+        state = self._incremental
+        if state is None:
+            state = _IncrementalState(sparse_input, X.shape[1])
+            self._incremental = state
+            # a new stream never warm-starts from whatever an earlier
+            # cold fit learned on unrelated data
+            self.components_ = None
+            self.intercept_ = None
+        elif sparse_input != state.sparse:
+            raise ValueError(
+                "cannot mix sparse and dense batches in one "
+                "partial_fit stream"
+            )
+        elif X.shape[1] != state.n_features:
+            raise ValueError(
+                f"batch has {X.shape[1]} features, stream has "
+                f"{state.n_features}"
+            )
+
+        y = np.asarray(y)
+        new_labels = state.absorb_labels(y)
+        state.blocks.append(X)
+        state.labels.append(y)
+        state.rows += X.shape[0]
+
+        classes = state.classes
+        n_classes = classes.shape[0]
+        self.classes_ = classes
+        previous = self.components_
+        report.incremental = {
+            "batches": len(state.blocks),
+            "rows_new": int(X.shape[0]),
+            "rows_total": int(state.rows),
+            "n_classes": int(n_classes),
+            "classes_added": np.asarray(new_labels).tolist(),
+            "warm_started": bool(
+                previous is not None and previous.shape[1] > 0
+            ),
+        }
+        fit_span.set_attribute("batches", len(state.blocks))
+
+        full_X = _concat_blocks(state.blocks, state.sparse)
+        y_indices = np.searchsorted(classes, np.concatenate(state.labels))
+        if n_classes < 2:
+            return self._fit_single_class(full_X, y_indices, report)
+
+        singletons = int(np.sum(state.counts == 1))
+        if singletons:
+            report.add_warning(
+                f"{singletons} of {n_classes} classes have a single "
+                "sample; their within-class scatter is zero and the fit "
+                "may overfit those classes",
+                emit=self.on_invalid == "warn",
+            )
+        with tracer.span("srda.responses", n_classes=int(n_classes)):
+            table = response_table_from_counts(state.counts)
+            responses = table[y_indices]
+        self.responses_ = responses
+
+        rebase = state.response_rebasing(classes, table)
+        if previous is not None and previous.shape[1] and rebase is not None:
+            # Re-express the previous solve in the new response basis
+            # (the targets renormalize every batch); the warm start is
+            # then off only by what the new rows genuinely change.
+            self.components_ = previous @ rebase
+            self.intercept_ = self.intercept_ @ rebase
+
+        report.requested_solver = solver
+        center = (
+            not sparse_input
+            if self.centering == "auto"
+            else bool(self.centering)
+        )
+        fit_span.set_attribute("solver_used", solver)
+        fit_span.set_attribute("shape", [int(s) for s in full_X.shape])
+
+        self.lsqr_iterations_ = None
+        self._force_warm_start = True
+        try:
+            with tracer.span("srda.solve", solver=solver, centered=center):
+                if center:
+                    components, intercept = self._fit_centered(
+                        full_X, responses, solver, sparse_input, report,
+                        tracer,
+                    )
+                else:
+                    components, intercept = self._fit_augmented(
+                        full_X, responses, solver, sparse_input, report,
+                        tracer,
+                    )
+        finally:
+            self._force_warm_start = False
+        if solver == "sketched_lsqr" and report.solver == "lsqr":
+            solver = "lsqr"
+            fit_span.set_attribute("solver_used", solver)
+        self.solver_used_ = solver
+        self.centered_ = center
+        self.components_ = components
+        self.intercept_ = intercept
+        state.solved_classes = classes
+        state.solved_counts = state.counts.copy()
+        state.solved_table = table
+        with tracer.span("srda.embed"):
+            self._store_centroids(self.transform(full_X), y_indices)
         return self
 
     def _contract_check(self, op, tracer: Tracer) -> None:
@@ -694,16 +1006,35 @@ class SRDA(LinearEmbedder):
         return weights
 
     def _warm_start_matrix(self, n_weights: int, n_targets: int):
-        """Previous solution as LSQR starting points, when compatible."""
-        if not self.warm_start or self.components_ is None:
+        """Previous solution as LSQR starting points, when compatible.
+
+        ``partial_fit`` forces this on (``_force_warm_start``), and on
+        that path a changed class count zero-pads/truncates the target
+        columns instead of bailing: the leading columns stay aligned
+        (exactly so when new labels sort after the old ones; otherwise
+        the start is merely a worse guess — a warm start moves only the
+        iteration count, never the converged solution), and brand-new
+        response columns start cold at zero.
+        """
+        force = self._force_warm_start
+        if not (self.warm_start or force) or self.components_ is None:
             return None
         previous = self.components_
         if self.centered_ is False:
             # augmented path solved for [components; intercept]
             previous = np.vstack([previous, self.intercept_[None, :]])
-        if previous.shape != (n_weights, n_targets):
+        if previous.shape == (n_weights, n_targets):
+            return previous
+        if (
+            not force
+            or previous.shape[0] != n_weights
+            or previous.shape[1] == 0
+        ):
             return None
-        return previous
+        padded = np.zeros((n_weights, n_targets))
+        width = min(previous.shape[1], n_targets)
+        padded[:, :width] = previous[:, :width]
+        return padded
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -721,12 +1052,13 @@ def srda_alpha_path(
     tol: float = 1e-10,
     on_invalid: str = "raise",
     trace=None,
+    config: Optional[SolverConfig] = None,
     n_jobs: Optional[int] = None,
     backend: Union[str, Backend, None] = None,
-    solver: str = "lsqr",
-    sketch: str = "countsketch",
+    solver: Optional[str] = None,
+    sketch: Optional[str] = None,
     sketch_size: Optional[int] = None,
-    sketch_seed: int = 0,
+    sketch_seed: Optional[int] = None,
 ) -> List[SRDA]:
     """Fit SRDA for every ``alpha`` with ONE pass over the data.
 
@@ -758,25 +1090,25 @@ def srda_alpha_path(
         one ``srda.replay`` span per alpha (the zero-cost recurrence
         replays); with ``solver="sketched_lsqr"`` the nested spans are
         one ``sketch.build`` and one ``srda.sketched_solve`` per alpha.
-    n_jobs, backend:
-        Parallel operator products for the shared data pass, exactly as
-        :class:`SRDA`'s parameters of the same names.  On the ``"lsqr"``
-        path the replayed recurrences touch no data, so only the shared
-        bidiagonalization speeds up; on the ``"sketched_lsqr"`` path the
-        per-alpha solves also run through the sharded operator.
-    solver:
-        ``"lsqr"`` (default) shares one bidiagonalization and replays it
-        per alpha — total data passes ``2·max_iter + 1`` regardless of
-        grid size.  ``"sketched_lsqr"`` shares one sketch pass and its
-        Gram instead: each alpha then pays only an ``n × n`` Cholesky of
+    config:
+        A :class:`~repro.core.solver_config.SolverConfig`; ``None``
+        means ``SolverConfig(solver="lsqr")``.  ``config.solver`` must
+        be ``"lsqr"`` or ``"sketched_lsqr"``: ``"lsqr"`` shares one
+        bidiagonalization and replays it per alpha — total data passes
+        ``2·max_iter + 1`` regardless of grid size — while
+        ``"sketched_lsqr"`` shares one sketch pass and its Gram
+        instead, each alpha paying only an ``n × n`` Cholesky of
         ``gram + α I`` plus a *short* preconditioned solve (typically
-        2–5× fewer iterations).  For long grids over well-separated
-        alphas the replayed basis can degrade at extreme damping; the
-        sketched path solves each alpha exactly, with per-alpha
-        iteration counts that shrink as alpha grows.
-    sketch, sketch_size, sketch_seed:
-        As the :class:`SRDA` constructor; only used by
-        ``solver="sketched_lsqr"``.
+        2–5× fewer iterations; solves each alpha exactly where the
+        replayed basis can degrade at extreme damping).
+        ``config.n_jobs``/``config.backend`` parallelize the shared
+        data pass (and, on the sketched path, the per-alpha solves);
+        the sketch fields steer the sketched engine.
+    n_jobs, backend, solver, sketch, sketch_size, sketch_seed:
+        Deprecated keyword aliases for the corresponding ``config``
+        fields; passing any emits a
+        :class:`~repro.core.estimator.ReproDeprecationWarning` and
+        overrides that field.
 
     Returns
     -------
@@ -785,6 +1117,31 @@ def srda_alpha_path(
     alphas = [float(a) for a in alphas]
     if any(a < 0 for a in alphas):
         raise ValueError("alpha must be non-negative")
+    if config is None:
+        config = SolverConfig(solver="lsqr")
+    legacy = {
+        "solver": solver,
+        "sketch": sketch,
+        "sketch_size": sketch_size,
+        "sketch_seed": sketch_seed,
+        "n_jobs": n_jobs,
+        "backend": backend,
+    }
+    for name, value in legacy.items():
+        if value is not None:
+            warnings.warn(
+                f"srda_alpha_path({name}=...) is deprecated; pass "
+                f"config=SolverConfig({name}=...) instead",
+                ReproDeprecationWarning,
+                stacklevel=2,
+            )
+    config = config.merge_legacy(legacy)
+    solver = config.solver
+    sketch = config.sketch
+    sketch_size = config.sketch_size
+    sketch_seed = config.sketch_seed
+    n_jobs = config.n_jobs
+    backend = config.backend
     if solver not in ("lsqr", "sketched_lsqr"):
         raise ValueError(
             f"alpha-path solver must be 'lsqr' or 'sketched_lsqr', "
@@ -797,14 +1154,11 @@ def srda_alpha_path(
     def make_model(alpha: float) -> SRDA:
         return SRDA(
             alpha=alpha,
-            solver=solver,
+            config=config,
             centering=centering,
             max_iter=max_iter,
             tol=tol,
             on_invalid=on_invalid,
-            sketch=sketch,
-            sketch_size=sketch_size,
-            sketch_seed=sketch_seed,
         )
 
     X, classes, y_indices = validate_data(

@@ -21,9 +21,18 @@ from repro.baselines.rlda import RLDA
 from repro.core.sparse_srda import SparseSRDA
 from repro.core.srda import SRDA
 
-#: type tag -> (class, constructor parameter names)
+#: type tag -> (class, constructor parameter names).  SRDA's solver
+#: knobs are stored *flat* (``solver``/``sketch``/...) even though the
+#: constructor now groups them in a ``SolverConfig``: the flat spelling
+#: keeps old archives loadable and the format free of nested JSON.
+#: ``load_model`` folds them back into a config.
+_SRDA_CONFIG_FIELDS = ("solver", "sketch", "sketch_size", "sketch_seed")
+
 _REGISTRY = {
-    "SRDA": (SRDA, ("alpha", "solver", "centering", "max_iter", "tol")),
+    "SRDA": (
+        SRDA,
+        ("alpha", "centering", "max_iter", "tol") + _SRDA_CONFIG_FIELDS,
+    ),
     "SparseSRDA": (SparseSRDA, ("alpha", "l1_ratio", "max_iter", "tol")),
     "LDA": (LDA, ("n_components", "svd_tol")),
     "RLDA": (RLDA, ("alpha", "n_components", "svd_tol")),
@@ -79,11 +88,24 @@ def load_model(path: Union[str, Path]):
             raise ValueError(f"unknown model type {type_name!r} in archive")
         cls, _ = _REGISTRY[type_name]
         params = json.loads(str(archive["params_json"]))
-        # Archives written before constructor-arg renames store the old
-        # spelling; migrate silently (the file format is not user code).
-        for old, new in getattr(cls, "_deprecated_params", {}).items():
-            if old in params and new not in params:
-                params[new] = params.pop(old)
+        if cls is SRDA:
+            # Fold the flat solver knobs back into a SolverConfig (the
+            # file format predates the grouping and stays flat).
+            from repro.core.solver_config import SolverConfig
+
+            fields = {
+                name: params.pop(name)
+                for name in _SRDA_CONFIG_FIELDS
+                if name in params
+            }
+            params["config"] = SolverConfig(**fields)
+        else:
+            # Archives written before constructor-arg renames store the
+            # old spelling; migrate silently (the file format is not
+            # user code).
+            for old, new in getattr(cls, "_deprecated_params", {}).items():
+                if old in params and new not in params:
+                    params[new] = params.pop(old)
         model = cls(**params)
         for name in _ARRAYS:
             if name in archive:

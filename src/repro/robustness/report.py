@@ -71,6 +71,12 @@ class FitReport:
         Execution backend the operator products ran on (``None`` on
         the direct single-core path).  A degraded distributed fit
         records the ladder, e.g. ``"distributed->serial"``.
+    incremental:
+        ``None`` for a cold ``fit``.  A ``partial_fit`` records how the
+        batch was absorbed: batch count, new/total row counts, the
+        cumulative class count and any labels first seen this batch,
+        and whether the solve warm-started from the previous
+        coefficients.
     """
 
     solver: Optional[str] = None
@@ -84,6 +90,7 @@ class FitReport:
     warnings: List[str] = field(default_factory=list)
     converged: bool = True
     backend: Optional[str] = None
+    incremental: Optional[dict] = None
 
     @property
     def degraded(self) -> bool:
@@ -115,6 +122,11 @@ class FitReport:
             parts.append(f"lsqr_istop={self.lsqr_istop}")
         if self.backend is not None:
             parts.append(f"backend={self.backend}")
+        if self.incremental is not None:
+            parts.append(
+                f"incremental=batch{self.incremental.get('batches')}"
+                f"/{self.incremental.get('rows_total')}rows"
+            )
         if self.warnings:
             parts.append(f"warnings={len(self.warnings)}")
         parts.append(f"converged={self.converged}")

@@ -1,0 +1,31 @@
+"""Model serving — the online half of the linear-time pitch.
+
+Training in time linear in the data (the paper's headline) only pays
+off in production if fitted models actually serve traffic and appended
+rows are absorbed incrementally (:meth:`repro.core.srda.SRDA.partial_fit`)
+instead of triggering cold refits.  This package is the zero-dependency
+serving substrate:
+
+- :class:`ModelRegistry` — versioned store of fitted
+  :class:`~repro.core.estimator.ReproEstimator` models with
+  register / promote / rollback lifecycle, safe for concurrent readers;
+- :class:`BatchingPredictor` — a queue that coalesces single-row
+  predict requests into block matmat calls (float32 end-to-end via the
+  unified predict surface), with p50/p95/p99 latency and throughput
+  recorded in :mod:`repro.observability` histograms;
+- :mod:`repro.serving.server` — a threaded HTTP front end exposed as
+  ``python -m repro serve``.
+
+See ``docs/SERVING.md`` for the operational guide and
+``benchmarks/bench_serving.py`` for the SLO benchmark.
+"""
+
+from repro.serving.batching import BatchingPredictor, PredictorStats
+from repro.serving.registry import ModelRecord, ModelRegistry
+
+__all__ = [
+    "BatchingPredictor",
+    "ModelRecord",
+    "ModelRegistry",
+    "PredictorStats",
+]

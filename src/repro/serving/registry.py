@@ -1,0 +1,197 @@
+"""Versioned model store with a register / promote / rollback lifecycle.
+
+The registry is the control plane of the serving layer: traffic always
+flows to the *active* version of a named model, and operators move that
+pointer — never the models themselves.  The rules:
+
+- :meth:`ModelRegistry.register` accepts only *fitted* estimators
+  (checked via :meth:`~repro.core.estimator.ReproEstimator.is_fitted`,
+  which is why ``clone`` dropping fitted state on every estimator is a
+  hard protocol requirement) and assigns a monotonically increasing
+  version number per name;
+- the first registered version of a name is promoted automatically
+  (a service with zero active models serves nothing); later versions
+  stay staged until an explicit :meth:`~ModelRegistry.promote`;
+- every promotion is appended to a history, and
+  :meth:`~ModelRegistry.rollback` pops it — rollback is "undo the last
+  promotion", not "guess an older version";
+- models are never mutated or re-fitted in place by the registry; an
+  updated model (e.g. after ``partial_fit``) is registered as a *new*
+  version so a bad update stays rollback-able.
+
+All methods take one lock, so interleaved register/promote/predict
+races resolve to some serial order; lookups return the model object
+itself (estimators are not mutated by ``predict``/``transform``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+class ModelNotFoundError(KeyError):
+    """Unknown model name or version."""
+
+
+@dataclass(frozen=True)
+class ModelRecord:
+    """One immutable registry entry."""
+
+    name: str
+    version: int
+    model: Any
+    registered_at: float
+    note: str = ""
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-safe summary (for ``/models`` and CLI listings)."""
+        return {
+            "name": self.name,
+            "version": self.version,
+            "estimator": type(self.model).__name__,
+            "registered_at": self.registered_at,
+            "note": self.note,
+        }
+
+
+@dataclass
+class _ModelLine:
+    """All versions of one model name plus its promotion history."""
+
+    records: Dict[int, ModelRecord] = field(default_factory=dict)
+    next_version: int = 1
+    #: Promotion history; the last entry is the active version.
+    promoted: List[int] = field(default_factory=list)
+
+
+def _require_fitted(model: Any) -> None:
+    is_fitted = getattr(model, "is_fitted", None)
+    if callable(is_fitted):
+        if not is_fitted():
+            raise ValueError(
+                f"refusing to register an unfitted "
+                f"{type(model).__name__}; fit() it first"
+            )
+        return
+    # Duck-typed models outside the ReproEstimator protocol must at
+    # least expose a prediction surface.
+    if not any(
+        callable(getattr(model, method, None))
+        for method in ("predict", "decision_function", "transform")
+    ):
+        raise ValueError(
+            f"{type(model).__name__} exposes no predict/decision_function/"
+            "transform method; nothing to serve"
+        )
+
+
+class ModelRegistry:
+    """Thread-safe, versioned store of fitted estimators."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._lines: Dict[str, _ModelLine] = {}
+
+    def _line(self, name: str) -> _ModelLine:
+        line = self._lines.get(name)
+        if line is None:
+            raise ModelNotFoundError(f"no model registered as {name!r}")
+        return line
+
+    def register(self, name: str, model: Any, note: str = "") -> int:
+        """Store a fitted model under ``name``; returns its version.
+
+        The first version of a name is promoted immediately; later
+        versions stay staged until :meth:`promote`.
+        """
+        if not name:
+            raise ValueError("model name must be non-empty")
+        _require_fitted(model)
+        with self._lock:
+            line = self._lines.setdefault(name, _ModelLine())
+            version = line.next_version
+            line.next_version += 1
+            line.records[version] = ModelRecord(
+                name=name,
+                version=version,
+                model=model,
+                registered_at=time.time(),
+                note=note,
+            )
+            if not line.promoted:
+                line.promoted.append(version)
+            return version
+
+    def promote(self, name: str, version: int) -> None:
+        """Point traffic for ``name`` at ``version``."""
+        with self._lock:
+            line = self._line(name)
+            if version not in line.records:
+                raise ModelNotFoundError(
+                    f"{name!r} has no version {version}; "
+                    f"known: {sorted(line.records)}"
+                )
+            if line.promoted and line.promoted[-1] == version:
+                return  # already active; keep history minimal
+            line.promoted.append(version)
+
+    def rollback(self, name: str) -> int:
+        """Undo the last promotion; returns the now-active version."""
+        with self._lock:
+            line = self._line(name)
+            if len(line.promoted) < 2:
+                raise ValueError(
+                    f"{name!r} has no prior promotion to roll back to"
+                )
+            line.promoted.pop()
+            return line.promoted[-1]
+
+    def active_version(self, name: str) -> int:
+        """Version currently serving traffic for ``name``."""
+        with self._lock:
+            return self._line(name).promoted[-1]
+
+    def active(self, name: str) -> Any:
+        """The model currently serving traffic for ``name``."""
+        with self._lock:
+            line = self._line(name)
+            return line.records[line.promoted[-1]].model
+
+    def get(self, name: str, version: Optional[int] = None) -> ModelRecord:
+        """A specific record (active version when ``version`` is None)."""
+        with self._lock:
+            line = self._line(name)
+            if version is None:
+                version = line.promoted[-1]
+            record = line.records.get(version)
+            if record is None:
+                raise ModelNotFoundError(
+                    f"{name!r} has no version {version}; "
+                    f"known: {sorted(line.records)}"
+                )
+            return record
+
+    def versions(self, name: str) -> List[int]:
+        with self._lock:
+            return sorted(self._line(name).records)
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._lines)
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-safe snapshot of every line (for ``/models``)."""
+        with self._lock:
+            return {
+                name: {
+                    "active_version": line.promoted[-1],
+                    "versions": [
+                        line.records[v].describe()
+                        for v in sorted(line.records)
+                    ],
+                }
+                for name, line in self._lines.items()
+            }

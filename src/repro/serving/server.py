@@ -1,0 +1,252 @@
+"""Threaded HTTP front end for the serving layer — ``python -m repro serve``.
+
+Standard-library only (:mod:`http.server` + :mod:`json`); one
+:class:`~repro.serving.batching.BatchingPredictor` per server instance
+serves the *active* version of a :class:`~repro.serving.registry.ModelRegistry`
+entry, so promotions and rollbacks apply between batches without a
+restart.  Endpoints:
+
+- ``POST /predict`` — ``{"rows": [[...], ...], "method": "predict"}``;
+  each row is routed through the batching queue individually (that is
+  the point: concurrent clients coalesce into block calls) and the
+  response carries labels/scores plus per-row latency.
+- ``POST /partial_fit`` — ``{"rows": ..., "labels": ...}``; absorbs a
+  batch into a *copy-registered* new version when the active model
+  supports ``partial_fit`` (the previous version stays rollback-able).
+- ``POST /promote`` / ``POST /rollback`` — move the traffic pointer.
+- ``GET /models`` — registry snapshot; ``GET /metrics`` — SLO
+  instruments (p50/p95/p99 latency, batch sizes, throughput);
+  ``GET /healthz`` — liveness.
+- ``POST /shutdown`` — graceful stop (drains the batcher, flushes the
+  tracer so the final metrics snapshot lands in ``--trace-jsonl``).
+
+The JSON protocol is deliberately flat so a CI smoke test is a couple
+of ``urllib`` calls.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.serving.batching import BATCH_METHODS, BatchingPredictor
+from repro.serving.registry import ModelNotFoundError, ModelRegistry
+
+
+def _jsonable(value: Any) -> Any:
+    """Numpy results → plain JSON values."""
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    return value
+
+
+class ServingApp:
+    """The HTTP-agnostic request logic (unit-testable without sockets)."""
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        model_name: str,
+        max_batch: int = 64,
+        max_wait: float = 0.002,
+        tracer=None,
+    ) -> None:
+        self.registry = registry
+        self.model_name = model_name
+        self.tracer = tracer
+        metrics = tracer.metrics if tracer is not None else None
+        self.predictor = BatchingPredictor(
+            lambda: self.registry.active(self.model_name),
+            max_batch=max_batch,
+            max_wait=max_wait,
+            metrics=metrics,
+        )
+
+    # Each handler returns (status, payload).
+
+    def predict(self, body: Dict[str, Any]) -> Tuple[int, Dict[str, Any]]:
+        rows = body.get("rows")
+        if rows is None:
+            return 400, {"error": "missing 'rows'"}
+        method = body.get("method", "predict")
+        if method not in BATCH_METHODS:
+            return 400, {
+                "error": f"method must be one of {list(BATCH_METHODS)}"
+            }
+        X = np.asarray(rows, dtype=np.float32)
+        if X.ndim == 1:
+            X = X[None, :]
+        if X.ndim != 2:
+            return 400, {"error": f"rows must be 2-D, got shape {X.shape}"}
+        tickets = [self.predictor.submit(row, method=method) for row in X]
+        results = []
+        for ticket in tickets:
+            if not ticket.done.wait(30.0):
+                return 504, {"error": "prediction timed out"}
+            if ticket.error is not None:
+                return 500, {"error": str(ticket.error)}
+            results.append(_jsonable(ticket.result))
+        return 200, {
+            "results": results,
+            "method": method,
+            "model": self.model_name,
+            "version": self.registry.active_version(self.model_name),
+        }
+
+    def partial_fit(self, body: Dict[str, Any]) -> Tuple[int, Dict[str, Any]]:
+        rows, labels = body.get("rows"), body.get("labels")
+        if rows is None or labels is None:
+            return 400, {"error": "missing 'rows' or 'labels'"}
+        model = self.registry.active(self.model_name)
+        if not callable(getattr(model, "partial_fit", None)):
+            return 409, {
+                "error": f"{type(model).__name__} has no partial_fit"
+            }
+        X = np.asarray(rows, dtype=np.float64)
+        y = np.asarray(labels)
+        try:
+            model.partial_fit(X, y)
+        except (ValueError, RuntimeError) as exc:
+            return 400, {"error": str(exc)}
+        # Re-register so the absorbed batch is a new, rollback-able
+        # version.  The estimator object is shared between versions —
+        # rollback protects against *promotion* mistakes; a poisoned
+        # stream needs re-registering a clean model.
+        version = self.registry.register(
+            self.model_name, model, note=f"partial_fit +{X.shape[0]} rows"
+        )
+        self.registry.promote(self.model_name, version)
+        report = getattr(model, "fit_report_", None)
+        incremental = getattr(report, "incremental", None)
+        return 200, {
+            "model": self.model_name,
+            "version": version,
+            "incremental": incremental,
+        }
+
+    def promote(self, body: Dict[str, Any]) -> Tuple[int, Dict[str, Any]]:
+        version = body.get("version")
+        if version is None:
+            return 400, {"error": "missing 'version'"}
+        try:
+            self.registry.promote(self.model_name, int(version))
+        except ModelNotFoundError as exc:
+            return 404, {"error": str(exc)}
+        return 200, {
+            "model": self.model_name,
+            "active_version": self.registry.active_version(self.model_name),
+        }
+
+    def rollback(self, _body: Dict[str, Any]) -> Tuple[int, Dict[str, Any]]:
+        try:
+            version = self.registry.rollback(self.model_name)
+        except ValueError as exc:
+            return 409, {"error": str(exc)}
+        return 200, {"model": self.model_name, "active_version": version}
+
+    def models(self) -> Tuple[int, Dict[str, Any]]:
+        return 200, self.registry.describe()
+
+    def metrics(self) -> Tuple[int, Dict[str, Any]]:
+        stats = self.predictor.stats().as_dict()
+        snapshot = self.predictor.metrics.snapshot()
+        return 200, {"slo": stats, "instruments": snapshot}
+
+    def close(self) -> None:
+        self.predictor.close()
+        if self.tracer is not None:
+            self.tracer.flush()
+
+
+class _Handler(BaseHTTPRequestHandler):
+    app: ServingApp  # injected by make_server
+    server_version = "repro-serve/1.0"
+
+    def log_message(self, *_args) -> None:  # quiet by default
+        pass
+
+    def _send(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _body(self) -> Dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if not length:
+            return {}
+        try:
+            return json.loads(self.rfile.read(length).decode())
+        except json.JSONDecodeError:
+            return {"__malformed__": True}
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server convention
+        if self.path == "/healthz":
+            self._send(200, {"status": "ok"})
+        elif self.path == "/models":
+            self._send(*self.app.models())
+        elif self.path == "/metrics":
+            self._send(*self.app.metrics())
+        else:
+            self._send(404, {"error": f"unknown path {self.path}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server convention
+        body = self._body()
+        if body.get("__malformed__"):
+            self._send(400, {"error": "request body is not valid JSON"})
+            return
+        if self.path == "/predict":
+            self._send(*self.app.predict(body))
+        elif self.path == "/partial_fit":
+            self._send(*self.app.partial_fit(body))
+        elif self.path == "/promote":
+            self._send(*self.app.promote(body))
+        elif self.path == "/rollback":
+            self._send(*self.app.rollback(body))
+        elif self.path == "/shutdown":
+            self._send(200, {"status": "shutting down"})
+            threading.Thread(
+                target=self.server.shutdown, daemon=True
+            ).start()
+        else:
+            self._send(404, {"error": f"unknown path {self.path}"})
+
+
+def make_server(
+    app: ServingApp, host: str = "127.0.0.1", port: int = 0
+) -> ThreadingHTTPServer:
+    """A ready-to-``serve_forever`` threaded HTTP server.
+
+    ``port=0`` binds an ephemeral port; read it back from
+    ``server.server_address``.
+    """
+    handler = type("BoundHandler", (_Handler,), {"app": app})
+    server = ThreadingHTTPServer((host, port), handler)
+    server.daemon_threads = True
+    return server
+
+
+def serve_forever(
+    app: ServingApp, host: str, port: int, ready: Optional[Any] = None
+) -> None:
+    """Run the server until ``/shutdown`` (or KeyboardInterrupt)."""
+    server = make_server(app, host, port)
+    bound = server.server_address
+    print(f"repro serve listening on http://{bound[0]}:{bound[1]}")
+    if ready is not None:
+        ready.set()
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    finally:
+        server.server_close()
+        app.close()

@@ -13,6 +13,7 @@ import repro
 from repro import IDRQR, SRDA, ReproDeprecationWarning, all_estimators, clone
 from repro.baselines.lda import ScatterLDA
 from repro.core.estimator import ReproEstimator
+from repro.core.solver_config import SolverConfig
 
 REGISTRY = all_estimators()
 
@@ -117,10 +118,51 @@ class TestRegistry:
             assert loader() is getattr(repro, name)
 
 
+#: Estimators whose ``fit`` takes no labels.
+UNSUPERVISED = {"PCA", "SpectralRegressionEmbedding"}
+
+
+def _fit(name, X, y):
+    estimator = REGISTRY[name]()()
+    return estimator.fit(X) if name in UNSUPERVISED else estimator.fit(X, y)
+
+
+@pytest.mark.parametrize("name", sorted(REGISTRY))
+class TestFittedState:
+    """Satellite of the serving registry: ``is_fitted`` must be accurate
+    and ``clone`` must drop fitted state on *every* estimator."""
+
+    def test_is_fitted_flips_on_fit(self, name, small_classification):
+        estimator = REGISTRY[name]()()
+        assert not estimator.is_fitted()
+        assert estimator.fitted_attributes() == {}
+        X, y = small_classification
+        fitted = _fit(name, X, y)
+        assert fitted.is_fitted()
+
+    def test_clone_drops_every_fitted_marker(
+        self, name, small_classification
+    ):
+        X, y = small_classification
+        fitted = _fit(name, X, y)
+        copy = clone(fitted)
+        assert not copy.is_fitted()
+        assert copy.fit_report_ is None
+        for marker in fitted.fitted_attributes():
+            assert getattr(copy, marker, None) is None, marker
+        # the clone is a working estimator
+        refit = (
+            copy.fit(X) if name in UNSUPERVISED else copy.fit(X, y)
+        )
+        assert refit.is_fitted()
+
+
 class TestSRDAClone:
     def test_clone_drops_fitted_attributes(self, small_classification):
         X, y = small_classification
-        model = SRDA(alpha=2.0, solver="normal").fit(X, y)
+        model = SRDA(alpha=2.0, config=SolverConfig(solver="normal")).fit(
+            X, y
+        )
         copy = clone(model)
         assert copy.components_ is None
         assert copy.fit_report_ is None
@@ -133,42 +175,34 @@ class TestSRDAClone:
         assert clone(model).get_params()["trace"] is True
 
 
-class TestDeprecatedRidgeSpelling:
-    @pytest.mark.parametrize(
-        "cls", [ScatterLDA, IDRQR], ids=["ScatterLDA", "IDRQR"]
-    )
-    def test_constructor_ridge_warns_and_maps(self, cls):
-        with pytest.warns(ReproDeprecationWarning, match="ridge=.*alpha="):
-            estimator = cls(ridge=0.75)
-        assert estimator.alpha == 0.75
-        assert "ridge" not in estimator.get_params()
+class TestRidgeSpellingRemoved:
+    """The PR-4 ``ridge=`` deprecation cycle is complete: hard removal."""
 
     @pytest.mark.parametrize(
         "cls", [ScatterLDA, IDRQR], ids=["ScatterLDA", "IDRQR"]
     )
-    def test_set_params_ridge_warns_and_maps(self, cls):
-        estimator = cls()
-        with pytest.warns(ReproDeprecationWarning):
-            estimator.set_params(ridge=0.25)
-        assert estimator.get_params()["alpha"] == 0.25
+    def test_constructor_rejects_ridge(self, cls):
+        with pytest.raises(TypeError, match="ridge"):
+            cls(ridge=0.75)
 
     @pytest.mark.parametrize(
         "cls", [ScatterLDA, IDRQR], ids=["ScatterLDA", "IDRQR"]
     )
-    def test_ridge_alias_reads_silently_warns_on_write(self, cls):
-        estimator = cls(alpha=0.5)
-        with warnings.catch_warnings():
-            # Reading the alias stays quiet for the deprecation cycle.
-            warnings.simplefilter("error", ReproDeprecationWarning)
-            assert estimator.ridge == 0.5
-        with pytest.warns(ReproDeprecationWarning):
-            estimator.ridge = 1.5
-        assert estimator.alpha == 1.5
+    def test_set_params_rejects_ridge(self, cls):
+        with pytest.raises(ValueError, match="invalid parameter"):
+            cls().set_params(ridge=0.25)
 
     @pytest.mark.parametrize(
         "cls", [ScatterLDA, IDRQR], ids=["ScatterLDA", "IDRQR"]
     )
-    def test_new_spelling_stays_silent(self, cls):
+    def test_alias_property_is_gone(self, cls):
+        assert not hasattr(cls, "ridge")
+        assert "ridge" not in cls._deprecated_params
+
+    @pytest.mark.parametrize(
+        "cls", [ScatterLDA, IDRQR], ids=["ScatterLDA", "IDRQR"]
+    )
+    def test_alpha_spelling_stays_silent(self, cls):
         with warnings.catch_warnings():
             warnings.simplefilter("error", ReproDeprecationWarning)
             estimator = cls(alpha=0.5)
@@ -178,3 +212,53 @@ class TestDeprecatedRidgeSpelling:
 
     def test_deprecation_warning_is_a_future_warning(self):
         assert issubclass(ReproDeprecationWarning, FutureWarning)
+
+
+class TestSolverConfigAliases:
+    """The folded fit-time knobs survive one cycle as thin aliases."""
+
+    ALIASES = {
+        "solver": "lsqr",
+        "sketch": "sparse_sign",
+        "sketch_size": 32,
+        "sketch_seed": 7,
+        "n_jobs": 2,
+        "backend": "serial",
+    }
+
+    @pytest.mark.parametrize("name", sorted(ALIASES))
+    def test_constructor_alias_warns_and_merges(self, name):
+        with pytest.warns(ReproDeprecationWarning, match=f"{name}=.*config="):
+            model = SRDA(**{name: self.ALIASES[name]})
+        assert getattr(model.config, name) == self.ALIASES[name]
+        assert name not in model.get_params()
+
+    @pytest.mark.parametrize("name", sorted(ALIASES))
+    def test_set_params_alias_warns_and_merges(self, name):
+        model = SRDA()
+        with pytest.warns(ReproDeprecationWarning):
+            model.set_params(**{name: self.ALIASES[name]})
+        assert getattr(model.config, name) == self.ALIASES[name]
+
+    @pytest.mark.parametrize("name", sorted(ALIASES))
+    def test_alias_reads_silently(self, name):
+        model = SRDA(config=SolverConfig(**{name: self.ALIASES[name]}))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", ReproDeprecationWarning)
+            assert getattr(model, name) == self.ALIASES[name]
+
+    def test_set_params_alias_preserves_other_fields(self):
+        model = SRDA(config=SolverConfig(solver="lsqr", sketch_seed=5))
+        with pytest.warns(ReproDeprecationWarning):
+            model.set_params(sketch_size=16)
+        assert model.config.solver == "lsqr"
+        assert model.config.sketch_seed == 5
+        assert model.config.sketch_size == 16
+
+    def test_config_spelling_stays_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", ReproDeprecationWarning)
+            model = SRDA(config=SolverConfig(solver="lsqr"))
+            model.set_params(config=SolverConfig(solver="normal"))
+            clone(model)
+        assert model.config.solver == "normal"

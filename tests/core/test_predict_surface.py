@@ -1,0 +1,152 @@
+"""Conformance of the unified predict surface across the registry.
+
+Every estimator in :func:`repro.all_estimators` exposes ``transform``
+returning an ``(m, d)`` embedding under the
+:func:`~repro.core.base.working_dtype` contract (float32 in → float32
+out, everything else float64).  Classifiers additionally expose
+``decision_function`` returning ``(m, c)`` scores whose row-wise
+``argmax`` *is* ``predict`` — bitwise, including tie-breaks.  PCA and
+SpectralRegressionEmbedding are transformer-only and are held to the
+embedding half of the contract.
+"""
+
+import numpy as np
+import pytest
+
+from repro import all_estimators
+from repro.core.base import NotFittedError, working_dtype
+
+REGISTRY = all_estimators()
+
+#: Estimators with no label read-out: ``fit`` accepts ``y=None`` and the
+#: surface is ``transform`` only.
+TRANSFORMER_ONLY = {"PCA", "SpectralRegressionEmbedding"}
+
+CLASSIFIERS = [name for name in REGISTRY if name not in TRANSFORMER_ONLY]
+
+
+def _dataset():
+    """Well-separated 3-class problem shared by every conformance case."""
+    rng = np.random.default_rng(0)
+    n_per_class, n_features, n_classes = 20, 10, 3
+    centers = 6.0 * rng.standard_normal((n_classes, n_features))
+    X = np.vstack(
+        [
+            centers[k] + rng.standard_normal((n_per_class, n_features))
+            for k in range(n_classes)
+        ]
+    )
+    y = np.repeat(np.arange(n_classes), n_per_class)
+    shuffle = rng.permutation(X.shape[0])
+    X_test = np.vstack(
+        [
+            centers[k] + rng.standard_normal((7, n_features))
+            for k in range(n_classes)
+        ]
+    )
+    return X[shuffle], y[shuffle], X_test
+
+
+X_TRAIN, Y_TRAIN, X_TEST = _dataset()
+
+_FITTED = {}
+
+
+def fitted(name):
+    """Fit each registry estimator once and reuse it across cases."""
+    if name not in _FITTED:
+        cls = REGISTRY[name]()
+        estimator = cls()
+        if name in TRANSFORMER_ONLY:
+            estimator.fit(X_TRAIN)
+        else:
+            estimator.fit(X_TRAIN, Y_TRAIN)
+        _FITTED[name] = estimator
+    return _FITTED[name]
+
+
+@pytest.mark.parametrize("name", sorted(REGISTRY))
+class TestTransformContract:
+    def test_float64_embedding_shape_and_dtype(self, name):
+        Z = fitted(name).transform(X_TEST)
+        assert Z.ndim == 2
+        assert Z.shape[0] == X_TEST.shape[0]
+        assert Z.dtype == np.float64
+
+    def test_float32_in_float32_out(self, name):
+        estimator = fitted(name)
+        X32 = X_TEST.astype(np.float32)
+        Z32 = estimator.transform(X32)
+        Z64 = estimator.transform(X_TEST)
+        assert Z32.dtype == np.float32
+        assert Z32.shape == Z64.shape
+        scale = float(np.abs(Z64).max()) + 1.0
+        np.testing.assert_allclose(Z32, Z64, rtol=1e-3, atol=1e-3 * scale)
+
+    def test_working_dtype_helper_matches_output(self, name):
+        estimator = fitted(name)
+        for X in (X_TEST, X_TEST.astype(np.float32)):
+            assert estimator.transform(X).dtype == working_dtype(X)
+
+    def test_unfitted_transform_raises(self, name):
+        cls = REGISTRY[name]()
+        with pytest.raises(NotFittedError):
+            cls().transform(X_TEST)
+
+
+@pytest.mark.parametrize("name", sorted(CLASSIFIERS))
+class TestClassifierContract:
+    def test_decision_function_shape(self, name):
+        estimator = fitted(name)
+        scores = estimator.decision_function(X_TEST)
+        assert scores.shape == (
+            X_TEST.shape[0],
+            estimator.classes_.shape[0],
+        )
+        assert scores.dtype == np.float64
+
+    def test_predict_is_argmax_of_decision_function(self, name):
+        estimator = fitted(name)
+        scores = estimator.decision_function(X_TEST)
+        expected = estimator.classes_[np.argmax(scores, axis=1)]
+        np.testing.assert_array_equal(estimator.predict(X_TEST), expected)
+
+    def test_predict_labels_come_from_classes(self, name):
+        estimator = fitted(name)
+        labels = estimator.predict(X_TEST)
+        assert labels.shape == (X_TEST.shape[0],)
+        assert np.isin(labels, estimator.classes_).all()
+
+    def test_float32_scores_dtype_and_agreement(self, name):
+        estimator = fitted(name)
+        scores32 = estimator.decision_function(X_TEST.astype(np.float32))
+        assert scores32.dtype == np.float32
+        # Well-separated classes: single precision must not change the
+        # read-out.
+        np.testing.assert_array_equal(
+            estimator.classes_[np.argmax(scores32, axis=1)],
+            estimator.predict(X_TEST),
+        )
+
+    def test_score_is_training_accuracy(self, name):
+        estimator = fitted(name)
+        accuracy = estimator.score(X_TRAIN, Y_TRAIN)
+        assert 0.9 <= accuracy <= 1.0
+
+    def test_unfitted_decision_function_raises(self, name):
+        cls = REGISTRY[name]()
+        with pytest.raises(NotFittedError):
+            cls().decision_function(X_TEST)
+
+
+@pytest.mark.parametrize("name", sorted(TRANSFORMER_ONLY))
+class TestTransformerOnlySurface:
+    def test_no_label_read_out(self, name):
+        estimator = fitted(name)
+        assert not hasattr(estimator, "predict")
+        assert not hasattr(estimator, "decision_function")
+
+    def test_fit_accepts_no_labels(self, name):
+        cls = REGISTRY[name]()
+        estimator = cls().fit(X_TRAIN)
+        assert estimator.transform(X_TEST).shape[0] == X_TEST.shape[0]

@@ -1,0 +1,259 @@
+"""SRDA.partial_fit: equivalence to fit, warm-start payoff, edge cases.
+
+The contract under test (documented on :meth:`SRDA.partial_fit`):
+
+- streaming batches and cold-fitting the concatenation minimize the
+  same ridge objective, so converged solves agree to solver tolerance
+  (``<= 1e-6`` here, float64);
+- the warm start pays in *iterations* — on ill-conditioned data each
+  incremental solve must take strictly fewer LSQR iterations than the
+  cold refit at the same tolerance;
+- the response construction is an exact integer function of the class
+  histogram, hence bitwise independent of batch order.
+"""
+
+import numpy as np
+import pytest
+
+from repro import SRDA, SolverConfig
+from repro.core.responses import response_table_from_counts
+from repro.robustness.report import RobustnessWarning
+
+pytestmark = pytest.mark.partial_fit
+
+LSQR = dict(
+    alpha=1.0, config=SolverConfig(solver="lsqr"), max_iter=500, tol=1e-12
+)
+
+#: Acceptance bound for partial_fit-vs-fit agreement (float64).
+EQUIVALENCE_BOUND = 1e-6
+
+
+def _blobs(rng, m, n_features=12, n_classes=4, centers=None):
+    if centers is None:
+        centers = 4.0 * rng.standard_normal((n_classes, n_features))
+    y = rng.integers(0, centers.shape[0], size=m)
+    y[: centers.shape[0]] = np.arange(centers.shape[0])
+    X = centers[y] + rng.standard_normal((m, centers.shape[0] and n_features))
+    return X, y, centers
+
+
+def _ill_conditioned_stream(seed, n=80, c=6, cond=1e2):
+    """Class blobs pushed through a power-law column spectrum.
+
+    On this conditioning the cold LSQR at tol=1e-10 needs hundreds of
+    iterations, so the warm start's head start is measurable — on
+    well-conditioned data both converge in a handful of iterations and
+    "strictly fewer" would be vacuous or flaky.
+    """
+    rng = np.random.default_rng(seed)
+    U = np.linalg.qr(rng.standard_normal((n, n)))[0]
+    base = U * cond ** (-np.arange(n) / (n - 1))
+    centers = 2.0 * rng.standard_normal((c, n))
+
+    def make(m):
+        y = rng.integers(0, c, size=m)
+        y[:c] = np.arange(c)
+        return (centers[y] + rng.standard_normal((m, n))) @ base, y
+
+    return make
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_matches_fit_and_saves_iterations(self, seed):
+        """The acceptance claim: <= 1e-6 agreement, strictly fewer iters."""
+        make = _ill_conditioned_stream(seed)
+        kwargs = dict(
+            alpha=0.01,
+            config=SolverConfig(solver="lsqr"),
+            max_iter=1000,
+            tol=1e-10,
+        )
+        warm = SRDA(**kwargs)
+        X0, y0 = make(1000)
+        warm.partial_fit(X0, y0)
+        seen_X, seen_y = [X0], [y0]
+        for _ in range(2):
+            Xb, yb = make(10)
+            seen_X.append(Xb)
+            seen_y.append(yb)
+            warm.partial_fit(Xb, yb)
+            cold = SRDA(**kwargs).fit(
+                np.vstack(seen_X), np.concatenate(seen_y)
+            )
+            diff = np.abs(warm.components_ - cold.components_).max()
+            assert diff <= EQUIVALENCE_BOUND
+            assert max(warm.lsqr_iterations_) < max(cold.lsqr_iterations_)
+            assert warm.fit_report_.incremental["warm_started"]
+
+    def test_predictions_match_fit(self):
+        rng = np.random.default_rng(5)
+        X, y, centers = _blobs(rng, 120)
+        stream = SRDA(**LSQR)
+        for start in range(0, 120, 40):
+            stream.partial_fit(X[start:start + 40], y[start:start + 40])
+        full = SRDA(**LSQR).fit(X, y)
+        X_new = centers[y[:30]] + rng.standard_normal((30, X.shape[1]))
+        np.testing.assert_array_equal(
+            stream.predict(X_new), full.predict(X_new)
+        )
+
+
+class TestUnseenClasses:
+    def test_class_set_grows_mid_stream(self):
+        rng = np.random.default_rng(2)
+        X, y, _ = _blobs(rng, 90, n_classes=5)
+        first = y < 3  # classes {0,1,2} only
+        model = SRDA(**LSQR)
+        model.partial_fit(X[first], y[first])
+        assert model.classes_.tolist() == [0, 1, 2]
+        model.partial_fit(X[~first], y[~first])
+        assert model.classes_.tolist() == [0, 1, 2, 3, 4]
+        added = model.fit_report_.incremental["classes_added"]
+        assert added == [3, 4]
+        full = SRDA(**LSQR).fit(
+            np.vstack([X[first], X[~first]]),
+            np.concatenate([y[first], y[~first]]),
+        )
+        diff = np.abs(model.components_ - full.components_).max()
+        assert diff <= EQUIVALENCE_BOUND
+
+    def test_single_class_stream_widens(self):
+        """A stream may legitimately start with one class: no raise,
+        zero-dimensional embedding, then a real model once it widens."""
+        rng = np.random.default_rng(3)
+        X, y, _ = _blobs(rng, 60, n_classes=3)
+        model = SRDA(**LSQR)
+        with pytest.warns(RobustnessWarning, match="one class"):
+            model.partial_fit(X[y == 0], y[y == 0])
+        assert model.classes_.tolist() == [0]
+        assert model.transform(X[:4]).shape == (4, 0)
+        model.partial_fit(X[y != 0], y[y != 0])
+        assert model.classes_.tolist() == [0, 1, 2]
+        assert model.components_.shape[1] == 2
+
+
+class TestBatchShapes:
+    def test_single_row_batches(self):
+        rng = np.random.default_rng(4)
+        X, y, _ = _blobs(rng, 50)
+        model = SRDA(**LSQR)
+        model.partial_fit(X[:30], y[:30])
+        for i in range(30, 50):
+            model.partial_fit(X[i:i + 1], y[i:i + 1])
+        assert model.fit_report_.incremental["batches"] == 21
+        assert model.fit_report_.incremental["rows_total"] == 50
+        full = SRDA(**LSQR).fit(X, y)
+        diff = np.abs(model.components_ - full.components_).max()
+        assert diff <= EQUIVALENCE_BOUND
+
+    def test_dtype_mixed_batches(self):
+        """float32 / float64 / integer batches share one stream; the
+        result matches a fit on the same values upcast to float64."""
+        rng = np.random.default_rng(6)
+        X, y, _ = _blobs(rng, 90)
+        batches = [
+            X[:30].astype(np.float32),
+            X[30:60],  # float64
+            np.round(X[60:] * 4.0).astype(np.int32),
+        ]
+        model = SRDA(**LSQR)
+        for Xb, yb in zip(batches, (y[:30], y[30:60], y[60:])):
+            model.partial_fit(Xb, yb)
+        X_ref = np.vstack([b.astype(np.float64) for b in batches])
+        full = SRDA(**LSQR).fit(X_ref, y)
+        diff = np.abs(model.components_ - full.components_).max()
+        assert diff <= EQUIVALENCE_BOUND
+
+    def test_feature_count_mismatch_rejected(self):
+        rng = np.random.default_rng(7)
+        X, y, _ = _blobs(rng, 40)
+        model = SRDA(**LSQR)
+        model.partial_fit(X, y)
+        with pytest.raises(ValueError, match="features"):
+            model.partial_fit(X[:, :5], y)
+
+
+class TestDeterminism:
+    def test_counts_and_table_bitwise_under_batch_permutation(self):
+        """The class histogram and the response table built from it are
+        integer-exact, so any batch order produces bitwise-identical
+        values — the documented guarantee behind reproducible streams."""
+        rng = np.random.default_rng(8)
+        X, y, _ = _blobs(rng, 120, n_classes=5)
+        splits = [(0, 50), (50, 80), (80, 120)]
+        reference = None
+        for order in ([0, 1, 2], [2, 0, 1], [1, 2, 0]):
+            model = SRDA(**LSQR)
+            for k in order:
+                lo, hi = splits[k]
+                model.partial_fit(X[lo:hi], y[lo:hi])
+            counts = model._incremental.counts
+            table = response_table_from_counts(counts)
+            if reference is None:
+                reference = (counts.copy(), table.copy())
+            else:
+                assert np.array_equal(counts, reference[0])
+                # bitwise, not allclose: the table is a pure function
+                # of integer counts
+                assert np.array_equal(table, reference[1])
+
+    def test_incremental_report_fields(self):
+        rng = np.random.default_rng(9)
+        X, y, _ = _blobs(rng, 60)
+        model = SRDA(**LSQR)
+        model.partial_fit(X[:40], y[:40])
+        first = model.fit_report_.incremental
+        assert first["batches"] == 1
+        assert first["rows_new"] == 40
+        assert not first["warm_started"]
+        model.partial_fit(X[40:], y[40:])
+        second = model.fit_report_.incremental
+        assert second["batches"] == 2
+        assert second["rows_total"] == 60
+        assert second["warm_started"]
+
+
+class TestStreamSemantics:
+    def test_fit_discards_stream(self):
+        rng = np.random.default_rng(10)
+        X, y, _ = _blobs(rng, 80)
+        model = SRDA(**LSQR)
+        model.partial_fit(X[:40], y[:40])
+        model.fit(X[40:], y[40:])
+        fresh = SRDA(**LSQR).fit(X[40:], y[40:])
+        np.testing.assert_array_equal(
+            model.components_, fresh.components_
+        )
+        assert model.fit_report_.incremental is None
+
+    def test_partial_fit_after_fit_starts_fresh(self):
+        rng = np.random.default_rng(11)
+        X, y, _ = _blobs(rng, 80)
+        model = SRDA(**LSQR)
+        model.fit(X[:40], y[:40])
+        model.partial_fit(X[40:], y[40:])
+        assert model.fit_report_.incremental["batches"] == 1
+        assert model.fit_report_.incremental["rows_total"] == 40
+        fresh = SRDA(**LSQR)
+        fresh.partial_fit(X[40:], y[40:])
+        diff = np.abs(model.components_ - fresh.components_).max()
+        assert diff <= EQUIVALENCE_BOUND
+
+    def test_normal_solver_rejected(self):
+        rng = np.random.default_rng(12)
+        X, y, _ = _blobs(rng, 40)
+        model = SRDA(alpha=1.0, config=SolverConfig(solver="normal"))
+        with pytest.raises(ValueError, match="iterative solver"):
+            model.partial_fit(X, y)
+
+    def test_sparse_dense_mixing_rejected(self):
+        import scipy.sparse as sp
+
+        rng = np.random.default_rng(13)
+        X, y, _ = _blobs(rng, 60)
+        model = SRDA(**LSQR)
+        model.partial_fit(sp.csr_matrix(X[:30]), y[:30])
+        with pytest.raises(ValueError, match="mix sparse and dense"):
+            model.partial_fit(X[30:], y[30:])

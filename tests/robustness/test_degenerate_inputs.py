@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.base import validate_data
+from repro.core.solver_config import SolverConfig
 from repro.core.srda import SRDA
 from repro.linalg.sparse import CSRMatrix
 from repro.robustness import RobustnessWarning
@@ -124,7 +125,7 @@ class TestSingletonClasses:
         m = 6
         X = rng.standard_normal((m, 4)) * 3.0
         y = np.arange(m)
-        model = SRDA(alpha=1.0, solver="normal").fit(X, y)
+        model = SRDA(alpha=1.0, config=SolverConfig(solver="normal")).fit(X, y)
         assert model.components_.shape == (4, m - 1)
         assert np.all(np.isfinite(model.components_))
         assert model.fit_report_.warnings  # singleton warning recorded
@@ -135,6 +136,6 @@ class TestSingletonClasses:
         m = 5
         X = rng.standard_normal((m, 8))
         y = np.arange(m)
-        model = SRDA(alpha=1.0, solver="lsqr", max_iter=30).fit(X, y)
+        model = SRDA(alpha=1.0, config=SolverConfig(solver="lsqr"), max_iter=30).fit(X, y)
         assert np.all(np.isfinite(model.components_))
         assert model.score(X, y) == 1.0

@@ -5,6 +5,7 @@ import time
 import numpy as np
 import pytest
 
+from repro.core.solver_config import SolverConfig
 from repro.core.srda import SRDA
 from repro.datasets.base import Dataset
 from repro.eval.experiment import run_experiment
@@ -32,7 +33,7 @@ class CountingSRDA(SRDA):
     """SRDA that records every fit in a shared list."""
 
     def __init__(self, fit_log, fail_first=0, sleep_seconds=0.0):
-        super().__init__(alpha=1.0, solver="normal")
+        super().__init__(alpha=1.0, config=SolverConfig(solver="normal"))
         self._fit_log = fit_log
         self._fail_first = fail_first
         self._sleep_seconds = sleep_seconds
@@ -160,14 +161,14 @@ class TestCheckpointResume:
             )
         resumed = run_experiment(
             dataset,
-            {"SRDA": lambda: SRDA(alpha=1.0, solver="normal")},
+            {"SRDA": lambda: SRDA(alpha=1.0, config=SolverConfig(solver="normal"))},
             n_splits=4,
             seed=11,
             checkpoint_path=checkpoint,
         )
         straight = run_experiment(
             dataset,
-            {"SRDA": lambda: SRDA(alpha=1.0, solver="normal")},
+            {"SRDA": lambda: SRDA(alpha=1.0, config=SolverConfig(solver="normal"))},
             n_splits=4,
             seed=11,
         )

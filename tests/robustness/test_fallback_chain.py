@@ -7,6 +7,7 @@ import pytest
 
 from repro.baselines.ridge import RidgeClassifier
 from repro.core.kernel_srda import KernelSRDA
+from repro.core.solver_config import SolverConfig
 from repro.core.srda import SRDA
 from repro.robustness import RobustnessWarning
 
@@ -31,7 +32,7 @@ class TestSRDAFallback:
         """The acceptance scenario: rank-deficient Gram, alpha=0."""
         X, y = rank_deficient
         with pytest.warns(RobustnessWarning, match="degraded"):
-            model = SRDA(alpha=0.0, solver="normal").fit(X, y)
+            model = SRDA(alpha=0.0, config=SolverConfig(solver="normal")).fit(X, y)
         report = model.fit_report_
         # the report names the fallback taken, ...
         assert report.solver in ("cholesky+jitter", "lsqr-rescue")
@@ -52,7 +53,7 @@ class TestSRDAFallback:
         reference min-norm least-squares fit."""
         X, y = rank_deficient
         with pytest.warns(RobustnessWarning):
-            model = SRDA(alpha=0.0, solver="normal").fit(X, y)
+            model = SRDA(alpha=0.0, config=SolverConfig(solver="normal")).fit(X, y)
         centered = X - X.mean(axis=0)
         reference, *_ = np.linalg.lstsq(centered, model.responses_, rcond=None)
         np.testing.assert_allclose(
@@ -61,7 +62,7 @@ class TestSRDAFallback:
 
     def test_clean_fit_reports_clean(self, small_classification):
         X, y = small_classification
-        model = SRDA(alpha=1.0, solver="normal").fit(X, y)
+        model = SRDA(alpha=1.0, config=SolverConfig(solver="normal")).fit(X, y)
         report = model.fit_report_
         assert report.solver == "cholesky"
         assert report.fallbacks == []
@@ -71,7 +72,7 @@ class TestSRDAFallback:
 
     def test_lsqr_path_records_termination_codes(self, small_classification):
         X, y = small_classification
-        model = SRDA(alpha=1.0, solver="lsqr", max_iter=15, tol=0.0).fit(X, y)
+        model = SRDA(alpha=1.0, config=SolverConfig(solver="lsqr"), max_iter=15, tol=0.0).fit(X, y)
         report = model.fit_report_
         assert report.solver == "lsqr"
         assert len(report.lsqr_istop) == 2  # c - 1 response columns
@@ -83,7 +84,7 @@ class TestSRDAFallback:
         X = rng.standard_normal((30, 6))
         X[:, 2] = 7.0  # constant feature
         y = np.arange(30) % 3
-        model = SRDA(alpha=1.0, solver="normal").fit(X, y)
+        model = SRDA(alpha=1.0, config=SolverConfig(solver="normal")).fit(X, y)
         assert any(
             "zero variance" in w for w in model.fit_report_.warnings
         )
@@ -122,17 +123,17 @@ class TestKernelSRDAFallback:
 class TestRidgeClassifierReport:
     def test_normal_path_report(self, small_classification):
         X, y = small_classification
-        model = RidgeClassifier(alpha=0.5, solver="normal").fit(X, y)
+        model = RidgeClassifier(alpha=0.5, config=SolverConfig(solver="normal")).fit(X, y)
         assert model.fit_report_.solver == "cholesky"
         assert model.fit_report_.effective_alpha == 0.5
 
     def test_lsqr_path_report(self, small_classification):
         X, y = small_classification
-        model = RidgeClassifier(alpha=0.5, solver="lsqr", max_iter=25).fit(X, y)
+        model = RidgeClassifier(alpha=0.5, config=SolverConfig(solver="lsqr"), max_iter=25).fit(X, y)
         assert model.fit_report_.solver == "lsqr"
         assert len(model.fit_report_.lsqr_istop) == 3
 
     def test_alpha_zero_uses_lstsq(self, small_classification):
         X, y = small_classification
-        model = RidgeClassifier(alpha=0.0, solver="normal").fit(X, y)
+        model = RidgeClassifier(alpha=0.0, config=SolverConfig(solver="normal")).fit(X, y)
         assert model.fit_report_.solver == "lstsq"

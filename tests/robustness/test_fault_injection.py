@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.core.solver_config import SolverConfig
 from repro.core.srda import SRDA
 from repro.linalg.lsqr import FAILURE_ISTOPS, ISTOP_REASONS, lsqr
 from repro.linalg.operators import (
@@ -105,7 +106,7 @@ class TestSRDAUnderFaults:
     def test_lsqr_fault_surfaces_on_report(self, rng):
         X = rng.standard_normal((30, 10))
         y = np.arange(30) % 3
-        model = SRDA(alpha=1.0, solver="lsqr", max_iter=15)
+        model = SRDA(alpha=1.0, config=SolverConfig(solver="lsqr"), max_iter=15)
 
         original_fit_lsqr = model._ridge_lsqr
 

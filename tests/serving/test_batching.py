@@ -1,0 +1,180 @@
+"""BatchingPredictor: coalescing, correctness, SLO metrics, lifecycle."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import SRDA, SolverConfig
+from repro.serving import BatchingPredictor, ModelRegistry
+
+pytestmark = pytest.mark.serving
+
+
+@pytest.fixture
+def model(small_classification):
+    X, y = small_classification
+    return SRDA(alpha=1.0, config=SolverConfig(solver="normal")).fit(X, y)
+
+
+@pytest.fixture
+def data(small_classification):
+    return small_classification
+
+
+class TestCorrectness:
+    def test_single_row_matches_block_predict(self, model, data):
+        X, _ = data
+        with BatchingPredictor(model, max_wait=0.0) as predictor:
+            served = [predictor.predict(row) for row in X[:10]]
+        expected = model.predict(X[:10].astype(np.float32))
+        np.testing.assert_array_equal(np.asarray(served), expected)
+
+    def test_decision_function_and_transform_methods(self, model, data):
+        X, _ = data
+        row = X[0]
+        with BatchingPredictor(model, method="decision_function") as p:
+            scores = p.predict(row)
+            embedding = p.predict(row, method="transform")
+        np.testing.assert_allclose(
+            scores,
+            model.decision_function(row[None, :].astype(np.float32))[0],
+            rtol=1e-5,
+        )
+        np.testing.assert_allclose(
+            embedding,
+            model.transform(row[None, :].astype(np.float32))[0],
+            rtol=1e-5,
+        )
+
+    def test_float32_end_to_end(self, model, data):
+        X, _ = data
+        with BatchingPredictor(model, method="transform") as predictor:
+            embedding = predictor.predict(X[0])
+        assert np.asarray(embedding).dtype == np.float32
+
+    def test_concurrent_clients_coalesce(self, model, data):
+        X, _ = data
+        n_clients, per_client = 8, 10
+        results = [None] * n_clients
+        with BatchingPredictor(
+            model, max_batch=64, max_wait=0.02
+        ) as predictor:
+            barrier = threading.Barrier(n_clients)
+
+            def client(i):
+                barrier.wait()
+                results[i] = [
+                    predictor.predict(row)
+                    for row in X[: per_client]
+                ]
+
+            threads = [
+                threading.Thread(target=client, args=(i,))
+                for i in range(n_clients)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            stats = predictor.stats()
+        expected = model.predict(X[:per_client].astype(np.float32))
+        for got in results:
+            np.testing.assert_array_equal(np.asarray(got), expected)
+        assert stats.requests == n_clients * per_client
+        # Coalescing must actually happen: strictly fewer block calls
+        # than requests.
+        assert stats.batches < stats.requests
+        assert stats.mean_batch_size > 1.0
+
+    def test_registry_supplier_sees_promotions(self, data):
+        X, y = data
+        first = SRDA(
+            alpha=1.0, config=SolverConfig(solver="normal")
+        ).fit(X, y)
+        # A deliberately different second model: collapse to one class.
+        class Constant:
+            def is_fitted(self):
+                return True
+
+            def predict(self, X):
+                return np.full(X.shape[0], 99)
+
+        registry = ModelRegistry()
+        registry.register("m", first)
+        registry.register("m", Constant())
+        with BatchingPredictor(
+            lambda: registry.active("m"), max_wait=0.0
+        ) as predictor:
+            before = predictor.predict(X[0])
+            registry.promote("m", 2)
+            after = predictor.predict(X[0])
+        assert before == first.predict(X[:1].astype(np.float32))[0]
+        assert after == 99
+
+
+class TestMetrics:
+    def test_latency_histogram_and_throughput(self, model, data):
+        X, _ = data
+        with BatchingPredictor(model, max_wait=0.0) as predictor:
+            for row in X[:20]:
+                predictor.predict(row)
+            stats = predictor.stats()
+            snapshot = predictor.metrics.snapshot()
+        assert stats.requests == 20
+        assert stats.p50_latency_s > 0
+        assert stats.p99_latency_s >= stats.p95_latency_s >= 0
+        assert stats.throughput_rows_per_s > 0
+        histograms = snapshot["histograms"]
+        assert "serving.request_latency_s" in histograms
+        assert histograms["serving.request_latency_s"]["count"] == 20
+        assert histograms["serving.request_latency_s"]["p99"] > 0
+
+    def test_shared_metrics_registry(self, model, data):
+        from repro.observability import MetricsRegistry
+
+        X, _ = data
+        metrics = MetricsRegistry()
+        with BatchingPredictor(
+            model, max_wait=0.0, metrics=metrics
+        ) as predictor:
+            predictor.predict(X[0])
+        assert metrics.counter("serving.requests").value == 1
+
+
+class TestLifecycleAndErrors:
+    def test_submit_after_close_raises(self, model, data):
+        X, _ = data
+        predictor = BatchingPredictor(model)
+        predictor.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            predictor.submit(X[0])
+
+    def test_close_is_idempotent(self, model):
+        predictor = BatchingPredictor(model)
+        predictor.close()
+        predictor.close()
+
+    def test_model_error_propagates_to_caller(self, model, data):
+        X, _ = data
+        with BatchingPredictor(model, max_wait=0.0) as predictor:
+            with pytest.raises(ValueError, match="features"):
+                predictor.predict(np.ones(3, dtype=np.float32))
+            # The worker must survive the error.
+            label = predictor.predict(X[0])
+        assert label in model.classes_
+        assert predictor.metrics.counter("serving.errors").value >= 1
+
+    def test_rejects_bad_parameters(self, model):
+        with pytest.raises(ValueError, match="max_batch"):
+            BatchingPredictor(model, max_batch=0)
+        with pytest.raises(ValueError, match="max_wait"):
+            BatchingPredictor(model, max_wait=-1)
+        with pytest.raises(ValueError, match="method"):
+            BatchingPredictor(model, method="classify")
+
+    def test_rejects_2d_submission(self, model, data):
+        X, _ = data
+        with BatchingPredictor(model) as predictor:
+            with pytest.raises(ValueError, match="1-D row"):
+                predictor.submit(X[:2])

@@ -1,0 +1,166 @@
+"""ModelRegistry: the register / promote / rollback lifecycle."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import SRDA, SolverConfig, clone
+from repro.serving import ModelRegistry
+from repro.serving.registry import ModelNotFoundError
+
+pytestmark = pytest.mark.serving
+
+
+@pytest.fixture
+def fitted_model(small_classification):
+    X, y = small_classification
+    return SRDA(alpha=1.0, config=SolverConfig(solver="normal")).fit(X, y)
+
+
+class TestRegister:
+    def test_versions_increment_per_name(self, fitted_model):
+        registry = ModelRegistry()
+        assert registry.register("srda", fitted_model) == 1
+        assert registry.register("srda", clone(fitted_model).fit(
+            *_refit_data()
+        )) == 2
+        assert registry.register("other", fitted_model) == 1
+        assert registry.versions("srda") == [1, 2]
+
+    def test_first_version_auto_promotes(self, fitted_model):
+        registry = ModelRegistry()
+        registry.register("srda", fitted_model)
+        assert registry.active_version("srda") == 1
+        assert registry.active("srda") is fitted_model
+
+    def test_later_versions_stay_staged(self, fitted_model):
+        registry = ModelRegistry()
+        registry.register("srda", fitted_model)
+        second = clone(fitted_model).fit(*_refit_data())
+        registry.register("srda", second)
+        assert registry.active_version("srda") == 1
+        assert registry.active("srda") is fitted_model
+
+    def test_rejects_unfitted_estimator(self):
+        registry = ModelRegistry()
+        with pytest.raises(ValueError, match="unfitted"):
+            registry.register("srda", SRDA())
+
+    def test_rejects_surface_free_object(self):
+        registry = ModelRegistry()
+        with pytest.raises(ValueError, match="nothing to serve"):
+            registry.register("thing", object())
+
+    def test_accepts_duck_typed_model(self):
+        class Duck:
+            def predict(self, X):
+                return np.zeros(len(X))
+
+        registry = ModelRegistry()
+        assert registry.register("duck", Duck()) == 1
+
+    def test_rejects_empty_name(self, fitted_model):
+        with pytest.raises(ValueError, match="non-empty"):
+            ModelRegistry().register("", fitted_model)
+
+
+class TestPromoteRollback:
+    def _two_versions(self, fitted_model):
+        registry = ModelRegistry()
+        registry.register("srda", fitted_model)
+        second = clone(fitted_model).fit(*_refit_data())
+        registry.register("srda", second)
+        return registry, fitted_model, second
+
+    def test_promote_moves_traffic(self, fitted_model):
+        registry, _, second = self._two_versions(fitted_model)
+        registry.promote("srda", 2)
+        assert registry.active("srda") is second
+
+    def test_rollback_undoes_last_promotion(self, fitted_model):
+        registry, first, _ = self._two_versions(fitted_model)
+        registry.promote("srda", 2)
+        assert registry.rollback("srda") == 1
+        assert registry.active("srda") is first
+
+    def test_rollback_without_history_refuses(self, fitted_model):
+        registry = ModelRegistry()
+        registry.register("srda", fitted_model)
+        with pytest.raises(ValueError, match="no prior promotion"):
+            registry.rollback("srda")
+
+    def test_promote_unknown_version(self, fitted_model):
+        registry = ModelRegistry()
+        registry.register("srda", fitted_model)
+        with pytest.raises(ModelNotFoundError):
+            registry.promote("srda", 99)
+
+    def test_unknown_name(self):
+        registry = ModelRegistry()
+        with pytest.raises(ModelNotFoundError):
+            registry.active("missing")
+
+    def test_repeated_promote_is_idempotent_for_rollback(
+        self, fitted_model
+    ):
+        registry, first, second = self._two_versions(fitted_model)
+        registry.promote("srda", 2)
+        registry.promote("srda", 2)  # no-op, not a new history entry
+        assert registry.rollback("srda") == 1
+        assert registry.active("srda") is first
+
+
+class TestIntrospection:
+    def test_describe_is_json_safe(self, fitted_model):
+        import json
+
+        registry = ModelRegistry()
+        registry.register("srda", fitted_model, note="seed")
+        snapshot = registry.describe()
+        json.dumps(snapshot)  # must not raise
+        assert snapshot["srda"]["active_version"] == 1
+        assert snapshot["srda"]["versions"][0]["estimator"] == "SRDA"
+        assert snapshot["srda"]["versions"][0]["note"] == "seed"
+
+    def test_names_sorted(self, fitted_model):
+        registry = ModelRegistry()
+        registry.register("b", fitted_model)
+        registry.register("a", fitted_model)
+        assert registry.names() == ["a", "b"]
+
+    def test_get_specific_version(self, fitted_model):
+        registry = ModelRegistry()
+        registry.register("srda", fitted_model)
+        record = registry.get("srda", 1)
+        assert record.model is fitted_model
+        with pytest.raises(ModelNotFoundError):
+            registry.get("srda", 2)
+
+
+class TestConcurrency:
+    def test_concurrent_register_assigns_unique_versions(
+        self, fitted_model
+    ):
+        registry = ModelRegistry()
+        versions = []
+        lock = threading.Lock()
+
+        def worker():
+            v = registry.register("srda", fitted_model)
+            with lock:
+                versions.append(v)
+
+        threads = [threading.Thread(target=worker) for _ in range(16)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sorted(versions) == list(range(1, 17))
+
+
+def _refit_data():
+    rng = np.random.default_rng(7)
+    X = rng.standard_normal((30, 10))
+    y = np.arange(30) % 3
+    return X, y
