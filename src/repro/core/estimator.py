@@ -73,6 +73,25 @@ class ReproEstimator:
     #: stays ``None`` rather than raising ``AttributeError``.
     fit_report_: Optional[Any] = None
 
+    #: Live runtime plumbing set during fit (tracer handles carry
+    #: thread locks) that cannot cross a pickle or ``deepcopy``
+    #: boundary.  ``__getstate__`` drops these names, and the copy gets
+    #: them back as ``None`` — the serving layer relies on this to
+    #: deep-copy a fitted model before ``partial_fit`` so the served
+    #: original is never mutated.
+    _runtime_attrs: ClassVar[tuple] = ("tracer_", "_fit_tracer")
+
+    def __getstate__(self) -> Dict[str, Any]:
+        state = self.__dict__.copy()
+        for name in self._runtime_attrs:
+            state.pop(name, None)
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        for name in self._runtime_attrs:
+            self.__dict__.setdefault(name, None)
+
     @classmethod
     def _param_names(cls) -> List[str]:
         """Constructor parameter names, minus deprecated spellings."""

@@ -62,6 +62,22 @@ class PredictorStats:
         }
 
 
+def _caller_error(exc: BaseException) -> BaseException:
+    """A per-caller copy of a worker-side failure.
+
+    Every ticket in a failed group re-raises its error from a
+    *different* caller thread; re-raising one shared exception object
+    concurrently mutates a shared ``__traceback__``, so each caller
+    gets its own instance, chained to the worker's original.
+    """
+    try:
+        clone = type(exc)(*exc.args)
+    except TypeError:
+        clone = RuntimeError(f"{type(exc).__name__}: {exc}")
+    clone.__cause__ = exc
+    return clone
+
+
 class _Ticket:
     """One pending request: a row, an event, and a result slot."""
 
@@ -127,6 +143,10 @@ class BatchingPredictor:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._queue: "queue.Queue[Optional[_Ticket]]" = queue.Queue()
         self._closed = threading.Event()
+        # Orders submissions against close(): the shutdown sentinel
+        # must be the last queue entry, or a ticket enqueued between
+        # close()'s flag-set and its put() would hang behind it.
+        self._lifecycle = threading.Lock()
         self._started_at: Optional[float] = None
         self._worker = threading.Thread(
             target=self._run, name="repro-serving-batcher", daemon=True
@@ -139,15 +159,16 @@ class BatchingPredictor:
         self, row: Sequence[float], method: Optional[str] = None
     ) -> _Ticket:
         """Enqueue one row; returns a ticket to wait on."""
-        if self._closed.is_set():
-            raise RuntimeError("BatchingPredictor is closed")
         arr = np.asarray(row, dtype=np.float32)
         if arr.ndim != 1:
             raise ValueError(
                 f"submit takes a single 1-D row, got shape {arr.shape}"
             )
         ticket = _Ticket(arr, method or self.method)
-        self._queue.put(ticket)
+        with self._lifecycle:
+            if self._closed.is_set():
+                raise RuntimeError("BatchingPredictor is closed")
+            self._queue.put(ticket)
         return ticket
 
     def predict(
@@ -203,7 +224,7 @@ class BatchingPredictor:
         except BaseException as exc:  # repro: noqa-RPR002
             self.metrics.counter("serving.errors").add(len(group))
             for ticket in group:
-                ticket.error = exc
+                ticket.error = _caller_error(exc)
                 ticket.done.set()
             return
         finished = time.perf_counter()
@@ -264,10 +285,11 @@ class BatchingPredictor:
 
     def close(self, timeout: float = 5.0) -> None:
         """Drain pending requests and stop the worker thread."""
-        if self._closed.is_set():
-            return
-        self._closed.set()
-        self._queue.put(None)
+        with self._lifecycle:
+            if self._closed.is_set():
+                return
+            self._closed.set()
+            self._queue.put(None)
         self._worker.join(timeout)
 
     def __enter__(self) -> "BatchingPredictor":

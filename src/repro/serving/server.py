@@ -11,8 +11,10 @@ restart.  Endpoints:
   the point: concurrent clients coalesce into block calls) and the
   response carries labels/scores plus per-row latency.
 - ``POST /partial_fit`` — ``{"rows": ..., "labels": ...}``; absorbs a
-  batch into a *copy-registered* new version when the active model
-  supports ``partial_fit`` (the previous version stays rollback-able).
+  batch into a **deep copy** of the active model, registered and
+  promoted as a new version.  The served object is never mutated, so
+  in-flight predicts keep a consistent model and ``/rollback``
+  genuinely restores the pre-update version.
 - ``POST /promote`` / ``POST /rollback`` — move the traffic pointer.
 - ``GET /models`` — registry snapshot; ``GET /metrics`` — SLO
   instruments (p50/p95/p99 latency, batch sizes, throughput);
@@ -26,6 +28,7 @@ of ``urllib`` calls.
 
 from __future__ import annotations
 
+import copy
 import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -60,6 +63,9 @@ class ServingApp:
         self.registry = registry
         self.model_name = model_name
         self.tracer = tracer
+        # Serializes /partial_fit: concurrent updates must stack on one
+        # another, not both branch off the same base version.
+        self._update_lock = threading.Lock()
         metrics = tracer.metrics if tracer is not None else None
         self.predictor = BatchingPredictor(
             lambda: self.registry.active(self.model_name),
@@ -79,7 +85,12 @@ class ServingApp:
             return 400, {
                 "error": f"method must be one of {list(BATCH_METHODS)}"
             }
-        X = np.asarray(rows, dtype=np.float32)
+        try:
+            X = np.asarray(rows, dtype=np.float32)
+        except (TypeError, ValueError) as exc:
+            return 400, {
+                "error": f"rows must be a numeric 2-D array: {exc}"
+            }
         if X.ndim == 1:
             X = X[None, :]
         if X.ndim != 2:
@@ -103,26 +114,35 @@ class ServingApp:
         rows, labels = body.get("rows"), body.get("labels")
         if rows is None or labels is None:
             return 400, {"error": "missing 'rows' or 'labels'"}
-        model = self.registry.active(self.model_name)
-        if not callable(getattr(model, "partial_fit", None)):
-            return 409, {
-                "error": f"{type(model).__name__} has no partial_fit"
-            }
-        X = np.asarray(rows, dtype=np.float64)
-        y = np.asarray(labels)
         try:
-            model.partial_fit(X, y)
-        except (ValueError, RuntimeError) as exc:
-            return 400, {"error": str(exc)}
-        # Re-register so the absorbed batch is a new, rollback-able
-        # version.  The estimator object is shared between versions —
-        # rollback protects against *promotion* mistakes; a poisoned
-        # stream needs re-registering a clean model.
-        version = self.registry.register(
-            self.model_name, model, note=f"partial_fit +{X.shape[0]} rows"
-        )
-        self.registry.promote(self.model_name, version)
-        report = getattr(model, "fit_report_", None)
+            X = np.asarray(rows, dtype=np.float64)
+            y = np.asarray(labels)
+        except (TypeError, ValueError) as exc:
+            return 400, {
+                "error": f"rows/labels must be rectangular arrays: {exc}"
+            }
+        # The batch is absorbed by a deep copy, never the served object:
+        # the batcher keeps predicting against the old version's fully
+        # consistent state, the promote below swaps traffic atomically,
+        # and /rollback genuinely restores the pre-update model.
+        with self._update_lock:
+            model = self.registry.active(self.model_name)
+            if not callable(getattr(model, "partial_fit", None)):
+                return 409, {
+                    "error": f"{type(model).__name__} has no partial_fit"
+                }
+            candidate = copy.deepcopy(model)
+            try:
+                candidate.partial_fit(X, y)
+            except (ValueError, RuntimeError) as exc:
+                return 400, {"error": str(exc)}
+            version = self.registry.register(
+                self.model_name,
+                candidate,
+                note=f"partial_fit +{X.shape[0]} rows",
+            )
+            self.registry.promote(self.model_name, version)
+        report = getattr(candidate, "fit_report_", None)
         incremental = getattr(report, "incremental", None)
         return 200, {
             "model": self.model_name,

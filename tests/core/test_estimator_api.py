@@ -7,6 +7,7 @@ joins the registry is automatically held to the contract.
 import inspect
 import warnings
 
+import numpy as np
 import pytest
 
 import repro
@@ -155,6 +156,39 @@ class TestFittedState:
             copy.fit(X) if name in UNSUPERVISED else copy.fit(X, y)
         )
         assert refit.is_fitted()
+
+
+@pytest.mark.parametrize("name", sorted(REGISTRY))
+class TestCopyability:
+    """Fitted estimators must survive ``deepcopy`` and pickle — the
+    serving layer deep-copies the active model before ``partial_fit``
+    so the served original is never mutated.  Live tracer handles
+    (which hold thread locks) are dropped and restored as ``None``."""
+
+    def test_fitted_deepcopy_round_trip(self, name, small_classification):
+        import copy as copy_module
+
+        X, y = small_classification
+        fitted = _fit(name, X, y)
+        duplicate = copy_module.deepcopy(fitted)
+        assert duplicate.is_fitted()
+        assert getattr(duplicate, "tracer_", None) is None
+        np.testing.assert_array_equal(
+            duplicate.transform(X.astype(np.float32)),
+            fitted.transform(X.astype(np.float32)),
+        )
+
+    def test_fitted_pickle_round_trip(self, name, small_classification):
+        import pickle
+
+        X, y = small_classification
+        fitted = _fit(name, X, y)
+        restored = pickle.loads(pickle.dumps(fitted))
+        assert restored.is_fitted()
+        np.testing.assert_array_equal(
+            restored.transform(X.astype(np.float32)),
+            fitted.transform(X.astype(np.float32)),
+        )
 
 
 class TestSRDAClone:

@@ -173,6 +173,23 @@ class TestLifecycleAndErrors:
         with pytest.raises(ValueError, match="method"):
             BatchingPredictor(model, method="classify")
 
+    def test_group_failure_gives_each_caller_its_own_error(
+        self, model, data
+    ):
+        """Tickets in one failed block call must not share an exception
+        object — each caller re-raises from its own thread, and raising
+        mutates ``__traceback__``."""
+        bad = np.ones(3, dtype=np.float32)  # wrong feature count
+        with BatchingPredictor(
+            model, max_batch=8, max_wait=0.05
+        ) as predictor:
+            first = predictor.submit(bad)
+            second = predictor.submit(bad)
+            assert first.done.wait(10) and second.done.wait(10)
+        assert isinstance(first.error, ValueError)
+        assert isinstance(second.error, ValueError)
+        assert first.error is not second.error
+
     def test_rejects_2d_submission(self, model, data):
         X, _ = data
         with BatchingPredictor(model) as predictor:

@@ -100,6 +100,21 @@ class TestEndpoints:
         )
         assert status == 400
 
+    def test_ragged_rows_return_http_400(self, serving):
+        """Malformed arrays must be a 400, not a dropped connection."""
+        base, _, _, _ = serving
+        ragged = [[1.0, 2.0], [3.0]]
+        status, payload = _post(base, "/predict", {"rows": ragged})
+        assert status == 400 and "error" in payload
+        status, payload = _post(
+            base, "/partial_fit", {"rows": ragged, "labels": [0, 1]}
+        )
+        assert status == 400 and "error" in payload
+        status, payload = _post(
+            base, "/predict", {"rows": [["not", "numbers"]]}
+        )
+        assert status == 400 and "error" in payload
+
     def test_unknown_path_404(self, serving):
         base, _, _, _ = serving
         assert _get(base, "/nope")[0] == 404
@@ -152,6 +167,33 @@ class TestLifecycle:
         base, _, _, _ = serving
         status, payload = _post(base, "/rollback", {})
         assert status == 409
+
+    def test_partial_fit_never_mutates_served_model(self, serving):
+        """The update runs on a deep copy; version 1 keeps its exact
+        pre-update state, so rollback is a real undo."""
+        base, X, y, app = serving
+        original = app.registry.get("srda", 1).model
+        components_before = original.components_.copy()
+        expected = original.predict(X[:5].astype(np.float32)).tolist()
+
+        status, _ = _post(
+            base,
+            "/partial_fit",
+            {"rows": X[:6].tolist(), "labels": y[:6].tolist()},
+        )
+        assert status == 200
+        # Version 2 is a different object; version 1 is bit-identical.
+        assert app.registry.get("srda", 2).model is not original
+        assert app.registry.get("srda", 1).model is original
+        np.testing.assert_array_equal(
+            original.components_, components_before
+        )
+        # Rollback serves the genuine pre-update model.
+        _post(base, "/rollback", {})
+        status, payload = _post(base, "/predict", {"rows": X[:5].tolist()})
+        assert status == 200
+        assert payload["version"] == 1
+        assert payload["results"] == expected
 
     def test_promote_missing_version(self, serving):
         base, _, _, _ = serving
