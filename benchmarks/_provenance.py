@@ -1,0 +1,42 @@
+"""Shared provenance block for every ``BENCH_*.json`` artifact.
+
+A recorded number is only interpretable next to the machine and kernel
+configuration that produced it, and a *gate* (an asserted threshold, not
+just a recorded column) is only meaningful if the artifact says whether
+it actually ran.  Every bench script stamps its payload with
+:func:`provenance`:
+
+- ``cpu_count`` — what the runner had; a 1.0x thread speedup on a
+  single-core runner is expected, not a regression.
+- ``kernel_backend`` / ``compiled_kernels_available`` — which CSR
+  kernel backend produced the numbers (see
+  :mod:`repro.linalg.kernels`).
+- ``gates_enforced`` — whether this run *asserted* its
+  timing/throughput gates or merely recorded the measurements
+  (mirroring ``bench_serving``'s ``timing_assertions_enforced``).
+  Multicore speedup gates are skipped, not failed, below
+  :data:`MULTICORE_GATE_MIN_CPUS` cores.
+"""
+
+import os
+
+from repro.linalg import kernels
+
+#: Multicore speedup gates assert only at (at least) this many cores —
+#: below it the numbers are recorded with ``gates_enforced: false``.
+MULTICORE_GATE_MIN_CPUS = 4
+
+
+def multicore_gates_enforced() -> bool:
+    """True when the runner has enough cores to assert speedup gates."""
+    return (os.cpu_count() or 1) >= MULTICORE_GATE_MIN_CPUS
+
+
+def provenance(gates_enforced: bool) -> dict:
+    """The provenance block merged into every bench payload."""
+    return {
+        "cpu_count": os.cpu_count(),
+        "kernel_backend": kernels.active_backend(),
+        "compiled_kernels_available": kernels.compiled_available(),
+        "gates_enforced": bool(gates_enforced),
+    }

@@ -38,6 +38,11 @@ from repro.linalg.lsqr import lsqr
 from repro.linalg.operators import as_operator
 from repro.linalg.sparse import CSRMatrix
 
+try:
+    from benchmarks._provenance import provenance
+except ImportError:  # run as `python benchmarks/bench_block_lsqr.py`
+    from _provenance import provenance
+
 #: (m, n, classes, nnz-per-row, dtype) points for the full run.  The
 #: flagship case mirrors the paper's 20Newsgroups shape: tall sparse
 #: text-like data with c = 20 classes.
@@ -302,6 +307,10 @@ def main(argv=None):
     payload = {
         "benchmark": "block_lsqr",
         "mode": "smoke" if args.smoke else "full",
+        # this artifact's gates (iteration parity, flam ratios,
+        # observability overhead) are core-count independent and always
+        # asserted
+        **provenance(gates_enforced=True),
         "repeats": repeats,
         "cases": results,
         "alpha_sweep": sweep,

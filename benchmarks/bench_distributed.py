@@ -30,11 +30,11 @@ from __future__ import annotations
 
 import argparse
 import json
-import os
 import time
 
 import numpy as np
 
+from benchmarks._provenance import provenance
 from benchmarks.bench_parallel import make_problem, make_rhs, rel_diff
 from repro.distributed import ChaosBackend, ChaosPlan, DistributedBackend
 from repro.linalg.block_lsqr import block_lsqr
@@ -248,7 +248,9 @@ def main(argv=None):
     payload = {
         "benchmark": "distributed",
         "mode": "smoke" if args.smoke else "full",
-        "cpu_count": os.cpu_count(),
+        # recovery/degradation parity gates are core-count independent
+        # and always asserted
+        **provenance(gates_enforced=True),
         "n_workers": args.workers,
         "traffic_and_parity": traffic,
         "recovery": recovery,

@@ -16,10 +16,16 @@ Measures what the parallel layer claims and what it must not break:
    and must cost <2% over the direct path.
 4. **Experiment grids**: ``run_experiment(n_jobs=...)`` error grids must
    be bitwise identical across worker counts.
+5. **Kernel microbench**: compiled vs reference CSR kernels,
+   single-threaded and bitwise-checked; when the extension is built the
+   compiled ``matvec``/``matmat`` must be ≥1.5× the reference.
 
-Speedups are recorded together with ``cpu_count`` — on a single-core CI
-runner the threaded numbers honestly show ~1x, and the parity columns
-are the part that must hold everywhere.
+Speedups are recorded together with the provenance block
+(``cpu_count``/``kernel_backend``/``gates_enforced``) — on a
+single-core CI runner the threaded numbers honestly show ~1x with
+``gates_enforced: false``; on a ≥4-core runner the thread-x4
+``speedup_vs_direct > 1`` gate is *asserted*.  The parity columns are
+the part that must hold everywhere.
 
 Run from the repo root::
 
@@ -41,16 +47,32 @@ import numpy as np
 from repro.core.srda import SRDA
 from repro.datasets import Dataset
 from repro.eval.experiment import run_experiment
+from repro.linalg import kernels
 from repro.linalg.block_lsqr import block_lsqr
 from repro.linalg.operators import as_operator
 from repro.linalg.sparse import CSRMatrix
 from repro.parallel import ShardedOperator, resolve_backend
+
+try:
+    from benchmarks._provenance import multicore_gates_enforced, provenance
+except ImportError:  # run as `python benchmarks/bench_parallel.py`
+    from _provenance import multicore_gates_enforced, provenance
 
 FULL_CASE = dict(m=20000, n=26000, classes=20, row_nnz=80)
 SMOKE_CASE = dict(m=1200, n=900, classes=5, row_nnz=30)
 
 FULL_WORKERS = [1, 2, 4, 8]
 SMOKE_WORKERS = [2]
+
+#: Single-threaded per-kernel microbench problem — large enough that
+#: the O(nnz) loop dominates python call overhead on both backends.
+MICRO_CASE = dict(m=20000, n=2000, row_nnz=32)
+SMOKE_MICRO_CASE = dict(m=4000, n=800, row_nnz=16)
+
+#: The compiled backend must beat the numpy reference by at least this
+#: factor on matvec and matmat, single-threaded (asserted whenever the
+#: extension is importable — no core count required).
+MIN_KERNEL_SPEEDUP = 1.5
 
 
 def make_problem(m, n, row_nnz, seed=0):
@@ -152,6 +174,72 @@ def run_solver_grid(case, iter_lim, repeats, worker_counts, include_process):
         },
         "variants": variants,
     }
+
+
+def run_kernel_microbench(case, repeats, min_speedup=MIN_KERNEL_SPEEDUP):
+    """Compiled vs reference kernels, single-threaded, bitwise-checked.
+
+    Records per-kernel best-of times for both backends; when the
+    compiled extension is importable, asserts its raison d'être —
+    ``matvec`` and ``matmat`` at least ``min_speedup``× the reference
+    (``rmatvec`` is recorded; its scatter loop tracks matvec closely).
+    """
+    matrix = make_problem(case["m"], case["n"], case["row_nnz"])
+    rng = np.random.default_rng(3)
+    v = rng.standard_normal(case["n"])
+    u = rng.standard_normal(case["m"])
+    B = rng.standard_normal((case["n"], 5))
+    matrix.rmatvec(u)  # build the transpose/segment caches up front
+
+    backends = ("reference",) + (
+        ("compiled",) if kernels.compiled_available() else ()
+    )
+    times, outputs = {}, {}
+    for backend in backends:
+        with kernels.use_backend(backend):
+            mv = best_of(repeats, lambda: kernels.csr_matvec(matrix, v))
+            rmv = best_of(repeats, lambda: kernels.csr_rmatvec(matrix, u))
+            mm = best_of(repeats, lambda: kernels.csr_matmat(matrix, B))
+        times[backend] = {
+            "matvec_seconds": mv[0],
+            "rmatvec_seconds": rmv[0],
+            "matmat_seconds": mm[0],
+        }
+        outputs[backend] = (mv[1], rmv[1], mm[1])
+
+    section = {
+        **case,
+        "nnz": matrix.nnz,
+        "repeats": repeats,
+        "min_speedup": min_speedup,
+        "compiled_available": kernels.compiled_available(),
+        "backends": times,
+    }
+    if kernels.compiled_available():
+        for name, ref, comp in zip(
+            ("matvec", "rmatvec", "matmat"),
+            outputs["reference"],
+            outputs["compiled"],
+        ):
+            assert ref.tobytes() == comp.tobytes(), (
+                f"kernel backends diverged bitwise on {name} in the "
+                "microbench"
+            )
+        speedups = {
+            name: (
+                times["reference"][f"{name}_seconds"]
+                / times["compiled"][f"{name}_seconds"]
+            )
+            for name in ("matvec", "rmatvec", "matmat")
+        }
+        section["speedup"] = speedups
+        for name in ("matvec", "matmat"):
+            assert speedups[name] >= min_speedup, (
+                f"compiled {name} is only {speedups[name]:.2f}x the "
+                f"reference (need >= {min_speedup}x); the compiled "
+                "backend has lost its reason to exist"
+            )
+    return section
 
 
 def run_serial_passthrough(case, iter_lim, repeats):
@@ -262,6 +350,44 @@ def main(argv=None):
             f"{variant['max_rel_diff_vs_direct']:.1e} direct)"
         )
 
+    gates_enforced = multicore_gates_enforced()
+    thread_x4 = [
+        variant
+        for variant in solver["variants"]
+        if variant["backend"] == "thread" and variant["n_workers"] == 4
+    ]
+    if gates_enforced and thread_x4:
+        speedup = thread_x4[0]["speedup_vs_direct"]
+        assert speedup > 1.0, (
+            f"thread x4 speedup_vs_direct is {speedup:.2f}x on a "
+            f"{os.cpu_count()}-core runner; the GIL-free kernels must "
+            "make the parallel backend beat the direct path"
+        )
+    elif thread_x4:
+        print(
+            f"multicore gate skipped (cpu_count={os.cpu_count()} < 4): "
+            f"thread x4 recorded {thread_x4[0]['speedup_vs_direct']:.2f}x"
+        )
+
+    micro = run_kernel_microbench(
+        SMOKE_MICRO_CASE if args.smoke else MICRO_CASE,
+        repeats=max(repeats * 3, 5),
+    )
+    for backend_name, entry in micro["backends"].items():
+        print(
+            f"  kernels[{backend_name}]: "
+            f"matvec {entry['matvec_seconds'] * 1e3:.3f}ms  "
+            f"rmatvec {entry['rmatvec_seconds'] * 1e3:.3f}ms  "
+            f"matmat {entry['matmat_seconds'] * 1e3:.3f}ms"
+        )
+    if "speedup" in micro:
+        print(
+            "  compiled speedup: "
+            + "  ".join(
+                f"{k} {v:.2f}x" for k, v in micro["speedup"].items()
+            )
+        )
+
     passthrough = run_serial_passthrough(
         SMOKE_CASE, iter_lim=iter_lim, repeats=repeats
     )
@@ -279,8 +405,9 @@ def main(argv=None):
     payload = {
         "benchmark": "parallel",
         "mode": "smoke" if args.smoke else "full",
-        "cpu_count": os.cpu_count(),
+        **provenance(gates_enforced),
         "repeats": repeats,
+        "kernel_microbench": micro,
         "solver": solver,
         "serial_passthrough": passthrough,
         "experiment_grid": grid,

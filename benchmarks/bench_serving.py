@@ -43,7 +43,6 @@ from __future__ import annotations
 
 import argparse
 import json
-import os
 import threading
 import time
 
@@ -52,6 +51,11 @@ import numpy as np
 from repro.core.solver_config import SolverConfig
 from repro.core.srda import SRDA
 from repro.serving import BatchingPredictor
+
+try:
+    from benchmarks._provenance import provenance
+except ImportError:  # run as `python benchmarks/bench_serving.py`
+    from _provenance import provenance
 
 #: Serving workload (sections 1 and 2).  ``window`` is the number of
 #: in-flight tickets each client pipelines before waiting — an open
@@ -398,7 +402,7 @@ def main(argv=None):
         "benchmark": "serving",
         "mode": "smoke" if args.smoke else "full",
         "timing_assertions_enforced": strict,
-        "cpu_count": os.cpu_count(),
+        **provenance(strict),
         "concurrency": concurrency,
         "batching_advantage": advantage,
         "partial_fit_vs_refit": incremental,

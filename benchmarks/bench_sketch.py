@@ -31,7 +31,6 @@ from __future__ import annotations
 
 import argparse
 import json
-import os
 import time
 
 import numpy as np
@@ -40,6 +39,11 @@ from repro.core.srda import SRDA
 from repro.linalg.block_lsqr import block_lsqr
 from repro.linalg.sketch import SKETCH_KINDS, build_preconditioner
 from repro.linalg.sparse import CSRMatrix
+
+try:
+    from benchmarks._provenance import provenance
+except ImportError:  # run as `python benchmarks/bench_sketch.py`
+    from _provenance import provenance
 
 #: Ill-conditioned grids (name, kwargs).  Column scales span
 #: ``logspace(0, 2, n)`` — condition number ~1e2 before damping.
@@ -267,7 +271,9 @@ def main(argv=None):
     payload = {
         "benchmark": "sketch",
         "mode": "smoke" if args.smoke else "full",
-        "cpu_count": os.cpu_count(),
+        # iteration-ratio and parity gates are core-count independent
+        # and always asserted
+        **provenance(gates_enforced=True),
         "min_iteration_ratio": 2.0,
         "parity_bound": 1e-6,
         "grids": results,

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import importlib
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Mapping, Tuple
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -71,6 +71,14 @@ class ProbeSpec:
     probe's size parameter; variables absent from the mapping are held
     constant by the builder and treated as constants by the claim's
     exponent evaluation.
+
+    ``measure`` selects the cost metric: ``"wall"`` (best-of-repeats
+    seconds via ``measure_seconds``) or ``"flam"`` — the thunk returns
+    the operation *count* for one invocation (a
+    :class:`~repro.complexity.counter.FlamCountingOperator` total).
+    Flam counts are deterministic, so flam probes can carry a much
+    tighter per-probe ``tolerance`` than the wall-clock default; a
+    ``tolerance`` of ``None`` uses the harness-wide band.
     """
 
     name: str
@@ -82,6 +90,15 @@ class ProbeSpec:
         default_factory=lambda: _KERNEL_SIZES
     )
     note: str = ""
+    measure: str = "wall"
+    tolerance: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.measure not in ("wall", "flam"):
+            raise ValueError(
+                f"probe {self.name!r}: measure must be 'wall' or 'flam', "
+                f"got {self.measure!r}"
+            )
 
     def sizes_for(self, scale: str) -> Tuple[int, ...]:
         try:
@@ -173,6 +190,71 @@ def _build_csr_matmat(m: int, rng: np.random.Generator) -> Thunk:
     A = _csr_problem(m, rng)
     B = rng.standard_normal((_N_COLS, _BLOCK_COLS))
     return lambda: A.matmat(B)
+
+
+def _flam_builder(kernel: str) -> Builder:
+    """Noise-free probes: count flam charged per product, not seconds.
+
+    A :class:`~repro.complexity.counter.FlamCountingOperator` charges
+    exactly ``nnz`` per mat-vec (``nnz·c`` per block), so the fitted
+    slope is the cost *model's* exponent with zero measurement noise —
+    which is what lets these probes carry a 0.05 tolerance where
+    wall-clock probes need 0.45.
+    """
+
+    def build(m: int, rng: np.random.Generator) -> Thunk:
+        from repro.complexity.counter import FlamCountingOperator
+        from repro.linalg.operators import CSROperator
+
+        op = FlamCountingOperator(CSROperator(_csr_problem(m, rng)))
+        if kernel == "matvec":
+            x = rng.standard_normal(_N_COLS)
+            operand: Any = x
+            product: Callable[[], object] = lambda: op.matvec(operand)
+        elif kernel == "rmatvec":
+            operand = rng.standard_normal(m)
+            product = lambda: op.rmatvec(operand)
+        else:
+            operand = rng.standard_normal((_N_COLS, _BLOCK_COLS))
+            product = lambda: op.matmat(operand)
+
+        def thunk() -> object:
+            op.reset()
+            product()
+            return op.flam
+
+        return thunk
+
+    return build
+
+
+def _kernel_dispatch_builder(kernel: str) -> Builder:
+    """Wall probes for the kernel-dispatch layer's resolved backend.
+
+    Measures whichever backend :func:`repro.linalg.kernels
+    .active_backend` resolves to — the compiled C kernels when the
+    extension is built, the numpy reference otherwise.  Both are
+    O(nnz), so the claim holds either way; the baseline records the
+    constant of whichever backend regenerated it.
+    """
+
+    def build(m: int, rng: np.random.Generator) -> Thunk:
+        from repro.linalg import kernels
+
+        A = _csr_problem(m, rng)
+        if kernel == "matvec":
+            x = rng.standard_normal(_N_COLS)
+            kernels.csr_matvec(A, x)  # warm row-id / segment caches
+            return lambda: kernels.csr_matvec(A, x)
+        if kernel == "rmatvec":
+            u = rng.standard_normal(m)
+            kernels.csr_rmatvec(A, u)
+            return lambda: kernels.csr_rmatvec(A, u)
+        B = rng.standard_normal((_N_COLS, _BLOCK_COLS))
+        kernels.csr_matmat(A, B)
+        return lambda: kernels.csr_matmat(A, B)
+
+    return build
 
 
 def _sketch_builder(kind: str) -> Builder:
@@ -390,6 +472,75 @@ register_probe(
         build=_build_srda_fit,
         sizes=_SOLVER_SIZES,
         note="full sparse fit, 6 block iterations pinned via tol=0",
+    )
+)
+register_probe(
+    ProbeSpec(
+        name="csr_matvec_flam",
+        module="repro.linalg.sparse",
+        qualname="CSRMatrix.matvec",
+        couplings={"nnz": 1.0, "m": 1.0},
+        build=_flam_builder("matvec"),
+        note="flam count, not wall time — deterministic slope",
+        measure="flam",
+        tolerance=0.05,
+    )
+)
+register_probe(
+    ProbeSpec(
+        name="csr_rmatvec_flam",
+        module="repro.linalg.sparse",
+        qualname="CSRMatrix.rmatvec",
+        couplings={"nnz": 1.0, "m": 1.0},
+        build=_flam_builder("rmatvec"),
+        note="flam count, not wall time — deterministic slope",
+        measure="flam",
+        tolerance=0.05,
+    )
+)
+register_probe(
+    ProbeSpec(
+        name="csr_matmat_flam",
+        module="repro.linalg.sparse",
+        qualname="CSRMatrix.matmat",
+        couplings={"nnz": 1.0, "m": 1.0},
+        build=_flam_builder("matmat"),
+        note="flam count for a 5-column block; c held constant",
+        measure="flam",
+        tolerance=0.05,
+    )
+)
+register_probe(
+    ProbeSpec(
+        name="kernel_dispatch_matvec",
+        module="repro.linalg.kernels",
+        qualname="csr_matvec",
+        couplings={"nnz": 1.0},
+        build=_kernel_dispatch_builder("matvec"),
+        note="dispatch layer; backend resolves at run time "
+        "(compiled when built, reference otherwise)",
+    )
+)
+register_probe(
+    ProbeSpec(
+        name="kernel_dispatch_rmatvec",
+        module="repro.linalg.kernels",
+        qualname="csr_rmatvec",
+        couplings={"nnz": 1.0},
+        build=_kernel_dispatch_builder("rmatvec"),
+        note="dispatch layer; backend resolves at run time "
+        "(compiled when built, reference otherwise)",
+    )
+)
+register_probe(
+    ProbeSpec(
+        name="kernel_dispatch_matmat",
+        module="repro.linalg.kernels",
+        qualname="csr_matmat",
+        couplings={"nnz": 1.0},
+        build=_kernel_dispatch_builder("matmat"),
+        note="dispatch layer, 5-column block; backend resolves at "
+        "run time (compiled when built, reference otherwise)",
     )
 )
 register_probe(

@@ -88,6 +88,14 @@ class SolverConfig:
         Execution backend for sharded products: ``None``, a name
         (``"serial"``/``"thread"``/``"process"``/``"distributed"``), or
         a live :class:`repro.parallel.Backend`.
+    kernel_backend:
+        CSR kernel backend for operator products: ``None`` (defer to
+        the ``REPRO_KERNEL_BACKEND`` environment variable, default
+        ``"auto"``), ``"auto"``, ``"reference"`` (pure numpy), or
+        ``"compiled"`` (the GIL-free C extension; falls back to the
+        bitwise-identical reference with a one-time
+        :class:`~repro.robustness.report.RobustnessWarning` when the
+        extension is not built).  See :mod:`repro.linalg.kernels`.
     """
 
     solver: str = "auto"
@@ -96,6 +104,7 @@ class SolverConfig:
     sketch_seed: int = 0
     n_jobs: Optional[int] = None
     backend: Union[str, Backend, None] = None
+    kernel_backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.solver not in SOLVER_NAMES:
@@ -120,6 +129,14 @@ class SolverConfig:
             raise ValueError(
                 "backend must be None, a backend name, or a Backend"
             )
+        if self.kernel_backend is not None:
+            from repro.linalg.kernels import KERNEL_BACKENDS
+
+            if self.kernel_backend not in KERNEL_BACKENDS:
+                raise ValueError(
+                    f"unknown kernel_backend {self.kernel_backend!r}; "
+                    f"expected None or one of {KERNEL_BACKENDS}"
+                )
 
     def replace(self, **changes: Any) -> "SolverConfig":
         """A copy with the given fields changed (re-validated)."""
@@ -158,4 +175,5 @@ class SolverConfig:
             "sketch_seed": self.sketch_seed,
             "n_jobs": self.n_jobs,
             "backend": backend,
+            "kernel_backend": self.kernel_backend,
         }

@@ -61,6 +61,7 @@ from repro.core.responses import (
     response_table_from_counts,
 )
 from repro.core.solver_config import SolverConfig, config_alias
+from repro.linalg import kernels
 from repro.linalg.block_lsqr import SharedBidiagonalization, block_lsqr
 from repro.linalg.lsqr import FAILURE_ISTOPS, ISTOP_REASONS, lsqr
 from repro.linalg.operators import (
@@ -459,6 +460,7 @@ class SRDA(LinearEmbedder):
     sketch_seed = config_alias("sketch_seed")
     n_jobs = config_alias("n_jobs")
     backend = config_alias("backend")
+    kernel_backend = config_alias("kernel_backend")
 
     # ------------------------------------------------------------------
     def fit(self, X, y) -> "SRDA":
@@ -472,7 +474,7 @@ class SRDA(LinearEmbedder):
         tracer = resolve_tracer(self.trace)
         self.tracer_ = tracer if tracer.enabled else None
         self._fit_tracer = tracer
-        with tracer.span(
+        with kernels.use_backend(self.config.kernel_backend), tracer.span(
             "srda.fit", alpha=self.alpha, solver=self.solver
         ) as fit_span:
             return self._fit_phases(X, y, tracer, fit_span)
@@ -603,7 +605,7 @@ class SRDA(LinearEmbedder):
         tracer = resolve_tracer(self.trace)
         self.tracer_ = tracer if tracer.enabled else None
         self._fit_tracer = tracer
-        with tracer.span(
+        with kernels.use_backend(self.config.kernel_backend), tracer.span(
             "srda.partial_fit", alpha=self.alpha, solver=self.solver
         ) as fit_span:
             return self._partial_fit_phases(X, y, tracer, fit_span)
@@ -1197,9 +1199,10 @@ def srda_alpha_path(
     # every per-alpha model gets its centroids without another pass.
     indicator = np.zeros((X.shape[0], n_classes))
     indicator[np.arange(X.shape[0]), y_indices] = 1.0 / counts[y_indices]
-    class_means = base.rmatmat(indicator).T
+    with kernels.use_backend(config.kernel_backend):
+        class_means = base.rmatmat(indicator).T
 
-    with tracer.span(
+    with kernels.use_backend(config.kernel_backend), tracer.span(
         "srda.alpha_path",
         n_alphas=len(alphas),
         max_iter=int(max_iter),

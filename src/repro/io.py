@@ -26,7 +26,13 @@ from repro.core.srda import SRDA
 #: constructor now groups them in a ``SolverConfig``: the flat spelling
 #: keeps old archives loadable and the format free of nested JSON.
 #: ``load_model`` folds them back into a config.
-_SRDA_CONFIG_FIELDS = ("solver", "sketch", "sketch_size", "sketch_seed")
+_SRDA_CONFIG_FIELDS = (
+    "solver",
+    "sketch",
+    "sketch_size",
+    "sketch_seed",
+    "kernel_backend",
+)
 
 _REGISTRY = {
     "SRDA": (

@@ -21,6 +21,8 @@ of kernels, each implemented here from scratch on top of numpy primitives:
 - :mod:`repro.linalg.sketch` — randomized sketching operators
   (CountSketch / sparse-sign / SRHT) and the sketch-and-precondition
   path that cuts LSQR iteration counts on ill-conditioned data.
+- :mod:`repro.linalg.kernels` — the CSR kernel dispatcher: pure-numpy
+  reference vs the GIL-free compiled backend, bitwise-interchangeable.
 """
 
 from repro.linalg.block_lsqr import (
@@ -37,6 +39,13 @@ from repro.linalg.coordinate_descent import (
 from repro.linalg.dense import solve_lstsq, symmetric_eigh
 from repro.linalg.eigen import jacobi_eigh, lanczos_eigsh
 from repro.linalg.gram_schmidt import orthogonalize_against, orthonormalize
+from repro.linalg.kernels import (
+    KERNEL_BACKEND_ENV,
+    KERNEL_BACKENDS,
+    active_backend,
+    compiled_available,
+    use_backend,
+)
 from repro.linalg.lsqr import FAILURE_ISTOPS, ISTOP_REASONS, LSQRResult, lsqr
 from repro.linalg.operators import (
     AppendOnesOperator,
@@ -80,6 +89,8 @@ __all__ = [
     "FaultyOperator",
     "ISTOP_REASONS",
     "InjectedFaultError",
+    "KERNEL_BACKENDS",
+    "KERNEL_BACKEND_ENV",
     "LSQRResult",
     "LinearOperator",
     "PreconditionedOperator",
@@ -91,10 +102,12 @@ __all__ = [
     "SketchingError",
     "SparseSignOperator",
     "TransposedOperator",
+    "active_backend",
     "as_operator",
     "block_lsqr",
     "build_preconditioner",
     "cholesky",
+    "compiled_available",
     "cross_product_svd",
     "default_sketch_size",
     "elastic_net",
@@ -111,4 +124,5 @@ __all__ = [
     "solve_lstsq",
     "solve_triangular",
     "symmetric_eigh",
+    "use_backend",
 ]

@@ -1,0 +1,802 @@
+/*
+ * GIL-free compiled CSR kernels — the "compiled" backend behind
+ * repro.linalg.kernels.
+ *
+ * Every kernel here is bitwise-identical to the pure-numpy reference
+ * implementation in repro.linalg.sparse.CSRMatrix.  That contract pins
+ * the accumulation order exactly:
+ *
+ * - float64 mat-vec / adjoint reductions mirror numpy's ``bincount``:
+ *   a zero-initialized output receives one sequential scatter-add per
+ *   stored entry, in storage order.
+ * - float32 reductions and every ``matmat`` column sweep mirror
+ *   ``np.add.reduceat``: each segment reduces as
+ *   ``seg[0] + pairwise_sum(seg[1:])`` where ``pairwise_sum`` is
+ *   numpy's pairwise algorithm (8-accumulator blocks up to 128
+ *   elements, then recursive halving on 8-aligned splits).  The
+ *   structure below is a faithful port of numpy's ``pairwise_sum_@TYPE@``
+ *   (numpy/_core/src/umath/loops.c.src); the tests assert bit equality
+ *   against the live numpy, so a silent ordering change in either
+ *   implementation fails loudly.
+ *
+ * All inner loops run between Py_BEGIN_ALLOW_THREADS /
+ * Py_END_ALLOW_THREADS — no Python objects are touched inside — which
+ * is the whole point: thread-backend shard workers genuinely overlap
+ * where the numpy kernels serialize on the GIL.
+ *
+ * The Python-side dispatcher (repro.linalg.kernels) owns all
+ * validation and dtype/contiguity normalization; this module only
+ * asserts what it relies on (dtype match, contiguity, 1-D/2-D rank)
+ * and raises ValueError otherwise.
+ */
+
+#define PY_SSIZE_T_CLEAN
+#define NPY_NO_DEPRECATED_API NPY_1_22_API_VERSION
+#include <Python.h>
+#include <numpy/arrayobject.h>
+#include <stdlib.h>
+
+/* ------------------------------------------------------------------ */
+/* numpy-order pairwise summation (port of numpy's pairwise_sum)       */
+/* ------------------------------------------------------------------ */
+
+#define PW_BLOCKSIZE 128
+
+#define DEFINE_PAIRWISE(T, SUF)                                          \
+    static T pairwise_sum_##SUF(const T *a, npy_intp n)                  \
+    {                                                                    \
+        if (n < 8) {                                                     \
+            npy_intp i;                                                  \
+            T res = (T)0.0;                                              \
+            for (i = 0; i < n; i++) {                                    \
+                res += a[i];                                             \
+            }                                                            \
+            return res;                                                  \
+        }                                                                \
+        else if (n <= PW_BLOCKSIZE) {                                    \
+            npy_intp i;                                                  \
+            T r[8], res;                                                 \
+            r[0] = a[0]; r[1] = a[1]; r[2] = a[2]; r[3] = a[3];          \
+            r[4] = a[4]; r[5] = a[5]; r[6] = a[6]; r[7] = a[7];          \
+            for (i = 8; i < n - (n % 8); i += 8) {                       \
+                r[0] += a[i + 0]; r[1] += a[i + 1];                      \
+                r[2] += a[i + 2]; r[3] += a[i + 3];                      \
+                r[4] += a[i + 4]; r[5] += a[i + 5];                      \
+                r[6] += a[i + 6]; r[7] += a[i + 7];                      \
+            }                                                            \
+            res = ((r[0] + r[1]) + (r[2] + r[3])) +                      \
+                  ((r[4] + r[5]) + (r[6] + r[7]));                       \
+            for (; i < n; i++) {                                         \
+                res += a[i];                                             \
+            }                                                            \
+            return res;                                                  \
+        }                                                                \
+        else {                                                           \
+            npy_intp n2 = n / 2;                                         \
+            n2 -= n2 % 8;                                                \
+            return pairwise_sum_##SUF(a, n2) +                           \
+                   pairwise_sum_##SUF(a + n2, n - n2);                   \
+        }                                                                \
+    }                                                                    \
+                                                                         \
+    /* np.add.reduceat on one segment: seg[0] + pairwise(seg[1:]) */     \
+    static T segment_reduce_##SUF(const T *seg, npy_intp n)              \
+    {                                                                    \
+        if (n == 1) {                                                    \
+            return seg[0];                                               \
+        }                                                                \
+        return seg[0] + pairwise_sum_##SUF(seg + 1, n - 1);              \
+    }
+
+DEFINE_PAIRWISE(npy_double, f64)
+DEFINE_PAIRWISE(npy_float, f32)
+
+/* ------------------------------------------------------------------ */
+/* Kernel bodies (templated over the value type)                       */
+/* ------------------------------------------------------------------ */
+
+/* A @ v, float64: bincount order — sequential scatter-add from zero. */
+static void
+matvec_scatter_f64(const npy_double *data, const npy_int64 *indices,
+                   const npy_int64 *indptr, npy_intp n_rows,
+                   const npy_double *v, npy_double *out)
+{
+    npy_intp r;
+    for (r = 0; r < n_rows; r++) {
+        npy_int64 i, end = indptr[r + 1];
+        npy_double acc = out[r]; /* zero-initialized by the caller */
+        for (i = indptr[r]; i < end; i++) {
+            acc += data[i] * v[indices[i]];
+        }
+        out[r] = acc;
+    }
+}
+
+/* A @ v / A @ B column, reduceat order over row segments. */
+#define DEFINE_MATVEC_SEGMENTS(T, SUF)                                   \
+    static void matvec_segments_##SUF(                                   \
+        const T *data, const npy_int64 *indices, const npy_int64 *indptr,\
+        npy_intp n_rows, const T *v, T *out, T *scratch)                 \
+    {                                                                    \
+        npy_intp r;                                                      \
+        for (r = 0; r < n_rows; r++) {                                   \
+            npy_int64 i, start = indptr[r], end = indptr[r + 1];         \
+            npy_intp len = (npy_intp)(end - start), t = 0;               \
+            if (len == 0) {                                              \
+                continue; /* empty rows stay zero */                     \
+            }                                                            \
+            for (i = start; i < end; i++, t++) {                         \
+                scratch[t] = data[i] * v[indices[i]];                    \
+            }                                                            \
+            out[r] = segment_reduce_##SUF(scratch, len);                 \
+        }                                                                \
+    }
+
+/* Only the float32 variant is instantiated: the float64 reference
+ * matvec is bincount-ordered (scatter), never reduceat-ordered. */
+DEFINE_MATVEC_SEGMENTS(npy_float, f32)
+
+/* A.T @ u, float64: bincount order over column indices in storage
+ * order — one sequential scatter-add per stored entry. */
+static void
+rmatvec_scatter_f64(const npy_double *data, const npy_int64 *indices,
+                    const npy_int64 *indptr, npy_intp n_rows,
+                    const npy_double *u, npy_double *out)
+{
+    npy_intp r;
+    for (r = 0; r < n_rows; r++) {
+        npy_int64 i, end = indptr[r + 1];
+        npy_double ur = u[r];
+        for (i = indptr[r]; i < end; i++) {
+            out[indices[i]] += data[i] * ur;
+        }
+    }
+}
+
+/* A.T @ u, float32: reduceat order over the cached column segments.
+ * ``order`` sorts stored entries by column (stable), ``starts[t]`` is
+ * the offset of segment t in the sorted view, ``cols[t]`` its column. */
+#define DEFINE_RMATVEC_SEGMENTS(T, SUF)                                  \
+    static void rmatvec_segments_##SUF(                                  \
+        const T *data, const npy_int64 *row_ids, const npy_int64 *order, \
+        const npy_int64 *starts, const npy_int64 *cols,                  \
+        npy_intp n_segments, npy_intp nnz, const T *u, T *out,           \
+        T *scratch)                                                      \
+    {                                                                    \
+        npy_intp s;                                                      \
+        for (s = 0; s < n_segments; s++) {                               \
+            npy_int64 start = starts[s];                                 \
+            npy_int64 end = (s + 1 < n_segments) ? starts[s + 1]         \
+                                                 : (npy_int64)nnz;       \
+            npy_intp len = (npy_intp)(end - start), t;                   \
+            for (t = 0; t < len; t++) {                                  \
+                npy_int64 o = order[start + t];                          \
+                scratch[t] = data[o] * u[row_ids[o]];                    \
+            }                                                            \
+            out[cols[s]] = segment_reduce_##SUF(scratch, len);           \
+        }                                                                \
+    }
+
+DEFINE_RMATVEC_SEGMENTS(npy_double, f64)
+DEFINE_RMATVEC_SEGMENTS(npy_float, f32)
+
+/* Adjoint elementwise stage: products[i] = data[i] * u[row(i)]. */
+#define DEFINE_ADJOINT_PRODUCTS(T, SUF)                                  \
+    static void adjoint_products_##SUF(                                  \
+        const T *data, const npy_int64 *indptr, npy_intp n_rows,         \
+        const T *u, T *out)                                              \
+    {                                                                    \
+        npy_intp r;                                                      \
+        for (r = 0; r < n_rows; r++) {                                   \
+            npy_int64 i, end = indptr[r + 1];                            \
+            T ur = u[r];                                                 \
+            for (i = indptr[r]; i < end; i++) {                          \
+                out[i] = data[i] * ur;                                   \
+            }                                                            \
+        }                                                                \
+    }
+
+DEFINE_ADJOINT_PRODUCTS(npy_double, f64)
+DEFINE_ADJOINT_PRODUCTS(npy_float, f32)
+
+/* Adjoint reduction, float64: bincount order in storage order. */
+static void
+reduce_adjoint_scatter_f64(const npy_int64 *indices,
+                           const npy_double *products, npy_intp nnz,
+                           npy_double *out)
+{
+    npy_intp i;
+    for (i = 0; i < nnz; i++) {
+        out[indices[i]] += products[i];
+    }
+}
+
+/* Adjoint reduction, float32: reduceat order over column segments. */
+#define DEFINE_REDUCE_ADJOINT_SEGMENTS(T, SUF)                           \
+    static void reduce_adjoint_segments_##SUF(                           \
+        const T *products, const npy_int64 *order,                       \
+        const npy_int64 *starts, const npy_int64 *cols,                  \
+        npy_intp n_segments, npy_intp nnz, T *out, T *scratch)           \
+    {                                                                    \
+        npy_intp s;                                                      \
+        for (s = 0; s < n_segments; s++) {                               \
+            npy_int64 start = starts[s];                                 \
+            npy_int64 end = (s + 1 < n_segments) ? starts[s + 1]         \
+                                                 : (npy_int64)nnz;       \
+            npy_intp len = (npy_intp)(end - start), t;                   \
+            for (t = 0; t < len; t++) {                                  \
+                scratch[t] = products[order[start + t]];                 \
+            }                                                            \
+            out[cols[s]] = segment_reduce_##SUF(scratch, len);           \
+        }                                                                \
+    }
+
+DEFINE_REDUCE_ADJOINT_SEGMENTS(npy_double, f64)
+DEFINE_REDUCE_ADJOINT_SEGMENTS(npy_float, f32)
+
+/* A @ B for a dense F-ordered block: one reduceat-order column sweep
+ * per output column, fused gather-multiply into a small scratch.
+ * Column base pointers advance by the block's column stride (ldb/ldo),
+ * matching the reference's per-column ``out[:, j] = reduceat(...)``. */
+#define DEFINE_MATMAT(T, SUF)                                            \
+    static void matmat_##SUF(                                            \
+        const T *data, const npy_int64 *indices, const npy_int64 *indptr,\
+        npy_intp n_rows, npy_intp n_cols_B, const T *B, npy_intp ldb,    \
+        T *out, npy_intp ldo, T *scratch)                                \
+    {                                                                    \
+        npy_intp j, r;                                                   \
+        for (j = 0; j < n_cols_B; j++) {                                 \
+            const T *Bj = B + j * ldb;                                   \
+            T *outj = out + j * ldo;                                     \
+            for (r = 0; r < n_rows; r++) {                               \
+                npy_int64 i, start = indptr[r], end = indptr[r + 1];     \
+                npy_intp len = (npy_intp)(end - start), t = 0;           \
+                if (len == 0) {                                          \
+                    continue;                                            \
+                }                                                        \
+                for (i = start; i < end; i++, t++) {                     \
+                    scratch[t] = data[i] * Bj[indices[i]];               \
+                }                                                        \
+                outj[r] = segment_reduce_##SUF(scratch, len);            \
+            }                                                            \
+        }                                                                \
+    }
+
+DEFINE_MATMAT(npy_double, f64)
+DEFINE_MATMAT(npy_float, f32)
+
+/* ------------------------------------------------------------------ */
+/* Argument helpers                                                    */
+/* ------------------------------------------------------------------ */
+
+static int
+check_array(PyArrayObject *arr, int typenum, int ndim, const char *name)
+{
+    if (PyArray_TYPE(arr) != typenum) {
+        PyErr_Format(PyExc_ValueError, "%s has the wrong dtype", name);
+        return 0;
+    }
+    if (PyArray_NDIM(arr) != ndim) {
+        PyErr_Format(PyExc_ValueError, "%s must be %d-dimensional", name,
+                     ndim);
+        return 0;
+    }
+    if (!PyArray_IS_C_CONTIGUOUS(arr) && !PyArray_IS_F_CONTIGUOUS(arr)) {
+        PyErr_Format(PyExc_ValueError, "%s must be contiguous", name);
+        return 0;
+    }
+    return 1;
+}
+
+/* Longest row segment — sizes the per-call scratch buffer. */
+static npy_intp
+max_segment(const npy_int64 *indptr, npy_intp n_rows)
+{
+    npy_intp r, best = 1;
+    for (r = 0; r < n_rows; r++) {
+        npy_intp len = (npy_intp)(indptr[r + 1] - indptr[r]);
+        if (len > best) {
+            best = len;
+        }
+    }
+    return best;
+}
+
+static npy_intp
+max_col_segment(const npy_int64 *starts, npy_intp n_segments, npy_intp nnz)
+{
+    npy_intp s, best = 1;
+    for (s = 0; s < n_segments; s++) {
+        npy_int64 end = (s + 1 < n_segments) ? starts[s + 1]
+                                             : (npy_int64)nnz;
+        npy_intp len = (npy_intp)(end - starts[s]);
+        if (len > best) {
+            best = len;
+        }
+    }
+    return best;
+}
+
+/* ------------------------------------------------------------------ */
+/* Python-visible wrappers                                             */
+/* ------------------------------------------------------------------ */
+
+static PyObject *
+py_csr_matvec(PyObject *self, PyObject *args)
+{
+    PyArrayObject *data, *indices, *indptr, *v, *out;
+    npy_intp n_rows, nnz;
+    int typenum;
+
+    if (!PyArg_ParseTuple(args, "O!O!O!O!O!", &PyArray_Type, &data,
+                          &PyArray_Type, &indices, &PyArray_Type, &indptr,
+                          &PyArray_Type, &v, &PyArray_Type, &out)) {
+        return NULL;
+    }
+    typenum = PyArray_TYPE(data);
+    if (typenum != NPY_DOUBLE && typenum != NPY_FLOAT) {
+        PyErr_SetString(PyExc_ValueError, "data must be float32 or float64");
+        return NULL;
+    }
+    if (!check_array(data, typenum, 1, "data") ||
+        !check_array(indices, NPY_INT64, 1, "indices") ||
+        !check_array(indptr, NPY_INT64, 1, "indptr") ||
+        !check_array(v, typenum, 1, "v") ||
+        !check_array(out, typenum, 1, "out")) {
+        return NULL;
+    }
+    n_rows = PyArray_DIM(indptr, 0) - 1;
+    nnz = PyArray_DIM(data, 0);
+    if (PyArray_DIM(indices, 0) != nnz || PyArray_DIM(out, 0) != n_rows) {
+        PyErr_SetString(PyExc_ValueError, "inconsistent kernel shapes");
+        return NULL;
+    }
+
+    {
+        const npy_int64 *ip = (const npy_int64 *)PyArray_DATA(indptr);
+        const npy_int64 *ind = (const npy_int64 *)PyArray_DATA(indices);
+        int failed = 0;
+        if (typenum == NPY_DOUBLE) {
+            const npy_double *d = (const npy_double *)PyArray_DATA(data);
+            const npy_double *vv = (const npy_double *)PyArray_DATA(v);
+            npy_double *o = (npy_double *)PyArray_DATA(out);
+            Py_BEGIN_ALLOW_THREADS
+            matvec_scatter_f64(d, ind, ip, n_rows, vv, o);
+            Py_END_ALLOW_THREADS
+        }
+        else {
+            const npy_float *d = (const npy_float *)PyArray_DATA(data);
+            const npy_float *vv = (const npy_float *)PyArray_DATA(v);
+            npy_float *o = (npy_float *)PyArray_DATA(out);
+            npy_float *scratch;
+            npy_intp cap = max_segment(ip, n_rows);
+            scratch = (npy_float *)malloc((size_t)cap * sizeof(npy_float));
+            if (scratch == NULL) {
+                failed = 1;
+            }
+            else {
+                Py_BEGIN_ALLOW_THREADS
+                matvec_segments_f32(d, ind, ip, n_rows, vv, o, scratch);
+                Py_END_ALLOW_THREADS
+                free(scratch);
+            }
+        }
+        if (failed) {
+            return PyErr_NoMemory();
+        }
+    }
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+py_csr_rmatvec_scatter(PyObject *self, PyObject *args)
+{
+    PyArrayObject *data, *indices, *indptr, *u, *out;
+    npy_intp n_rows, nnz;
+
+    if (!PyArg_ParseTuple(args, "O!O!O!O!O!", &PyArray_Type, &data,
+                          &PyArray_Type, &indices, &PyArray_Type, &indptr,
+                          &PyArray_Type, &u, &PyArray_Type, &out)) {
+        return NULL;
+    }
+    if (!check_array(data, NPY_DOUBLE, 1, "data") ||
+        !check_array(indices, NPY_INT64, 1, "indices") ||
+        !check_array(indptr, NPY_INT64, 1, "indptr") ||
+        !check_array(u, NPY_DOUBLE, 1, "u") ||
+        !check_array(out, NPY_DOUBLE, 1, "out")) {
+        return NULL;
+    }
+    n_rows = PyArray_DIM(indptr, 0) - 1;
+    nnz = PyArray_DIM(data, 0);
+    if (PyArray_DIM(indices, 0) != nnz || PyArray_DIM(u, 0) != n_rows) {
+        PyErr_SetString(PyExc_ValueError, "inconsistent kernel shapes");
+        return NULL;
+    }
+    {
+        const npy_double *d = (const npy_double *)PyArray_DATA(data);
+        const npy_int64 *ind = (const npy_int64 *)PyArray_DATA(indices);
+        const npy_int64 *ip = (const npy_int64 *)PyArray_DATA(indptr);
+        const npy_double *uu = (const npy_double *)PyArray_DATA(u);
+        npy_double *o = (npy_double *)PyArray_DATA(out);
+        Py_BEGIN_ALLOW_THREADS
+        rmatvec_scatter_f64(d, ind, ip, n_rows, uu, o);
+        Py_END_ALLOW_THREADS
+    }
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+py_csr_rmatvec_segments(PyObject *self, PyObject *args)
+{
+    PyArrayObject *data, *row_ids, *order, *starts, *cols, *u, *out;
+    npy_intp nnz, n_segments;
+    int typenum;
+
+    if (!PyArg_ParseTuple(args, "O!O!O!O!O!O!O!", &PyArray_Type, &data,
+                          &PyArray_Type, &row_ids, &PyArray_Type, &order,
+                          &PyArray_Type, &starts, &PyArray_Type, &cols,
+                          &PyArray_Type, &u, &PyArray_Type, &out)) {
+        return NULL;
+    }
+    typenum = PyArray_TYPE(data);
+    if (typenum != NPY_DOUBLE && typenum != NPY_FLOAT) {
+        PyErr_SetString(PyExc_ValueError, "data must be float32 or float64");
+        return NULL;
+    }
+    if (!check_array(data, typenum, 1, "data") ||
+        !check_array(row_ids, NPY_INT64, 1, "row_ids") ||
+        !check_array(order, NPY_INT64, 1, "order") ||
+        !check_array(starts, NPY_INT64, 1, "starts") ||
+        !check_array(cols, NPY_INT64, 1, "cols") ||
+        !check_array(u, typenum, 1, "u") ||
+        !check_array(out, typenum, 1, "out")) {
+        return NULL;
+    }
+    nnz = PyArray_DIM(data, 0);
+    n_segments = PyArray_DIM(starts, 0);
+    if (PyArray_DIM(row_ids, 0) != nnz || PyArray_DIM(order, 0) != nnz ||
+        PyArray_DIM(cols, 0) != n_segments) {
+        PyErr_SetString(PyExc_ValueError, "inconsistent kernel shapes");
+        return NULL;
+    }
+    {
+        const npy_int64 *rid = (const npy_int64 *)PyArray_DATA(row_ids);
+        const npy_int64 *ord = (const npy_int64 *)PyArray_DATA(order);
+        const npy_int64 *st = (const npy_int64 *)PyArray_DATA(starts);
+        const npy_int64 *cl = (const npy_int64 *)PyArray_DATA(cols);
+        npy_intp cap = max_col_segment(st, n_segments, nnz);
+        int failed = 0;
+        if (typenum == NPY_DOUBLE) {
+            const npy_double *d = (const npy_double *)PyArray_DATA(data);
+            const npy_double *uu = (const npy_double *)PyArray_DATA(u);
+            npy_double *o = (npy_double *)PyArray_DATA(out);
+            npy_double *scratch =
+                (npy_double *)malloc((size_t)cap * sizeof(npy_double));
+            if (scratch == NULL) {
+                failed = 1;
+            }
+            else {
+                Py_BEGIN_ALLOW_THREADS
+                rmatvec_segments_f64(d, rid, ord, st, cl, n_segments, nnz,
+                                     uu, o, scratch);
+                Py_END_ALLOW_THREADS
+                free(scratch);
+            }
+        }
+        else {
+            const npy_float *d = (const npy_float *)PyArray_DATA(data);
+            const npy_float *uu = (const npy_float *)PyArray_DATA(u);
+            npy_float *o = (npy_float *)PyArray_DATA(out);
+            npy_float *scratch =
+                (npy_float *)malloc((size_t)cap * sizeof(npy_float));
+            if (scratch == NULL) {
+                failed = 1;
+            }
+            else {
+                Py_BEGIN_ALLOW_THREADS
+                rmatvec_segments_f32(d, rid, ord, st, cl, n_segments, nnz,
+                                     uu, o, scratch);
+                Py_END_ALLOW_THREADS
+                free(scratch);
+            }
+        }
+        if (failed) {
+            return PyErr_NoMemory();
+        }
+    }
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+py_csr_adjoint_products(PyObject *self, PyObject *args)
+{
+    PyArrayObject *data, *indptr, *u, *out;
+    npy_intp n_rows, nnz;
+    int typenum;
+
+    if (!PyArg_ParseTuple(args, "O!O!O!O!", &PyArray_Type, &data,
+                          &PyArray_Type, &indptr, &PyArray_Type, &u,
+                          &PyArray_Type, &out)) {
+        return NULL;
+    }
+    typenum = PyArray_TYPE(data);
+    if (typenum != NPY_DOUBLE && typenum != NPY_FLOAT) {
+        PyErr_SetString(PyExc_ValueError, "data must be float32 or float64");
+        return NULL;
+    }
+    if (!check_array(data, typenum, 1, "data") ||
+        !check_array(indptr, NPY_INT64, 1, "indptr") ||
+        !check_array(u, typenum, 1, "u") ||
+        !check_array(out, typenum, 1, "out")) {
+        return NULL;
+    }
+    n_rows = PyArray_DIM(indptr, 0) - 1;
+    nnz = PyArray_DIM(data, 0);
+    if (PyArray_DIM(u, 0) != n_rows || PyArray_DIM(out, 0) != nnz) {
+        PyErr_SetString(PyExc_ValueError, "inconsistent kernel shapes");
+        return NULL;
+    }
+    {
+        const npy_int64 *ip = (const npy_int64 *)PyArray_DATA(indptr);
+        if (typenum == NPY_DOUBLE) {
+            const npy_double *d = (const npy_double *)PyArray_DATA(data);
+            const npy_double *uu = (const npy_double *)PyArray_DATA(u);
+            npy_double *o = (npy_double *)PyArray_DATA(out);
+            Py_BEGIN_ALLOW_THREADS
+            adjoint_products_f64(d, ip, n_rows, uu, o);
+            Py_END_ALLOW_THREADS
+        }
+        else {
+            const npy_float *d = (const npy_float *)PyArray_DATA(data);
+            const npy_float *uu = (const npy_float *)PyArray_DATA(u);
+            npy_float *o = (npy_float *)PyArray_DATA(out);
+            Py_BEGIN_ALLOW_THREADS
+            adjoint_products_f32(d, ip, n_rows, uu, o);
+            Py_END_ALLOW_THREADS
+        }
+    }
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+py_csr_reduce_adjoint_scatter(PyObject *self, PyObject *args)
+{
+    PyArrayObject *indices, *products, *out;
+    npy_intp nnz;
+
+    if (!PyArg_ParseTuple(args, "O!O!O!", &PyArray_Type, &indices,
+                          &PyArray_Type, &products, &PyArray_Type, &out)) {
+        return NULL;
+    }
+    if (!check_array(indices, NPY_INT64, 1, "indices") ||
+        !check_array(products, NPY_DOUBLE, 1, "products") ||
+        !check_array(out, NPY_DOUBLE, 1, "out")) {
+        return NULL;
+    }
+    nnz = PyArray_DIM(products, 0);
+    if (PyArray_DIM(indices, 0) != nnz) {
+        PyErr_SetString(PyExc_ValueError, "inconsistent kernel shapes");
+        return NULL;
+    }
+    {
+        const npy_int64 *ind = (const npy_int64 *)PyArray_DATA(indices);
+        const npy_double *p = (const npy_double *)PyArray_DATA(products);
+        npy_double *o = (npy_double *)PyArray_DATA(out);
+        Py_BEGIN_ALLOW_THREADS
+        reduce_adjoint_scatter_f64(ind, p, nnz, o);
+        Py_END_ALLOW_THREADS
+    }
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+py_csr_reduce_adjoint_segments(PyObject *self, PyObject *args)
+{
+    PyArrayObject *products, *order, *starts, *cols, *out;
+    npy_intp nnz, n_segments;
+    int typenum;
+
+    if (!PyArg_ParseTuple(args, "O!O!O!O!O!", &PyArray_Type, &products,
+                          &PyArray_Type, &order, &PyArray_Type, &starts,
+                          &PyArray_Type, &cols, &PyArray_Type, &out)) {
+        return NULL;
+    }
+    typenum = PyArray_TYPE(products);
+    if (typenum != NPY_DOUBLE && typenum != NPY_FLOAT) {
+        PyErr_SetString(PyExc_ValueError,
+                        "products must be float32 or float64");
+        return NULL;
+    }
+    if (!check_array(products, typenum, 1, "products") ||
+        !check_array(order, NPY_INT64, 1, "order") ||
+        !check_array(starts, NPY_INT64, 1, "starts") ||
+        !check_array(cols, NPY_INT64, 1, "cols") ||
+        !check_array(out, typenum, 1, "out")) {
+        return NULL;
+    }
+    nnz = PyArray_DIM(products, 0);
+    n_segments = PyArray_DIM(starts, 0);
+    if (PyArray_DIM(order, 0) != nnz ||
+        PyArray_DIM(cols, 0) != n_segments) {
+        PyErr_SetString(PyExc_ValueError, "inconsistent kernel shapes");
+        return NULL;
+    }
+    {
+        const npy_int64 *ord = (const npy_int64 *)PyArray_DATA(order);
+        const npy_int64 *st = (const npy_int64 *)PyArray_DATA(starts);
+        const npy_int64 *cl = (const npy_int64 *)PyArray_DATA(cols);
+        npy_intp cap = max_col_segment(st, n_segments, nnz);
+        int failed = 0;
+        if (typenum == NPY_DOUBLE) {
+            const npy_double *p = (const npy_double *)PyArray_DATA(products);
+            npy_double *o = (npy_double *)PyArray_DATA(out);
+            npy_double *scratch =
+                (npy_double *)malloc((size_t)cap * sizeof(npy_double));
+            if (scratch == NULL) {
+                failed = 1;
+            }
+            else {
+                Py_BEGIN_ALLOW_THREADS
+                reduce_adjoint_segments_f64(p, ord, st, cl, n_segments, nnz,
+                                            o, scratch);
+                Py_END_ALLOW_THREADS
+                free(scratch);
+            }
+        }
+        else {
+            const npy_float *p = (const npy_float *)PyArray_DATA(products);
+            npy_float *o = (npy_float *)PyArray_DATA(out);
+            npy_float *scratch =
+                (npy_float *)malloc((size_t)cap * sizeof(npy_float));
+            if (scratch == NULL) {
+                failed = 1;
+            }
+            else {
+                Py_BEGIN_ALLOW_THREADS
+                reduce_adjoint_segments_f32(p, ord, st, cl, n_segments, nnz,
+                                            o, scratch);
+                Py_END_ALLOW_THREADS
+                free(scratch);
+            }
+        }
+        if (failed) {
+            return PyErr_NoMemory();
+        }
+    }
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+py_csr_matmat(PyObject *self, PyObject *args)
+{
+    PyArrayObject *data, *indices, *indptr, *B, *out;
+    npy_intp n_rows, nnz, k;
+    int typenum;
+
+    if (!PyArg_ParseTuple(args, "O!O!O!O!O!", &PyArray_Type, &data,
+                          &PyArray_Type, &indices, &PyArray_Type, &indptr,
+                          &PyArray_Type, &B, &PyArray_Type, &out)) {
+        return NULL;
+    }
+    typenum = PyArray_TYPE(data);
+    if (typenum != NPY_DOUBLE && typenum != NPY_FLOAT) {
+        PyErr_SetString(PyExc_ValueError, "data must be float32 or float64");
+        return NULL;
+    }
+    if (!check_array(data, typenum, 1, "data") ||
+        !check_array(indices, NPY_INT64, 1, "indices") ||
+        !check_array(indptr, NPY_INT64, 1, "indptr")) {
+        return NULL;
+    }
+    if (PyArray_TYPE(B) != typenum || PyArray_NDIM(B) != 2 ||
+        !PyArray_IS_F_CONTIGUOUS(B)) {
+        PyErr_SetString(PyExc_ValueError,
+                        "B must be a Fortran-contiguous 2-D block of the "
+                        "data dtype");
+        return NULL;
+    }
+    if (PyArray_TYPE(out) != typenum || PyArray_NDIM(out) != 2 ||
+        !PyArray_IS_F_CONTIGUOUS(out)) {
+        PyErr_SetString(PyExc_ValueError,
+                        "out must be a Fortran-contiguous 2-D block of the "
+                        "data dtype");
+        return NULL;
+    }
+    n_rows = PyArray_DIM(indptr, 0) - 1;
+    nnz = PyArray_DIM(data, 0);
+    k = PyArray_DIM(B, 1);
+    if (PyArray_DIM(indices, 0) != nnz || PyArray_DIM(out, 0) != n_rows ||
+        PyArray_DIM(out, 1) != k) {
+        PyErr_SetString(PyExc_ValueError, "inconsistent kernel shapes");
+        return NULL;
+    }
+    {
+        const npy_int64 *ind = (const npy_int64 *)PyArray_DATA(indices);
+        const npy_int64 *ip = (const npy_int64 *)PyArray_DATA(indptr);
+        npy_intp ldb = PyArray_DIM(B, 0);
+        npy_intp ldo = n_rows;
+        npy_intp cap = max_segment(ip, n_rows);
+        int failed = 0;
+        if (typenum == NPY_DOUBLE) {
+            const npy_double *d = (const npy_double *)PyArray_DATA(data);
+            const npy_double *b = (const npy_double *)PyArray_DATA(B);
+            npy_double *o = (npy_double *)PyArray_DATA(out);
+            npy_double *scratch =
+                (npy_double *)malloc((size_t)cap * sizeof(npy_double));
+            if (scratch == NULL) {
+                failed = 1;
+            }
+            else {
+                Py_BEGIN_ALLOW_THREADS
+                matmat_f64(d, ind, ip, n_rows, k, b, ldb, o, ldo, scratch);
+                Py_END_ALLOW_THREADS
+                free(scratch);
+            }
+        }
+        else {
+            const npy_float *d = (const npy_float *)PyArray_DATA(data);
+            const npy_float *b = (const npy_float *)PyArray_DATA(B);
+            npy_float *o = (npy_float *)PyArray_DATA(out);
+            npy_float *scratch =
+                (npy_float *)malloc((size_t)cap * sizeof(npy_float));
+            if (scratch == NULL) {
+                failed = 1;
+            }
+            else {
+                Py_BEGIN_ALLOW_THREADS
+                matmat_f32(d, ind, ip, n_rows, k, b, ldb, o, ldo, scratch);
+                Py_END_ALLOW_THREADS
+                free(scratch);
+            }
+        }
+        if (failed) {
+            return PyErr_NoMemory();
+        }
+    }
+    Py_RETURN_NONE;
+}
+
+/* ------------------------------------------------------------------ */
+/* Module definition                                                   */
+/* ------------------------------------------------------------------ */
+
+static PyMethodDef csr_kernel_methods[] = {
+    {"csr_matvec", py_csr_matvec, METH_VARARGS,
+     "A @ v into a zeroed out (bincount order for f64, reduceat for f32)."},
+    {"csr_rmatvec_scatter", py_csr_rmatvec_scatter, METH_VARARGS,
+     "A.T @ u into a zeroed out, float64 bincount order."},
+    {"csr_rmatvec_segments", py_csr_rmatvec_segments, METH_VARARGS,
+     "A.T @ u into a zeroed out via column segments, reduceat order."},
+    {"csr_adjoint_products", py_csr_adjoint_products, METH_VARARGS,
+     "Elementwise adjoint stage: out[i] = data[i] * u[row(i)]."},
+    {"csr_reduce_adjoint_scatter", py_csr_reduce_adjoint_scatter,
+     METH_VARARGS, "Adjoint reduction into a zeroed out, float64 bincount "
+     "order."},
+    {"csr_reduce_adjoint_segments", py_csr_reduce_adjoint_segments,
+     METH_VARARGS, "Adjoint reduction into a zeroed out via column "
+     "segments, reduceat order."},
+    {"csr_matmat", py_csr_matmat, METH_VARARGS,
+     "A @ B for F-contiguous B into a zeroed F-contiguous out, reduceat "
+     "order per column."},
+    {NULL, NULL, 0, NULL},
+};
+
+static struct PyModuleDef csr_kernels_module = {
+    PyModuleDef_HEAD_INIT,
+    "_csr_kernels",
+    "GIL-free compiled CSR kernels, bitwise-equal to the numpy reference.",
+    -1,
+    csr_kernel_methods,
+};
+
+PyMODINIT_FUNC
+PyInit__csr_kernels(void)
+{
+    PyObject *module;
+    import_array();
+    module = PyModule_Create(&csr_kernels_module);
+    if (module == NULL) {
+        return NULL;
+    }
+    return module;
+}

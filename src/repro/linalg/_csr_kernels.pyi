@@ -1,0 +1,61 @@
+"""Type stub for the optional compiled CSR kernel extension.
+
+All functions write into a caller-allocated (zeroed, where the kernel
+accumulates) output array and return ``None``; dtype/contiguity/shape
+violations raise ``ValueError``.
+"""
+
+import numpy as np
+from numpy.typing import NDArray
+
+_Values = NDArray[np.floating]
+_Index = NDArray[np.int64]
+
+def csr_matvec(
+    data: _Values,
+    indices: _Index,
+    indptr: _Index,
+    v: _Values,
+    out: _Values,
+) -> None: ...
+def csr_rmatvec_scatter(
+    data: _Values,
+    indices: _Index,
+    indptr: _Index,
+    u: _Values,
+    out: _Values,
+) -> None: ...
+def csr_rmatvec_segments(
+    data: _Values,
+    row_ids: _Index,
+    order: _Index,
+    starts: _Index,
+    cols: _Index,
+    u: _Values,
+    out: _Values,
+) -> None: ...
+def csr_adjoint_products(
+    data: _Values,
+    indptr: _Index,
+    u: _Values,
+    out: _Values,
+) -> None: ...
+def csr_reduce_adjoint_scatter(
+    indices: _Index,
+    products: _Values,
+    out: _Values,
+) -> None: ...
+def csr_reduce_adjoint_segments(
+    products: _Values,
+    order: _Index,
+    starts: _Index,
+    cols: _Index,
+    out: _Values,
+) -> None: ...
+def csr_matmat(
+    data: _Values,
+    indices: _Index,
+    indptr: _Index,
+    B: _Values,
+    out: _Values,
+) -> None: ...

@@ -1,0 +1,405 @@
+"""Kernel dispatch: pure-numpy reference vs GIL-free compiled CSR kernels.
+
+The paper's linear-time claim rests on four O(nnz) hot loops — ``A @ v``,
+``A.T @ u``, and their block forms — and every solver in this package
+reaches them through :class:`~repro.linalg.operators.CSROperator` or the
+sharded substrate.  This module puts a dispatch seam in front of those
+loops with two interchangeable backends:
+
+``reference``
+    The pure-numpy ``bincount``/``reduceat`` kernels of
+    :class:`~repro.linalg.sparse.CSRMatrix`, kept verbatim.  This is the
+    ground truth every other backend is measured against.
+
+``compiled``
+    A small self-contained C extension (``repro.linalg._csr_kernels``,
+    built by ``python setup.py build_ext --inplace``; no third-party
+    runtime deps) whose inner loops run between
+    ``Py_BEGIN_ALLOW_THREADS`` — so thread-backend shard workers
+    genuinely overlap instead of serializing on the GIL, which is the
+    reason BENCH_parallel.json's ``speedup_vs_direct`` can exceed 1.
+
+**Bitwise contract.** The compiled kernels replay the reference
+accumulation order exactly — sequential scatter-adds where the
+reference uses ``np.bincount`` and numpy's pairwise order
+(``seg[0] + pairwise(seg[1:])``) where it uses ``np.add.reduceat`` —
+so the two backends are interchangeable at the bit level, not merely to
+rounding.  The parity suite (``tests/linalg/test_kernels.py``) asserts
+``tobytes()`` equality across dtypes and CSR corner cases.
+
+**Selection.** Per call, the backend is the innermost of:
+
+1. an active :func:`use_backend` context (a ``ContextVar``, so thread
+   backends propagate it into workers);
+2. the ``REPRO_KERNEL_BACKEND`` environment variable (which spawned
+   process workers inherit);
+3. the default ``"auto"``.
+
+``auto`` silently prefers the compiled backend when the extension is
+importable and falls back to the reference otherwise.  Requesting
+``"compiled"`` explicitly when the extension is absent emits a one-time
+:class:`~repro.robustness.report.RobustnessWarning` and falls back —
+results are identical either way, only the speed differs.
+
+Calls the compiled kernels cannot replicate bit-for-bit (mixed-dtype
+operands, non-contiguous storage) are routed to the reference
+implementation regardless of the selected backend; the dispatch
+functions therefore *never* change numerics, only execution.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import warnings
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro._typing import FloatArray
+from repro.linalg.sparse import CSRMatrix, as_value_dtype
+
+__all__ = [
+    "KERNEL_BACKENDS",
+    "KERNEL_BACKEND_ENV",
+    "active_backend",
+    "compiled_available",
+    "csr_adjoint_products",
+    "csr_matmat",
+    "csr_matvec",
+    "csr_reduce_adjoint",
+    "csr_rmatmat",
+    "csr_rmatvec",
+    "requested_backend",
+    "use_backend",
+]
+
+#: Environment variable selecting the kernel backend for a whole run.
+KERNEL_BACKEND_ENV = "REPRO_KERNEL_BACKEND"
+
+#: Accepted backend names.
+KERNEL_BACKENDS = ("auto", "reference", "compiled")
+
+try:  # pragma: no cover - exercised via both CI legs, not branch counts
+    from repro.linalg import _csr_kernels as _compiled
+except ImportError:  # pragma: no cover
+    _compiled = None  # type: ignore[assignment]
+
+#: Innermost selection — survives into thread-backend workers because
+#: ThreadBackend copies the submitting context into each task.
+_BACKEND_OVERRIDE: ContextVar[Optional[str]] = ContextVar(
+    "repro_kernel_backend", default=None
+)
+
+_warn_lock = threading.Lock()
+_warned_missing = False
+
+
+def compiled_available() -> bool:
+    """True when the ``_csr_kernels`` extension imported successfully.
+
+    Complexity: O(1) — the import was attempted once at module load.
+    """
+    return _compiled is not None
+
+
+def _validate_backend(name: str) -> str:
+    if name not in KERNEL_BACKENDS:
+        raise ValueError(
+            f"unknown kernel backend {name!r}; expected one of "
+            f"{KERNEL_BACKENDS}"
+        )
+    return name
+
+
+def requested_backend() -> str:
+    """The backend name currently requested (before availability checks).
+
+    Complexity: O(1) — a ContextVar read plus one environ lookup.
+    """
+    override = _BACKEND_OVERRIDE.get()
+    if override is not None:
+        return override
+    env = os.environ.get(KERNEL_BACKEND_ENV)
+    if env:
+        return _validate_backend(env)
+    return "auto"
+
+
+def _warn_missing_once() -> None:
+    global _warned_missing
+    with _warn_lock:
+        if _warned_missing:
+            return
+        _warned_missing = True
+    from repro.robustness.report import RobustnessWarning
+
+    warnings.warn(
+        "kernel backend 'compiled' was requested but the "
+        "repro.linalg._csr_kernels extension is not built; falling back "
+        "to the bitwise-identical pure-numpy reference kernels (build "
+        "with `python setup.py build_ext --inplace` to enable it)",
+        RobustnessWarning,
+        stacklevel=3,
+    )
+
+
+def _reset_missing_warning() -> None:
+    """Re-arm the one-time fallback warning (test hook)."""
+    global _warned_missing
+    with _warn_lock:
+        _warned_missing = False
+
+
+def active_backend() -> str:
+    """Resolve the request to the backend that will actually run.
+
+    Complexity: O(1).
+
+    ``"auto"`` prefers ``"compiled"`` when available, silently falling
+    back to ``"reference"``; an explicit ``"compiled"`` request without
+    the extension warns once (:class:`RobustnessWarning`) and falls
+    back.  The return value is always concrete: ``"reference"`` or
+    ``"compiled"``.
+    """
+    requested = requested_backend()
+    if requested == "reference":
+        return "reference"
+    if compiled_available():
+        return "compiled"
+    if requested == "compiled":
+        _warn_missing_once()
+    return "reference"
+
+
+@contextmanager
+def use_backend(name: Optional[str]) -> Iterator[None]:
+    """Scope a kernel-backend selection to a ``with`` block.
+
+    The selection rides a ``ContextVar``: thread-backend shard workers
+    inherit it (each task runs in a copy of the submitting context),
+    and nested scopes restore the outer selection on exit.  ``None`` is
+    a no-op scope, so call sites can pass an optional config field
+    straight through.
+
+    Complexity: O(1) — one ContextVar set/reset pair.
+    """
+    if name is None:
+        yield
+        return
+    token = _BACKEND_OVERRIDE.set(_validate_backend(name))
+    try:
+        yield
+    finally:
+        _BACKEND_OVERRIDE.reset(token)
+
+
+# ----------------------------------------------------------------------
+# Compiled-path eligibility
+# ----------------------------------------------------------------------
+
+
+def _storage_ok(matrix: CSRMatrix) -> bool:
+    """True when the matrix's arrays satisfy the C kernels' layout."""
+    return (
+        matrix.data.flags.c_contiguous
+        and matrix.indices.flags.c_contiguous
+        and matrix.indptr.flags.c_contiguous
+    )
+
+
+def _operand_for_compiled(
+    matrix: CSRMatrix, x: FloatArray
+) -> Optional[FloatArray]:
+    """``x`` as the C kernels need it, or ``None`` to use the reference.
+
+    The compiled kernels compute in the matrix's value dtype.  A
+    float32 operand against a float64 matrix upcasts exactly (so the
+    cast below is bitwise-neutral — numpy's mixed-dtype ufunc does the
+    same promotion); a float64 operand against a float32 matrix would
+    have to *downcast*, which the reference never does, so that case
+    (and any non-native layout) falls back.
+    """
+    if x.dtype == matrix.dtype:
+        return np.ascontiguousarray(x)
+    if matrix.dtype == np.float64:
+        return np.ascontiguousarray(x, dtype=np.float64)
+    return None
+
+
+# ----------------------------------------------------------------------
+# Dispatch functions
+# ----------------------------------------------------------------------
+
+
+def csr_matvec(matrix: CSRMatrix, v: FloatArray) -> FloatArray:
+    """``A @ v`` through the selected kernel backend.
+
+    Complexity: O(nnz) — one multiply-add per stored entry on either
+    backend; the backends differ only in GIL behavior and constant.
+    """
+    v = as_value_dtype(v)
+    if active_backend() != "compiled" or not _storage_ok(matrix):
+        return matrix.matvec(v)
+    if v.shape != (matrix.shape[1],):
+        raise ValueError(
+            f"matvec expects a vector of length {matrix.shape[1]}, "
+            f"got shape {v.shape}"
+        )
+    vc = _operand_for_compiled(matrix, v)
+    if vc is None:
+        return matrix.matvec(v)
+    out = np.zeros(matrix.shape[0], dtype=matrix.dtype)
+    _compiled.csr_matvec(matrix.data, matrix.indices, matrix.indptr, vc, out)
+    return out
+
+
+def csr_rmatvec(matrix: CSRMatrix, u: FloatArray) -> FloatArray:
+    """``A.T @ u`` through the selected kernel backend.
+
+    Complexity: O(nnz) — the adjoint sweep at the same unit price as
+    :func:`csr_matvec` (plus, on the float32 path, the one-time column
+    segment build the reference also amortizes).
+    """
+    u = as_value_dtype(u)
+    if active_backend() != "compiled" or not _storage_ok(matrix):
+        return matrix.rmatvec(u)
+    if u.shape != (matrix.shape[0],):
+        raise ValueError(
+            f"rmatvec expects a vector of length {matrix.shape[0]}, "
+            f"got shape {u.shape}"
+        )
+    uc = _operand_for_compiled(matrix, u)
+    if uc is None:
+        return matrix.rmatvec(u)
+    out = np.zeros(matrix.shape[1], dtype=matrix.dtype)
+    if matrix.dtype == np.float64:
+        _compiled.csr_rmatvec_scatter(
+            matrix.data, matrix.indices, matrix.indptr, uc, out
+        )
+    else:
+        order, starts, cols = matrix._col_segments
+        _compiled.csr_rmatvec_segments(
+            matrix.data, matrix._row_ids, order, starts, cols, uc, out
+        )
+    return out
+
+
+def csr_adjoint_products(matrix: CSRMatrix, u: FloatArray) -> FloatArray:
+    """Elementwise adjoint stage ``data * u[row_ids]``, in storage order.
+
+    Complexity: O(nnz).
+
+    The shard-local half of the sharded adjoint: each shard computes
+    its slice of this product, and the coordinator applies the one
+    canonical :func:`csr_reduce_adjoint` — which is what keeps the
+    sharded ``rmatvec`` bitwise-identical to the direct one.
+    """
+    u = as_value_dtype(u)
+    if (
+        active_backend() == "compiled"
+        and _storage_ok(matrix)
+        and u.shape == (matrix.shape[0],)
+    ):
+        uc = _operand_for_compiled(matrix, u)
+        if uc is not None:
+            out = np.empty(matrix.nnz, dtype=matrix.dtype)
+            _compiled.csr_adjoint_products(
+                matrix.data, matrix.indptr, uc, out
+            )
+            return out
+    products: FloatArray = matrix.data * u[matrix._row_ids]
+    return products
+
+
+def csr_reduce_adjoint(
+    matrix: CSRMatrix,
+    products: FloatArray,
+    out: Optional[FloatArray] = None,
+) -> FloatArray:
+    """Reduce per-entry adjoint products to ``A.T @ u``.
+
+    Complexity: O(nnz).
+
+    The canonical reduction behind
+    :meth:`~repro.linalg.sparse.CSRMatrix.reduce_adjoint_products`,
+    backend-dispatched.  Per-dtype accumulation order (float64
+    ``bincount`` fold, float32 segmented ``reduceat``) is preserved
+    exactly on both backends.
+    """
+    if active_backend() != "compiled" or not _storage_ok(matrix):
+        return matrix.reduce_adjoint_products(products, out=out)
+    if products.shape != matrix.data.shape:
+        return matrix.reduce_adjoint_products(products, out=out)
+    if out is not None and (
+        out.shape != (matrix.shape[1],) or out.dtype != products.dtype
+    ):
+        return matrix.reduce_adjoint_products(products, out=out)
+    if not products.flags.c_contiguous:
+        products = np.ascontiguousarray(products)
+    if products.dtype == np.float64:
+        # The scatter kernel only touches indices + products, so it
+        # serves float64 products over a float32 matrix too (the shard
+        # path can promote operands).
+        target = out if out is not None else np.zeros(matrix.shape[1])
+        target[:] = 0
+        _compiled.csr_reduce_adjoint_scatter(
+            matrix.indices, products, target
+        )
+        return target
+    if products.dtype != matrix.dtype:
+        return matrix.reduce_adjoint_products(products, out=out)
+    target = (
+        out if out is not None else np.zeros(matrix.shape[1], products.dtype)
+    )
+    target[:] = 0
+    order, starts, cols = matrix._col_segments
+    _compiled.csr_reduce_adjoint_segments(products, order, starts, cols, target)
+    return target
+
+
+def csr_matmat(matrix: CSRMatrix, B: FloatArray) -> FloatArray:
+    """``A @ B`` for a dense block through the selected backend.
+
+    Complexity: O(nnz·c) for a ``c``-column block — identical flam to
+    ``c`` mat-vecs on either backend.
+    """
+    B = as_value_dtype(B)
+    if active_backend() != "compiled" or not _storage_ok(matrix):
+        return matrix.matmat(B)
+    if B.ndim == 1:
+        return csr_matvec(matrix, B)
+    if B.shape[0] != matrix.shape[1]:
+        raise ValueError("dimension mismatch in matmat")
+    k = B.shape[1]
+    if k == 1:
+        return csr_matvec(matrix, B[:, 0])[:, None]
+    dtype = np.result_type(matrix.data, B)
+    if dtype != matrix.dtype:
+        return matrix.matmat(B)
+    Bf = np.asfortranarray(B, dtype=dtype)
+    out = np.zeros((matrix.shape[0], k), dtype=dtype, order="F")
+    _compiled.csr_matmat(matrix.data, matrix.indices, matrix.indptr, Bf, out)
+    return out
+
+
+def csr_rmatmat(matrix: CSRMatrix, U: FloatArray) -> FloatArray:
+    """``A.T @ U`` for a dense block through the selected backend.
+
+    Complexity: O(nnz·c) per call, plus the reference's one-time
+    O(nnz log nnz) transpose build, amortized over every later block.
+
+    Routed through the (lazily cached) transpose exactly as the
+    reference is, so the forward sweep kernel — whichever backend — is
+    reused and the result stays bitwise-stable.
+    """
+    U = as_value_dtype(U)
+    if U.ndim == 1:
+        return csr_rmatvec(matrix, U)
+    if U.shape[0] != matrix.shape[0]:
+        raise ValueError("dimension mismatch in rmatmat")
+    if U.shape[1] == 1:
+        return csr_rmatvec(matrix, U[:, 0])[:, None]
+    return csr_matmat(matrix.T, U)

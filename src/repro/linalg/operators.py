@@ -33,6 +33,7 @@ import numpy as np
 
 from repro._typing import DTypeLike, FloatArray, FloatDType, MatrixLike
 from repro.exceptions import ReproError
+from repro.linalg import kernels
 from repro.linalg.sparse import CSRMatrix, as_value_dtype, is_sparse
 
 
@@ -191,7 +192,13 @@ class DenseOperator(LinearOperator):
 
 
 class CSROperator(LinearOperator):
-    """Operator view over our :class:`CSRMatrix` or a scipy CSR matrix."""
+    """Operator view over our :class:`CSRMatrix` or a scipy CSR matrix.
+
+    Products route through the kernel dispatcher
+    (:mod:`repro.linalg.kernels`), so the compiled GIL-free backend —
+    when built and selected — serves every solver that reaches the data
+    through this operator, bitwise-identically to the numpy reference.
+    """
 
     def __init__(self, matrix: Union[CSRMatrix, Any]) -> None:
         super().__init__()
@@ -208,16 +215,16 @@ class CSROperator(LinearOperator):
         return self.matrix.dtype
 
     def _matvec(self, v: FloatArray) -> FloatArray:
-        return self.matrix.matvec(v)
+        return kernels.csr_matvec(self.matrix, v)
 
     def _rmatvec(self, u: FloatArray) -> FloatArray:
-        return self.matrix.rmatvec(u)
+        return kernels.csr_rmatvec(self.matrix, u)
 
     def _matmat(self, B: FloatArray) -> FloatArray:
-        return self.matrix.matmat(B)
+        return kernels.csr_matmat(self.matrix, B)
 
     def _rmatmat(self, U: FloatArray) -> FloatArray:
-        return self.matrix.rmatmat(U)
+        return kernels.csr_rmatmat(self.matrix, U)
 
 
 class TransposedOperator(LinearOperator):

@@ -69,6 +69,7 @@ import numpy as np
 
 from repro._typing import FloatArray, FloatDType, IntArray
 from repro.exceptions import TransportError
+from repro.linalg import kernels
 from repro.linalg.operators import LinearOperator, as_operator
 from repro.linalg.sparse import CSRMatrix
 from repro.observability import current_tracer
@@ -223,14 +224,21 @@ def shard_kernel_result(
         if kernel in ("matvec", "matmat"):
             return shard @ operand
         return shard.T @ operand
-    # CSR and ops modes share the operator-method surface, except the
-    # CSR adjoint: shards emit only the elementwise stage so the
-    # coordinator can apply the one canonical reduction.
+    if mode == "csr":
+        # CSR shards go through the kernel dispatcher, so thread
+        # workers run the GIL-free compiled backend when selected.  The
+        # adjoint emits only the elementwise stage so the coordinator
+        # can apply the one canonical reduction.
+        if kernel == "matvec":
+            return kernels.csr_matvec(shard, operand)
+        if kernel == "rmatvec":
+            return kernels.csr_adjoint_products(shard, operand)
+        if kernel == "matmat":
+            return kernels.csr_matmat(shard, operand)
+        return kernels.csr_rmatmat(shard, operand)
     if kernel == "matvec":
         return shard.matvec(operand)
     if kernel == "rmatvec":
-        if mode == "csr":
-            return np.multiply(shard.data, operand[shard._row_ids])
         return shard.rmatvec(operand)
     if kernel == "matmat":
         return shard.matmat(operand)
@@ -781,7 +789,7 @@ class ShardedOperator(LinearOperator):
             products = self._run(
                 "rmatvec", u, (self.matrix.nnz,), out_dtype
             )
-            return self.matrix.reduce_adjoint_products(products)
+            return kernels.csr_reduce_adjoint(self.matrix, products)
         partials = self._run(
             "rmatvec", u, (self.n_shards, self.shape[1]), out_dtype
         )

@@ -11,6 +11,7 @@ from repro.linalg.operators import (
     InjectedFaultError,
     as_operator,
 )
+from repro.linalg import kernels
 from repro.linalg.sparse import CSRMatrix
 from repro.parallel import (
     ShardedOperator,
@@ -94,6 +95,41 @@ class TestCSRParity:
             ) as b:
                 assert np.array_equal(a.rmatvec(u), b.rmatvec(u))
                 assert np.array_equal(a.rmatmat(U), b.rmatmat(U))
+
+    @pytest.mark.parametrize(
+        "kernel_backend",
+        [
+            "reference",
+            pytest.param(
+                "compiled",
+                marks=pytest.mark.skipif(
+                    not kernels.compiled_available(),
+                    reason="compiled kernel extension not built",
+                ),
+            ),
+        ],
+    )
+    def test_bitwise_products_under_each_kernel_backend(
+        self, rng, kernel_backend
+    ):
+        """Sharded products stay bitwise equal to the direct operator
+        whichever kernel backend the shard workers run — the
+        use_backend ContextVar propagates into thread workers."""
+        matrix, _ = random_csr(rng)
+        v = rng.standard_normal(matrix.shape[1])
+        u = rng.standard_normal(matrix.shape[0])
+        B = rng.standard_normal((matrix.shape[1], 4))
+        direct = as_operator(matrix)
+        reference = (
+            direct.matvec(v), direct.rmatvec(u), direct.matmat(B),
+        )
+        with kernels.use_backend(kernel_backend):
+            with ShardedOperator(
+                matrix, n_shards=3, backend="thread", n_jobs=3
+            ) as op:
+                results = (op.matvec(v), op.rmatvec(u), op.matmat(B))
+        for got, want in zip(results, reference):
+            assert got.tobytes() == want.tobytes()
 
 
 class TestDenseParity:
